@@ -1,0 +1,93 @@
+// Verification-coverage experiment: mutate every synthesized Table-1
+// netlist (flip a literal polarity, drop a literal, swap the latch set
+// and reset inputs) and measure how many mutants the speed-independence
+// verifier rejects. A sound netlist-level verifier should kill
+// essentially every behaviour-changing mutant; survivors are reported.
+//
+// Also reports whether 2-input tech mapping (fanin decomposition of the
+// region AND/OR gates) preserves speed independence on each benchmark —
+// the "standard library" question behind the paper's architecture.
+#include <cstdio>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/netlist/transform.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/util/table.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+namespace {
+
+// Applies one structural mutation; returns false when the index is out
+// of range for this netlist.
+bool mutate(net::Netlist& nl, std::size_t which) {
+    std::size_t seen = 0;
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        auto& g = nl.gate(GateId(gi));
+        if (g.kind == net::GateKind::And || g.kind == net::GateKind::Or) {
+            for (auto& f : g.fanins) {
+                if (seen++ == which) { // flip literal polarity
+                    f.inverted = !f.inverted;
+                    return true;
+                }
+            }
+            if (g.fanins.size() > 1 && seen++ == which) { // drop a literal
+                g.fanins.pop_back();
+                return true;
+            }
+        }
+        if (g.kind == net::GateKind::CElement || g.kind == net::GateKind::RsLatch) {
+            if (seen++ == which) { // swap set and reset
+                std::swap(g.fanins[0], g.fanins[1]);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int main() {
+    printf("Fault injection on the synthesized Table-1 netlists\n\n");
+    TextTable table({"example", "mutants", "killed", "survived", "2-input mapping SI?"});
+    std::size_t total = 0, killed = 0;
+    int failures = 0;
+
+    for (const auto& entry : bench::table1_suite()) {
+        const auto graph = sg::build_state_graph(bench::load(entry));
+        const auto res = synth::synthesize(graph);
+
+        std::size_t mutants = 0, dead = 0;
+        for (std::size_t which = 0;; ++which) {
+            net::Netlist mutant = res.netlist;
+            if (!mutate(mutant, which)) break;
+            ++mutants;
+            bool rejected;
+            try {
+                rejected = !verify::verify_speed_independence(mutant, res.graph).ok;
+            } catch (const Error&) {
+                rejected = true; // structurally broken counts as caught
+            }
+            if (rejected) ++dead;
+        }
+        total += mutants;
+        killed += dead;
+
+        const auto mapped = net::decompose_fanin(res.netlist, 2);
+        const bool mapped_ok = verify::verify_speed_independence(mapped, res.graph).ok;
+
+        table.add_row({entry.name, std::to_string(mutants), std::to_string(dead),
+                       std::to_string(mutants - dead), mapped_ok ? "yes" : "NO"});
+    }
+    printf("%s\n", table.render().c_str());
+    printf("overall mutation kill rate: %zu/%zu\n", killed, total);
+    printf("\nNote: a surviving mutant is not automatically a bug — dropping a literal\n"
+           "can leave the function unchanged on the reachable codes. The 2-input\n"
+           "mapping column answers whether tree-decomposing the monotone region\n"
+           "functions preserves speed independence on these controllers.\n");
+    return failures;
+}

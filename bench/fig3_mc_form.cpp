@@ -1,0 +1,50 @@
+// Regenerates the paper's Figure 3 / equations (2): the MC-reduction of
+// Figure 1 by inserting one state signal.
+//
+// Two independent reproductions are shown:
+//   (a) our synthesis flow run on Figure 1 (it must insert exactly one
+//       signal and produce a verified hazard-free netlist);
+//   (b) the Figure-3 state graph transcribed from the paper, shown to
+//       satisfy the (generalized) MC requirement with the paper's cubes
+//       (Sd = x' shared across both ERs of +d, Sx = a'b'c').
+#include <cstdio>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/synthesize.hpp"
+
+using namespace si;
+
+int main() {
+    int failures = 0;
+
+    printf("== (a) MC-reduction of Figure 1 by our synthesis flow ==\n");
+    synth::SynthOptions opts;
+    opts.enable_sharing = true;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(bench::figure1(), opts);
+    printf("%s\n\n", res.summary().c_str());
+    printf("derived equations (compare with the paper's equations (2)):\n%s\n",
+           net::to_equations(res.netlist).c_str());
+    printf("inserted signals: %zu (paper: 1)\n", res.inserted.size());
+    printf("verification: %s\n\n", res.verification.describe().c_str());
+    if (res.inserted.size() != 1 || !res.verification.ok) ++failures;
+
+    printf("== (b) the transcribed Figure 3 state graph ==\n");
+    const auto f3 = bench::figure3();
+    printf("%zu states over a b c d x (paper: 17)\n", f3.num_states());
+    const sg::RegionAnalysis ra3(f3);
+    const auto report = mc::check_requirement(ra3);
+    printf("MC requirement satisfied: %s (paper: yes, after adding x)\n",
+           report.satisfied() ? "yes" : "NO");
+    printf("%s\n", report.describe(ra3).c_str());
+    if (!report.satisfied() || f3.num_states() != 17) ++failures;
+
+    printf("paper-vs-measured: the reduction to MC form \"adds nearly nothing to the\n"
+           "complexity of implementation\" -- our netlist uses %zu literals across %zu\n"
+           "AND gates for 3 latched signals.\n",
+           res.netlist.stats().literals, res.netlist.stats().and_gates);
+    return failures;
+}

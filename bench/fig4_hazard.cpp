@@ -1,0 +1,58 @@
+// Regenerates the paper's Example 2 (Figure 4): a persistent state graph
+// on which every correctness condition of the Beerel-style method [2]
+// holds, yet the derived implementation t = c'd, b = a + t is hazardous;
+// the MC requirement detects the problem statically and one inserted
+// signal removes it.
+#include <cstdio>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/cover_cube.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+int main() {
+    int failures = 0;
+    const auto g = bench::figure4();
+
+    printf("== Figure 4: persistent SG, inputs a c d, output b ==\n%s\n", g.dump().c_str());
+    const sg::RegionAnalysis ra(g);
+    printf("persistent: %s (paper: yes)\n\n", ra.all_persistent() ? "yes" : "NO");
+    if (!ra.all_persistent()) ++failures;
+
+    printf("== The naive implementation t = c'd, b = a + t ==\n");
+    net::Netlist naive(g.signals());
+    naive.name = "fig4-naive";
+    const GateId ga = naive.add_gate(net::GateKind::Input, "a", {}, g.signals().find("a"));
+    const GateId gc = naive.add_gate(net::GateKind::Input, "c", {}, g.signals().find("c"));
+    const GateId gd = naive.add_gate(net::GateKind::Input, "d", {}, g.signals().find("d"));
+    const GateId t = naive.add_gate(net::GateKind::And, "t", {{gc, true}, {gd, false}});
+    naive.add_gate(net::GateKind::Or, "b", {{ga, false}, {t, false}}, g.signals().find("b"));
+    printf("%s\n", net::to_equations(naive).c_str());
+    const auto v = verify::verify_speed_independence(naive, g);
+    printf("%s\n\n", v.describe().c_str());
+    if (v.ok) ++failures; // the paper's point is that this netlist hazards
+
+    printf("== Static detection by the MC requirement ==\n");
+    const auto report = mc::check_requirement(ra);
+    printf("%s\n", report.describe(ra).c_str());
+    printf("(paper: cube a for ER(+b,1) also covers state 10*01 of ER(+b,2),\n"
+           " outside CFR(+b,1) -- condition 3 of Def 17)\n\n");
+    if (report.satisfied()) ++failures;
+
+    printf("== Repair: \"MC ... can remove the hazard by adding one signal\" ==\n");
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    printf("%s\n", res.summary().c_str());
+    printf("%s\n", net::to_equations(res.netlist).c_str());
+    printf("inserted signals: %zu (paper: 1)\nverification: %s\n", res.inserted.size(),
+           res.verification.describe().c_str());
+    if (res.inserted.size() != 1 || !res.verification.ok) ++failures;
+    return failures;
+}

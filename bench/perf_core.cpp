@@ -1,0 +1,160 @@
+// Microbenchmarks of the substrates (google-benchmark): reachability,
+// region analysis, MC checking, cube algebra, SAT solving, signal
+// insertion and gate-level verification. Not a paper table — these
+// document the engineering envelope of the implementation.
+#include <benchmark/benchmark.h>
+
+#include "si/bdd/symbolic.hpp"
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/boolean/minimize.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/sat/solver.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+namespace {
+
+using bench::make_fork_join;
+using bench::make_pipeline;
+using bench::make_sequencer;
+
+void BM_Reachability_Pipeline(benchmark::State& state) {
+    const auto net = make_pipeline(static_cast<int>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(sg::build_state_graph(net).num_states());
+    state.SetLabel(std::to_string(sg::build_state_graph(net).num_states()) + " states");
+}
+BENCHMARK(BM_Reachability_Pipeline)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Reachability_ForkJoin(benchmark::State& state) {
+    const auto net = make_fork_join(static_cast<int>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(sg::build_state_graph(net).num_states());
+    state.SetLabel(std::to_string(sg::build_state_graph(net).num_states()) + " states");
+}
+BENCHMARK(BM_Reachability_ForkJoin)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SymbolicReachability_ForkJoin(benchmark::State& state) {
+    // Same nets as the explicit benchmark above: the BDD representation
+    // is polynomial where the token game is exponential.
+    const auto net = make_fork_join(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bdd::symbolic_reachability(net).reachable_markings);
+    state.SetLabel(std::to_string(static_cast<long long>(
+                       bdd::symbolic_reachability(net).reachable_markings)) +
+                   " markings");
+}
+BENCHMARK(BM_SymbolicReachability_ForkJoin)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_RegionAnalysis_ForkJoin(benchmark::State& state) {
+    const auto g = sg::build_state_graph(make_fork_join(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        const sg::RegionAnalysis ra(g);
+        benchmark::DoNotOptimize(ra.regions().size());
+    }
+}
+BENCHMARK(BM_RegionAnalysis_ForkJoin)->Arg(6)->Arg(10);
+
+void BM_McRequirement_Figure3(benchmark::State& state) {
+    const auto g = bench::figure3();
+    const sg::RegionAnalysis ra(g);
+    for (auto _ : state) benchmark::DoNotOptimize(mc::check_requirement(ra).satisfied());
+}
+BENCHMARK(BM_McRequirement_Figure3);
+
+void BM_CubeSharp(benchmark::State& state) {
+    const Cube a = Cube::from_string("1---0---1---0---");
+    const Cube b = Cube::from_string("--1---0---1---0-");
+    for (auto _ : state) benchmark::DoNotOptimize(a.sharp(b).size());
+}
+BENCHMARK(BM_CubeSharp);
+
+void BM_CoverComplement(benchmark::State& state) {
+    Cover f(12);
+    for (int i = 0; i + 2 < 12; ++i) {
+        Cube c(12);
+        c.set_lit(SignalId(static_cast<std::size_t>(i)), Lit::One);
+        c.set_lit(SignalId(static_cast<std::size_t>(i + 2)), Lit::Zero);
+        f.add(c);
+    }
+    for (auto _ : state) benchmark::DoNotOptimize(f.complement().size());
+}
+BENCHMARK(BM_CoverComplement);
+
+void BM_Minimize(benchmark::State& state) {
+    Cover onset(10);
+    for (std::size_t m = 0; m < 64; m += 3) {
+        BitVec code(10);
+        for (std::size_t b = 0; b < 6; ++b)
+            if ((m >> b) & 1u) code.set(b);
+        onset.add(Cube::minterm(code));
+    }
+    for (auto _ : state) benchmark::DoNotOptimize(minimize(onset, Cover(10)).size());
+}
+BENCHMARK(BM_Minimize);
+
+void BM_SatPigeonHole(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sat::Solver s;
+        std::vector<std::vector<sat::Var>> p(static_cast<std::size_t>(n));
+        for (auto& row : p)
+            for (int h = 0; h < n - 1; ++h) row.push_back(s.new_var());
+        for (int i = 0; i < n; ++i) {
+            std::vector<sat::Lit> c;
+            for (int h = 0; h < n - 1; ++h) c.push_back(sat::pos(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(h)]));
+            s.add_clause(std::span<const sat::Lit>(c.data(), c.size()));
+        }
+        for (int h = 0; h < n - 1; ++h)
+            for (int i = 0; i < n; ++i)
+                for (int j = i + 1; j < n; ++j)
+                    s.add_clause({sat::neg(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(h)]),
+                                  sat::neg(p[static_cast<std::size_t>(j)][static_cast<std::size_t>(h)])});
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SatPigeonHole)->Arg(6)->Arg(8);
+
+void BM_Synthesize_Table1(benchmark::State& state) {
+    const auto& entry = bench::table1_suite()[static_cast<std::size_t>(state.range(0))];
+    const auto g = sg::build_state_graph(bench::load(entry));
+    for (auto _ : state) benchmark::DoNotOptimize(synth::synthesize(g).inserted.size());
+    state.SetLabel(entry.name);
+}
+BENCHMARK(BM_Synthesize_Table1)->Arg(0)->Arg(2)->Arg(8);
+
+void BM_SymbolicCsc_ForkJoin(benchmark::State& state) {
+    const auto net = make_fork_join(static_cast<int>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(bdd::symbolic_csc(net).csc);
+}
+BENCHMARK(BM_SymbolicCsc_ForkJoin)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Synthesize_Tree(benchmark::State& state) {
+    const auto g = sg::build_state_graph(bench::make_tree(7, static_cast<int>(state.range(0))));
+    for (auto _ : state) benchmark::DoNotOptimize(synth::synthesize(g).netlist.num_gates());
+    state.SetLabel(std::to_string(g.num_states()) + " states");
+}
+BENCHMARK(BM_Synthesize_Tree)->Arg(2)->Arg(3);
+
+void BM_Insertion_Sequencer(benchmark::State& state) {
+    // Each sequencer way beyond the first needs a state signal: the SAT
+    // insertion loop dominates.
+    const auto g = sg::build_state_graph(make_sequencer(static_cast<int>(state.range(0))));
+    for (auto _ : state) benchmark::DoNotOptimize(synth::synthesize(g).inserted.size());
+}
+BENCHMARK(BM_Insertion_Sequencer)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Verify_Figure1Netlist(benchmark::State& state) {
+    const auto res = synth::synthesize(bench::figure1());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            verify::verify_speed_independence(res.netlist, res.graph).states_explored);
+}
+BENCHMARK(BM_Verify_Figure1Netlist);
+
+} // namespace

@@ -1,0 +1,139 @@
+// The whole toolchain on one specification, as a worked report:
+//
+//   full_flow [<file.g | builtin:NAME>]     (default: builtin:Delement)
+//
+//  1. Petri-net structure analysis (class, safeness, liveness)
+//  2. state-graph unfolding + Section-II properties
+//  3. region decomposition and the Monotonous Cover report
+//  4. MC-driven synthesis (state-signal insertion) in four architectures:
+//     C-elements, RS latches, shared gates, complex gates
+//  5. speed-independence verification and unit-delay cycle time of each
+//  6. proof certificate (the per-region cubes) and its independent re-check
+//  7. interface-projection check of the inserted signals
+//  8. folding the transformed specification back into a .g STG
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/mc/certificate.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/net_synthesis.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/regions.hpp"
+#include "si/stg/parse.hpp"
+#include "si/stg/structure.hpp"
+#include "si/synth/complex_gate.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/util/table.hpp"
+#include "si/verify/performance.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+int main(int argc, char** argv) {
+    const std::string input = argc > 1 ? argv[1] : "builtin:Delement";
+    try {
+        // Load.
+        stg::Stg net = [&] {
+            if (input.rfind("builtin:", 0) == 0) {
+                for (const auto& e : bench::table1_suite())
+                    if (e.name == input.substr(8)) return bench::load(e);
+                throw ParseError("unknown builtin '" + input + "'");
+            }
+            return stg::read_g_file(input);
+        }();
+
+        std::printf("==== 1. Petri net ====\n%s\n\n",
+                    stg::analyze_structure(net).describe().c_str());
+
+        const auto graph = sg::build_state_graph(net);
+        std::printf("==== 2. State graph ====\n");
+        std::printf("%zu states, %zu arcs; output semi-modular: %s; distributive: %s; "
+                    "CSC: %s; USC: %s\n\n",
+                    graph.num_states(), graph.num_arcs(),
+                    sg::is_output_semimodular(graph) ? "yes" : "no",
+                    sg::is_output_distributive(graph) ? "yes" : "no",
+                    sg::find_csc_violations(graph).empty() ? "yes" : "VIOLATED",
+                    sg::has_unique_state_coding(graph) ? "yes" : "no");
+
+        std::printf("==== 3. Regions and the MC requirement ====\n");
+        const sg::RegionAnalysis ra(graph);
+        std::printf("%s\n", ra.report().c_str());
+        const auto mc_report = mc::check_requirement(ra);
+        std::printf("%s\n", mc_report.describe(ra).c_str());
+
+        std::printf("==== 4/5. Synthesis across architectures ====\n\n");
+        TextTable table({"architecture", "added", "AND", "OR", "latches", "literals",
+                         "SI-verified", "cycle (gate delays)"});
+        synth::SynthesisResult kept = [&] {
+            synth::SynthOptions o;
+            o.verify_result = true;
+            return synth::synthesize(graph, o);
+        }();
+        auto add_row = [&](const std::string& name, const synth::SynthesisResult& r) {
+            const auto s = r.netlist.stats();
+            const auto cycle = verify::estimate_cycle_time(r.netlist, r.graph);
+            table.add_row({name, std::to_string(r.inserted.size()), std::to_string(s.and_gates),
+                           std::to_string(s.or_gates),
+                           std::to_string(s.c_elements + s.rs_latches),
+                           std::to_string(s.literals), r.verification.ok ? "yes" : "NO",
+                           cycle.periodic ? std::to_string(cycle.period_ticks) : "-"});
+        };
+        add_row("C-elements", kept);
+        {
+            synth::SynthOptions o;
+            o.build.use_rs_latches = true;
+            o.verify_result = true;
+            add_row("RS latches", synth::synthesize(graph, o));
+        }
+        {
+            synth::SynthOptions o;
+            o.enable_sharing = true;
+            o.verify_result = true;
+            add_row("shared gates", synth::synthesize(graph, o));
+        }
+        try {
+            const auto nl = synth::build_complex_gate_implementation(ra);
+            const auto v = verify::verify_speed_independence(nl, graph);
+            const auto cycle = verify::estimate_cycle_time(nl, graph);
+            const auto s = nl.stats();
+            table.add_row({"complex gates", "0", "-", "-",
+                           std::to_string(s.complex_gates), std::to_string(s.literals),
+                           v.ok ? "yes" : "NO",
+                           cycle.periodic ? std::to_string(cycle.period_ticks) : "-"});
+        } catch (const Error&) {
+            table.add_row({"complex gates", "-", "-", "-", "-", "-", "no CSC", "-"});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("C-element implementation:\n%s\n",
+                    net::to_equations(kept.netlist).c_str());
+
+        std::printf("==== 6. Proof certificate ====\n");
+        const sg::RegionAnalysis kept_ra(kept.graph);
+        const auto cert = mc::make_certificate(kept_ra, kept.mc);
+        std::printf("%s", cert.to_text(kept.graph.signals()).c_str());
+        const auto cert_check = mc::check_certificate(kept.graph, cert);
+        std::printf("independent re-check: %s\n\n",
+                    cert_check.ok ? "valid" : cert_check.reason.c_str());
+
+        std::printf("==== 7. Interface projection ====\n");
+        const auto proj = sg::check_projection(kept.graph, graph);
+        std::printf("hiding %zu inserted signal(s) preserves the interface: %s\n\n",
+                    kept.inserted.size(), proj.ok ? "yes" : proj.reason.c_str());
+
+        std::printf("==== 8. Transformed specification as .g ====\n");
+        const auto folded = sg::synthesize_stg(kept.graph);
+        std::printf("(%s, %zu places, %zu removed as redundant)\n%s",
+                    folded.used_regions ? "region net" : "state-machine net",
+                    folded.net.num_places(), folded.places_removed,
+                    stg::write_g(folded.net).c_str());
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

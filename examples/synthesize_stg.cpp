@@ -1,0 +1,111 @@
+// Command-line synthesis driver — a miniature petrify-style tool.
+//
+//   synthesize_stg [options] <file.g | builtin:NAME>
+//
+//   --rs         use RS latches (dual-rail) instead of C-elements
+//   --share      enable generalized-MC AND-gate sharing (Section VI)
+//   --no-verify  skip the speed-independence verification
+//   --verilog    print structural Verilog instead of equations
+//   --sg         also dump the (transformed) state graph
+//   --out-g      fold the (transformed) state graph back into a .g STG
+//                via region synthesis and print it
+//
+// `builtin:NAME` loads one of the embedded Table-1 benchmarks
+// (builtin:Delement, builtin:nak-pa, ...); `builtin:list` lists them.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/net_synthesis.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+using namespace si;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: synthesize_stg [--rs] [--share] [--no-verify] [--verilog] [--sg]\n"
+                 "                      <file.g | builtin:NAME | builtin:list>\n");
+    return 2;
+}
+
+stg::Stg load_spec(const std::string& arg) {
+    if (arg.rfind("builtin:", 0) == 0) {
+        const std::string name = arg.substr(8);
+        for (const auto& e : bench::table1_suite())
+            if (e.name == name) return bench::load(e);
+        std::string known;
+        for (const auto& e : bench::table1_suite()) known += " " + e.name;
+        throw ParseError("unknown builtin '" + name + "'; available:" + known);
+    }
+    return stg::read_g_file(arg);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    bool emit_verilog = false;
+    bool dump_sg = false;
+    bool out_g = false;
+    std::string input;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--rs") opts.build.use_rs_latches = true;
+        else if (a == "--share") opts.enable_sharing = true;
+        else if (a == "--no-verify") opts.verify_result = false;
+        else if (a == "--verilog") emit_verilog = true;
+        else if (a == "--sg") dump_sg = true;
+        else if (a == "--out-g") out_g = true;
+        else if (!a.empty() && a[0] == '-') return usage();
+        else if (input.empty()) input = a;
+        else return usage();
+    }
+    if (input == "builtin:list") {
+        for (const auto& e : bench::table1_suite())
+            std::printf("%s (in=%d out=%d)\n", e.name.c_str(), e.paper_inputs, e.paper_outputs);
+        return 0;
+    }
+    if (input.empty()) return usage();
+
+    try {
+        const auto net = load_spec(input);
+        const auto graph = sg::build_state_graph(net);
+        std::printf("specification '%s': %zu signals, %zu states\n", graph.name.c_str(),
+                    graph.num_signals(), graph.num_states());
+
+        const auto result = synth::synthesize(graph, opts);
+        std::printf("%s\n\n", result.summary().c_str());
+        if (dump_sg) std::printf("%s\n", sg::write_sg(result.graph).c_str());
+        if (out_g) {
+            const auto folded = sg::synthesize_stg(result.graph);
+            std::printf("# transformed specification (%s, %zu places)\n%s\n",
+                        folded.used_regions ? "region net" : "state-machine net",
+                        folded.net.num_places(), stg::write_g(folded.net).c_str());
+        }
+        if (emit_verilog)
+            std::printf("%s", net::to_verilog(result.netlist).c_str());
+        else
+            std::printf("%s", net::to_equations(result.netlist).c_str());
+        if (opts.verify_result) {
+            std::printf("\n%s\n", result.verification.describe().c_str());
+            if (!result.verification.ok) return 1;
+        }
+        const auto inv = net::inverter_constraint(result.netlist);
+        if (inv.input_inversions > 0 && !opts.build.use_rs_latches)
+            std::printf("\nnote: %s\n", inv.describe().c_str());
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,88 @@
+// System case study: two pipeline-stage controllers designed separately,
+// then closed into one system by parallel composition (pcomp-style) on
+// their shared link handshake, and synthesized/verified both ways.
+//
+//   left stage :  env (l/la)  ->  link (m/ma)
+//   right stage:  link (m/ma) ->  out (r/ra)
+//
+// Demonstrates: per-stage synthesis, STG composition with shared-signal
+// internalization, whole-system synthesis (the link signals become
+// internal state the flow may exploit), and end-to-end verification.
+#include <cstdio>
+
+#include "si/netlist/print.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/stg/compose.hpp"
+#include "si/stg/parse.hpp"
+#include "si/stg/structure.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+using namespace si;
+
+int main() {
+    const auto left = stg::read_g(R"(
+.model left
+.inputs l ma
+.outputs la m
+.graph
+l+ m+
+m+ ma+
+ma+ la+
+la+ l-
+l- m-
+m- ma-
+ma- la-
+la- l+
+.marking { <la-,l+> }
+.end
+)");
+    const auto right = stg::read_g(R"(
+.model right
+.inputs m ra
+.outputs ma r
+.graph
+m+ r+
+r+ ra+
+ra+ ma+
+ma+ m-
+m- r-
+r- ra-
+ra- ma-
+ma- m+
+.marking { <ma-,m+> }
+.end
+)");
+
+    try {
+        std::printf("== per-stage synthesis ==\n");
+        for (const auto* stage : {&left, &right}) {
+            const auto g = sg::build_state_graph(*stage);
+            synth::SynthOptions opts;
+            opts.verify_result = true;
+            const auto res = synth::synthesize(g, opts);
+            std::printf("%s\n", res.summary().c_str());
+        }
+
+        std::printf("\n== composition on the shared link (m, ma) ==\n");
+        const auto system = stg::compose(left, right);
+        std::printf("net: %zu transitions, %zu places; %s\n", system.num_transitions(),
+                    system.num_places(), stg::analyze_structure(system).describe().c_str());
+
+        const auto g = sg::build_state_graph(system);
+        std::printf("joint state graph: %zu states\n\n", g.num_states());
+
+        std::printf("== whole-system synthesis (link internalized) ==\n");
+        synth::SynthOptions opts;
+        opts.enable_sharing = true;
+        opts.verify_result = true;
+        const auto res = synth::synthesize(g, opts);
+        std::printf("%s\n\n%s\n", res.summary().c_str(),
+                    net::to_equations(res.netlist).c_str());
+        std::printf("verification: %s\n", res.verification.describe().c_str());
+        return res.verification.ok ? 0 : 1;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

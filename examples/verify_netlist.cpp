@@ -1,0 +1,63 @@
+// Verifies a hand-written basic-gate netlist against a specification:
+//
+//   verify_netlist <spec.g | spec.sg | builtin:NAME> <netlist.eqn>
+//
+// The netlist uses the equation format of to_equations() (see
+// si/netlist/parse_eqn.hpp). Exit code 0 = speed-independent and
+// conformant; 1 = a violation was found (printed with its trace).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/netlist/parse_eqn.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+sg::StateGraph load_spec(const std::string& arg) {
+    if (arg.rfind("builtin:", 0) == 0) {
+        for (const auto& e : bench::table1_suite())
+            if (e.name == arg.substr(8)) return sg::build_state_graph(bench::load(e));
+        throw ParseError("unknown builtin '" + arg + "'");
+    }
+    const std::string text = slurp(arg);
+    if (arg.size() > 3 && arg.substr(arg.size() - 3) == ".sg") return sg::read_sg(text);
+    return sg::build_state_graph(stg::read_g(text));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: verify_netlist <spec.g|spec.sg|builtin:NAME> <netlist.eqn>\n");
+        return 2;
+    }
+    try {
+        const auto spec = load_spec(argv[1]);
+        const auto nl = net::parse_equations(slurp(argv[2]), spec);
+        std::printf("netlist '%s': %zu gates against spec '%s' (%zu states)\n",
+                    nl.name.c_str(), nl.num_gates(), spec.name.c_str(), spec.num_states());
+        const auto result = verify::verify_speed_independence(nl, spec);
+        std::printf("%s\n", result.describe().c_str());
+        return result.ok ? 0 : 1;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,113 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// A compact ROBDD manager: hash-consed nodes, memoized ITE, existential
+// quantification, variable substitution and satisfying-assignment
+// counting. Variable order is the creation order (no dynamic
+// reordering); there is no garbage collection — managers are scoped to
+// one analysis and dropped whole, which is how the symbolic reachability
+// layer uses them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "si/util/bitvec.hpp"
+
+namespace si::bdd {
+
+/// Index into the manager's node table. 0 and 1 are the terminals.
+using Ref = std::uint32_t;
+
+class Manager {
+public:
+    static constexpr Ref kFalse = 0;
+    static constexpr Ref kTrue = 1;
+
+    explicit Manager(std::size_t num_vars);
+
+    [[nodiscard]] std::size_t num_vars() const { return nvars_; }
+    /// Total live nodes (including terminals).
+    [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+    /// The function of variable v / its complement.
+    [[nodiscard]] Ref var(std::size_t v);
+    [[nodiscard]] Ref nvar(std::size_t v);
+
+    /// If-then-else — the universal connective.
+    [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+
+    [[nodiscard]] Ref apply_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+    [[nodiscard]] Ref apply_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+    [[nodiscard]] Ref apply_xor(Ref f, Ref g) { return ite(f, apply_not(g), g); }
+    [[nodiscard]] Ref apply_not(Ref f) { return ite(f, kFalse, kTrue); }
+    [[nodiscard]] Ref apply_imp(Ref f, Ref g) { return ite(f, g, kTrue); }
+
+    /// f with variable v fixed to `value` (the cofactor).
+    [[nodiscard]] Ref restrict_var(Ref f, std::size_t v, bool value);
+
+    /// ∃ v ∈ vars . f (vars as a bit mask over the variable space).
+    [[nodiscard]] Ref exists(Ref f, const BitVec& vars);
+
+    /// f with every variable v replaced by variable map[v] (map must be
+    /// injective and monotone w.r.t. the order on the mapped range —
+    /// true for the interleaved current/next schemes used here).
+    [[nodiscard]] Ref rename(Ref f, const std::vector<std::size_t>& map);
+
+    /// Value of f on a complete assignment.
+    [[nodiscard]] bool eval(Ref f, const BitVec& assignment) const;
+
+    /// Number of satisfying assignments over all num_vars() variables.
+    [[nodiscard]] double sat_count(Ref f);
+
+    /// One satisfying assignment (lexicographically least by variable
+    /// order); f must not be kFalse.
+    [[nodiscard]] BitVec any_sat(Ref f) const;
+
+    /// Node count of the BDD rooted at f (measure of its size).
+    [[nodiscard]] std::size_t size(Ref f) const;
+
+private:
+    struct Node {
+        std::uint32_t var;
+        Ref lo;
+        Ref hi;
+    };
+    struct NodeKey {
+        std::uint32_t var;
+        Ref lo;
+        Ref hi;
+        friend bool operator==(const NodeKey&, const NodeKey&) = default;
+    };
+    struct NodeKeyHash {
+        std::size_t operator()(const NodeKey& k) const noexcept {
+            std::size_t h = k.var;
+            h = h * 1000003u ^ k.lo;
+            h = h * 1000003u ^ k.hi;
+            return h;
+        }
+    };
+    struct IteKey {
+        Ref f, g, h;
+        friend bool operator==(const IteKey&, const IteKey&) = default;
+    };
+    struct IteKeyHash {
+        std::size_t operator()(const IteKey& k) const noexcept {
+            std::size_t x = k.f;
+            x = x * 1000003u ^ k.g;
+            x = x * 1000003u ^ k.h;
+            return x;
+        }
+    };
+
+    Ref make(std::uint32_t var, Ref lo, Ref hi);
+    [[nodiscard]] std::uint32_t top_var(Ref f, Ref g, Ref h) const;
+
+    std::size_t nvars_;
+    std::vector<Node> nodes_;
+    std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+    std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+};
+
+} // namespace si::bdd

@@ -1,0 +1,178 @@
+#include "si/bdd/bdd.hpp"
+
+#include <cmath>
+
+#include "si/util/error.hpp"
+
+namespace si::bdd {
+
+namespace {
+// Terminal marker: larger than any real variable so terminals sort last.
+constexpr std::uint32_t kTermVar = UINT32_MAX;
+} // namespace
+
+Manager::Manager(std::size_t num_vars) : nvars_(num_vars) {
+    nodes_.push_back(Node{kTermVar, kFalse, kFalse}); // 0
+    nodes_.push_back(Node{kTermVar, kTrue, kTrue});   // 1
+}
+
+Ref Manager::make(std::uint32_t var, Ref lo, Ref hi) {
+    if (lo == hi) return lo; // reduction rule
+    const NodeKey key{var, lo, hi};
+    const auto it = unique_.find(key);
+    if (it != unique_.end()) return it->second;
+    const Ref ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+Ref Manager::var(std::size_t v) {
+    require(v < nvars_, "BDD variable out of range");
+    return make(static_cast<std::uint32_t>(v), kFalse, kTrue);
+}
+
+Ref Manager::nvar(std::size_t v) {
+    require(v < nvars_, "BDD variable out of range");
+    return make(static_cast<std::uint32_t>(v), kTrue, kFalse);
+}
+
+std::uint32_t Manager::top_var(Ref f, Ref g, Ref h) const {
+    std::uint32_t v = nodes_[f].var;
+    v = std::min(v, nodes_[g].var);
+    v = std::min(v, nodes_[h].var);
+    return v;
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+    // Terminal cases.
+    if (f == kTrue) return g;
+    if (f == kFalse) return h;
+    if (g == h) return g;
+    if (g == kTrue && h == kFalse) return f;
+
+    const IteKey key{f, g, h};
+    if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+    const std::uint32_t v = top_var(f, g, h);
+    auto cof = [&](Ref x, bool hi) {
+        if (nodes_[x].var != v) return x;
+        return hi ? nodes_[x].hi : nodes_[x].lo;
+    };
+    const Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+    const Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
+    const Ref out = make(v, lo, hi);
+    ite_cache_.emplace(key, out);
+    return out;
+}
+
+Ref Manager::restrict_var(Ref f, std::size_t v, bool value) {
+    std::unordered_map<Ref, Ref> memo;
+    auto walk = [&](auto&& self, Ref x) -> Ref {
+        if (x <= kTrue) return x;
+        const Node n = nodes_[x];
+        if (n.var > v) return x; // v does not occur below
+        if (n.var == v) return value ? n.hi : n.lo;
+        if (const auto it = memo.find(x); it != memo.end()) return it->second;
+        const Ref lo = self(self, n.lo);
+        const Ref hi = self(self, n.hi);
+        const Ref out = make(n.var, lo, hi);
+        memo.emplace(x, out);
+        return out;
+    };
+    return walk(walk, f);
+}
+
+Ref Manager::exists(Ref f, const BitVec& vars) {
+    require(vars.size() == nvars_, "quantifier mask width mismatch");
+    std::unordered_map<Ref, Ref> memo;
+    auto walk = [&](auto&& self, Ref x) -> Ref {
+        if (x <= kTrue) return x;
+        if (const auto it = memo.find(x); it != memo.end()) return it->second;
+        const Node n = nodes_[x];
+        const Ref lo = self(self, n.lo);
+        const Ref hi = self(self, n.hi);
+        const Ref out = vars.test(n.var) ? apply_or(lo, hi) : make(n.var, lo, hi);
+        memo.emplace(x, out);
+        return out;
+    };
+    return walk(walk, f);
+}
+
+Ref Manager::rename(Ref f, const std::vector<std::size_t>& map) {
+    require(map.size() == nvars_, "rename map width mismatch");
+    std::unordered_map<Ref, Ref> memo;
+    auto walk = [&](auto&& self, Ref x) -> Ref {
+        if (x <= kTrue) return x;
+        if (const auto it = memo.find(x); it != memo.end()) return it->second;
+        const Node n = nodes_[x];
+        const Ref lo = self(self, n.lo);
+        const Ref hi = self(self, n.hi);
+        // The map is monotone on the support, so rebuilding bottom-up
+        // with make() keeps the order invariant.
+        const Ref out = make(static_cast<std::uint32_t>(map[n.var]), lo, hi);
+        memo.emplace(x, out);
+        return out;
+    };
+    return walk(walk, f);
+}
+
+bool Manager::eval(Ref f, const BitVec& assignment) const {
+    require(assignment.size() == nvars_, "assignment width mismatch");
+    while (f > kTrue) {
+        const Node& n = nodes_[f];
+        f = assignment.test(n.var) ? n.hi : n.lo;
+    }
+    return f == kTrue;
+}
+
+double Manager::sat_count(Ref f) {
+    // count(f) over the remaining variables below f's top var, then
+    // scaled to all variables.
+    std::unordered_map<Ref, double> memo;
+    // fractional density: fraction of assignments satisfying f.
+    auto density = [&](auto&& self, Ref x) -> double {
+        if (x == kFalse) return 0.0;
+        if (x == kTrue) return 1.0;
+        if (const auto it = memo.find(x); it != memo.end()) return it->second;
+        const Node& n = nodes_[x];
+        const double d = 0.5 * self(self, n.lo) + 0.5 * self(self, n.hi);
+        memo.emplace(x, d);
+        return d;
+    };
+    return density(density, f) * std::pow(2.0, static_cast<double>(nvars_));
+}
+
+BitVec Manager::any_sat(Ref f) const {
+    require(f != kFalse, "any_sat on the empty set");
+    BitVec out(nvars_);
+    while (f > kTrue) {
+        const Node& n = nodes_[f];
+        if (n.lo != kFalse) {
+            f = n.lo;
+        } else {
+            out.set(n.var);
+            f = n.hi;
+        }
+    }
+    return out;
+}
+
+std::size_t Manager::size(Ref f) const {
+    std::vector<Ref> stack{f};
+    std::unordered_map<Ref, bool> seen;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        const Ref x = stack.back();
+        stack.pop_back();
+        if (!seen.emplace(x, true).second) continue;
+        ++count;
+        if (x > kTrue) {
+            stack.push_back(nodes_[x].lo);
+            stack.push_back(nodes_[x].hi);
+        }
+    }
+    return count;
+}
+
+} // namespace si::bdd

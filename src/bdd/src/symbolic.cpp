@@ -1,0 +1,250 @@
+#include "si/bdd/symbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "si/sg/from_stg.hpp"
+#include "si/util/error.hpp"
+
+namespace si::bdd {
+
+namespace {
+
+// Variable layout: place p -> current variable 2p, next variable 2p+1.
+// Interleaving keeps both rename directions order-monotone.
+std::size_t cur(std::size_t p) { return 2 * p; }
+std::size_t nxt(std::size_t p) { return 2 * p + 1; }
+
+} // namespace
+
+SymbolicReachability symbolic_reachability(const stg::Stg& net) {
+    net.validate();
+    const std::size_t P = net.num_places();
+    Manager mgr(2 * P);
+
+    // Per-transition relation over (current, next).
+    std::vector<Ref> relations;
+    Ref unsafe_enabled = Manager::kFalse; // enabled with an already-marked post place
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        BitVec in_pre(P), in_post(P);
+        for (const PlaceId p : t.preset) in_pre.set(p.index());
+        for (const PlaceId p : t.postset) in_post.set(p.index());
+
+        Ref enabled = Manager::kTrue;
+        in_pre.for_each_set([&](std::size_t p) {
+            enabled = mgr.apply_and(enabled, mgr.var(cur(p)));
+        });
+
+        Ref unsafe = Manager::kFalse;
+        in_post.for_each_set([&](std::size_t p) {
+            if (!in_pre.test(p)) unsafe = mgr.apply_or(unsafe, mgr.var(cur(p)));
+        });
+        unsafe_enabled = mgr.apply_or(unsafe_enabled, mgr.apply_and(enabled, unsafe));
+
+        Ref rel = enabled;
+        for (std::size_t p = 0; p < P; ++p) {
+            Ref next_val;
+            if (in_post.test(p)) {
+                next_val = mgr.var(nxt(p));
+            } else if (in_pre.test(p)) {
+                next_val = mgr.nvar(nxt(p));
+            } else {
+                next_val = mgr.apply_xor(mgr.var(cur(p)), mgr.nvar(nxt(p))); // x' == x
+            }
+            rel = mgr.apply_and(rel, next_val);
+        }
+        relations.push_back(rel);
+    }
+
+    // Initial marking as a minterm over current variables.
+    Ref reached = Manager::kTrue;
+    for (std::size_t p = 0; p < P; ++p) {
+        const bool marked = net.initial_marking()[p] != 0;
+        if (net.initial_marking()[p] > 1)
+            throw SpecError("symbolic reachability requires a safe initial marking");
+        reached = mgr.apply_and(reached, marked ? mgr.var(cur(p)) : mgr.nvar(cur(p)));
+    }
+
+    // Masks and rename maps.
+    BitVec current_mask(2 * P);
+    for (std::size_t p = 0; p < P; ++p) current_mask.set(cur(p));
+    std::vector<std::size_t> next_to_cur(2 * P);
+    for (std::size_t p = 0; p < P; ++p) {
+        next_to_cur[cur(p)] = cur(p); // unused in renamed support
+        next_to_cur[nxt(p)] = cur(p);
+    }
+
+    SymbolicReachability result;
+    Ref frontier = reached;
+    while (frontier != Manager::kFalse) {
+        ++result.iterations;
+        Ref image = Manager::kFalse;
+        for (const Ref rel : relations) {
+            const Ref step = mgr.exists(mgr.apply_and(frontier, rel), current_mask);
+            image = mgr.apply_or(image, mgr.rename(step, next_to_cur));
+        }
+        const Ref fresh = mgr.apply_and(image, mgr.apply_not(reached));
+        reached = mgr.apply_or(reached, fresh);
+        frontier = fresh;
+    }
+
+    if (mgr.apply_and(reached, unsafe_enabled) != Manager::kFalse) result.safe = false;
+    // `reached` depends only on current variables; divide the count over
+    // all 2P variables by 2^P (the free next variables).
+    result.reachable_markings = mgr.sat_count(reached) / std::pow(2.0, static_cast<double>(P));
+    result.total_nodes = mgr.num_nodes();
+    result.set_nodes = mgr.size(reached);
+    return result;
+}
+
+SymbolicCsc symbolic_csc(const stg::Stg& net) {
+    net.validate();
+    const std::size_t P = net.num_places();
+    const std::size_t S = net.signals().size();
+    const std::size_t N = P + S; // state variables: places and signal values
+    Manager mgr(2 * N);
+
+    // Static variable order: cluster each signal's value variable with
+    // the places its transitions touch (a signal correlated only with
+    // far-away places makes the reachable-set BDD blow up). Narrow
+    // signals claim their clusters first; hub signals touching many
+    // places (forks/joins) come last, so per-branch locality survives.
+    std::vector<std::size_t> pos(N, SIZE_MAX);
+    {
+        std::vector<std::vector<std::size_t>> adjacent(S);
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const auto& t = net.transition(TransitionId(ti));
+            auto& adj = adjacent[t.edge.signal.index()];
+            for (const PlaceId p : t.preset) adj.push_back(p.index());
+            for (const PlaceId p : t.postset) adj.push_back(p.index());
+        }
+        std::vector<std::size_t> order(S);
+        for (std::size_t i = 0; i < S; ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return adjacent[a].size() != adjacent[b].size()
+                       ? adjacent[a].size() < adjacent[b].size()
+                       : a < b;
+        });
+        std::size_t next_slot = 0;
+        for (const std::size_t sigi : order) {
+            for (const std::size_t p : adjacent[sigi])
+                if (pos[p] == SIZE_MAX) pos[p] = next_slot++;
+            pos[P + sigi] = next_slot++;
+        }
+        for (std::size_t i = 0; i < N; ++i)
+            if (pos[i] == SIZE_MAX) pos[i] = next_slot++;
+    }
+    auto curv = [&](std::size_t i) { return 2 * pos[i]; };
+    auto nxtv = [&](std::size_t i) { return 2 * pos[i] + 1; };
+
+    // Per-transition relation over (marking, code).
+    std::vector<Ref> relations;
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        BitVec in_pre(P), in_post(P);
+        for (const PlaceId p : t.preset) in_pre.set(p.index());
+        for (const PlaceId p : t.postset) in_post.set(p.index());
+        const std::size_t sig = P + t.edge.signal.index();
+
+        Ref rel = Manager::kTrue;
+        in_pre.for_each_set([&](std::size_t p) { rel = mgr.apply_and(rel, mgr.var(curv(p))); });
+        // Consistency: the signal holds the pre-transition value.
+        rel = mgr.apply_and(rel, t.edge.rising ? mgr.nvar(curv(sig)) : mgr.var(curv(sig)));
+        for (std::size_t p = 0; p < P; ++p) {
+            Ref next_val;
+            if (in_post.test(p)) next_val = mgr.var(nxtv(p));
+            else if (in_pre.test(p)) next_val = mgr.nvar(nxtv(p));
+            else next_val = mgr.apply_xor(mgr.var(curv(p)), mgr.nvar(nxtv(p)));
+            rel = mgr.apply_and(rel, next_val);
+        }
+        for (std::size_t i = P; i < N; ++i) {
+            Ref next_val;
+            if (i == sig) next_val = t.edge.rising ? mgr.var(nxtv(i)) : mgr.nvar(nxtv(i));
+            else next_val = mgr.apply_xor(mgr.var(curv(i)), mgr.nvar(nxtv(i)));
+            rel = mgr.apply_and(rel, next_val);
+        }
+        relations.push_back(rel);
+    }
+
+    // Initial state: marking + inferred code.
+    const BitVec init_code = sg::infer_initial_code(net);
+    Ref reached = Manager::kTrue;
+    for (std::size_t p = 0; p < P; ++p) {
+        if (net.initial_marking()[p] > 1)
+            throw SpecError("symbolic CSC requires a safe initial marking");
+        reached = mgr.apply_and(reached, net.initial_marking()[p] != 0 ? mgr.var(curv(p))
+                                                                       : mgr.nvar(curv(p)));
+    }
+    for (std::size_t i = 0; i < S; ++i)
+        reached = mgr.apply_and(
+            reached, init_code.test(i) ? mgr.var(curv(P + i)) : mgr.nvar(curv(P + i)));
+
+    BitVec current_mask(2 * N);
+    for (std::size_t i = 0; i < N; ++i) current_mask.set(curv(i));
+    std::vector<std::size_t> next_to_cur(2 * N);
+    for (std::size_t i = 0; i < N; ++i) {
+        next_to_cur[curv(i)] = curv(i);
+        next_to_cur[nxtv(i)] = curv(i);
+    }
+    std::vector<std::size_t> cur_to_next(2 * N);
+    for (std::size_t i = 0; i < N; ++i) {
+        cur_to_next[curv(i)] = nxtv(i);
+        cur_to_next[nxtv(i)] = nxtv(i);
+    }
+
+    Ref frontier = reached;
+    while (frontier != Manager::kFalse) {
+        Ref image = Manager::kFalse;
+        for (const Ref rel : relations) {
+            const Ref step = mgr.exists(mgr.apply_and(frontier, rel), current_mask);
+            image = mgr.apply_or(image, mgr.rename(step, next_to_cur));
+        }
+        const Ref fresh = mgr.apply_and(image, mgr.apply_not(reached));
+        reached = mgr.apply_or(reached, fresh);
+        frontier = fresh;
+    }
+
+    SymbolicCsc result;
+    result.reachable_states = mgr.sat_count(reached) / std::pow(2.0, static_cast<double>(N));
+
+    // Pair the state space with a renamed copy sharing the same code.
+    const Ref reached_copy = mgr.rename(reached, cur_to_next);
+    Ref same_code = Manager::kTrue;
+    for (std::size_t i = 0; i < S; ++i)
+        same_code = mgr.apply_and(
+            same_code,
+            mgr.apply_not(mgr.apply_xor(mgr.var(curv(P + i)), mgr.var(nxtv(P + i)))));
+    const Ref paired = mgr.apply_and(mgr.apply_and(reached, reached_copy), same_code);
+
+    // USC: some paired states differ in marking.
+    Ref marking_differs = Manager::kFalse;
+    for (std::size_t p = 0; p < P; ++p)
+        marking_differs = mgr.apply_or(
+            marking_differs, mgr.apply_xor(mgr.var(curv(p)), mgr.var(nxtv(p))));
+    result.usc = mgr.apply_and(paired, marking_differs) == Manager::kFalse;
+
+    // CSC: excitation of some non-input signal differs on a shared code.
+    for (std::size_t si_ = 0; si_ < S; ++si_) {
+        if (!is_non_input(net.signals()[SignalId(si_)].kind)) continue;
+        Ref excited = Manager::kFalse;
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const auto& t = net.transition(TransitionId(ti));
+            if (t.edge.signal.index() != si_) continue;
+            Ref en = Manager::kTrue;
+            for (const PlaceId p : t.preset) en = mgr.apply_and(en, mgr.var(curv(p.index())));
+            excited = mgr.apply_or(excited, en);
+        }
+        const Ref excited_copy = mgr.rename(excited, cur_to_next);
+        const Ref mismatch =
+            mgr.apply_and(paired, mgr.apply_xor(excited, excited_copy));
+        if (mismatch != Manager::kFalse) {
+            result.csc = false;
+            result.conflict_signal = net.signals()[SignalId(si_)].name;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace si::bdd

@@ -1,0 +1,26 @@
+// A gallery of classic asynchronous control components, specified as
+// STGs: the standard cells of handshake-circuit folklore. Used as
+// additional end-to-end workloads beyond Table 1 and as documentation of
+// what the specs of such cells look like in this library's .g dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/stg/stg.hpp"
+
+namespace si::bench {
+
+struct Component {
+    std::string name;
+    std::string description;
+    std::string g_text;
+    bool needs_state_signals; ///< expected: insertion required?
+};
+
+/// toggle, call, join (C-element spec) and merge.
+[[nodiscard]] const std::vector<Component>& component_suite();
+
+[[nodiscard]] stg::Stg load(const Component& c);
+
+} // namespace si::bench

@@ -1,0 +1,29 @@
+// The three state graphs of the paper, transcribed state-for-state from
+// the figures (the state codes and excitation asterisks in the paper
+// determine the graphs completely).
+#pragma once
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::bench {
+
+/// Figure 1: inputs a, b; outputs c, d; 14 states. The initial state
+/// 0*0*00 is an input conflict (environment choice); the graph is output
+/// distributive, but ER(+d,1)'s trigger +a is non-persistent, so no
+/// single cube covers it — the paper's Example 1.
+[[nodiscard]] sg::StateGraph figure1();
+
+/// Figure 3: Figure 1 after MC-reduction, with the inserted internal
+/// signal x; 17 states over a, b, c, d, x. Satisfies the (generalized)
+/// MC requirement — both ERs of +d are covered by the shared cube x',
+/// giving the paper's d = x' wire.
+[[nodiscard]] sg::StateGraph figure3();
+
+/// Figure 4: inputs a, c, d; output b; 15 states (two pairs share
+/// binary codes, which is why this graph is built programmatically).
+/// Persistent, yet cube a for ER(+b,1) also covers state 10*01 inside
+/// ER(+b,2) — outside CFR(+b,1) — so the naive implementation
+/// t = c'd, b = a + t is hazardous: the paper's Example 2.
+[[nodiscard]] sg::StateGraph figure4();
+
+} // namespace si::bench

@@ -1,0 +1,36 @@
+// Parametric specification generators: scalable families of well-formed
+// control circuits used by the property tests and the performance
+// benchmarks. All return valid .g nets (validated, consistent, live).
+#pragma once
+
+#include "si/stg/stg.hpp"
+
+namespace si::bench {
+
+/// A linear acknowledgement pipeline: r+ ripples through `stages`
+/// sequential output stages and back. 2(stages+1) reachable states.
+[[nodiscard]] stg::Stg make_pipeline(int stages);
+
+/// A fork-join: r+ forks `width` concurrent output handshakes that all
+/// re-join before r-. 2^width + ... reachable states — the concurrency
+/// stress test for reachability and region analysis.
+[[nodiscard]] stg::Stg make_fork_join(int width);
+
+/// A round-robin sequencer: one input handshake is answered by `ways`
+/// output handshakes in turn within one cycle. Exercises multi-instance
+/// transitions; CSC holds (every phase changes a distinct output).
+[[nodiscard]] stg::Stg make_sequencer(int ways);
+
+/// A token ring of `stations` coupled two-phase stages, each station an
+/// output reacting to its predecessor; station 0 is driven by the input.
+/// Deeply sequential with long cycles.
+[[nodiscard]] stg::Stg make_ring(int stations);
+
+/// A random request/acknowledge tree: every node forks its request to
+/// its children, gathers their acknowledges into its own, and mirrors
+/// the protocol on the falling phase. The root request is the input.
+/// Deterministic in `seed`; rich nested concurrency with safe, live
+/// marked-graph structure.
+[[nodiscard]] stg::Stg make_tree(unsigned seed, int max_depth);
+
+} // namespace si::bench

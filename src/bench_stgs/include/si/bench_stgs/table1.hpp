@@ -1,0 +1,32 @@
+// The nine Table-1 benchmarks.
+//
+// The original .tim/.g files of the 1994 suite are not shipped here;
+// each entry is a reconstruction with the same name and the same
+// input/output signal counts as Table 1, engineered to sit in the same
+// difficulty class (mp-forward-pkt synthesizes without insertion; the
+// others contain CSC-style conflicts or non-persistent triggers that
+// force state-signal insertion). See DESIGN.md "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/stg/stg.hpp"
+
+namespace si::bench {
+
+struct Table1Entry {
+    std::string name;
+    std::string g_text;   ///< the .g source
+    int paper_inputs;     ///< "in" column of Table 1
+    int paper_outputs;    ///< "out" column of Table 1
+    int paper_added;      ///< "added signals" column of Table 1
+};
+
+/// All nine benchmarks, in the paper's row order.
+[[nodiscard]] const std::vector<Table1Entry>& table1_suite();
+
+/// Parses an entry's .g text.
+[[nodiscard]] stg::Stg load(const Table1Entry& entry);
+
+} // namespace si::bench

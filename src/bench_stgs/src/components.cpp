@@ -1,0 +1,131 @@
+#include "si/bench_stgs/components.hpp"
+
+#include "si/stg/parse.hpp"
+
+namespace si::bench {
+
+const std::vector<Component>& component_suite() {
+    static const std::vector<Component> suite = {
+        Component{
+            "toggle",
+            "alternating element: successive pulses on a steer to t1, t2 in turn; "
+            "the two phases share codes, so state signals are required",
+            ".model toggle\n"
+            ".inputs a\n"
+            ".outputs t1 t2\n"
+            ".graph\n"
+            "a+ t1+\n"
+            "t1+ a-\n"
+            "a- t1-\n"
+            "t1- a+/2\n"
+            "a+/2 t2+\n"
+            "t2+ a-/2\n"
+            "a-/2 t2-\n"
+            "t2- a+\n"
+            ".marking { <t2-,a+> }\n"
+            ".end\n",
+            true},
+        Component{
+            "call",
+            "call element, shared-done variant: two mutually exclusive clients "
+            "(free input choice) share one procedure handshake (c/d). Remembering "
+            "which client to acknowledge needs state — the shared done wire makes "
+            "every reset cube re-rise across the opposite branch, so two state "
+            "signals (one per service branch) are inserted",
+            ".model call\n"
+            ".inputs r1 r2 d\n"
+            ".outputs a1 a2 c\n"
+            ".graph\n"
+            "p0 r1+ r2+\n"
+            "r1+ c+\n"
+            "c+ d+\n"
+            "d+ a1+\n"
+            "a1+ r1-\n"
+            "r1- c-\n"
+            "c- d-\n"
+            "d- a1-\n"
+            "a1- p0\n"
+            "r2+ c+/2\n"
+            "c+/2 d+/2\n"
+            "d+/2 a2+\n"
+            "a2+ r2-\n"
+            "r2- c-/2\n"
+            "c-/2 d-/2\n"
+            "d-/2 a2-\n"
+            "a2- p0\n"
+            ".marking { p0 }\n"
+            ".end\n",
+            true},
+        Component{
+            "call2",
+            "call element, split-done variant: the procedure acknowledges each "
+            "client on its own done wire, so the branch identity is visible in the "
+            "codes and no state signal is needed",
+            ".model call2\n"
+            ".inputs r1 r2 d1 d2\n"
+            ".outputs a1 a2 c\n"
+            ".graph\n"
+            "p0 r1+ r2+\n"
+            "r1+ c+\n"
+            "c+ d1+\n"
+            "d1+ a1+\n"
+            "a1+ r1-\n"
+            "r1- c-\n"
+            "c- d1-\n"
+            "d1- a1-\n"
+            "a1- p0\n"
+            "r2+ c+/2\n"
+            "c+/2 d2+\n"
+            "d2+ a2+\n"
+            "a2+ r2-\n"
+            "r2- c-/2\n"
+            "c-/2 d2-\n"
+            "d2- a2-\n"
+            "a2- p0\n"
+            ".marking { p0 }\n"
+            ".end\n",
+            false},
+        Component{
+            "join",
+            "join: the output rises after BOTH inputs rose and falls after both fell "
+            "— the specification of the Muller C-element itself",
+            ".model join\n"
+            ".inputs a b\n"
+            ".outputs c\n"
+            ".graph\n"
+            "a+ c+\n"
+            "b+ c+\n"
+            "c+ a- b-\n"
+            "a- c-\n"
+            "b- c-\n"
+            "c- a+ b+\n"
+            ".marking { <c-,a+> <c-,b+> }\n"
+            ".end\n",
+            false},
+        Component{
+            "merge",
+            "merge: the output follows whichever input the environment chose "
+            "(free choice), with label-split output transitions per branch",
+            ".model merge\n"
+            ".inputs a b\n"
+            ".outputs y\n"
+            ".graph\n"
+            "p0 a+ b+\n"
+            "a+ y+\n"
+            "y+ a-\n"
+            "a- y-\n"
+            "y- p0\n"
+            "b+ y+/2\n"
+            "y+/2 b-\n"
+            "b- y-/2\n"
+            "y-/2 p0\n"
+            ".marking { p0 }\n"
+            ".end\n",
+            false},
+    };
+    return suite;
+}
+
+stg::Stg load(const Component& c) { return stg::read_g(c.g_text); }
+
+} // namespace si::bench

@@ -1,0 +1,134 @@
+#include "si/bench_stgs/figures.hpp"
+
+#include "si/sg/read_sg.hpp"
+
+namespace si::bench {
+
+sg::StateGraph figure1() {
+    // Signal order a b c d; codes as printed in the paper's Figure 1.
+    static const char* text = R"(
+.model fig1
+.inputs a b
+.outputs c d
+.arcs
+0000 a+ 1000    # 0*0*00 -> 100*0*
+0000 b+ 0100    # 0*0*00 -> 010*0
+1000 c+ 1010    # 100*0* -> 1*010*
+1000 d+ 1001    # 100*0* -> 100*1
+0100 c+ 0110    # 010*0  -> 0*110
+1010 a- 0010    # 1*010* -> 0010*
+1010 d+ 1011    # 1*010* -> 1*0*11
+1001 c+ 1011    # 100*1  -> 1*0*11
+0110 a+ 1110    # 0*110  -> 1110*
+1011 a- 0011    # 1*0*11 -> 00*11
+1011 b+ 1111    # 1*0*11 -> 1*111
+1110 d+ 1111    # 1110*  -> 1*111
+1111 a- 0111    # 1*111  -> 011*1
+0111 c- 0101    # 011*1  -> 01*01
+0101 b- 0001    # 01*01  -> 0001*
+0010 d+ 0011    # 0010*  -> 00*11
+0011 b+ 0111    # 00*11  -> 011*1
+0001 d- 0000    # 0001*  -> 0*0*00
+.initial 0000
+.end
+)";
+    auto graph = sg::read_sg(text);
+    return graph;
+}
+
+sg::StateGraph figure3() {
+    // Signal order a b c d x; codes as printed in Figure 3. The initial
+    // state is 0*0*001 (x starts at 1; the d = x' wire starts at 0).
+    static const char* text = R"(
+.model fig3
+.inputs a b
+.outputs c d
+.internal x
+.arcs
+00001 a+ 10001   # 0*0*001 -> 10001*
+00001 b+ 01001   # 0*0*001 -> 010*01
+10001 x- 10000   # 10001*  -> 100*0*0
+01001 c+ 01101   # 010*01  -> 0*1101
+10000 c+ 10100   # 100*0*0 -> 1*010*0
+10000 d+ 10010   # 100*0*0 -> 100*10
+10100 a- 00100   # 1*010*0 -> 0010*0
+10100 d+ 10110   # 1*010*0 -> 1*0*110
+10010 c+ 10110   # 100*10  -> 1*0*110
+00100 d+ 00110   # 0010*0  -> 00*110
+10110 a- 00110   # 1*0*110 -> 00*110
+10110 b+ 11110   # 1*0*110 -> 1*1110
+00110 b+ 01110   # 00*110  -> 011*10
+11110 a- 01110   # 1*1110  -> 011*10
+01110 c- 01010   # 011*10  -> 01*010
+01010 b- 00010   # 01*010  -> 00010*
+00010 x+ 00011   # 00010*  -> 0001*1
+00011 d- 00001   # 0001*1  -> 0*0*001
+01101 a+ 11101   # 0*1101  -> 11101*
+11101 x- 11100   # 11101*  -> 1110*0
+11100 d+ 11110   # 1110*0  -> 1*1110
+.initial 00001
+.end
+)";
+    auto graph = sg::read_sg(text);
+    return graph;
+}
+
+sg::StateGraph figure4() {
+    // Signal order a b c d. Two pairs of states share binary codes
+    // (1100 appears as 110*0 and 1*100), so the graph is assembled
+    // explicitly instead of through the unique-code text reader.
+    sg::StateGraph graph;
+    graph.name = "fig4";
+    const SignalId a = graph.signals().add("a", SignalKind::Input);
+    const SignalId b = graph.signals().add("b", SignalKind::Output);
+    const SignalId c = graph.signals().add("c", SignalKind::Input);
+    const SignalId d = graph.signals().add("d", SignalKind::Input);
+
+    auto code = [&](unsigned av, unsigned bv, unsigned cv, unsigned dv) {
+        BitVec v(4);
+        if (av) v.set(a.index());
+        if (bv) v.set(b.index());
+        if (cv) v.set(c.index());
+        if (dv) v.set(d.index());
+        return v;
+    };
+    // States in the paper's figure (excitations in comments).
+    const StateId t1 = graph.add_state(code(0, 0, 0, 0));  // 0*000
+    const StateId t2 = graph.add_state(code(1, 0, 0, 0));  // 10*0*0
+    const StateId t3 = graph.add_state(code(1, 1, 0, 0));  // 110*0
+    const StateId t4 = graph.add_state(code(1, 0, 1, 0));  // 10*10*
+    const StateId t5 = graph.add_state(code(1, 1, 1, 0));  // 1110*
+    const StateId t6 = graph.add_state(code(1, 0, 1, 1));  // 10*11
+    const StateId t7 = graph.add_state(code(1, 1, 1, 1));  // 1*111
+    const StateId t8 = graph.add_state(code(0, 1, 1, 1));  // 01*11
+    const StateId t9 = graph.add_state(code(0, 0, 1, 1));  // 001*1
+    const StateId t10 = graph.add_state(code(0, 0, 0, 1)); // 0*0*01
+    const StateId t11 = graph.add_state(code(1, 0, 0, 1)); // 10*01
+    const StateId t12 = graph.add_state(code(0, 1, 0, 1)); // 0*101
+    const StateId t13 = graph.add_state(code(1, 1, 0, 1)); // 1101*
+    const StateId t14 = graph.add_state(code(1, 1, 0, 0)); // 1*100 (code clash with t3)
+    const StateId t15 = graph.add_state(code(0, 1, 0, 0)); // 01*00
+
+    graph.add_arc(t1, t2, a);   // a+
+    graph.add_arc(t2, t3, b);   // b+  (ER(+b,1))
+    graph.add_arc(t2, t4, c);   // c+
+    graph.add_arc(t3, t5, c);   // c+
+    graph.add_arc(t4, t5, b);   // b+
+    graph.add_arc(t4, t6, d);   // d+
+    graph.add_arc(t5, t7, d);   // d+
+    graph.add_arc(t6, t7, b);   // b+
+    graph.add_arc(t7, t8, a);   // a-
+    graph.add_arc(t8, t9, b);   // b-
+    graph.add_arc(t9, t10, c);  // c-
+    graph.add_arc(t10, t11, a); // a+  (inside ER(+b,2))
+    graph.add_arc(t10, t12, b); // b+  (ER(+b,2))
+    graph.add_arc(t11, t13, b); // b+
+    graph.add_arc(t12, t13, a); // a+
+    graph.add_arc(t13, t14, d); // d-
+    graph.add_arc(t14, t15, a); // a-
+    graph.add_arc(t15, t1, b);  // b-
+    graph.set_initial(t1);
+    return graph;
+}
+
+} // namespace si::bench

@@ -1,0 +1,140 @@
+#include "si/bench_stgs/generators.hpp"
+
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+
+namespace si::bench {
+
+namespace {
+
+std::string outputs_decl(const char* stem, int n) {
+    std::string s;
+    for (int i = 0; i < n; ++i) s += " " + std::string(stem) + std::to_string(i);
+    return s;
+}
+
+} // namespace
+
+stg::Stg make_pipeline(int stages) {
+    require(stages >= 1, "pipeline needs at least one stage");
+    std::string g = ".model pipe" + std::to_string(stages) + "\n.inputs r\n.outputs" +
+                    outputs_decl("s", stages) + "\n.graph\n";
+    std::string prev = "r+";
+    for (int i = 0; i < stages; ++i) {
+        g += prev + " s" + std::to_string(i) + "+\n";
+        prev = "s" + std::to_string(i) + "+";
+    }
+    g += prev + " r-\n";
+    prev = "r-";
+    for (int i = 0; i < stages; ++i) {
+        g += prev + " s" + std::to_string(i) + "-\n";
+        prev = "s" + std::to_string(i) + "-";
+    }
+    g += prev + " r+\n.marking { <" + prev + ",r+> }\n.end\n";
+    return stg::read_g(g);
+}
+
+stg::Stg make_fork_join(int width) {
+    require(width >= 1, "fork-join needs at least one branch");
+    std::string g = ".model fork" + std::to_string(width) + "\n.inputs r\n.outputs" +
+                    outputs_decl("y", width) + "\n.graph\n";
+    for (int i = 0; i < width; ++i) {
+        const std::string y = "y" + std::to_string(i);
+        g += "r+ " + y + "+\n" + y + "+ r-\n";
+        g += "r- " + y + "-\n" + y + "- r+\n";
+    }
+    g += ".marking {";
+    for (int i = 0; i < width; ++i) g += " <y" + std::to_string(i) + "-,r+>";
+    g += " }\n.end\n";
+    return stg::read_g(g);
+}
+
+stg::Stg make_sequencer(int ways) {
+    require(ways >= 2, "sequencer needs at least two ways");
+    // Every way answers one full input handshake; the code after each r+
+    // repeats while a *different* output is excited: ways-1 CSC conflicts
+    // that the synthesis flow must separate with state signals.
+    std::string g = ".model seq" + std::to_string(ways) + "\n.inputs r\n.outputs" +
+                    outputs_decl("a", ways) + "\n.graph\n";
+    std::vector<std::string> seq;
+    for (int i = 0; i < ways; ++i) {
+        const std::string inst = i == 0 ? "" : "/" + std::to_string(i + 1);
+        seq.push_back("r+" + inst);
+        seq.push_back("a" + std::to_string(i) + "+");
+        seq.push_back("r-" + inst);
+        seq.push_back("a" + std::to_string(i) + "-");
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        g += seq[i] + " " + seq[(i + 1) % seq.size()] + "\n";
+    g += ".marking { <" + seq.back() + "," + seq.front() + "> }\n.end\n";
+    return stg::read_g(g);
+}
+
+stg::Stg make_ring(int stations) {
+    require(stations >= 1, "ring needs at least one station");
+    // Rising phase sequential, falling phase fully concurrent.
+    std::string g = ".model ring" + std::to_string(stations) + "\n.inputs r\n.outputs" +
+                    outputs_decl("t", stations) + "\n.graph\n";
+    std::string prev = "r+";
+    for (int i = 0; i < stations; ++i) {
+        g += prev + " t" + std::to_string(i) + "+\n";
+        prev = "t" + std::to_string(i) + "+";
+    }
+    g += prev + " r-\n";
+    for (int i = 0; i < stations; ++i) {
+        g += "r- t" + std::to_string(i) + "-\n";
+        g += "t" + std::to_string(i) + "- r+\n";
+    }
+    g += ".marking {";
+    for (int i = 0; i < stations; ++i) g += " <t" + std::to_string(i) + "-,r+>";
+    g += " }\n.end\n";
+    return stg::read_g(g);
+}
+
+stg::Stg make_tree(unsigned seed, int max_depth) {
+    require(max_depth >= 1, "tree needs depth >= 1");
+    // Deterministic splitmix-style stream.
+    auto next = [state = static_cast<std::uint64_t>(seed) * 2654435769u + 1]() mutable {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+
+    std::string graph_lines;
+    std::string outputs;
+    int counter = 0;
+
+    // Emits the subtree rooted at request `req` (already declared); the
+    // node acknowledges on its own signal and returns its name.
+    auto build = [&](auto&& self, const std::string& req, int depth) -> std::string {
+        const std::string ack = "a" + std::to_string(counter++);
+        outputs += " " + ack;
+        const int kids = depth > 1 ? 1 + static_cast<int>(next() % 3) : 0;
+        if (kids == 0) {
+            graph_lines += req + "+ " + ack + "+\n";
+            graph_lines += req + "- " + ack + "-\n";
+            return ack;
+        }
+        for (int k = 0; k < kids; ++k) {
+            const std::string child_req = "r" + std::to_string(counter++);
+            outputs += " " + child_req;
+            graph_lines += req + "+ " + child_req + "+\n";
+            graph_lines += req + "- " + child_req + "-\n";
+            const std::string child_ack = self(self, child_req, depth - 1);
+            graph_lines += child_ack + "+ " + ack + "+\n";
+            graph_lines += child_ack + "- " + ack + "-\n";
+        }
+        return ack;
+    };
+
+    const std::string root_ack = build(build, "r", max_depth);
+    std::string g = ".model tree" + std::to_string(seed) + "\n.inputs r\n.outputs" + outputs +
+                    "\n.graph\n" + graph_lines;
+    g += root_ack + "+ r-\n" + root_ack + "- r+\n";
+    g += ".marking { <" + root_ack + "-,r+> }\n.end\n";
+    return stg::read_g(g);
+}
+
+} // namespace si::bench

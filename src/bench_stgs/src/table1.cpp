@@ -1,0 +1,123 @@
+#include "si/bench_stgs/table1.hpp"
+
+#include "si/stg/parse.hpp"
+#include "si/util/text.hpp"
+
+namespace si::bench {
+
+namespace {
+
+// Renders a purely sequential cycle of transitions as .g text: each
+// consecutive pair becomes an implicit-place arc, with the initial token
+// on the wrap-around place.
+std::string cycle_g(const std::string& name, const std::string& inputs,
+                    const std::string& outputs, const std::vector<std::string>& seq) {
+    std::string g = ".model " + name + "\n.inputs " + inputs + "\n.outputs " + outputs +
+                    "\n.graph\n";
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        g += seq[i] + " " + seq[(i + 1) % seq.size()] + "\n";
+    g += ".marking { <" + seq.back() + "," + seq.front() + "> }\n.end\n";
+    return g;
+}
+
+std::vector<Table1Entry> make_suite() {
+    std::vector<Table1Entry> suite;
+
+    // nak-pa: NAK protocol adapter — input handshake (rin/ain), output
+    // handshake (rout/aout), sequencing outputs q, s, t acknowledged by
+    // environment probes u, v. The rout+..aout- sub-handshake returns to
+    // the code of "after q+", exciting different outputs there (rout vs
+    // s): a CSC conflict.
+    suite.push_back(Table1Entry{
+        "nak-pa",
+        cycle_g("nak-pa", "rin aout u v", "ain rout q s t",
+                {"rin+", "q+", "rout+", "aout+", "rout-", "aout-", "s+", "u+", "t+", "v+",
+                 "ain+", "rin-", "q-", "s-", "u-", "t-", "v-", "ain-"}),
+        4, 5, 1});
+
+    // nowick: a burst-mode-style control; the code 10000 recurs three
+    // times with different excited outputs (y, then z, then y again), so
+    // the circuit cannot tell the phases apart without a state signal.
+    suite.push_back(Table1Entry{
+        "nowick",
+        cycle_g("nowick", "a b c", "y z",
+                {"a+", "y+", "b+", "y-", "b-", "z+", "c+", "z-", "c-", "y+/2", "a-",
+                 "y-/2"}),
+        3, 2, 1});
+
+    // duplicator: one handshake on (a,b) is duplicated into two
+    // handshakes on (c,d); after the first c/d handshake the code
+    // returns to "after a+", and the futures diverge at the next code
+    // repetition (c- vs b+ excited): CSC conflicts in both phases.
+    suite.push_back(Table1Entry{
+        "duplicator",
+        cycle_g("duplicator", "a d", "b c",
+                {"a+", "c+", "d+", "c-", "d-", "c+/2", "d+/2", "b+", "a-", "c-/2", "d-/2",
+                 "b-"}),
+        2, 2, 2});
+
+    // ganesh_8: three sequential phases (a/b handshake, c/d handshake,
+    // c/b handshake); the c+ states of phases 2 and 3 share a code but
+    // excite different outputs (d vs b).
+    suite.push_back(Table1Entry{
+        "ganesh_8",
+        cycle_g("ganesh_8", "a c", "b d",
+                {"a+", "b+", "a-", "b-", "c+", "d+", "c-", "d-", "c+/2", "b+/2", "c-/2",
+                 "b-/2"}),
+        2, 2, 2});
+
+    // berkel2: the b-handshake retracts (b+ c+ b- c-) before d answers;
+    // the code after a+ repeats with different excited outputs (b vs d).
+    suite.push_back(Table1Entry{
+        "berkel2",
+        cycle_g("berkel2", "a c", "b d", {"a+", "b+", "c+", "b-", "c-", "d+", "a-", "d-"}),
+        2, 2, 1});
+
+    // berkel3: a toggles twice with different answers (b then d), plus a
+    // third phase on c/b: two separate coding conflicts.
+    suite.push_back(Table1Entry{
+        "berkel3",
+        cycle_g("berkel3", "a c", "b d",
+                {"a+", "b+", "a-", "b-", "a+/2", "d+", "a-/2", "d-", "c+", "b+/2", "c-",
+                 "b-/2"}),
+        2, 2, 2});
+
+    // mp-forward-pkt: a straight pipeline acknowledgement chain; all
+    // codes are distinct and every trigger persistent, so it synthesizes
+    // with no inserted signals.
+    suite.push_back(Table1Entry{
+        "mp-forward-pkt",
+        cycle_g("mp-forward-pkt", "a b c", "w x y z",
+                {"a+", "w+", "b+", "x+", "y+", "c+", "z+", "a-", "w-", "b-", "x-", "y-",
+                 "c-", "z-"}),
+        3, 4, 0});
+
+    // luciano: the idle code 000 recurs mid-cycle with output c excited
+    // the second time: the circuit cannot tell the phases apart.
+    suite.push_back(Table1Entry{
+        "luciano",
+        cycle_g("luciano", "a", "b c", {"a+", "b+", "a-", "b-", "c+", "b+/2", "c-", "b-/2"}),
+        1, 2, 1});
+
+    // Delement: the classic D-element; after the output handshake
+    // retracts (r2+ a2+ r2- a2-) the code of "after r1+" recurs with a1
+    // instead of r2 excited.
+    suite.push_back(Table1Entry{
+        "Delement",
+        cycle_g("Delement", "r1 a2", "a1 r2",
+                {"r1+", "r2+", "a2+", "r2-", "a2-", "a1+", "r1-", "a1-"}),
+        2, 2, 1});
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Table1Entry>& table1_suite() {
+    static const std::vector<Table1Entry> suite = make_suite();
+    return suite;
+}
+
+stg::Stg load(const Table1Entry& entry) { return stg::read_g(entry.g_text); }
+
+} // namespace si::bench

@@ -1,0 +1,65 @@
+// Sums of cubes (two-level SOP covers).
+//
+// Excitation functions S(a)/R(a) of the paper's standard implementations
+// are covers: one cube per excitation region, OR-ed together. This class
+// provides the SOP algebra the synthesis and verification layers need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/boolean/cube.hpp"
+
+namespace si {
+
+class Cover {
+public:
+    Cover() = default;
+    explicit Cover(std::size_t nvars) : nvars_(nvars) {}
+    Cover(std::size_t nvars, std::vector<Cube> cubes);
+
+    [[nodiscard]] std::size_t num_vars() const { return nvars_; }
+    [[nodiscard]] std::size_t size() const { return cubes_.size(); }
+    [[nodiscard]] bool empty() const { return cubes_.empty(); }
+
+    [[nodiscard]] const std::vector<Cube>& cubes() const { return cubes_; }
+    [[nodiscard]] const Cube& cube(std::size_t i) const { return cubes_[i]; }
+
+    void add(Cube c);
+
+    /// Value of the SOP on a complete assignment.
+    [[nodiscard]] bool eval(const BitVec& code) const;
+
+    /// True if the cover contains every point of `c` (multi-cube
+    /// containment, decided by recursive Shannon expansion).
+    [[nodiscard]] bool covers_cube(const Cube& c) const;
+
+    /// True if the cover contains every point of `o`.
+    [[nodiscard]] bool covers(const Cover& o) const;
+
+    /// True if the SOP is the constant-1 function.
+    [[nodiscard]] bool is_tautology() const;
+
+    /// Cofactor of the whole cover by a literal.
+    [[nodiscard]] Cover cofactor(SignalId v, bool positive) const;
+
+    /// Complement as a cover (sharp of the universe against each cube).
+    [[nodiscard]] Cover complement() const;
+
+    /// Removes duplicate and single-cube-contained cubes.
+    void remove_contained();
+
+    /// Total number of literals across all cubes.
+    [[nodiscard]] std::size_t literal_count() const;
+
+    /// One cube per line, position-string form.
+    [[nodiscard]] std::string to_string() const;
+    /// Algebraic form, e.g. "a b' + c d". Empty cover renders as "0".
+    [[nodiscard]] std::string to_expr(const std::vector<std::string>& names) const;
+
+private:
+    std::size_t nvars_ = 0;
+    std::vector<Cube> cubes_;
+};
+
+} // namespace si

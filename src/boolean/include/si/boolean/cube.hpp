@@ -1,0 +1,105 @@
+// Ternary cubes over a fixed signal universe.
+//
+// A cube is a conjunction of literals: each variable is constrained to 0,
+// constrained to 1, or free ("-"). Cubes are the currency of the paper:
+// region functions are single cubes (Def 15), excitation functions are
+// sums of cubes, and the Monotonous Cover conditions are predicates on
+// how a cube's value evolves over state-graph traces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "si/util/bitvec.hpp"
+#include "si/util/ids.hpp"
+
+namespace si {
+
+/// Value a cube assigns to one variable.
+enum class Lit : unsigned char {
+    Zero, ///< complemented literal (variable must be 0)
+    One,  ///< positive literal (variable must be 1)
+    Dash, ///< variable unconstrained
+};
+
+class Cube {
+public:
+    Cube() = default;
+    /// The universal cube (all dashes) over n variables.
+    explicit Cube(std::size_t nvars);
+    /// Parses a position string like "1-0" (Zero='0', One='1', Dash='-').
+    static Cube from_string(std::string_view text);
+    /// The cube whose literals pin every variable to the given code
+    /// (a minterm).
+    static Cube minterm(const BitVec& code);
+
+    [[nodiscard]] std::size_t num_vars() const { return mask_.size(); }
+
+    [[nodiscard]] Lit lit(SignalId v) const;
+    void set_lit(SignalId v, Lit l);
+
+    /// Number of literals (non-dash positions).
+    [[nodiscard]] std::size_t literal_count() const { return mask_.count(); }
+    /// True if every position is a dash.
+    [[nodiscard]] bool is_universal() const { return mask_.none(); }
+
+    /// True if the cube evaluates to 1 on the given complete assignment.
+    [[nodiscard]] bool contains_minterm(const BitVec& code) const;
+
+    /// True if every minterm of `o` is a minterm of this cube
+    /// (single-cube containment: this ⊇ o).
+    [[nodiscard]] bool covers(const Cube& o) const;
+
+    /// Intersection (conjunction); nullopt when the cubes conflict in
+    /// some literal (empty intersection).
+    [[nodiscard]] std::optional<Cube> intersect(const Cube& o) const;
+
+    /// True if the cubes share at least one minterm.
+    [[nodiscard]] bool intersects(const Cube& o) const { return distance(o) == 0; }
+
+    /// Number of variables where the cubes carry opposite literals.
+    [[nodiscard]] std::size_t distance(const Cube& o) const;
+
+    /// Smallest cube containing both (componentwise join).
+    [[nodiscard]] Cube supercube(const Cube& o) const;
+
+    /// Consensus cube: defined only when distance is exactly 1; the
+    /// returned cube is the union's projection across the opposition.
+    [[nodiscard]] std::optional<Cube> consensus(const Cube& o) const;
+
+    /// this AND (v == positive ? v : !v) simplification: the cofactor of
+    /// the cube with respect to a literal. nullopt when the cube carries
+    /// the opposite literal (cofactor is empty).
+    [[nodiscard]] std::optional<Cube> cofactor(SignalId v, bool positive) const;
+
+    /// Cubes whose union is (this AND NOT o) — the sharp operation.
+    [[nodiscard]] std::vector<Cube> sharp(const Cube& o) const;
+
+    /// Drops the literal at v (sets it to dash).
+    [[nodiscard]] Cube without(SignalId v) const;
+
+    friend bool operator==(const Cube&, const Cube&) = default;
+
+    /// Position-string rendering, e.g. "1-0-".
+    [[nodiscard]] std::string to_string() const;
+    /// Algebraic rendering with the given variable names, complements as
+    /// name', e.g. "a b' d". The universal cube renders as "1".
+    [[nodiscard]] std::string to_expr(const std::vector<std::string>& names) const;
+
+    [[nodiscard]] std::size_t hash() const;
+
+private:
+    // mask_ bit set   => variable constrained; value_ then gives polarity.
+    // mask_ bit clear => dash (value_ bit kept 0 so equality works).
+    BitVec mask_;
+    BitVec value_;
+};
+
+} // namespace si
+
+template <>
+struct std::hash<si::Cube> {
+    std::size_t operator()(const si::Cube& c) const noexcept { return c.hash(); }
+};

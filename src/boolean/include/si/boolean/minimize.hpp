@@ -1,0 +1,38 @@
+// Two-level SOP minimization (espresso-style expand / irredundant).
+//
+// Used when deriving compact excitation functions and when sizing the
+// comparison logic of the Beerel-style baseline. The scale here is small
+// (tens of variables, tens of cubes), so the classic greedy loop is both
+// adequate and easy to validate exhaustively in tests.
+#pragma once
+
+#include "si/boolean/cover.hpp"
+
+namespace si {
+
+struct MinimizeOptions {
+    /// Maximum expand/reduce sweeps before settling.
+    int max_passes = 4;
+};
+
+/// Minimizes `onset` against the care space: the result covers every
+/// onset point, no offset point, and may absorb `dontcare` points.
+/// The offset is derived as the complement of onset ∪ dontcare.
+[[nodiscard]] Cover minimize(const Cover& onset, const Cover& dontcare,
+                             const MinimizeOptions& opts = {});
+
+/// Expands each cube of `cover` to a prime against the explicit offset
+/// (greedy literal dropping), then removes contained cubes.
+[[nodiscard]] Cover expand_against(const Cover& cover, const Cover& offset);
+
+/// Removes cubes whose points are covered by the rest of the cover
+/// together with the don't-care set.
+[[nodiscard]] Cover irredundant(const Cover& cover, const Cover& dontcare);
+
+/// Shrinks each cube to the smallest cube still covering the onset
+/// points only it covers (given the rest of the cover and the
+/// don't-cares) — the classic REDUCE step that lets the next EXPAND
+/// escape local minima.
+[[nodiscard]] Cover reduce(const Cover& cover, const Cover& onset, const Cover& dontcare);
+
+} // namespace si

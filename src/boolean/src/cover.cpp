@@ -1,0 +1,143 @@
+#include "si/boolean/cover.hpp"
+
+#include <algorithm>
+
+#include "si/util/error.hpp"
+
+namespace si {
+
+Cover::Cover(std::size_t nvars, std::vector<Cube> cubes) : nvars_(nvars), cubes_(std::move(cubes)) {
+    for (const auto& c : cubes_) require(c.num_vars() == nvars_, "cover cube width mismatch");
+}
+
+void Cover::add(Cube c) {
+    require(c.num_vars() == nvars_, "cover cube width mismatch");
+    cubes_.push_back(std::move(c));
+}
+
+bool Cover::eval(const BitVec& code) const {
+    for (const auto& c : cubes_)
+        if (c.contains_minterm(code)) return true;
+    return false;
+}
+
+namespace {
+
+// Shannon-expansion tautology check on a cube list.
+bool tautology_rec(const std::vector<Cube>& cubes, std::size_t nvars) {
+    // A cover containing the universal cube is a tautology.
+    for (const auto& c : cubes)
+        if (c.is_universal()) return true;
+    if (cubes.empty()) return false;
+
+    // Pick the most-constrained variable as the splitting variable.
+    std::vector<std::size_t> uses(nvars, 0);
+    for (const auto& c : cubes)
+        for (std::size_t v = 0; v < nvars; ++v)
+            if (c.lit(SignalId(v)) != Lit::Dash) ++uses[v];
+    const auto it = std::max_element(uses.begin(), uses.end());
+    if (*it == 0) return false; // only non-universal dashless case handled above
+    const SignalId v{static_cast<std::size_t>(it - uses.begin())};
+
+    for (const bool phase : {false, true}) {
+        std::vector<Cube> half;
+        half.reserve(cubes.size());
+        for (const auto& c : cubes)
+            if (auto cf = c.cofactor(v, phase)) half.push_back(std::move(*cf));
+        if (!tautology_rec(half, nvars)) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool Cover::covers_cube(const Cube& c) const {
+    require(c.num_vars() == nvars_, "cube width mismatch");
+    // F ⊇ c  iff  F cofactored by c is a tautology.
+    std::vector<Cube> cof;
+    cof.reserve(cubes_.size());
+    for (const auto& f : cubes_) {
+        std::optional<Cube> g = f;
+        for (std::size_t v = 0; v < nvars_ && g; ++v) {
+            const Lit l = c.lit(SignalId(v));
+            if (l != Lit::Dash) g = g->cofactor(SignalId(v), l == Lit::One);
+        }
+        if (g) cof.push_back(std::move(*g));
+    }
+    return tautology_rec(cof, nvars_);
+}
+
+bool Cover::covers(const Cover& o) const {
+    return std::all_of(o.cubes_.begin(), o.cubes_.end(),
+                       [this](const Cube& c) { return covers_cube(c); });
+}
+
+bool Cover::is_tautology() const { return tautology_rec(cubes_, nvars_); }
+
+Cover Cover::cofactor(SignalId v, bool positive) const {
+    Cover out(nvars_);
+    for (const auto& c : cubes_)
+        if (auto cf = c.cofactor(v, positive)) out.add(std::move(*cf));
+    return out;
+}
+
+Cover Cover::complement() const {
+    // Iterated sharp: start from the universe, subtract each cube.
+    std::vector<Cube> acc{Cube(nvars_)};
+    for (const auto& c : cubes_) {
+        std::vector<Cube> next;
+        for (const auto& a : acc) {
+            auto pieces = a.sharp(c);
+            next.insert(next.end(), pieces.begin(), pieces.end());
+        }
+        acc = std::move(next);
+        if (acc.empty()) break;
+    }
+    Cover out(nvars_, std::move(acc));
+    out.remove_contained();
+    return out;
+}
+
+void Cover::remove_contained() {
+    std::vector<Cube> kept;
+    for (std::size_t i = 0; i < cubes_.size(); ++i) {
+        bool redundant = false;
+        for (std::size_t j = 0; j < cubes_.size() && !redundant; ++j) {
+            if (i == j) continue;
+            if (cubes_[j].covers(cubes_[i])) {
+                // Break ties between equal cubes by index so exactly one
+                // survives.
+                redundant = cubes_[j] != cubes_[i] || j < i;
+            }
+        }
+        if (!redundant) kept.push_back(cubes_[i]);
+    }
+    cubes_ = std::move(kept);
+}
+
+std::size_t Cover::literal_count() const {
+    std::size_t n = 0;
+    for (const auto& c : cubes_) n += c.literal_count();
+    return n;
+}
+
+std::string Cover::to_string() const {
+    std::string s;
+    for (const auto& c : cubes_) {
+        s += c.to_string();
+        s += '\n';
+    }
+    return s;
+}
+
+std::string Cover::to_expr(const std::vector<std::string>& names) const {
+    if (cubes_.empty()) return "0";
+    std::string s;
+    for (std::size_t i = 0; i < cubes_.size(); ++i) {
+        if (i != 0) s += " + ";
+        s += cubes_[i].to_expr(names);
+    }
+    return s;
+}
+
+} // namespace si

@@ -1,0 +1,171 @@
+#include "si/boolean/cube.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si {
+
+Cube::Cube(std::size_t nvars) : mask_(nvars), value_(nvars) {}
+
+Cube Cube::from_string(std::string_view text) {
+    Cube c(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        switch (text[i]) {
+        case '0': c.set_lit(SignalId(i), Lit::Zero); break;
+        case '1': c.set_lit(SignalId(i), Lit::One); break;
+        case '-': break;
+        default: throw ParseError("bad cube character '" + std::string(1, text[i]) + "'");
+        }
+    }
+    return c;
+}
+
+Cube Cube::minterm(const BitVec& code) {
+    Cube c(code.size());
+    c.mask_.set_all();
+    c.value_ = code;
+    return c;
+}
+
+Lit Cube::lit(SignalId v) const {
+    if (!mask_.test(v.index())) return Lit::Dash;
+    return value_.test(v.index()) ? Lit::One : Lit::Zero;
+}
+
+void Cube::set_lit(SignalId v, Lit l) {
+    switch (l) {
+    case Lit::Dash:
+        mask_.reset(v.index());
+        value_.reset(v.index());
+        break;
+    case Lit::Zero:
+        mask_.set(v.index());
+        value_.reset(v.index());
+        break;
+    case Lit::One:
+        mask_.set(v.index());
+        value_.set(v.index());
+        break;
+    }
+}
+
+bool Cube::contains_minterm(const BitVec& code) const {
+    require(code.size() == num_vars(), "minterm width mismatch");
+    // Mismatch iff (code XOR value) has a bit inside mask.
+    BitVec diff = code;
+    diff ^= value_;
+    return !diff.intersects(mask_);
+}
+
+bool Cube::covers(const Cube& o) const {
+    require(num_vars() == o.num_vars(), "cube width mismatch");
+    // Every literal of this must appear in o with the same polarity.
+    if (!mask_.is_subset_of(o.mask_)) return false;
+    BitVec diff = value_;
+    diff ^= o.value_;
+    return !diff.intersects(mask_);
+}
+
+std::optional<Cube> Cube::intersect(const Cube& o) const {
+    if (distance(o) != 0) return std::nullopt;
+    Cube r(num_vars());
+    r.mask_ = mask_ | o.mask_;
+    r.value_ = value_ | o.value_;
+    return r;
+}
+
+std::size_t Cube::distance(const Cube& o) const {
+    require(num_vars() == o.num_vars(), "cube width mismatch");
+    BitVec diff = value_;
+    diff ^= o.value_;
+    diff &= mask_;
+    diff &= o.mask_;
+    return diff.count();
+}
+
+Cube Cube::supercube(const Cube& o) const {
+    require(num_vars() == o.num_vars(), "cube width mismatch");
+    Cube r(num_vars());
+    // Keep a literal only where both cubes constrain it identically.
+    BitVec agree = value_;
+    agree ^= o.value_;
+    // agree bit 0 => same polarity.
+    r.mask_ = mask_ & o.mask_;
+    r.mask_.and_not(agree);
+    r.value_ = value_;
+    r.value_ &= r.mask_;
+    return r;
+}
+
+std::optional<Cube> Cube::consensus(const Cube& o) const {
+    if (distance(o) != 1) return std::nullopt;
+    // Find the single opposition variable.
+    BitVec diff = value_;
+    diff ^= o.value_;
+    diff &= mask_;
+    diff &= o.mask_;
+    const std::size_t v = diff.find_first();
+    Cube a = without(SignalId(v));
+    Cube b = o.without(SignalId(v));
+    return a.intersect(b);
+}
+
+std::optional<Cube> Cube::cofactor(SignalId v, bool positive) const {
+    const Lit l = lit(v);
+    if (l != Lit::Dash && (l == Lit::One) != positive) return std::nullopt;
+    return without(v);
+}
+
+std::vector<Cube> Cube::sharp(const Cube& o) const {
+    require(num_vars() == o.num_vars(), "cube width mismatch");
+    if (o.covers(*this)) return {};
+    if (distance(o) != 0) return {*this};
+    // For each literal of o free in this, split off the opposite half.
+    std::vector<Cube> out;
+    Cube base = *this;
+    for (std::size_t i = 0; i < num_vars(); ++i) {
+        const SignalId v{i};
+        if (o.lit(v) == Lit::Dash || lit(v) != Lit::Dash) continue;
+        Cube piece = base;
+        piece.set_lit(v, o.lit(v) == Lit::One ? Lit::Zero : Lit::One);
+        out.push_back(std::move(piece));
+        base.set_lit(v, o.lit(v));
+    }
+    return out;
+}
+
+Cube Cube::without(SignalId v) const {
+    Cube r = *this;
+    r.set_lit(v, Lit::Dash);
+    return r;
+}
+
+std::string Cube::to_string() const {
+    std::string s(num_vars(), '-');
+    for (std::size_t i = 0; i < num_vars(); ++i) {
+        switch (lit(SignalId(i))) {
+        case Lit::Zero: s[i] = '0'; break;
+        case Lit::One: s[i] = '1'; break;
+        case Lit::Dash: break;
+        }
+    }
+    return s;
+}
+
+std::string Cube::to_expr(const std::vector<std::string>& names) const {
+    require(names.size() == num_vars(), "name table width mismatch");
+    std::string s;
+    for (std::size_t i = 0; i < num_vars(); ++i) {
+        const Lit l = lit(SignalId(i));
+        if (l == Lit::Dash) continue;
+        if (!s.empty()) s += ' ';
+        s += names[i];
+        if (l == Lit::Zero) s += '\'';
+    }
+    return s.empty() ? "1" : s;
+}
+
+std::size_t Cube::hash() const {
+    return mask_.hash() * 1000003u ^ value_.hash();
+}
+
+} // namespace si

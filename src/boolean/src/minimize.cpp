@@ -1,0 +1,106 @@
+#include "si/boolean/minimize.hpp"
+
+namespace si {
+
+Cover expand_against(const Cover& cover, const Cover& offset) {
+    Cover out(cover.num_vars());
+    for (const auto& c : cover.cubes()) {
+        Cube cur = c;
+        // Greedily drop literals while the enlarged cube stays disjoint
+        // from the offset. Dropping in ascending variable order keeps the
+        // result deterministic.
+        for (std::size_t v = 0; v < cover.num_vars(); ++v) {
+            if (cur.lit(SignalId(v)) == Lit::Dash) continue;
+            const Cube widened = cur.without(SignalId(v));
+            bool hits_offset = false;
+            for (const auto& r : offset.cubes()) {
+                if (widened.intersects(r)) {
+                    hits_offset = true;
+                    break;
+                }
+            }
+            if (!hits_offset) cur = widened;
+        }
+        out.add(std::move(cur));
+    }
+    out.remove_contained();
+    return out;
+}
+
+Cover irredundant(const Cover& cover, const Cover& dontcare) {
+    // Greedy: try to delete each cube (largest literal count first would
+    // bias to big AND gates; delete in reverse insertion order instead,
+    // which favours keeping the earlier, region-ordered cubes).
+    std::vector<Cube> kept = cover.cubes();
+    for (std::size_t i = kept.size(); i-- > 0;) {
+        Cover rest(cover.num_vars());
+        for (std::size_t j = 0; j < kept.size(); ++j)
+            if (j != i) rest.add(kept[j]);
+        for (const auto& d : dontcare.cubes()) rest.add(d);
+        if (rest.covers_cube(kept[i])) kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return Cover(cover.num_vars(), std::move(kept));
+}
+
+Cover reduce(const Cover& cover, const Cover& onset, const Cover& dontcare) {
+    // For each cube, find the onset points no other cube covers and
+    // shrink to their supercube; fully redundant cubes are dropped.
+    std::vector<Cube> out;
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+        // Essential part: onset ∧ cube ∧ ¬(rest of cover) ∧ ¬dontcare.
+        std::vector<Cube> essential;
+        for (const auto& on : onset.cubes()) {
+            if (auto isec = on.intersect(cover.cube(i))) {
+                std::vector<Cube> pieces{*isec};
+                auto subtract = [&pieces](const Cube& sub) {
+                    std::vector<Cube> next;
+                    for (const auto& piece : pieces) {
+                        auto diff = piece.sharp(sub);
+                        next.insert(next.end(), diff.begin(), diff.end());
+                    }
+                    pieces = std::move(next);
+                };
+                for (std::size_t j = 0; j < cover.size(); ++j)
+                    if (j != i) subtract(cover.cube(j));
+                for (const auto& d : dontcare.cubes()) subtract(d);
+                essential.insert(essential.end(), pieces.begin(), pieces.end());
+            }
+        }
+        if (essential.empty()) continue; // fully redundant: drop
+        Cube shrunk = essential.front();
+        for (std::size_t k = 1; k < essential.size(); ++k)
+            shrunk = shrunk.supercube(essential[k]);
+        out.push_back(std::move(shrunk));
+    }
+    return Cover(cover.num_vars(), std::move(out));
+}
+
+Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions& opts) {
+    Cover care(onset.num_vars());
+    for (const auto& c : onset.cubes()) care.add(c);
+    for (const auto& c : dontcare.cubes()) care.add(c);
+    const Cover offset = care.complement();
+
+    Cover cur = onset;
+    cur.remove_contained();
+    Cover best = cur;
+    std::size_t best_cost = SIZE_MAX;
+    for (int pass = 0; pass < opts.max_passes; ++pass) {
+        Cover expanded = expand_against(cur, offset);
+        Cover pruned = irredundant(expanded, dontcare);
+        const std::size_t cost = pruned.size() * 1000 + pruned.literal_count();
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = pruned;
+        } else if (pass > 0) {
+            break;
+        }
+        // REDUCE perturbs the local minimum so the next EXPAND can find
+        // different primes.
+        cur = reduce(pruned, onset, dontcare);
+        if (cur.empty()) cur = std::move(pruned);
+    }
+    return best;
+}
+
+} // namespace si

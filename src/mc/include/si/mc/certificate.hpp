@@ -1,0 +1,59 @@
+// Proof certificates for MC-based implementations.
+//
+// A synthesis run ends with one cube (or elementary sum) per excitation
+// region. Those cubes are the entire correctness argument: by Theorem 3,
+// if each is a (generalized) monotonous cover, the standard
+// implementation is semi-modular. A certificate records exactly that
+// data, so a consumer can re-validate a design without trusting — or
+// re-running — the searches: the checker recomputes the region
+// decomposition from the state graph and re-checks every Def 15-19
+// condition against the recorded cubes only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/mc/requirement.hpp"
+
+namespace si::mc {
+
+struct RegionClaim {
+    SignalId signal;
+    bool rising = true;
+    int instance = 1;
+    /// Exactly one of the two is used: a single (possibly shared) cube,
+    /// or an elementary sum of bare literals.
+    std::optional<Cube> cube;
+    std::vector<Cube> sum_literals;
+    /// Regions this cube is shared with under Def 19 (instances of the
+    /// same signal & polarity), identified by instance number.
+    std::vector<int> shared_instances;
+};
+
+struct Certificate {
+    std::string graph_name;
+    std::size_t num_states = 0;
+    std::size_t num_arcs = 0;
+    std::vector<RegionClaim> claims;
+
+    [[nodiscard]] std::string to_text(const SignalTable& signals) const;
+};
+
+/// Extracts the certificate from a satisfied MC report.
+[[nodiscard]] Certificate make_certificate(const sg::RegionAnalysis& ra, const McReport& report);
+
+struct CertificateCheck {
+    bool ok = false;
+    std::string reason;
+    explicit operator bool() const { return ok; }
+};
+
+/// Re-validates the certificate against the graph from scratch: region
+/// decomposition is recomputed, every excitation region of a non-input
+/// signal must be covered by exactly one claim, and each claim must pass
+/// the monotonous-cover conditions (per-region, generalized-shared, or
+/// elementary-sum as recorded).
+[[nodiscard]] CertificateCheck check_certificate(const sg::StateGraph& graph,
+                                                 const Certificate& cert);
+
+} // namespace si::mc

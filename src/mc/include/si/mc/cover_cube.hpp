@@ -1,0 +1,45 @@
+// Cover cubes for excitation regions (Defs 15-16, Lemma 3, Thm 1).
+//
+// A cover cube for ER(*a_i) may only use literals of signals *ordered*
+// with the region (constant across it), at the value they hold there.
+// The smallest-dimension such cube uses every ordered signal; correct
+// covering additionally forbids touching states where the excitation
+// function must be 0 (Def 13/16).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "si/boolean/cover.hpp"
+#include "si/boolean/cube.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::mc {
+
+/// Lemma 3: the smallest (most literals) cover cube — one literal per
+/// ordered signal, at its constant value over the ER. The region's own
+/// signal is concurrent with itself and thus never appears.
+[[nodiscard]] Cube smallest_cover_cube(const sg::RegionAnalysis& ra, RegionId r);
+
+/// Def 15: true if every literal of `c` is an ordered signal of `r` at
+/// its value within the region (then `c` automatically covers the ER).
+[[nodiscard]] bool is_cover_cube(const sg::RegionAnalysis& ra, RegionId r, const Cube& c);
+
+/// States (reachable) covered by `c`.
+[[nodiscard]] BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c);
+
+/// Def 16: states that make the cover incorrect — covered states where
+/// the excitation function of the region's signal must be 0: for +a,
+/// 1*-set(a) ∪ 0-set(a); for -a, 0*-set(a) ∪ 1-set(a). Empty means the
+/// cube covers the region correctly.
+[[nodiscard]] std::vector<StateId> incorrect_cover_states(const sg::RegionAnalysis& ra, RegionId r,
+                                                          const Cube& c);
+
+/// Def 13: checks a full SOP up- or down-excitation function for
+/// consistency — value 1 on every ER of that polarity, value 0 wherever
+/// the definition demands 0. Returns an offending state or nullopt.
+[[nodiscard]] std::optional<StateId> check_consistent_excitation(const sg::RegionAnalysis& ra,
+                                                                 SignalId a, bool up,
+                                                                 const Cover& f);
+
+} // namespace si::mc

@@ -1,0 +1,70 @@
+// The Monotonous Cover conditions (Def 17) and their generalization to
+// sets of excitation regions (Def 19).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "si/boolean/cover.hpp"
+#include "si/boolean/cube.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::mc {
+
+/// Why a cube fails to be a monotonous cover.
+enum class McFailure {
+    NotACoverCube,    ///< a literal is not an ordered signal at its ER value (Def 15)
+    UncoveredEr,      ///< condition 1: some ER state not covered
+    NonMonotonic,     ///< condition 2: cube value changes twice on a CFR trace
+    CoversOutsideCfr, ///< condition 3: covers a reachable state outside the CFR
+    IncorrectCover,   ///< Def 16: covers a state where the excitation function must be 0
+                      ///< (only reachable through the generalized check — the
+                      ///< single-region conditions subsume it)
+};
+
+struct McViolation {
+    McFailure kind;
+    RegionId region;
+    /// Witness states: uncovered ER states, the two flip points of a
+    /// non-monotonic trace, or the covered outside-CFR states.
+    std::vector<StateId> states;
+
+    [[nodiscard]] std::string describe(const sg::RegionAnalysis& ra) const;
+
+    /// describe() plus a firing sequence from the initial state to the
+    /// first witness state — the counterexample a designer replays.
+    [[nodiscard]] std::string describe_with_trace(const sg::RegionAnalysis& ra) const;
+};
+
+/// Checks all three conditions of Def 17 for cube `c` against region
+/// `r`. Empty result means `c` is a monotonous cover cube for ER(*a_i).
+[[nodiscard]] std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra,
+                                                              RegionId r, const Cube& c);
+
+/// Checks whether a *sum of single literals* implements ER(*a_i)
+/// directly at the OR gate (Section IV: the implementation form for
+/// detonant regions of semi-modular but non-distributive graphs, where
+/// Theorem 2 rules out any single monotonous cube). Conditions: the sum
+/// covers every ER state, covers nothing reachable outside the CFR,
+/// never rises inside the CFR, and covers no state where the excitation
+/// function must be 0 (Def 16). Empty result = the sum is admissible.
+[[nodiscard]] std::vector<McViolation> check_elementary_sum(const sg::RegionAnalysis& ra,
+                                                            RegionId r,
+                                                            const Cover& sum);
+
+/// Searches an admissible elementary sum for `r` built from its trigger
+/// literals (one literal per trigger signal, at its post-trigger value).
+/// nullopt when the trigger literals do not form an admissible sum.
+[[nodiscard]] std::optional<Cover> find_elementary_sum(const sg::RegionAnalysis& ra, RegionId r);
+
+/// Def 19: generalized MC of one cube for a *set* of excitation regions
+/// (AND-gate sharing). The cube must be a cover cube for every region,
+/// cover the union of their ERs, change at most once inside each CFR,
+/// and cover nothing outside the union of the CFRs.
+[[nodiscard]] std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
+                                                            std::span<const RegionId> regions,
+                                                            const Cube& c);
+
+} // namespace si::mc

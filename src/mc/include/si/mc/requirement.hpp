@@ -1,0 +1,83 @@
+// The Monotonous Cover requirement over a whole state graph (Def 18) and
+// the search for literal-minimal MC cubes per excitation region.
+//
+// The checker works in two phases. Phase 1 searches a private MC cube
+// per excitation region (Def 17). Phase 2, for signals where some region
+// failed, falls back to the generalized condition (Def 19): one cube
+// jointly covering several same-polarity regions of the signal. The
+// paper's own Figure 3 solution (Sd = x') is of this second kind — the
+// single cube covers both excitation regions of +d, which no per-region
+// cube can do.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "si/mc/monotonous.hpp"
+
+namespace si::mc {
+
+struct McCubeSearch {
+    /// Upper bound on cube candidates examined when repairing a
+    /// condition-2 failure by dropping literals.
+    std::size_t max_candidates = 4096;
+};
+
+/// MC status of one excitation region.
+struct RegionMc {
+    RegionId region;
+    /// A literal-minimal monotonous cover cube, when one exists.
+    std::optional<Cube> cube;
+    /// Regions sharing this cube under the generalized condition (empty
+    /// when the cube is private to this region).
+    std::vector<RegionId> shared_with;
+    /// Non-empty instead of `cube` when the region is implemented as an
+    /// elementary sum of bare literals straight into the OR gate
+    /// (Section IV, the non-distributive/OR-causality form).
+    std::vector<Cube> sum_literals;
+    /// Violations of the *smallest* cover cube when no MC cube exists
+    /// (these drive the repair engine).
+    std::vector<McViolation> violations;
+
+    [[nodiscard]] bool ok() const { return cube.has_value() || !sum_literals.empty(); }
+};
+
+/// Searches for a monotonous cover cube for `r`:
+///  - starts from the Lemma-3 smallest cover cube (all ordered literals);
+///  - a condition-3 failure there is final (sub-cubes cover even more);
+///  - a condition-2 failure triggers a breadth-first search over literal
+///    subsets (dropping a toggling literal can restore monotonicity);
+///  - any hit is then greedily reduced to a literal-minimal MC cube.
+[[nodiscard]] RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r,
+                                    const McCubeSearch& opts = {});
+
+/// Searches one cube that is a generalized monotonous cover (Def 19) for
+/// the whole region group, starting from the supercube of the groups'
+/// smallest cover cubes (the maximal shared cover cube). nullopt when
+/// none exists.
+[[nodiscard]] std::optional<Cube> find_group_mc_cube(const sg::RegionAnalysis& ra,
+                                                     std::span<const RegionId> group,
+                                                     const McCubeSearch& opts = {});
+
+/// Def 18 over all excitation regions of non-input signals, with the
+/// Def-19 group fallback.
+struct McReport {
+    std::vector<RegionMc> regions;
+    [[nodiscard]] bool satisfied() const {
+        for (const auto& r : regions)
+            if (!r.ok()) return false;
+        return true;
+    }
+    [[nodiscard]] std::size_t violation_count() const {
+        std::size_t n = 0;
+        for (const auto& r : regions) n += r.ok() ? 0 : 1;
+        return n;
+    }
+    [[nodiscard]] std::string describe(const sg::RegionAnalysis& ra) const;
+};
+
+[[nodiscard]] McReport check_requirement(const sg::RegionAnalysis& ra,
+                                         const McCubeSearch& opts = {});
+
+} // namespace si::mc

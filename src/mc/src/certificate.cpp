@@ -1,0 +1,115 @@
+#include "si/mc/certificate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "si/util/error.hpp"
+
+namespace si::mc {
+
+std::string Certificate::to_text(const SignalTable& signals) const {
+    std::string out = "certificate for '" + graph_name + "' (" + std::to_string(num_states) +
+                      " states, " + std::to_string(num_arcs) + " arcs)\n";
+    const auto names = signals.names();
+    for (const auto& claim : claims) {
+        out += "  ER(" + std::string(claim.rising ? "+" : "-") + signals[claim.signal].name +
+               "," + std::to_string(claim.instance) + "): ";
+        if (claim.cube) {
+            out += "cube " + claim.cube->to_expr(names);
+            if (!claim.shared_instances.empty()) {
+                out += " (shared with instances";
+                for (const int i : claim.shared_instances) out += " " + std::to_string(i);
+                out += ")";
+            }
+        } else {
+            out += "elementary sum";
+            for (const auto& lit : claim.sum_literals) out += " " + lit.to_expr(names);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+Certificate make_certificate(const sg::RegionAnalysis& ra, const McReport& report) {
+    require(report.satisfied(), "cannot certify an unsatisfied MC report");
+    Certificate cert;
+    cert.graph_name = ra.graph().name;
+    cert.num_states = ra.graph().num_states();
+    cert.num_arcs = ra.graph().num_arcs();
+    for (const auto& rmc : report.regions) {
+        const auto& region = ra.region(rmc.region);
+        RegionClaim claim;
+        claim.signal = region.signal;
+        claim.rising = region.rising;
+        claim.instance = region.instance;
+        claim.cube = rmc.cube;
+        claim.sum_literals = rmc.sum_literals;
+        for (const RegionId other : rmc.shared_with)
+            if (other != rmc.region) claim.shared_instances.push_back(ra.region(other).instance);
+        cert.claims.push_back(std::move(claim));
+    }
+    return cert;
+}
+
+CertificateCheck check_certificate(const sg::StateGraph& graph, const Certificate& cert) {
+    if (graph.num_states() != cert.num_states || graph.num_arcs() != cert.num_arcs)
+        return {false, "graph fingerprint mismatch (certificate is for a different graph)"};
+
+    const sg::RegionAnalysis ra(graph);
+    // Index claims by (signal, polarity, instance).
+    std::map<std::tuple<std::size_t, bool, int>, const RegionClaim*> by_key;
+    for (const auto& claim : cert.claims) {
+        const auto key = std::make_tuple(claim.signal.index(), claim.rising, claim.instance);
+        if (!by_key.emplace(key, &claim).second)
+            return {false, "duplicate claim for one excitation region"};
+    }
+
+    for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
+        const RegionId rid{ri};
+        const auto& region = ra.region(rid);
+        if (!is_non_input(graph.signals()[region.signal].kind)) continue;
+        const auto key =
+            std::make_tuple(region.signal.index(), region.rising, region.instance);
+        const auto it = by_key.find(key);
+        if (it == by_key.end())
+            return {false, "no claim covers " + region.label(graph)};
+        const RegionClaim& claim = *it->second;
+
+        if (claim.cube && !claim.shared_instances.empty()) {
+            // Generalized MC over the recorded sibling group.
+            std::vector<RegionId> group{rid};
+            for (const int inst : claim.shared_instances) {
+                bool found = false;
+                for (std::size_t rj = 0; rj < ra.regions().size(); ++rj) {
+                    const auto& other = ra.region(RegionId(rj));
+                    if (other.signal == region.signal && other.rising == region.rising &&
+                        other.instance == inst) {
+                        group.push_back(RegionId(rj));
+                        found = true;
+                    }
+                }
+                if (!found)
+                    return {false, "claim for " + region.label(graph) +
+                                       " names a missing sibling instance"};
+            }
+            if (const auto vio = check_generalized_mc(ra, group, *claim.cube); !vio.empty())
+                return {false, "shared cube fails for " + region.label(graph) + ": " +
+                                   vio.front().describe(ra)};
+        } else if (claim.cube) {
+            if (const auto vio = check_monotonous_cover(ra, rid, *claim.cube); !vio.empty())
+                return {false, "cube fails for " + region.label(graph) + ": " +
+                                   vio.front().describe(ra)};
+        } else if (!claim.sum_literals.empty()) {
+            Cover sum(graph.num_signals());
+            for (const auto& lit : claim.sum_literals) sum.add(lit);
+            if (const auto vio = check_elementary_sum(ra, rid, sum); !vio.empty())
+                return {false, "elementary sum fails for " + region.label(graph) + ": " +
+                                   vio.front().describe(ra)};
+        } else {
+            return {false, "claim for " + region.label(graph) + " carries no cube"};
+        }
+    }
+    return {true, {}};
+}
+
+} // namespace si::mc

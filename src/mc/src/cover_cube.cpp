@@ -1,0 +1,74 @@
+#include "si/mc/cover_cube.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si::mc {
+
+Cube smallest_cover_cube(const sg::RegionAnalysis& ra, RegionId r) {
+    const auto& sg = ra.graph();
+    const auto& region = ra.region(r);
+    Cube c(sg.num_signals());
+    // Any region state gives the constant values of ordered signals.
+    const std::size_t sample = region.states.find_first();
+    require(sample < sg.num_states(), "empty excitation region");
+    region.ordered_signals.for_each_set([&](std::size_t vi) {
+        c.set_lit(SignalId(vi),
+                  sg.value(StateId(sample), SignalId(vi)) ? Lit::One : Lit::Zero);
+    });
+    return c;
+}
+
+bool is_cover_cube(const sg::RegionAnalysis& ra, RegionId r, const Cube& c) {
+    // Every literal of c must be a literal of the smallest cover cube:
+    // an ordered signal at its constant value over the ER.
+    const Cube smallest = smallest_cover_cube(ra, r);
+    for (std::size_t v = 0; v < c.num_vars(); ++v) {
+        const Lit l = c.lit(SignalId(v));
+        if (l == Lit::Dash) continue;
+        if (smallest.lit(SignalId(v)) != l) return false;
+    }
+    return true;
+}
+
+BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c) {
+    const auto& sg = ra.graph();
+    BitVec out(sg.num_states());
+    ra.reachable().for_each_set([&](std::size_t si) {
+        if (c.contains_minterm(sg.state(StateId(si)).code)) out.set(si);
+    });
+    return out;
+}
+
+std::vector<StateId> incorrect_cover_states(const sg::RegionAnalysis& ra, RegionId r,
+                                            const Cube& c) {
+    const auto& region = ra.region(r);
+    const SignalId a = region.signal;
+    // Zones where the excitation function must be 0 (Def 13):
+    //   up   : 1*-set(a) ∪ 0-set(a)
+    //   down : 0*-set(a) ∪ 1-set(a)
+    BitVec forbidden = region.rising ? (ra.set_excited1(a) | ra.set_stable0(a))
+                                     : (ra.set_excited0(a) | ra.set_stable1(a));
+    BitVec bad = covered_states(ra, c);
+    bad &= forbidden;
+    std::vector<StateId> out;
+    bad.for_each_set([&](std::size_t si) { out.emplace_back(si); });
+    return out;
+}
+
+std::optional<StateId> check_consistent_excitation(const sg::RegionAnalysis& ra, SignalId a,
+                                                   bool up, const Cover& f) {
+    const auto& sg = ra.graph();
+    const BitVec& must_one = up ? ra.set_excited0(a) : ra.set_excited1(a);
+    const BitVec must_zero = up ? (ra.set_excited1(a) | ra.set_stable0(a))
+                                : (ra.set_excited0(a) | ra.set_stable1(a));
+    std::optional<StateId> bad;
+    must_one.for_each_set([&](std::size_t si) {
+        if (!bad && !f.eval(sg.state(StateId(si)).code)) bad = StateId(si);
+    });
+    must_zero.for_each_set([&](std::size_t si) {
+        if (!bad && f.eval(sg.state(StateId(si)).code)) bad = StateId(si);
+    });
+    return bad;
+}
+
+} // namespace si::mc

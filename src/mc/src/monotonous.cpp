@@ -1,0 +1,204 @@
+#include "si/mc/monotonous.hpp"
+
+#include <deque>
+
+#include "si/mc/cover_cube.hpp"
+#include "si/sg/dot.hpp"
+
+namespace si::mc {
+
+std::string McViolation::describe(const sg::RegionAnalysis& ra) const {
+    const auto& sg = ra.graph();
+    std::string out = ra.region(region).label(sg) + ": ";
+    switch (kind) {
+    case McFailure::NotACoverCube: out += "not a cover cube (literal on a concurrent signal)"; break;
+    case McFailure::UncoveredEr: out += "cube misses ER states"; break;
+    case McFailure::NonMonotonic: out += "cube changes twice on a CFR trace"; break;
+    case McFailure::CoversOutsideCfr: out += "cube covers reachable states outside the CFR"; break;
+    case McFailure::IncorrectCover: out += "cube covers states where the excitation function must be 0"; break;
+    }
+    if (!states.empty()) {
+        out += ":";
+        for (const auto s : states) out += " " + sg.state_label(s);
+    }
+    return out;
+}
+
+std::string McViolation::describe_with_trace(const sg::RegionAnalysis& ra) const {
+    std::string out = describe(ra);
+    if (!states.empty()) {
+        if (const auto path = sg::shortest_path(ra.graph(), ra.graph().initial(), states.front())) {
+            out += "\n    reached by:";
+            if (path->empty()) out += " (initial state)";
+            for (const auto& step : *path) out += " " + step;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+// Condition 2 of Def 17 restricted to one CFR: the cube may change at
+// most once along any trace through the CFR. Every trace enters through
+// the ER, where the cube is 1 (condition 1), so the single permitted
+// change is a fall inside the quiescent part — equivalently, no arc
+// *inside* the CFR may raise the cube from 0 to 1. (The rising edge of
+// the region function happens on the trigger arcs crossing into the ER
+// from outside the CFR.) The boundary case this stronger form settles is
+// a quiescent region shared between two excitation regions of the same
+// transition: a cube rising there is a gate pulse no latch acknowledges,
+// even though some in-CFR path sees only one change.
+template <class ValueFn>
+std::vector<StateId> find_rise_inside(const sg::StateGraph& sg, const BitVec& cfr,
+                                      const ValueFn& value) {
+    for (std::uint32_t ai = 0; ai < sg.num_arcs(); ++ai) {
+        const auto& a = sg.arc(ai);
+        if (!cfr.test(a.from.index()) || !cfr.test(a.to.index())) continue;
+        if (!value(a.from) && value(a.to)) return {a.from, a.to}; // rises inside the CFR
+    }
+    return {};
+}
+
+std::vector<StateId> find_double_change(const sg::RegionAnalysis& ra, const BitVec& cfr,
+                                        const Cube& c) {
+    const auto& sg = ra.graph();
+    return find_rise_inside(sg, cfr, [&](StateId s) {
+        return c.contains_minterm(sg.state(s).code);
+    });
+}
+
+} // namespace
+
+std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra, RegionId r,
+                                                const Cube& c) {
+    const auto& sg = ra.graph();
+    const auto& region = ra.region(r);
+    std::vector<McViolation> out;
+
+    if (!is_cover_cube(ra, r, c)) {
+        out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
+        return out;
+    }
+
+    // Condition 1: cover all ER states.
+    std::vector<StateId> missed;
+    region.states.for_each_set([&](std::size_t si) {
+        if (!c.contains_minterm(sg.state(StateId(si)).code)) missed.emplace_back(si);
+    });
+    if (!missed.empty())
+        out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+
+    // Condition 2: at most one change on any trace within the CFR.
+    if (auto flips = find_double_change(ra, region.cfr, c); !flips.empty())
+        out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
+
+    // Condition 3: no covered reachable state outside the CFR.
+    BitVec outside = covered_states(ra, c);
+    outside.and_not(region.cfr);
+    if (outside.any()) {
+        std::vector<StateId> bad;
+        outside.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
+        out.push_back(McViolation{McFailure::CoversOutsideCfr, r, std::move(bad)});
+    }
+    return out;
+}
+
+std::vector<McViolation> check_elementary_sum(const sg::RegionAnalysis& ra, RegionId r,
+                                              const Cover& sum) {
+    const auto& sg = ra.graph();
+    const auto& region = ra.region(r);
+    std::vector<McViolation> out;
+
+    // Only bare literals may feed the OR gate directly.
+    for (const auto& c : sum.cubes())
+        if (c.literal_count() != 1)
+            out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
+
+    std::vector<StateId> missed;
+    region.states.for_each_set([&](std::size_t si) {
+        if (!sum.eval(sg.state(StateId(si)).code)) missed.emplace_back(si);
+    });
+    if (!missed.empty()) out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+
+    if (auto flips = find_rise_inside(
+            sg, region.cfr, [&](StateId s) { return sum.eval(sg.state(s).code); });
+        !flips.empty())
+        out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
+
+    // Nothing covered outside the CFR, and correct covering (Def 16).
+    const BitVec forbidden = region.rising
+                                 ? (ra.set_excited1(region.signal) | ra.set_stable0(region.signal))
+                                 : (ra.set_excited0(region.signal) | ra.set_stable1(region.signal));
+    std::vector<StateId> outside, incorrect;
+    ra.reachable().for_each_set([&](std::size_t si) {
+        if (!sum.eval(sg.state(StateId(si)).code)) return;
+        if (!region.cfr.test(si)) outside.emplace_back(si);
+        if (forbidden.test(si)) incorrect.emplace_back(si);
+    });
+    if (!outside.empty())
+        out.push_back(McViolation{McFailure::CoversOutsideCfr, r, std::move(outside)});
+    if (!incorrect.empty())
+        out.push_back(McViolation{McFailure::IncorrectCover, r, std::move(incorrect)});
+    return out;
+}
+
+std::optional<Cover> find_elementary_sum(const sg::RegionAnalysis& ra, RegionId r) {
+    const auto& sg = ra.graph();
+    const auto& region = ra.region(r);
+    if (region.triggers.empty()) return std::nullopt;
+    Cover sum(sg.num_signals());
+    for (const auto& t : region.triggers) {
+        Cube lit(sg.num_signals());
+        lit.set_lit(t.signal, t.rising ? Lit::One : Lit::Zero);
+        bool duplicate = false;
+        for (const auto& c : sum.cubes()) duplicate = duplicate || c == lit;
+        if (!duplicate) sum.add(std::move(lit));
+    }
+    if (check_elementary_sum(ra, r, sum).empty()) return sum;
+    return std::nullopt;
+}
+
+std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
+                                              std::span<const RegionId> regions, const Cube& c) {
+    const auto& sg = ra.graph();
+    std::vector<McViolation> out;
+    BitVec all_cfr(sg.num_states());
+
+    for (const RegionId r : regions) {
+        const auto& region = ra.region(r);
+        all_cfr |= region.cfr;
+
+        if (!is_cover_cube(ra, r, c)) {
+            out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
+            continue;
+        }
+        std::vector<StateId> missed;
+        region.states.for_each_set([&](std::size_t si) {
+            if (!c.contains_minterm(sg.state(StateId(si)).code)) missed.emplace_back(si);
+        });
+        if (!missed.empty())
+            out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+        if (auto flips = find_double_change(ra, region.cfr, c); !flips.empty())
+            out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
+        // Correct covering per region (Def 16): a cube shared into
+        // another signal's excitation function must still evaluate to 0
+        // wherever that function is required to be 0 — the union-of-CFRs
+        // condition below does not guarantee it across signals.
+        if (auto bad = incorrect_cover_states(ra, r, c); !bad.empty())
+            out.push_back(McViolation{McFailure::IncorrectCover, r, std::move(bad)});
+    }
+
+    // Condition 3 against the union of the CFRs.
+    BitVec outside = covered_states(ra, c);
+    outside.and_not(all_cfr);
+    if (outside.any()) {
+        std::vector<StateId> bad;
+        outside.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
+        out.push_back(McViolation{McFailure::CoversOutsideCfr,
+                                  regions.empty() ? RegionId::invalid() : regions[0],
+                                  std::move(bad)});
+    }
+    return out;
+}
+
+} // namespace si::mc

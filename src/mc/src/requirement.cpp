@@ -1,0 +1,177 @@
+#include "si/mc/requirement.hpp"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "si/mc/cover_cube.hpp"
+
+namespace si::mc {
+
+namespace {
+
+bool violations_mono_only(const std::vector<McViolation>& vs) {
+    for (const auto& v : vs)
+        if (v.kind != McFailure::NonMonotonic) return false;
+    return !vs.empty();
+}
+
+// Generic literal-subset search shared by the per-region and group
+// searches: `check` returns the violation list for a candidate cube.
+template <class CheckFn>
+std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max_candidates) {
+    auto reduce = [&](Cube c) {
+        for (std::size_t v = 0; v < c.num_vars(); ++v) {
+            if (c.lit(SignalId(v)) == Lit::Dash) continue;
+            Cube smaller = c.without(SignalId(v));
+            if (check(smaller).empty()) c = std::move(smaller);
+        }
+        return c;
+    };
+
+    const auto first = check(full);
+    if (first.empty()) return reduce(std::move(full));
+    if (!violations_mono_only(first)) return std::nullopt;
+
+    std::deque<Cube> queue{full};
+    std::unordered_set<Cube> seen{full};
+    std::size_t examined = 0;
+    while (!queue.empty() && examined < max_candidates) {
+        const Cube cur = queue.front();
+        queue.pop_front();
+        ++examined;
+        for (std::size_t v = 0; v < cur.num_vars(); ++v) {
+            if (cur.lit(SignalId(v)) == Lit::Dash) continue;
+            Cube cand = cur.without(SignalId(v));
+            if (!seen.insert(cand).second) continue;
+            const auto vio = check(cand);
+            if (vio.empty()) return reduce(std::move(cand));
+            // Below a condition-1/3 failure, subsets only cover more:
+            // keep exploring only pure-monotonicity failures.
+            if (violations_mono_only(vio)) queue.push_back(std::move(cand));
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r, const McCubeSearch& opts) {
+    RegionMc out;
+    out.region = r;
+    const Cube full = smallest_cover_cube(ra, r);
+    auto cube = search_cube(
+        full, [&](const Cube& c) { return check_monotonous_cover(ra, r, c); },
+        opts.max_candidates);
+    if (cube) {
+        out.cube = std::move(cube);
+    } else {
+        out.violations = check_monotonous_cover(ra, r, full);
+    }
+    return out;
+}
+
+std::optional<Cube> find_group_mc_cube(const sg::RegionAnalysis& ra,
+                                       std::span<const RegionId> group,
+                                       const McCubeSearch& opts) {
+    if (group.empty()) return std::nullopt;
+    Cube full = smallest_cover_cube(ra, group[0]);
+    for (std::size_t i = 1; i < group.size(); ++i)
+        full = full.supercube(smallest_cover_cube(ra, group[i]));
+    if (full.is_universal()) return std::nullopt;
+    return search_cube(
+        full, [&](const Cube& c) { return check_generalized_mc(ra, group, c); },
+        opts.max_candidates);
+}
+
+std::string McReport::describe(const sg::RegionAnalysis& ra) const {
+    std::string out;
+    const auto names = ra.graph().signals().names();
+    for (const auto& r : regions) {
+        out += ra.region(r.region).label(ra.graph());
+        if (r.ok() && !r.cube) {
+            out += ": elementary sum";
+            for (const auto& lit : r.sum_literals) out += " " + lit.to_expr(names);
+            out += " (OR-causality form)\n";
+        } else if (r.ok()) {
+            out += ": MC cube " + r.cube->to_expr(names);
+            if (!r.shared_with.empty()) {
+                out += " (shared with";
+                for (const auto g : r.shared_with)
+                    if (g != r.region) out += " " + ra.region(g).label(ra.graph());
+                out += ")";
+            }
+            out += "\n";
+        } else {
+            out += ": NO monotonous cover\n";
+            for (const auto& v : r.violations) out += "    " + v.describe(ra) + "\n";
+        }
+    }
+    return out;
+}
+
+McReport check_requirement(const sg::RegionAnalysis& ra, const McCubeSearch& opts) {
+    McReport report;
+    // Map region id -> slot in the report for the group fallback.
+    std::map<std::size_t, std::size_t> slot;
+    for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
+        const RegionId r{ri};
+        if (!is_non_input(ra.graph().signals()[ra.region(r).signal].kind)) continue;
+        slot[ri] = report.regions.size();
+        report.regions.push_back(find_mc_cube(ra, r, opts));
+    }
+
+    // Phase 2: Def-19 fallback per (signal, polarity) with failures.
+    std::map<std::pair<std::size_t, bool>, std::vector<RegionId>> families;
+    for (const auto& rmc : report.regions) {
+        const auto& region = ra.region(rmc.region);
+        families[{region.signal.index(), region.rising}].push_back(rmc.region);
+    }
+    // Phase 3 candidates are prepared after phase 2 below.
+    for (const auto& [key, family] : families) {
+        if (family.size() < 2) continue;
+        const bool any_failed = [&] {
+            for (const auto r : family)
+                if (!report.regions[slot[r.index()]].ok()) return true;
+            return false;
+        }();
+        if (!any_failed) continue;
+
+        // Try the whole family first, then pairs around each failure.
+        std::vector<std::vector<RegionId>> candidates{family};
+        for (const auto r : family) {
+            if (report.regions[slot[r.index()]].ok()) continue;
+            for (const auto s : family)
+                if (s != r) candidates.push_back({r, s});
+        }
+        for (const auto& group : candidates) {
+            const bool still_needed = [&] {
+                for (const auto r : group)
+                    if (!report.regions[slot[r.index()]].ok()) return true;
+                return false;
+            }();
+            if (!still_needed) continue;
+            if (auto cube = find_group_mc_cube(ra, group, opts)) {
+                for (const auto r : group) {
+                    auto& rmc = report.regions[slot[r.index()]];
+                    rmc.cube = *cube;
+                    rmc.shared_with = group;
+                    rmc.violations.clear();
+                }
+            }
+        }
+    }
+    // Phase 3: elementary-sum fallback (Section IV) for regions that
+    // still lack a cube — typically detonant regions of non-distributive
+    // graphs, where Theorem 2 rules single cubes out.
+    for (auto& rmc : report.regions) {
+        if (rmc.ok()) continue;
+        if (auto sum = find_elementary_sum(ra, rmc.region)) {
+            rmc.sum_literals = sum->cubes();
+            rmc.violations.clear();
+        }
+    }
+    return report;
+}
+
+} // namespace si::mc

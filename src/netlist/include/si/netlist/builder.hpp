@@ -1,0 +1,58 @@
+// Construction of the paper's two implementation architectures
+// (Section III, Figure 2): per non-input signal, a two-level SOP network
+// for the up-excitation function S(a) and the down-excitation function
+// R(a), restored by a Muller C-element (standard C-implementation) or a
+// structural RS latch built from cross-coupled NOR gates (standard
+// RS-implementation, dual-rail literals).
+#pragma once
+
+#include <vector>
+
+#include "si/boolean/cube.hpp"
+#include "si/netlist/netlist.hpp"
+#include "si/sg/state_graph.hpp"
+
+namespace si::net {
+
+/// Region functions of one non-input signal: one cube per excitation
+/// region (up-excitation regions feed S(a), down-excitation R(a)).
+struct SignalNetwork {
+    SignalId signal;
+    std::vector<Cube> up_cubes;
+    std::vector<Cube> down_cubes;
+};
+
+struct BuildOptions {
+    /// Build RS latches (cross-coupled NORs, dual-rail literals) instead
+    /// of C-elements.
+    bool use_rs_latches = false;
+    /// Apply the paper's degenerative simplifications: a single-literal
+    /// region function needs no AND gate; a single-cube excitation
+    /// function needs no OR gate.
+    bool simplify_degenerate = true;
+    /// Reuse one AND gate for identical cubes across signal networks
+    /// (Section VI; caller must have validated the generalized MC
+    /// requirement for shared cubes).
+    bool share_gates = false;
+};
+
+/// Builds the standard implementation. `spec` provides the signal table
+/// and the initial code (reset values of inputs and latches). Throws
+/// SynthesisError when a network has no up or no down cubes.
+[[nodiscard]] Netlist build_standard_implementation(const sg::StateGraph& spec,
+                                                    const std::vector<SignalNetwork>& networks,
+                                                    const BuildOptions& opts = {});
+
+/// Section III's justification of input inversions: the standard
+/// C-implementation stays hazard-free when every tech-mapped input
+/// inverter is faster than a whole signal network (d_inv^max < D_sn^min).
+/// This report counts the inverters the mapping would create and states
+/// the constraint; it is what a timing sign-off would check.
+struct InverterConstraintReport {
+    std::size_t input_inversions = 0;
+    std::size_t signal_networks = 0;
+    [[nodiscard]] std::string describe() const;
+};
+[[nodiscard]] InverterConstraintReport inverter_constraint(const Netlist& nl);
+
+} // namespace si::net

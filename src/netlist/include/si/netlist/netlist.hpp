@@ -1,0 +1,112 @@
+// Gate-level netlists over the basic-gate library of the paper:
+// AND / OR gates (with input inversions), inverters, NOR gates (for the
+// structural RS latch), Muller C-elements and wires.
+//
+// Gates have pure unbounded delays (Section III): a gate whose function
+// value differs from its current output is *excited* and may fire at any
+// time. The verifier drives netlists exactly through that semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/boolean/cover.hpp"
+#include "si/stg/signals.hpp"
+#include "si/util/bitvec.hpp"
+#include "si/util/ids.hpp"
+
+namespace si::net {
+
+enum class GateKind : unsigned char {
+    Input,    ///< environment-driven; no fanins
+    And,      ///< conjunction of (possibly inverted) fanins
+    Or,       ///< disjunction of (possibly inverted) fanins
+    Not,      ///< single-fanin inverter
+    Nor,      ///< negated disjunction (structural RS latches)
+    CElement, ///< Muller C: next = A·B + C·(A+B) over two fanins
+    RsLatch,  ///< atomic set/reset latch over fanins [S, R]; its q~ pin is
+              ///< modelled as an inverted fanin reference (dual-rail output)
+    Complex,  ///< one atomic complex gate computing an arbitrary SOP of the
+              ///< specification signals (the complex-gate methodology the
+              ///< paper contrasts with); hazard-free by fiat, like a library
+              ///< cell with no internal structure
+    Wire,     ///< buffer; forwards its single fanin
+};
+
+struct Fanin {
+    GateId gate;
+    bool inverted = false; ///< reads the complement of the fanin's output
+};
+
+struct Gate {
+    GateKind kind = GateKind::Wire;
+    std::string name;          ///< net name of the gate output
+    std::vector<Fanin> fanins;
+    /// Specification signal this gate realizes (inputs and the restoring
+    /// latch/wire of each non-input); invalid for internal logic.
+    SignalId signal = SignalId::invalid();
+    bool initial_value = false;
+    /// Next-state function of a Complex gate, over the specification
+    /// signal space (fanins list the signal-realizing gates it reads, in
+    /// signal order, for fanout bookkeeping).
+    Cover complex_fn;
+};
+
+class Netlist {
+public:
+    std::string name = "netlist";
+
+    explicit Netlist(const SignalTable& signals);
+
+    [[nodiscard]] const SignalTable& signals() const { return signals_; }
+
+    GateId add_gate(GateKind kind, std::string name, std::vector<Fanin> fanins,
+                    SignalId signal = SignalId::invalid());
+
+    /// Creates a gate whose fanins will be patched in later with
+    /// set_fanins — needed for the cyclic structures (latch rails,
+    /// cross-coupled signal networks).
+    GateId add_placeholder(GateKind kind, std::string name, SignalId signal = SignalId::invalid());
+    void set_fanins(GateId g, std::vector<Fanin> fanins);
+
+    [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+    [[nodiscard]] const Gate& gate(GateId g) const { return gates_[g.index()]; }
+    [[nodiscard]] Gate& gate(GateId g) { return gates_[g.index()]; }
+    [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+    /// Gate realizing specification signal v (its Input gate or restoring
+    /// element output). Invalid when the signal is not realized yet.
+    [[nodiscard]] GateId gate_of_signal(SignalId v) const;
+
+    /// The value gate g's function produces from the given output vector
+    /// (one bit per gate). For Input gates this returns the current value
+    /// (inputs change only by environment action).
+    [[nodiscard]] bool target_value(GateId g, const BitVec& values) const;
+
+    /// True if g's function value differs from its current output.
+    [[nodiscard]] bool gate_excited(GateId g, const BitVec& values) const {
+        return target_value(g, values) != values.test(g.index());
+    }
+
+    /// Initial output vector: inputs and signal gates at their declared
+    /// initial values, combinational gates relaxed to a fixpoint.
+    /// Throws SpecError if the logic cannot stabilize.
+    [[nodiscard]] BitVec initial_values() const;
+
+    /// Gate counts per kind and literal totals (for the result tables).
+    struct Stats {
+        std::size_t and_gates = 0, or_gates = 0, c_elements = 0, nor_gates = 0;
+        std::size_t rs_latches = 0;
+        std::size_t complex_gates = 0;
+        std::size_t inverters = 0, wires = 0, inputs = 0;
+        std::size_t literals = 0; ///< total AND/OR fanin count
+        std::size_t input_inversions = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+private:
+    SignalTable signals_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace si::net

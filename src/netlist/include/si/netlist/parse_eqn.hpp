@@ -1,0 +1,32 @@
+// Parser for the equation format emitted by to_equations(), so that
+// hand-written or externally produced basic-gate netlists can be fed to
+// the verifier:
+//
+//   S(c)1 = b d'            AND gate (space-separated literals)
+//   Sc = S(c)1 + S(c)2      OR gate (" + "-separated literals)
+//   n = (a + b)'            NOR gate
+//   w = a                   wire        i = a'   inverter
+//   c = C(Sc, Rc')          Muller C-element
+//   q = RS(set: s, reset: r)  RS latch
+//
+// '#' starts a comment; the "[= ...]" expansion to_equations appends to
+// C-elements is ignored. Every specification input is available as a
+// source; every non-input specification signal must be defined by some
+// equation (that gate becomes the signal's realization). Round-trips
+// with to_equations for netlists made of the forms above.
+#pragma once
+
+#include <string_view>
+
+#include "si/netlist/netlist.hpp"
+#include "si/sg/state_graph.hpp"
+
+namespace si::net {
+
+/// Parses equations against the specification's signal set; initial
+/// values of inputs and signal gates come from the spec's initial state.
+/// Throws ParseError on malformed text and SpecError when a non-input
+/// signal lacks a defining equation.
+[[nodiscard]] Netlist parse_equations(std::string_view text, const sg::StateGraph& spec);
+
+} // namespace si::net

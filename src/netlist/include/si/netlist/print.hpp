@@ -1,0 +1,21 @@
+// Rendering netlists as paper-style equation systems and as structural
+// Verilog.
+#pragma once
+
+#include <string>
+
+#include "si/netlist/netlist.hpp"
+
+namespace si::net {
+
+/// Equation-per-gate rendering in the style of the paper's eq (1)/(2):
+///   S(d)1 = a b'
+///   Sd = S(d)1 + S(d)2
+///   d = C(Sd, Rd)  [ = Sd Rd' + d (Sd + Rd') ]
+[[nodiscard]] std::string to_equations(const Netlist& nl);
+
+/// Structural Verilog with behavioural C-element modules, suitable for
+/// simulation elsewhere.
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+} // namespace si::net

@@ -1,0 +1,25 @@
+// Netlist transformations used by the ablation studies.
+#pragma once
+
+#include "si/netlist/netlist.hpp"
+
+namespace si::net {
+
+/// Section III's C2: replaces every inverted fanin of an AND/OR gate by
+/// an explicit inverter gate (one per inverted source, shared). The
+/// result is what tech mapping produces; under the *unbounded* delay
+/// model it is generally NOT speed-independent — the paper's point is
+/// that it stays hazard-free exactly under the relative timing bound
+/// d_inv^max < D_sn^min, which a pure SI verifier cannot assume.
+/// C-element/RS-latch input bubbles are left intact (they are part of
+/// the library element).
+[[nodiscard]] Netlist materialize_inversions(const Netlist& nl);
+
+/// Tech-mapping step two: splits every AND/OR gate with more than
+/// `max_fanin` inputs into a balanced tree of gates of the same kind
+/// with at most `max_fanin` inputs each. Associative decomposition of
+/// the monotone region functions — whether it preserves speed
+/// independence is exactly what the ablation bench asks the verifier.
+[[nodiscard]] Netlist decompose_fanin(const Netlist& nl, std::size_t max_fanin);
+
+} // namespace si::net

@@ -1,0 +1,132 @@
+#include "si/netlist/builder.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::net {
+
+namespace {
+
+struct LatchGates {
+    GateId q = GateId::invalid();    // C-element output or Q rail
+    GateId qbar = GateId::invalid(); // Q~ rail (RS implementation only)
+};
+
+} // namespace
+
+Netlist build_standard_implementation(const sg::StateGraph& spec,
+                                      const std::vector<SignalNetwork>& networks,
+                                      const BuildOptions& opts) {
+    Netlist nl(spec.signals());
+    nl.name = spec.name + (opts.use_rs_latches ? "-rs" : "-c");
+    const auto& signals = spec.signals();
+    const BitVec& init = spec.state(spec.initial()).code;
+
+    // Pass 1: environment inputs and restoring elements, so literal
+    // sources exist before any SOP logic references them.
+    std::vector<LatchGates> latch(signals.size());
+    for (std::size_t vi = 0; vi < signals.size(); ++vi) {
+        const SignalId v{vi};
+        if (signals[v].kind == SignalKind::Input) {
+            latch[vi].q = nl.add_gate(GateKind::Input, signals[v].name, {}, v);
+            nl.gate(latch[vi].q).initial_value = init.test(vi);
+        }
+    }
+    for (const auto& network : networks) {
+        const std::size_t vi = network.signal.index();
+        require(is_non_input(signals[network.signal].kind), "network on an input signal");
+        if (network.up_cubes.empty() || network.down_cubes.empty())
+            throw SynthesisError("signal '" + signals[network.signal].name +
+                                 "' lacks up or down excitation cubes");
+        if (opts.use_rs_latches) {
+            // Atomic RS flip-flop (Figure 2b): both rails come from one
+            // library element, so the complemented rail is an inverted
+            // reference to the q output rather than a separate gate.
+            latch[vi].q = nl.add_placeholder(GateKind::RsLatch, signals[network.signal].name,
+                                             network.signal);
+            nl.gate(latch[vi].q).initial_value = init.test(vi);
+        } else {
+            latch[vi].q = nl.add_placeholder(GateKind::CElement, signals[network.signal].name,
+                                             network.signal);
+            nl.gate(latch[vi].q).initial_value = init.test(vi);
+        }
+    }
+
+    // A literal of signal b: the Q gate (positive) or, complemented, the
+    // Q~ rail in the RS architecture / an inverted fanin in the
+    // C-architecture (dual-rail environment inputs are modelled as
+    // inverted fanins in both).
+    auto literal_source = [&](SignalId b, bool complemented) -> Fanin {
+        const std::size_t bi = b.index();
+        require(latch[bi].q.is_valid(),
+                "literal on a signal with no realization (missing network)");
+        if (complemented && latch[bi].qbar.is_valid()) return Fanin{latch[bi].qbar, false};
+        return Fanin{latch[bi].q, complemented};
+    };
+
+    auto cube_fanins = [&](const Cube& c) {
+        std::vector<Fanin> fanins;
+        for (std::size_t b = 0; b < c.num_vars(); ++b) {
+            const Lit l = c.lit(SignalId(b));
+            if (l == Lit::Dash) continue;
+            fanins.push_back(literal_source(SignalId(b), l == Lit::Zero));
+        }
+        require(!fanins.empty(), "universal cube in a region function");
+        return fanins;
+    };
+
+    // Shared AND gates: one gate per distinct cube when sharing is on.
+    std::unordered_map<Cube, GateId> shared;
+    auto region_gate = [&](const Cube& c, const std::string& gate_name) -> Fanin {
+        auto fanins = cube_fanins(c);
+        if (opts.simplify_degenerate && fanins.size() == 1) return fanins[0];
+        if (opts.share_gates) {
+            if (const auto it = shared.find(c); it != shared.end()) return Fanin{it->second, false};
+        }
+        const GateId g = nl.add_gate(GateKind::And, gate_name, std::move(fanins));
+        if (opts.share_gates) shared.emplace(c, g);
+        return Fanin{g, false};
+    };
+
+    // Pass 2: the SOP networks.
+    for (const auto& network : networks) {
+        const std::string& aname = signals[network.signal].name;
+        auto build_half = [&](const std::vector<Cube>& cubes, const std::string& prefix) -> Fanin {
+            std::vector<Fanin> terms;
+            for (std::size_t i = 0; i < cubes.size(); ++i)
+                terms.push_back(region_gate(
+                    cubes[i], prefix + "(" + aname + ")" + std::to_string(i + 1)));
+            if (opts.simplify_degenerate && terms.size() == 1) return terms[0];
+            return Fanin{nl.add_gate(GateKind::Or, prefix + aname, std::move(terms)), false};
+        };
+        const Fanin set = build_half(network.up_cubes, "S");
+        const Fanin reset = build_half(network.down_cubes, "R");
+        const std::size_t vi = network.signal.index();
+        if (opts.use_rs_latches) {
+            nl.set_fanins(latch[vi].q, {set, reset});
+        } else {
+            // C-element semantics: next = A·B + C·(A+B); the reset input
+            // enters inverted (Figure 2a's bubbled input).
+            nl.set_fanins(latch[vi].q, {set, Fanin{reset.gate, !reset.inverted}});
+        }
+    }
+    return nl;
+}
+
+std::string InverterConstraintReport::describe() const {
+    return "tech mapping introduces " + std::to_string(input_inversions) +
+           " input inverter(s) across " + std::to_string(signal_networks) +
+           " signal network(s); the standard C-implementation stays hazard-free iff every "
+           "inverter is faster than a whole signal network (d_inv^max < D_sn^min, Section III)";
+}
+
+InverterConstraintReport inverter_constraint(const Netlist& nl) {
+    InverterConstraintReport r;
+    r.input_inversions = nl.stats().input_inversions;
+    r.signal_networks = nl.stats().c_elements + nl.stats().rs_latches;
+    return r;
+}
+
+} // namespace si::net

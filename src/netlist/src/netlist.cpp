@@ -1,0 +1,178 @@
+#include "si/netlist/netlist.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si::net {
+
+Netlist::Netlist(const SignalTable& signals) {
+    for (const auto& s : signals.all()) signals_.add(s.name, s.kind);
+}
+
+namespace {
+
+void check_fanins(GateKind kind, const std::vector<Fanin>& fanins) {
+    switch (kind) {
+    case GateKind::Input:
+        require(fanins.empty(), "Input gate with fanins");
+        break;
+    case GateKind::Not:
+    case GateKind::Wire:
+        require(fanins.size() == 1, "Not/Wire gate needs exactly one fanin");
+        break;
+    case GateKind::CElement:
+        require(fanins.size() == 2, "C-element needs exactly two fanins");
+        break;
+    case GateKind::RsLatch:
+        require(fanins.size() == 2, "RS latch needs exactly two fanins");
+        break;
+    case GateKind::And:
+    case GateKind::Or:
+    case GateKind::Nor:
+        require(!fanins.empty(), "logic gate needs fanins");
+        break;
+    case GateKind::Complex:
+        break; // arbitrary fanin list
+    }
+}
+
+} // namespace
+
+GateId Netlist::add_placeholder(GateKind kind, std::string gate_name, SignalId signal) {
+    gates_.push_back(Gate{kind, std::move(gate_name), {}, signal, false, {}});
+    return GateId(gates_.size() - 1);
+}
+
+void Netlist::set_fanins(GateId g, std::vector<Fanin> fanins) {
+    check_fanins(gates_[g.index()].kind, fanins);
+    gates_[g.index()].fanins = std::move(fanins);
+}
+
+GateId Netlist::add_gate(GateKind kind, std::string gate_name, std::vector<Fanin> fanins,
+                         SignalId signal) {
+    check_fanins(kind, fanins);
+    gates_.push_back(Gate{kind, std::move(gate_name), std::move(fanins), signal, false, {}});
+    return GateId(gates_.size() - 1);
+}
+
+GateId Netlist::gate_of_signal(SignalId v) const {
+    for (std::size_t i = 0; i < gates_.size(); ++i)
+        if (gates_[i].signal == v) return GateId(i);
+    return GateId::invalid();
+}
+
+bool Netlist::target_value(GateId g, const BitVec& values) const {
+    const Gate& gate = gates_[g.index()];
+    auto in = [&](std::size_t i) {
+        const Fanin& f = gate.fanins[i];
+        return values.test(f.gate.index()) != f.inverted;
+    };
+    switch (gate.kind) {
+    case GateKind::Input:
+        return values.test(g.index());
+    case GateKind::Wire:
+        return in(0);
+    case GateKind::Not:
+        return !in(0);
+    case GateKind::And: {
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+            if (!in(i)) return false;
+        return true;
+    }
+    case GateKind::Or: {
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+            if (in(i)) return true;
+        return false;
+    }
+    case GateKind::Nor: {
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+            if (in(i)) return false;
+        return true;
+    }
+    case GateKind::CElement: {
+        const bool a = in(0);
+        const bool b = in(1);
+        const bool c = values.test(g.index());
+        return (a && b) || (c && (a || b));
+    }
+    case GateKind::RsLatch: {
+        const bool set = in(0);
+        const bool reset = in(1);
+        const bool q = values.test(g.index());
+        if (set && !reset) return true;
+        if (reset && !set) return false;
+        return q; // hold (set==reset==1 cannot arise under disjoint MC cubes)
+    }
+    case GateKind::Complex: {
+        // Evaluate the SOP over the current values of the gates realizing
+        // each specification signal.
+        BitVec code(signals_.size());
+        for (std::size_t v = 0; v < signals_.size(); ++v) {
+            const GateId src = gate_of_signal(SignalId(v));
+            require(src.is_valid(), "complex gate reads an unrealized signal");
+            if (values.test(src.index())) code.set(v);
+        }
+        return gate.complex_fn.eval(code);
+    }
+    }
+    throw InternalError("unknown gate kind");
+}
+
+BitVec Netlist::initial_values() const {
+    BitVec values(gates_.size());
+    // Inputs and restoring elements start at their declared values.
+    for (std::size_t i = 0; i < gates_.size(); ++i)
+        if (gates_[i].initial_value) values.set(i);
+
+    // Relax purely combinational gates (everything that is not an input,
+    // a C-element, or part of a latch — latch rails carry initial_value
+    // presets and are treated as state-holding here).
+    auto is_stateful = [&](const Gate& g) {
+        return g.kind == GateKind::Input || g.kind == GateKind::CElement ||
+               g.kind == GateKind::RsLatch || g.kind == GateKind::Nor ||
+               g.kind == GateKind::Complex || g.signal.is_valid();
+    };
+    for (std::size_t pass = 0; pass <= gates_.size(); ++pass) {
+        bool changed = false;
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            if (is_stateful(gates_[i])) continue;
+            const bool t = target_value(GateId(i), values);
+            if (t != values.test(i)) {
+                values.assign(i, t);
+                changed = true;
+            }
+        }
+        if (!changed) return values;
+    }
+    throw SpecError("netlist '" + name + "' has unstable combinational logic at reset");
+}
+
+Netlist::Stats Netlist::stats() const {
+    Stats s;
+    for (const auto& g : gates_) {
+        switch (g.kind) {
+        case GateKind::And:
+            ++s.and_gates;
+            s.literals += g.fanins.size();
+            break;
+        case GateKind::Or:
+            ++s.or_gates;
+            s.literals += g.fanins.size();
+            break;
+        case GateKind::Nor: ++s.nor_gates; break;
+        case GateKind::CElement: ++s.c_elements; break;
+        case GateKind::RsLatch: ++s.rs_latches; break;
+        case GateKind::Complex:
+            ++s.complex_gates;
+            s.literals += g.complex_fn.literal_count();
+            break;
+        case GateKind::Not: ++s.inverters; break;
+        case GateKind::Wire: ++s.wires; break;
+        case GateKind::Input: ++s.inputs; break;
+        }
+        for (const auto& f : g.fanins)
+            if (f.inverted) ++s.input_inversions;
+    }
+    return s;
+}
+
+} // namespace si::net

@@ -1,0 +1,159 @@
+#include "si/netlist/parse_eqn.hpp"
+
+#include <map>
+#include <vector>
+
+#include "si/util/error.hpp"
+#include "si/util/text.hpp"
+
+namespace si::net {
+
+namespace {
+
+struct Equation {
+    std::string name;
+    GateKind kind;
+    std::vector<std::string> operands; // "x" or "x'" tokens
+    std::size_t line;
+};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw ParseError("equations line " + std::to_string(line_no + 1) + ": " + msg);
+}
+
+// Splits an operand list like "a, b'" or "a + b" on the given separator.
+std::vector<std::string> operands_of(std::string_view body, std::string_view sep,
+                                     std::size_t line_no) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const auto at = body.find(sep, start);
+        const std::string_view piece =
+            at == std::string_view::npos ? body.substr(start) : body.substr(start, at - start);
+        const std::string token{trim(piece)};
+        if (token.empty()) fail(line_no, "empty operand");
+        out.push_back(token);
+        if (at == std::string_view::npos) break;
+        start = at + sep.size();
+    }
+    return out;
+}
+
+Equation parse_line(std::string_view line, std::size_t line_no) {
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "missing '='");
+    Equation e;
+    e.line = line_no;
+    e.name = std::string(trim(line.substr(0, eq)));
+    if (e.name.empty()) fail(line_no, "missing gate name");
+    std::string_view rhs = trim(line.substr(eq + 1));
+    // Drop the decorative "[= ...]" expansion after C(...).
+    if (const auto bracket = rhs.find('['); bracket != std::string_view::npos)
+        rhs = trim(rhs.substr(0, bracket));
+    if (rhs.empty()) fail(line_no, "missing right-hand side");
+
+    if (starts_with(rhs, "C(") && rhs.back() == ')') {
+        e.kind = GateKind::CElement;
+        e.operands = operands_of(rhs.substr(2, rhs.size() - 3), ",", line_no);
+        if (e.operands.size() != 2) fail(line_no, "C() needs two operands");
+        return e;
+    }
+    if (starts_with(rhs, "RS(") && rhs.back() == ')') {
+        e.kind = GateKind::RsLatch;
+        auto ops = operands_of(rhs.substr(3, rhs.size() - 4), ",", line_no);
+        if (ops.size() != 2) fail(line_no, "RS() needs set and reset");
+        for (auto& op : ops) {
+            // Accept the "set:"/"reset:" labels the printer emits.
+            if (const auto colon = op.find(':'); colon != std::string::npos)
+                op = std::string(trim(std::string_view(op).substr(colon + 1)));
+        }
+        e.operands = std::move(ops);
+        return e;
+    }
+    if (rhs.front() == '(' && rhs.size() >= 3 && rhs.substr(rhs.size() - 2) == ")'") {
+        e.kind = GateKind::Nor;
+        e.operands = operands_of(rhs.substr(1, rhs.size() - 3), "+", line_no);
+        return e;
+    }
+    if (rhs.find('+') != std::string_view::npos) {
+        e.kind = GateKind::Or;
+        e.operands = operands_of(rhs, "+", line_no);
+        return e;
+    }
+    e.operands = split(rhs);
+    if (e.operands.size() > 1) {
+        e.kind = GateKind::And;
+    } else if (e.operands.size() == 1) {
+        const bool inverted = e.operands[0].back() == '\'';
+        e.kind = inverted ? GateKind::Not : GateKind::Wire;
+        if (inverted) e.operands[0].pop_back();
+    } else {
+        fail(line_no, "empty expression");
+    }
+    return e;
+}
+
+} // namespace
+
+Netlist parse_equations(std::string_view text, const sg::StateGraph& spec) {
+    std::vector<Equation> equations;
+    const auto all_lines = lines_of(text);
+    for (std::size_t ln = 0; ln < all_lines.size(); ++ln) {
+        std::string_view raw = all_lines[ln];
+        if (const auto hash = raw.find('#'); hash != std::string_view::npos)
+            raw = raw.substr(0, hash);
+        if (trim(raw).empty()) continue;
+        equations.push_back(parse_line(trim(raw), ln));
+    }
+
+    Netlist nl(spec.signals());
+    nl.name = spec.name + "-eqn";
+    const BitVec& init = spec.state(spec.initial()).code;
+    std::map<std::string, GateId> by_name;
+
+    // Inputs exist implicitly.
+    for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (spec.signals()[v].kind != SignalKind::Input) continue;
+        const GateId g = nl.add_gate(GateKind::Input, spec.signals()[v].name, {}, v);
+        nl.gate(g).initial_value = init.test(vi);
+        by_name.emplace(spec.signals()[v].name, g);
+    }
+    // Defined gates as placeholders first (forward references are legal).
+    for (const auto& e : equations) {
+        if (by_name.count(e.name))
+            fail(e.line, "gate '" + e.name + "' defined twice (or shadows an input)");
+        const SignalId sig = spec.signals().find(e.name);
+        if (sig.is_valid() && spec.signals()[sig].kind == SignalKind::Input)
+            fail(e.line, "cannot drive input '" + e.name + "'");
+        const GateId g = nl.add_placeholder(e.kind, e.name, sig);
+        if (sig.is_valid()) nl.gate(g).initial_value = init.test(sig.index());
+        by_name.emplace(e.name, g);
+    }
+    // Resolve fanins.
+    for (const auto& e : equations) {
+        std::vector<Fanin> fanins;
+        for (std::string op : e.operands) {
+            bool inverted = false;
+            if (!op.empty() && op.back() == '\'') {
+                inverted = true;
+                op.pop_back();
+            }
+            const auto it = by_name.find(op);
+            if (it == by_name.end()) fail(e.line, "unknown operand '" + op + "'");
+            fanins.push_back(Fanin{it->second, inverted});
+        }
+        nl.set_fanins(by_name.at(e.name), std::move(fanins));
+    }
+    // Every non-input specification signal must be realized.
+    for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (!is_non_input(spec.signals()[v].kind)) continue;
+        if (!nl.gate_of_signal(v).is_valid())
+            throw SpecError("no equation drives specification signal '" +
+                            spec.signals()[v].name + "'");
+    }
+    return nl;
+}
+
+} // namespace si::net

@@ -1,0 +1,181 @@
+#include "si/netlist/print.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si::net {
+
+namespace {
+
+std::string ref(const Netlist& nl, const Fanin& f) {
+    std::string s = nl.gate(f.gate).name;
+    if (f.inverted) s += "'";
+    return s;
+}
+
+std::string joined(const Netlist& nl, const Gate& g, const char* sep) {
+    std::string s;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+        if (i != 0) s += sep;
+        s += ref(nl, g.fanins[i]);
+    }
+    return s;
+}
+
+} // namespace
+
+std::string to_equations(const Netlist& nl) {
+    std::string out;
+    for (std::size_t i = 0; i < nl.num_gates(); ++i) {
+        const Gate& g = nl.gate(GateId(i));
+        switch (g.kind) {
+        case GateKind::Input:
+            break; // environment signals carry no equation
+        case GateKind::And:
+            out += g.name + " = " + joined(nl, g, " ") + "\n";
+            break;
+        case GateKind::Or:
+            out += g.name + " = " + joined(nl, g, " + ") + "\n";
+            break;
+        case GateKind::Not:
+            out += g.name + " = " + ref(nl, g.fanins[0]) + "'\n";
+            break;
+        case GateKind::Nor:
+            out += g.name + " = (" + joined(nl, g, " + ") + ")'\n";
+            break;
+        case GateKind::Wire:
+            out += g.name + " = " + ref(nl, g.fanins[0]) + "\n";
+            break;
+        case GateKind::CElement: {
+            const std::string a = ref(nl, g.fanins[0]);
+            const std::string b = ref(nl, g.fanins[1]);
+            out += g.name + " = C(" + a + ", " + b + ")   [= " + a + " " + b + " + " + g.name +
+                   " (" + a + " + " + b + ")]\n";
+            break;
+        }
+        case GateKind::RsLatch:
+            out += g.name + " = RS(set: " + ref(nl, g.fanins[0]) + ", reset: " +
+                   ref(nl, g.fanins[1]) + ")\n";
+            break;
+        case GateKind::Complex:
+            out += g.name + " = [" + g.complex_fn.to_expr(nl.signals().names()) + "]\n";
+            break;
+        }
+    }
+    return out;
+}
+
+std::string to_verilog(const Netlist& nl) {
+    std::string ports_in, ports_out, body;
+    std::vector<std::string> wire_names(nl.num_gates());
+    for (std::size_t i = 0; i < nl.num_gates(); ++i) {
+        std::string w = nl.gate(GateId(i)).name;
+        for (auto& ch : w) {
+            if (ch == '(' || ch == ')' || ch == '~' || ch == '\'') ch = '_';
+        }
+        wire_names[i] = w;
+    }
+    auto vref = [&](const Fanin& f) {
+        return (f.inverted ? "~" : "") + wire_names[f.gate.index()];
+    };
+
+    bool has_c = false;
+    bool has_rs = false;
+    for (std::size_t i = 0; i < nl.num_gates(); ++i) {
+        const Gate& g = nl.gate(GateId(i));
+        const std::string& w = wire_names[i];
+        switch (g.kind) {
+        case GateKind::Input:
+            ports_in += ", input " + w;
+            continue;
+        case GateKind::CElement:
+            has_c = true;
+            body += "  celem u_" + w + "(.a(" + vref(g.fanins[0]) + "), .b(" + vref(g.fanins[1]) +
+                    "), .q(" + w + "));\n";
+            break;
+        case GateKind::RsLatch:
+            has_rs = true;
+            body += "  rslatch u_" + w + "(.s(" + vref(g.fanins[0]) + "), .r(" +
+                    vref(g.fanins[1]) + "), .q(" + w + "));\n";
+            break;
+        case GateKind::And: {
+            body += "  assign " + w + " = ";
+            for (std::size_t k = 0; k < g.fanins.size(); ++k)
+                body += (k ? " & " : "") + vref(g.fanins[k]);
+            body += ";\n";
+            break;
+        }
+        case GateKind::Or: {
+            body += "  assign " + w + " = ";
+            for (std::size_t k = 0; k < g.fanins.size(); ++k)
+                body += (k ? " | " : "") + vref(g.fanins[k]);
+            body += ";\n";
+            break;
+        }
+        case GateKind::Nor: {
+            body += "  assign " + w + " = ~(";
+            for (std::size_t k = 0; k < g.fanins.size(); ++k)
+                body += (k ? " | " : "") + vref(g.fanins[k]);
+            body += ");\n";
+            break;
+        }
+        case GateKind::Not:
+            body += "  assign " + w + " = ~" + vref(g.fanins[0]) + ";\n";
+            break;
+        case GateKind::Wire:
+            body += "  assign " + w + " = " + vref(g.fanins[0]) + ";\n";
+            break;
+        case GateKind::Complex: {
+            // Behavioural SOP latch over the named signals.
+            std::string expr;
+            const auto names = nl.signals().names();
+            for (std::size_t k = 0; k < g.complex_fn.size(); ++k) {
+                if (k) expr += " | ";
+                expr += "(";
+                bool first = true;
+                const Cube& c = g.complex_fn.cube(k);
+                for (std::size_t v = 0; v < c.num_vars(); ++v) {
+                    const Lit l = c.lit(SignalId(v));
+                    if (l == Lit::Dash) continue;
+                    if (!first) expr += " & ";
+                    expr += (l == Lit::Zero ? "~" : "") + names[v];
+                    first = false;
+                }
+                if (first) expr += "1'b1";
+                expr += ")";
+            }
+            if (g.complex_fn.empty()) expr = "1'b0";
+            body += "  assign " + w + " = " + expr + ";\n";
+            break;
+        }
+        }
+        if (g.signal.is_valid() && is_non_input(nl.signals()[g.signal].kind) &&
+            nl.signals()[g.signal].kind == SignalKind::Output)
+            ports_out += ", output " + w;
+        else if (g.kind != GateKind::Input)
+            body = "  wire " + w + ";\n" + body;
+    }
+
+    std::string out;
+    if (has_rs) {
+        out += "module rslatch(input s, input r, output reg q);\n"
+               "  initial q = 1'b0;\n"
+               "  always @(s or r) begin\n"
+               "    if (s & ~r) q <= 1'b1;\n"
+               "    else if (r & ~s) q <= 1'b0;\n"
+               "  end\nendmodule\n\n";
+    }
+    if (has_c) {
+        out += "module celem(input a, input b, output reg q);\n"
+               "  initial q = 1'b0;\n"
+               "  always @(a or b) begin\n"
+               "    if (a & b) q <= 1'b1;\n"
+               "    else if (!a & !b) q <= 1'b0;\n"
+               "  end\nendmodule\n\n";
+    }
+    std::string ports = ports_in + ports_out;
+    if (!ports.empty()) ports = ports.substr(2); // drop leading ", "
+    out += "module " + nl.name + "(" + ports + ");\n" + body + "endmodule\n";
+    return out;
+}
+
+} // namespace si::net

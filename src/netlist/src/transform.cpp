@@ -1,0 +1,89 @@
+#include "si/netlist/transform.hpp"
+
+#include "si/util/error.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace si::net {
+
+Netlist materialize_inversions(const Netlist& nl) {
+    Netlist out(nl.signals());
+    out.name = nl.name + "-inv";
+
+    // First pass: copy every gate one-to-one so indices line up, then
+    // append shared inverters and rewire.
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const Gate& g = nl.gate(GateId(gi));
+        const GateId copy = out.add_placeholder(g.kind, g.name, g.signal);
+        out.gate(copy).initial_value = g.initial_value;
+        out.gate(copy).complex_fn = g.complex_fn;
+    }
+    std::map<std::uint32_t, GateId> inverter_of; // source gate -> Not gate
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const Gate& g = nl.gate(GateId(gi));
+        std::vector<Fanin> fanins = g.fanins;
+        if (g.kind == GateKind::And || g.kind == GateKind::Or) {
+            for (auto& f : fanins) {
+                if (!f.inverted) continue;
+                auto [it, inserted] = inverter_of.emplace(f.gate.raw(), GateId::invalid());
+                if (inserted) {
+                    it->second = out.add_gate(GateKind::Not,
+                                              nl.gate(f.gate).name + "_inv",
+                                              {Fanin{f.gate, false}});
+                }
+                f = Fanin{it->second, false};
+            }
+        }
+        if (!fanins.empty()) out.set_fanins(GateId(gi), std::move(fanins));
+    }
+    return out;
+}
+
+Netlist decompose_fanin(const Netlist& nl, std::size_t max_fanin) {
+    require(max_fanin >= 2, "decompose_fanin needs max_fanin >= 2");
+    Netlist out(nl.signals());
+    out.name = nl.name + "-fanin" + std::to_string(max_fanin);
+
+    // Copy gates one-to-one first so fanin references stay valid, then
+    // splice subtree gates behind the wide gates.
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const Gate& g = nl.gate(GateId(gi));
+        const GateId copy = out.add_placeholder(g.kind, g.name, g.signal);
+        out.gate(copy).initial_value = g.initial_value;
+        out.gate(copy).complex_fn = g.complex_fn;
+    }
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const Gate& g = nl.gate(GateId(gi));
+        if (g.fanins.empty()) continue;
+        if ((g.kind != GateKind::And && g.kind != GateKind::Or) ||
+            g.fanins.size() <= max_fanin) {
+            out.set_fanins(GateId(gi), g.fanins);
+            continue;
+        }
+        // Reduce the fanin list in rounds, packing max_fanin inputs into
+        // a fresh subtree gate per group until few enough remain.
+        std::vector<Fanin> level = g.fanins;
+        int counter = 0;
+        while (level.size() > max_fanin) {
+            std::vector<Fanin> next;
+            for (std::size_t i = 0; i < level.size(); i += max_fanin) {
+                const std::size_t n = std::min(max_fanin, level.size() - i);
+                if (n == 1) {
+                    next.push_back(level[i]);
+                    continue;
+                }
+                std::vector<Fanin> group(level.begin() + static_cast<std::ptrdiff_t>(i),
+                                         level.begin() + static_cast<std::ptrdiff_t>(i + n));
+                const GateId sub = out.add_gate(
+                    g.kind, g.name + "_t" + std::to_string(counter++), std::move(group));
+                next.push_back(Fanin{sub, false});
+            }
+            level = std::move(next);
+        }
+        out.set_fanins(GateId(gi), std::move(level));
+    }
+    return out;
+}
+
+} // namespace si::net

@@ -1,0 +1,134 @@
+// A small CDCL SAT solver.
+//
+// The paper solves its state-assignment constraints "as a Boolean
+// satisfiability task" (Sections V and VII). This solver is the substrate
+// for that: conflict-driven clause learning with two-watched literals,
+// first-UIP learning, activity-based branching, phase saving and
+// geometric restarts. It is deliberately compact — the assignment
+// instances are thousands of variables at most — but it is a real CDCL
+// solver, exhaustively cross-checked against enumeration in the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace si::sat {
+
+/// Variables are dense indices 0..num_vars-1.
+using Var = std::uint32_t;
+
+/// A literal: variable plus sign, packed as var*2 + (negative ? 1 : 0).
+class Lit {
+public:
+    Lit() = default;
+    Lit(Var v, bool negative) : code_(v * 2 + (negative ? 1u : 0u)) {}
+
+    [[nodiscard]] static Lit from_code(std::uint32_t code) {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+    [[nodiscard]] Var var() const { return code_ >> 1; }
+    [[nodiscard]] bool negative() const { return code_ & 1u; }
+    [[nodiscard]] Lit operator~() const { return from_code(code_ ^ 1u); }
+    [[nodiscard]] std::uint32_t code() const { return code_; }
+
+    friend bool operator==(Lit, Lit) = default;
+
+private:
+    std::uint32_t code_ = 0;
+};
+
+/// Positive literal of v.
+[[nodiscard]] inline Lit pos(Var v) { return Lit(v, false); }
+/// Negative literal of v.
+[[nodiscard]] inline Lit neg(Var v) { return Lit(v, true); }
+
+enum class Result { Sat, Unsat, Unknown };
+
+class Solver {
+public:
+    Solver();
+
+    /// Allocates and returns a fresh variable.
+    Var new_var();
+    [[nodiscard]] std::size_t num_vars() const { return assign_.size(); }
+
+    /// Adds a clause (disjunction). An empty clause makes the instance
+    /// trivially unsatisfiable. Returns false if the database is already
+    /// known inconsistent.
+    bool add_clause(std::span<const Lit> lits);
+    bool add_clause(std::initializer_list<Lit> lits) {
+        return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+    }
+
+    /// Convenience encoders.
+    bool add_unit(Lit a) { return add_clause({a}); }
+    bool add_implies(Lit a, Lit b) { return add_clause({~a, b}); }
+    /// a <-> (b AND c)
+    bool add_and(Lit a, Lit b, Lit c);
+    /// At most one of the literals is true (pairwise encoding).
+    bool add_at_most_one(std::span<const Lit> lits);
+
+    /// Decides satisfiability under optional assumptions.
+    Result solve(std::span<const Lit> assumptions = {});
+
+    /// Model value of v after solve() returned Sat.
+    [[nodiscard]] bool model_value(Var v) const;
+
+    /// Total conflicts seen; exposed for the perf benchmarks.
+    [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+
+    /// Abort search after this many conflicts (0 = unlimited);
+    /// solve() then returns Unknown.
+    void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+private:
+    enum class Value : std::int8_t { False = 0, True = 1, Undef = 2 };
+
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learnt = false;
+        double activity = 0.0;
+    };
+
+    using ClauseRef = std::uint32_t;
+    static constexpr ClauseRef kNoReason = UINT32_MAX;
+
+    [[nodiscard]] Value value(Lit l) const {
+        const Value v = assign_[l.var()];
+        if (v == Value::Undef) return Value::Undef;
+        return (v == Value::True) != l.negative() ? Value::True : Value::False;
+    }
+
+    void enqueue(Lit l, ClauseRef reason);
+    [[nodiscard]] ClauseRef propagate();
+    void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
+    void backtrack(int level);
+    [[nodiscard]] std::optional<Lit> pick_branch();
+    void bump_var(Var v);
+    void decay_var_activity();
+    void attach(ClauseRef cr);
+    void reduce_learnts();
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<ClauseRef>> watches_; // indexed by Lit::code()
+    std::vector<Value> assign_;                   // by var
+    std::vector<ClauseRef> reason_;               // by var
+    std::vector<int> level_;                      // by var
+    std::vector<double> activity_;                // by var
+    std::vector<bool> polarity_;                  // by var (phase saving)
+    std::vector<Lit> trail_;
+    std::vector<std::size_t> trail_lim_;
+    std::size_t qhead_ = 0;
+    double var_inc_ = 1.0;
+    bool ok_ = true;
+    std::uint64_t conflicts_ = 0;
+    std::uint64_t conflict_budget_ = 0;
+    std::vector<bool> seen_; // scratch for analyze
+};
+
+} // namespace si::sat

@@ -1,0 +1,282 @@
+#include "si/sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "si/util/error.hpp"
+
+namespace si::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+    const Var v = static_cast<Var>(assign_.size());
+    assign_.push_back(Value::Undef);
+    reason_.push_back(kNoReason);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    polarity_.push_back(false);
+    seen_.push_back(false);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    return v;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+    if (!ok_) return false;
+    backtrack(0); // clauses join the database at decision level 0
+
+    // Normalize: sort, drop duplicates, detect tautologies and literals
+    // already false at level 0.
+    std::vector<Lit> cl(lits.begin(), lits.end());
+    std::sort(cl.begin(), cl.end(), [](Lit a, Lit b) { return a.code() < b.code(); });
+    cl.erase(std::unique(cl.begin(), cl.end()), cl.end());
+    std::vector<Lit> out;
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+        if (i + 1 < cl.size() && cl[i + 1] == ~cl[i]) return true; // tautology
+        const Value v = value(cl[i]);
+        if (v == Value::True) return true; // already satisfied
+        if (v == Value::Undef) out.push_back(cl[i]);
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        ok_ = propagate() == kNoReason;
+        return ok_;
+    }
+    clauses_.push_back(Clause{std::move(out), false, 0.0});
+    attach(static_cast<ClauseRef>(clauses_.size() - 1));
+    return true;
+}
+
+bool Solver::add_and(Lit a, Lit b, Lit c) {
+    return add_clause({~a, b}) && add_clause({~a, c}) && add_clause({a, ~b, ~c});
+}
+
+bool Solver::add_at_most_one(std::span<const Lit> lits) {
+    for (std::size_t i = 0; i < lits.size(); ++i)
+        for (std::size_t j = i + 1; j < lits.size(); ++j)
+            if (!add_clause({~lits[i], ~lits[j]})) return false;
+    return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+    const auto& cl = clauses_[cr].lits;
+    watches_[(~cl[0]).code()].push_back(cr);
+    watches_[(~cl[1]).code()].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+    assign_[l.var()] = l.negative() ? Value::False : Value::True;
+    reason_[l.var()] = reason;
+    level_[l.var()] = static_cast<int>(trail_lim_.size());
+    polarity_[l.var()] = !l.negative();
+    trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        auto& ws = watches_[p.code()];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const ClauseRef cr = ws[i];
+            auto& cl = clauses_[cr].lits;
+            // Ensure the false literal (~p) sits at position 1.
+            if (cl[0] == ~p) std::swap(cl[0], cl[1]);
+            if (value(cl[0]) == Value::True) {
+                ws[keep++] = cr;
+                continue;
+            }
+            // Look for a replacement watch.
+            bool moved = false;
+            for (std::size_t k = 2; k < cl.size(); ++k) {
+                if (value(cl[k]) != Value::False) {
+                    std::swap(cl[1], cl[k]);
+                    watches_[(~cl[1]).code()].push_back(cr);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) continue;
+            // Clause is unit or conflicting.
+            ws[keep++] = cr;
+            if (value(cl[0]) == Value::False) {
+                // Conflict: keep remaining watches, report.
+                for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+                ws.resize(keep);
+                qhead_ = trail_.size();
+                return cr;
+            }
+            enqueue(cl[0], cr);
+        }
+        ws.resize(keep);
+    }
+    return kNoReason;
+}
+
+void Solver::bump_var(Var v) {
+    activity_[v] += var_inc_;
+    if (activity_[v] > 1e100) {
+        for (auto& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+}
+
+void Solver::decay_var_activity() { var_inc_ /= 0.95; }
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level) {
+    learnt.clear();
+    learnt.push_back(Lit()); // slot for the asserting literal
+    int counter = 0;
+    Lit p;
+    bool have_p = false;
+    std::size_t index = trail_.size();
+    ClauseRef reason = conflict;
+    const int cur_level = static_cast<int>(trail_lim_.size());
+    std::vector<Var> to_clear;
+
+    while (true) {
+        const auto& cl = clauses_[reason].lits;
+        for (const Lit q : cl) {
+            if (have_p && q == p) continue;
+            const Var v = q.var();
+            if (seen_[v] || level_[v] == 0) continue;
+            seen_[v] = true;
+            to_clear.push_back(v);
+            bump_var(v);
+            if (level_[v] == cur_level)
+                ++counter;
+            else
+                learnt.push_back(q);
+        }
+        // Pick the next seen literal on the trail.
+        while (!seen_[trail_[index - 1].var()]) --index;
+        p = trail_[--index];
+        have_p = true;
+        seen_[p.var()] = false;
+        if (--counter == 0) break;
+        reason = reason_[p.var()];
+        require(reason != kNoReason, "conflict analysis walked past a decision");
+    }
+    learnt[0] = ~p;
+
+    // Compute the backtrack level: highest level among the other lits.
+    backtrack_level = 0;
+    std::size_t max_pos = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        if (level_[learnt[i].var()] > backtrack_level) {
+            backtrack_level = level_[learnt[i].var()];
+            max_pos = i;
+        }
+    }
+    if (learnt.size() > 1) std::swap(learnt[1], learnt[max_pos]);
+    for (const Var v : to_clear) seen_[v] = false;
+}
+
+void Solver::backtrack(int target) {
+    while (static_cast<int>(trail_lim_.size()) > target) {
+        const std::size_t limit = trail_lim_.back();
+        trail_lim_.pop_back();
+        while (trail_.size() > limit) {
+            const Var v = trail_.back().var();
+            assign_[v] = Value::Undef;
+            reason_[v] = kNoReason;
+            trail_.pop_back();
+        }
+    }
+    qhead_ = trail_.size();
+}
+
+std::optional<Lit> Solver::pick_branch() {
+    Var best = 0;
+    double best_act = -1.0;
+    bool found = false;
+    for (Var v = 0; v < assign_.size(); ++v) {
+        if (assign_[v] == Value::Undef && activity_[v] > best_act) {
+            best = v;
+            best_act = activity_[v];
+            found = true;
+        }
+    }
+    if (!found) return std::nullopt;
+    return Lit(best, !polarity_[best]);
+}
+
+void Solver::reduce_learnts() {
+    // Learnt clause deletion is unnecessary at this problem scale; the
+    // assignment instances stay small. Kept as a hook for growth.
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+    if (!ok_) return Result::Unsat;
+    backtrack(0);
+    if (propagate() != kNoReason) {
+        ok_ = false;
+        return Result::Unsat;
+    }
+
+    std::uint64_t restart_limit = 64;
+    std::uint64_t conflicts_since_restart = 0;
+    std::vector<Lit> learnt;
+
+    while (true) {
+        const ClauseRef conflict = propagate();
+        if (conflict != kNoReason) {
+            ++conflicts_;
+            ++conflicts_since_restart;
+            if (conflict_budget_ != 0 && conflicts_ >= conflict_budget_) {
+                backtrack(0);
+                return Result::Unknown;
+            }
+            if (trail_lim_.empty()) return Result::Unsat;
+            int bt_level = 0;
+            analyze(conflict, learnt, bt_level);
+            backtrack(bt_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoReason);
+            } else {
+                clauses_.push_back(Clause{learnt, true, 0.0});
+                attach(static_cast<ClauseRef>(clauses_.size() - 1));
+                enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));
+            }
+            decay_var_activity();
+            continue;
+        }
+
+        if (conflicts_since_restart >= restart_limit) {
+            conflicts_since_restart = 0;
+            restart_limit = restart_limit + restart_limit / 2;
+            backtrack(0);
+            continue;
+        }
+
+        // Re-apply any assumptions not yet on the trail.
+        bool assumption_pending = false;
+        for (std::size_t i = trail_lim_.size(); i < assumptions.size(); ++i) {
+            const Lit a = assumptions[i];
+            if (value(a) == Value::False) return Result::Unsat;
+            trail_lim_.push_back(trail_.size());
+            if (value(a) == Value::Undef) enqueue(a, kNoReason);
+            assumption_pending = true;
+            break;
+        }
+        if (assumption_pending) continue;
+
+        const auto branch = pick_branch();
+        if (!branch) return Result::Sat;
+        trail_lim_.push_back(trail_.size());
+        enqueue(*branch, kNoReason);
+    }
+}
+
+bool Solver::model_value(Var v) const {
+    require(assign_[v] != Value::Undef, "model_value on unassigned variable");
+    return assign_[v] == Value::True;
+}
+
+} // namespace si::sat

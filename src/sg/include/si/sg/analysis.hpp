@@ -1,0 +1,72 @@
+// Behavioural properties of state graphs (Defs 1-4, 12, 14 of the paper):
+// conflict and detonant states, (output) semi-modularity, distributivity,
+// persistency and Complete State Coding.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::sg {
+
+/// Witness of Def 1: `signal` is excited in `state` but becomes stable
+/// after firing `by` into `successor`.
+struct ConflictWitness {
+    StateId state;
+    SignalId signal;   ///< the disabled signal
+    SignalId by;       ///< the disabling transition's signal
+    StateId successor;
+    bool internal = false; ///< true when `signal` is a non-input (Def 1)
+
+    [[nodiscard]] std::string describe(const StateGraph& sg) const;
+};
+
+/// Witness of Def 3: `signal` is stable in `state` but excited in two
+/// distinct direct successors.
+struct DetonantWitness {
+    StateId state;
+    SignalId signal;
+    StateId successor_a;
+    StateId successor_b;
+
+    [[nodiscard]] std::string describe(const StateGraph& sg) const;
+};
+
+/// Witness of a CSC violation (Def 14): two states with identical codes
+/// whose sets of excited non-input signals differ.
+struct CscWitness {
+    StateId a;
+    StateId b;
+    SignalId differs_on; ///< a non-input excited in exactly one of them
+
+    [[nodiscard]] std::string describe(const StateGraph& sg) const;
+};
+
+/// All conflict states among the reachable part of the graph.
+[[nodiscard]] std::vector<ConflictWitness> find_conflicts(const StateGraph& sg);
+
+/// All detonant states (w.r.t. non-input signals) among reachable states.
+[[nodiscard]] std::vector<DetonantWitness> find_detonants(const StateGraph& sg);
+
+/// Def 2: no conflict state reachable.
+[[nodiscard]] bool is_semimodular(const StateGraph& sg);
+/// Def 2: no internally conflict state reachable.
+[[nodiscard]] bool is_output_semimodular(const StateGraph& sg);
+/// Def 4: output semi-modular and no detonant state reachable.
+[[nodiscard]] bool is_output_distributive(const StateGraph& sg);
+
+/// Def 14. Empty result means CSC holds.
+[[nodiscard]] std::vector<CscWitness> find_csc_violations(const StateGraph& sg);
+
+/// Unique State Coding: all reachable codes distinct (strictly stronger
+/// than CSC; reported for the benchmark tables).
+[[nodiscard]] bool has_unique_state_coding(const StateGraph& sg);
+
+/// Checks the consistent-state-assignment invariant globally (it is
+/// enforced per-arc on construction; this re-validates e.g. after
+/// surgery) and that the initial state is valid.
+[[nodiscard]] std::optional<std::string> check_well_formed(const StateGraph& sg);
+
+} // namespace si::sg

@@ -1,0 +1,31 @@
+// Graphviz export of state graphs — region/violation overlays help when
+// reading synthesis diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "si/sg/state_graph.hpp"
+#include "si/util/bitvec.hpp"
+
+namespace si::sg {
+
+struct DotOptions {
+    /// States in this set get a highlighted fill (e.g. an excitation
+    /// region or the offending states of an MC violation).
+    const BitVec* highlight = nullptr;
+    std::string highlight_color = "lightsalmon";
+};
+
+/// Renders the graph in Graphviz dot syntax. Nodes are labelled with the
+/// paper-style asterisked codes, the initial state is double-circled.
+[[nodiscard]] std::string to_dot(const StateGraph& sg, const DotOptions& opts = {});
+
+/// Shortest action path from `from` to `to` (edge labels like "+a"),
+/// empty when to == from, nullopt when unreachable. Used to print
+/// counterexample-style context for region/MC diagnostics.
+[[nodiscard]] std::optional<std::vector<std::string>> shortest_path(const StateGraph& sg,
+                                                                    StateId from, StateId to);
+
+} // namespace si::sg

@@ -1,0 +1,28 @@
+// Token-game reachability: builds the state graph of an STG.
+//
+// Section II of the paper: "the translation from different high-level
+// specifications (e.g. STGs) to state graphs is straightforward". This is
+// that translation — BFS over reachable markings, with initial signal
+// values inferred from the first transition polarity of each signal and
+// the consistent-state-assignment rules enforced along the way.
+#pragma once
+
+#include "si/sg/state_graph.hpp"
+#include "si/stg/stg.hpp"
+
+namespace si::sg {
+
+struct FromStgOptions {
+    /// Abort with SpecError when the marking graph exceeds this size.
+    std::size_t max_states = 1u << 20;
+};
+
+/// Builds the reachable state graph. Throws SpecError for inconsistent
+/// state assignments, unbounded places or state explosion past the cap.
+[[nodiscard]] StateGraph build_state_graph(const stg::Stg& stg, const FromStgOptions& opts = {});
+
+/// Initial code inference only (exposed for tests): the value each
+/// signal holds in the initial marking.
+[[nodiscard]] BitVec infer_initial_code(const stg::Stg& stg, const FromStgOptions& opts = {});
+
+} // namespace si::sg

@@ -1,0 +1,28 @@
+// Bisimulation minimization of state graphs.
+//
+// Distinct markings of an STG can induce state-graph states with the
+// same code and the same future behaviour; composition multiplies such
+// duplicates. Merging bisimilar states (partition refinement over the
+// code + outgoing-label signature) shrinks the graph without changing
+// any property this library checks — regions, MC status, CSC, and the
+// SAT insertion all get smaller inputs.
+#pragma once
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::sg {
+
+struct MinimizeStats {
+    std::size_t states_before = 0;
+    std::size_t states_after = 0;
+    std::size_t refinement_rounds = 0;
+};
+
+/// Returns the quotient graph: one state per bisimulation class of the
+/// reachable states (initial partition: state codes; refinement: for
+/// every signal, successor classes must agree). The result is reachable
+/// and well-formed; arcs are deduplicated.
+[[nodiscard]] StateGraph minimize_bisimulation(const StateGraph& g,
+                                               MinimizeStats* stats = nullptr);
+
+} // namespace si::sg

@@ -1,0 +1,50 @@
+// Petri-net synthesis from state graphs (region theory).
+//
+// The synthesis flow inserts state signals at the *state graph* level;
+// to hand the transformed specification back to STG-based tools it must
+// be folded into a Petri net again. This is the classic region-theory
+// construction (Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev —
+// the direct successors of this paper): a *region* is a set of states
+// every event crosses uniformly (all its arcs enter, all exit, or none
+// crosses); regions become places, events become transitions, and a
+// pre-region of an event is a region all of its arcs exit.
+//
+// Events here are the excitation-region instances of each signal (the
+// label splitting the paper's multi-transition notation +a_i already
+// provides). For each event the minimal pre-regions are found by the
+// standard grow-and-branch expansion from the excitation set; if the
+// intersection of the pre-regions does not pin down the excitation set
+// exactly (excitation closure fails), the synthesizer falls back to the
+// state-machine construction (one place per state), which is always
+// correct but not compact.
+#pragma once
+
+#include "si/sg/state_graph.hpp"
+#include "si/stg/stg.hpp"
+
+namespace si::sg {
+
+struct NetSynthesisOptions {
+    /// Branch-and-grow budget across all events.
+    std::size_t max_candidates = 65536;
+    /// Drop places whose removal provably keeps the behaviour (checked
+    /// by re-unfolding and bisimulation; quadratic but exact).
+    bool remove_redundant_places = true;
+    /// Never fall back to the one-place-per-state net; throw instead.
+    bool forbid_state_machine_fallback = false;
+};
+
+struct NetSynthesisResult {
+    stg::Stg net;
+    bool used_regions = false;    ///< false: state-machine fallback
+    std::size_t regions_found = 0;
+    std::size_t places_removed = 0;
+};
+
+/// Synthesizes an STG whose reachable behaviour is (strongly) bisimilar
+/// to `sg`. Throws SynthesisError when the fallback is forbidden and
+/// excitation closure cannot be established.
+[[nodiscard]] NetSynthesisResult synthesize_stg(const StateGraph& sg,
+                                                const NetSynthesisOptions& opts = {});
+
+} // namespace si::sg

@@ -1,0 +1,35 @@
+// Interface conformance between a transformed state graph and its
+// original specification.
+//
+// Signal insertion (Section V) must not change what the environment can
+// observe: hiding the inserted internal signals, the transformed graph
+// must allow exactly the specified input/output behaviour (Molnar's Foam
+// Rubber Wrapper discipline). This module checks a weak bisimulation
+// between the two graphs, where the hidden moves are the transitions of
+// signals absent from the specification:
+//   * soundness  — every implementation transition is either hidden or
+//     matches a specification transition from the related state;
+//   * completeness — every specification transition stays available:
+//     inputs immediately (the environment never waits for hidden
+//     signals), outputs after finitely many hidden moves.
+#pragma once
+
+#include <string>
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::sg {
+
+struct ProjectionResult {
+    bool ok = false;
+    std::string reason; ///< human-readable witness when !ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/// Checks that `impl` projects onto `spec` when all signals of `impl`
+/// that do not exist (by name) in `spec` are hidden. Signals present in
+/// `spec` must all exist in `impl` with the same kind.
+[[nodiscard]] ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec);
+
+} // namespace si::sg

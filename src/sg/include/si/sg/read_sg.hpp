@@ -1,0 +1,29 @@
+// A small textual format for state graphs, used to transcribe the
+// paper's figures exactly and to write compact test fixtures.
+//
+//   .model fig1
+//   .inputs a b
+//   .outputs c d
+//   .arcs
+//   0000 a+ 1000     # source code, signal edge, target code
+//   1000 c+ 1010
+//   .initial 0000
+//   .end
+//
+// Codes list signals in declaration order. States are created on first
+// mention; codes must be unique within the file (the paper's figures
+// satisfy CSC at the code level or are small enough to relabel).
+#pragma once
+
+#include <string_view>
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::sg {
+
+[[nodiscard]] StateGraph read_sg(std::string_view text);
+
+/// Renders in the same format (round-trips when codes are unique).
+[[nodiscard]] std::string write_sg(const StateGraph& sg);
+
+} // namespace si::sg

@@ -1,0 +1,86 @@
+// Excitation / quiescent / constant-function regions (Defs 5-11 of the
+// paper) and the per-region structural facts the MC theory consumes:
+// minimal states, unique-entry, trigger transitions, ordered signals and
+// persistency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/sg/state_graph.hpp"
+#include "si/util/bitvec.hpp"
+
+namespace si::sg {
+
+/// One excitation region ER(*a_i) together with its derived objects.
+struct Region {
+    SignalId signal;
+    bool rising = true; ///< true for ER(+a), false for ER(-a)
+    int instance = 1;   ///< i in ER(*a_i), numbered in BFS discovery order
+
+    BitVec states;    ///< member states (over all states of the graph)
+    BitVec quiescent; ///< QR(*a_i): stable states between this ER and the next
+    BitVec cfr;       ///< CFR(*a_i) = states | quiescent
+
+    std::vector<StateId> minimal_states; ///< states without predecessors in the ER
+    std::vector<SignalEdge> triggers;    ///< labels of arcs entering the ER (Def 10)
+    BitVec ordered_signals;              ///< bit v: signal v is ordered w.r.t. this ER (Def 11)
+
+    [[nodiscard]] bool unique_entry() const { return minimal_states.size() == 1; }
+    /// Def 12: every trigger signal is ordered with this region.
+    [[nodiscard]] bool persistent() const;
+
+    /// "ER(+a,2)"-style name.
+    [[nodiscard]] std::string label(const StateGraph& sg) const;
+};
+
+/// Region decomposition of a state graph (reachable part only).
+class RegionAnalysis {
+public:
+    explicit RegionAnalysis(const StateGraph& sg);
+
+    [[nodiscard]] const StateGraph& graph() const { return *sg_; }
+    [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+    [[nodiscard]] const Region& region(RegionId r) const { return regions_[r.index()]; }
+
+    /// Regions of one signal, in instance order (up and down interleaved
+    /// by discovery).
+    [[nodiscard]] std::vector<RegionId> regions_of(SignalId v) const;
+
+    /// The ER containing `s` for signal `v`, or invalid if v not excited
+    /// in s.
+    [[nodiscard]] RegionId region_containing(StateId s, SignalId v) const;
+
+    /// Paper notation: 0-set(a) = union of QR(-a_i)  (a stable at 0),
+    /// 0*-set(a) = union of ER(+a_i), 1-set, 1*-set analogously.
+    [[nodiscard]] const BitVec& set_stable0(SignalId v) const { return per_signal_[v.index()].stable0; }
+    [[nodiscard]] const BitVec& set_stable1(SignalId v) const { return per_signal_[v.index()].stable1; }
+    [[nodiscard]] const BitVec& set_excited0(SignalId v) const { return per_signal_[v.index()].excited0; }
+    [[nodiscard]] const BitVec& set_excited1(SignalId v) const { return per_signal_[v.index()].excited1; }
+
+    /// Reachable-state mask the analysis ran over.
+    [[nodiscard]] const BitVec& reachable() const { return reachable_; }
+
+    /// True when every ER of every non-input signal has a unique entry
+    /// state (Def 9).
+    [[nodiscard]] bool all_unique_entry() const;
+    /// True when every ER of every non-input signal is persistent.
+    [[nodiscard]] bool all_persistent() const;
+
+    /// Multi-line report of all regions (for the example binaries).
+    [[nodiscard]] std::string report() const;
+
+private:
+    struct PerSignal {
+        BitVec stable0, stable1, excited0, excited1;
+    };
+
+    const StateGraph* sg_;
+    BitVec reachable_;
+    std::vector<Region> regions_;
+    std::vector<PerSignal> per_signal_;
+    // region index per (state, signal), UINT32_MAX when not excited.
+    std::vector<std::uint32_t> region_at_;
+};
+
+} // namespace si::sg

@@ -1,0 +1,84 @@
+// State graphs (Section II of the paper).
+//
+// A state graph is a finite automaton whose states carry binary codes
+// over the signal set and whose arcs are single-signal transitions. This
+// class stores the structure and the consistent-state-assignment
+// invariant: an arc u->v on signal s flips exactly bit s of the code.
+// Enabledness ("excitation") of a signal in a state is represented by the
+// presence of an outgoing arc on that signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/stg/signals.hpp"
+#include "si/util/bitvec.hpp"
+#include "si/util/ids.hpp"
+
+namespace si::sg {
+
+struct Arc {
+    StateId from;
+    StateId to;
+    SignalId signal;
+};
+
+struct State {
+    BitVec code;                        ///< one bit per signal, signal order
+    std::vector<std::uint32_t> out;     ///< arc indices
+    std::vector<std::uint32_t> in;      ///< arc indices
+};
+
+class StateGraph {
+public:
+    std::string name = "sg";
+
+    [[nodiscard]] SignalTable& signals() { return signals_; }
+    [[nodiscard]] const SignalTable& signals() const { return signals_; }
+    [[nodiscard]] std::size_t num_signals() const { return signals_.size(); }
+
+    /// Adds a state with the given code (width must equal num_signals()).
+    StateId add_state(BitVec code);
+    /// Adds an arc; throws SpecError unless the codes differ exactly in
+    /// `signal` (consistent state assignment).
+    std::uint32_t add_arc(StateId from, StateId to, SignalId signal);
+
+    [[nodiscard]] std::size_t num_states() const { return states_.size(); }
+    [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+    [[nodiscard]] const State& state(StateId s) const { return states_[s.index()]; }
+    [[nodiscard]] const Arc& arc(std::uint32_t i) const { return arcs_[i]; }
+    [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+
+    void set_initial(StateId s) { initial_ = s; }
+    [[nodiscard]] StateId initial() const { return initial_; }
+
+    /// Value of signal v in state s.
+    [[nodiscard]] bool value(StateId s, SignalId v) const { return states_[s.index()].code.test(v.index()); }
+    /// True if some transition of v is enabled in s.
+    [[nodiscard]] bool excited(StateId s, SignalId v) const;
+    /// The arc firing signal v from s (invalid index UINT32_MAX if none).
+    [[nodiscard]] std::uint32_t arc_on(StateId s, SignalId v) const;
+    /// The signal edge an arc performs (+v when the target has v=1).
+    [[nodiscard]] SignalEdge edge_of(std::uint32_t arc_index) const;
+
+    /// States reachable from the initial state (includes it).
+    [[nodiscard]] BitVec reachable() const;
+
+    /// The unique state with this code, if codes are unique; otherwise
+    /// the first match. Invalid if absent.
+    [[nodiscard]] StateId find_by_code(const BitVec& code) const;
+
+    /// Code rendered with excitation asterisks, paper style: "10*0*1".
+    [[nodiscard]] std::string state_label(StateId s) const;
+
+    /// Multi-line dump for debugging and reports.
+    [[nodiscard]] std::string dump() const;
+
+private:
+    SignalTable signals_;
+    std::vector<State> states_;
+    std::vector<Arc> arcs_;
+    StateId initial_{};
+};
+
+} // namespace si::sg

@@ -1,0 +1,152 @@
+#include "si/sg/analysis.hpp"
+
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+std::string ConflictWitness::describe(const StateGraph& sg) const {
+    return std::string(internal ? "internal" : "input") + " conflict at " + sg.state_label(state) +
+           ": firing " + sg.signals()[by].name + " -> " + sg.state_label(successor) + " disables " +
+           sg.signals()[signal].name;
+}
+
+std::string DetonantWitness::describe(const StateGraph& sg) const {
+    return "detonant state " + sg.state_label(state) + " w.r.t. " + sg.signals()[signal].name +
+           ": excited in both " + sg.state_label(successor_a) + " and " + sg.state_label(successor_b);
+}
+
+std::string CscWitness::describe(const StateGraph& sg) const {
+    return "CSC violation: states " + sg.state_label(a) + " and " + sg.state_label(b) +
+           " share code " + sg.state(a).code.to_string() + " but differ in excitation of " +
+           sg.signals()[differs_on].name;
+}
+
+std::vector<ConflictWitness> find_conflicts(const StateGraph& sg) {
+    std::vector<ConflictWitness> out;
+    const BitVec reach = sg.reachable();
+    for (std::size_t si = 0; si < sg.num_states(); ++si) {
+        const StateId s{si};
+        if (!reach.test(si)) continue;
+        for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (!sg.excited(s, v)) continue;
+            for (const auto a : sg.state(s).out) {
+                const Arc& arc = sg.arc(a);
+                if (arc.signal == v) continue;
+                // v is "disabled" if stable (same value, not excited) in
+                // the successor.
+                if (!sg.excited(arc.to, v)) {
+                    out.push_back(ConflictWitness{s, v, arc.signal, arc.to,
+                                                  is_non_input(sg.signals()[v].kind)});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<DetonantWitness> find_detonants(const StateGraph& sg) {
+    std::vector<DetonantWitness> out;
+    const BitVec reach = sg.reachable();
+    for (std::size_t si = 0; si < sg.num_states(); ++si) {
+        const StateId s{si};
+        if (!reach.test(si)) continue;
+        for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (!is_non_input(sg.signals()[v].kind)) continue;
+            if (sg.excited(s, v)) continue;
+            // Collect pairs of *concurrent* successors in which v is
+            // excited. Successors reached by conflicting transitions
+            // (choices — e.g. an input deciding between behaviours) are
+            // alternatives, not OR-causality, and do not detonate.
+            const auto& outs = sg.state(s).out;
+            for (std::size_t i = 0; i < outs.size(); ++i) {
+                for (std::size_t j = i + 1; j < outs.size(); ++j) {
+                    const Arc& a1 = sg.arc(outs[i]);
+                    const Arc& a2 = sg.arc(outs[j]);
+                    if (!sg.excited(a1.to, v) || !sg.excited(a2.to, v)) continue;
+                    // Concurrent = neither firing disables the other.
+                    if (!sg.excited(a1.to, a2.signal) || !sg.excited(a2.to, a1.signal))
+                        continue;
+                    out.push_back(DetonantWitness{s, v, a1.to, a2.to});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool is_semimodular(const StateGraph& sg) { return find_conflicts(sg).empty(); }
+
+bool is_output_semimodular(const StateGraph& sg) {
+    for (const auto& c : find_conflicts(sg))
+        if (c.internal) return false;
+    return true;
+}
+
+bool is_output_distributive(const StateGraph& sg) {
+    return is_output_semimodular(sg) && find_detonants(sg).empty();
+}
+
+std::vector<CscWitness> find_csc_violations(const StateGraph& sg) {
+    std::vector<CscWitness> out;
+    const BitVec reach = sg.reachable();
+    std::unordered_map<BitVec, std::vector<StateId>> buckets;
+    for (std::size_t si = 0; si < sg.num_states(); ++si)
+        if (reach.test(si)) buckets[sg.state(StateId(si)).code].push_back(StateId(si));
+    for (const auto& [code, states] : buckets) {
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            for (std::size_t j = i + 1; j < states.size(); ++j) {
+                for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
+                    const SignalId v{vi};
+                    if (!is_non_input(sg.signals()[v].kind)) continue;
+                    if (sg.excited(states[i], v) != sg.excited(states[j], v)) {
+                        out.push_back(CscWitness{states[i], states[j], v});
+                        break; // one witness per pair suffices
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool has_unique_state_coding(const StateGraph& sg) {
+    const BitVec reach = sg.reachable();
+    std::unordered_map<BitVec, StateId> seen;
+    for (std::size_t si = 0; si < sg.num_states(); ++si) {
+        if (!reach.test(si)) continue;
+        const auto [it, inserted] = seen.emplace(sg.state(StateId(si)).code, StateId(si));
+        if (!inserted) return false;
+    }
+    return true;
+}
+
+std::optional<std::string> check_well_formed(const StateGraph& sg) {
+    if (sg.num_states() == 0) return "state graph has no states";
+    if (!sg.initial().is_valid() || sg.initial().index() >= sg.num_states())
+        return "invalid initial state";
+    for (const auto& a : sg.arcs()) {
+        BitVec diff = sg.state(a.from).code;
+        diff ^= sg.state(a.to).code;
+        if (diff.count() != 1 || !diff.test(a.signal.index()))
+            return "arc " + sg.state_label(a.from) + "->" + sg.state_label(a.to) +
+                   " violates the state assignment rule";
+    }
+    // Interleaving semantics: at most one arc per (state, signal).
+    for (std::size_t si = 0; si < sg.num_states(); ++si) {
+        std::vector<bool> seen(sg.num_signals(), false);
+        for (const auto ai : sg.state(StateId(si)).out) {
+            const auto v = sg.arc(ai).signal.index();
+            if (seen[v])
+                return "state " + sg.state_label(StateId(si)) + " fires signal " +
+                       sg.signals()[SignalId(v)].name + " twice";
+            seen[v] = true;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace si::sg

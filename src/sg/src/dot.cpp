@@ -1,0 +1,58 @@
+#include "si/sg/dot.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+namespace si::sg {
+
+std::string to_dot(const StateGraph& sg, const DotOptions& opts) {
+    std::string out = "digraph \"" + sg.name + "\" {\n  rankdir=TB;\n  node [shape=ellipse, fontname=monospace];\n";
+    for (std::size_t si = 0; si < sg.num_states(); ++si) {
+        const StateId s{si};
+        out += "  s" + std::to_string(si) + " [label=\"" + sg.state_label(s) + "\"";
+        if (s == sg.initial()) out += ", peripheries=2";
+        if (opts.highlight && opts.highlight->test(si))
+            out += ", style=filled, fillcolor=" + opts.highlight_color;
+        out += "];\n";
+    }
+    for (const auto& a : sg.arcs()) {
+        out += "  s" + std::to_string(a.from.index()) + " -> s" + std::to_string(a.to.index()) +
+               " [label=\"" + to_string(sg.edge_of(static_cast<std::uint32_t>(&a - sg.arcs().data())),
+                                       sg.signals()) +
+               "\"];\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::optional<std::vector<std::string>> shortest_path(const StateGraph& sg, StateId from,
+                                                      StateId to) {
+    std::vector<std::uint32_t> via(sg.num_states(), UINT32_MAX);
+    std::vector<bool> seen(sg.num_states(), false);
+    std::deque<StateId> queue{from};
+    seen[from.index()] = true;
+    while (!queue.empty()) {
+        const StateId s = queue.front();
+        queue.pop_front();
+        if (s == to) break;
+        for (const auto ai : sg.state(s).out) {
+            const StateId t = sg.arc(ai).to;
+            if (seen[t.index()]) continue;
+            seen[t.index()] = true;
+            via[t.index()] = ai;
+            queue.push_back(t);
+        }
+    }
+    if (!seen[to.index()]) return std::nullopt;
+    std::vector<std::string> labels;
+    for (StateId s = to; s != from;) {
+        const auto ai = via[s.index()];
+        labels.push_back(to_string(sg.edge_of(ai), sg.signals()));
+        s = sg.arc(ai).from;
+    }
+    std::reverse(labels.begin(), labels.end());
+    return labels;
+}
+
+} // namespace si::sg

@@ -1,0 +1,176 @@
+#include "si/sg/from_stg.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+namespace {
+
+struct MarkingHash {
+    std::size_t operator()(const stg::Marking& m) const noexcept {
+        std::size_t h = 1469598103934665603ull;
+        for (const auto b : m) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+struct MarkingGraph {
+    struct Edge {
+        std::uint32_t from;
+        std::uint32_t to;
+        TransitionId transition;
+    };
+    std::vector<stg::Marking> nodes;
+    std::vector<Edge> edges;
+    std::vector<std::vector<std::uint32_t>> out; // edge indices per node
+};
+
+MarkingGraph explore(const stg::Stg& net, const FromStgOptions& opts) {
+    MarkingGraph g;
+    std::unordered_map<stg::Marking, std::uint32_t, MarkingHash> index;
+    g.nodes.push_back(net.initial_marking());
+    g.out.emplace_back();
+    index.emplace(net.initial_marking(), 0);
+    std::deque<std::uint32_t> queue{0};
+    while (!queue.empty()) {
+        const std::uint32_t cur = queue.front();
+        queue.pop_front();
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const TransitionId t{ti};
+            // Copy the marking: fire() may be reached after nodes grows.
+            const stg::Marking m = g.nodes[cur];
+            if (!net.enabled(m, t)) continue;
+            stg::Marking next = net.fire(m, t);
+            auto [it, inserted] = index.emplace(std::move(next), static_cast<std::uint32_t>(g.nodes.size()));
+            if (inserted) {
+                if (g.nodes.size() >= opts.max_states)
+                    throw SpecError("state explosion: more than " + std::to_string(opts.max_states) +
+                                    " reachable markings in '" + net.name + "'");
+                g.nodes.push_back(it->first);
+                g.out.emplace_back();
+                queue.push_back(it->second);
+            }
+            g.out[cur].push_back(static_cast<std::uint32_t>(g.edges.size()));
+            g.edges.push_back(MarkingGraph::Edge{cur, it->second, t});
+        }
+    }
+    return g;
+}
+
+BitVec infer_code(const stg::Stg& net, const MarkingGraph& g) {
+    const std::size_t nsig = net.signals().size();
+    BitVec code(nsig);
+    for (std::size_t vi = 0; vi < nsig; ++vi) {
+        const SignalId v{vi};
+        // Reachability without firing any transition of v.
+        std::vector<bool> seen(g.nodes.size(), false);
+        std::deque<std::uint32_t> queue{0};
+        seen[0] = true;
+        bool saw_plus = false;
+        bool saw_minus = false;
+        while (!queue.empty()) {
+            const std::uint32_t cur = queue.front();
+            queue.pop_front();
+            for (const auto ei : g.out[cur]) {
+                const auto& e = g.edges[ei];
+                const auto& tr = net.transition(e.transition);
+                if (tr.edge.signal == v) {
+                    (tr.edge.rising ? saw_plus : saw_minus) = true;
+                    continue;
+                }
+                if (!seen[e.to]) {
+                    seen[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if (saw_plus && saw_minus)
+            throw SpecError("signal '" + net.signals()[v].name +
+                            "' can both rise and fall first: no consistent initial value");
+        // A signal whose first visible edge falls starts at 1; one that
+        // rises first (or never fires) starts at 0.
+        if (saw_minus) code.set(vi);
+    }
+    return code;
+}
+
+} // namespace
+
+BitVec infer_initial_code(const stg::Stg& net, const FromStgOptions& opts) {
+    return infer_code(net, explore(net, opts));
+}
+
+StateGraph build_state_graph(const stg::Stg& net, const FromStgOptions& opts) {
+    net.validate();
+    const MarkingGraph g = explore(net, opts);
+    const BitVec initial_code = infer_code(net, g);
+    const std::size_t nsig = net.signals().size();
+
+    StateGraph sg;
+    sg.name = net.name;
+    for (const auto& s : net.signals().all()) sg.signals().add(s.name, s.kind);
+
+    // Assign codes by BFS with the state-assignment rule.
+    std::vector<BitVec> codes(g.nodes.size());
+    std::vector<bool> have(g.nodes.size(), false);
+    codes[0] = initial_code;
+    have[0] = true;
+    std::deque<std::uint32_t> queue{0};
+    while (!queue.empty()) {
+        const std::uint32_t cur = queue.front();
+        queue.pop_front();
+        for (const auto ei : g.out[cur]) {
+            const auto& e = g.edges[ei];
+            const auto& tr = net.transition(e.transition);
+            const std::size_t bit = tr.edge.signal.index();
+            if (codes[cur].test(bit) == tr.edge.rising)
+                throw SpecError("inconsistent state assignment in '" + net.name + "': " +
+                                net.transition_label(e.transition) + " fires while " +
+                                net.signals()[tr.edge.signal].name + " is already " +
+                                (tr.edge.rising ? "1" : "0"));
+            BitVec next = codes[cur];
+            next.flip(bit);
+            if (have[e.to]) {
+                if (codes[e.to] != next)
+                    throw SpecError("inconsistent state assignment in '" + net.name +
+                                    "': marking reached with two different codes " +
+                                    codes[e.to].to_string() + " and " + next.to_string());
+            } else {
+                codes[e.to] = std::move(next);
+                have[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        require(have[i], "unreached marking in explored graph");
+        require(codes[i].size() == nsig, "code width mismatch");
+        sg.add_state(codes[i]);
+    }
+    sg.set_initial(StateId(0));
+    for (const auto& e : g.edges) {
+        // Interleaving semantics: several transitions of the same signal
+        // enabled in one marking would create parallel same-signal arcs;
+        // collapse them (they reach the same code by construction).
+        const StateId from{e.from};
+        const SignalId sig = net.transition(e.transition).edge.signal;
+        if (sg.arc_on(from, sig) != UINT32_MAX) {
+            if (sg.arc(sg.arc_on(from, sig)).to != StateId(e.to))
+                throw SpecError("auto-concurrency in '" + net.name + "': two transitions of " +
+                                net.signals()[sig].name + " enabled in one marking");
+            continue;
+        }
+        sg.add_arc(StateId(e.from), StateId(e.to), sig);
+    }
+    return sg;
+}
+
+} // namespace si::sg

@@ -1,0 +1,85 @@
+#include "si/sg/minimize_sg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
+    const BitVec reach = g.reachable();
+    const std::size_t n = g.num_states();
+
+    // class_of[s]: current partition block of state s (reachable only).
+    std::vector<std::uint32_t> class_of(n, UINT32_MAX);
+    {
+        std::unordered_map<BitVec, std::uint32_t> by_code;
+        reach.for_each_set([&](std::size_t si) {
+            const auto [it, inserted] =
+                by_code.emplace(g.state(StateId(si)).code,
+                                static_cast<std::uint32_t>(by_code.size()));
+            class_of[si] = it->second;
+        });
+    }
+
+    std::size_t rounds = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++rounds;
+        // Signature: old class + sorted (signal -> successor class).
+        std::map<std::pair<std::uint32_t, std::vector<std::pair<std::uint32_t, std::uint32_t>>>,
+                 std::uint32_t>
+            sig_to_class;
+        std::vector<std::uint32_t> next_class(n, UINT32_MAX);
+        reach.for_each_set([&](std::size_t si) {
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
+            for (const auto ai : g.state(StateId(si)).out) {
+                const auto& arc = g.arc(ai);
+                moves.emplace_back(static_cast<std::uint32_t>(arc.signal.index()),
+                                   class_of[arc.to.index()]);
+            }
+            std::sort(moves.begin(), moves.end());
+            const auto key = std::make_pair(class_of[si], std::move(moves));
+            const auto [it, inserted] =
+                sig_to_class.emplace(key, static_cast<std::uint32_t>(sig_to_class.size()));
+            next_class[si] = it->second;
+        });
+        reach.for_each_set([&](std::size_t si) {
+            if (next_class[si] != class_of[si]) changed = true;
+        });
+        class_of = std::move(next_class);
+    }
+
+    // Build the quotient.
+    StateGraph out;
+    out.name = g.name;
+    for (const auto& s : g.signals().all()) out.signals().add(s.name, s.kind);
+    std::map<std::uint32_t, StateId> rep;
+    reach.for_each_set([&](std::size_t si) {
+        if (!rep.count(class_of[si]))
+            rep.emplace(class_of[si], out.add_state(g.state(StateId(si)).code));
+    });
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> arc_seen;
+    reach.for_each_set([&](std::size_t si) {
+        for (const auto ai : g.state(StateId(si)).out) {
+            const auto& arc = g.arc(ai);
+            const StateId from = rep.at(class_of[si]);
+            const StateId to = rep.at(class_of[arc.to.index()]);
+            if (arc_seen.emplace(std::make_pair(from.raw(), to.raw()), true).second)
+                out.add_arc(from, to, arc.signal);
+        }
+    });
+    out.set_initial(rep.at(class_of[g.initial().index()]));
+
+    if (stats) {
+        stats->states_before = reach.count();
+        stats->states_after = out.num_states();
+        stats->refinement_rounds = rounds;
+    }
+    return out;
+}
+
+} // namespace si::sg

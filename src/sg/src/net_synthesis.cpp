@@ -1,0 +1,321 @@
+#include "si/sg/net_synthesis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/regions.hpp"
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+namespace {
+
+// One transition of the synthesized net: an excitation-region instance
+// of a signal, with all its state-graph arcs.
+struct Event {
+    SignalId signal;
+    bool rising;
+    int instance;
+    std::vector<std::uint32_t> arcs;
+    BitVec sources; // = the excitation set ES(e)
+};
+
+std::vector<Event> collect_events(const StateGraph& g) {
+    const RegionAnalysis ra(g);
+    std::vector<Event> events;
+    for (const auto& r : ra.regions()) {
+        Event e;
+        e.signal = r.signal;
+        e.rising = r.rising;
+        e.instance = r.instance;
+        e.sources = BitVec(g.num_states());
+        r.states.for_each_set([&](std::size_t si) {
+            const auto a = g.arc_on(StateId(si), r.signal);
+            if (a != UINT32_MAX) {
+                e.arcs.push_back(a);
+                e.sources.set(si);
+            }
+        });
+        if (!e.arcs.empty()) events.push_back(std::move(e));
+    }
+    return events;
+}
+
+// Crossing census of event f w.r.t. candidate set R.
+struct Crossing {
+    std::size_t enter = 0;
+    std::size_t exit = 0;
+    std::size_t total = 0;
+};
+
+Crossing census(const StateGraph& g, const Event& f, const BitVec& r) {
+    Crossing c;
+    c.total = f.arcs.size();
+    for (const auto ai : f.arcs) {
+        const bool src_in = r.test(g.arc(ai).from.index());
+        const bool dst_in = r.test(g.arc(ai).to.index());
+        if (!src_in && dst_in) ++c.enter;
+        if (src_in && !dst_in) ++c.exit;
+    }
+    return c;
+}
+
+bool legal_for(const Crossing& c) {
+    return (c.enter == 0 && c.exit == 0) || c.enter == c.total || c.exit == c.total;
+}
+
+// Grows ES(e) into the minimal legal regions all e-arcs exit.
+std::vector<BitVec> minimal_preregions(const StateGraph& g, const std::vector<Event>& events,
+                                       const Event& e, std::size_t* budget) {
+    std::vector<BitVec> found;
+    std::set<std::string> seen;
+    std::deque<BitVec> work{e.sources};
+
+    auto push = [&](BitVec grown, const BitVec& r) {
+        if (grown == r) return; // no growth: dead end
+        if (seen.insert(grown.to_string()).second) work.push_back(std::move(grown));
+    };
+    // Legalization options for a violating event f (the classic region
+    // expansion): an entering arc is repaired by making f all-enter (add
+    // every target) or by pulling that arc inside (add the sources of
+    // the entering arcs); an exiting arc dually.
+    auto expand = [&](const BitVec& r, const Event& f) {
+        bool has_enter = false;
+        bool has_exit = false;
+        BitVec all_src = r, all_dst = r, enter_src = r, exit_dst = r;
+        for (const auto ai : f.arcs) {
+            const std::size_t src = g.arc(ai).from.index();
+            const std::size_t dst = g.arc(ai).to.index();
+            all_src.set(src);
+            all_dst.set(dst);
+            if (!r.test(src) && r.test(dst)) {
+                has_enter = true;
+                enter_src.set(src);
+            }
+            if (r.test(src) && !r.test(dst)) {
+                has_exit = true;
+                exit_dst.set(dst);
+            }
+        }
+        if (has_enter) {
+            push(all_dst, r);   // make f all-enter
+            push(enter_src, r); // pull entering arcs inside (no-cross)
+        }
+        if (has_exit) {
+            push(all_src, r);  // make f all-exit
+            push(exit_dst, r); // pull exiting arcs inside (no-cross)
+        }
+    };
+
+    while (!work.empty() && *budget > 0) {
+        --*budget;
+        const BitVec r = work.front();
+        work.pop_front();
+
+        // A pre-region of e must keep every e-target outside.
+        bool target_inside = false;
+        for (const auto ai : e.arcs) target_inside = target_inside || r.test(g.arc(ai).to.index());
+        if (target_inside) continue;
+
+        // Find the first event crossing non-uniformly.
+        const Event* violator = nullptr;
+        for (const auto& f : events) {
+            if (!legal_for(census(g, f, r))) {
+                violator = &f;
+                break;
+            }
+        }
+        if (violator == nullptr) {
+            // Legal region; keep if not a superset of one already found.
+            bool dominated = false;
+            for (const auto& m : found) dominated = dominated || m.is_subset_of(r);
+            if (!dominated) found.push_back(r);
+            continue;
+        }
+        expand(r, *violator);
+    }
+
+    // Keep the minimal ones (branches may have found comparable sets in
+    // either order).
+    std::vector<BitVec> minimal;
+    for (const auto& r : found) {
+        bool has_smaller = false;
+        for (const auto& o : found)
+            if (!(o == r) && o.is_subset_of(r)) has_smaller = true;
+        if (!has_smaller) minimal.push_back(r);
+    }
+    return minimal;
+}
+
+stg::Stg state_machine_net(const StateGraph& g) {
+    stg::Stg net;
+    net.name = g.name;
+    for (const auto& s : g.signals().all()) net.signals().add(s.name, s.kind);
+    std::vector<PlaceId> place_of(g.num_states());
+    for (std::size_t si = 0; si < g.num_states(); ++si)
+        place_of[si] = net.add_place("s" + std::to_string(si));
+    // One transition per arc; instances numbered per signal edge.
+    std::map<std::pair<std::size_t, bool>, int> instance_counter;
+    for (std::uint32_t ai = 0; ai < g.num_arcs(); ++ai) {
+        const auto& arc = g.arc(ai);
+        const SignalEdge edge = g.edge_of(ai);
+        const int inst = ++instance_counter[{edge.signal.index(), edge.rising}];
+        const TransitionId t = net.add_transition(edge, inst);
+        net.connect_pt(place_of[arc.from.index()], t);
+        net.connect_tp(t, place_of[arc.to.index()]);
+    }
+    net.mark(place_of[g.initial().index()]);
+    return net;
+}
+
+// True if rebuilding the net's state graph gives back `g`'s behaviour.
+bool behaviour_matches(const stg::Stg& net, const StateGraph& g) {
+    try {
+        const StateGraph rebuilt = build_state_graph(net);
+        return check_projection(rebuilt, g).ok && check_projection(g, rebuilt).ok;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+} // namespace
+
+NetSynthesisResult synthesize_stg(const StateGraph& g, const NetSynthesisOptions& opts) {
+    if (const auto err = check_well_formed(g))
+        throw SpecError("net synthesis: malformed state graph: " + *err);
+    NetSynthesisResult result;
+
+    const auto events = collect_events(g);
+    std::size_t budget = opts.max_candidates;
+
+    // Minimal pre-regions per event + excitation closure check.
+    std::vector<std::vector<BitVec>> preregions(events.size());
+    bool closure = true;
+    for (std::size_t ei = 0; ei < events.size() && closure; ++ei) {
+        preregions[ei] = minimal_preregions(g, events, events[ei], &budget);
+        if (preregions[ei].empty()) {
+            closure = false;
+            if (std::getenv("SI_NETSYN_DEBUG"))
+                std::fprintf(stderr, "netsyn: no pre-region for event %zu\n", ei);
+            break;
+        }
+        BitVec inter = preregions[ei].front();
+        for (const auto& r : preregions[ei]) inter &= r;
+        closure = inter == events[ei].sources;
+        if (!closure && std::getenv("SI_NETSYN_DEBUG"))
+            std::fprintf(stderr, "netsyn: closure fails for event %zu (%zu preregions)\n", ei,
+                         preregions[ei].size());
+    }
+
+    if (closure) {
+        // Build the region net: distinct regions become places.
+        stg::Stg net;
+        net.name = g.name;
+        for (const auto& s : g.signals().all()) net.signals().add(s.name, s.kind);
+
+        std::vector<BitVec> regions;
+        for (const auto& list : preregions) {
+            for (const auto& r : list) {
+                if (std::find(regions.begin(), regions.end(), r) == regions.end())
+                    regions.push_back(r);
+            }
+        }
+        result.regions_found = regions.size();
+
+        std::vector<TransitionId> trans(events.size());
+        for (std::size_t ei = 0; ei < events.size(); ++ei)
+            trans[ei] = net.add_transition({events[ei].signal, events[ei].rising},
+                                           events[ei].instance);
+        std::vector<PlaceId> places;
+        for (std::size_t ri = 0; ri < regions.size(); ++ri)
+            places.push_back(net.add_place("r" + std::to_string(ri)));
+
+        for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+            for (std::size_t ei = 0; ei < events.size(); ++ei) {
+                const Crossing c = census(g, events[ei], regions[ri]);
+                if (c.total != 0 && c.exit == c.total) net.connect_pt(places[ri], trans[ei]);
+                if (c.total != 0 && c.enter == c.total) net.connect_tp(trans[ei], places[ri]);
+            }
+            if (regions[ri].test(g.initial().index())) net.mark(places[ri]);
+        }
+
+        if (std::getenv("SI_NETSYN_DEBUG") && !behaviour_matches(net, g)) {
+            const StateGraph rebuilt = build_state_graph(net);
+            std::fprintf(stderr, "netsyn: behaviour mismatch: fwd=%s bwd=%s\n",
+                         check_projection(rebuilt, g).reason.c_str(),
+                         check_projection(g, rebuilt).reason.c_str());
+        }
+        if (behaviour_matches(net, g)) {
+            // Optional redundancy sweep: drop places whose removal keeps
+            // the behaviour (exact check by re-unfolding).
+            if (opts.remove_redundant_places) {
+                auto without_place = [&](const stg::Stg& base,
+                                         std::size_t drop) -> std::optional<stg::Stg> {
+                    stg::Stg trimmed;
+                    trimmed.name = base.name;
+                    for (const auto& s : base.signals().all())
+                        trimmed.signals().add(s.name, s.kind);
+                    std::vector<TransitionId> tmap;
+                    for (std::size_t ti = 0; ti < base.num_transitions(); ++ti) {
+                        const auto& t = base.transition(TransitionId(ti));
+                        tmap.push_back(trimmed.add_transition(t.edge, t.instance));
+                    }
+                    std::vector<PlaceId> pmap(base.num_places(), PlaceId::invalid());
+                    for (std::size_t pi = 0; pi < base.num_places(); ++pi) {
+                        if (pi == drop) continue;
+                        pmap[pi] = trimmed.add_place(base.place(PlaceId(pi)).name);
+                        trimmed.mark(pmap[pi], base.initial_marking()[pi]);
+                    }
+                    for (std::size_t ti = 0; ti < base.num_transitions(); ++ti) {
+                        const auto& t = base.transition(TransitionId(ti));
+                        std::size_t presets = 0;
+                        for (const PlaceId p : t.preset) {
+                            if (!pmap[p.index()].is_valid()) continue;
+                            trimmed.connect_pt(pmap[p.index()], tmap[ti]);
+                            ++presets;
+                        }
+                        for (const PlaceId p : t.postset)
+                            if (pmap[p.index()].is_valid())
+                                trimmed.connect_tp(tmap[ti], pmap[p.index()]);
+                        if (presets == 0) return std::nullopt; // transition unconstrained
+                    }
+                    return trimmed;
+                };
+                bool changed = true;
+                while (changed) {
+                    changed = false;
+                    for (std::size_t pi = net.num_places(); pi-- > 0;) {
+                        const auto trimmed = without_place(net, pi);
+                        if (trimmed && behaviour_matches(*trimmed, g)) {
+                            net = *trimmed;
+                            ++result.places_removed;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            result.net = std::move(net);
+            result.used_regions = true;
+            return result;
+        }
+    }
+
+    if (opts.forbid_state_machine_fallback)
+        throw SynthesisError("net synthesis: excitation closure fails for '" + g.name +
+                             "' and the state-machine fallback is forbidden");
+    result.net = state_machine_net(g);
+    result.used_regions = false;
+    require(behaviour_matches(result.net, g), "state-machine net must reproduce the graph");
+    return result;
+}
+
+} // namespace si::sg

@@ -1,0 +1,103 @@
+#include "si/sg/projection.hpp"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+namespace si::sg {
+
+namespace {
+
+struct Pair {
+    StateId impl;
+    StateId spec;
+    friend bool operator<(const Pair& a, const Pair& b) {
+        return a.impl != b.impl ? a.impl < b.impl : a.spec < b.spec;
+    }
+};
+
+} // namespace
+
+ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec) {
+    // Map implementation signals onto specification signals (invalid =
+    // hidden internal signal).
+    std::vector<SignalId> to_spec(impl.num_signals(), SignalId::invalid());
+    for (std::size_t vi = 0; vi < impl.num_signals(); ++vi) {
+        const SignalId s = spec.signals().find(impl.signals()[SignalId(vi)].name);
+        if (!s.is_valid()) continue;
+        if (spec.signals()[s].kind != impl.signals()[SignalId(vi)].kind)
+            return {false, "signal '" + impl.signals()[SignalId(vi)].name +
+                               "' changed kind between spec and implementation"};
+        to_spec[vi] = s;
+    }
+    for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
+        if (!impl.signals().find(spec.signals()[SignalId(vi)].name).is_valid())
+            return {false, "specification signal '" + spec.signals()[SignalId(vi)].name +
+                               "' missing from the implementation"};
+    }
+
+    // Hidden-closure: implementation states reachable from s via hidden
+    // transitions only (including s).
+    auto hidden_closure = [&](StateId s) {
+        std::vector<StateId> closure{s};
+        std::set<StateId> seen{s};
+        for (std::size_t i = 0; i < closure.size(); ++i) {
+            for (const auto ai : impl.state(closure[i]).out) {
+                const auto& arc = impl.arc(ai);
+                if (to_spec[arc.signal.index()].is_valid()) continue;
+                if (seen.insert(arc.to).second) closure.push_back(arc.to);
+            }
+        }
+        return closure;
+    };
+
+    std::set<Pair> related{{impl.initial(), spec.initial()}};
+    std::deque<Pair> queue{{impl.initial(), spec.initial()}};
+    while (!queue.empty()) {
+        const Pair p = queue.front();
+        queue.pop_front();
+
+        // Soundness: every impl transition is hidden or spec-matched.
+        for (const auto ai : impl.state(p.impl).out) {
+            const auto& arc = impl.arc(ai);
+            const SignalId vis = to_spec[arc.signal.index()];
+            Pair next{arc.to, p.spec};
+            if (vis.is_valid()) {
+                const auto sa = spec.arc_on(p.spec, vis);
+                const bool rising = impl.value(arc.to, arc.signal);
+                if (sa == UINT32_MAX || spec.value(spec.arc(sa).to, vis) != rising)
+                    return {false, "implementation fires " +
+                                       to_string({arc.signal, rising}, impl.signals()) +
+                                       " at " + impl.state_label(p.impl) +
+                                       " which the spec forbids at " + spec.state_label(p.spec)};
+                next.spec = spec.arc(sa).to;
+            }
+            if (related.insert(next).second) queue.push_back(next);
+        }
+
+        // Completeness: every spec transition stays available — inputs
+        // immediately, outputs within the hidden closure.
+        for (const auto ai : spec.state(p.spec).out) {
+            const auto& arc = spec.arc(ai);
+            const SignalId iv = impl.signals().find(spec.signals()[arc.signal].name);
+            const bool is_input = spec.signals()[arc.signal].kind == SignalKind::Input;
+            bool found = is_input ? impl.arc_on(p.impl, iv) != UINT32_MAX : false;
+            if (!is_input) {
+                for (const StateId c : hidden_closure(p.impl))
+                    if (impl.arc_on(c, iv) != UINT32_MAX) found = true;
+            }
+            if (!found)
+                return {false, "specification transition " +
+                                   to_string({arc.signal, spec.value(arc.to, arc.signal)},
+                                             spec.signals()) +
+                                   " enabled at " + spec.state_label(p.spec) +
+                                   " is unavailable at implementation state " +
+                                   impl.state_label(p.impl) +
+                                   (is_input ? " (inputs must not wait for hidden signals)"
+                                             : " (lost output option)")};
+        }
+    }
+    return {true, {}};
+}
+
+} // namespace si::sg

@@ -1,0 +1,108 @@
+#include "si/sg/read_sg.hpp"
+
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+#include "si/util/text.hpp"
+
+namespace si::sg {
+
+namespace {
+
+BitVec parse_code(const std::string& tok, std::size_t width, std::size_t line_no) {
+    if (tok.size() != width)
+        throw ParseError(".sg line " + std::to_string(line_no + 1) + ": code '" + tok +
+                         "' has wrong width");
+    BitVec code(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        if (tok[i] == '1')
+            code.set(i);
+        else if (tok[i] != '0')
+            throw ParseError(".sg line " + std::to_string(line_no + 1) + ": bad code '" + tok + "'");
+    }
+    return code;
+}
+
+} // namespace
+
+StateGraph read_sg(std::string_view text) {
+    StateGraph sg;
+    std::unordered_map<BitVec, StateId> by_code;
+    bool in_arcs = false;
+    bool saw_end = false;
+    bool have_initial = false;
+
+    auto state_of = [&](const BitVec& code) {
+        if (const auto it = by_code.find(code); it != by_code.end()) return it->second;
+        const StateId s = sg.add_state(code);
+        by_code.emplace(code, s);
+        return s;
+    };
+
+    const auto all_lines = lines_of(text);
+    for (std::size_t ln = 0; ln < all_lines.size(); ++ln) {
+        std::string_view raw = all_lines[ln];
+        if (const auto hash = raw.find('#'); hash != std::string_view::npos)
+            raw = raw.substr(0, hash);
+        const auto toks = split(trim(raw));
+        if (toks.empty()) continue;
+        const std::string& head = toks[0];
+        if (head == ".model") {
+            if (toks.size() >= 2) sg.name = toks[1];
+        } else if (head == ".inputs" || head == ".outputs" || head == ".internal") {
+            const SignalKind kind = head == ".inputs"    ? SignalKind::Input
+                                    : head == ".outputs" ? SignalKind::Output
+                                                         : SignalKind::Internal;
+            for (std::size_t i = 1; i < toks.size(); ++i) sg.signals().add(toks[i], kind);
+        } else if (head == ".arcs") {
+            in_arcs = true;
+        } else if (head == ".initial") {
+            if (toks.size() != 2) throw ParseError(".initial needs one code");
+            sg.set_initial(state_of(parse_code(toks[1], sg.num_signals(), ln)));
+            have_initial = true;
+        } else if (head == ".end") {
+            saw_end = true;
+        } else if (in_arcs && toks.size() == 3) {
+            const StateId from = state_of(parse_code(toks[0], sg.num_signals(), ln));
+            const StateId to = state_of(parse_code(toks[2], sg.num_signals(), ln));
+            const std::string& label = toks[1];
+            if (label.size() < 2 || (label.back() != '+' && label.back() != '-'))
+                throw ParseError(".sg line " + std::to_string(ln + 1) + ": bad edge '" + label + "'");
+            const SignalId sig = sg.signals().find(label.substr(0, label.size() - 1));
+            if (!sig.is_valid())
+                throw ParseError(".sg line " + std::to_string(ln + 1) + ": unknown signal in '" +
+                                 label + "'");
+            const bool rising = label.back() == '+';
+            if (sg.value(to, sig) != rising || sg.value(from, sig) == rising)
+                throw ParseError(".sg line " + std::to_string(ln + 1) + ": edge '" + label +
+                                 "' disagrees with codes");
+            sg.add_arc(from, to, sig);
+        } else {
+            throw ParseError(".sg line " + std::to_string(ln + 1) + ": unexpected line");
+        }
+    }
+    if (!saw_end) throw ParseError(".sg: missing .end");
+    if (!have_initial) throw ParseError(".sg: missing .initial");
+    return sg;
+}
+
+std::string write_sg(const StateGraph& sg) {
+    std::string out = ".model " + sg.name + "\n";
+    for (const auto kind : {SignalKind::Input, SignalKind::Output, SignalKind::Internal}) {
+        std::string line;
+        for (const auto& s : sg.signals().all())
+            if (s.kind == kind) line += " " + s.name;
+        if (line.empty()) continue;
+        out += kind == SignalKind::Input ? ".inputs" : kind == SignalKind::Output ? ".outputs" : ".internal";
+        out += line + "\n";
+    }
+    out += ".arcs\n";
+    for (const auto& a : sg.arcs()) {
+        out += sg.state(a.from).code.to_string() + " " + sg.signals()[a.signal].name +
+               (sg.value(a.to, a.signal) ? "+" : "-") + " " + sg.state(a.to).code.to_string() + "\n";
+    }
+    out += ".initial " + sg.state(sg.initial()).code.to_string() + "\n.end\n";
+    return out;
+}
+
+} // namespace si::sg

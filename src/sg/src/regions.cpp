@@ -1,0 +1,232 @@
+#include "si/sg/regions.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+bool Region::persistent() const {
+    for (const auto& t : triggers)
+        if (!ordered_signals.test(t.signal.index())) return false;
+    return true;
+}
+
+std::string Region::label(const StateGraph& sg) const {
+    return std::string("ER(") + (rising ? "+" : "-") + sg.signals()[signal].name + "," +
+           std::to_string(instance) + ")";
+}
+
+namespace {
+
+// Connected components (undirected) of `members` within the graph;
+// returns one BitVec per component, ordered by smallest contained
+// BFS-order rank so instance numbering is deterministic and follows the
+// behaviour from the initial state.
+std::vector<BitVec> components(const StateGraph& sg, const BitVec& members,
+                               const std::vector<std::uint32_t>& bfs_rank) {
+    std::vector<BitVec> comps;
+    BitVec seen(sg.num_states());
+    members.for_each_set([&](std::size_t start) {
+        if (seen.test(start)) return;
+        BitVec comp(sg.num_states());
+        std::deque<std::size_t> queue{start};
+        seen.set(start);
+        comp.set(start);
+        while (!queue.empty()) {
+            const std::size_t s = queue.front();
+            queue.pop_front();
+            auto visit = [&](StateId t) {
+                if (members.test(t.index()) && !seen.test(t.index())) {
+                    seen.set(t.index());
+                    comp.set(t.index());
+                    queue.push_back(t.index());
+                }
+            };
+            for (const auto a : sg.state(StateId(s)).out) visit(sg.arc(a).to);
+            for (const auto a : sg.state(StateId(s)).in) visit(sg.arc(a).from);
+        }
+        comps.push_back(std::move(comp));
+    });
+    std::sort(comps.begin(), comps.end(), [&](const BitVec& x, const BitVec& y) {
+        std::uint32_t rx = UINT32_MAX, ry = UINT32_MAX;
+        x.for_each_set([&](std::size_t i) { rx = std::min(rx, bfs_rank[i]); });
+        y.for_each_set([&](std::size_t i) { ry = std::min(ry, bfs_rank[i]); });
+        return rx < ry;
+    });
+    return comps;
+}
+
+} // namespace
+
+RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.reachable()) {
+    const std::size_t n = sg.num_states();
+    region_at_.assign(n * sg.num_signals(), UINT32_MAX);
+
+    // BFS ranks for deterministic instance numbering.
+    std::vector<std::uint32_t> bfs_rank(n, UINT32_MAX);
+    {
+        std::deque<StateId> queue{sg.initial()};
+        std::uint32_t next = 0;
+        bfs_rank[sg.initial().index()] = next++;
+        while (!queue.empty()) {
+            const StateId s = queue.front();
+            queue.pop_front();
+            for (const auto a : sg.state(s).out) {
+                const StateId t = sg.arc(a).to;
+                if (bfs_rank[t.index()] == UINT32_MAX) {
+                    bfs_rank[t.index()] = next++;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    per_signal_.resize(sg.num_signals());
+    for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
+        const SignalId v{vi};
+        auto& ps = per_signal_[vi];
+        ps.stable0 = BitVec(n);
+        ps.stable1 = BitVec(n);
+        ps.excited0 = BitVec(n);
+        ps.excited1 = BitVec(n);
+        reachable_.for_each_set([&](std::size_t si) {
+            const StateId s{si};
+            const bool val = sg.value(s, v);
+            const bool exc = sg.excited(s, v);
+            (exc ? (val ? ps.excited1 : ps.excited0) : (val ? ps.stable1 : ps.stable0)).set(si);
+        });
+
+        // Excitation regions: components of excited0 (ERs of +v) and of
+        // excited1 (ERs of -v), interleaved by discovery order for
+        // instance numbering within each polarity.
+        int next_up = 1;
+        int next_down = 1;
+        for (const bool rising : {true, false}) {
+            for (auto& comp : components(sg, rising ? ps.excited0 : ps.excited1, bfs_rank)) {
+                Region r;
+                r.signal = v;
+                r.rising = rising;
+                r.instance = rising ? next_up++ : next_down++;
+                r.states = std::move(comp);
+                regions_.push_back(std::move(r));
+            }
+        }
+    }
+
+    // Derived facts per region.
+    for (std::size_t ri = 0; ri < regions_.size(); ++ri) {
+        Region& r = regions_[ri];
+        r.states.for_each_set([&](std::size_t si) {
+            region_at_[si * sg.num_signals() + r.signal.index()] = static_cast<std::uint32_t>(ri);
+        });
+
+        // Minimal states: no predecessor inside the region.
+        r.states.for_each_set([&](std::size_t si) {
+            const StateId s{si};
+            for (const auto a : sg.state(s).in)
+                if (r.states.test(sg.arc(a).from.index())) return;
+            r.minimal_states.push_back(s);
+        });
+
+        // Triggers: labels of arcs entering from outside.
+        r.states.for_each_set([&](std::size_t si) {
+            const StateId s{si};
+            for (const auto a : sg.state(s).in) {
+                if (r.states.test(sg.arc(a).from.index())) continue;
+                if (!reachable_.test(sg.arc(a).from.index())) continue;
+                const SignalEdge e = sg.edge_of(a);
+                if (std::find(r.triggers.begin(), r.triggers.end(), e) == r.triggers.end())
+                    r.triggers.push_back(e);
+            }
+        });
+
+        // Ordered signals: no transition of b excited within the ER.
+        r.ordered_signals = BitVec(sg.num_signals());
+        for (std::size_t bi = 0; bi < sg.num_signals(); ++bi) {
+            bool ordered = true;
+            r.states.for_each_set([&](std::size_t si) {
+                if (sg.excited(StateId(si), SignalId(bi))) ordered = false;
+            });
+            if (ordered) r.ordered_signals.set(bi);
+        }
+
+        // Quiescent region: stable components entered by firing this
+        // region's transition.
+        r.quiescent = BitVec(n);
+        const auto& stable_after =
+            r.rising ? per_signal_[r.signal.index()].stable1 : per_signal_[r.signal.index()].stable0;
+        r.states.for_each_set([&](std::size_t si) {
+            const StateId s{si};
+            const auto a = sg.arc_on(s, r.signal);
+            if (a == UINT32_MAX) return;
+            const StateId t = sg.arc(a).to;
+            if (!stable_after.test(t.index())) return; // lands straight in the next ER
+            if (r.quiescent.test(t.index())) return;
+            // Flood the stable component containing t.
+            std::deque<StateId> queue{t};
+            r.quiescent.set(t.index());
+            while (!queue.empty()) {
+                const StateId u = queue.front();
+                queue.pop_front();
+                auto visit = [&](StateId w) {
+                    if (stable_after.test(w.index()) && !r.quiescent.test(w.index())) {
+                        r.quiescent.set(w.index());
+                        queue.push_back(w);
+                    }
+                };
+                for (const auto ai : sg.state(u).out) visit(sg.arc(ai).to);
+                for (const auto ai : sg.state(u).in) visit(sg.arc(ai).from);
+            }
+        });
+
+        r.cfr = r.states | r.quiescent;
+    }
+}
+
+std::vector<RegionId> RegionAnalysis::regions_of(SignalId v) const {
+    std::vector<RegionId> out;
+    for (std::size_t i = 0; i < regions_.size(); ++i)
+        if (regions_[i].signal == v) out.push_back(RegionId(i));
+    return out;
+}
+
+RegionId RegionAnalysis::region_containing(StateId s, SignalId v) const {
+    const auto idx = region_at_[s.index() * sg_->num_signals() + v.index()];
+    return idx == UINT32_MAX ? RegionId::invalid() : RegionId(idx);
+}
+
+bool RegionAnalysis::all_unique_entry() const {
+    for (const auto& r : regions_)
+        if (is_non_input(sg_->signals()[r.signal].kind) && !r.unique_entry()) return false;
+    return true;
+}
+
+bool RegionAnalysis::all_persistent() const {
+    for (const auto& r : regions_)
+        if (is_non_input(sg_->signals()[r.signal].kind) && !r.persistent()) return false;
+    return true;
+}
+
+std::string RegionAnalysis::report() const {
+    std::string out;
+    for (const auto& r : regions_) {
+        out += r.label(*sg_) + ": {";
+        bool first = true;
+        r.states.for_each_set([&](std::size_t si) {
+            if (!first) out += ", ";
+            out += sg_->state_label(StateId(si));
+            first = false;
+        });
+        out += "}";
+        out += r.unique_entry() ? " unique-entry" : " MULTIPLE-ENTRY";
+        out += r.persistent() ? " persistent" : " NON-PERSISTENT";
+        out += " triggers:";
+        for (const auto& t : r.triggers) out += " " + to_string(t, sg_->signals());
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace si::sg

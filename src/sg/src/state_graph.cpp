@@ -1,0 +1,98 @@
+#include "si/sg/state_graph.hpp"
+
+#include <deque>
+
+#include "si/util/error.hpp"
+
+namespace si::sg {
+
+StateId StateGraph::add_state(BitVec code) {
+    require(code.size() == signals_.size(), "state code width mismatch");
+    states_.push_back(State{std::move(code), {}, {}});
+    return StateId(states_.size() - 1);
+}
+
+std::uint32_t StateGraph::add_arc(StateId from, StateId to, SignalId signal) {
+    const BitVec& cf = states_[from.index()].code;
+    const BitVec& ct = states_[to.index()].code;
+    BitVec diff = cf;
+    diff ^= ct;
+    if (diff.count() != 1 || !diff.test(signal.index()))
+        throw SpecError("inconsistent arc " + state_label(from) + " -> " + state_label(to) +
+                        " on signal " + signals_[signal].name);
+    const auto idx = static_cast<std::uint32_t>(arcs_.size());
+    arcs_.push_back(Arc{from, to, signal});
+    states_[from.index()].out.push_back(idx);
+    states_[to.index()].in.push_back(idx);
+    return idx;
+}
+
+bool StateGraph::excited(StateId s, SignalId v) const {
+    for (const auto a : states_[s.index()].out)
+        if (arcs_[a].signal == v) return true;
+    return false;
+}
+
+std::uint32_t StateGraph::arc_on(StateId s, SignalId v) const {
+    for (const auto a : states_[s.index()].out)
+        if (arcs_[a].signal == v) return a;
+    return UINT32_MAX;
+}
+
+SignalEdge StateGraph::edge_of(std::uint32_t arc_index) const {
+    const Arc& a = arcs_[arc_index];
+    return SignalEdge{a.signal, states_[a.to.index()].code.test(a.signal.index())};
+}
+
+BitVec StateGraph::reachable() const {
+    BitVec seen(states_.size());
+    if (states_.empty()) return seen;
+    std::deque<StateId> queue{initial_};
+    seen.set(initial_.index());
+    while (!queue.empty()) {
+        const StateId s = queue.front();
+        queue.pop_front();
+        for (const auto a : states_[s.index()].out) {
+            const StateId t = arcs_[a].to;
+            if (!seen.test(t.index())) {
+                seen.set(t.index());
+                queue.push_back(t);
+            }
+        }
+    }
+    return seen;
+}
+
+StateId StateGraph::find_by_code(const BitVec& code) const {
+    for (std::size_t i = 0; i < states_.size(); ++i)
+        if (states_[i].code == code) return StateId(i);
+    return StateId::invalid();
+}
+
+std::string StateGraph::state_label(StateId s) const {
+    std::string out;
+    for (std::size_t v = 0; v < signals_.size(); ++v) {
+        out += value(s, SignalId(v)) ? '1' : '0';
+        if (excited(s, SignalId(v))) out += '*';
+    }
+    return out;
+}
+
+std::string StateGraph::dump() const {
+    std::string out = name + ": " + std::to_string(states_.size()) + " states, " +
+                      std::to_string(arcs_.size()) + " arcs, signals";
+    for (const auto& sig : signals_.all()) out += " " + sig.name;
+    out += "\n";
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const StateId s{i};
+        out += "  " + state_label(s);
+        if (s == initial_) out += " (initial)";
+        for (const auto a : states_[i].out) {
+            out += "  " + to_string(edge_of(a), signals_) + "->" + state_label(arcs_[a].to);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace si::sg

@@ -1,0 +1,28 @@
+// Parallel composition of STGs (synchronization on shared signals).
+//
+// Two controllers that talk to each other share interface signals: one
+// side's output is the other side's input. Their joint behaviour is the
+// composition of the nets — disjoint union of places, with transitions
+// that carry the same label (signal edge + instance) merged into one
+// synchronized transition. This is the classic `pcomp` operation of the
+// petrify tool family; it lets separately synthesized stages be closed
+// into a system and re-verified end to end.
+#pragma once
+
+#include "si/stg/stg.hpp"
+
+namespace si::stg {
+
+struct ComposeOptions {
+    /// Shared signals become Internal in the composition (they are no
+    /// longer part of the interface once both sides are present).
+    bool internalize_shared = true;
+};
+
+/// Composes two nets. Shared signals must not be outputs on both sides
+/// (two drivers); their joined kind is Output (or Internal when
+/// internalize_shared is set). Throws SpecError on driver conflicts or
+/// mismatched transition instances.
+[[nodiscard]] Stg compose(const Stg& a, const Stg& b, const ComposeOptions& opts = {});
+
+} // namespace si::stg

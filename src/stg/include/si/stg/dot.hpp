@@ -1,0 +1,14 @@
+// Graphviz rendering of STG Petri nets: transitions as boxes, places as
+// circles (implicit places elided to direct arcs), tokens as filled
+// dots.
+#pragma once
+
+#include <string>
+
+#include "si/stg/stg.hpp"
+
+namespace si::stg {
+
+[[nodiscard]] std::string to_dot(const Stg& net);
+
+} // namespace si::stg

@@ -1,0 +1,26 @@
+// Reader and writer for the astg ".g" format used by SIS/petrify-era
+// asynchronous benchmarks (the format of the paper's Table-1 examples).
+//
+// Supported sections: .model, .inputs, .outputs, .internal, .graph,
+// .marking, .end; '#' comments; transition labels "a+", "b-", "c+/2";
+// implicit places "<a+,b-/2>" in markings; "p=2" token multiplicities.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "si/stg/stg.hpp"
+
+namespace si::stg {
+
+/// Parses a .g description. Throws ParseError with a line reference on
+/// malformed input and SpecError for structural problems.
+[[nodiscard]] Stg read_g(std::string_view text);
+
+/// Reads a .g file from disk.
+[[nodiscard]] Stg read_g_file(const std::string& path);
+
+/// Renders the net back to .g text (round-trips through read_g).
+[[nodiscard]] std::string write_g(const Stg& stg);
+
+} // namespace si::stg

@@ -1,0 +1,63 @@
+// Signal universe shared by STGs, state graphs and netlists.
+//
+// A specification's signals split into inputs (driven by the
+// environment) and non-inputs (outputs and internal signals, which the
+// synthesized circuit must produce). The paper's conditions all speak
+// about non-input signals; inserted state signals are internal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "si/util/ids.hpp"
+
+namespace si {
+
+enum class SignalKind : unsigned char {
+    Input,    ///< driven by the environment
+    Output,   ///< observable non-input signal
+    Internal, ///< non-input signal invisible at the interface
+};
+
+/// True for Output and Internal signals — the ones synthesis implements.
+[[nodiscard]] constexpr bool is_non_input(SignalKind k) { return k != SignalKind::Input; }
+
+struct Signal {
+    std::string name;
+    SignalKind kind = SignalKind::Input;
+};
+
+/// Ordered table of signals with name lookup. Signal order defines the
+/// bit positions of state codes throughout the library.
+class SignalTable {
+public:
+    SignalId add(std::string name, SignalKind kind);
+
+    [[nodiscard]] std::size_t size() const { return signals_.size(); }
+    [[nodiscard]] const Signal& operator[](SignalId id) const { return signals_[id.index()]; }
+
+    /// SignalId of `name`, or SignalId::invalid() when absent.
+    [[nodiscard]] SignalId find(std::string_view name) const;
+
+    [[nodiscard]] const std::vector<Signal>& all() const { return signals_; }
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    [[nodiscard]] std::size_t count(SignalKind kind) const;
+
+private:
+    std::vector<Signal> signals_;
+};
+
+/// One edge of one signal: +a (rise) or -a (fall).
+struct SignalEdge {
+    SignalId signal;
+    bool rising = true;
+
+    friend bool operator==(const SignalEdge&, const SignalEdge&) = default;
+};
+
+/// Renders "+name" / "-name".
+[[nodiscard]] std::string to_string(const SignalEdge& e, const SignalTable& table);
+
+} // namespace si

@@ -1,0 +1,85 @@
+// Signal Transition Graphs as labelled Petri nets.
+//
+// An STG is a Petri net whose transitions are labelled with signal edges
+// (+a / -a). The token game over its reachable markings yields the state
+// graph (Section II of the paper); translation "from different
+// high-level specifications to state graphs is straightforward" — this is
+// that front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "si/stg/signals.hpp"
+#include "si/util/ids.hpp"
+
+namespace si::stg {
+
+/// A marking: token count per place, in place order.
+using Marking = std::vector<std::uint8_t>;
+
+struct Place {
+    std::string name;      ///< explicit name, or "<t1,t2>" for implicit places
+    bool implicit = false; ///< created for a direct transition→transition arc
+};
+
+struct Transition {
+    SignalEdge edge;                 ///< labelled signal edge
+    int instance = 1;                ///< the /k suffix distinguishing multiple edges
+    std::vector<PlaceId> preset;     ///< consumed places
+    std::vector<PlaceId> postset;    ///< produced places
+};
+
+class Stg {
+public:
+    std::string name = "stg";
+
+    [[nodiscard]] SignalTable& signals() { return signals_; }
+    [[nodiscard]] const SignalTable& signals() const { return signals_; }
+
+    PlaceId add_place(std::string name, bool implicit = false);
+    TransitionId add_transition(SignalEdge edge, int instance = 1);
+    /// Adds a place→transition (consuming) arc.
+    void connect_pt(PlaceId p, TransitionId t);
+    /// Adds a transition→place (producing) arc.
+    void connect_tp(TransitionId t, PlaceId p);
+    /// Adds a transition→transition arc through a fresh implicit place,
+    /// returning that place.
+    PlaceId connect_tt(TransitionId from, TransitionId to);
+
+    [[nodiscard]] std::size_t num_places() const { return places_.size(); }
+    [[nodiscard]] std::size_t num_transitions() const { return transitions_.size(); }
+    [[nodiscard]] const Place& place(PlaceId p) const { return places_[p.index()]; }
+    [[nodiscard]] const Transition& transition(TransitionId t) const { return transitions_[t.index()]; }
+    [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
+
+    /// PlaceId of `name`, or invalid when absent.
+    [[nodiscard]] PlaceId find_place(std::string_view name) const;
+    /// Transition with the given label parts, or invalid when absent.
+    [[nodiscard]] TransitionId find_transition(SignalEdge edge, int instance) const;
+
+    /// Human-readable transition label, e.g. "a+" or "b-/2".
+    [[nodiscard]] std::string transition_label(TransitionId t) const;
+
+    [[nodiscard]] Marking& initial_marking() { return initial_; }
+    [[nodiscard]] const Marking& initial_marking() const { return initial_; }
+    void mark(PlaceId p, std::uint8_t tokens = 1);
+
+    /// True if `t` is enabled in `m`.
+    [[nodiscard]] bool enabled(const Marking& m, TransitionId t) const;
+    /// Fires `t` from `m`; precondition: enabled(m, t).
+    [[nodiscard]] Marking fire(const Marking& m, TransitionId t) const;
+
+    /// Structural sanity: every transition has nonempty preset/postset,
+    /// every place has a consumer or producer. Throws SpecError.
+    void validate() const;
+
+private:
+    SignalTable signals_;
+    std::vector<Place> places_;
+    std::vector<Transition> transitions_;
+    Marking initial_;
+};
+
+} // namespace si::stg

@@ -1,0 +1,34 @@
+// Structural and behavioural classification of STG Petri nets — the
+// sanity gate petrify-class tools run before synthesis. Several of the
+// paper's cited results are class-conditional (Yu & Subrahmanyam handle
+// marked graphs only; free choice separates environment nondeterminism
+// from concurrency), so the classification is surfaced to users.
+#pragma once
+
+#include <string>
+
+#include "si/stg/stg.hpp"
+
+namespace si::stg {
+
+struct StructureReport {
+    /// Every place has at most one producer and one consumer (no choice).
+    bool marked_graph = false;
+    /// Every choice place is the *only* input of each of its consumers.
+    bool free_choice = false;
+    /// No reachable marking puts more than one token on a place.
+    bool safe = false;
+    /// The reachability graph is strongly connected and every transition
+    /// fires somewhere — each transition stays live forever.
+    bool live = false;
+    std::size_t reachable_markings = 0;
+    std::string offender; ///< witness for the first failed property
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Explores at most `max_markings` markings. Throws SpecError if the net
+/// is unbounded past 255 tokens or exceeds the budget.
+[[nodiscard]] StructureReport analyze_structure(const Stg& net, std::size_t max_markings = 1u << 20);
+
+} // namespace si::stg

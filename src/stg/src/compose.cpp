@@ -1,0 +1,103 @@
+#include "si/stg/compose.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si::stg {
+
+Stg compose(const Stg& a, const Stg& b, const ComposeOptions& opts) {
+    Stg out;
+    out.name = a.name + "+" + b.name;
+
+    // Signal union with kind resolution.
+    auto join_kind = [&](SignalKind ka, SignalKind kb, const std::string& name) {
+        if (ka == SignalKind::Output && kb == SignalKind::Output)
+            throw SpecError("composition: signal '" + name + "' is driven by both sides");
+        if (ka == SignalKind::Internal || kb == SignalKind::Internal)
+            throw SpecError("composition: internal signal '" + name +
+                            "' cannot be shared across components");
+        // Output + Input: the component that drives it wins; the pair is
+        // now closed, so it may be internalized.
+        if (opts.internalize_shared) return SignalKind::Internal;
+        return SignalKind::Output;
+    };
+    for (const auto& s : a.signals().all()) out.signals().add(s.name, s.kind);
+    for (const auto& s : b.signals().all()) {
+        const SignalId existing = out.signals().find(s.name);
+        if (!existing.is_valid()) {
+            out.signals().add(s.name, s.kind);
+            continue;
+        }
+        // Re-resolve the kind of the shared signal. SignalTable has no
+        // mutator; rebuild below once kinds are known.
+    }
+    // Rebuild the table with resolved kinds (simpler than mutating).
+    {
+        SignalTable resolved;
+        for (const auto& s : a.signals().all()) {
+            const SignalId in_b = b.signals().find(s.name);
+            resolved.add(s.name,
+                         in_b.is_valid() ? join_kind(s.kind, b.signals()[in_b].kind, s.name)
+                                         : s.kind);
+        }
+        for (const auto& s : b.signals().all())
+            if (!a.signals().find(s.name).is_valid()) resolved.add(s.name, s.kind);
+        out = Stg();
+        out.name = a.name + "+" + b.name;
+        for (const auto& s : resolved.all()) out.signals().add(s.name, s.kind);
+    }
+
+    // Places: disjoint union.
+    std::vector<PlaceId> pa(a.num_places()), pb(b.num_places());
+    for (std::size_t i = 0; i < a.num_places(); ++i) {
+        pa[i] = out.add_place("L:" + (a.place(PlaceId(i)).name.empty()
+                                          ? "p" + std::to_string(i)
+                                          : a.place(PlaceId(i)).name),
+                              a.place(PlaceId(i)).implicit);
+        out.mark(pa[i], a.initial_marking()[i]);
+    }
+    for (std::size_t i = 0; i < b.num_places(); ++i) {
+        pb[i] = out.add_place("R:" + (b.place(PlaceId(i)).name.empty()
+                                          ? "p" + std::to_string(i)
+                                          : b.place(PlaceId(i)).name),
+                              b.place(PlaceId(i)).implicit);
+        out.mark(pb[i], b.initial_marking()[i]);
+    }
+
+    // Transitions: merge by (signal name, polarity, instance).
+    auto add_side = [&](const Stg& side, const std::vector<PlaceId>& pmap) {
+        for (std::size_t ti = 0; ti < side.num_transitions(); ++ti) {
+            const auto& t = side.transition(TransitionId(ti));
+            const SignalId sig = out.signals().find(side.signals()[t.edge.signal].name);
+            const SignalEdge edge{sig, t.edge.rising};
+            TransitionId merged = out.find_transition(edge, t.instance);
+            if (!merged.is_valid()) merged = out.add_transition(edge, t.instance);
+            for (const PlaceId p : t.preset) out.connect_pt(pmap[p.index()], merged);
+            for (const PlaceId p : t.postset) out.connect_tp(merged, pmap[p.index()]);
+        }
+    };
+    add_side(a, pa);
+    add_side(b, pb);
+
+    // Shared signals must synchronize completely: a transition of a
+    // shared signal present on one side only would let that side move
+    // without the other noticing the event.
+    for (std::size_t ti = 0; ti < out.num_transitions(); ++ti) {
+        const auto& t = out.transition(TransitionId(ti));
+        const std::string& name = out.signals()[t.edge.signal].name;
+        const SignalId in_a = a.signals().find(name);
+        const SignalId in_b = b.signals().find(name);
+        if (!in_a.is_valid() || !in_b.is_valid()) continue;
+        const bool has_a =
+            a.find_transition({in_a, t.edge.rising}, t.instance).is_valid();
+        const bool has_b =
+            b.find_transition({in_b, t.edge.rising}, t.instance).is_valid();
+        if (!has_a || !has_b)
+            throw SpecError("composition: transition " + out.transition_label(TransitionId(ti)) +
+                            " of shared signal '" + name + "' exists on one side only");
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace si::stg

@@ -1,0 +1,44 @@
+#include "si/stg/dot.hpp"
+
+namespace si::stg {
+
+std::string to_dot(const Stg& net) {
+    std::string out = "digraph \"" + net.name + "\" {\n  rankdir=TB;\n";
+    out += "  node [fontname=monospace];\n";
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti)
+        out += "  t" + std::to_string(ti) + " [shape=box, label=\"" +
+               net.transition_label(TransitionId(ti)) + "\"];\n";
+    // Explicit places as circles; implicit places folded into one edge.
+    for (std::size_t pi = 0; pi < net.num_places(); ++pi) {
+        const Place& p = net.place(PlaceId(pi));
+        if (p.implicit) continue;
+        out += "  p" + std::to_string(pi) + " [shape=circle, label=\"" + p.name + "\"";
+        if (net.initial_marking()[pi] != 0) out += ", style=filled, fillcolor=black, fontcolor=white";
+        out += "];\n";
+    }
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        for (const PlaceId p : t.postset) {
+            if (!net.place(p).implicit) {
+                out += "  t" + std::to_string(ti) + " -> p" + std::to_string(p.index()) + ";\n";
+                continue;
+            }
+            // Implicit: find the consumer and draw a direct edge, dotted
+            // when the place is marked.
+            for (std::size_t tj = 0; tj < net.num_transitions(); ++tj)
+                for (const PlaceId q : net.transition(TransitionId(tj)).preset)
+                    if (q == p)
+                        out += "  t" + std::to_string(ti) + " -> t" + std::to_string(tj) +
+                               (net.initial_marking()[p.index()] != 0
+                                    ? " [style=bold, label=\"*\"];\n"
+                                    : ";\n");
+        }
+        for (const PlaceId p : t.preset)
+            if (!net.place(p).implicit)
+                out += "  p" + std::to_string(p.index()) + " -> t" + std::to_string(ti) + ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace si::stg

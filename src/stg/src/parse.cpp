@@ -1,0 +1,287 @@
+#include "si/stg/parse.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "si/util/error.hpp"
+#include "si/util/text.hpp"
+
+namespace si::stg {
+
+namespace {
+
+struct EdgeToken {
+    std::string signal;
+    bool rising = true;
+    int instance = 1;
+};
+
+// Parses "a+", "b-", "c+/2"; nullopt when the token is not a transition
+// label (then it names a place).
+std::optional<EdgeToken> parse_edge_token(std::string_view tok) {
+    std::string_view head = tok;
+    int instance = 1;
+    if (const auto slash = tok.rfind('/'); slash != std::string_view::npos) {
+        head = tok.substr(0, slash);
+        const std::string_view inst = tok.substr(slash + 1);
+        if (inst.empty()) return std::nullopt;
+        instance = 0;
+        for (const char c : inst) {
+            if (c < '0' || c > '9') return std::nullopt;
+            instance = instance * 10 + (c - '0');
+        }
+    }
+    if (head.size() < 2) return std::nullopt;
+    const char dir = head.back();
+    if (dir != '+' && dir != '-') return std::nullopt;
+    return EdgeToken{std::string(head.substr(0, head.size() - 1)), dir == '+', instance};
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw ParseError(".g line " + std::to_string(line_no + 1) + ": " + msg);
+}
+
+class GReader {
+public:
+    explicit GReader(std::string_view text) : lines_(lines_of(text)) {}
+
+    Stg run() {
+        for (line_ = 0; line_ < lines_.size(); ++line_) {
+            std::string_view raw = lines_[line_];
+            if (const auto hash = raw.find('#'); hash != std::string_view::npos)
+                raw = raw.substr(0, hash);
+            const std::string_view line = trim(raw);
+            if (line.empty()) continue;
+            dispatch(line);
+        }
+        if (!saw_end_) fail(lines_.size() - 1, "missing .end");
+        stg_.validate();
+        return std::move(stg_);
+    }
+
+private:
+    void dispatch(std::string_view line) {
+        const auto toks = split(line);
+        const std::string& head = toks[0];
+        if (head == ".model" || head == ".name") {
+            if (toks.size() >= 2) stg_.name = toks[1];
+        } else if (head == ".inputs") {
+            declare(toks, SignalKind::Input);
+        } else if (head == ".outputs") {
+            declare(toks, SignalKind::Output);
+        } else if (head == ".internal") {
+            declare(toks, SignalKind::Internal);
+        } else if (head == ".dummy") {
+            fail(line_, "dummy transitions are not supported");
+        } else if (head == ".graph") {
+            in_graph_ = true;
+        } else if (head == ".marking") {
+            in_graph_ = false;
+            parse_marking(line);
+        } else if (head == ".end") {
+            saw_end_ = true;
+        } else if (head == ".capacity" || head == ".slowenv" || head == ".coords") {
+            // Harmless extensions produced by other tools; ignored.
+        } else if (head[0] == '.') {
+            fail(line_, "unknown directive '" + head + "'");
+        } else if (in_graph_) {
+            parse_arc_line(toks);
+        } else {
+            fail(line_, "unexpected line outside .graph");
+        }
+    }
+
+    void declare(const std::vector<std::string>& toks, SignalKind kind) {
+        for (std::size_t i = 1; i < toks.size(); ++i) stg_.signals().add(toks[i], kind);
+    }
+
+    // A node token is either a transition label or a place name.
+    struct Node {
+        bool is_transition;
+        TransitionId t;
+        PlaceId p;
+    };
+
+    Node resolve(const std::string& tok) {
+        if (const auto e = parse_edge_token(tok)) {
+            const SignalId sig = stg_.signals().find(e->signal);
+            if (sig.is_valid()) {
+                const SignalEdge edge{sig, e->rising};
+                TransitionId t = stg_.find_transition(edge, e->instance);
+                if (!t.is_valid()) t = stg_.add_transition(edge, e->instance);
+                return Node{true, t, PlaceId::invalid()};
+            }
+            // A token shaped like "x+" whose head is not a declared signal
+            // is a malformed label rather than a place.
+            fail(line_, "transition label '" + tok + "' names undeclared signal '" + e->signal + "'");
+        }
+        PlaceId p = stg_.find_place(tok);
+        if (!p.is_valid()) p = stg_.add_place(tok);
+        return Node{false, TransitionId::invalid(), p};
+    }
+
+    void parse_arc_line(const std::vector<std::string>& toks) {
+        if (toks.size() < 2) fail(line_, "arc line needs a source and at least one target");
+        const Node src = resolve(toks[0]);
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+            const Node dst = resolve(toks[i]);
+            if (src.is_transition && dst.is_transition) {
+                stg_.connect_tt(src.t, dst.t);
+            } else if (src.is_transition && !dst.is_transition) {
+                stg_.connect_tp(src.t, dst.p);
+            } else if (!src.is_transition && dst.is_transition) {
+                stg_.connect_pt(src.p, dst.t);
+            } else {
+                fail(line_, "place-to-place arc '" + toks[0] + " " + toks[i] + "'");
+            }
+        }
+    }
+
+    void parse_marking(std::string_view line) {
+        const auto open = line.find('{');
+        const auto close = line.rfind('}');
+        if (open == std::string_view::npos || close == std::string_view::npos || close < open)
+            fail(line_, ".marking must carry a { ... } list");
+        std::string_view body = line.substr(open + 1, close - open - 1);
+
+        // Tokens: "p", "p=2", "<a+,b->". Angle groups may contain no
+        // spaces in the classic format; split on whitespace.
+        for (const auto& tok : split(body)) {
+            std::string name = tok;
+            std::uint8_t tokens = 1;
+            if (const auto eq = name.find('='); eq != std::string::npos) {
+                const std::string digits = name.substr(eq + 1);
+                int v = 0;
+                if (digits.empty()) fail(line_, "bad token count in '" + tok + "'");
+                for (const char c : digits) {
+                    if (c < '0' || c > '9' || v > 255) fail(line_, "bad token count in '" + tok + "'");
+                    v = v * 10 + (c - '0');
+                }
+                if (v > 255) fail(line_, "bad token count in '" + tok + "'");
+                tokens = static_cast<std::uint8_t>(v);
+                name = name.substr(0, eq);
+            }
+            PlaceId p = PlaceId::invalid();
+            if (!name.empty() && name.front() == '<' && name.back() == '>') {
+                p = resolve_implicit_place(name);
+            } else {
+                p = stg_.find_place(name);
+            }
+            if (!p.is_valid()) fail(line_, "marking names unknown place '" + name + "'");
+            stg_.mark(p, tokens);
+        }
+    }
+
+    // "<a+,b->" denotes the implicit place created by the arc a+ -> b-.
+    PlaceId resolve_implicit_place(const std::string& name) {
+        const auto comma = name.find(',');
+        if (comma == std::string::npos) fail(line_, "bad implicit place '" + name + "'");
+        const std::string from = name.substr(1, comma - 1);
+        const std::string to = name.substr(comma + 1, name.size() - comma - 2);
+        const auto fe = parse_edge_token(from);
+        const auto te = parse_edge_token(to);
+        if (!fe || !te) fail(line_, "bad implicit place '" + name + "'");
+        const TransitionId ft =
+            stg_.find_transition({stg_.signals().find(fe->signal), fe->rising}, fe->instance);
+        const TransitionId tt =
+            stg_.find_transition({stg_.signals().find(te->signal), te->rising}, te->instance);
+        if (!ft.is_valid() || !tt.is_valid())
+            fail(line_, "implicit place '" + name + "' refers to unknown transitions");
+        // Find the implicit place on the ft -> tt arc.
+        for (const PlaceId p : stg_.transition(ft).postset) {
+            if (!stg_.place(p).implicit) continue;
+            const auto& preset = stg_.transition(tt).preset;
+            for (const PlaceId q : preset)
+                if (q == p) return p;
+        }
+        fail(line_, "no arc between transitions of implicit place '" + name + "'");
+    }
+
+    std::vector<std::string> lines_;
+    std::size_t line_ = 0;
+    Stg stg_;
+    bool in_graph_ = false;
+    bool saw_end_ = false;
+};
+
+} // namespace
+
+Stg read_g(std::string_view text) { return GReader(text).run(); }
+
+Stg read_g_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return read_g(buf.str());
+}
+
+std::string write_g(const Stg& stg) {
+    std::string out;
+    out += ".model " + stg.name + "\n";
+    for (const auto kind : {SignalKind::Input, SignalKind::Output, SignalKind::Internal}) {
+        std::string line;
+        for (const auto& s : stg.signals().all())
+            if (s.kind == kind) line += " " + s.name;
+        if (line.empty()) continue;
+        switch (kind) {
+        case SignalKind::Input: out += ".inputs"; break;
+        case SignalKind::Output: out += ".outputs"; break;
+        case SignalKind::Internal: out += ".internal"; break;
+        }
+        out += line + "\n";
+    }
+    out += ".graph\n";
+    // Emit transition->place and place->transition arcs. Implicit places
+    // are flattened back to transition->transition arcs.
+    for (std::size_t ti = 0; ti < stg.num_transitions(); ++ti) {
+        const TransitionId t{ti};
+        std::string line = stg.transition_label(t);
+        bool any = false;
+        for (const PlaceId p : stg.transition(t).postset) {
+            if (stg.place(p).implicit) {
+                // Find the consumer.
+                for (std::size_t tj = 0; tj < stg.num_transitions(); ++tj) {
+                    for (const PlaceId q : stg.transition(TransitionId(tj)).preset) {
+                        if (q == p) {
+                            line += " " + stg.transition_label(TransitionId(tj));
+                            any = true;
+                        }
+                    }
+                }
+            } else {
+                line += " " + stg.place(p).name;
+                any = true;
+            }
+        }
+        if (any) out += line + "\n";
+    }
+    for (std::size_t pi = 0; pi < stg.num_places(); ++pi) {
+        const PlaceId p{pi};
+        if (stg.place(p).implicit) continue;
+        std::string line = stg.place(p).name;
+        bool any = false;
+        for (std::size_t ti = 0; ti < stg.num_transitions(); ++ti) {
+            for (const PlaceId q : stg.transition(TransitionId(ti)).preset) {
+                if (q == p) {
+                    line += " " + stg.transition_label(TransitionId(ti));
+                    any = true;
+                }
+            }
+        }
+        if (any) out += line + "\n";
+    }
+    out += ".marking {";
+    for (std::size_t pi = 0; pi < stg.num_places(); ++pi) {
+        const auto tokens = stg.initial_marking()[pi];
+        if (tokens == 0) continue;
+        const Place& pl = stg.place(PlaceId(pi));
+        out += " " + pl.name;
+        if (tokens != 1) out += "=" + std::to_string(tokens);
+    }
+    out += " }\n.end\n";
+    return out;
+}
+
+} // namespace si::stg

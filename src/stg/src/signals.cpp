@@ -1,0 +1,37 @@
+#include "si/stg/signals.hpp"
+
+#include "si/util/error.hpp"
+
+namespace si {
+
+SignalId SignalTable::add(std::string name, SignalKind kind) {
+    if (find(name).is_valid()) throw SpecError("duplicate signal name '" + name + "'");
+    signals_.push_back(Signal{std::move(name), kind});
+    return SignalId(signals_.size() - 1);
+}
+
+SignalId SignalTable::find(std::string_view name) const {
+    for (std::size_t i = 0; i < signals_.size(); ++i)
+        if (signals_[i].name == name) return SignalId(i);
+    return SignalId::invalid();
+}
+
+std::vector<std::string> SignalTable::names() const {
+    std::vector<std::string> out;
+    out.reserve(signals_.size());
+    for (const auto& s : signals_) out.push_back(s.name);
+    return out;
+}
+
+std::size_t SignalTable::count(SignalKind kind) const {
+    std::size_t n = 0;
+    for (const auto& s : signals_)
+        if (s.kind == kind) ++n;
+    return n;
+}
+
+std::string to_string(const SignalEdge& e, const SignalTable& table) {
+    return (e.rising ? "+" : "-") + table[e.signal].name;
+}
+
+} // namespace si

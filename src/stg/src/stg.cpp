@@ -1,0 +1,101 @@
+#include "si/stg/stg.hpp"
+
+#include <algorithm>
+
+#include "si/util/error.hpp"
+
+namespace si::stg {
+
+PlaceId Stg::add_place(std::string name, bool implicit) {
+    if (!name.empty() && find_place(name).is_valid())
+        throw SpecError("duplicate place name '" + name + "'");
+    places_.push_back(Place{std::move(name), implicit});
+    initial_.push_back(0);
+    return PlaceId(places_.size() - 1);
+}
+
+TransitionId Stg::add_transition(SignalEdge edge, int instance) {
+    if (find_transition(edge, instance).is_valid())
+        throw SpecError("duplicate transition " + transition_label(find_transition(edge, instance)));
+    transitions_.push_back(Transition{edge, instance, {}, {}});
+    return TransitionId(transitions_.size() - 1);
+}
+
+void Stg::connect_pt(PlaceId p, TransitionId t) {
+    transitions_[t.index()].preset.push_back(p);
+}
+
+void Stg::connect_tp(TransitionId t, PlaceId p) {
+    transitions_[t.index()].postset.push_back(p);
+}
+
+PlaceId Stg::connect_tt(TransitionId from, TransitionId to) {
+    const PlaceId p = add_place("<" + transition_label(from) + "," + transition_label(to) + ">",
+                                /*implicit=*/true);
+    connect_tp(from, p);
+    connect_pt(p, to);
+    return p;
+}
+
+PlaceId Stg::find_place(std::string_view name) const {
+    for (std::size_t i = 0; i < places_.size(); ++i)
+        if (places_[i].name == name) return PlaceId(i);
+    return PlaceId::invalid();
+}
+
+TransitionId Stg::find_transition(SignalEdge edge, int instance) const {
+    for (std::size_t i = 0; i < transitions_.size(); ++i)
+        if (transitions_[i].edge == edge && transitions_[i].instance == instance)
+            return TransitionId(i);
+    return TransitionId::invalid();
+}
+
+std::string Stg::transition_label(TransitionId t) const {
+    const Transition& tr = transitions_[t.index()];
+    std::string s = signals_[tr.edge.signal].name;
+    s += tr.edge.rising ? '+' : '-';
+    if (tr.instance != 1) s += "/" + std::to_string(tr.instance);
+    return s;
+}
+
+void Stg::mark(PlaceId p, std::uint8_t tokens) { initial_[p.index()] = tokens; }
+
+bool Stg::enabled(const Marking& m, TransitionId t) const {
+    for (const PlaceId p : transitions_[t.index()].preset)
+        if (m[p.index()] == 0) return false;
+    return true;
+}
+
+Marking Stg::fire(const Marking& m, TransitionId t) const {
+    Marking next = m;
+    for (const PlaceId p : transitions_[t.index()].preset) {
+        require(next[p.index()] > 0, "firing a disabled transition");
+        --next[p.index()];
+    }
+    for (const PlaceId p : transitions_[t.index()].postset) {
+        if (next[p.index()] == 255)
+            throw SpecError("unbounded place '" + places_[p.index()].name + "'");
+        ++next[p.index()];
+    }
+    return next;
+}
+
+void Stg::validate() const {
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+        const auto& t = transitions_[i];
+        if (t.preset.empty())
+            throw SpecError("transition " + transition_label(TransitionId(i)) + " has empty preset");
+        if (t.postset.empty())
+            throw SpecError("transition " + transition_label(TransitionId(i)) + " has empty postset");
+    }
+    std::vector<bool> used(places_.size(), false);
+    for (const auto& t : transitions_) {
+        for (const PlaceId p : t.preset) used[p.index()] = true;
+        for (const PlaceId p : t.postset) used[p.index()] = true;
+    }
+    for (std::size_t i = 0; i < places_.size(); ++i)
+        if (!used[i])
+            throw SpecError("place '" + places_[i].name + "' is disconnected");
+}
+
+} // namespace si::stg

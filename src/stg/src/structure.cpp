@@ -1,0 +1,144 @@
+#include "si/stg/structure.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::stg {
+
+namespace {
+
+struct MarkingHash {
+    std::size_t operator()(const Marking& m) const noexcept {
+        std::size_t h = 1469598103934665603ull;
+        for (const auto b : m) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
+std::string StructureReport::describe() const {
+    std::string out;
+    out += std::string("marked graph: ") + (marked_graph ? "yes" : "no");
+    out += std::string(", free choice: ") + (free_choice ? "yes" : "no");
+    out += std::string(", safe: ") + (safe ? "yes" : "no");
+    out += std::string(", live: ") + (live ? "yes" : "no");
+    out += ", reachable markings: " + std::to_string(reachable_markings);
+    if (!offender.empty()) out += " (" + offender + ")";
+    return out;
+}
+
+StructureReport analyze_structure(const Stg& net, std::size_t max_markings) {
+    net.validate();
+    StructureReport report;
+
+    // Structural classes from producer/consumer counts.
+    std::vector<int> producers(net.num_places(), 0);
+    std::vector<int> consumers(net.num_places(), 0);
+    for (const auto& t : net.transitions()) {
+        for (const PlaceId p : t.postset) ++producers[p.index()];
+        for (const PlaceId p : t.preset) ++consumers[p.index()];
+    }
+    report.marked_graph = true;
+    report.free_choice = true;
+    for (std::size_t pi = 0; pi < net.num_places(); ++pi) {
+        if (producers[pi] > 1 || consumers[pi] > 1) {
+            report.marked_graph = false;
+            if (report.offender.empty())
+                report.offender = "place '" + net.place(PlaceId(pi)).name + "' has " +
+                                  std::to_string(producers[pi]) + " producer(s) / " +
+                                  std::to_string(consumers[pi]) + " consumer(s)";
+        }
+        if (consumers[pi] > 1) {
+            // Choice place: each consumer must have exactly this preset.
+            for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+                const auto& pre = net.transition(TransitionId(ti)).preset;
+                bool consumes = false;
+                for (const PlaceId q : pre) consumes = consumes || q == PlaceId(pi);
+                if (consumes && pre.size() != 1) report.free_choice = false;
+            }
+        }
+    }
+
+    // Reachability for safeness and liveness.
+    std::unordered_map<Marking, std::uint32_t, MarkingHash> index;
+    std::vector<Marking> markings{net.initial_marking()};
+    std::vector<std::vector<std::uint32_t>> succ(1);
+    std::vector<std::vector<std::uint32_t>> pred(1);
+    std::vector<bool> transition_fired(net.num_transitions(), false);
+    index.emplace(net.initial_marking(), 0);
+    std::deque<std::uint32_t> queue{0};
+    report.safe = true;
+    while (!queue.empty()) {
+        const std::uint32_t cur = queue.front();
+        queue.pop_front();
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const Marking m = markings[cur];
+            if (!net.enabled(m, TransitionId(ti))) continue;
+            transition_fired[ti] = true;
+            Marking next = net.fire(m, TransitionId(ti));
+            for (std::size_t pi = 0; pi < next.size(); ++pi) {
+                if (next[pi] > 1 && report.safe) {
+                    report.safe = false;
+                    if (report.offender.empty())
+                        report.offender =
+                            "place '" + net.place(PlaceId(pi)).name + "' reaches 2 tokens";
+                }
+            }
+            auto [it, inserted] = index.emplace(std::move(next), markings.size());
+            if (inserted) {
+                if (markings.size() >= max_markings)
+                    throw SpecError("structure analysis exceeded " +
+                                    std::to_string(max_markings) + " markings");
+                markings.push_back(it->first);
+                succ.emplace_back();
+                pred.emplace_back();
+                queue.push_back(it->second);
+            }
+            succ[cur].push_back(it->second);
+            pred[it->second].push_back(cur);
+        }
+    }
+    report.reachable_markings = markings.size();
+
+    // Liveness: every transition fires somewhere AND the reachability
+    // graph is strongly connected (so it keeps firing forever).
+    bool all_fired = true;
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        if (!transition_fired[ti]) {
+            all_fired = false;
+            if (report.offender.empty())
+                report.offender =
+                    "transition " + net.transition_label(TransitionId(ti)) + " never fires";
+        }
+    }
+    auto full_reach = [&](const std::vector<std::vector<std::uint32_t>>& edges) {
+        std::vector<bool> seen(markings.size(), false);
+        std::deque<std::uint32_t> bfs{0};
+        seen[0] = true;
+        std::size_t count = 1;
+        while (!bfs.empty()) {
+            const auto cur = bfs.front();
+            bfs.pop_front();
+            for (const auto nxt : edges[cur]) {
+                if (!seen[nxt]) {
+                    seen[nxt] = true;
+                    ++count;
+                    bfs.push_back(nxt);
+                }
+            }
+        }
+        return count == markings.size();
+    };
+    report.live = all_fired && full_reach(succ) && full_reach(pred);
+    if (!report.live && all_fired && report.offender.empty())
+        report.offender = "reachability graph is not strongly connected";
+    return report;
+}
+
+} // namespace si::stg

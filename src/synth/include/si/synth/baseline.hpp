@@ -1,0 +1,23 @@
+// Baseline synthesis in the style of Beerel & Meng [2]: excitation
+// functions are derived as *minimized correct covers* (Defs 13/16) with
+// no Monotonous Cover discipline — several cubes may implement one
+// excitation region and a cube may stretch across quiescent states of
+// other regions. The paper's Examples 1 and 2 show exactly where this
+// baseline produces unacknowledged AND gates; our verifier exhibits the
+// hazard on the resulting netlists.
+#pragma once
+
+#include <vector>
+
+#include "si/netlist/builder.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::synth {
+
+/// Derives one network per non-input signal: the up (down) function is a
+/// two-level minimization of the exact excitation onset, with the
+/// quiescent-after set as don't-care. No MC conditions are checked.
+[[nodiscard]] std::vector<net::SignalNetwork> derive_baseline_networks(
+    const sg::RegionAnalysis& ra);
+
+} // namespace si::synth

@@ -1,0 +1,24 @@
+// The complex-gate methodology the paper departs from (Chu [3]): each
+// non-input signal is one atomic gate computing its next-state function
+// next(a) = S(a) + a·R(a)', assumed hazard-free internally. Complete
+// State Coding is necessary and sufficient for this implementation to
+// exist; no Monotonous Cover discipline (and no state-signal insertion
+// beyond CSC) is involved. Provided as a comparator: specifications like
+// the paper's Figure 1 are complex-gate implementable as-is, but their
+// next-state functions are "too complex to have single complex gate
+// implementations from a standard library" — which is the problem the
+// paper's basic-gate architecture solves.
+#pragma once
+
+#include "si/netlist/netlist.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::synth {
+
+/// Builds the complex-gate implementation: one Input gate per input, one
+/// atomic Complex gate per non-input, whose SOP is the two-level
+/// minimized next-state function. Throws SynthesisError when the graph
+/// violates CSC (then no next-state function exists).
+[[nodiscard]] net::Netlist build_complex_gate_implementation(const sg::RegionAnalysis& ra);
+
+} // namespace si::synth

@@ -1,0 +1,70 @@
+// SAT-driven state-signal insertion to repair Monotonous Cover
+// violations (Sections V and VII).
+//
+// Given an excitation region with no monotonous cover, we look for a
+// labeling of the state graph with a new internal signal x such that:
+//   * labels respect the next-state relation along every arc;
+//   * inputs are never delayed by x (input-properness: an input arc may
+//     not cross Rise→One or Fall→Zero);
+//   * x is persistent (built into the next-state relation);
+//   * the victim region's transition is pushed behind x (its ER states
+//     carry x's active value; its firing arcs land on that value), and
+//     every offending state — a state the region's smallest cover cube
+//     wrongly reaches — carries the opposite stable value, so that x's
+//     literal repairs the cover.
+// The constraints go to the CDCL solver; each model is expanded and
+// fully re-validated (consistency, output semi-modularity,
+// distributivity, MC progress). Rejected models are blocked and the
+// solver re-queried — a small CEGAR loop, standing in for the Boolean
+// constraint formulation the paper reports in Section VII.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "si/mc/requirement.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/labeling.hpp"
+
+namespace si::synth {
+
+struct InsertionOptions {
+    /// Maximum SAT models examined across the search tiers.
+    std::size_t max_attempts = 1024;
+    /// Conflict budget per SAT call (0 = unlimited).
+    std::uint64_t sat_conflict_budget = 200000;
+};
+
+struct InsertionOutcome {
+    sg::StateGraph graph;        ///< expanded graph with the new signal
+    std::vector<XLabel> labels;  ///< the accepted labeling
+    std::string signal_name;
+    std::size_t attempts = 0;    ///< models examined (including rejected)
+};
+
+/// Offending states of a failed region: everything the smallest cover
+/// cube reaches that an MC cube must exclude — covered states outside
+/// the CFR, and covered quiescent states reachable (within the CFR)
+/// after the cube has gone to 0 (the re-rises behind condition 2).
+[[nodiscard]] std::vector<StateId> offending_states(const sg::RegionAnalysis& ra, RegionId victim);
+
+/// Tries to insert one signal repairing every region in `victims` at
+/// once (each victim gets its own polarity selector). Returns nullopt
+/// when the constraints are unsatisfiable or every model was rejected —
+/// callers then retry with smaller victim sets.
+[[nodiscard]] std::optional<InsertionOutcome> insert_signal_for(
+    const sg::RegionAnalysis& ra, std::span<const RegionId> victims,
+    const std::string& signal_name, const InsertionOptions& opts = {});
+
+/// As insert_signal_for, but returns up to `max_candidates` distinct
+/// admissible insertions ordered by quality (fewest remaining
+/// violations, then smallest expansion). The synthesis driver explores
+/// these as branches when minimizing the number of inserted signals.
+[[nodiscard]] std::vector<InsertionOutcome> insert_signal_candidates(
+    const sg::RegionAnalysis& ra, std::span<const RegionId> victims,
+    const std::string& signal_name, std::size_t max_candidates,
+    const InsertionOptions& opts = {});
+
+} // namespace si::synth

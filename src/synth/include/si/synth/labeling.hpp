@@ -1,0 +1,45 @@
+// Four-valued state labelings for signal insertion (Section V).
+//
+// Following the generalized state assignment framework of Vanbekbergen
+// et al. [11], a new internal signal x is described by giving every
+// state of the graph one of four labels — x stable at 0, stable at 1,
+// rising (excited to 1) or falling — and then *expanding* the graph:
+// a rising state s becomes the pair (s,0) --x+--> (s,1), and each
+// original arc survives in the slices where both endpoints exist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/sg/state_graph.hpp"
+
+namespace si::synth {
+
+enum class XLabel : unsigned char {
+    Zero, ///< x = 0, stable
+    One,  ///< x = 1, stable
+    Rise, ///< x = 0 and excited: the state splits, x+ fires inside it
+    Fall, ///< x = 1 and excited: the state splits, x- fires inside it
+};
+
+/// x's value in the slice(s) a label creates at x's "pre" side.
+[[nodiscard]] constexpr bool label_value(XLabel l) {
+    return l == XLabel::One || l == XLabel::Fall;
+}
+
+/// True if the pair (label(s), label(t)) is a legal transition of the
+/// label along a graph arc (the [11]-style next-state relation):
+/// Zero→{Zero,Rise,Fall}, Rise→{Rise,One}, One→{One,Fall,Rise},
+/// Fall→{Fall,Zero}. The cross pairs Zero→Fall and One→Rise survive in
+/// the single slice whose x value matches the source.
+[[nodiscard]] bool labels_compatible(XLabel s, XLabel t);
+
+/// Expands `sg` with a new internal signal named `name` according to the
+/// per-state labeling. Throws SpecError when the labeling violates the
+/// next-state relation (no arcs would survive between two states).
+[[nodiscard]] sg::StateGraph expand_with_signal(const sg::StateGraph& sg,
+                                                const std::vector<XLabel>& labels,
+                                                const std::string& name,
+                                                SignalKind kind = SignalKind::Internal);
+
+} // namespace si::synth

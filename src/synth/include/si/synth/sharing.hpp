@@ -1,0 +1,34 @@
+// Section VI optimization: AND-gate sharing under the generalized MC
+// requirement (Def 19, Theorem 5).
+//
+// After each excitation region has its own MC cube, cubes of different
+// regions may be merged into one shared cube (their supercube) when that
+// supercube is a generalized monotonous cover for the region set — then
+// one AND gate implements several region functions, possibly across
+// signal networks.
+#pragma once
+
+#include <vector>
+
+#include "si/mc/requirement.hpp"
+#include "si/netlist/builder.hpp"
+
+namespace si::synth {
+
+struct SharingStats {
+    std::size_t merges = 0;          ///< region pairs folded together
+    std::size_t cubes_before = 0;    ///< distinct cubes before merging
+    std::size_t cubes_after = 0;
+};
+
+/// Builds the per-signal networks from an MC report, then greedily merges
+/// region cubes pairwise (never two regions of opposite polarity of the
+/// same signal — they would drive set and reset at once). Each merge is
+/// validated with check_generalized_mc over the grown region group.
+/// With `enable == false` the networks are returned unmerged.
+[[nodiscard]] std::vector<net::SignalNetwork> build_networks(const sg::RegionAnalysis& ra,
+                                                             const mc::McReport& report,
+                                                             bool enable_sharing,
+                                                             SharingStats* stats = nullptr);
+
+} // namespace si::synth

@@ -1,0 +1,56 @@
+// Top-level synthesis procedure (Section V):
+//   1. analyze regions of the (output semi-modular) state graph;
+//   2. search MC cubes per excitation region (Def 18);
+//   3. while some region has none, insert a state signal repairing the
+//      worst violation (SAT labeling + expansion + re-validation);
+//   4. build the standard C- or RS-implementation from the cubes,
+//      optionally sharing AND gates under the generalized MC condition;
+//   5. optionally verify the netlist speed-independent against the
+//      (transformed) state graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/mc/requirement.hpp"
+#include "si/netlist/builder.hpp"
+#include "si/sg/state_graph.hpp"
+#include "si/synth/insertion.hpp"
+#include "si/synth/sharing.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si::synth {
+
+struct SynthOptions {
+    net::BuildOptions build;              ///< architecture / degenerate simplifications
+    bool enable_sharing = false;          ///< Section VI generalized-MC gate sharing
+    /// Quotient the input graph by bisimulation first (merges duplicate
+    /// states composition tends to create; never changes behaviour).
+    bool minimize_graph = false;
+    bool verify_result = false;           ///< run the SI verifier on the netlist
+    std::size_t max_inserted_signals = 8; ///< cascade cap for the repair loop
+    InsertionOptions insertion;
+    mc::McCubeSearch cube_search;
+    std::string inserted_prefix = "csc"; ///< inserted signals: csc0, csc1, ...
+};
+
+struct SynthesisResult {
+    sg::StateGraph graph;                  ///< final (possibly expanded) state graph
+    std::vector<std::string> inserted;     ///< names of state signals added
+    mc::McReport mc;                       ///< satisfied MC report on `graph`
+    std::vector<net::SignalNetwork> networks;
+    net::Netlist netlist;
+    SharingStats sharing;
+    verify::VerifyResult verification;     ///< populated when verify_result is set
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full flow. Throws SpecError when the input graph is not
+/// output semi-modular (not implementable speed-independently at all) or
+/// SynthesisError when the repair loop cannot reach MC form within the
+/// configured budget.
+[[nodiscard]] SynthesisResult synthesize(const sg::StateGraph& spec,
+                                         const SynthOptions& opts = {});
+
+} // namespace si::synth

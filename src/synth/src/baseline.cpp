@@ -1,0 +1,39 @@
+#include "si/synth/baseline.hpp"
+
+#include "si/boolean/minimize.hpp"
+
+namespace si::synth {
+
+std::vector<net::SignalNetwork> derive_baseline_networks(const sg::RegionAnalysis& ra) {
+    const auto& graph = ra.graph();
+    std::vector<net::SignalNetwork> out;
+    for (std::size_t vi = 0; vi < graph.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (!is_non_input(graph.signals()[v].kind)) continue;
+        net::SignalNetwork network;
+        network.signal = v;
+
+        auto half = [&](bool up) {
+            // Onset: minterms of every state where the transition is
+            // excited; don't-care: the stable states after it (Def 13
+            // leaves the function free there).
+            Cover onset(graph.num_signals());
+            Cover dc(graph.num_signals());
+            const BitVec& one = up ? ra.set_excited0(v) : ra.set_excited1(v);
+            const BitVec& free = up ? ra.set_stable1(v) : ra.set_stable0(v);
+            one.for_each_set([&](std::size_t si) {
+                onset.add(Cube::minterm(graph.state(StateId(si)).code));
+            });
+            free.for_each_set([&](std::size_t si) {
+                dc.add(Cube::minterm(graph.state(StateId(si)).code));
+            });
+            return minimize(onset, dc).cubes();
+        };
+        network.up_cubes = half(true);
+        network.down_cubes = half(false);
+        out.push_back(std::move(network));
+    }
+    return out;
+}
+
+} // namespace si::synth

@@ -1,0 +1,66 @@
+#include "si/synth/complex_gate.hpp"
+
+#include "si/boolean/minimize.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/util/error.hpp"
+
+namespace si::synth {
+
+net::Netlist build_complex_gate_implementation(const sg::RegionAnalysis& ra) {
+    const auto& graph = ra.graph();
+    if (const auto csc = sg::find_csc_violations(graph); !csc.empty())
+        throw SynthesisError("complex-gate implementation requires CSC: " +
+                             csc.front().describe(graph));
+
+    net::Netlist nl(graph.signals());
+    nl.name = graph.name + "-complex";
+    const BitVec& init = graph.state(graph.initial()).code;
+
+    // Inputs first, then one atomic complex gate per non-input.
+    for (std::size_t vi = 0; vi < graph.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (graph.signals()[v].kind != SignalKind::Input) continue;
+        const GateId g = nl.add_gate(net::GateKind::Input, graph.signals()[v].name, {}, v);
+        nl.gate(g).initial_value = init.test(vi);
+    }
+    for (std::size_t vi = 0; vi < graph.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (!is_non_input(graph.signals()[v].kind)) continue;
+
+        // next(v) = 1 exactly on 0*-set(v) ∪ 1-set(v); unreachable codes
+        // are don't-cares.
+        Cover onset(graph.num_signals());
+        Cover care(graph.num_signals());
+        const BitVec one = ra.set_excited0(v) | ra.set_stable1(v);
+        one.for_each_set([&](std::size_t si) {
+            onset.add(Cube::minterm(graph.state(StateId(si)).code));
+        });
+        ra.reachable().for_each_set([&](std::size_t si) {
+            care.add(Cube::minterm(graph.state(StateId(si)).code));
+        });
+        const Cover dc = care.complement();
+        const Cover fn = minimize(onset, dc);
+
+        const GateId g = nl.add_gate(net::GateKind::Complex, graph.signals()[v].name, {}, v);
+        nl.gate(g).complex_fn = fn;
+        nl.gate(g).initial_value = init.test(vi);
+    }
+
+    // Fanout bookkeeping: every complex gate reads the realizations of
+    // the signals its SOP mentions.
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        auto& gate = nl.gate(GateId(gi));
+        if (gate.kind != net::GateKind::Complex) continue;
+        std::vector<net::Fanin> fanins;
+        for (std::size_t v = 0; v < graph.num_signals(); ++v) {
+            bool used = false;
+            for (const auto& c : gate.complex_fn.cubes())
+                if (c.lit(SignalId(v)) != Lit::Dash) used = true;
+            if (used) fanins.push_back(net::Fanin{nl.gate_of_signal(SignalId(v)), false});
+        }
+        gate.fanins = std::move(fanins);
+    }
+    return nl;
+}
+
+} // namespace si::synth

@@ -1,0 +1,436 @@
+#include "si/synth/insertion.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "si/mc/cover_cube.hpp"
+#include "si/sat/solver.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/projection.hpp"
+#include "si/util/error.hpp"
+
+namespace si::synth {
+
+namespace {
+
+// States a cube wrongly reaches w.r.t. a *set* of regions it is meant to
+// cover (one region for a private cube, the mergeable sibling group for
+// a shared cube): everything covered outside the union of the CFRs, plus
+// covered states where the cube would re-rise inside some CFR.
+std::vector<StateId> offending_for(const sg::RegionAnalysis& ra,
+                                   std::span<const RegionId> regions, const Cube& cube) {
+    const auto& sg = ra.graph();
+    const BitVec covered = mc::covered_states(ra, cube);
+
+    BitVec all_cfr(sg.num_states());
+    for (const RegionId r : regions) all_cfr |= ra.region(r).cfr;
+    BitVec bad = covered;
+    bad.and_not(all_cfr);
+
+    for (const RegionId rid : regions) {
+        const auto& region = ra.region(rid);
+        // Re-rises: covered CFR states reachable (inside this CFR) from a
+        // CFR state the cube does not cover.
+        BitVec zero_in_cfr(sg.num_states());
+        region.cfr.for_each_set([&](std::size_t si) {
+            if (!covered.test(si)) zero_in_cfr.set(si);
+        });
+        BitVec after_zero(sg.num_states());
+        std::deque<StateId> queue;
+        zero_in_cfr.for_each_set([&](std::size_t si) { queue.emplace_back(si); });
+        while (!queue.empty()) {
+            const StateId s = queue.front();
+            queue.pop_front();
+            for (const auto a : sg.state(s).out) {
+                const StateId t = sg.arc(a).to;
+                if (region.cfr.test(t.index()) && !after_zero.test(t.index())) {
+                    after_zero.set(t.index());
+                    queue.push_back(t);
+                }
+            }
+        }
+        after_zero &= covered;
+        bad |= after_zero;
+    }
+
+    std::vector<StateId> out;
+    bad.for_each_set([&](std::size_t si) { out.emplace_back(si); });
+    return out;
+}
+
+// One way to repair a victim region: either privately (its own cube,
+// separated from everything it over-covers) or jointly with mergeable
+// same-signal same-polarity siblings under one shared cube (Def 19).
+struct RepairPlan {
+    std::vector<RegionId> regions;
+    std::vector<StateId> offending;
+};
+
+RepairPlan private_plan(const sg::RegionAnalysis& ra, RegionId victim) {
+    const std::vector<RegionId> regions{victim};
+    return RepairPlan{regions,
+                      offending_for(ra, regions, mc::smallest_cover_cube(ra, victim))};
+}
+
+std::optional<RepairPlan> group_plan(const sg::RegionAnalysis& ra, RegionId victim) {
+    const auto& region = ra.region(victim);
+    std::vector<RegionId> regions{victim};
+    Cube cube = mc::smallest_cover_cube(ra, victim);
+    for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
+        const RegionId rid{ri};
+        if (rid == victim) continue;
+        const auto& sibling = ra.region(rid);
+        if (sibling.signal != region.signal || sibling.rising != region.rising) continue;
+        const Cube merged = cube.supercube(mc::smallest_cover_cube(ra, rid));
+        if (merged.is_universal()) continue;
+        bool ok = true;
+        for (const RegionId r : regions)
+            ok = ok && mc::is_cover_cube(ra, r, merged);
+        ok = ok && mc::is_cover_cube(ra, rid, merged);
+        if (!ok) continue;
+        cube = merged;
+        regions.push_back(rid);
+    }
+    if (regions.size() < 2) return std::nullopt;
+    return RepairPlan{regions, offending_for(ra, regions, cube)};
+}
+
+} // namespace
+
+std::vector<StateId> offending_states(const sg::RegionAnalysis& ra, RegionId victim) {
+    return private_plan(ra, victim).offending;
+}
+
+namespace {
+
+// Counts MC violations, split into "pre-existing signals" (matched by
+// name against `old_names`) and newly inserted ones, and decides whether
+// every remaining violation is still repairable by a further insertion
+// (has offending states, none of which sit inside the region or on its
+// firing targets — there the insertion constraints would contradict).
+struct ViolationCount {
+    std::size_t old_signals = 0;
+    std::size_t new_signals = 0;
+    bool repairable = true;
+    [[nodiscard]] std::size_t total() const { return old_signals + new_signals; }
+};
+
+ViolationCount count_violations(const sg::StateGraph& graph,
+                                const std::vector<std::string>& old_names) {
+    const sg::RegionAnalysis ra(graph);
+    const auto report = mc::check_requirement(ra);
+    ViolationCount vc;
+    for (const auto& r : report.regions) {
+        if (r.ok()) continue;
+        const std::string& name = graph.signals()[ra.region(r.region).signal].name;
+        const bool is_old =
+            std::find(old_names.begin(), old_names.end(), name) != old_names.end();
+        (is_old ? vc.old_signals : vc.new_signals) += 1;
+
+        const auto offending = offending_states(ra, r.region);
+        if (offending.empty()) {
+            vc.repairable = false;
+            continue;
+        }
+        // An offender inside the ER itself cannot be separated by any
+        // further insertion (it would need x active and inactive at
+        // once); offenders on firing targets are fine — the Fall/Rise
+        // split handles them.
+        const auto& region = ra.region(r.region);
+        for (const StateId o : offending)
+            if (region.states.test(o.index())) vc.repairable = false;
+    }
+    return vc;
+}
+
+// Full behavioural re-validation of an expanded graph.
+std::optional<std::string> structural_reject(const sg::StateGraph& graph,
+                                             const sg::StateGraph& base) {
+    if (const auto err = sg::check_well_formed(graph)) return err;
+    for (const auto& c : sg::find_conflicts(graph))
+        if (c.internal) return "insertion breaks output semi-modularity: " + c.describe(graph);
+    // Detonant states (OR causality) are not rejected here: the
+    // elementary-sum form of Section IV can implement them, and the MC
+    // re-check decides whether it does.
+    // Foam Rubber Wrapper: hiding the new signal, the expansion must
+    // allow exactly the base behaviour.
+    if (const auto proj = sg::check_projection(graph, base); !proj.ok)
+        return "insertion changes the interface: " + proj.reason;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis& ra,
+                                                       std::span<const RegionId> victims,
+                                                       const std::string& signal_name,
+                                                       std::size_t max_candidates,
+                                                       const InsertionOptions& opts) {
+    const auto& graph = ra.graph();
+    const std::size_t n = graph.num_states();
+    if (ra.reachable().count() != n)
+        throw SpecError("signal insertion requires a fully reachable state graph");
+    if (victims.empty()) return {};
+
+    sat::Solver solver;
+    solver.set_conflict_budget(opts.sat_conflict_budget);
+
+    // One-hot label variables per state plus the polarity selector.
+    // var layout: L[s][k] with k = 0:Zero 1:One 2:Rise 3:Fall.
+    std::vector<std::array<sat::Var, 4>> L(n);
+    for (std::size_t s = 0; s < n; ++s)
+        for (auto& v : L[s]) v = solver.new_var();
+    using sat::neg;
+    using sat::pos;
+    constexpr int kZero = 0, kOne = 1, kRise = 2, kFall = 3;
+
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::array<sat::Lit, 4> lits{pos(L[s][0]), pos(L[s][1]), pos(L[s][2]),
+                                           pos(L[s][3])};
+        solver.add_clause(std::span<const sat::Lit>(lits.data(), 4));
+        solver.add_at_most_one(std::span<const sat::Lit>(lits.data(), 4));
+    }
+
+    // Next-state relation along every arc (see labels_compatible);
+    // inputs must not be delayed, so a pending x pins them to the same
+    // label, while stable sources may reach any label with a matching
+    // slice. The cross pairs Zero→Fall and One→Rise enlarge the model
+    // space considerably, so they sit behind the `cross` guard and are
+    // only enabled in the later search tiers.
+    const sat::Var cross = solver.new_var();
+    for (const auto& a : graph.arcs()) {
+        const auto& S = L[a.from.index()];
+        const auto& T = L[a.to.index()];
+        solver.add_clause({neg(S[kZero]), pos(T[kZero]), pos(T[kRise]), pos(T[kFall])});
+        solver.add_clause({neg(S[kOne]), pos(T[kOne]), pos(T[kFall]), pos(T[kRise])});
+        solver.add_clause({pos(cross), neg(S[kZero]), pos(T[kZero]), pos(T[kRise])});
+        solver.add_clause({pos(cross), neg(S[kOne]), pos(T[kOne]), pos(T[kFall])});
+        if (graph.signals()[a.signal].kind == SignalKind::Input) {
+            solver.add_implies(pos(S[kRise]), pos(T[kRise]));
+            solver.add_implies(pos(S[kFall]), pos(T[kFall]));
+        } else {
+            solver.add_clause({neg(S[kRise]), pos(T[kRise]), pos(T[kOne])});
+            solver.add_clause({neg(S[kFall]), pos(T[kFall]), pos(T[kZero])});
+        }
+    }
+
+    // Per victim region, one or two repair plans (private cube / shared
+    // sibling-group cube), each guarded by a selector: under the chosen
+    // plan, the plan's ER states carry x's active value (possibly still
+    // rising/falling there), the firing arcs land where x is already at
+    // the active value — so the repaired ER sits entirely in one slice —
+    // and every offending state takes the opposite stable value, so x's
+    // literal excludes it from the repaired cover cube.
+    // A plan is structurally contradictory when an offending state lies
+    // inside one of its ERs: it would have to carry x's active value and
+    // its complement at once. (An offender that is merely a firing
+    // target is representable — the Fall/Rise option below splits it.)
+    auto plan_feasible = [&](const RepairPlan& plan) {
+        if (plan.offending.empty()) return false; // nothing a literal could exclude
+        for (const StateId o : plan.offending)
+            for (const RegionId rid : plan.regions)
+                if (ra.region(rid).states.test(o.index())) return false;
+        return true;
+    };
+
+    // Victim plans are individually optional: the solver may commit to
+    // any non-empty subset (a signal repairing one conflict while the
+    // group fallback absorbs another is perfectly fine — forcing every
+    // victim would exclude such solutions). At least one plan must be
+    // chosen globally.
+    std::vector<sat::Lit> all_selectors;
+    for (const RegionId victim : victims) {
+        std::vector<RepairPlan> plans;
+        plans.push_back(private_plan(ra, victim));
+        if (auto gp = group_plan(ra, victim)) plans.push_back(std::move(*gp));
+
+        for (const auto& plan : plans) {
+            if (!plan_feasible(plan)) continue;
+            const sat::Var m = solver.new_var();   // this plan is chosen
+            const sat::Var pol = solver.new_var(); // x high across the plan's regions
+            all_selectors.push_back(pos(m));
+            for (const RegionId rid : plan.regions) {
+                const auto& region = ra.region(rid);
+                region.states.for_each_set([&](std::size_t s) {
+                    solver.add_clause({neg(m), neg(pol), pos(L[s][kRise]), pos(L[s][kOne])});
+                    solver.add_clause({neg(m), pos(pol), pos(L[s][kFall]), pos(L[s][kZero])});
+                    const auto arc = graph.arc_on(StateId(s), region.signal);
+                    if (arc != UINT32_MAX) {
+                        // The repaired ER must sit in one slice: when the
+                        // ER state itself splits (Rise under UP, Fall
+                        // under DOWN), the firing arc may only survive in
+                        // the active slice, which forces the target's
+                        // label; single-slice ER states land correctly by
+                        // construction.
+                        const std::size_t t = graph.arc(arc).to.index();
+                        solver.add_clause(
+                            {neg(m), neg(pol), neg(L[s][kRise]), pos(L[t][kOne])});
+                        solver.add_clause(
+                            {neg(m), pos(pol), neg(L[s][kFall]), pos(L[t][kZero])});
+                    }
+                });
+            }
+            for (const StateId o : plan.offending) {
+                // The offending state must end up on the inactive side of
+                // x's literal: stably inactive, or split by x's own
+                // return transition (Fall under the UP schema) — the
+                // latter covers offenders that are also quiescent states
+                // the victim's firing legally reaches (the active slice
+                // keeps the cube, the inactive slice sheds it).
+                solver.add_clause({neg(m), neg(pol), pos(L[o.index()][kZero]),
+                                   pos(L[o.index()][kFall])});
+                solver.add_clause({neg(m), pos(pol), pos(L[o.index()][kOne]),
+                                   pos(L[o.index()][kRise])});
+            }
+        }
+    }
+    if (all_selectors.empty()) return {};
+    solver.add_clause(std::span<const sat::Lit>(all_selectors.data(), all_selectors.size()));
+
+    // x must really switch: at least one rise and one fall somewhere.
+    {
+        std::vector<sat::Lit> rises, falls;
+        for (std::size_t s = 0; s < n; ++s) {
+            rises.push_back(pos(L[s][kRise]));
+            falls.push_back(pos(L[s][kFall]));
+        }
+        solver.add_clause(std::span<const sat::Lit>(rises.data(), rises.size()));
+        solver.add_clause(std::span<const sat::Lit>(falls.data(), falls.size()));
+    }
+
+    // Tier guard: under assumption `compact`, the rise and fall regions
+    // are single states (x+ and x- inserted into one branch each). Such
+    // insertions give x itself trivially implementable excitation
+    // regions, so they are tried first; the guard is dropped if they
+    // cannot repair the region.
+    const sat::Var compact = solver.new_var();
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t t = s + 1; t < n; ++t) {
+            solver.add_clause({neg(compact), neg(L[s][kRise]), neg(L[t][kRise])});
+            solver.add_clause({neg(compact), neg(L[s][kFall]), neg(L[t][kFall])});
+        }
+    }
+
+    const ViolationCount before = count_violations(graph, graph.signals().names());
+    const auto old_names = graph.signals().names();
+
+    struct Scored {
+        InsertionOutcome outcome;
+        std::size_t total;
+        std::size_t old_left;
+    };
+    std::vector<Scored> accepted;
+    std::optional<InsertionOutcome> fallback;
+    std::size_t attempt = 0;
+    const std::array<std::array<sat::Lit, 2>, 4> tiers{{
+        {neg(cross), pos(compact)},
+        {neg(cross), neg(compact)},
+        {pos(cross), pos(compact)},
+        {pos(cross), neg(compact)},
+    }};
+    for (const auto& assumptions : tiers) {
+        const bool tier_compact = assumptions[1] == pos(compact);
+        for (; attempt < opts.max_attempts; ) {
+        ++attempt;
+        const auto verdict =
+            solver.solve(std::span<const sat::Lit>(assumptions.data(), assumptions.size()));
+        if (verdict != sat::Result::Sat) {
+            if (std::getenv("SI_INSERT_DEBUG"))
+                std::fprintf(stderr, "insert: tier %s%s -> %s at attempt %zu\n",
+                             assumptions[0] == pos(cross) ? "cross+" : "",
+                             tier_compact ? "compact" : "free",
+                             verdict == sat::Result::Unsat ? "UNSAT" : "UNKNOWN", attempt);
+            break;
+        }
+
+        std::vector<XLabel> labels(n, XLabel::Zero);
+        for (std::size_t s = 0; s < n; ++s) {
+            if (solver.model_value(L[s][kOne])) labels[s] = XLabel::One;
+            else if (solver.model_value(L[s][kRise])) labels[s] = XLabel::Rise;
+            else if (solver.model_value(L[s][kFall])) labels[s] = XLabel::Fall;
+        }
+
+        // Block this model for the next round regardless of acceptance.
+        std::vector<sat::Lit> block;
+        for (std::size_t s = 0; s < n; ++s) {
+            const int k = labels[s] == XLabel::Zero   ? kZero
+                          : labels[s] == XLabel::One  ? kOne
+                          : labels[s] == XLabel::Rise ? kRise
+                                                      : kFall;
+            block.push_back(neg(L[s][k]));
+        }
+        solver.add_clause(std::span<const sat::Lit>(block.data(), block.size()));
+
+        const bool debug = std::getenv("SI_INSERT_DEBUG") != nullptr;
+        sg::StateGraph expanded;
+        try {
+            expanded = expand_with_signal(graph, labels, signal_name);
+        } catch (const Error& e) {
+            if (debug) std::fprintf(stderr, "insert[%zu]: expansion failed: %s\n", attempt, e.what());
+            continue; // malformed expansion; model already blocked
+        }
+        if (const auto why = structural_reject(expanded, graph)) {
+            if (debug) std::fprintf(stderr, "insert[%zu]: %s\n", attempt, why->c_str());
+            continue;
+        }
+
+        const ViolationCount after = count_violations(expanded, old_names);
+        if (after.old_signals >= before.old_signals) {
+            if (debug)
+                std::fprintf(stderr, "insert[%zu]: old violations %zu -> %zu (no progress)\n",
+                             attempt, before.old_signals, after.old_signals);
+            continue; // no progress on the victim's side
+        }
+        if (after.total() != 0 && !after.repairable) {
+            if (debug) std::fprintf(stderr, "insert[%zu]: leftover violations unrepairable\n", attempt);
+            continue;  // dead end: leftover violation unfixable
+        }
+
+        Scored scored{InsertionOutcome{std::move(expanded), std::move(labels), signal_name,
+                                       attempt},
+                      after.total(), after.old_signals};
+        if (scored.total == 0) {
+            // A complete repair dominates everything else.
+            accepted.clear();
+            accepted.push_back(std::move(scored));
+            goto done;
+        }
+        if (after.total() < before.total()) {
+            accepted.push_back(std::move(scored));
+            continue;
+        }
+        if (!fallback) fallback = std::move(scored.outcome); // old-side progress only
+        }
+    }
+done:
+    std::stable_sort(accepted.begin(), accepted.end(), [](const Scored& a, const Scored& b) {
+        if (a.total != b.total) return a.total < b.total;
+        return a.outcome.graph.num_states() < b.outcome.graph.num_states();
+    });
+    std::vector<InsertionOutcome> out;
+    for (auto& sc : accepted) {
+        // Deduplicate structurally equal results (same size and labels).
+        bool dup = false;
+        for (const auto& kept : out)
+            dup = dup || kept.labels == sc.outcome.labels;
+        if (!dup) out.push_back(std::move(sc.outcome));
+        if (out.size() >= max_candidates) break;
+    }
+    if (out.empty() && fallback) out.push_back(std::move(*fallback));
+    return out;
+}
+
+std::optional<InsertionOutcome> insert_signal_for(const sg::RegionAnalysis& ra,
+                                                  std::span<const RegionId> victims,
+                                                  const std::string& signal_name,
+                                                  const InsertionOptions& opts) {
+    auto candidates = insert_signal_candidates(ra, victims, signal_name, 1, opts);
+    if (candidates.empty()) return std::nullopt;
+    return std::move(candidates.front());
+}
+
+} // namespace si::synth

@@ -1,0 +1,110 @@
+#include "si/synth/labeling.hpp"
+
+#include <array>
+
+#include "si/util/error.hpp"
+
+namespace si::synth {
+
+bool labels_compatible(XLabel s, XLabel t) {
+    switch (s) {
+    case XLabel::Zero:
+        // Zero→Fall is legal: the arc lands in the Fall state's post-x-
+        // slice only (some paths arrive with x already back at 0).
+        return t == XLabel::Zero || t == XLabel::Rise || t == XLabel::Fall;
+    case XLabel::Rise:
+        // Rise→Fall/Zero would strand the pending x+ in the 0-slice.
+        return t == XLabel::Rise || t == XLabel::One;
+    case XLabel::One:
+        // One→Rise is legal: the arc lands in the post-x+ slice only.
+        return t == XLabel::One || t == XLabel::Fall || t == XLabel::Rise;
+    case XLabel::Fall:
+        return t == XLabel::Fall || t == XLabel::Zero;
+    }
+    return false;
+}
+
+sg::StateGraph expand_with_signal(const sg::StateGraph& old, const std::vector<XLabel>& labels,
+                                  const std::string& name, SignalKind kind) {
+    require(labels.size() == old.num_states(), "label table size mismatch");
+
+    sg::StateGraph out;
+    out.name = old.name;
+    for (const auto& s : old.signals().all()) out.signals().add(s.name, s.kind);
+    const SignalId x = out.signals().add(name, kind);
+
+    // Slice states. slice[i][v] is the new id of (old state i, x = v).
+    std::vector<std::array<StateId, 2>> slice(old.num_states(),
+                                              {StateId::invalid(), StateId::invalid()});
+    auto make_state = [&](std::size_t si, bool v) {
+        BitVec code = old.state(StateId(si)).code;
+        code.resize(out.num_signals());
+        if (v) code.set(x.index());
+        slice[si][v ? 1 : 0] = out.add_state(std::move(code));
+    };
+    for (std::size_t si = 0; si < old.num_states(); ++si) {
+        switch (labels[si]) {
+        case XLabel::Zero: make_state(si, false); break;
+        case XLabel::One: make_state(si, true); break;
+        case XLabel::Rise:
+        case XLabel::Fall:
+            make_state(si, false);
+            make_state(si, true);
+            break;
+        }
+    }
+
+    // x's own transitions inside split states.
+    for (std::size_t si = 0; si < old.num_states(); ++si) {
+        if (labels[si] == XLabel::Rise) out.add_arc(slice[si][0], slice[si][1], x);
+        if (labels[si] == XLabel::Fall) out.add_arc(slice[si][1], slice[si][0], x);
+    }
+
+    // Original arcs survive in each slice where both endpoints exist.
+    for (const auto& a : old.arcs()) {
+        if (!labels_compatible(labels[a.from.index()], labels[a.to.index()]))
+            throw SpecError("labeling violates the next-state relation on arc " +
+                            old.state_label(a.from) + " -> " + old.state_label(a.to));
+        bool any = false;
+        for (const int v : {0, 1}) {
+            const StateId f = slice[a.from.index()][v];
+            const StateId t = slice[a.to.index()][v];
+            if (f.is_valid() && t.is_valid()) {
+                out.add_arc(f, t, a.signal);
+                any = true;
+            }
+        }
+        if (!any)
+            throw SpecError("labeling leaves no slice for arc " + old.state_label(a.from) +
+                            " -> " + old.state_label(a.to));
+    }
+
+    // The initial state keeps x at its pre-transition value.
+    const std::size_t i0 = old.initial().index();
+    const bool v0 = label_value(labels[i0]);
+    out.set_initial(slice[i0][v0 ? 1 : 0]);
+
+    // The cross pairs (Zero→Fall, One→Rise) enter split states through a
+    // single slice; the other slice can end up unreachable. Prune to the
+    // reachable part so downstream analyses (and further insertions) see
+    // a clean graph.
+    const BitVec live = out.reachable();
+    if (live.count() != out.num_states()) {
+        sg::StateGraph pruned;
+        pruned.name = out.name;
+        for (const auto& sdecl : out.signals().all()) pruned.signals().add(sdecl.name, sdecl.kind);
+        std::vector<StateId> remap(out.num_states(), StateId::invalid());
+        live.for_each_set([&](std::size_t si) {
+            remap[si] = pruned.add_state(out.state(StateId(si)).code);
+        });
+        for (const auto& arc : out.arcs()) {
+            if (!live.test(arc.from.index()) || !live.test(arc.to.index())) continue;
+            pruned.add_arc(remap[arc.from.index()], remap[arc.to.index()], arc.signal);
+        }
+        pruned.set_initial(remap[out.initial().index()]);
+        return pruned;
+    }
+    return out;
+}
+
+} // namespace si::synth

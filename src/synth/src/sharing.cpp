@@ -1,0 +1,99 @@
+#include "si/synth/sharing.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "si/util/error.hpp"
+
+namespace si::synth {
+
+std::vector<net::SignalNetwork> build_networks(const sg::RegionAnalysis& ra,
+                                               const mc::McReport& report, bool enable_sharing,
+                                               SharingStats* stats) {
+    require(report.satisfied(), "cannot build networks from an unsatisfied MC report");
+
+    // Working copy: cube per region, group of regions per cube slot.
+    struct Slot {
+        Cube cube;
+        std::vector<RegionId> group;
+        bool dead = false;
+    };
+    std::vector<Slot> slots;
+    std::map<std::size_t, std::size_t> slot_of_region; // region index -> slot
+    for (const auto& r : report.regions) {
+        if (!r.cube) continue; // elementary-sum regions carry no cube slot
+        slot_of_region[r.region.index()] = slots.size();
+        slots.push_back(Slot{*r.cube, {r.region}, false});
+    }
+    if (stats) stats->cubes_before = slots.size();
+
+    if (enable_sharing) {
+        auto polarity_clash = [&](const Slot& a, const Slot& b) {
+            // Never fold opposite-polarity regions of one signal: the
+            // shared gate would drive its set and reset functions
+            // simultaneously.
+            for (const RegionId ri : a.group)
+                for (const RegionId rj : b.group)
+                    if (ra.region(ri).signal == ra.region(rj).signal &&
+                        ra.region(ri).rising != ra.region(rj).rising)
+                        return true;
+            return false;
+        };
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i < slots.size() && !changed; ++i) {
+                if (slots[i].dead) continue;
+                for (std::size_t j = i + 1; j < slots.size() && !changed; ++j) {
+                    if (slots[j].dead) continue;
+                    if (polarity_clash(slots[i], slots[j])) continue;
+                    const Cube merged = slots[i].cube.supercube(slots[j].cube);
+                    if (merged.is_universal()) continue;
+                    std::vector<RegionId> group = slots[i].group;
+                    group.insert(group.end(), slots[j].group.begin(), slots[j].group.end());
+                    if (!mc::check_generalized_mc(ra, group, merged).empty()) continue;
+                    slots[i].cube = merged;
+                    slots[i].group = std::move(group);
+                    slots[j].dead = true;
+                    for (const RegionId r : slots[i].group)
+                        slot_of_region[r.index()] = i;
+                    if (stats) ++stats->merges;
+                    changed = true;
+                }
+            }
+        }
+    }
+    if (stats) {
+        stats->cubes_after = 0;
+        for (const auto& s : slots)
+            if (!s.dead) ++stats->cubes_after;
+    }
+
+    // Assemble per-signal networks: every region contributes its (maybe
+    // shared) cube to its polarity's SOP, in region instance order.
+    std::map<std::size_t, net::SignalNetwork> by_signal;
+    for (const auto& r : report.regions) {
+        const auto& region = ra.region(r.region);
+        auto& network = by_signal[region.signal.index()];
+        network.signal = region.signal;
+        auto& half = region.rising ? network.up_cubes : network.down_cubes;
+        if (!r.cube) {
+            // Elementary sum: each bare literal feeds the OR gate
+            // directly (the degenerate-AND simplification handles it).
+            for (const auto& lit : r.sum_literals)
+                if (std::find(half.begin(), half.end(), lit) == half.end())
+                    half.push_back(lit);
+            continue;
+        }
+        const Cube& cube = slots[slot_of_region[r.region.index()]].cube;
+        // A shared cube may already be present in this half (two regions
+        // of the same signal/polarity folded together): add it once.
+        if (std::find(half.begin(), half.end(), cube) == half.end()) half.push_back(cube);
+    }
+    std::vector<net::SignalNetwork> out;
+    out.reserve(by_signal.size());
+    for (auto& [idx, network] : by_signal) out.push_back(std::move(network));
+    return out;
+}
+
+} // namespace si::synth

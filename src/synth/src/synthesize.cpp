@@ -1,0 +1,131 @@
+#include "si/synth/synthesize.hpp"
+
+#include <optional>
+
+#include "si/sg/analysis.hpp"
+#include "si/sg/minimize_sg.hpp"
+#include "si/util/error.hpp"
+
+namespace si::synth {
+
+std::string SynthesisResult::summary() const {
+    const auto s = netlist.stats();
+    std::string out = graph.name + ": " + std::to_string(graph.num_states()) + " states, " +
+                      std::to_string(inserted.size()) + " inserted signal(s)";
+    if (!inserted.empty()) {
+        out += " (";
+        for (std::size_t i = 0; i < inserted.size(); ++i)
+            out += (i ? ", " : "") + inserted[i];
+        out += ")";
+    }
+    out += "; netlist: " + std::to_string(s.and_gates) + " AND, " + std::to_string(s.or_gates) +
+           " OR, " + std::to_string(s.c_elements) + " C, " + std::to_string(s.nor_gates) +
+           " NOR, " + std::to_string(s.literals) + " literals";
+    if (sharing.merges != 0)
+        out += "; " + std::to_string(sharing.merges) + " shared-gate merge(s)";
+    if (!verification.describe().empty() && verification.states_explored != 0)
+        out += "; verification: " + std::string(verification.ok ? "PASS" : "FAIL");
+    return out;
+}
+
+namespace {
+
+// Depth-limited branch-and-bound over insertion choices: each round may
+// offer several admissible state-signal insertions, and a locally best
+// one can chain into more rounds than a rival — so the driver explores a
+// few candidates per round and keeps the completion with the fewest
+// inserted signals.
+struct Search {
+    const SynthOptions& opts;
+    std::size_t best_known;               // fewest insertions of any solution found
+    std::optional<sg::StateGraph> best_graph;
+    std::vector<std::string> best_names;
+    std::size_t nodes = 0;                // explored rounds (work cap)
+    static constexpr std::size_t kMaxNodes = 500;
+    static constexpr std::size_t kBranch = 3;
+
+    void run(const sg::StateGraph& current, std::vector<std::string>& names) {
+        if (names.size() >= best_known) return; // cannot improve
+        if (++nodes > kMaxNodes) return;
+
+        const sg::RegionAnalysis ra(current);
+        const mc::McReport report = mc::check_requirement(ra, opts.cube_search);
+        if (report.satisfied()) {
+            best_known = names.size();
+            best_graph = current;
+            best_names = names;
+            return;
+        }
+        if (names.size() >= opts.max_inserted_signals) return;
+        if (names.size() + 1 >= best_known) return; // even one more cannot win
+
+        std::vector<RegionId> violated;
+        for (const auto& r : report.regions)
+            if (!r.ok()) violated.push_back(r.region);
+
+        // One SAT formula covers every violated region (plans are
+        // individually optional inside), so a single candidate query per
+        // round suffices.
+        const std::string name = opts.inserted_prefix + std::to_string(names.size());
+        const auto candidates =
+            insert_signal_candidates(ra, violated, name, kBranch, opts.insertion);
+        for (const auto& candidate : candidates) {
+            names.push_back(candidate.signal_name);
+            run(candidate.graph, names);
+            names.pop_back();
+            if (best_known <= names.size() + 1) return; // optimal from here
+            if (nodes > kMaxNodes) return;
+        }
+    }
+};
+
+} // namespace
+
+SynthesisResult synthesize(const sg::StateGraph& spec, const SynthOptions& opts) {
+    if (const auto err = sg::check_well_formed(spec))
+        throw SpecError("synthesize: malformed state graph: " + *err);
+    for (const auto& c : sg::find_conflicts(spec)) {
+        if (c.internal)
+            throw SpecError("synthesize: '" + spec.name +
+                            "' is not output semi-modular and cannot be implemented "
+                            "speed-independently: " +
+                            c.describe(spec));
+    }
+
+    const sg::StateGraph start =
+        opts.minimize_graph ? sg::minimize_bisimulation(spec) : spec;
+
+    Search search{opts, opts.max_inserted_signals + 1, std::nullopt, {}, 0};
+    std::vector<std::string> names;
+    search.run(start, names);
+
+    if (!search.best_graph) {
+        const sg::RegionAnalysis ra(start);
+        const auto report = mc::check_requirement(ra, opts.cube_search);
+        throw SynthesisError(
+            "'" + spec.name +
+            "': no sequence of state-signal insertions within the budget reaches MC form "
+            "(conflicts that sit inside input bursts cannot be separated without delaying "
+            "inputs):\n" +
+            report.describe(ra));
+    }
+
+    SynthesisResult result{std::move(*search.best_graph),
+                           std::move(search.best_names),
+                           {},
+                           {},
+                           net::Netlist(spec.signals()),
+                           {},
+                           {}};
+    const sg::RegionAnalysis final_ra(result.graph);
+    result.mc = mc::check_requirement(final_ra, opts.cube_search);
+    result.networks = build_networks(final_ra, result.mc, opts.enable_sharing, &result.sharing);
+    net::BuildOptions build = opts.build;
+    build.share_gates = build.share_gates || opts.enable_sharing;
+    result.netlist = net::build_standard_implementation(result.graph, result.networks, build);
+    if (opts.verify_result)
+        result.verification = verify::verify_speed_independence(result.netlist, result.graph);
+    return result;
+}
+
+} // namespace si::synth

@@ -1,0 +1,102 @@
+// A compact dynamic bit vector.
+//
+// Used for state-set membership (regions, reachability closures) and for
+// binary state codes. Narrower in scope than std::vector<bool> — it adds
+// whole-word set algebra (and/or/andnot), popcount, and fast iteration
+// over set bits, all of which the region algorithms lean on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace si {
+
+class BitVec {
+public:
+    BitVec() = default;
+    explicit BitVec(std::size_t nbits, bool value = false);
+
+    [[nodiscard]] std::size_t size() const { return nbits_; }
+    [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+    void resize(std::size_t nbits, bool value = false);
+    void clear() { words_.clear(); nbits_ = 0; }
+
+    [[nodiscard]] bool test(std::size_t i) const {
+        return (words_[i / kBits] >> (i % kBits)) & 1u;
+    }
+    void set(std::size_t i) { words_[i / kBits] |= word_type(1) << (i % kBits); }
+    void reset(std::size_t i) { words_[i / kBits] &= ~(word_type(1) << (i % kBits)); }
+    void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+    void flip(std::size_t i) { words_[i / kBits] ^= word_type(1) << (i % kBits); }
+
+    void set_all();
+    void reset_all();
+
+    /// Number of set bits.
+    [[nodiscard]] std::size_t count() const;
+    /// True if no bit is set.
+    [[nodiscard]] bool none() const;
+    /// True if any bit is set.
+    [[nodiscard]] bool any() const { return !none(); }
+
+    /// In-place set algebra. All operands must have equal size().
+    BitVec& operator&=(const BitVec& o);
+    BitVec& operator|=(const BitVec& o);
+    BitVec& operator^=(const BitVec& o);
+    /// this := this & ~o.
+    BitVec& and_not(const BitVec& o);
+
+    [[nodiscard]] friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+    [[nodiscard]] friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+    [[nodiscard]] friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+    /// True if this and o share at least one set bit.
+    [[nodiscard]] bool intersects(const BitVec& o) const;
+    /// True if every set bit of this is also set in o.
+    [[nodiscard]] bool is_subset_of(const BitVec& o) const;
+
+    friend bool operator==(const BitVec&, const BitVec&) = default;
+
+    /// Index of the first set bit, or size() if none.
+    [[nodiscard]] std::size_t find_first() const;
+    /// Index of the first set bit after i, or size() if none.
+    [[nodiscard]] std::size_t find_next(std::size_t i) const;
+
+    /// Calls fn(index) for each set bit in ascending order.
+    template <class Fn>
+    void for_each_set(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            word_type bits = words_[w];
+            while (bits != 0) {
+                const auto b = static_cast<std::size_t>(__builtin_ctzll(bits));
+                fn(w * kBits + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Stable hash of the contents (for hash-consing markings/codes).
+    [[nodiscard]] std::size_t hash() const;
+
+    /// Renders as a left-to-right 0/1 string, bit 0 first.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    using word_type = std::uint64_t;
+    static constexpr std::size_t kBits = 64;
+
+    void trim_tail();
+
+    std::vector<word_type> words_;
+    std::size_t nbits_ = 0;
+};
+
+} // namespace si
+
+template <>
+struct std::hash<si::BitVec> {
+    std::size_t operator()(const si::BitVec& v) const noexcept { return v.hash(); }
+};

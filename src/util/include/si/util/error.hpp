@@ -1,0 +1,51 @@
+// Error types shared across the si libraries.
+//
+// All recoverable failures in the library surface as subclasses of
+// si::Error, each carrying a human-readable message built at the throw
+// site (E.14: purpose-designed, informative exception types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace si {
+
+/// Base class of every exception thrown by the si libraries.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// A malformed input file or string (e.g. a bad .g STG description).
+class ParseError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A specification that violates a structural requirement (e.g. an STG
+/// whose reachable markings have no consistent state assignment).
+class SpecError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A request that is valid in form but cannot be satisfied (e.g. asking
+/// for a monotonous cover of an excitation region that has none).
+class SynthesisError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in this library.
+class InternalError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Throws InternalError when `cond` is false. Used for invariants that
+/// are cheap enough to keep on in release builds.
+inline void require(bool cond, const char* msg) {
+    if (!cond) throw InternalError(std::string("internal invariant violated: ") + msg);
+}
+
+} // namespace si

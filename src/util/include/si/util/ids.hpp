@@ -1,0 +1,68 @@
+// Strongly typed integer identifiers.
+//
+// The si libraries index almost everything (signals, states, places,
+// transitions, gates) by dense integer ids. Raw std::size_t invites
+// mixing a state index into a signal table; Id<Tag> makes each id space
+// a distinct type while staying a trivially copyable value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace si {
+
+/// A strongly typed index. Tag is an empty struct naming the id space.
+template <class Tag>
+class Id {
+public:
+    using underlying_type = std::uint32_t;
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::size_t v) : value_(static_cast<underlying_type>(v)) {}
+
+    /// Sentinel "no such object" value.
+    [[nodiscard]] static constexpr Id invalid() {
+        return Id(std::numeric_limits<underlying_type>::max());
+    }
+    [[nodiscard]] constexpr bool is_valid() const { return *this != invalid(); }
+
+    [[nodiscard]] constexpr std::size_t index() const { return value_; }
+    [[nodiscard]] constexpr underlying_type raw() const { return value_; }
+
+    friend constexpr bool operator==(Id, Id) = default;
+    friend constexpr auto operator<=>(Id, Id) = default;
+
+private:
+    underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+struct SignalTag {};
+struct StateTag {};
+struct PlaceTag {};
+struct TransitionTag {};
+struct GateTag {};
+struct RegionTag {};
+
+/// Index of a signal within a specification or circuit.
+using SignalId = Id<SignalTag>;
+/// Index of a state within a state graph.
+using StateId = Id<StateTag>;
+/// Index of a place within an STG's underlying Petri net.
+using PlaceId = Id<PlaceTag>;
+/// Index of a transition within an STG's underlying Petri net.
+using TransitionId = Id<TransitionTag>;
+/// Index of a gate within a netlist.
+using GateId = Id<GateTag>;
+/// Index of an excitation region within a state graph analysis.
+using RegionId = Id<RegionTag>;
+
+} // namespace si
+
+template <class Tag>
+struct std::hash<si::Id<Tag>> {
+    std::size_t operator()(si::Id<Tag> id) const noexcept {
+        return std::hash<typename si::Id<Tag>::underlying_type>()(id.raw());
+    }
+};

@@ -1,0 +1,27 @@
+// Plain-text table rendering for benchmark harnesses and reports.
+//
+// The paper's Table 1 and our extended result tables are printed through
+// this helper so every bench binary formats rows identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace si {
+
+class TextTable {
+public:
+    /// Column headers define the column count; all rows must match it.
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header rule, columns padded to content width.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace si

@@ -1,0 +1,26 @@
+// Small text utilities used by the parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace si {
+
+/// Splits on any run of characters from `seps`; empty tokens are dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, std::string_view seps = " \t");
+
+/// Strips leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with `sep` between them.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Splits text into lines (without terminators). A trailing newline does
+/// not produce an empty final line.
+[[nodiscard]] std::vector<std::string> lines_of(std::string_view text);
+
+} // namespace si

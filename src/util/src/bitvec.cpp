@@ -1,0 +1,128 @@
+#include "si/util/bitvec.hpp"
+
+#include <bit>
+#include <string>
+
+#include "si/util/error.hpp"
+
+namespace si {
+
+BitVec::BitVec(std::size_t nbits, bool value) { resize(nbits, value); }
+
+void BitVec::resize(std::size_t nbits, bool value) {
+    const std::size_t nwords = (nbits + kBits - 1) / kBits;
+    words_.resize(nwords, value ? ~word_type(0) : word_type(0));
+    if (value && nbits > nbits_) {
+        // Bits between old size and old word boundary were zero; raise them.
+        for (std::size_t i = nbits_; i < std::min(nbits, words_.size() * kBits); ++i)
+            set(i);
+    }
+    nbits_ = nbits;
+    trim_tail();
+}
+
+void BitVec::trim_tail() {
+    const std::size_t used = nbits_ % kBits;
+    if (!words_.empty() && used != 0)
+        words_.back() &= (word_type(1) << used) - 1;
+}
+
+void BitVec::set_all() {
+    for (auto& w : words_) w = ~word_type(0);
+    trim_tail();
+}
+
+void BitVec::reset_all() {
+    for (auto& w : words_) w = 0;
+}
+
+std::size_t BitVec::count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool BitVec::none() const {
+    for (auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in operator&=");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in operator|=");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in operator^=");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::and_not(const BitVec& o) {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in and_not");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+}
+
+bool BitVec::intersects(const BitVec& o) const {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in intersects");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if ((words_[i] & o.words_[i]) != 0) return true;
+    return false;
+}
+
+bool BitVec::is_subset_of(const BitVec& o) const {
+    require(nbits_ == o.nbits_, "BitVec size mismatch in is_subset_of");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if ((words_[i] & ~o.words_[i]) != 0) return false;
+    return true;
+}
+
+std::size_t BitVec::find_first() const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        if (words_[w] != 0)
+            return w * kBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    return nbits_;
+}
+
+std::size_t BitVec::find_next(std::size_t i) const {
+    ++i;
+    if (i >= nbits_) return nbits_;
+    std::size_t w = i / kBits;
+    word_type bits = words_[w] & (~word_type(0) << (i % kBits));
+    while (true) {
+        if (bits != 0)
+            return w * kBits + static_cast<std::size_t>(std::countr_zero(bits));
+        if (++w >= words_.size()) return nbits_;
+        bits = words_[w];
+    }
+}
+
+std::size_t BitVec::hash() const {
+    // FNV-1a over the words plus the length.
+    std::size_t h = 1469598103934665603ull;
+    auto mix = [&h](std::size_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(nbits_);
+    for (auto w : words_) mix(static_cast<std::size_t>(w));
+    return h;
+}
+
+std::string BitVec::to_string() const {
+    std::string s(nbits_, '0');
+    for (std::size_t i = 0; i < nbits_; ++i)
+        if (test(i)) s[i] = '1';
+    return s;
+}
+
+} // namespace si

@@ -1,0 +1,53 @@
+#include "si/util/text.hpp"
+
+namespace si {
+
+std::vector<std::string> split(std::string_view text, std::string_view seps) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && seps.find(text[i]) != std::string_view::npos) ++i;
+        std::size_t j = i;
+        while (j < text.size() && seps.find(text[j]) == std::string_view::npos) ++j;
+        if (j > i) out.emplace_back(text.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\r' || text[b] == '\n')) ++b;
+    while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\r' || text[e - 1] == '\n')) --e;
+    return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::vector<std::string> lines_of(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == '\n') {
+            std::string_view line = text.substr(start, i - start);
+            if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+            if (i < text.size() || !line.empty()) out.emplace_back(line);
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+} // namespace si

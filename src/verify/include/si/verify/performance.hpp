@@ -1,0 +1,37 @@
+// Unit-delay performance estimation.
+//
+// Speed-independent circuits have no clock; the usual first-order
+// performance figure is the cycle period under the unit-delay model:
+// every excited gate switches exactly one time unit after becoming
+// excited and the environment answers instantly. The closed system is
+// then deterministic, so it settles into a periodic orbit whose length
+// (in gate delays) is the cycle time. Used by the architecture
+// comparison benches (C vs RS vs complex vs shared gates).
+#pragma once
+
+#include <string>
+
+#include "si/netlist/netlist.hpp"
+#include "si/sg/state_graph.hpp"
+
+namespace si::verify {
+
+struct CycleEstimate {
+    bool periodic = false;        ///< false: deadlocked or budget exhausted
+    std::size_t transient_ticks = 0; ///< ticks before entering the orbit
+    std::size_t period_ticks = 0;    ///< gate delays per specification cycle
+    std::size_t gate_events = 0;     ///< gate output changes per period
+    std::size_t input_events = 0;    ///< environment transitions per period
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Simulates the closed circuit (instant environment per the spec) under
+/// unit delays until the composite state recurs. Throws SpecError if a
+/// simultaneous firing step disagrees with the specification (only
+/// possible on non-conformant netlists).
+[[nodiscard]] CycleEstimate estimate_cycle_time(const net::Netlist& nl,
+                                                const sg::StateGraph& spec,
+                                                std::size_t max_ticks = 100000);
+
+} // namespace si::verify

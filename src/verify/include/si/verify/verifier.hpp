@@ -1,0 +1,57 @@
+// Gate-level speed-independence verification.
+//
+// The netlist is closed with a mirror environment that behaves exactly
+// like the specification state graph (Foam Rubber Wrapper discipline:
+// inputs fire whenever the spec allows them). Every gate output is a
+// signal with a pure unbounded delay, so the composite behaviour is
+// explored by interleaving all excited gates. The circuit is
+// speed-independent iff no non-input gate is ever disabled while excited
+// (output semi-modularity of the closed circuit, the criterion of
+// Section III) and every latched signal change conforms to the spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "si/netlist/netlist.hpp"
+#include "si/sg/state_graph.hpp"
+
+namespace si::verify {
+
+enum class ViolationKind {
+    GateDisabled,     ///< an excited non-input gate lost its excitation: hazard
+    NonConformant,    ///< a latched signal fired when the spec forbids it
+    Deadlock,         ///< spec expects progress but nothing can fire
+    StateExplosion,   ///< exploration exceeded the configured bound
+};
+
+struct Violation {
+    ViolationKind kind;
+    std::string message;
+    /// Actions (gate/input names with polarity) from reset to the
+    /// violating transition.
+    std::vector<std::string> trace;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+struct VerifyOptions {
+    std::size_t max_states = 1u << 22;
+    /// Stop at the first violation (default) or keep exploring around it.
+    bool stop_at_first = true;
+};
+
+struct VerifyResult {
+    bool ok = false;
+    std::vector<Violation> violations;
+    std::size_t states_explored = 0;
+    std::size_t transitions_explored = 0;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] VerifyResult verify_speed_independence(const net::Netlist& nl,
+                                                     const sg::StateGraph& spec,
+                                                     const VerifyOptions& opts = {});
+
+} // namespace si::verify

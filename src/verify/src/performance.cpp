@@ -1,0 +1,102 @@
+#include "si/verify/performance.hpp"
+
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::verify {
+
+std::string CycleEstimate::describe() const {
+    if (!periodic) return "no periodic behaviour (deadlock or budget exhausted)";
+    return "period " + std::to_string(period_ticks) + " gate delays (" +
+           std::to_string(gate_events) + " gate events, " + std::to_string(input_events) +
+           " input events per period, transient " + std::to_string(transient_ticks) + ")";
+}
+
+namespace {
+
+struct Composite {
+    BitVec values;
+    StateId spec;
+    friend bool operator==(const Composite&, const Composite&) = default;
+};
+
+struct CompositeHash {
+    std::size_t operator()(const Composite& c) const noexcept {
+        return c.values.hash() * 1000003u ^ c.spec.raw();
+    }
+};
+
+} // namespace
+
+CycleEstimate estimate_cycle_time(const net::Netlist& nl, const sg::StateGraph& spec,
+                                  std::size_t max_ticks) {
+    Composite cur{nl.initial_values(), spec.initial()};
+    std::unordered_map<Composite, std::size_t, CompositeHash> seen_at;
+    std::vector<std::pair<std::size_t, std::size_t>> events; // (gate, input) per tick
+
+    for (std::size_t tick = 0; tick < max_ticks; ++tick) {
+        const auto [it, inserted] = seen_at.emplace(cur, tick);
+        if (!inserted) {
+            CycleEstimate est;
+            est.periodic = true;
+            est.transient_ticks = it->second;
+            est.period_ticks = tick - it->second;
+            for (std::size_t t = it->second; t < tick; ++t) {
+                est.gate_events += events[t].first;
+                est.input_events += events[t].second;
+            }
+            return est;
+        }
+
+        std::size_t gate_events = 0;
+        std::size_t input_events = 0;
+        Composite next = cur;
+
+        // Instant environment: all spec-enabled inputs fire first.
+        for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (spec.signals()[v].kind != SignalKind::Input) continue;
+            const auto arc = spec.arc_on(next.spec, v);
+            if (arc == UINT32_MAX) continue;
+            const GateId in = nl.gate_of_signal(v);
+            require(in.is_valid(), "input without an Input gate");
+            next.values.flip(in.index());
+            next.spec = spec.arc(arc).to;
+            ++input_events;
+        }
+
+        // Unit-delay step: every excited non-input gate switches at once
+        // (excitation evaluated against the pre-step values).
+        const BitVec before = next.values;
+        std::vector<SignalId> latched;
+        for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+            const GateId gid{g};
+            const auto& gate = nl.gate(gid);
+            if (gate.kind == net::GateKind::Input) continue;
+            if (nl.target_value(gid, before) == before.test(g)) continue;
+            next.values.flip(g);
+            ++gate_events;
+            if (gate.signal.is_valid() && is_non_input(spec.signals()[gate.signal].kind))
+                latched.push_back(gate.signal);
+        }
+        // Advance the spec for the latched signals (any order: a verified
+        // SI netlist only fires spec-enabled transitions).
+        for (const SignalId v : latched) {
+            const auto arc = spec.arc_on(next.spec, v);
+            if (arc == UINT32_MAX ||
+                spec.value(spec.arc(arc).to, v) != next.values.test(nl.gate_of_signal(v).index()))
+                throw SpecError("unit-delay simulation diverged from the specification at " +
+                                spec.state_label(next.spec) + " on signal " +
+                                spec.signals()[v].name + " (non-conformant netlist?)");
+            next.spec = spec.arc(arc).to;
+        }
+
+        events.emplace_back(gate_events, input_events);
+        if (gate_events == 0 && input_events == 0) return {}; // deadlock
+        cur = std::move(next);
+    }
+    return {};
+}
+
+} // namespace si::verify

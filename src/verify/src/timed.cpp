@@ -1,0 +1,210 @@
+#include "si/verify/timed.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::verify {
+
+std::string TimedResult::describe() const {
+    std::string out = ok ? "conformant under the delay bounds" : ("VIOLATION: " + violation);
+    out += " (" + std::to_string(states_explored) + " timed states, " +
+           std::to_string(pulses_filtered) + " pulses filtered)";
+    if (!ok && !trace.empty()) {
+        out += "\n  trace:";
+        for (const auto& a : trace) out += " " + a;
+    }
+    return out;
+}
+
+namespace {
+
+struct TimedState {
+    BitVec values;
+    std::vector<std::uint8_t> age; // per gate: time excited so far (0 = fresh/idle)
+    StateId spec;
+
+    friend bool operator==(const TimedState&, const TimedState&) = default;
+};
+
+struct TimedHash {
+    std::size_t operator()(const TimedState& s) const noexcept {
+        std::size_t h = s.values.hash() * 1000003u ^ s.spec.raw();
+        for (const auto a : s.age) h = h * 131u + a;
+        return h;
+    }
+};
+
+class TimedVerifier {
+public:
+    TimedVerifier(const net::Netlist& nl, const sg::StateGraph& spec,
+                  const std::vector<DelayBounds>& bounds, const TimedOptions& opts)
+        : nl_(nl), spec_(spec), bounds_(bounds), opts_(opts) {
+        require(bounds.size() == nl.num_gates(), "one delay bound per gate required");
+    }
+
+    TimedResult run() {
+        TimedState init{nl_.initial_values(), std::vector<std::uint8_t>(nl_.num_gates(), 0),
+                        spec_.initial()};
+        index_.emplace(init, 0);
+        nodes_.push_back(Node{std::move(init), UINT32_MAX, ""});
+        std::deque<std::uint32_t> queue{0};
+
+        while (!queue.empty() && result_.violation.empty()) {
+            const std::uint32_t cur = queue.front();
+            queue.pop_front();
+            expand(cur, queue);
+            if (index_.size() > opts_.max_states) {
+                fail(cur, "timed exploration exceeded " + std::to_string(opts_.max_states) +
+                              " states");
+                break;
+            }
+        }
+        result_.ok = result_.violation.empty();
+        result_.states_explored = nodes_.size();
+        return std::move(result_);
+    }
+
+private:
+    struct Node {
+        TimedState state;
+        std::uint32_t parent;
+        std::string action;
+    };
+
+    void fail(std::uint32_t node, std::string message) {
+        if (!result_.violation.empty()) return;
+        result_.violation = std::move(message);
+        for (std::uint32_t n = node; n != UINT32_MAX; n = nodes_[n].parent)
+            if (!nodes_[n].action.empty()) result_.trace.push_back(nodes_[n].action);
+        std::reverse(result_.trace.begin(), result_.trace.end());
+    }
+
+    [[nodiscard]] bool gate_excited(const TimedState& s, GateId g) const {
+        return nl_.gate(g).kind != net::GateKind::Input &&
+               nl_.target_value(g, s.values) != s.values.test(g.index());
+    }
+
+    // Inertial rule: after any value change, pending ages of gates whose
+    // excitation vanished reset to zero.
+    void settle(TimedState& s) {
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            if (s.age[g] != 0 && !gate_excited(s, GateId(g))) {
+                s.age[g] = 0;
+                ++result_.pulses_filtered;
+            }
+        }
+    }
+
+    void take(std::uint32_t cur, TimedState next, const std::string& action,
+              std::deque<std::uint32_t>& queue) {
+        const auto [it, inserted] = index_.emplace(next, static_cast<std::uint32_t>(nodes_.size()));
+        if (inserted) {
+            nodes_.push_back(Node{std::move(next), cur, action});
+            queue.push_back(it->second);
+        }
+    }
+
+    void expand(std::uint32_t cur, std::deque<std::uint32_t>& queue) {
+        const TimedState s = nodes_[cur].state;
+        bool progress = false;
+
+        // Environment: any spec-enabled input, at any moment.
+        for (std::size_t vi = 0; vi < spec_.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (spec_.signals()[v].kind != SignalKind::Input) continue;
+            const auto arc = spec_.arc_on(s.spec, v);
+            if (arc == UINT32_MAX) continue;
+            const GateId in = nl_.gate_of_signal(v);
+            TimedState next = s;
+            next.values.flip(in.index());
+            next.spec = spec_.arc(arc).to;
+            settle(next);
+            take(cur, std::move(next),
+                 (s.values.test(in.index()) ? "-" : "+") + nl_.gate(in).name, queue);
+            progress = true;
+        }
+
+        // Gate firings: pending gates whose age has reached their lower
+        // bound may fire now.
+        bool deadline = false;
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            const GateId gid{g};
+            if (!gate_excited(s, gid)) continue;
+            if (s.age[g] >= bounds_[g].hi) deadline = true;
+            if (s.age[g] < bounds_[g].lo) continue;
+            TimedState next = s;
+            next.values.flip(g);
+            next.age[g] = 0;
+            const bool new_value = next.values.test(g);
+            const auto& gate = nl_.gate(gid);
+            if (gate.signal.is_valid() && is_non_input(spec_.signals()[gate.signal].kind)) {
+                const auto arc = spec_.arc_on(s.spec, gate.signal);
+                const bool allowed =
+                    arc != UINT32_MAX && spec_.value(spec_.arc(arc).to, gate.signal) == new_value;
+                if (!allowed) {
+                    fail(cur, "signal '" + gate.name + "' fired to " + (new_value ? "1" : "0") +
+                                  " at spec state " + spec_.state_label(s.spec) +
+                                  " where it is not enabled");
+                    return;
+                }
+                next.spec = spec_.arc(arc).to;
+            }
+            settle(next);
+            take(cur, std::move(next), (new_value ? "+" : "-") + gate.name, queue);
+            progress = true;
+        }
+
+        // Time advance: one unit, blocked while some gate sits at its
+        // deadline (it must fire first).
+        if (!deadline) {
+            TimedState next = s;
+            bool any_pending = false;
+            for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+                if (gate_excited(s, GateId(g))) {
+                    next.age[g] = static_cast<std::uint8_t>(
+                        std::min<unsigned>(s.age[g] + 1, bounds_[g].hi));
+                    any_pending = true;
+                }
+            }
+            if (any_pending) {
+                take(cur, std::move(next), "tick", queue);
+                progress = true;
+            }
+        } else {
+            progress = true; // a must-fire gate exists; firings cover it
+        }
+
+        if (!progress && !spec_.state(s.spec).out.empty())
+            fail(cur, "deadlock: nothing can fire but the spec expects progress at " +
+                          spec_.state_label(s.spec));
+    }
+
+    const net::Netlist& nl_;
+    const sg::StateGraph& spec_;
+    const std::vector<DelayBounds>& bounds_;
+    const TimedOptions& opts_;
+    std::unordered_map<TimedState, std::uint32_t, TimedHash> index_;
+    std::vector<Node> nodes_;
+    TimedResult result_;
+};
+
+} // namespace
+
+TimedResult verify_bounded_delay(const net::Netlist& nl, const sg::StateGraph& spec,
+                                 const std::vector<DelayBounds>& bounds,
+                                 const TimedOptions& opts) {
+    return TimedVerifier(nl, spec, bounds, opts).run();
+}
+
+std::vector<DelayBounds> uniform_bounds(const net::Netlist& nl, DelayBounds gates,
+                                        DelayBounds inverters) {
+    std::vector<DelayBounds> out(nl.num_gates(), gates);
+    for (std::size_t g = 0; g < nl.num_gates(); ++g)
+        if (nl.gate(GateId(g)).kind == net::GateKind::Not) out[g] = inverters;
+    return out;
+}
+
+} // namespace si::verify

@@ -1,0 +1,203 @@
+#include "si/verify/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::verify {
+
+std::string Violation::describe() const {
+    std::string out = message;
+    if (!trace.empty()) {
+        out += "\n  trace:";
+        for (const auto& a : trace) out += " " + a;
+    }
+    return out;
+}
+
+std::string VerifyResult::describe() const {
+    std::string out = ok ? "speed-independent" : "NOT speed-independent";
+    out += " (" + std::to_string(states_explored) + " composite states, " +
+           std::to_string(transitions_explored) + " transitions)";
+    for (const auto& v : violations) out += "\n" + v.describe();
+    return out;
+}
+
+namespace {
+
+struct Composite {
+    BitVec values;
+    StateId spec;
+
+    friend bool operator==(const Composite&, const Composite&) = default;
+};
+
+struct CompositeHash {
+    std::size_t operator()(const Composite& c) const noexcept {
+        return c.values.hash() * 1000003u ^ c.spec.raw();
+    }
+};
+
+class Verifier {
+public:
+    Verifier(const net::Netlist& nl, const sg::StateGraph& spec, const VerifyOptions& opts)
+        : nl_(nl), spec_(spec), opts_(opts) {}
+
+    VerifyResult run() {
+        const Composite init{nl_.initial_values(), spec_.initial()};
+        index_.emplace(init, 0);
+        nodes_.push_back(Node{init, UINT32_MAX, ""});
+        std::deque<std::uint32_t> queue{0};
+
+        while (!queue.empty()) {
+            if (!result_.violations.empty() && opts_.stop_at_first) break;
+            const std::uint32_t cur = queue.front();
+            queue.pop_front();
+            expand(cur, queue);
+            if (index_.size() > opts_.max_states) {
+                add_violation(ViolationKind::StateExplosion, cur,
+                              "exploration exceeded " + std::to_string(opts_.max_states) +
+                                  " composite states");
+                break;
+            }
+        }
+        result_.ok = result_.violations.empty();
+        result_.states_explored = nodes_.size();
+        return std::move(result_);
+    }
+
+private:
+    struct Node {
+        Composite state;
+        std::uint32_t parent;
+        std::string action;
+    };
+
+    void add_violation(ViolationKind kind, std::uint32_t node, std::string message) {
+        Violation v{kind, std::move(message), {}};
+        for (std::uint32_t n = node; n != UINT32_MAX; n = nodes_[n].parent) {
+            if (!nodes_[n].action.empty()) v.trace.push_back(nodes_[n].action);
+        }
+        std::reverse(v.trace.begin(), v.trace.end());
+        result_.violations.push_back(std::move(v));
+    }
+
+    // Non-input gates excited under `c`.
+    [[nodiscard]] BitVec excited_gates(const Composite& c) const {
+        BitVec out(nl_.num_gates());
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            if (nl_.gate(GateId(g)).kind == net::GateKind::Input) continue;
+            if (nl_.gate_excited(GateId(g), c.values)) out.set(g);
+        }
+        return out;
+    }
+
+    void check_disabling(std::uint32_t from_node, const Composite& before, const Composite& after,
+                         GateId fired, const std::string& action) {
+        // Pure-delay semantics: any excited non-input gate must stay
+        // excited until it fires (Section III).
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            const GateId gid{g};
+            if (fired.is_valid() && gid == fired) continue;
+            if (nl_.gate(gid).kind == net::GateKind::Input) continue;
+            if (nl_.gate_excited(gid, before.values) && !nl_.gate_excited(gid, after.values)) {
+                add_violation(ViolationKind::GateDisabled, from_node,
+                              "gate '" + nl_.gate(gid).name + "' disabled while excited by " +
+                                  action + " (unacknowledged switching: hazard)");
+                if (opts_.stop_at_first) return;
+            }
+        }
+    }
+
+    void take_step(std::uint32_t cur, Composite next, GateId fired, const std::string& action,
+                   std::deque<std::uint32_t>& queue) {
+        ++result_.transitions_explored;
+        check_disabling(cur, nodes_[cur].state, next, fired, action);
+        const auto [it, inserted] = index_.emplace(next, static_cast<std::uint32_t>(nodes_.size()));
+        if (inserted) {
+            nodes_.push_back(Node{std::move(next), cur, action});
+            queue.push_back(it->second);
+        }
+    }
+
+    void expand(std::uint32_t cur, std::deque<std::uint32_t>& queue) {
+        const Composite c = nodes_[cur].state; // copy: nodes_ may reallocate
+        bool any = false;
+
+        // Environment moves: each input transition the spec enables.
+        for (std::size_t vi = 0; vi < spec_.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (spec_.signals()[v].kind != SignalKind::Input) continue;
+            const auto arc = spec_.arc_on(c.spec, v);
+            if (arc == UINT32_MAX) continue;
+            const GateId in_gate = nl_.gate_of_signal(v);
+            require(in_gate.is_valid(), "input signal without an Input gate");
+            require(c.values.test(in_gate.index()) == spec_.value(c.spec, v),
+                    "input gate out of sync with the specification");
+            Composite next = c;
+            next.values.flip(in_gate.index());
+            next.spec = spec_.arc(arc).to;
+            const std::string action =
+                (next.values.test(in_gate.index()) ? "+" : "-") + nl_.gate(in_gate).name;
+            take_step(cur, std::move(next), GateId::invalid(), action, queue);
+            any = true;
+            if (!result_.violations.empty() && opts_.stop_at_first) return;
+        }
+
+        // Circuit moves: every excited non-input gate may fire.
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            const GateId gid{g};
+            const auto& gate = nl_.gate(gid);
+            if (gate.kind == net::GateKind::Input) continue;
+            if (!nl_.gate_excited(gid, c.values)) continue;
+            Composite next = c;
+            next.values.flip(g);
+            const bool new_value = next.values.test(g);
+            const std::string action = (new_value ? "+" : "-") + gate.name;
+
+            if (gate.signal.is_valid() && is_non_input(spec_.signals()[gate.signal].kind)) {
+                // A latched specification signal changed: the spec must
+                // allow this transition here.
+                const auto arc = spec_.arc_on(c.spec, gate.signal);
+                const bool allowed =
+                    arc != UINT32_MAX && spec_.value(spec_.arc(arc).to, gate.signal) == new_value;
+                if (!allowed) {
+                    add_violation(ViolationKind::NonConformant, cur,
+                                  "signal '" + gate.name + "' fired to " +
+                                      (new_value ? "1" : "0") + " at spec state " +
+                                      spec_.state_label(c.spec) + " where it is not enabled");
+                    if (opts_.stop_at_first) return;
+                    continue;
+                }
+                next.spec = spec_.arc(arc).to;
+            }
+            take_step(cur, std::move(next), gid, action, queue);
+            any = true;
+            if (!result_.violations.empty() && opts_.stop_at_first) return;
+        }
+
+        if (!any && !spec_.state(c.spec).out.empty()) {
+            add_violation(ViolationKind::Deadlock, cur,
+                          "no gate or input can fire but the spec expects progress at " +
+                              spec_.state_label(c.spec));
+        }
+    }
+
+    const net::Netlist& nl_;
+    const sg::StateGraph& spec_;
+    const VerifyOptions& opts_;
+    std::unordered_map<Composite, std::uint32_t, CompositeHash> index_;
+    std::vector<Node> nodes_;
+    VerifyResult result_;
+};
+
+} // namespace
+
+VerifyResult verify_speed_independence(const net::Netlist& nl, const sg::StateGraph& spec,
+                                       const VerifyOptions& opts) {
+    return Verifier(nl, spec, opts).run();
+}
+
+} // namespace si::verify

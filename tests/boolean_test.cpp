@@ -1,0 +1,252 @@
+// Unit tests for cube algebra and covers, cross-checked against
+// brute-force truth-table evaluation on small variable counts.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/boolean/cover.hpp"
+#include "si/boolean/cube.hpp"
+#include "si/util/error.hpp"
+
+namespace si {
+namespace {
+
+BitVec code_of(std::size_t bits, std::size_t n) {
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if ((bits >> i) & 1u) v.set(i);
+    return v;
+}
+
+// Enumerates all minterms of an n-variable cube.
+std::vector<std::size_t> minterms_of(const Cube& c) {
+    std::vector<std::size_t> out;
+    const std::size_t n = c.num_vars();
+    for (std::size_t m = 0; m < (std::size_t(1) << n); ++m)
+        if (c.contains_minterm(code_of(m, n))) out.push_back(m);
+    return out;
+}
+
+Cube random_cube(std::mt19937& rng, std::size_t n) {
+    Cube c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (rng() % 3) {
+        case 0: c.set_lit(SignalId(i), Lit::Zero); break;
+        case 1: c.set_lit(SignalId(i), Lit::One); break;
+        default: break;
+        }
+    }
+    return c;
+}
+
+TEST(Cube, ParseAndPrint) {
+    const Cube c = Cube::from_string("1-0");
+    EXPECT_EQ(c.lit(SignalId(0)), Lit::One);
+    EXPECT_EQ(c.lit(SignalId(1)), Lit::Dash);
+    EXPECT_EQ(c.lit(SignalId(2)), Lit::Zero);
+    EXPECT_EQ(c.to_string(), "1-0");
+    EXPECT_EQ(c.literal_count(), 2u);
+    EXPECT_THROW(Cube::from_string("1x0"), ParseError);
+}
+
+TEST(Cube, UniversalAndMinterm) {
+    const Cube u(4);
+    EXPECT_TRUE(u.is_universal());
+    EXPECT_EQ(minterms_of(u).size(), 16u);
+    const Cube m = Cube::minterm(code_of(0b1010, 4));
+    EXPECT_EQ(minterms_of(m), std::vector<std::size_t>{0b1010});
+}
+
+TEST(Cube, ContainsMinterm) {
+    const Cube c = Cube::from_string("1-0-");
+    EXPECT_TRUE(c.contains_minterm(code_of(0b0001, 4)));  // bit0=a=1, bit2=c=0
+    EXPECT_TRUE(c.contains_minterm(code_of(0b1001, 4)));
+    EXPECT_FALSE(c.contains_minterm(code_of(0b0000, 4)));
+    EXPECT_FALSE(c.contains_minterm(code_of(0b0101, 4)));
+}
+
+TEST(Cube, CoversIsMintermContainment) {
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 4;
+        const Cube a = random_cube(rng, n);
+        const Cube b = random_cube(rng, n);
+        const auto ma = minterms_of(a);
+        const auto mb = minterms_of(b);
+        const bool contained = std::includes(ma.begin(), ma.end(), mb.begin(), mb.end());
+        EXPECT_EQ(a.covers(b), contained) << a.to_string() << " vs " << b.to_string();
+    }
+}
+
+TEST(Cube, IntersectMatchesMintermIntersection) {
+    std::mt19937 rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 4;
+        const Cube a = random_cube(rng, n);
+        const Cube b = random_cube(rng, n);
+        const auto isec = a.intersect(b);
+        std::vector<std::size_t> expect;
+        const auto ma = minterms_of(a);
+        const auto mb = minterms_of(b);
+        std::set_intersection(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                              std::back_inserter(expect));
+        if (expect.empty()) {
+            EXPECT_FALSE(isec.has_value());
+            EXPECT_FALSE(a.intersects(b));
+        } else {
+            ASSERT_TRUE(isec.has_value());
+            EXPECT_EQ(minterms_of(*isec), expect);
+            EXPECT_TRUE(a.intersects(b));
+        }
+    }
+}
+
+TEST(Cube, DistanceCountsOppositions) {
+    const Cube a = Cube::from_string("10-1");
+    const Cube b = Cube::from_string("01-1");
+    EXPECT_EQ(a.distance(b), 2u);
+    EXPECT_EQ(a.distance(a), 0u);
+    EXPECT_EQ(Cube(4).distance(a), 0u);
+}
+
+TEST(Cube, SupercubeIsSmallestCommonCover) {
+    std::mt19937 rng(17);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Cube a = random_cube(rng, 4);
+        const Cube b = random_cube(rng, 4);
+        const Cube s = a.supercube(b);
+        EXPECT_TRUE(s.covers(a));
+        EXPECT_TRUE(s.covers(b));
+        // Minimality: no literal of s can be re-added (any strictly
+        // smaller cube with one more literal misses a or b).
+        for (std::size_t v = 0; v < 4; ++v) {
+            if (s.lit(SignalId(v)) != Lit::Dash) continue;
+            for (const Lit l : {Lit::Zero, Lit::One}) {
+                Cube t = s;
+                t.set_lit(SignalId(v), l);
+                EXPECT_FALSE(t.covers(a) && t.covers(b));
+            }
+        }
+    }
+}
+
+TEST(Cube, ConsensusDefinedAtDistanceOne) {
+    const Cube a = Cube::from_string("11-");
+    const Cube b = Cube::from_string("0-1");
+    const auto c = a.consensus(b); // oppose in var0
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->to_string(), "-11");
+    EXPECT_FALSE(a.consensus(a).has_value());           // distance 0
+    const Cube d = Cube::from_string("00-");
+    EXPECT_FALSE(a.consensus(d).has_value());           // distance 2
+}
+
+TEST(Cube, SharpIsSetDifference) {
+    std::mt19937 rng(19);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Cube a = random_cube(rng, 4);
+        const Cube b = random_cube(rng, 4);
+        const auto pieces = a.sharp(b);
+        // Union of pieces == minterms(a) \ minterms(b), pieces disjoint.
+        std::vector<std::size_t> got;
+        for (const auto& p : pieces) {
+            const auto mp = minterms_of(p);
+            got.insert(got.end(), mp.begin(), mp.end());
+        }
+        std::sort(got.begin(), got.end());
+        EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end()) << "overlap";
+        std::vector<std::size_t> expect;
+        const auto ma = minterms_of(a);
+        const auto mb = minterms_of(b);
+        std::set_difference(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                            std::back_inserter(expect));
+        EXPECT_EQ(got, expect);
+    }
+}
+
+TEST(Cube, CofactorSemantics) {
+    const Cube c = Cube::from_string("1-0");
+    EXPECT_FALSE(c.cofactor(SignalId(0), false).has_value());
+    EXPECT_EQ(c.cofactor(SignalId(0), true)->to_string(), "--0");
+    EXPECT_EQ(c.cofactor(SignalId(1), true)->to_string(), "1-0");
+}
+
+TEST(Cube, ExprRendering) {
+    const std::vector<std::string> names{"a", "b", "c"};
+    EXPECT_EQ(Cube::from_string("1-0").to_expr(names), "a c'");
+    EXPECT_EQ(Cube(3).to_expr(names), "1");
+}
+
+TEST(Cover, EvalMatchesCubes) {
+    Cover f(3);
+    f.add(Cube::from_string("1--"));
+    f.add(Cube::from_string("-11"));
+    EXPECT_TRUE(f.eval(code_of(0b001, 3)));
+    EXPECT_TRUE(f.eval(code_of(0b110, 3)));
+    EXPECT_FALSE(f.eval(code_of(0b010, 3)));
+    EXPECT_EQ(f.to_expr({"a", "b", "c"}), "a + b c");
+    EXPECT_EQ(Cover(3).to_expr({"a", "b", "c"}), "0");
+}
+
+TEST(Cover, TautologyBruteForce) {
+    std::mt19937 rng(23);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 4;
+        Cover f(n);
+        const std::size_t k = 1 + rng() % 5;
+        for (std::size_t i = 0; i < k; ++i) f.add(random_cube(rng, n));
+        bool taut = true;
+        for (std::size_t m = 0; m < 16; ++m)
+            if (!f.eval(code_of(m, n))) taut = false;
+        EXPECT_EQ(f.is_tautology(), taut);
+    }
+}
+
+TEST(Cover, CoversCubeBruteForce) {
+    std::mt19937 rng(29);
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::size_t n = 4;
+        Cover f(n);
+        const std::size_t k = 1 + rng() % 4;
+        for (std::size_t i = 0; i < k; ++i) f.add(random_cube(rng, n));
+        const Cube c = random_cube(rng, n);
+        bool covered = true;
+        for (const auto m : minterms_of(c))
+            if (!f.eval(code_of(m, n))) covered = false;
+        EXPECT_EQ(f.covers_cube(c), covered);
+    }
+}
+
+TEST(Cover, ComplementBruteForce) {
+    std::mt19937 rng(31);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 4;
+        Cover f(n);
+        const std::size_t k = rng() % 4;
+        for (std::size_t i = 0; i < k; ++i) f.add(random_cube(rng, n));
+        const Cover g = f.complement();
+        for (std::size_t m = 0; m < 16; ++m)
+            EXPECT_NE(f.eval(code_of(m, n)), g.eval(code_of(m, n)));
+    }
+}
+
+TEST(Cover, RemoveContainedKeepsFunction) {
+    Cover f(3);
+    f.add(Cube::from_string("1--"));
+    f.add(Cube::from_string("11-")); // contained
+    f.add(Cube::from_string("11-")); // duplicate
+    f.add(Cube::from_string("-01"));
+    f.remove_contained();
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_TRUE(f.eval(code_of(0b011, 3)));
+}
+
+TEST(Cover, LiteralCount) {
+    Cover f(3);
+    f.add(Cube::from_string("1-0"));
+    f.add(Cube::from_string("-1-"));
+    EXPECT_EQ(f.literal_count(), 3u);
+}
+
+} // namespace
+} // namespace si

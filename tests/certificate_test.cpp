@@ -1,0 +1,84 @@
+// Proof-certificate extraction and independent re-validation.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/mc/certificate.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+namespace si::mc {
+namespace {
+
+TEST(Certificate, Figure3CertifiesAndChecks) {
+    const auto g = bench::figure3();
+    const sg::RegionAnalysis ra(g);
+    const auto report = check_requirement(ra);
+    ASSERT_TRUE(report.satisfied());
+    const auto cert = make_certificate(ra, report);
+    EXPECT_EQ(cert.num_states, 17u);
+    EXPECT_FALSE(cert.to_text(g.signals()).empty());
+    const auto check = check_certificate(g, cert);
+    EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST(Certificate, EveryTable1ResultCertifies) {
+    for (const auto& e : bench::table1_suite()) {
+        const auto spec = sg::build_state_graph(bench::load(e));
+        const auto res = synth::synthesize(spec);
+        const sg::RegionAnalysis ra(res.graph);
+        const auto cert = make_certificate(ra, res.mc);
+        const auto check = check_certificate(res.graph, cert);
+        EXPECT_TRUE(check.ok) << e.name << ": " << check.reason;
+    }
+}
+
+TEST(Certificate, WrongGraphRejected) {
+    const auto g3 = bench::figure3();
+    const sg::RegionAnalysis ra(g3);
+    const auto cert = make_certificate(ra, check_requirement(ra));
+    const auto check = check_certificate(bench::figure1(), cert);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.reason.find("fingerprint"), std::string::npos);
+}
+
+TEST(Certificate, TamperedCubeRejected) {
+    const auto g = bench::figure3();
+    const sg::RegionAnalysis ra(g);
+    auto cert = make_certificate(ra, check_requirement(ra));
+    // Flip one literal of the first cube-bearing claim.
+    for (auto& claim : cert.claims) {
+        if (!claim.cube) continue;
+        for (std::size_t v = 0; v < claim.cube->num_vars(); ++v) {
+            const Lit l = claim.cube->lit(SignalId(v));
+            if (l == Lit::Dash) continue;
+            claim.cube->set_lit(SignalId(v), l == Lit::One ? Lit::Zero : Lit::One);
+            break;
+        }
+        break;
+    }
+    EXPECT_FALSE(check_certificate(g, cert).ok);
+}
+
+TEST(Certificate, MissingClaimRejected) {
+    const auto g = bench::figure3();
+    const sg::RegionAnalysis ra(g);
+    auto cert = make_certificate(ra, check_requirement(ra));
+    cert.claims.pop_back();
+    const auto check = check_certificate(g, cert);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.reason.find("no claim"), std::string::npos);
+}
+
+TEST(Certificate, UnsatisfiedReportRejected) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    const auto report = check_requirement(ra);
+    ASSERT_FALSE(report.satisfied());
+    EXPECT_THROW((void)make_certificate(ra, report), InternalError);
+}
+
+} // namespace
+} // namespace si::mc

@@ -1,0 +1,246 @@
+// Tests for the extension features around the core flow: the
+// complex-gate comparator (Chu-style, CSC ⟺ implementable), explicit
+// inverter materialization (Section III's C2), and the elementary-sum
+// implementation of OR-causality regions in non-distributive graphs
+// (Section IV / Theorem 2).
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/mc/monotonous.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/print.hpp"
+#include "si/netlist/transform.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/synth/complex_gate.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+// A cyclic OR-causality controller: output y rises as soon as input a OR
+// input b rises (detonant initial state, two minimal states in ER(+y)),
+// output z sequences the return phase; y falls by AND causality.
+sg::StateGraph or_causality() {
+    return sg::read_sg(R"(
+.model orc
+.inputs a b
+.outputs y z
+.arcs
+0000 a+ 1000
+0000 b+ 0100
+1000 y+ 1010
+1000 b+ 1100
+0100 y+ 0110
+0100 a+ 1100
+1100 y+ 1110
+1010 b+ 1110
+0110 a+ 1110
+1110 z+ 1111
+1111 a- 0111
+1111 b- 1011
+0111 b- 0011
+1011 a- 0011
+0011 y- 0001
+0001 z- 0000
+.initial 0000
+.end
+)");
+}
+
+TEST(ComplexGate, Figure1ImplementableUnderCsc) {
+    // Figure 1 satisfies CSC, so the complex-gate methodology needs no
+    // state signal at all — the paper's Section-I starting point.
+    const auto g = bench::figure1();
+    ASSERT_TRUE(sg::find_csc_violations(g).empty());
+    const sg::RegionAnalysis ra(g);
+    const auto nl = synth::build_complex_gate_implementation(ra);
+    EXPECT_EQ(nl.stats().complex_gates, 2u); // c and d
+    const auto v = verify::verify_speed_independence(nl, g);
+    EXPECT_TRUE(v.ok) << v.describe();
+}
+
+TEST(ComplexGate, Figure4NextStateIsTheNaiveEquation) {
+    // next(b) minimizes to a + c'd + (hold term) — the very SOP that is
+    // hazardous as basic gates is fine as one atomic gate.
+    const auto g = bench::figure4();
+    const sg::RegionAnalysis ra(g);
+    const auto nl = synth::build_complex_gate_implementation(ra);
+    EXPECT_TRUE(verify::verify_speed_independence(nl, g).ok);
+    const std::string eq = net::to_equations(nl);
+    EXPECT_NE(eq.find("b = ["), std::string::npos);
+}
+
+TEST(ComplexGate, CscViolationRejected) {
+    // Delement violates CSC; the complex-gate method must refuse.
+    const auto g =
+        sg::build_state_graph(bench::load(bench::table1_suite().back())); // Delement
+    const sg::RegionAnalysis ra(g);
+    EXPECT_THROW((void)synth::build_complex_gate_implementation(ra), SynthesisError);
+}
+
+TEST(ComplexGate, StatsAndPrinting) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    const auto nl = synth::build_complex_gate_implementation(ra);
+    EXPECT_GT(nl.stats().literals, 0u);
+    EXPECT_NE(net::to_verilog(nl).find("assign"), std::string::npos);
+    // Complex gates list their read signals as fanins.
+    for (const auto& gate : nl.gates())
+        if (gate.kind == net::GateKind::Complex) EXPECT_FALSE(gate.fanins.empty());
+}
+
+TEST(Inverters, MaterializationPreservesStructureAddsNots) {
+    const auto res = synth::synthesize(bench::figure1());
+    const auto c2 = net::materialize_inversions(res.netlist);
+    EXPECT_GT(c2.stats().inverters, 0u);
+    // Only the C-element reset bubbles remain as inverted fanins.
+    EXPECT_LT(c2.stats().input_inversions, res.netlist.stats().input_inversions);
+    // AND/OR gates no longer carry inverted fanins.
+    for (const auto& gate : c2.gates()) {
+        if (gate.kind != net::GateKind::And && gate.kind != net::GateKind::Or) continue;
+        for (const auto& f : gate.fanins) EXPECT_FALSE(f.inverted);
+    }
+}
+
+TEST(Inverters, C2NotSpeedIndependentUnderUnboundedDelays) {
+    // Section III: C2 (explicit inverters) is only hazard-free under the
+    // relative bound d_inv^max < D_sn^min; the pure SI verifier must
+    // reject it while C1 passes.
+    const auto res = synth::synthesize(bench::figure1());
+    ASSERT_TRUE(verify::verify_speed_independence(res.netlist, res.graph).ok);
+    const auto c2 = net::materialize_inversions(res.netlist);
+    const auto v = verify::verify_speed_independence(c2, res.graph);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.violations[0].kind, verify::ViolationKind::GateDisabled);
+}
+
+TEST(FaninDecomposition, RespectsBoundAndKeepsFunction) {
+    const auto res = synth::synthesize(bench::figure1());
+    const auto mapped = net::decompose_fanin(res.netlist, 2);
+    for (const auto& gate : mapped.gates()) {
+        if (gate.kind == net::GateKind::And || gate.kind == net::GateKind::Or)
+            EXPECT_LE(gate.fanins.size(), 2u);
+    }
+    // Same steady-state function: identical initial relaxation.
+    EXPECT_GE(mapped.num_gates(), res.netlist.num_gates());
+    const BitVec v1 = res.netlist.initial_values();
+    const BitVec v2 = mapped.initial_values();
+    for (std::size_t g = 0; g < res.netlist.num_gates(); ++g)
+        EXPECT_EQ(v1.test(g), v2.test(g)) << res.netlist.gate(GateId(g)).name;
+}
+
+TEST(FaninDecomposition, WideGateBecomesTree) {
+    const auto spec = bench::figure1();
+    net::Netlist nl(spec.signals());
+    std::vector<net::Fanin> ins;
+    for (const char* n : {"a", "b"}) {
+        const GateId g = nl.add_gate(net::GateKind::Input, n, {}, spec.signals().find(n));
+        ins.push_back({g, false});
+        ins.push_back({g, true});
+    }
+    const GateId wide = nl.add_gate(net::GateKind::And, "w", ins);
+    (void)wide;
+    const auto mapped = net::decompose_fanin(nl, 2);
+    EXPECT_GT(mapped.num_gates(), nl.num_gates());
+    std::size_t wide_count = 0;
+    for (const auto& gate : mapped.gates())
+        if (gate.fanins.size() > 2) ++wide_count;
+    EXPECT_EQ(wide_count, 0u);
+    EXPECT_THROW((void)net::decompose_fanin(nl, 1), InternalError);
+}
+
+TEST(FaninDecomposition, CanBreakSpeedIndependence) {
+    // Splitting a region AND gate inserts an internal gate whose
+    // switching no latch acknowledges: the MC guarantee is for the
+    // one-gate-per-region-function architecture, and the verifier shows
+    // the decomposed netlist of nak-pa is no longer SI.
+    const auto graph = sg::build_state_graph(bench::load(bench::table1_suite().front()));
+    const auto res = synth::synthesize(graph);
+    ASSERT_TRUE(verify::verify_speed_independence(res.netlist, res.graph).ok);
+    const auto mapped = net::decompose_fanin(res.netlist, 2);
+    const auto v = verify::verify_speed_independence(mapped, res.graph);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.violations[0].kind, verify::ViolationKind::GateDisabled);
+}
+
+TEST(OrCausality, GraphIsSemiModularNotDistributive) {
+    const auto g = or_causality();
+    ASSERT_FALSE(sg::check_well_formed(g).has_value());
+    EXPECT_TRUE(sg::is_semimodular(g));
+    EXPECT_FALSE(sg::is_output_distributive(g)); // detonant initial state
+    const sg::RegionAnalysis ra(g);
+    // Lemma 1: the detonant region has several minimal states.
+    for (const auto& r : ra.regions()) {
+        if (g.signals()[r.signal].name != "y" || !r.rising) continue;
+        EXPECT_EQ(r.minimal_states.size(), 2u);
+        EXPECT_FALSE(r.unique_entry());
+    }
+}
+
+TEST(OrCausality, Theorem2NoSingleCubeButElementarySumWorks) {
+    const auto g = or_causality();
+    const sg::RegionAnalysis ra(g);
+    RegionId yp = RegionId::invalid();
+    for (std::size_t i = 0; i < ra.regions().size(); ++i)
+        if (g.signals()[ra.region(RegionId(i)).signal].name == "y" &&
+            ra.region(RegionId(i)).rising)
+            yp = RegionId(i);
+    ASSERT_TRUE(yp.is_valid());
+    // Theorem 2: no monotonous cover cube exists for the detonant region.
+    EXPECT_FALSE(mc::find_mc_cube(ra, yp).ok());
+    // Section IV: the elementary sum a + b implements it directly.
+    const auto sum = mc::find_elementary_sum(ra, yp);
+    ASSERT_TRUE(sum.has_value());
+    EXPECT_EQ(sum->size(), 2u);
+    EXPECT_EQ(sum->to_expr(g.signals().names()), "a + b");
+    EXPECT_TRUE(mc::check_elementary_sum(ra, yp, *sum).empty());
+}
+
+TEST(OrCausality, CheckElementarySumRejectsBadSums) {
+    const auto g = or_causality();
+    const sg::RegionAnalysis ra(g);
+    RegionId yp = RegionId::invalid();
+    for (std::size_t i = 0; i < ra.regions().size(); ++i)
+        if (g.signals()[ra.region(RegionId(i)).signal].name == "y" &&
+            ra.region(RegionId(i)).rising)
+            yp = RegionId(i);
+    // A sum missing a literal fails to cover the ER.
+    Cover partial(g.num_signals());
+    Cube la(g.num_signals());
+    la.set_lit(g.signals().find("a"), Lit::One);
+    partial.add(la);
+    EXPECT_FALSE(mc::check_elementary_sum(ra, yp, partial).empty());
+    // A sum containing a wide cube is not elementary.
+    Cover wide(g.num_signals());
+    Cube ab(g.num_signals());
+    ab.set_lit(g.signals().find("a"), Lit::One);
+    ab.set_lit(g.signals().find("b"), Lit::One);
+    wide.add(ab);
+    EXPECT_FALSE(mc::check_elementary_sum(ra, yp, wide).empty());
+}
+
+TEST(OrCausality, EndToEndSynthesisVerifies) {
+    const auto g = or_causality();
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_TRUE(res.inserted.empty()); // no state signal needed
+    EXPECT_TRUE(res.mc.satisfied());
+    EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+    // y's up-function is the bare OR of the two input wires.
+    for (const auto& n : res.networks) {
+        if (res.graph.signals()[n.signal].name != "y") continue;
+        EXPECT_EQ(n.up_cubes.size(), 2u);
+        for (const auto& c : n.up_cubes) EXPECT_EQ(c.literal_count(), 1u);
+    }
+    const std::string eq = net::to_equations(res.netlist);
+    EXPECT_NE(eq.find("Sy = a + b"), std::string::npos);
+}
+
+} // namespace
+} // namespace si

@@ -1,0 +1,134 @@
+// Golden tests pinning the three transcribed paper figures to the exact
+// facts the paper states about them.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::bench {
+namespace {
+
+TEST(Figure1, ShapeAndSignals) {
+    const auto g = figure1();
+    EXPECT_EQ(g.num_states(), 14u);
+    EXPECT_EQ(g.num_arcs(), 18u);
+    EXPECT_EQ(g.signals().count(SignalKind::Input), 2u);  // a, b
+    EXPECT_EQ(g.signals().count(SignalKind::Output), 2u); // c, d
+    EXPECT_FALSE(sg::check_well_formed(g).has_value());
+    EXPECT_EQ(g.reachable().count(), 14u);
+}
+
+TEST(Figure1, InitialStateIsInputConflict) {
+    const auto g = figure1();
+    EXPECT_EQ(g.state_label(g.initial()), "0*0*00");
+    const auto conflicts = sg::find_conflicts(g);
+    ASSERT_FALSE(conflicts.empty());
+    for (const auto& c : conflicts) {
+        EXPECT_EQ(c.state, g.initial());
+        EXPECT_FALSE(c.internal); // input conflict only
+    }
+    EXPECT_FALSE(sg::is_semimodular(g));
+    EXPECT_TRUE(sg::is_output_semimodular(g));
+    // "There are no detonant states ... and this SG is output
+    // distributive."
+    EXPECT_TRUE(sg::find_detonants(g).empty());
+    EXPECT_TRUE(sg::is_output_distributive(g));
+}
+
+TEST(Figure1, AllPaperStateLabelsPresent) {
+    const auto g = figure1();
+    const char* labels[] = {"0010*",  "0*0*00", "100*0*", "010*0",  "1*010*",
+                            "100*1",  "0*110",  "1*0*11", "1110*",  "1*111",
+                            "011*1",  "01*01",  "0001*",  "00*11"};
+    std::vector<std::string> got;
+    for (std::size_t i = 0; i < g.num_states(); ++i) got.push_back(g.state_label(StateId(i)));
+    for (const auto* l : labels)
+        EXPECT_NE(std::find(got.begin(), got.end(), l), got.end()) << l;
+}
+
+TEST(Figure3, ShapeAndSignals) {
+    const auto g = figure3();
+    EXPECT_EQ(g.num_states(), 17u);
+    EXPECT_EQ(g.signals().size(), 5u);
+    EXPECT_EQ(g.signals()[g.signals().find("x")].kind, SignalKind::Internal);
+    EXPECT_FALSE(sg::check_well_formed(g).has_value());
+    EXPECT_TRUE(sg::is_output_semimodular(g));
+    EXPECT_EQ(g.reachable().count(), 17u);
+}
+
+TEST(Figure3, ProjectsOntoFigure1) {
+    // Hiding x, figure 3 must allow exactly the traces of figure 1: we
+    // check a weak simulation — every fig3 arc either moves x or maps to
+    // a fig1 arc between the projected codes.
+    const auto g3 = figure3();
+    const auto g1 = figure1();
+    const SignalId x = g3.signals().find("x");
+    auto project = [&](StateId s) {
+        BitVec code(4);
+        for (std::size_t i = 0; i < 4; ++i)
+            if (g3.state(s).code.test(i)) code.set(i);
+        return code;
+    };
+    for (const auto& arc : g3.arcs()) {
+        if (arc.signal == x) {
+            EXPECT_EQ(project(arc.from), project(arc.to));
+            continue;
+        }
+        const StateId f1 = g1.find_by_code(project(arc.from));
+        const StateId t1 = g1.find_by_code(project(arc.to));
+        ASSERT_TRUE(f1.is_valid());
+        ASSERT_TRUE(t1.is_valid());
+        // The projected transition exists in fig1 with the same signal.
+        const SignalId sig1 = g1.signals().find(g3.signals()[arc.signal].name);
+        const auto a1 = g1.arc_on(f1, sig1);
+        ASSERT_NE(a1, UINT32_MAX);
+        EXPECT_EQ(g1.arc(a1).to, t1);
+    }
+}
+
+TEST(Figure3, XRegionsMatchPaperAnnotations) {
+    // The paper annotates ER(+x), ER(-x,1) and ER(-x,2) in Figure 3.
+    const auto g = figure3();
+    const sg::RegionAnalysis ra(g);
+    const SignalId x = g.signals().find("x");
+    std::size_t up = 0, down = 0;
+    for (const auto& r : ra.regions()) {
+        if (r.signal != x) continue;
+        (r.rising ? up : down) += 1;
+    }
+    EXPECT_EQ(up, 1u);
+    EXPECT_EQ(down, 2u);
+}
+
+TEST(Figure4, ShapeAndDuplicateCodes) {
+    const auto g = figure4();
+    EXPECT_EQ(g.num_states(), 15u);
+    EXPECT_EQ(g.signals().count(SignalKind::Input), 3u);  // a, c, d
+    EXPECT_EQ(g.signals().count(SignalKind::Output), 1u); // b
+    EXPECT_FALSE(sg::check_well_formed(g).has_value());
+    // 110*0 and 1*100 share the binary code 1100 (not a CSC violation:
+    // b is stable in both).
+    EXPECT_FALSE(sg::has_unique_state_coding(g));
+    EXPECT_TRUE(sg::find_csc_violations(g).empty());
+}
+
+TEST(Figure4, PersistentAndOutputSemimodular) {
+    const auto g = figure4();
+    EXPECT_TRUE(sg::is_output_semimodular(g));
+    EXPECT_TRUE(sg::is_output_distributive(g));
+    EXPECT_TRUE(sg::RegionAnalysis(g).all_persistent());
+}
+
+TEST(Figure4, TwoUpRegionsOfB) {
+    const auto g = figure4();
+    const sg::RegionAnalysis ra(g);
+    const SignalId b = g.signals().find("b");
+    std::size_t up = 0;
+    for (const auto& r : ra.regions())
+        if (r.signal == b && r.rising) ++up;
+    EXPECT_EQ(up, 2u); // ER(+b,1) and ER(+b,2) as drawn
+}
+
+} // namespace
+} // namespace si::bench

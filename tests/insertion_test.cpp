@@ -1,0 +1,163 @@
+// State-signal insertion machinery: labelings, expansion, offending-state
+// computation and the SAT-driven repair.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/synth/insertion.hpp"
+#include "si/synth/labeling.hpp"
+#include "si/util/error.hpp"
+
+namespace si::synth {
+namespace {
+
+sg::StateGraph delement_like() {
+    // r+ q+ r- q-  cycle with a repeated code: after r+ the code 10 and
+    // after r- the code ... build the classic conflict:
+    // r1+ r2+ a2+ r2- a2- a1+ r1- a1- with duplicate code 1000.
+    return sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+TEST(Labeling, NextStateRelation) {
+    EXPECT_TRUE(labels_compatible(XLabel::Zero, XLabel::Zero));
+    EXPECT_TRUE(labels_compatible(XLabel::Zero, XLabel::Rise));
+    EXPECT_FALSE(labels_compatible(XLabel::Zero, XLabel::One));
+    EXPECT_TRUE(labels_compatible(XLabel::Zero, XLabel::Fall)); // lands post-x- slice
+    EXPECT_TRUE(labels_compatible(XLabel::Rise, XLabel::One));
+    EXPECT_FALSE(labels_compatible(XLabel::Rise, XLabel::Zero));
+    EXPECT_FALSE(labels_compatible(XLabel::Rise, XLabel::Fall)); // would strand the pending x+
+    EXPECT_TRUE(labels_compatible(XLabel::One, XLabel::Fall));
+    EXPECT_TRUE(labels_compatible(XLabel::One, XLabel::Rise)); // lands post-x+ slice
+    EXPECT_TRUE(labels_compatible(XLabel::Fall, XLabel::Zero));
+    EXPECT_FALSE(labels_compatible(XLabel::Fall, XLabel::Rise));
+    EXPECT_FALSE(label_value(XLabel::Zero));
+    EXPECT_TRUE(label_value(XLabel::One));
+    EXPECT_FALSE(label_value(XLabel::Rise));
+    EXPECT_TRUE(label_value(XLabel::Fall));
+}
+
+TEST(Labeling, ExpansionSplitsRiseAndFall) {
+    const auto g = delement_like();
+    // r+ happens with x rising, r- with x falling: states 00->Rise? The
+    // cycle 00,10,11,01 gets labels Rise, One, Fall, Zero.
+    const std::vector<XLabel> labels{XLabel::Rise, XLabel::One, XLabel::Fall, XLabel::Zero};
+    const auto expanded = expand_with_signal(g, labels, "x");
+    // 00 and 11 split in two; 10 and 01 stay single: 6 states.
+    EXPECT_EQ(expanded.num_states(), 6u);
+    EXPECT_EQ(expanded.num_signals(), 3u);
+    EXPECT_EQ(expanded.signals()[SignalId(2)].name, "x");
+    EXPECT_EQ(expanded.signals()[SignalId(2)].kind, SignalKind::Internal);
+    ASSERT_FALSE(sg::check_well_formed(expanded).has_value());
+    // Initial state keeps x at its pre-transition value 0 (Rise).
+    EXPECT_FALSE(expanded.value(expanded.initial(), SignalId(2)));
+    // Every original behaviour survives: reachable count equals total.
+    EXPECT_EQ(expanded.reachable().count(), expanded.num_states());
+}
+
+TEST(Labeling, IllegalLabelingRejected) {
+    const auto g = delement_like();
+    // Zero -> One across an arc violates the next-state relation.
+    const std::vector<XLabel> labels{XLabel::Zero, XLabel::One, XLabel::One, XLabel::Zero};
+    EXPECT_THROW((void)expand_with_signal(g, labels, "x"), SpecError);
+}
+
+TEST(Labeling, LabelTableSizeChecked) {
+    const auto g = delement_like();
+    EXPECT_THROW((void)expand_with_signal(g, {XLabel::Zero}, "x"), InternalError);
+}
+
+TEST(Offending, Figure1PlusD) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    // Find ER(+d,1).
+    RegionId dp1 = RegionId::invalid();
+    for (std::size_t i = 0; i < ra.regions().size(); ++i) {
+        const auto& r = ra.region(RegionId(i));
+        if (g.signals()[r.signal].name == "d" && r.rising && r.instance == 1) dp1 = RegionId(i);
+    }
+    ASSERT_TRUE(dp1.is_valid());
+    const auto off = offending_states(ra, dp1);
+    ASSERT_FALSE(off.empty());
+    // The initial state 0*0*00 is covered by cube b' but lies outside
+    // CFR(+d,1): it must be an offender.
+    bool initial_offends = false;
+    for (const auto s : off) initial_offends = initial_offends || s == g.initial();
+    EXPECT_TRUE(initial_offends);
+}
+
+TEST(Insertion, RepairsFigure1WithOneSignal) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    std::vector<RegionId> victims;
+    const auto report = mc::check_requirement(ra);
+    for (const auto& r : report.regions)
+        if (!r.ok()) victims.push_back(r.region);
+    ASSERT_FALSE(victims.empty());
+
+    const auto outcome = insert_signal_for(ra, victims, "x");
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->signal_name, "x");
+    EXPECT_EQ(outcome->labels.size(), g.num_states());
+
+    // The expanded graph satisfies the MC requirement outright (the
+    // paper's single-signal reduction).
+    const sg::RegionAnalysis ra2(outcome->graph);
+    EXPECT_TRUE(mc::check_requirement(ra2).satisfied());
+    EXPECT_TRUE(sg::is_output_semimodular(outcome->graph));
+    // Inputs keep their interface: same number of input signals.
+    EXPECT_EQ(outcome->graph.signals().count(SignalKind::Input), 2u);
+}
+
+TEST(Insertion, EmptyVictimListIsNoop) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    EXPECT_FALSE(insert_signal_for(ra, {}, "x").has_value());
+}
+
+TEST(Insertion, HealthyRegionYieldsNothing) {
+    // A region that already has an MC cube has no offenders to separate.
+    const auto g = delement_like();
+    const sg::RegionAnalysis ra(g);
+    const std::vector<RegionId> victims{RegionId(0)};
+    EXPECT_FALSE(insert_signal_for(ra, victims, "x").has_value());
+}
+
+TEST(Insertion, InputsNeverDelayed) {
+    // After any accepted insertion, every input arc of the original
+    // graph must still be enabled without waiting for the new signal:
+    // check that no input transition has the inserted signal as its
+    // trigger in the expanded graph.
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    std::vector<RegionId> victims;
+    for (const auto& r : mc::check_requirement(ra).regions)
+        if (!r.ok()) victims.push_back(r.region);
+    const auto outcome = insert_signal_for(ra, victims, "x");
+    ASSERT_TRUE(outcome.has_value());
+
+    const auto& eg = outcome->graph;
+    const SignalId x = eg.signals().find("x");
+    const sg::RegionAnalysis era(eg);
+    for (const auto& r : era.regions()) {
+        if (eg.signals()[r.signal].kind != SignalKind::Input) continue;
+        for (const auto& t : r.triggers)
+            EXPECT_NE(t.signal, x) << "input " << eg.signals()[r.signal].name
+                                   << " is triggered by the inserted signal";
+    }
+}
+
+} // namespace
+} // namespace si::synth

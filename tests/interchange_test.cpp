@@ -1,0 +1,156 @@
+// Equation-netlist interchange (to_equations -> parse_equations
+// round-trips) and the parametric specification generators.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/netlist/parse_eqn.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+sg::StateGraph handshake() {
+    return sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+TEST(ParseEqn, AllGateForms) {
+    const auto spec = handshake();
+    const auto nl = net::parse_equations(R"(
+# every supported right-hand side
+t  = r r        # AND (degenerate: both fanins the same)
+u  = t + r      # OR
+n  = (r + t)'   # NOR
+w  = r          # wire
+i  = r'         # inverter
+q  = RS(set: r, reset: r')
+a  = C(u, u)
+)",
+                                         spec);
+    EXPECT_EQ(nl.num_gates(), 8u); // input r + 7 defined
+    EXPECT_EQ(nl.gate(nl.gate_of_signal(spec.signals().find("a"))).kind,
+              net::GateKind::CElement);
+    const auto s = nl.stats();
+    EXPECT_EQ(s.and_gates, 1u);
+    EXPECT_EQ(s.or_gates, 1u);
+    EXPECT_EQ(s.nor_gates, 1u);
+    EXPECT_EQ(s.wires, 1u);
+    EXPECT_EQ(s.inverters, 1u);
+    EXPECT_EQ(s.rs_latches, 1u);
+    EXPECT_EQ(s.c_elements, 1u);
+}
+
+TEST(ParseEqn, ForwardReferencesResolve) {
+    const auto spec = handshake();
+    const auto nl = net::parse_equations("a = C(t, t)\nt = r\n", spec);
+    EXPECT_TRUE(verify::verify_speed_independence(nl, spec).ok);
+}
+
+TEST(ParseEqn, Errors) {
+    const auto spec = handshake();
+    EXPECT_THROW((void)net::parse_equations("a = \n", spec), ParseError);
+    EXPECT_THROW((void)net::parse_equations("a r\n", spec), ParseError);       // no '='
+    EXPECT_THROW((void)net::parse_equations("a = zz\n", spec), ParseError);    // unknown ref
+    EXPECT_THROW((void)net::parse_equations("a = r\na = r\n", spec), ParseError); // duplicate
+    EXPECT_THROW((void)net::parse_equations("r = a\n", spec), ParseError);     // drives input
+    EXPECT_THROW((void)net::parse_equations("a = C(r)\n", spec), ParseError);  // arity
+    EXPECT_THROW((void)net::parse_equations("t = r\n", spec), SpecError);      // a undriven
+}
+
+TEST(ParseEqn, RoundTripSynthesizedNetlists) {
+    // to_equations -> parse_equations must reproduce a netlist with the
+    // same gate census that verifies exactly like the original, for
+    // every Table-1 benchmark in both architectures.
+    for (const auto& entry : bench::table1_suite()) {
+        const auto graph = sg::build_state_graph(bench::load(entry));
+        for (const bool rs : {false, true}) {
+            synth::SynthOptions opts;
+            opts.build.use_rs_latches = rs;
+            const auto res = synth::synthesize(graph, opts);
+            const std::string eq = net::to_equations(res.netlist);
+            const auto parsed = net::parse_equations(eq, res.graph);
+            const auto s1 = res.netlist.stats();
+            const auto s2 = parsed.stats();
+            EXPECT_EQ(s1.and_gates, s2.and_gates) << entry.name;
+            EXPECT_EQ(s1.or_gates, s2.or_gates) << entry.name;
+            EXPECT_EQ(s1.c_elements, s2.c_elements) << entry.name;
+            EXPECT_EQ(s1.rs_latches, s2.rs_latches) << entry.name;
+            EXPECT_EQ(s1.literals, s2.literals) << entry.name;
+            const auto v = verify::verify_speed_independence(parsed, res.graph);
+            EXPECT_TRUE(v.ok) << entry.name << ": " << v.describe();
+        }
+    }
+}
+
+class PipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineSweep, SynthesizesWithoutInsertionAndVerifies) {
+    const auto g = sg::build_state_graph(bench::make_pipeline(GetParam()));
+    EXPECT_EQ(g.num_states(), 2u * (static_cast<std::size_t>(GetParam()) + 1));
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_TRUE(res.inserted.empty());
+    EXPECT_TRUE(res.verification.ok);
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+class ForkJoinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkJoinSweep, ConcurrencyIsCleanAndVerifies) {
+    const auto g = sg::build_state_graph(bench::make_fork_join(GetParam()));
+    EXPECT_TRUE(sg::is_output_distributive(g));
+    EXPECT_TRUE(sg::has_unique_state_coding(g));
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_TRUE(res.inserted.empty());
+    EXPECT_TRUE(res.verification.ok);
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, ForkJoinSweep, ::testing::Values(1, 2, 3, 5, 7));
+
+class SequencerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequencerSweep, NeedsStateSignalsAndVerifies) {
+    // Every way after the first reuses the input's code with a different
+    // output excited, so the flow must insert state signals.
+    const auto g = sg::build_state_graph(bench::make_sequencer(GetParam()));
+    EXPECT_FALSE(sg::find_csc_violations(g).empty());
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_GE(res.inserted.size(), 1u);
+    EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, SequencerSweep, ::testing::Values(2, 3, 4));
+
+class RingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSweep, MixedSequentialConcurrentVerifies) {
+    const auto g = sg::build_state_graph(bench::make_ring(GetParam()));
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+}
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSweep, ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace si

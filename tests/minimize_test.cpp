@@ -1,0 +1,114 @@
+// Two-level minimization tests: results must stay logically equal to the
+// onset over the care space, never touch the offset, and not grow.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/boolean/minimize.hpp"
+
+namespace si {
+namespace {
+
+BitVec code_of(std::size_t bits, std::size_t n) {
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if ((bits >> i) & 1u) v.set(i);
+    return v;
+}
+
+Cube random_cube(std::mt19937& rng, std::size_t n) {
+    Cube c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (rng() % 3) {
+        case 0: c.set_lit(SignalId(i), Lit::Zero); break;
+        case 1: c.set_lit(SignalId(i), Lit::One); break;
+        default: break;
+        }
+    }
+    return c;
+}
+
+TEST(Minimize, MergesAdjacentMinterms) {
+    // f = a'b' + a b' (over 2 vars) == b'.
+    Cover f(2);
+    f.add(Cube::from_string("00"));
+    f.add(Cube::from_string("10"));
+    const Cover g = minimize(f, Cover(2));
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.cube(0).to_string(), "-0");
+}
+
+TEST(Minimize, UsesDontCares) {
+    // Onset {11}, DC {10} -> the single cube "1-".
+    Cover f(2);
+    f.add(Cube::from_string("11"));
+    Cover dc(2);
+    dc.add(Cube::from_string("10"));
+    const Cover g = minimize(f, dc);
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.cube(0).to_string(), "1-");
+}
+
+TEST(Minimize, DropsRedundantCube) {
+    // a + b + ab: the third cube is redundant.
+    Cover f(2);
+    f.add(Cube::from_string("1-"));
+    f.add(Cube::from_string("-1"));
+    f.add(Cube::from_string("11"));
+    const Cover g = minimize(f, Cover(2));
+    EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(Minimize, EmptyOnsetStaysEmpty) {
+    const Cover g = minimize(Cover(3), Cover(3));
+    EXPECT_TRUE(g.empty());
+}
+
+TEST(Minimize, RandomFunctionsStayEquivalent) {
+    std::mt19937 rng(41);
+    for (int trial = 0; trial < 120; ++trial) {
+        const std::size_t n = 4;
+        Cover onset(n), dc(n);
+        const std::size_t k = 1 + rng() % 5;
+        for (std::size_t i = 0; i < k; ++i) onset.add(random_cube(rng, n));
+        if (rng() % 2) dc.add(random_cube(rng, n));
+        const Cover g = minimize(onset, dc);
+
+        for (std::size_t m = 0; m < 16; ++m) {
+            const BitVec code = code_of(m, n);
+            if (onset.eval(code) && !dc.eval(code))
+                EXPECT_TRUE(g.eval(code)) << "onset point lost, trial " << trial;
+            if (!onset.eval(code) && !dc.eval(code))
+                EXPECT_FALSE(g.eval(code)) << "offset point gained, trial " << trial;
+        }
+        EXPECT_LE(g.size(), onset.size());
+    }
+}
+
+TEST(ExpandAgainst, MakesCubesPrimeAndDisjointFromOffset) {
+    std::mt19937 rng(43);
+    for (int trial = 0; trial < 80; ++trial) {
+        const std::size_t n = 4;
+        Cover onset(n);
+        onset.add(random_cube(rng, n));
+        Cover care = onset;
+        const Cover offset = care.complement();
+        const Cover expanded = expand_against(onset, offset);
+        for (const auto& c : expanded.cubes()) {
+            for (const auto& r : offset.cubes())
+                EXPECT_FALSE(c.intersects(r));
+        }
+    }
+}
+
+TEST(Irredundant, RemovesCoveredCube) {
+    Cover f(3);
+    f.add(Cube::from_string("1--"));
+    f.add(Cube::from_string("11-"));
+    const Cover g = irredundant(f, Cover(3));
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.cube(0).to_string(), "1--");
+}
+
+} // namespace
+} // namespace si

@@ -1,0 +1,128 @@
+// Region-theory Petri-net synthesis: every derived net must unfold back
+// to a behaviour bisimilar with the source state graph.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/net_synthesis.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/stg/structure.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+namespace si::sg {
+namespace {
+
+void expect_roundtrip(const StateGraph& g, bool expect_regions = true) {
+    const auto result = synthesize_stg(g);
+    const auto rebuilt = build_state_graph(result.net);
+    const auto fwd = check_projection(rebuilt, g);
+    const auto bwd = check_projection(g, rebuilt);
+    EXPECT_TRUE(fwd.ok) << g.name << ": " << fwd.reason;
+    EXPECT_TRUE(bwd.ok) << g.name << ": " << bwd.reason;
+    if (expect_regions) EXPECT_TRUE(result.used_regions) << g.name;
+}
+
+TEST(NetSynthesis, Handshake) {
+    expect_roundtrip(read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)"));
+}
+
+TEST(NetSynthesis, ConcurrencyDiamondGetsCompactNet) {
+    const auto g = build_state_graph(bench::make_fork_join(3));
+    const auto result = synthesize_stg(g);
+    EXPECT_TRUE(result.used_regions);
+    // A region net should be far smaller than one-place-per-state
+    // (fork-join of 3 has 16 states).
+    EXPECT_LT(result.net.num_places(), g.num_states());
+    expect_roundtrip(g);
+}
+
+TEST(NetSynthesis, PaperFigures) {
+    expect_roundtrip(bench::figure1());
+    expect_roundtrip(bench::figure3());
+    expect_roundtrip(bench::figure4());
+}
+
+class Table1NetSynthesis : public ::testing::TestWithParam<bench::Table1Entry> {};
+
+TEST_P(Table1NetSynthesis, RoundTripsOriginalStg) {
+    const auto g = build_state_graph(bench::load(GetParam()));
+    expect_roundtrip(g);
+}
+
+TEST_P(Table1NetSynthesis, FoldsTransformedGraphBackToAnStg) {
+    // The headline use: after signal insertion, export the transformed
+    // specification as a .g STG again, with the inserted signal as an
+    // internal STG signal.
+    const auto spec = build_state_graph(bench::load(GetParam()));
+    const auto synth_result = synth::synthesize(spec);
+    const auto net_result = synthesize_stg(synth_result.graph);
+    const auto rebuilt = build_state_graph(net_result.net);
+    EXPECT_TRUE(check_projection(rebuilt, synth_result.graph).ok);
+    EXPECT_TRUE(check_projection(synth_result.graph, rebuilt).ok);
+    // And hiding the inserted signals, it still implements the original.
+    EXPECT_TRUE(check_projection(rebuilt, spec).ok);
+    // The .g text round-trips through the parser.
+    const auto reparsed = stg::read_g(stg::write_g(net_result.net));
+    EXPECT_TRUE(check_projection(build_state_graph(reparsed), synth_result.graph).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Table1NetSynthesis, ::testing::ValuesIn(bench::table1_suite()),
+                         [](const ::testing::TestParamInfo<bench::Table1Entry>& info) {
+                             std::string name = info.param.name;
+                             for (auto& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+TEST(NetSynthesis, RegionNetsAreSafe) {
+    for (const auto& e : bench::table1_suite()) {
+        const auto g = build_state_graph(bench::load(e));
+        const auto result = synthesize_stg(g);
+        const auto report = stg::analyze_structure(result.net);
+        EXPECT_TRUE(report.safe) << e.name;
+        EXPECT_TRUE(report.live) << e.name << ": " << report.offender;
+    }
+}
+
+TEST(NetSynthesis, StateMachineFallbackAlwaysWorks) {
+    NetSynthesisOptions opts;
+    opts.max_candidates = 0; // starve the region search
+    const auto g = bench::figure1();
+    const auto result = synthesize_stg(g, opts);
+    EXPECT_FALSE(result.used_regions);
+    const auto rebuilt = build_state_graph(result.net);
+    EXPECT_TRUE(check_projection(rebuilt, g).ok);
+    EXPECT_EQ(result.net.num_places(), g.num_states());
+}
+
+TEST(NetSynthesis, FallbackCanBeForbidden) {
+    NetSynthesisOptions opts;
+    opts.max_candidates = 0;
+    opts.forbid_state_machine_fallback = true;
+    EXPECT_THROW((void)synthesize_stg(bench::figure1(), opts), SynthesisError);
+}
+
+TEST(NetSynthesis, GeneratorsRoundTrip) {
+    expect_roundtrip(build_state_graph(bench::make_pipeline(3)));
+    expect_roundtrip(build_state_graph(bench::make_ring(2)));
+    expect_roundtrip(build_state_graph(bench::make_sequencer(2)));
+}
+
+} // namespace
+} // namespace si::sg

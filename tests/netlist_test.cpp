@@ -1,0 +1,279 @@
+// Netlist structure, gate semantics, the standard C-/RS-implementation
+// builders and the printers.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/netlist/builder.hpp"
+#include "si/netlist/netlist.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/util/error.hpp"
+
+namespace si::net {
+namespace {
+
+SignalTable rin_aout() {
+    SignalTable t;
+    t.add("r", SignalKind::Input);
+    t.add("a", SignalKind::Output);
+    return t;
+}
+
+TEST(Netlist, GateSemantics) {
+    const SignalTable sigs = rin_aout();
+    Netlist nl(sigs);
+    const GateId in = nl.add_gate(GateKind::Input, "r", {});
+    const GateId inv = nl.add_gate(GateKind::Not, "ri", {{in, false}});
+    const GateId andg = nl.add_gate(GateKind::And, "t", {{in, false}, {inv, true}});
+    const GateId org = nl.add_gate(GateKind::Or, "u", {{in, false}, {inv, false}});
+    const GateId nor = nl.add_gate(GateKind::Nor, "n", {{in, false}, {inv, false}});
+    const GateId c = nl.add_gate(GateKind::CElement, "q", {{in, false}, {inv, false}});
+    const GateId rs = nl.add_gate(GateKind::RsLatch, "p", {{in, false}, {inv, false}});
+    const GateId w = nl.add_gate(GateKind::Wire, "w", {{in, true}});
+
+    BitVec v(nl.num_gates());
+    // r=0, ri=1 (already consistent).
+    v.set(inv.index());
+    EXPECT_FALSE(nl.target_value(in, v));             // inputs hold
+    EXPECT_TRUE(nl.target_value(inv, v));             // !r
+    EXPECT_FALSE(nl.target_value(andg, v));           // r AND !ri = 0 AND 0
+    EXPECT_TRUE(nl.target_value(org, v));             // r OR ri
+    EXPECT_FALSE(nl.target_value(nor, v));            // !(0|1)
+    EXPECT_FALSE(nl.target_value(c, v));              // C(0,1) holds 0
+    EXPECT_FALSE(nl.target_value(rs, v));             // S=0,R=1 resets
+    EXPECT_TRUE(nl.target_value(w, v));               // !r
+
+    // C-element truth: rises only when both inputs 1, falls when both 0.
+    v.set(in.index());                                 // r=1, ri=1 (stale inverter)
+    EXPECT_TRUE(nl.target_value(c, v));
+    v.set(c.index());
+    v.reset(in.index());                               // r=0, ri=1: C holds
+    EXPECT_TRUE(nl.target_value(c, v));
+    v.reset(inv.index());                              // both 0: C falls
+    EXPECT_FALSE(nl.target_value(c, v));
+
+    // RS latch: S=1,R=0 sets; S=R=0 holds; S=R=1 holds (documented).
+    BitVec u(nl.num_gates());
+    u.set(in.index()); // S=1, R=0
+    EXPECT_TRUE(nl.target_value(rs, u));
+    u.reset(in.index());
+    u.set(rs.index()); // hold at 1
+    EXPECT_TRUE(nl.target_value(rs, u));
+    u.set(in.index());
+    u.set(inv.index()); // S=R=1: hold
+    EXPECT_TRUE(nl.target_value(rs, u));
+}
+
+TEST(Netlist, FaninArityChecked) {
+    Netlist nl(rin_aout());
+    const GateId in = nl.add_gate(GateKind::Input, "r", {});
+    EXPECT_THROW(nl.add_gate(GateKind::Not, "x", {{in, false}, {in, false}}), InternalError);
+    EXPECT_THROW(nl.add_gate(GateKind::CElement, "x", {{in, false}}), InternalError);
+    EXPECT_THROW(nl.add_gate(GateKind::And, "x", {}), InternalError);
+}
+
+TEST(Netlist, InitialValuesRelaxCombinational) {
+    Netlist nl(rin_aout());
+    const GateId in = nl.add_gate(GateKind::Input, "r", {});
+    nl.gate(in).initial_value = true;
+    const GateId inv = nl.add_gate(GateKind::Not, "ri", {{in, false}});
+    const GateId andg = nl.add_gate(GateKind::And, "t", {{in, false}, {inv, true}});
+    const BitVec v = nl.initial_values();
+    EXPECT_TRUE(v.test(in.index()));
+    EXPECT_FALSE(v.test(inv.index()));
+    EXPECT_TRUE(v.test(andg.index())); // r AND !ri = 1 AND 1
+}
+
+TEST(Netlist, UnstableRingRejected) {
+    Netlist nl(rin_aout());
+    // A combinational ring of three inverters cannot stabilize.
+    const GateId a = nl.add_placeholder(GateKind::Not, "n1");
+    const GateId b = nl.add_gate(GateKind::Not, "n2", {{a, false}});
+    const GateId c = nl.add_gate(GateKind::Not, "n3", {{b, false}});
+    nl.set_fanins(a, {{c, false}});
+    EXPECT_THROW((void)nl.initial_values(), SpecError);
+}
+
+TEST(Builder, DegenerateSimplifications) {
+    // A handshake where both excitation functions are single literals:
+    // with simplification there is no AND or OR gate at all.
+    const auto g = sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+    const SignalId a = g.signals().find("a");
+    std::vector<SignalNetwork> nets(1);
+    nets[0].signal = a;
+    Cube up(2), down(2);
+    up.set_lit(g.signals().find("r"), Lit::One);
+    down.set_lit(g.signals().find("r"), Lit::Zero);
+    nets[0].up_cubes = {up};
+    nets[0].down_cubes = {down};
+
+    const Netlist nl = build_standard_implementation(g, nets);
+    const auto s = nl.stats();
+    EXPECT_EQ(s.and_gates, 0u);
+    EXPECT_EQ(s.or_gates, 0u);
+    EXPECT_EQ(s.c_elements, 1u);
+
+    BuildOptions no_simplify;
+    no_simplify.simplify_degenerate = false;
+    const Netlist nl2 = build_standard_implementation(g, nets, no_simplify);
+    EXPECT_EQ(nl2.stats().and_gates, 2u);
+    EXPECT_EQ(nl2.stats().or_gates, 2u);
+}
+
+TEST(Builder, RsArchitectureUsesLatches) {
+    const auto g = sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+    std::vector<SignalNetwork> nets(1);
+    nets[0].signal = g.signals().find("a");
+    Cube up(2), down(2);
+    up.set_lit(g.signals().find("r"), Lit::One);
+    down.set_lit(g.signals().find("r"), Lit::Zero);
+    nets[0].up_cubes = {up};
+    nets[0].down_cubes = {down};
+    BuildOptions rs;
+    rs.use_rs_latches = true;
+    const Netlist nl = build_standard_implementation(g, nets, rs);
+    EXPECT_EQ(nl.stats().rs_latches, 1u);
+    EXPECT_EQ(nl.stats().c_elements, 0u);
+}
+
+TEST(Builder, MissingCubesRejected) {
+    const auto g = sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+    std::vector<SignalNetwork> nets(1);
+    nets[0].signal = g.signals().find("a");
+    Cube up(2);
+    up.set_lit(g.signals().find("r"), Lit::One);
+    nets[0].up_cubes = {up}; // no down cubes
+    EXPECT_THROW((void)build_standard_implementation(g, nets), SynthesisError);
+}
+
+TEST(Builder, SharedGateDeduplication) {
+    // Two outputs with the same up-cube share one AND gate when sharing
+    // is enabled.
+    const auto g = sg::read_sg(R"(
+.model share
+.inputs r s
+.outputs a b
+.arcs
+0000 r+ 1000
+1000 s+ 1100
+1100 a+ 1110
+1110 b+ 1111
+1111 r- 0111
+0111 s- 0011
+0011 a- 0001
+0001 b- 0000
+.initial 0000
+.end
+)");
+    std::vector<SignalNetwork> nets(2);
+    Cube up(4), down(4);
+    up.set_lit(g.signals().find("r"), Lit::One);
+    up.set_lit(g.signals().find("s"), Lit::One);
+    down.set_lit(g.signals().find("r"), Lit::Zero);
+    down.set_lit(g.signals().find("s"), Lit::Zero);
+    nets[0].signal = g.signals().find("a");
+    nets[0].up_cubes = {up};
+    nets[0].down_cubes = {down};
+    nets[1].signal = g.signals().find("b");
+    nets[1].up_cubes = {up};
+    nets[1].down_cubes = {down};
+
+    BuildOptions shared;
+    shared.share_gates = true;
+    EXPECT_EQ(build_standard_implementation(g, nets, shared).stats().and_gates, 2u);
+    BuildOptions owned;
+    owned.share_gates = false;
+    EXPECT_EQ(build_standard_implementation(g, nets, owned).stats().and_gates, 4u);
+}
+
+TEST(Print, EquationsContainAllGates) {
+    const auto g = bench::figure4();
+    Netlist nl(g.signals());
+    const SignalId a = g.signals().find("a"), b = g.signals().find("b"),
+                   c = g.signals().find("c"), d = g.signals().find("d");
+    const GateId ga = nl.add_gate(GateKind::Input, "a", {}, a);
+    const GateId gc = nl.add_gate(GateKind::Input, "c", {}, c);
+    const GateId gd = nl.add_gate(GateKind::Input, "d", {}, d);
+    const GateId t = nl.add_gate(GateKind::And, "t", {{gc, true}, {gd, false}});
+    nl.add_gate(GateKind::Or, "b", {{ga, false}, {t, false}}, b);
+    const std::string eq = to_equations(nl);
+    EXPECT_NE(eq.find("t = c' d"), std::string::npos);
+    EXPECT_NE(eq.find("b = a + t"), std::string::npos);
+}
+
+TEST(Print, VerilogStructure) {
+    const auto g = bench::figure1();
+    std::vector<SignalNetwork> nets;
+    // Build something real via the whole path: use fig1's signals with
+    // dummy single-literal functions for c and d just to exercise export.
+    SignalNetwork nc;
+    nc.signal = g.signals().find("c");
+    Cube up(4), down(4);
+    up.set_lit(g.signals().find("a"), Lit::One);
+    down.set_lit(g.signals().find("a"), Lit::Zero);
+    nc.up_cubes = {up};
+    nc.down_cubes = {down};
+    SignalNetwork nd = nc;
+    nd.signal = g.signals().find("d");
+    nets = {nc, nd};
+    const Netlist nl = build_standard_implementation(g, nets);
+    const std::string v = to_verilog(nl);
+    EXPECT_NE(v.find("module celem"), std::string::npos);
+    EXPECT_NE(v.find("module fig1-c"), std::string::npos);
+    EXPECT_NE(v.find("input a"), std::string::npos);
+}
+
+TEST(Builder, InverterConstraintReport) {
+    const auto g = bench::figure1();
+    SignalNetwork nc;
+    nc.signal = g.signals().find("c");
+    Cube up(4), down(4);
+    up.set_lit(g.signals().find("a"), Lit::One);
+    up.set_lit(g.signals().find("b"), Lit::Zero);
+    down.set_lit(g.signals().find("a"), Lit::Zero);
+    nc.up_cubes = {up};
+    nc.down_cubes = {down};
+    SignalNetwork nd = nc;
+    nd.signal = g.signals().find("d");
+    const Netlist nl = build_standard_implementation(g, {nc, nd});
+    const auto report = inverter_constraint(nl);
+    EXPECT_EQ(report.signal_networks, 2u);
+    EXPECT_GT(report.input_inversions, 0u);
+    EXPECT_NE(report.describe().find("d_inv^max < D_sn^min"), std::string::npos);
+}
+
+} // namespace
+} // namespace si::net

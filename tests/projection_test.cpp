@@ -1,0 +1,144 @@
+// Interface-projection (Foam Rubber Wrapper) tests: every signal
+// insertion must preserve the observable behaviour exactly.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/synth/synthesize.hpp"
+
+namespace si::sg {
+namespace {
+
+StateGraph handshake() {
+    return read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+TEST(Projection, IdentityProjects) {
+    const auto g = handshake();
+    EXPECT_TRUE(check_projection(g, g));
+}
+
+TEST(Projection, PaperFigure3ProjectsOntoFigure1) {
+    const auto r = check_projection(bench::figure3(), bench::figure1());
+    EXPECT_TRUE(r.ok) << r.reason;
+}
+
+TEST(Projection, DetectsForbiddenVisibleTransition) {
+    // An implementation that fires a out of order.
+    const auto spec = handshake();
+    const auto impl = read_sg(R"(
+.model bad
+.inputs r
+.outputs a
+.arcs
+00 a+ 01
+01 r+ 11
+11 a- 10
+10 r- 00
+.initial 00
+.end
+)");
+    const auto r = check_projection(impl, spec);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("forbids"), std::string::npos);
+}
+
+TEST(Projection, DetectsLostOutputOption) {
+    // An implementation that never produces a+ at all.
+    const auto spec = handshake();
+    const auto impl = read_sg(R"(
+.model stuck
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+.initial 00
+.end
+)");
+    const auto r = check_projection(impl, spec);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("unavailable"), std::string::npos);
+}
+
+TEST(Projection, DetectsInputDelayedByHiddenSignal) {
+    // The input r may only fire after the hidden x+ — illegal: the
+    // environment does not know about x.
+    const auto spec = handshake();
+    const auto impl = read_sg(R"(
+.model delayed
+.inputs r
+.outputs a
+.internal x
+.arcs
+000 x+ 001
+001 r+ 101
+101 a+ 111
+111 x- 110
+110 r- 010
+010 a- 000
+.initial 000
+.end
+)");
+    const auto r = check_projection(impl, spec);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("inputs must not wait"), std::string::npos);
+}
+
+TEST(Projection, MissingSignalRejected) {
+    const auto spec = handshake();
+    StateGraph impl;
+    impl.signals().add("r", SignalKind::Input);
+    BitVec c0(1);
+    const StateId s0 = impl.add_state(c0);
+    BitVec c1(1);
+    c1.set(0);
+    const StateId s1 = impl.add_state(c1);
+    impl.add_arc(s0, s1, SignalId(0));
+    impl.set_initial(s0);
+    const auto r = check_projection(impl, spec);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("missing"), std::string::npos);
+}
+
+class Table1Projection : public ::testing::TestWithParam<bench::Table1Entry> {};
+
+TEST_P(Table1Projection, InsertedSignalsPreserveTheInterface) {
+    const auto spec = build_state_graph(bench::load(GetParam()));
+    const auto res = synth::synthesize(spec);
+    const auto r = check_projection(res.graph, spec);
+    EXPECT_TRUE(r.ok) << GetParam().name << ": " << r.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Table1Projection, ::testing::ValuesIn(bench::table1_suite()),
+                         [](const ::testing::TestParamInfo<bench::Table1Entry>& info) {
+                             std::string name = info.param.name;
+                             for (auto& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+TEST(Projection, FigureRepairsPreserveTheInterface) {
+    for (const auto* which : {"fig1", "fig4"}) {
+        const auto spec = std::string(which) == "fig1" ? bench::figure1() : bench::figure4();
+        const auto res = synth::synthesize(spec);
+        const auto r = check_projection(res.graph, spec);
+        EXPECT_TRUE(r.ok) << which << ": " << r.reason;
+    }
+}
+
+} // namespace
+} // namespace si::sg

@@ -1,0 +1,247 @@
+// Theorem-level property tests on randomly generated specifications.
+//
+// The generator produces random cyclic STGs (every signal alternates
+// +/-, one or two toggle pairs per signal, random interleaving), which
+// are exactly the well-formed sequential control specs of the paper's
+// benchmark class. On each one we check the paper's theorems:
+//   Thm 3: synthesized implementations verify speed-independent,
+//   Thm 4: MC-satisfying graphs satisfy CSC,
+//   Cor 1: MC-satisfying graphs are persistent,
+// plus structural region invariants and STG round-trips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/bench_stgs/generators.hpp"
+#include "si/mc/cover_cube.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/regions.hpp"
+#include "si/stg/parse.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+namespace si {
+namespace {
+
+// Builds a random consistent cyclic STG: each signal contributes an
+// alternating +/- subsequence, merged into one cycle at random offsets.
+std::string random_cycle_g(unsigned seed) {
+    std::mt19937 rng(seed);
+    const std::size_t nsignals = 3 + rng() % 3; // 3..5
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < nsignals; ++i) names.push_back(std::string(1, char('a' + i)));
+
+    // Retry until no two cyclically adjacent transitions belong to the
+    // same signal — an event nothing acknowledges in between is an
+    // unobservable pulse, outside the class of implementable control
+    // specs the paper's benchmarks live in.
+    std::vector<std::string> seq;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        seq.clear();
+        for (std::size_t i = 0; i < nsignals; ++i) {
+            const int pairs = 1 + static_cast<int>(rng() % 2);
+            std::vector<std::string> sub;
+            for (int p = 1; p <= pairs; ++p) {
+                const std::string suffix = p == 1 ? "" : "/" + std::to_string(p);
+                sub.push_back(names[i] + "+" + suffix);
+                sub.push_back(names[i] + "-" + suffix);
+            }
+            // Insert sub keeping its relative order: each element lands
+            // strictly after the previous one, so alternation survives.
+            std::size_t min_pos = 0;
+            for (const auto& t : sub) {
+                const std::size_t pos = min_pos + rng() % (seq.size() - min_pos + 1);
+                seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(pos), t);
+                min_pos = pos + 1;
+            }
+        }
+        bool adjacent_same = false;
+        for (std::size_t i = 0; i < seq.size(); ++i)
+            if (seq[i][0] == seq[(i + 1) % seq.size()][0]) adjacent_same = true;
+        if (!adjacent_same) break;
+    }
+
+    // Assign roles: at least one output, at least one input.
+    std::string inputs, outputs;
+    for (std::size_t i = 0; i < nsignals; ++i) {
+        const bool is_input = (i == 0) ? true : (i == 1 ? false : rng() % 2 == 0);
+        (is_input ? inputs : outputs) += " " + names[i];
+    }
+
+    std::string g = ".model rnd" + std::to_string(seed) + "\n.inputs" + inputs + "\n.outputs" +
+                    outputs + "\n.graph\n";
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        g += seq[i] + " " + seq[(i + 1) % seq.size()] + "\n";
+    g += ".marking { <" + seq.back() + "," + seq.front() + "> }\n.end\n";
+    return g;
+}
+
+class RandomSpec : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomSpec, StgRoundTripPreservesBehaviour) {
+    const auto net1 = stg::read_g(random_cycle_g(GetParam()));
+    const auto net2 = stg::read_g(stg::write_g(net1));
+    const auto g1 = sg::build_state_graph(net1);
+    const auto g2 = sg::build_state_graph(net2);
+    EXPECT_EQ(g1.num_states(), g2.num_states());
+    EXPECT_EQ(g1.num_arcs(), g2.num_arcs());
+    EXPECT_EQ(g1.state(g1.initial()).code.to_string(), g2.state(g2.initial()).code.to_string());
+}
+
+TEST_P(RandomSpec, RegionInvariants) {
+    const auto g = sg::build_state_graph(stg::read_g(random_cycle_g(GetParam())));
+    const sg::RegionAnalysis ra(g);
+    for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
+        const auto& r = ra.region(RegionId(ri));
+        // ER nonempty; QR disjoint from ER; CFR is their union.
+        EXPECT_TRUE(r.states.any());
+        BitVec overlap = r.states & r.quiescent;
+        EXPECT_TRUE(overlap.none());
+        EXPECT_EQ(r.cfr, r.states | r.quiescent);
+        // Minimal states lie inside the region.
+        for (const auto s : r.minimal_states) EXPECT_TRUE(r.states.test(s.index()));
+        // Ordered signals are constant across the ER.
+        r.ordered_signals.for_each_set([&](std::size_t vi) {
+            const std::size_t sample = r.states.find_first();
+            const bool value = g.value(StateId(sample), SignalId(vi));
+            r.states.for_each_set([&](std::size_t si) {
+                EXPECT_EQ(g.value(StateId(si), SignalId(vi)), value);
+            });
+        });
+        // Every cover cube covers its whole ER (Def 15 consequence).
+        const Cube c = mc::smallest_cover_cube(ra, RegionId(ri));
+        r.states.for_each_set([&](std::size_t si) {
+            EXPECT_TRUE(c.contains_minterm(g.state(StateId(si)).code));
+        });
+        // region_containing agrees with membership.
+        r.states.for_each_set([&](std::size_t si) {
+            EXPECT_EQ(ra.region_containing(StateId(si), r.signal), RegionId(ri));
+        });
+    }
+}
+
+TEST_P(RandomSpec, SequentialCyclesAreCleanSpecs) {
+    const auto g = sg::build_state_graph(stg::read_g(random_cycle_g(GetParam())));
+    EXPECT_TRUE(sg::is_semimodular(g));
+    EXPECT_TRUE(sg::is_output_distributive(g));
+    EXPECT_FALSE(sg::check_well_formed(g).has_value());
+}
+
+// Some random cycles contain input bursts that erase all
+// circuit-observable state (the environment toggles inputs back to a
+// previously seen code with no output event in between). Such specs have
+// NO speed-independent implementation — state-signal insertion cannot
+// delay inputs — and the tool reports that honestly. Those seeds are
+// skipped here; the aggregate test below bounds how often it may happen.
+TEST_P(RandomSpec, SynthesisTheorems) {
+    const auto g = sg::build_state_graph(stg::read_g(random_cycle_g(GetParam())));
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    std::optional<synth::SynthesisResult> maybe;
+    try {
+        maybe = synth::synthesize(g, opts);
+    } catch (const SynthesisError& e) {
+        GTEST_SKIP() << "spec not SI-implementable: " << e.what();
+    }
+    const synth::SynthesisResult& res = *maybe;
+
+    // Theorem 3: the standard C-implementation of an MC-satisfying graph
+    // is semi-modular — our verifier must agree.
+    ASSERT_TRUE(res.mc.satisfied());
+    EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+
+    // Theorem 4: MC implies CSC.
+    EXPECT_TRUE(sg::find_csc_violations(res.graph).empty());
+
+    // Corollary 1: MC implies persistency (of non-input regions).
+    const sg::RegionAnalysis ra(res.graph);
+    EXPECT_TRUE(ra.all_persistent());
+
+    // All cubes used by the netlist are correct covers (Def 16) and all
+    // excitation functions consistent (Def 13).
+    for (const auto& network : res.networks) {
+        Cover up(res.graph.num_signals());
+        for (const auto& c : network.up_cubes) up.add(c);
+        Cover down(res.graph.num_signals());
+        for (const auto& c : network.down_cubes) down.add(c);
+        EXPECT_FALSE(mc::check_consistent_excitation(ra, network.signal, true, up).has_value());
+        EXPECT_FALSE(mc::check_consistent_excitation(ra, network.signal, false, down).has_value());
+    }
+}
+
+TEST_P(RandomSpec, RsImplementationTheorem3) {
+    const auto g = sg::build_state_graph(stg::read_g(random_cycle_g(GetParam())));
+    synth::SynthOptions opts;
+    opts.build.use_rs_latches = true;
+    opts.verify_result = true;
+    try {
+        const auto res = synth::synthesize(g, opts);
+        EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+    } catch (const SynthesisError& e) {
+        GTEST_SKIP() << "spec not SI-implementable: " << e.what();
+    }
+}
+
+TEST(RandomSpecAggregate, MostSeedsSynthesize) {
+    // The generator's class is dominated by implementable specs; the
+    // unresolvable-input-burst cases must stay a small minority, and
+    // every failure must be the explicit non-convergence report (never a
+    // crash, a hang, or a bogus netlist).
+    int ok = 0, refused = 0;
+    for (unsigned seed = 1; seed < 41; ++seed) {
+        const auto g = sg::build_state_graph(stg::read_g(random_cycle_g(seed)));
+        try {
+            synth::SynthOptions opts;
+            opts.verify_result = true;
+            const auto res = synth::synthesize(g, opts);
+            EXPECT_TRUE(res.verification.ok) << "seed " << seed;
+            ++ok;
+        } catch (const SynthesisError&) {
+            ++refused;
+        }
+    }
+    EXPECT_GE(ok, 30) << "too many refusals: " << refused;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpec, ::testing::Range(1u, 41u));
+
+// Nested-concurrency property sweep: random request/acknowledge trees
+// (fork-join structure several levels deep). These are conflict-free by
+// construction, so synthesis must succeed without insertion and every
+// theorem check applies.
+class RandomTree : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomTree, SynthesizesVerifiesAndProjects) {
+    const auto net = bench::make_tree(GetParam(), 3);
+    const auto g = sg::build_state_graph(net);
+    ASSERT_TRUE(sg::is_output_distributive(g));
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    EXPECT_TRUE(res.inserted.empty());
+    EXPECT_TRUE(res.verification.ok) << res.verification.describe();
+    EXPECT_TRUE(sg::check_projection(res.graph, g).ok);
+    // Corollary 1 on a concurrency-heavy graph.
+    const sg::RegionAnalysis ra(res.graph);
+    EXPECT_TRUE(ra.all_persistent());
+}
+
+TEST_P(RandomTree, RegionInvariantsUnderConcurrency) {
+    const auto g = sg::build_state_graph(bench::make_tree(GetParam(), 3));
+    const sg::RegionAnalysis ra(g);
+    for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
+        const auto& r = ra.region(RegionId(ri));
+        EXPECT_TRUE(r.states.any());
+        BitVec overlap = r.states & r.quiescent;
+        EXPECT_TRUE(overlap.none());
+        EXPECT_EQ(r.cfr, r.states | r.quiescent);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTree, ::testing::Range(1u, 13u));
+
+} // namespace
+} // namespace si

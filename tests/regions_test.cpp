@@ -1,0 +1,167 @@
+// Region decomposition tests (Defs 5-12): ERs, QRs, CFRs, minimal
+// states, unique entry, triggers, ordered signals, persistency.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/sg/regions.hpp"
+
+namespace si::sg {
+namespace {
+
+const Region& region_of(const RegionAnalysis& ra, const std::string& signal, bool rising,
+                        int instance) {
+    const SignalId v = ra.graph().signals().find(signal);
+    for (const auto& r : ra.regions())
+        if (r.signal == v && r.rising == rising && r.instance == instance) return r;
+    throw std::runtime_error("no such region " + signal);
+}
+
+TEST(Regions, HandshakeCycleSingletons) {
+    const StateGraph g = read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+    const RegionAnalysis ra(g);
+    EXPECT_EQ(ra.regions().size(), 4u); // one ER per transition
+    const Region& up_a = region_of(ra, "a", true, 1);
+    EXPECT_EQ(up_a.states.count(), 1u);
+    EXPECT_TRUE(up_a.unique_entry());
+    EXPECT_TRUE(up_a.persistent());
+    ASSERT_EQ(up_a.triggers.size(), 1u);
+    EXPECT_EQ(g.signals()[up_a.triggers[0].signal].name, "r");
+    EXPECT_TRUE(up_a.triggers[0].rising);
+    // QR(+a) = the single state 11 (a stable 1 until r- fires... in 11 a
+    // is stable; ER(-a) is 01).
+    EXPECT_EQ(up_a.quiescent.count(), 1u);
+    EXPECT_EQ(up_a.cfr.count(), 2u);
+    // r is ordered with ER(+a) (not excited inside), a itself concurrent.
+    EXPECT_TRUE(up_a.ordered_signals.test(g.signals().find("r").index()));
+    EXPECT_FALSE(up_a.ordered_signals.test(g.signals().find("a").index()));
+}
+
+TEST(Regions, Figure1MatchesPaper) {
+    const StateGraph g = bench::figure1();
+    const RegionAnalysis ra(g);
+
+    // ER(+d,1) = {100*0*, 1*010*, 0010*}, unique entry 100*0*, trigger
+    // +a, non-persistent (Example 1 of the paper).
+    const Region& dp1 = region_of(ra, "d", true, 1);
+    EXPECT_EQ(dp1.states.count(), 3u);
+    ASSERT_TRUE(dp1.unique_entry());
+    EXPECT_EQ(g.state_label(dp1.minimal_states[0]), "100*0*");
+    ASSERT_EQ(dp1.triggers.size(), 1u);
+    EXPECT_EQ(g.signals()[dp1.triggers[0].signal].name, "a");
+    EXPECT_FALSE(dp1.persistent()); // a falls inside the region
+
+    // The second up-region of d is the single state 1110*.
+    const Region& dp2 = region_of(ra, "d", true, 2);
+    EXPECT_EQ(dp2.states.count(), 1u);
+    EXPECT_EQ(g.state_label(*dp2.minimal_states.begin()), "1110*");
+
+    // QR(+d,1): the paper's dashed region {100*1, 1*0*11, 1*111, 011*1,
+    // 01*01, 00*11}.
+    EXPECT_EQ(dp1.quiescent.count(), 6u);
+    // ER(-d) is the single state 0001*.
+    const Region& dm = region_of(ra, "d", false, 1);
+    EXPECT_EQ(dm.states.count(), 1u);
+    EXPECT_EQ(g.state_label(*dm.minimal_states.begin()), "0001*");
+
+    // Ordered signals of ER(+d,1): only b (a and c are excited inside).
+    EXPECT_TRUE(dp1.ordered_signals.test(g.signals().find("b").index()));
+    EXPECT_FALSE(dp1.ordered_signals.test(g.signals().find("a").index()));
+    EXPECT_FALSE(dp1.ordered_signals.test(g.signals().find("c").index()));
+    EXPECT_FALSE(dp1.ordered_signals.test(g.signals().find("d").index()));
+
+    EXPECT_FALSE(ra.all_persistent());
+    EXPECT_TRUE(ra.all_unique_entry());
+    EXPECT_FALSE(ra.report().empty());
+}
+
+TEST(Regions, Figure4CubesFromOrderedSignals) {
+    const StateGraph g = bench::figure4();
+    const RegionAnalysis ra(g);
+    // ER(+b,1) = {10*0*0, 10*10*, 10*11}: only a is ordered (paper: cube a).
+    const Region& bp1 = region_of(ra, "b", true, 1);
+    EXPECT_EQ(bp1.states.count(), 3u);
+    EXPECT_TRUE(bp1.ordered_signals.test(g.signals().find("a").index()));
+    EXPECT_FALSE(bp1.ordered_signals.test(g.signals().find("c").index()));
+    EXPECT_FALSE(bp1.ordered_signals.test(g.signals().find("d").index()));
+    // ER(+b,2) = {0*0*01, 10*01}: c and d ordered (paper: cube c'd).
+    const Region& bp2 = region_of(ra, "b", true, 2);
+    EXPECT_EQ(bp2.states.count(), 2u);
+    EXPECT_TRUE(bp2.ordered_signals.test(g.signals().find("c").index()));
+    EXPECT_TRUE(bp2.ordered_signals.test(g.signals().find("d").index()));
+    EXPECT_FALSE(bp2.ordered_signals.test(g.signals().find("a").index()));
+    // Both persistent (the paper stresses this graph is persistent).
+    EXPECT_TRUE(bp1.persistent());
+    EXPECT_TRUE(bp2.persistent());
+    EXPECT_TRUE(ra.all_persistent());
+}
+
+TEST(Regions, SetNotation) {
+    const StateGraph g = bench::figure1();
+    const RegionAnalysis ra(g);
+    const SignalId d = g.signals().find("d");
+    // 0*-set(d) = union of ER(+d,i): 4 states; 1*-set(d) = ER(-d): 1.
+    EXPECT_EQ(ra.set_excited0(d).count(), 4u);
+    EXPECT_EQ(ra.set_excited1(d).count(), 1u);
+    // Every reachable state is in exactly one of the four sets.
+    BitVec all = ra.set_excited0(d) | ra.set_excited1(d);
+    all |= ra.set_stable0(d);
+    all |= ra.set_stable1(d);
+    EXPECT_EQ(all, ra.reachable());
+    BitVec overlap = ra.set_excited0(d) & ra.set_stable0(d);
+    EXPECT_TRUE(overlap.none());
+}
+
+TEST(Regions, RegionContainingLookup) {
+    const StateGraph g = bench::figure1();
+    const RegionAnalysis ra(g);
+    const SignalId d = g.signals().find("d");
+    const StateId s = g.find_by_code(BitVec(4)); // 0000 = initial
+    EXPECT_FALSE(ra.region_containing(s, d).is_valid()); // d not excited there
+    const Region& dp1 = region_of(ra, "d", true, 1);
+    const StateId inside{dp1.states.find_first()};
+    const RegionId r = ra.region_containing(inside, d);
+    ASSERT_TRUE(r.is_valid());
+    EXPECT_EQ(&ra.region(r), &dp1);
+}
+
+TEST(Regions, MultipleMinimalStates) {
+    // ER(+y) entered from two incomparable sides -> two minimal states.
+    const StateGraph g = read_sg(R"(
+.model twoentry
+.inputs a b
+.outputs y
+.arcs
+000 a+ 100
+000 b+ 010
+100 y+ 101
+010 y+ 011
+100 b+ 110
+010 a+ 110
+110 y+ 111
+101 b+ 111
+011 a+ 111
+.initial 000
+.end
+)");
+    const RegionAnalysis ra(g);
+    const Region& yp = region_of(ra, "y", true, 1);
+    EXPECT_EQ(yp.states.count(), 3u); // 100, 010, 110
+    EXPECT_EQ(yp.minimal_states.size(), 2u);
+    EXPECT_FALSE(yp.unique_entry());
+    EXPECT_FALSE(ra.all_unique_entry());
+}
+
+} // namespace
+} // namespace si::sg

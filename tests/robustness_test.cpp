@@ -1,0 +1,119 @@
+// Robustness: the parsers must reject malformed input with a ParseError
+// or SpecError — never crash, never loop — across adversarial and
+// pseudo-random inputs; plus assorted edge-case coverage.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/parse_eqn.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+
+namespace si {
+namespace {
+
+// Feed text to a parser; success or a library Error are fine, anything
+// else is a bug.
+template <class Fn>
+void must_not_crash(const Fn& fn, const std::string& text) {
+    try {
+        fn(text);
+    } catch (const Error&) {
+        // expected rejection path
+    }
+}
+
+std::string random_text(std::mt19937& rng, std::size_t len, bool structured) {
+    static const char* tokens[] = {".model", ".inputs", ".outputs", ".graph", ".marking",
+                                   ".end",   ".initial", ".arcs",   "a+",     "b-",
+                                   "a",      "p0",       "{",       "}",      "<a+,b->",
+                                   "=",      "+",        "0101",    "/2",     "#x"};
+    std::string out;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (structured) {
+            out += tokens[rng() % (sizeof(tokens) / sizeof(tokens[0]))];
+            out += (rng() % 4 == 0) ? "\n" : " ";
+        } else {
+            out += static_cast<char>(rng() % 96 + 32);
+            if (rng() % 20 == 0) out += '\n';
+        }
+    }
+    return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzz, GParserNeverCrashes) {
+    std::mt19937 rng(GetParam());
+    for (int round = 0; round < 50; ++round) {
+        const bool structured = round % 2 == 0;
+        const auto text = random_text(rng, 20 + rng() % 200, structured);
+        must_not_crash([](const std::string& t) { (void)stg::read_g(t); }, text);
+    }
+}
+
+TEST_P(ParserFuzz, SgParserNeverCrashes) {
+    std::mt19937 rng(GetParam() + 1000);
+    for (int round = 0; round < 50; ++round) {
+        const auto text = random_text(rng, 20 + rng() % 200, round % 2 == 0);
+        must_not_crash([](const std::string& t) { (void)sg::read_sg(t); }, text);
+    }
+}
+
+TEST_P(ParserFuzz, EquationParserNeverCrashes) {
+    std::mt19937 rng(GetParam() + 2000);
+    const auto spec = bench::figure1();
+    for (int round = 0; round < 50; ++round) {
+        const auto text = random_text(rng, 10 + rng() % 120, round % 2 == 0);
+        must_not_crash([&](const std::string& t) { (void)net::parse_equations(t, spec); }, text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0u, 8u));
+
+TEST(Robustness, TruncatedRealFiles) {
+    // Every prefix of a real .g file must be rejected cleanly or parse.
+    const std::string good = R"(.model hs
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+)";
+    for (std::size_t cut = 0; cut < good.size(); cut += 3)
+        must_not_crash([](const std::string& t) { (void)stg::read_g(t); }, good.substr(0, cut));
+}
+
+TEST(Robustness, DescribeWithTraceOnViolations) {
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    const auto report = mc::check_requirement(ra);
+    bool saw_trace = false;
+    for (const auto& r : report.regions) {
+        for (const auto& v : r.violations) {
+            const std::string text = v.describe_with_trace(ra);
+            EXPECT_NE(text.find("reached by"), std::string::npos);
+            saw_trace = true;
+        }
+    }
+    EXPECT_TRUE(saw_trace);
+}
+
+TEST(Robustness, GParserRejectsBadTokenCounts) {
+    must_not_crash([](const std::string& t) { (void)stg::read_g(t); },
+                   ".model x\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { p=999 }\n.end\n");
+    EXPECT_THROW(
+        (void)stg::read_g(".model x\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { p=-1 }\n.end\n"),
+        Error);
+}
+
+} // namespace
+} // namespace si

@@ -1,0 +1,179 @@
+// CDCL solver tests: hand-built instances, encoder helpers, and random
+// 3-SAT cross-checked against exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/sat/solver.hpp"
+
+namespace si::sat {
+namespace {
+
+TEST(Sat, TrivialSatAndModel) {
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+    ASSERT_TRUE(s.add_clause({neg(a)}));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Sat, EmptyClauseUnsat) {
+    Solver s;
+    (void)s.new_var();
+    EXPECT_FALSE(s.add_clause(std::initializer_list<Lit>{}));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, ContradictingUnitsUnsat) {
+    Solver s;
+    const Var a = s.new_var();
+    ASSERT_TRUE(s.add_unit(pos(a)));
+    EXPECT_FALSE(s.add_unit(neg(a)));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, TautologicalClauseIgnored) {
+    Solver s;
+    const Var a = s.new_var();
+    ASSERT_TRUE(s.add_clause({pos(a), neg(a)}));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, PigeonHole3Into2IsUnsat) {
+    // Classic PHP(3,2): forces real conflict analysis.
+    Solver s;
+    Var p[3][2];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    for (int i = 0; i < 3; ++i) s.add_clause({pos(p[i][0]), pos(p[i][1])});
+    for (int h = 0; h < 2; ++h)
+        for (int i = 0; i < 3; ++i)
+            for (int j = i + 1; j < 3; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.conflicts(), 0u);
+}
+
+TEST(Sat, AndEncoder) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    ASSERT_TRUE(s.add_and(pos(a), pos(b), pos(c)));
+    ASSERT_TRUE(s.add_unit(pos(a)));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_value(b));
+    EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Sat, AtMostOne) {
+    Solver s;
+    std::vector<Lit> lits;
+    for (int i = 0; i < 4; ++i) lits.push_back(pos(s.new_var()));
+    ASSERT_TRUE(s.add_at_most_one(lits));
+    ASSERT_TRUE(s.add_clause(std::span<const Lit>(lits.data(), lits.size())));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    int count = 0;
+    for (const auto l : lits) count += s.model_value(l.var()) ? 1 : 0;
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Sat, AssumptionsRestrictAndRelease) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+    const Lit na = neg(a), nb = neg(b);
+    const Lit both[] = {na, nb};
+    EXPECT_EQ(s.solve(std::span<const Lit>(both, 2)), Result::Unsat);
+    EXPECT_EQ(s.solve(std::span<const Lit>(both, 1)), Result::Sat);
+    EXPECT_TRUE(s.model_value(b));
+    EXPECT_EQ(s.solve(), Result::Sat); // no assumptions: still satisfiable
+}
+
+TEST(Sat, IncrementalBlockingEnumeratesAllModels) {
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 3; ++i) vars.push_back(s.new_var());
+    int models = 0;
+    while (s.solve() == Result::Sat) {
+        ++models;
+        std::vector<Lit> block;
+        for (const Var v : vars) block.push_back(s.model_value(v) ? neg(v) : pos(v));
+        s.add_clause(std::span<const Lit>(block.data(), block.size()));
+        ASSERT_LE(models, 8);
+    }
+    EXPECT_EQ(models, 8);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+    // A hard PHP instance with a tiny budget must give up cleanly.
+    Solver s;
+    constexpr int N = 8;
+    Var p[N][N - 1];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    for (int i = 0; i < N; ++i) {
+        std::vector<Lit> c;
+        for (int h = 0; h < N - 1; ++h) c.push_back(pos(p[i][h]));
+        s.add_clause(std::span<const Lit>(c.data(), c.size()));
+    }
+    for (int h = 0; h < N - 1; ++h)
+        for (int i = 0; i < N; ++i)
+            for (int j = i + 1; j < N; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+    s.set_conflict_budget(50);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+// Random 3-SAT cross-check against exhaustive enumeration.
+class RandomSat : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSat, MatchesBruteForce) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const std::size_t nvars = 3 + rng() % 10;          // 3..12
+    const std::size_t nclauses = 2 + rng() % (4 * nvars);
+
+    std::vector<std::vector<Lit>> clauses;
+    for (std::size_t i = 0; i < nclauses; ++i) {
+        std::vector<Lit> cl;
+        const std::size_t len = 1 + rng() % 3;
+        for (std::size_t j = 0; j < len; ++j)
+            cl.push_back(Lit(static_cast<Var>(rng() % nvars), rng() % 2 == 0));
+        clauses.push_back(std::move(cl));
+    }
+
+    bool brute_sat = false;
+    for (std::size_t m = 0; m < (std::size_t(1) << nvars) && !brute_sat; ++m) {
+        bool all = true;
+        for (const auto& cl : clauses) {
+            bool any = false;
+            for (const auto l : cl) {
+                const bool val = ((m >> l.var()) & 1u) != 0;
+                if (val != l.negative()) any = true;
+            }
+            if (!any) all = false;
+        }
+        brute_sat = all;
+    }
+
+    Solver s;
+    for (std::size_t v = 0; v < nvars; ++v) (void)s.new_var();
+    bool consistent = true;
+    for (const auto& cl : clauses)
+        consistent = s.add_clause(std::span<const Lit>(cl.data(), cl.size())) && consistent;
+    const Result r = s.solve();
+    EXPECT_EQ(r == Result::Sat, brute_sat);
+    if (r == Result::Sat) {
+        // The model must actually satisfy every clause.
+        for (const auto& cl : clauses) {
+            bool any = false;
+            for (const auto l : cl)
+                if (s.model_value(l.var()) != l.negative()) any = true;
+            EXPECT_TRUE(any);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSat, ::testing::Range(0, 60));
+
+} // namespace
+} // namespace si::sat

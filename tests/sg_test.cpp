@@ -1,0 +1,424 @@
+// State-graph structure, the .sg reader, STG->SG translation and the
+// behavioural property checks of Section II.
+#include <gtest/gtest.h>
+
+#include "si/sg/analysis.hpp"
+#include "si/sg/dot.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/minimize_sg.hpp"
+#include "si/sg/projection.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/sg/state_graph.hpp"
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+
+namespace si::sg {
+namespace {
+
+StateGraph toggle() {
+    // a+ -> y+ -> a- -> y- cycle (input a, output y).
+    return read_sg(R"(
+.model toggle
+.inputs a
+.outputs y
+.arcs
+00 a+ 10
+10 y+ 11
+11 a- 01
+01 y- 00
+.initial 00
+.end
+)");
+}
+
+TEST(StateGraph, BasicAccessors) {
+    const StateGraph g = toggle();
+    EXPECT_EQ(g.num_states(), 4u);
+    EXPECT_EQ(g.num_arcs(), 4u);
+    const SignalId a = g.signals().find("a");
+    const SignalId y = g.signals().find("y");
+    const StateId s0 = g.initial();
+    EXPECT_FALSE(g.value(s0, a));
+    EXPECT_TRUE(g.excited(s0, a));
+    EXPECT_FALSE(g.excited(s0, y));
+    EXPECT_EQ(g.state_label(s0), "0*0");
+    EXPECT_TRUE(g.reachable().count() == 4u);
+}
+
+TEST(StateGraph, ArcConsistencyEnforced) {
+    StateGraph g;
+    const SignalId a = g.signals().add("a", SignalKind::Input);
+    (void)g.signals().add("b", SignalKind::Output);
+    BitVec c00(2), c11(2);
+    c11.set(0);
+    c11.set(1);
+    const StateId s0 = g.add_state(c00);
+    const StateId s3 = g.add_state(c11);
+    EXPECT_THROW(g.add_arc(s0, s3, a), SpecError); // two bits differ
+    EXPECT_THROW(g.add_arc(s0, s0, a), SpecError); // no bit differs
+}
+
+TEST(StateGraph, EdgeOfReportsPolarity) {
+    const StateGraph g = toggle();
+    const auto& arc0 = g.arc(0);
+    const SignalEdge e = g.edge_of(0);
+    EXPECT_EQ(e.signal, arc0.signal);
+    EXPECT_TRUE(e.rising);
+}
+
+TEST(ReadSg, RejectsBadInput) {
+    EXPECT_THROW(read_sg(".model m\n.inputs a\n.arcs\n0 a+ 1\n.end\n"), ParseError); // no .initial
+    EXPECT_THROW(read_sg(".model m\n.inputs a\n.arcs\n0 a- 1\n.initial 0\n.end\n"), ParseError); // polarity disagrees
+    EXPECT_THROW(read_sg(".model m\n.inputs a\n.arcs\n00 a+ 10\n.initial 00\n.end\n"), ParseError); // width
+    EXPECT_THROW(read_sg(".model m\n.inputs a\n.arcs\n0 b+ 1\n.initial 0\n.end\n"), ParseError); // unknown signal
+}
+
+TEST(ReadSg, RoundTrip) {
+    const StateGraph g = toggle();
+    const StateGraph h = read_sg(write_sg(g));
+    EXPECT_EQ(h.num_states(), g.num_states());
+    EXPECT_EQ(h.num_arcs(), g.num_arcs());
+    EXPECT_EQ(write_sg(h), write_sg(g));
+}
+
+TEST(FromStg, HandshakeTranslation) {
+    const auto net = stg::read_g(R"(
+.model hs
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+)");
+    const StateGraph g = build_state_graph(net);
+    EXPECT_EQ(g.num_states(), 4u);
+    EXPECT_EQ(g.num_arcs(), 4u);
+    // Initial values inferred: both signals rise first, so code 00.
+    EXPECT_EQ(g.state(g.initial()).code.to_string(), "00");
+}
+
+TEST(FromStg, InitialCodeInferenceFallFirst) {
+    const auto net = stg::read_g(R"(
+.model ff
+.inputs r
+.outputs a
+.graph
+r- a-
+a- r+
+r+ a+
+a+ r-
+.marking { <a+,r-> }
+.end
+)");
+    EXPECT_EQ(infer_initial_code(net).to_string(), "11");
+}
+
+TEST(FromStg, ConcurrencyDiamond) {
+    const auto net = stg::read_g(R"(
+.model diamond
+.inputs a
+.outputs y z
+.graph
+a+ y+ z+
+y+ a-
+z+ a-
+a- y- z-
+y- a+
+z- a+
+.marking { <y-,a+> <z-,a+> }
+.end
+)");
+    const StateGraph g = build_state_graph(net);
+    // a+ then {y+, z+} interleave: diamond of 4 states there, plus the
+    // mirrored falling diamond: 8 states total.
+    EXPECT_EQ(g.num_states(), 8u);
+    const SignalId y = g.signals().find("y");
+    const SignalId z = g.signals().find("z");
+    StateId after_a = StateId::invalid();
+    for (const auto arcidx : g.state(g.initial()).out) after_a = g.arc(arcidx).to;
+    ASSERT_TRUE(after_a.is_valid());
+    EXPECT_TRUE(g.excited(after_a, y));
+    EXPECT_TRUE(g.excited(after_a, z));
+}
+
+TEST(FromStg, InconsistentStgRejected) {
+    // y rises twice with no fall in between.
+    const auto net = stg::read_g(R"(
+.model bad
+.inputs a
+.outputs y
+.graph
+a+ y+
+y+ y+/2
+y+/2 a-
+a- y-
+y- y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+)");
+    EXPECT_THROW((void)build_state_graph(net), SpecError);
+}
+
+TEST(FromStg, StateCapEnforced) {
+    // 12 concurrent toggling outputs would need 2^12 markings.
+    std::string g = ".model big\n.inputs a\n.outputs";
+    for (int i = 0; i < 12; ++i) g += " y" + std::to_string(i);
+    g += "\n.graph\n";
+    std::string arcs_up = "a+", arcs_back;
+    for (int i = 0; i < 12; ++i) {
+        g += "a+ y" + std::to_string(i) + "+\n";
+        g += "y" + std::to_string(i) + "+ a-\n";
+        g += "a- y" + std::to_string(i) + "-\n";
+        g += "y" + std::to_string(i) + "- a+\n";
+    }
+    g += ".marking {";
+    for (int i = 0; i < 12; ++i) g += " <y" + std::to_string(i) + "-,a+>";
+    g += " }\n.end\n";
+    const auto net = stg::read_g(g);
+    FromStgOptions opts;
+    opts.max_states = 1000;
+    EXPECT_THROW((void)build_state_graph(net, opts), SpecError);
+}
+
+TEST(Analysis, InputConflictIsNotInternal) {
+    // Free choice between inputs a and b disables the other: an input
+    // conflict, so still output semi-modular.
+    const StateGraph g = read_sg(R"(
+.model choice
+.inputs a b
+.outputs y
+.arcs
+000 a+ 100
+000 b+ 010
+100 y+ 101
+010 y+ 011
+101 a- 001
+011 b- 001
+001 y- 000
+.initial 000
+.end
+)");
+    const auto conflicts = find_conflicts(g);
+    ASSERT_EQ(conflicts.size(), 2u);
+    EXPECT_FALSE(conflicts[0].internal);
+    EXPECT_FALSE(is_semimodular(g));
+    EXPECT_TRUE(is_output_semimodular(g));
+    EXPECT_FALSE(conflicts[0].describe(g).empty());
+}
+
+TEST(Analysis, InternalConflictDetected) {
+    // Firing input a disables output y: hazardous specification.
+    const StateGraph g = read_sg(R"(
+.model clash
+.inputs a
+.outputs y
+.arcs
+00 a+ 10
+00 y+ 01
+01 a+ 11
+10 a- 00
+11 y- 10
+.initial 00
+.end
+)");
+    // In state 00 both a+ and y+ excited; after a+ (state 10), y is no
+    // longer excited -> internal conflict.
+    bool internal = false;
+    for (const auto& c : find_conflicts(g)) internal = internal || c.internal;
+    EXPECT_TRUE(internal);
+    EXPECT_FALSE(is_output_semimodular(g));
+}
+
+TEST(Analysis, DetonantStateFromOrCausality) {
+    // OR causality: y fires after a+ OR b+. In state 000, y is stable but
+    // excited in both direct successors — a detonant state (Def 3), so
+    // the graph is semi-modular yet not distributive (Def 4).
+    const StateGraph g = read_sg(R"(
+.model det
+.inputs a b
+.outputs y
+.arcs
+000 a+ 100
+000 b+ 010
+100 y+ 101
+100 b+ 110
+010 y+ 011
+010 a+ 110
+110 y+ 111
+101 b+ 111
+011 a+ 111
+.initial 000
+.end
+)");
+    const auto dets = find_detonants(g);
+    ASSERT_FALSE(dets.empty());
+    EXPECT_EQ(g.signals()[dets[0].signal].name, "y");
+    EXPECT_EQ(g.state_label(dets[0].state), "0*0*0");
+    EXPECT_TRUE(is_output_semimodular(g));
+    EXPECT_FALSE(is_output_distributive(g));
+    EXPECT_FALSE(dets[0].describe(g).empty());
+}
+
+TEST(Analysis, CscViolationFound) {
+    // Two states share code 10 (reached twice per cycle) and differ in
+    // the excitation of output y.
+    StateGraph g;
+    const SignalId a = g.signals().add("a", SignalKind::Input);
+    const SignalId y = g.signals().add("y", SignalKind::Output);
+    auto code = [&](bool av, bool yv) {
+        BitVec c(2);
+        if (av) c.set(a.index());
+        if (yv) c.set(y.index());
+        return c;
+    };
+    const StateId s0 = g.add_state(code(0, 0));
+    const StateId s1 = g.add_state(code(1, 0)); // y+ excited here
+    const StateId s2 = g.add_state(code(1, 1));
+    const StateId s3 = g.add_state(code(0, 1));
+    const StateId s4 = g.add_state(code(0, 0)); // same code as s0
+    const StateId s5 = g.add_state(code(1, 0)); // same code as s1; y stable
+    g.add_arc(s0, s1, a);
+    g.add_arc(s1, s2, y);
+    g.add_arc(s2, s3, a);
+    g.add_arc(s3, s4, y);
+    g.add_arc(s4, s5, a);
+    g.add_arc(s5, s0, a);
+    g.set_initial(s0);
+    ASSERT_FALSE(check_well_formed(g).has_value());
+    const auto violations = find_csc_violations(g);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_FALSE(has_unique_state_coding(g));
+    EXPECT_FALSE(violations[0].describe(g).empty());
+}
+
+TEST(Dot, RendersNodesEdgesAndHighlight) {
+    const StateGraph g = toggle();
+    BitVec mark(g.num_states());
+    mark.set(g.initial().index());
+    DotOptions opts;
+    opts.highlight = &mark;
+    const std::string dot = to_dot(g, opts);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("0*0"), std::string::npos);       // state label
+    EXPECT_NE(dot.find("peripheries=2"), std::string::npos); // initial
+    EXPECT_NE(dot.find("fillcolor=lightsalmon"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"+a\""), std::string::npos); // edge label
+}
+
+TEST(Paths, ShortestPathLabels) {
+    const StateGraph g = toggle();
+    const StateId from = g.initial();
+    // Two steps away: after a+ then y+.
+    const StateId mid = g.arc(g.arc_on(from, g.signals().find("a"))).to;
+    const StateId to = g.arc(g.arc_on(mid, g.signals().find("y"))).to;
+    const auto path = shortest_path(g, from, to);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (std::vector<std::string>{"+a", "+y"}));
+    EXPECT_TRUE(shortest_path(g, from, from)->empty());
+}
+
+TEST(Paths, UnreachableIsNullopt) {
+    StateGraph g;
+    (void)g.signals().add("a", SignalKind::Input);
+    BitVec c0(1), c1(1);
+    c1.set(0);
+    const StateId s0 = g.add_state(c0);
+    const StateId s1 = g.add_state(c1);
+    g.set_initial(s0);
+    EXPECT_FALSE(shortest_path(g, s0, s1).has_value()); // no arcs at all
+}
+
+TEST(Minimize, AlreadyMinimalGraphsAreFixpoints) {
+    const StateGraph g = toggle();
+    MinimizeStats stats;
+    const StateGraph m = minimize_bisimulation(g, &stats);
+    EXPECT_EQ(m.num_states(), g.num_states());
+    EXPECT_EQ(stats.states_before, stats.states_after);
+    EXPECT_TRUE(check_projection(m, g).ok);
+}
+
+TEST(Minimize, MergesDuplicateStates) {
+    // Two markings with the same code and identical futures: the cycle
+    // visits code 10 twice with y+ excited both times.
+    StateGraph g;
+    const SignalId a = g.signals().add("a", SignalKind::Input);
+    const SignalId y = g.signals().add("y", SignalKind::Output);
+    auto code = [&](bool av, bool yv) {
+        BitVec c(2);
+        if (av) c.set(a.index());
+        if (yv) c.set(y.index());
+        return c;
+    };
+    // 00 -a+-> 10 -y+-> 11 -a--> 01 -a+-> 11' ... build duplicate pair
+    // (11, y excited? no). Simpler: duplicate an entire half cycle.
+    const StateId s0 = g.add_state(code(0, 0));
+    const StateId s1 = g.add_state(code(1, 0));
+    const StateId s2 = g.add_state(code(1, 1));
+    const StateId s3 = g.add_state(code(0, 1));
+    const StateId s4 = g.add_state(code(0, 0)); // same code+future as s0
+    const StateId s5 = g.add_state(code(1, 0)); // same as s1
+    g.add_arc(s0, s1, a);
+    g.add_arc(s1, s2, y);
+    g.add_arc(s2, s3, a);
+    g.add_arc(s3, s4, y);
+    g.add_arc(s4, s5, a);
+    g.add_arc(s5, s2, y);
+    g.set_initial(s0);
+    ASSERT_FALSE(check_well_formed(g).has_value());
+
+    MinimizeStats stats;
+    const StateGraph m = minimize_bisimulation(g, &stats);
+    EXPECT_EQ(stats.states_before, 6u);
+    EXPECT_EQ(m.num_states(), 4u);
+    EXPECT_TRUE(check_projection(m, g).ok);
+    EXPECT_TRUE(check_projection(g, m).ok);
+}
+
+TEST(Minimize, KeepsCscDistinctions) {
+    // Same code but different futures must NOT merge.
+    StateGraph g;
+    const SignalId a = g.signals().add("a", SignalKind::Input);
+    const SignalId y = g.signals().add("y", SignalKind::Output);
+    const SignalId z = g.signals().add("z", SignalKind::Output);
+    auto code = [&](bool av, bool yv, bool zv) {
+        BitVec c(3);
+        if (av) c.set(a.index());
+        if (yv) c.set(y.index());
+        if (zv) c.set(z.index());
+        return c;
+    };
+    const StateId s0 = g.add_state(code(0, 0, 0));
+    const StateId s1 = g.add_state(code(1, 0, 0)); // y+ next
+    const StateId s2 = g.add_state(code(1, 1, 0));
+    const StateId s3 = g.add_state(code(0, 1, 0));
+    const StateId s4 = g.add_state(code(0, 0, 0)); // same code as s0, z+ next... via different path
+    const StateId s5 = g.add_state(code(1, 0, 0)); // same code as s1 but z+ next
+    const StateId s6 = g.add_state(code(1, 0, 1));
+    const StateId s7 = g.add_state(code(0, 0, 1));
+    g.add_arc(s0, s1, a);
+    g.add_arc(s1, s2, y);
+    g.add_arc(s2, s3, a);
+    g.add_arc(s3, s4, y);
+    g.add_arc(s4, s5, a);
+    g.add_arc(s5, s6, z);
+    g.add_arc(s6, s7, a);
+    g.add_arc(s7, s0, z);
+    g.set_initial(s0);
+    const StateGraph m = minimize_bisimulation(g);
+    EXPECT_EQ(m.num_states(), 8u); // nothing merges: futures differ
+}
+
+TEST(Analysis, WellFormedChecks) {
+    const StateGraph g = toggle();
+    EXPECT_FALSE(check_well_formed(g).has_value());
+    StateGraph empty;
+    EXPECT_TRUE(check_well_formed(empty).has_value());
+}
+
+} // namespace
+} // namespace si::sg

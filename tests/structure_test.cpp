@@ -1,0 +1,189 @@
+// Petri-net structural classification and the unit-delay cycle-time
+// estimator.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/stg/structure.hpp"
+#include "si/synth/complex_gate.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/verify/performance.hpp"
+
+namespace si {
+namespace {
+
+TEST(Structure, SequentialCycleIsMarkedGraphSafeLive) {
+    const auto net = bench::load(bench::table1_suite().back()); // Delement
+    const auto report = stg::analyze_structure(net);
+    EXPECT_TRUE(report.marked_graph);
+    EXPECT_TRUE(report.free_choice);
+    EXPECT_TRUE(report.safe);
+    EXPECT_TRUE(report.live);
+    EXPECT_EQ(report.reachable_markings, 8u);
+    EXPECT_FALSE(report.describe().empty());
+}
+
+TEST(Structure, WholeTable1IsWellFormed) {
+    for (const auto& e : bench::table1_suite()) {
+        const auto report = stg::analyze_structure(bench::load(e));
+        EXPECT_TRUE(report.safe) << e.name;
+        EXPECT_TRUE(report.live) << e.name << ": " << report.offender;
+    }
+}
+
+TEST(Structure, ChoicePlaceClassification) {
+    const auto net = stg::read_g(R"(
+.model choice
+.inputs a b
+.outputs y
+.graph
+p0 a+ b+
+a+ pm
+b+ pm
+pm y+
+y+ p1
+p1 y-
+y- p0
+.marking { p0 }
+.end
+)");
+    const auto report = stg::analyze_structure(net);
+    EXPECT_FALSE(report.marked_graph); // p0 has two consumers, pm two producers
+    EXPECT_TRUE(report.free_choice);   // both consumers of p0 read only p0
+    EXPECT_TRUE(report.safe);
+    // y toggles regardless of branch: the net is live (strongly
+    // connected, all transitions fire).
+    EXPECT_TRUE(report.live);
+}
+
+TEST(Structure, NonFreeChoiceDetected) {
+    // t2 consumes the shared choice place plus a private one.
+    const auto net = stg::read_g(R"(
+.model nfc
+.inputs a b
+.outputs y
+.graph
+p0 a+ b+
+pp b+
+a+ y+
+b+ y+
+y+ p1
+p1 y-
+y- p0
+y- pp
+.marking { p0 pp }
+.end
+)");
+    const auto report = stg::analyze_structure(net);
+    EXPECT_FALSE(report.free_choice);
+}
+
+TEST(Structure, UnsafeNetFlagged) {
+    const auto net = stg::read_g(R"(
+.model unsafe
+.inputs a
+.outputs y
+.graph
+p a+
+a+ y+
+y+ p
+a+ q
+q y-
+y- a-
+a- p2
+p2 a+
+.marking { p=2 p2 }
+.end
+)");
+    const auto report = stg::analyze_structure(net);
+    EXPECT_FALSE(report.safe);
+    EXPECT_NE(report.offender.find("tokens"), std::string::npos);
+}
+
+TEST(Structure, DeadTransitionBreaksLiveness) {
+    const auto net = stg::read_g(R"(
+.model dead
+.inputs a
+.outputs y
+.graph
+p a+
+a+ y+
+y+ a-
+a- y-
+y- p
+q y+/2
+y+/2 q2
+q2 y-/2
+y-/2 q
+.marking { p }
+.end
+)");
+    const auto report = stg::analyze_structure(net);
+    EXPECT_FALSE(report.live);
+    EXPECT_NE(report.offender.find("never fires"), std::string::npos);
+}
+
+TEST(Structure, GeneratorsAreWellFormed) {
+    for (const auto& net :
+         {bench::make_pipeline(4), bench::make_fork_join(4), bench::make_sequencer(3),
+          bench::make_ring(3)}) {
+        const auto report = stg::analyze_structure(net);
+        EXPECT_TRUE(report.safe) << net.name;
+        EXPECT_TRUE(report.live) << net.name << ": " << report.offender;
+    }
+}
+
+TEST(Performance, HandshakeWireCycle) {
+    const auto g = sg::build_state_graph(bench::make_pipeline(1));
+    synth::SynthOptions opts;
+    const auto res = synth::synthesize(g, opts);
+    const auto est = verify::estimate_cycle_time(res.netlist, res.graph);
+    ASSERT_TRUE(est.periodic);
+    EXPECT_GT(est.period_ticks, 0u);
+    EXPECT_GT(est.gate_events, 0u);
+    EXPECT_EQ(est.input_events, 2u); // r+ and r- once per cycle
+    EXPECT_FALSE(est.describe().empty());
+}
+
+TEST(Performance, DeeperPipelinesHaveLongerPeriods) {
+    std::size_t last = 0;
+    for (const int stages : {1, 2, 4}) {
+        const auto g = sg::build_state_graph(bench::make_pipeline(stages));
+        const auto res = synth::synthesize(g);
+        const auto est = verify::estimate_cycle_time(res.netlist, res.graph);
+        ASSERT_TRUE(est.periodic);
+        EXPECT_GT(est.period_ticks, last);
+        last = est.period_ticks;
+    }
+}
+
+TEST(Performance, ComplexGatesNotSlowerThanBasic) {
+    // One atomic gate per signal switches in one unit; the basic-gate
+    // network pays the AND/OR/latch chain.
+    const auto g = bench::figure1();
+    const auto basic = synth::synthesize(g);
+    const auto basic_est = verify::estimate_cycle_time(basic.netlist, basic.graph);
+    const sg::RegionAnalysis ra(g);
+    const auto complex_nl = synth::build_complex_gate_implementation(ra);
+    const auto complex_est = verify::estimate_cycle_time(complex_nl, g);
+    ASSERT_TRUE(basic_est.periodic);
+    ASSERT_TRUE(complex_est.periodic);
+    EXPECT_LE(complex_est.period_ticks, basic_est.period_ticks);
+}
+
+TEST(Performance, DeadlockedNetlistReported) {
+    const auto g = sg::build_state_graph(bench::make_pipeline(1));
+    net::Netlist nl(g.signals());
+    const GateId in = nl.add_gate(net::GateKind::Input, "r", {}, g.signals().find("r"));
+    const GateId dead = nl.add_gate(net::GateKind::And, "z", {{in, false}, {in, true}});
+    nl.add_gate(net::GateKind::Wire, "s0", {{dead, false}}, g.signals().find("s0"));
+    const auto est = verify::estimate_cycle_time(nl, g);
+    EXPECT_FALSE(est.periodic);
+}
+
+} // namespace
+} // namespace si

@@ -1,0 +1,154 @@
+// End-to-end synthesis-driver tests: MC-clean specs synthesize directly,
+// violating specs get repaired, options are honoured, bad inputs are
+// rejected with the right errors.
+#include <gtest/gtest.h>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/netlist/print.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+
+namespace si::synth {
+namespace {
+
+sg::StateGraph handshake() {
+    return sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+TEST(Synthesize, HandshakeNeedsNoInsertion) {
+    SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synthesize(handshake(), opts);
+    EXPECT_TRUE(res.inserted.empty());
+    EXPECT_TRUE(res.mc.satisfied());
+    EXPECT_TRUE(res.verification.ok);
+    // Both halves degenerate to single literals: a = C(r, r').
+    EXPECT_EQ(res.netlist.stats().and_gates, 0u);
+    EXPECT_EQ(res.netlist.stats().c_elements, 1u);
+    EXPECT_FALSE(res.summary().empty());
+}
+
+TEST(Synthesize, Figure1InsertsExactlyOneSignal) {
+    SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synthesize(bench::figure1(), opts);
+    EXPECT_EQ(res.inserted.size(), 1u);      // the paper's Example 1 result
+    EXPECT_TRUE(res.mc.satisfied());
+    EXPECT_TRUE(res.verification.ok);
+    // The inserted signal is internal and invisible at the interface.
+    EXPECT_EQ(res.graph.signals().count(SignalKind::Input), 2u);
+    EXPECT_EQ(res.graph.signals().count(SignalKind::Output), 2u);
+    EXPECT_EQ(res.graph.signals().count(SignalKind::Internal), 1u);
+}
+
+TEST(Synthesize, Figure4InsertsExactlyOneSignal) {
+    SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synthesize(bench::figure4(), opts);
+    EXPECT_EQ(res.inserted.size(), 1u);      // the paper's Example 2 repair
+    EXPECT_TRUE(res.verification.ok);
+}
+
+TEST(Synthesize, Figure3AlreadySatisfiesMc) {
+    SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synthesize(bench::figure3(), opts);
+    EXPECT_TRUE(res.inserted.empty());       // MC reduction already applied
+    EXPECT_TRUE(res.verification.ok);
+    // d's excitation function degenerates to the x' wire: both +d
+    // regions share one cube (the paper's d = x').
+    bool shared = false;
+    for (const auto& n : res.networks) {
+        if (res.graph.signals()[n.signal].name != "d") continue;
+        EXPECT_EQ(n.up_cubes.size(), 1u);
+        EXPECT_EQ(n.up_cubes[0].literal_count(), 1u);
+        shared = true;
+    }
+    EXPECT_TRUE(shared);
+}
+
+TEST(Synthesize, RsArchitecture) {
+    SynthOptions opts;
+    opts.build.use_rs_latches = true;
+    opts.verify_result = true;
+    const auto res = synthesize(bench::figure1(), opts);
+    EXPECT_TRUE(res.verification.ok);
+    EXPECT_EQ(res.netlist.stats().c_elements, 0u);
+    EXPECT_EQ(res.netlist.stats().rs_latches, 3u); // c, d and the inserted signal
+}
+
+TEST(Synthesize, SharingReducesGateCount) {
+    SynthOptions plain;
+    plain.verify_result = true;
+    const auto res1 = synthesize(bench::figure1(), plain);
+    SynthOptions shared = plain;
+    shared.enable_sharing = true;
+    const auto res2 = synthesize(bench::figure1(), shared);
+    EXPECT_TRUE(res2.verification.ok);
+    EXPECT_LE(res2.netlist.stats().literals, res1.netlist.stats().literals);
+    EXPECT_GT(res2.sharing.merges, 0u);
+    EXPECT_LT(res2.sharing.cubes_after, res2.sharing.cubes_before);
+}
+
+TEST(Synthesize, NonOutputSemimodularRejected) {
+    // Internal conflict: firing a disables output y.
+    const auto g = sg::read_sg(R"(
+.model clash
+.inputs a
+.outputs y
+.arcs
+00 a+ 10
+00 y+ 01
+01 a+ 11
+10 a- 00
+11 y- 10
+.initial 00
+.end
+)");
+    EXPECT_THROW((void)synthesize(g), SpecError);
+}
+
+TEST(Synthesize, InsertionBudgetHonoured) {
+    SynthOptions opts;
+    opts.max_inserted_signals = 0;
+    EXPECT_THROW((void)synthesize(bench::figure1(), opts), SynthesisError);
+}
+
+TEST(Synthesize, InsertedPrefixUsed) {
+    SynthOptions opts;
+    opts.inserted_prefix = "map";
+    const auto res = synthesize(bench::figure1(), opts);
+    ASSERT_EQ(res.inserted.size(), 1u);
+    EXPECT_EQ(res.inserted[0], "map0");
+    EXPECT_TRUE(res.graph.signals().find("map0").is_valid());
+}
+
+TEST(Synthesize, EquationsPrintable) {
+    const auto res = synthesize(bench::figure1());
+    const std::string eq = net::to_equations(res.netlist);
+    EXPECT_NE(eq.find("= C("), std::string::npos);
+    EXPECT_NE(eq.find("csc0"), std::string::npos);
+}
+
+TEST(Synthesize, ResultGraphConsistent) {
+    const auto res = synthesize(bench::figure4());
+    EXPECT_FALSE(sg::check_well_formed(res.graph).has_value());
+    EXPECT_TRUE(sg::is_output_semimodular(res.graph));
+    EXPECT_TRUE(sg::find_csc_violations(res.graph).empty()); // Thm 4
+}
+
+} // namespace
+} // namespace si::synth

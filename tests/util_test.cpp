@@ -1,0 +1,183 @@
+// Unit tests for si::util — BitVec algebra, ids, text helpers, tables.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "si/util/bitvec.hpp"
+#include "si/util/error.hpp"
+#include "si/util/ids.hpp"
+#include "si/util/table.hpp"
+#include "si/util/text.hpp"
+
+namespace si {
+namespace {
+
+TEST(BitVec, StartsCleared) {
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    EXPECT_EQ(v.count(), 0u);
+    EXPECT_EQ(v.find_first(), 130u);
+}
+
+TEST(BitVec, SetResetFlip) {
+    BitVec v(70);
+    v.set(0);
+    v.set(69);
+    v.set(64);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(69));
+    EXPECT_EQ(v.count(), 3u);
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    v.flip(64);
+    EXPECT_TRUE(v.test(64));
+    v.assign(64, false);
+    EXPECT_FALSE(v.test(64));
+}
+
+TEST(BitVec, ConstructAllOnes) {
+    BitVec v(67, true);
+    EXPECT_EQ(v.count(), 67u);
+    v.set_all();
+    EXPECT_EQ(v.count(), 67u); // tail bits beyond size stay clear
+    v.reset_all();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ResizeGrowWithValue) {
+    BitVec v(3);
+    v.set(1);
+    v.resize(130, true);
+    EXPECT_TRUE(v.test(1));
+    EXPECT_FALSE(v.test(0));
+    EXPECT_TRUE(v.test(3));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_EQ(v.count(), 128u);
+}
+
+TEST(BitVec, SetAlgebra) {
+    BitVec a(100), b(100);
+    a.set(1); a.set(50); a.set(99);
+    b.set(50); b.set(2);
+    BitVec i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(50));
+    BitVec u = a | b;
+    EXPECT_EQ(u.count(), 4u);
+    BitVec x = a ^ b;
+    EXPECT_EQ(x.count(), 3u);
+    BitVec d = a;
+    d.and_not(b);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_TRUE(d.test(1));
+    EXPECT_TRUE(d.test(99));
+}
+
+TEST(BitVec, SubsetAndIntersect) {
+    BitVec a(64), b(64);
+    a.set(3);
+    b.set(3); b.set(9);
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    a.reset(3);
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_TRUE(a.is_subset_of(b)); // empty set is subset of everything
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+    BitVec a(10), b(11);
+    EXPECT_THROW(a &= b, InternalError);
+    EXPECT_THROW((void)a.intersects(b), InternalError);
+}
+
+TEST(BitVec, FindNextIteratesSetBits) {
+    BitVec v(200);
+    const std::size_t bits[] = {0, 1, 63, 64, 65, 128, 199};
+    for (auto b : bits) v.set(b);
+    std::vector<std::size_t> seen;
+    for (std::size_t i = v.find_first(); i < v.size(); i = v.find_next(i)) seen.push_back(i);
+    EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(bits), std::end(bits)));
+}
+
+TEST(BitVec, ForEachSetMatchesFindNext) {
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        BitVec v(1 + static_cast<std::size_t>(rng() % 300));
+        for (std::size_t i = 0; i < v.size(); ++i)
+            if (rng() % 3 == 0) v.set(i);
+        std::vector<std::size_t> a, b;
+        v.for_each_set([&](std::size_t i) { a.push_back(i); });
+        for (std::size_t i = v.find_first(); i < v.size(); i = v.find_next(i)) b.push_back(i);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a.size(), v.count());
+    }
+}
+
+TEST(BitVec, HashDiffersOnContentAndLength) {
+    BitVec a(10), b(10), c(11);
+    a.set(3);
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_NE(b.hash(), c.hash());
+    BitVec a2(10);
+    a2.set(3);
+    EXPECT_EQ(a.hash(), a2.hash());
+}
+
+TEST(BitVec, ToString) {
+    BitVec v(5);
+    v.set(0);
+    v.set(3);
+    EXPECT_EQ(v.to_string(), "10010");
+}
+
+TEST(Ids, DistinctSpacesAndInvalid) {
+    const SignalId s(3);
+    EXPECT_EQ(s.index(), 3u);
+    EXPECT_TRUE(s.is_valid());
+    EXPECT_FALSE(SignalId::invalid().is_valid());
+    EXPECT_EQ(SignalId(1), SignalId(1));
+    EXPECT_NE(SignalId(1), SignalId(2));
+    EXPECT_LT(SignalId(1), SignalId(2));
+}
+
+TEST(Text, Split) {
+    EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("  "), std::vector<std::string>{});
+    EXPECT_EQ(split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Text, Trim) {
+    EXPECT_EQ(trim("  x \t\r\n"), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Text, StartsWithAndJoin) {
+    EXPECT_TRUE(starts_with(".model x", ".model"));
+    EXPECT_FALSE(starts_with(".mo", ".model"));
+    EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Text, LinesOf) {
+    EXPECT_EQ(lines_of("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(lines_of("a\r\nb"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(lines_of(""), std::vector<std::string>{});
+}
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable t({"name", "n"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+} // namespace
+} // namespace si
