@@ -1,8 +1,15 @@
-// Verification-coverage experiment: mutate every synthesized Table-1
-// netlist (flip a literal polarity, drop a literal, swap the latch set
-// and reset inputs) and measure how many mutants the speed-independence
-// verifier rejects. A sound netlist-level verifier should kill
-// essentially every behaviour-changing mutant; survivors are reported.
+// Verification-coverage experiment on the synthesized Table-1 netlists,
+// driven by the si::verify::fault engine (seeded, deterministic):
+//   * structural mutants (literal polarity flips, dropped literals,
+//     swapped latch set/reset pairs) through the exhaustive verifier —
+//     a sound netlist-level verifier should kill essentially every
+//     behaviour-changing mutant;
+//   * adversarial delay schedules — how many of the killed mutants a
+//     sampled interleaving alone catches, without exhaustive search;
+//   * transient faults (SEUs on state-holding gates, glitch pulses on
+//     combinational wires) injected into reachable states, verified
+//     onward from the perturbed state. Every dynamic survivor is listed
+//     with its replayable witness trace.
 //
 // Also reports whether 2-input tech mapping (fanin decomposition of the
 // region AND/OR gates) preserves speed independence on each benchmark —
@@ -15,79 +22,89 @@
 #include "si/synth/synthesize.hpp"
 #include "si/util/error.hpp"
 #include "si/util/table.hpp"
+#include "si/verify/fault.hpp"
 #include "si/verify/verifier.hpp"
 
 using namespace si;
+using verify::fault::FaultClass;
 
 namespace {
 
-// Applies one structural mutation; returns false when the index is out
-// of range for this netlist.
-bool mutate(net::Netlist& nl, std::size_t which) {
-    std::size_t seen = 0;
-    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
-        auto& g = nl.gate(GateId(gi));
-        if (g.kind == net::GateKind::And || g.kind == net::GateKind::Or) {
-            for (auto& f : g.fanins) {
-                if (seen++ == which) { // flip literal polarity
-                    f.inverted = !f.inverted;
-                    return true;
-                }
-            }
-            if (g.fanins.size() > 1 && seen++ == which) { // drop a literal
-                g.fanins.pop_back();
-                return true;
-            }
-        }
-        if (g.kind == net::GateKind::CElement || g.kind == net::GateKind::RsLatch) {
-            if (seen++ == which) { // swap set and reset
-                std::swap(g.fanins[0], g.fanins[1]);
-                return true;
-            }
-        }
-    }
-    return false;
+constexpr std::uint64_t kSeed = 20260806;
+
+std::string ratio(const verify::fault::ClassStats& s) {
+    return std::to_string(s.killed) + "/" + std::to_string(s.injected);
 }
 
 } // namespace
 
 int main() {
-    printf("Fault injection on the synthesized Table-1 netlists\n\n");
-    TextTable table({"example", "mutants", "killed", "survived", "2-input mapping SI?"});
-    std::size_t total = 0, killed = 0;
-    int failures = 0;
+    printf("Fault injection on the synthesized Table-1 netlists (seed %llu)\n\n",
+           static_cast<unsigned long long>(kSeed));
+    TextTable table({"example", "structural", "delay-walk", "seu", "glitch",
+                     "2-input mapping SI?"});
+    verify::fault::CampaignReport totals;
+    std::size_t structural_total = 0, structural_killed = 0;
+    std::vector<std::pair<std::string, verify::fault::Survivor>> dynamic_survivors;
 
     for (const auto& entry : bench::table1_suite()) {
         const auto graph = sg::build_state_graph(bench::load(entry));
         const auto res = synth::synthesize(graph);
 
-        std::size_t mutants = 0, dead = 0;
-        for (std::size_t which = 0;; ++which) {
-            net::Netlist mutant = res.netlist;
-            if (!mutate(mutant, which)) break;
-            ++mutants;
-            bool rejected;
-            try {
-                rejected = !verify::verify_speed_independence(mutant, res.graph).ok;
-            } catch (const Error&) {
-                rejected = true; // structurally broken counts as caught
-            }
-            if (rejected) ++dead;
+        verify::fault::CampaignOptions opts;
+        opts.seed = kSeed;
+        const auto report = verify::fault::run_campaign(res.netlist, res.graph, opts);
+
+        verify::fault::ClassStats structural;
+        for (const auto cls :
+             {FaultClass::LiteralFlip, FaultClass::LiteralDrop, FaultClass::LatchSwap}) {
+            const auto& s = report.per_class[static_cast<std::size_t>(cls)];
+            structural.injected += s.injected;
+            structural.killed += s.killed;
         }
-        total += mutants;
-        killed += dead;
+        structural_total += structural.injected;
+        structural_killed += structural.killed;
+        for (std::size_t i = 0; i < verify::fault::kNumFaultClasses; ++i) {
+            totals.per_class[i].injected += report.per_class[i].injected;
+            totals.per_class[i].killed += report.per_class[i].killed;
+        }
+        for (const auto& s : report.survivors) {
+            const bool dynamic = s.cls == FaultClass::Seu || s.cls == FaultClass::Glitch;
+            if (dynamic) dynamic_survivors.emplace_back(entry.name, s);
+        }
 
         const auto mapped = net::decompose_fanin(res.netlist, 2);
         const bool mapped_ok = verify::verify_speed_independence(mapped, res.graph).ok;
 
-        table.add_row({entry.name, std::to_string(mutants), std::to_string(dead),
-                       std::to_string(mutants - dead), mapped_ok ? "yes" : "NO"});
+        const auto at = [&](FaultClass c) {
+            return ratio(report.per_class[static_cast<std::size_t>(c)]);
+        };
+        table.add_row({entry.name, ratio(structural), at(FaultClass::DelaySchedule),
+                       at(FaultClass::Seu), at(FaultClass::Glitch), mapped_ok ? "yes" : "NO"});
     }
     printf("%s\n", table.render().c_str());
-    printf("overall mutation kill rate: %zu/%zu\n", killed, total);
-    printf("\nNote: a surviving mutant is not automatically a bug — dropping a literal\n"
-           "can leave the function unchanged on the reachable codes. The 2-input\n"
-           "mapping column answers whether tree-decomposing the monotone region\n"
-           "functions preserves speed independence on these controllers.\n");
-    return failures;
+    printf("overall mutation kill rate: %zu/%zu\n", structural_killed, structural_total);
+    const auto& ds = totals.per_class[static_cast<std::size_t>(FaultClass::DelaySchedule)];
+    const auto& seu = totals.per_class[static_cast<std::size_t>(FaultClass::Seu)];
+    const auto& gl = totals.per_class[static_cast<std::size_t>(FaultClass::Glitch)];
+    printf("delay-schedule walks alone catch %zu/%zu of the killed mutants\n", ds.killed,
+           ds.injected);
+    printf("dynamic faults: %zu/%zu SEUs and %zu/%zu glitches detected\n", seu.killed,
+           seu.injected, gl.killed, gl.injected);
+
+    if (!dynamic_survivors.empty()) {
+        printf("\nDynamic-fault survivors (perturbation absorbed; witness from reset):\n");
+        for (const auto& [name, s] : dynamic_survivors) {
+            printf("  [%s] %s\n    witness:", name.c_str(), s.description.c_str());
+            for (const auto& a : s.witness) printf(" %s", a.c_str());
+            printf("\n");
+        }
+    }
+
+    printf("\nNote: a surviving structural mutant is not automatically a bug — dropping a\n"
+           "literal can leave the function unchanged on the reachable codes, and an\n"
+           "absorbed SEU/glitch means the circuit recovered into specified behaviour.\n"
+           "The 2-input mapping column answers whether tree-decomposing the monotone\n"
+           "region functions preserves speed independence on these controllers.\n");
+    return 0;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "si/util/bitvec.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::bdd {
 
@@ -30,6 +31,14 @@ public:
     [[nodiscard]] std::size_t num_vars() const { return nvars_; }
     /// Total live nodes (including terminals).
     [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+    /// Attaches a governance budget (may be null to detach). Every node
+    /// allocation charges one util::Resource::BddNodes unit; once the
+    /// budget is exhausted, the next allocation throws
+    /// util::BudgetExhausted — the recursive ITE has no way to return a
+    /// partial diagram, so the owning analysis catches at its boundary
+    /// and reports an Exhausted outcome.
+    void set_budget(util::Budget* budget) { budget_ = budget; }
 
     /// The function of variable v / its complement.
     [[nodiscard]] Ref var(std::size_t v);
@@ -108,6 +117,7 @@ private:
     std::vector<Node> nodes_;
     std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
     std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+    util::Budget* budget_ = nullptr;
 };
 
 } // namespace si::bdd

@@ -9,8 +9,11 @@
 // thousand BDD nodes.
 #pragma once
 
+#include <optional>
+
 #include "si/bdd/bdd.hpp"
 #include "si/stg/stg.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::bdd {
 
@@ -28,10 +31,18 @@ struct SymbolicReachability {
     /// that point follow the safe-net semantics and may differ from the
     /// counted token game).
     bool safe = true;
+    /// Set when the BDD node budget ran out: every count above reflects
+    /// only the work done up to that point.
+    std::optional<util::Exhaustion> exhaustion;
+
+    [[nodiscard]] bool complete() const { return !exhaustion.has_value(); }
 };
 
-/// Computes the reachable markings of a *safe* STG symbolically.
-[[nodiscard]] SymbolicReachability symbolic_reachability(const stg::Stg& net);
+/// Computes the reachable markings of a *safe* STG symbolically. The
+/// optional budget caps BDD node allocations (stage "bdd.reach"); on
+/// exhaustion the result carries the Exhaustion instead of throwing.
+[[nodiscard]] SymbolicReachability symbolic_reachability(const stg::Stg& net,
+                                                         util::Budget* budget = nullptr);
 
 struct SymbolicCsc {
     /// True when every pair of reachable states sharing a signal code
@@ -43,12 +54,17 @@ struct SymbolicCsc {
     /// (empty when csc holds).
     std::string conflict_signal;
     double reachable_states = 0;
+    /// Set when the BDD node budget ran out (csc/usc are then unknown).
+    std::optional<util::Exhaustion> exhaustion;
+
+    [[nodiscard]] bool complete() const { return !exhaustion.has_value(); }
 };
 
 /// CSC/USC over the symbolic state space: state variables are the
 /// places *and* the signal values, so code comparisons quantify the
 /// places away instead of enumerating markings. Works on safe STGs of a
-/// width far beyond the explicit builder.
-[[nodiscard]] SymbolicCsc symbolic_csc(const stg::Stg& net);
+/// width far beyond the explicit builder. Budget as in
+/// symbolic_reachability (stage "bdd.csc").
+[[nodiscard]] SymbolicCsc symbolic_csc(const stg::Stg& net, util::Budget* budget = nullptr);
 
 } // namespace si::bdd

@@ -21,6 +21,8 @@ Ref Manager::make(std::uint32_t var, Ref lo, Ref hi) {
     const NodeKey key{var, lo, hi};
     const auto it = unique_.find(key);
     if (it != unique_.end()) return it->second;
+    if (budget_ != nullptr && !budget_->charge(util::Resource::BddNodes))
+        throw util::BudgetExhausted(*budget_->failure());
     const Ref ref = static_cast<Ref>(nodes_.size());
     nodes_.push_back(Node{var, lo, hi});
     unique_.emplace(key, ref);

@@ -15,12 +15,8 @@ namespace {
 std::size_t cur(std::size_t p) { return 2 * p; }
 std::size_t nxt(std::size_t p) { return 2 * p + 1; }
 
-} // namespace
-
-SymbolicReachability symbolic_reachability(const stg::Stg& net) {
-    net.validate();
+void reach_impl(const stg::Stg& net, Manager& mgr, SymbolicReachability& result) {
     const std::size_t P = net.num_places();
-    Manager mgr(2 * P);
 
     // Per-transition relation over (current, next).
     std::vector<Ref> relations;
@@ -75,7 +71,6 @@ SymbolicReachability symbolic_reachability(const stg::Stg& net) {
         next_to_cur[nxt(p)] = cur(p);
     }
 
-    SymbolicReachability result;
     Ref frontier = reached;
     while (frontier != Manager::kFalse) {
         ++result.iterations;
@@ -95,15 +90,12 @@ SymbolicReachability symbolic_reachability(const stg::Stg& net) {
     result.reachable_markings = mgr.sat_count(reached) / std::pow(2.0, static_cast<double>(P));
     result.total_nodes = mgr.num_nodes();
     result.set_nodes = mgr.size(reached);
-    return result;
 }
 
-SymbolicCsc symbolic_csc(const stg::Stg& net) {
-    net.validate();
+void csc_impl(const stg::Stg& net, Manager& mgr, SymbolicCsc& result) {
     const std::size_t P = net.num_places();
     const std::size_t S = net.signals().size();
     const std::size_t N = P + S; // state variables: places and signal values
-    Manager mgr(2 * N);
 
     // Static variable order: cluster each signal's value variable with
     // the places its transitions touch (a signal correlated only with
@@ -205,7 +197,6 @@ SymbolicCsc symbolic_csc(const stg::Stg& net) {
         frontier = fresh;
     }
 
-    SymbolicCsc result;
     result.reachable_states = mgr.sat_count(reached) / std::pow(2.0, static_cast<double>(N));
 
     // Pair the state space with a renamed copy sharing the same code.
@@ -243,6 +234,42 @@ SymbolicCsc symbolic_csc(const stg::Stg& net) {
             result.conflict_signal = net.signals()[SignalId(si_)].name;
             break;
         }
+    }
+}
+
+} // namespace
+
+SymbolicReachability symbolic_reachability(const stg::Stg& net, util::Budget* budget) {
+    net.validate();
+    Manager mgr(2 * net.num_places());
+    SymbolicReachability result;
+    std::optional<util::Budget::StageScope> scope;
+    if (budget != nullptr) {
+        scope.emplace(*budget, "bdd.reach");
+        mgr.set_budget(budget);
+    }
+    try {
+        reach_impl(net, mgr, result);
+    } catch (const util::BudgetExhausted& e) {
+        result.exhaustion = e.why();
+        result.total_nodes = mgr.num_nodes();
+    }
+    return result;
+}
+
+SymbolicCsc symbolic_csc(const stg::Stg& net, util::Budget* budget) {
+    net.validate();
+    Manager mgr(2 * (net.num_places() + net.signals().size()));
+    SymbolicCsc result;
+    std::optional<util::Budget::StageScope> scope;
+    if (budget != nullptr) {
+        scope.emplace(*budget, "bdd.csc");
+        mgr.set_budget(budget);
+    }
+    try {
+        csc_impl(net, mgr, result);
+    } catch (const util::BudgetExhausted& e) {
+        result.exhaustion = e.why();
     }
     return result;
 }

@@ -7,12 +7,18 @@
 #pragma once
 
 #include "si/boolean/cover.hpp"
+#include "si/util/budget.hpp"
 
 namespace si {
 
 struct MinimizeOptions {
     /// Maximum expand/reduce sweeps before settling.
     int max_passes = 4;
+    /// Optional shared governance budget (stage "minimize", charged one
+    /// util::Resource::Steps per cube per sweep phase). On exhaustion
+    /// minimize() returns the best cover found so far — always a valid
+    /// cover of the onset, possibly not fully minimized.
+    util::Budget* budget = nullptr;
 };
 
 /// Minimizes `onset` against the care space: the result covers every

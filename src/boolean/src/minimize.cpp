@@ -76,6 +76,8 @@ Cover reduce(const Cover& cover, const Cover& onset, const Cover& dontcare) {
 }
 
 Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions& opts) {
+    util::Meter meter("minimize", opts.budget);
+
     Cover care(onset.num_vars());
     for (const auto& c : onset.cubes()) care.add(c);
     for (const auto& c : dontcare.cubes()) care.add(c);
@@ -86,7 +88,17 @@ Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions&
     Cover best = cur;
     std::size_t best_cost = SIZE_MAX;
     for (int pass = 0; pass < opts.max_passes; ++pass) {
+        // Each sweep phase costs one Steps unit per cube it touches; an
+        // exhausted budget settles for the best cover reached so far (a
+        // correct cover every round — only optimality degrades).
+        if (!meter.charge(util::Resource::Steps, cur.size() + 1)) break;
         Cover expanded = expand_against(cur, offset);
+        if (!meter.charge(util::Resource::Steps, expanded.size())) {
+            Cover pruned = irredundant(expanded, dontcare);
+            const std::size_t cost = pruned.size() * 1000 + pruned.literal_count();
+            if (cost < best_cost) best = std::move(pruned);
+            break;
+        }
         Cover pruned = irredundant(expanded, dontcare);
         const std::size_t cost = pruned.size() * 1000 + pruned.literal_count();
         if (cost < best_cost) {
@@ -95,6 +107,7 @@ Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions&
         } else if (pass > 0) {
             break;
         }
+        if (!meter.charge(util::Resource::Steps, pruned.size())) break;
         // REDUCE perturbs the local minimum so the next EXPAND can find
         // different primes.
         cur = reduce(pruned, onset, dontcare);

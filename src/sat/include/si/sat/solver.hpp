@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "si/util/budget.hpp"
+
 namespace si::sat {
 
 /// Variables are dense indices 0..num_vars-1.
@@ -47,6 +49,11 @@ private:
 /// Negative literal of v.
 [[nodiscard]] inline Lit neg(Var v) { return Lit(v, true); }
 
+/// Sat and Unsat are definitive answers. Unknown is returned for exactly
+/// one reason — a resource budget ran out mid-search — and must never be
+/// conflated with Unsat: the instance may well have a model. Callers that
+/// branch on "not Sat" should consult budget_exhausted() to tell a proved
+/// absence of models from an abandoned search.
 enum class Result { Sat, Unsat, Unknown };
 
 class Solver {
@@ -85,6 +92,16 @@ public:
     /// Abort search after this many conflicts (0 = unlimited);
     /// solve() then returns Unknown.
     void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+    /// Attaches a shared governance budget (may be null to detach). Each
+    /// conflict charges one util::Resource::Conflicts unit; when the
+    /// budget is exhausted (any resource, including a deadline), solve()
+    /// stops and returns Unknown.
+    void set_budget(util::Budget* budget) { budget_ = budget; }
+
+    /// True when the last solve() returned Unknown because a budget (the
+    /// conflict cap or the attached shared budget) ran out.
+    [[nodiscard]] bool budget_exhausted() const { return budget_exhausted_; }
 
 private:
     enum class Value : std::int8_t { False = 0, True = 1, Undef = 2 };
@@ -128,6 +145,8 @@ private:
     bool ok_ = true;
     std::uint64_t conflicts_ = 0;
     std::uint64_t conflict_budget_ = 0;
+    util::Budget* budget_ = nullptr;
+    bool budget_exhausted_ = false;
     std::vector<bool> seen_; // scratch for analyze
 };
 

@@ -213,7 +213,12 @@ void Solver::reduce_learnts() {
 }
 
 Result Solver::solve(std::span<const Lit> assumptions) {
+    budget_exhausted_ = false;
     if (!ok_) return Result::Unsat;
+    if (budget_ != nullptr && !budget_->checkpoint()) {
+        budget_exhausted_ = true;
+        return Result::Unknown;
+    }
     backtrack(0);
     if (propagate() != kNoReason) {
         ok_ = false;
@@ -231,6 +236,12 @@ Result Solver::solve(std::span<const Lit> assumptions) {
             ++conflicts_since_restart;
             if (conflict_budget_ != 0 && conflicts_ >= conflict_budget_) {
                 backtrack(0);
+                budget_exhausted_ = true;
+                return Result::Unknown;
+            }
+            if (budget_ != nullptr && !budget_->charge(util::Resource::Conflicts)) {
+                backtrack(0);
+                budget_exhausted_ = true;
                 return Result::Unknown;
             }
             if (trail_lim_.empty()) return Result::Unsat;

@@ -9,16 +9,29 @@
 
 #include "si/sg/state_graph.hpp"
 #include "si/stg/stg.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::sg {
 
 struct FromStgOptions {
-    /// Abort with SpecError when the marking graph exceeds this size.
+    /// Cap on reachable markings (charged as util::Resource::States on a
+    /// module-local budget; see build_state_graph_outcome).
     std::size_t max_states = 1u << 20;
+    /// Optional shared governance budget, charged in lockstep with the
+    /// local cap (States per marking, Steps per explored edge).
+    util::Budget* budget = nullptr;
 };
 
-/// Builds the reachable state graph. Throws SpecError for inconsistent
-/// state assignments, unbounded places or state explosion past the cap.
+/// Builds the reachable state graph under governance, in stage
+/// "sg.explore". Returns Exhausted (never throws, no partial graph) when
+/// the marking exploration runs out of budget; still throws SpecError
+/// for genuinely malformed inputs (inconsistent state assignments,
+/// unbounded places) — those are definitive verdicts, not exhaustion.
+[[nodiscard]] util::Outcome<StateGraph> build_state_graph_outcome(const stg::Stg& stg,
+                                                                  const FromStgOptions& opts = {});
+
+/// Legacy throwing wrapper: as build_state_graph_outcome, but budget
+/// exhaustion (state explosion past the cap) surfaces as SpecError.
 [[nodiscard]] StateGraph build_state_graph(const stg::Stg& stg, const FromStgOptions& opts = {});
 
 /// Initial code inference only (exposed for tests): the value each

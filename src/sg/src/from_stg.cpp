@@ -1,6 +1,7 @@
 #include "si/sg/from_stg.hpp"
 
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,12 +33,16 @@ struct MarkingGraph {
     std::vector<std::vector<std::uint32_t>> out; // edge indices per node
 };
 
-MarkingGraph explore(const stg::Stg& net, const FromStgOptions& opts) {
+// BFS over reachable markings; nullopt when the meter runs out (why()
+// names the stage and resource), charging States per new marking and
+// Steps per explored edge.
+std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
     MarkingGraph g;
     std::unordered_map<stg::Marking, std::uint32_t, MarkingHash> index;
     g.nodes.push_back(net.initial_marking());
     g.out.emplace_back();
     index.emplace(net.initial_marking(), 0);
+    if (!meter.charge(util::Resource::States)) return std::nullopt;
     std::deque<std::uint32_t> queue{0};
     while (!queue.empty()) {
         const std::uint32_t cur = queue.front();
@@ -47,12 +52,11 @@ MarkingGraph explore(const stg::Stg& net, const FromStgOptions& opts) {
             // Copy the marking: fire() may be reached after nodes grows.
             const stg::Marking m = g.nodes[cur];
             if (!net.enabled(m, t)) continue;
+            if (!meter.charge(util::Resource::Steps)) return std::nullopt;
             stg::Marking next = net.fire(m, t);
             auto [it, inserted] = index.emplace(std::move(next), static_cast<std::uint32_t>(g.nodes.size()));
             if (inserted) {
-                if (g.nodes.size() >= opts.max_states)
-                    throw SpecError("state explosion: more than " + std::to_string(opts.max_states) +
-                                    " reachable markings in '" + net.name + "'");
+                if (!meter.charge(util::Resource::States)) return std::nullopt;
                 g.nodes.push_back(it->first);
                 g.out.emplace_back();
                 queue.push_back(it->second);
@@ -63,6 +67,7 @@ MarkingGraph explore(const stg::Stg& net, const FromStgOptions& opts) {
     }
     return g;
 }
+
 
 BitVec infer_code(const stg::Stg& net, const MarkingGraph& g) {
     const std::size_t nsig = net.signals().size();
@@ -104,12 +109,22 @@ BitVec infer_code(const stg::Stg& net, const MarkingGraph& g) {
 } // namespace
 
 BitVec infer_initial_code(const stg::Stg& net, const FromStgOptions& opts) {
-    return infer_code(net, explore(net, opts));
+    util::Meter meter("sg.explore", opts.budget);
+    meter.local().cap(util::Resource::States, opts.max_states);
+    const auto g = explore(net, meter);
+    if (!g)
+        throw SpecError("state explosion in '" + net.name + "': " + meter.why().describe());
+    return infer_code(net, *g);
 }
 
-StateGraph build_state_graph(const stg::Stg& net, const FromStgOptions& opts) {
+util::Outcome<StateGraph> build_state_graph_outcome(const stg::Stg& net,
+                                                    const FromStgOptions& opts) {
     net.validate();
-    const MarkingGraph g = explore(net, opts);
+    util::Meter meter("sg.explore", opts.budget);
+    meter.local().cap(util::Resource::States, opts.max_states);
+    const auto explored = explore(net, meter);
+    if (!explored) return util::Outcome<StateGraph>::exhausted(meter.why());
+    const MarkingGraph& g = *explored;
     const BitVec initial_code = infer_code(net, g);
     const std::size_t nsig = net.signals().size();
 
@@ -170,7 +185,14 @@ StateGraph build_state_graph(const stg::Stg& net, const FromStgOptions& opts) {
         }
         sg.add_arc(StateId(e.from), StateId(e.to), sig);
     }
-    return sg;
+    return util::Outcome<StateGraph>::complete(std::move(sg));
+}
+
+StateGraph build_state_graph(const stg::Stg& net, const FromStgOptions& opts) {
+    auto outcome = build_state_graph_outcome(net, opts);
+    if (!outcome.is_complete())
+        throw SpecError("state explosion in '" + net.name + "': " + outcome.why().describe());
+    return std::move(outcome.value());
 }
 
 } // namespace si::sg

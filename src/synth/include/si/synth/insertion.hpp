@@ -27,6 +27,7 @@
 #include "si/mc/requirement.hpp"
 #include "si/sg/regions.hpp"
 #include "si/synth/labeling.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::synth {
 
@@ -35,6 +36,12 @@ struct InsertionOptions {
     std::size_t max_attempts = 1024;
     /// Conflict budget per SAT call (0 = unlimited).
     std::uint64_t sat_conflict_budget = 200000;
+    /// Shared governance budget (stage "synth.insert"): every model
+    /// examined charges one Attempts unit, and the SAT solver charges
+    /// Conflicts. When the shared budget is exhausted the search stops
+    /// across all tiers; with only the per-call caps above, an Unknown
+    /// SAT verdict merely advances to the next tier as before.
+    util::Budget* budget = nullptr;
 };
 
 struct InsertionOutcome {

@@ -17,6 +17,7 @@
 #include "si/sg/state_graph.hpp"
 #include "si/synth/insertion.hpp"
 #include "si/synth/sharing.hpp"
+#include "si/util/budget.hpp"
 #include "si/verify/verifier.hpp"
 
 namespace si::synth {
@@ -29,6 +30,9 @@ struct SynthOptions {
     bool minimize_graph = false;
     bool verify_result = false;           ///< run the SI verifier on the netlist
     std::size_t max_inserted_signals = 8; ///< cascade cap for the repair loop
+    /// Branch-and-bound rounds explored by the insertion driver (each
+    /// round analyzes one candidate graph; stage "synth.bnb").
+    std::size_t max_search_nodes = 500;
     InsertionOptions insertion;
     mc::McCubeSearch cube_search;
     std::string inserted_prefix = "csc"; ///< inserted signals: csc0, csc1, ...
@@ -46,10 +50,23 @@ struct SynthesisResult {
     [[nodiscard]] std::string summary() const;
 };
 
+/// Runs the full flow under an optional caller-shared budget (threaded
+/// into the branch-and-bound driver as stage "synth.bnb", the SAT-driven
+/// insertion below it, and the final verification). Returns
+/// Outcome::exhausted — naming the stage and the resource that ran out —
+/// when the search was cut short before any MC completion was found;
+/// genuine impossibility (the search space was exhausted with budget to
+/// spare) still throws SynthesisError, and a malformed or non-semi-modular
+/// input still throws SpecError.
+[[nodiscard]] util::Outcome<SynthesisResult> synthesize_outcome(const sg::StateGraph& spec,
+                                                                const SynthOptions& opts = {},
+                                                                util::Budget* budget = nullptr);
+
 /// Runs the full flow. Throws SpecError when the input graph is not
 /// output semi-modular (not implementable speed-independently at all) or
 /// SynthesisError when the repair loop cannot reach MC form within the
-/// configured budget.
+/// configured budget (including budget exhaustion — use
+/// synthesize_outcome to tell the two apart).
 [[nodiscard]] SynthesisResult synthesize(const sg::StateGraph& spec,
                                          const SynthOptions& opts = {});
 

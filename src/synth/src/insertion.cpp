@@ -176,8 +176,12 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
         throw SpecError("signal insertion requires a fully reachable state graph");
     if (victims.empty()) return {};
 
+    util::Meter meter("synth.insert", opts.budget);
+    meter.local().cap(util::Resource::Attempts, opts.max_attempts);
+
     sat::Solver solver;
     solver.set_conflict_budget(opts.sat_conflict_budget);
+    solver.set_budget(opts.budget);
 
     // One-hot label variables per state plus the polarity selector.
     // var layout: L[s][k] with k = 0:Zero 1:One 2:Rise 3:Fall.
@@ -334,7 +338,11 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
     }};
     for (const auto& assumptions : tiers) {
         const bool tier_compact = assumptions[1] == pos(compact);
-        for (; attempt < opts.max_attempts; ) {
+        for (;;) {
+        // Running out of the attempt cap (local or shared) ends the whole
+        // search, not just the tier — exactly the legacy `attempt <
+        // max_attempts` bound, which also persisted across tiers.
+        if (!meter.charge(util::Resource::Attempts)) goto done;
         ++attempt;
         const auto verdict =
             solver.solve(std::span<const sat::Lit>(assumptions.data(), assumptions.size()));
@@ -344,6 +352,9 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
                              assumptions[0] == pos(cross) ? "cross+" : "",
                              tier_compact ? "compact" : "free",
                              verdict == sat::Result::Unsat ? "UNSAT" : "UNKNOWN", attempt);
+            // A shared-budget exhaustion is sticky: later tiers would get
+            // the same instant Unknown, so stop instead of spinning.
+            if (verdict == sat::Result::Unknown && meter.exhausted()) goto done;
             break;
         }
 

@@ -37,16 +37,15 @@ namespace {
 // inserted signals.
 struct Search {
     const SynthOptions& opts;
+    util::Meter& meter;                   // stage "synth.bnb"; Steps = rounds
     std::size_t best_known;               // fewest insertions of any solution found
     std::optional<sg::StateGraph> best_graph;
     std::vector<std::string> best_names;
-    std::size_t nodes = 0;                // explored rounds (work cap)
-    static constexpr std::size_t kMaxNodes = 500;
     static constexpr std::size_t kBranch = 3;
 
     void run(const sg::StateGraph& current, std::vector<std::string>& names) {
         if (names.size() >= best_known) return; // cannot improve
-        if (++nodes > kMaxNodes) return;
+        if (!meter.charge(util::Resource::Steps)) return;
 
         const sg::RegionAnalysis ra(current);
         const mc::McReport report = mc::check_requirement(ra, opts.cube_search);
@@ -74,14 +73,16 @@ struct Search {
             run(candidate.graph, names);
             names.pop_back();
             if (best_known <= names.size() + 1) return; // optimal from here
-            if (nodes > kMaxNodes) return;
+            if (meter.exhausted()) return;
         }
     }
 };
 
 } // namespace
 
-SynthesisResult synthesize(const sg::StateGraph& spec, const SynthOptions& opts) {
+util::Outcome<SynthesisResult> synthesize_outcome(const sg::StateGraph& spec,
+                                                  const SynthOptions& caller_opts,
+                                                  util::Budget* budget) {
     if (const auto err = sg::check_well_formed(spec))
         throw SpecError("synthesize: malformed state graph: " + *err);
     for (const auto& c : sg::find_conflicts(spec)) {
@@ -92,14 +93,23 @@ SynthesisResult synthesize(const sg::StateGraph& spec, const SynthOptions& opts)
                             c.describe(spec));
     }
 
+    // The one budget governs every layer below: the insertion CEGAR loop
+    // (and its SAT calls) as well as the driver's own rounds.
+    SynthOptions opts = caller_opts;
+    if (budget != nullptr && opts.insertion.budget == nullptr) opts.insertion.budget = budget;
+
     const sg::StateGraph start =
         opts.minimize_graph ? sg::minimize_bisimulation(spec) : spec;
 
-    Search search{opts, opts.max_inserted_signals + 1, std::nullopt, {}, 0};
+    util::Meter meter("synth.bnb", budget);
+    meter.local().cap(util::Resource::Steps, opts.max_search_nodes);
+
+    Search search{opts, meter, opts.max_inserted_signals + 1, std::nullopt, {}};
     std::vector<std::string> names;
     search.run(start, names);
 
     if (!search.best_graph) {
+        if (meter.exhausted()) return util::Outcome<SynthesisResult>::exhausted(meter.why());
         const sg::RegionAnalysis ra(start);
         const auto report = mc::check_requirement(ra, opts.cube_search);
         throw SynthesisError(
@@ -123,9 +133,24 @@ SynthesisResult synthesize(const sg::StateGraph& spec, const SynthOptions& opts)
     net::BuildOptions build = opts.build;
     build.share_gates = build.share_gates || opts.enable_sharing;
     result.netlist = net::build_standard_implementation(result.graph, result.networks, build);
-    if (opts.verify_result)
-        result.verification = verify::verify_speed_independence(result.netlist, result.graph);
-    return result;
+    if (opts.verify_result) {
+        verify::VerifyOptions vo;
+        vo.budget = budget;
+        result.verification =
+            verify::verify_speed_independence(result.netlist, result.graph, vo);
+        if (!result.verification.complete()) {
+            util::Exhaustion why = *result.verification.exhaustion;
+            return util::Outcome<SynthesisResult>::exhausted(std::move(why), std::move(result));
+        }
+    }
+    return util::Outcome<SynthesisResult>::complete(std::move(result));
+}
+
+SynthesisResult synthesize(const sg::StateGraph& spec, const SynthOptions& opts) {
+    auto outcome = synthesize_outcome(spec, opts);
+    if (!outcome.is_complete())
+        throw SynthesisError("'" + spec.name + "': " + outcome.why().describe());
+    return std::move(outcome.value());
 }
 
 } // namespace si::synth

@@ -1,0 +1,229 @@
+// Unified resource governance for the long-running analyses.
+//
+// Every exploration in this library (token-game unfolding, closed-circuit
+// verification, SAT search, BDD construction, branch-and-bound insertion)
+// can blow up on an adversarial input. Instead of one ad-hoc cap per
+// module, a Budget carries the caps — state counts, abstract steps, SAT
+// conflicts, BDD nodes, a wall-clock deadline — and the analyses charge
+// it cooperatively. When a cap trips, the first Exhaustion (innermost
+// stage, resource, consumption) is recorded and all further charges fail,
+// so a whole pipeline winds down to a partial result instead of throwing
+// or silently truncating. Outcome<T> is the partial-result carrier the
+// governed entry points return: Complete(value) or Exhausted{stage,
+// resource, consumed}, optionally with a best-effort value attached.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "si/util/error.hpp"
+
+namespace si::util {
+
+/// The resource kinds a Budget can cap. `WallClock` is measured in
+/// milliseconds since the deadline was armed; the others are counts in
+/// whatever unit the charging module defines (documented per call site).
+enum class Resource : unsigned char {
+    WallClock, ///< elapsed milliseconds
+    States,    ///< distinct states/markings materialized by an exploration
+    Steps,     ///< abstract work units (transitions, search nodes, passes)
+    Conflicts, ///< CDCL conflicts in the SAT solver
+    BddNodes,  ///< nodes allocated by a BDD manager
+    Attempts,  ///< candidate models examined by a CEGAR loop
+};
+inline constexpr std::size_t kNumResources = 6;
+
+[[nodiscard]] const char* to_string(Resource r);
+
+/// Where and why a budget ran out.
+struct Exhaustion {
+    std::string stage;       ///< innermost stage path at the trip, e.g. "synth.bnb/sg.explore"
+    Resource resource = Resource::Steps;
+    std::uint64_t consumed = 0; ///< units consumed when the cap tripped
+    std::uint64_t limit = 0;    ///< the cap that tripped
+
+    /// "budget exhausted in stage 'verify.explore': 4096 of 4096 states consumed"
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Thrown only from deep recursions that cannot return partial results
+/// (the BDD manager); caught at the owning subsystem's boundary and
+/// converted into an Outcome / exhaustion field there. Callers of the
+/// governed public entry points never see it.
+class BudgetExhausted : public Error {
+public:
+    explicit BudgetExhausted(Exhaustion why) : Error(why.describe()), why_(std::move(why)) {}
+    [[nodiscard]] const Exhaustion& why() const { return why_; }
+
+private:
+    Exhaustion why_;
+};
+
+/// A cooperative resource budget. Default-constructed budgets are
+/// unlimited; caps are armed with cap()/deadline(). Charging is cheap
+/// (array increment; the clock is polled every 64 charges), exhaustion
+/// is sticky, and the object is shared by pointer down a pipeline so the
+/// first stage to trip stops all of them.
+class Budget {
+public:
+    Budget() = default;
+
+    /// Arms (or replaces) a cap. Returns *this for fluent setup.
+    Budget& cap(Resource r, std::uint64_t limit);
+    /// Arms a wall-clock deadline `wall` from now.
+    Budget& deadline(std::chrono::milliseconds wall);
+
+    /// Charges `amount` units of r. False once the budget is exhausted;
+    /// the first trip is recorded and every later charge keeps failing.
+    bool charge(Resource r, std::uint64_t amount = 1);
+    /// Deadline/stickiness check without consuming a counted resource —
+    /// for loops whose unit of work is not worth metering.
+    bool checkpoint();
+
+    [[nodiscard]] bool exhausted() const { return failure_.has_value(); }
+    [[nodiscard]] const std::optional<Exhaustion>& failure() const { return failure_; }
+
+    [[nodiscard]] std::uint64_t consumed(Resource r) const {
+        return consumed_[static_cast<std::size_t>(r)];
+    }
+    /// UINT64_MAX when uncapped.
+    [[nodiscard]] std::uint64_t limit(Resource r) const {
+        return limits_[static_cast<std::size_t>(r)];
+    }
+
+    /// Innermost-first stage path, joined with '/' ("" outside any stage).
+    [[nodiscard]] std::string current_stage() const;
+
+    /// RAII stage marker: exhaustions recorded while alive name `name`.
+    class [[nodiscard]] StageScope {
+    public:
+        StageScope(Budget& b, std::string name) : budget_(&b) {
+            budget_->stages_.push_back(std::move(name));
+        }
+        ~StageScope() {
+            if (budget_) budget_->stages_.pop_back();
+        }
+        StageScope(const StageScope&) = delete;
+        StageScope& operator=(const StageScope&) = delete;
+
+    private:
+        Budget* budget_;
+    };
+    [[nodiscard]] StageScope stage(std::string name) { return StageScope(*this, std::move(name)); }
+
+private:
+    void trip(Resource r, std::uint64_t consumed, std::uint64_t limit);
+
+    std::array<std::uint64_t, kNumResources> limits_{UINT64_MAX, UINT64_MAX, UINT64_MAX,
+                                                     UINT64_MAX, UINT64_MAX, UINT64_MAX};
+    std::array<std::uint64_t, kNumResources> consumed_{};
+    std::optional<std::chrono::steady_clock::time_point> deadline_;
+    std::chrono::steady_clock::time_point armed_at_;
+    std::uint64_t wall_ms_ = 0;
+    std::uint32_t clock_skip_ = 0;
+    std::vector<std::string> stages_;
+    std::optional<Exhaustion> failure_;
+};
+
+/// Charges a module-local budget (the module's legacy per-call caps) and
+/// an optional caller-shared budget in lockstep, reporting whichever
+/// trips first. This is how each governed module honours both its own
+/// options (FromStgOptions::max_states and friends) and a pipeline-wide
+/// Budget without the two knowing about each other.
+class Meter {
+public:
+    /// `stage` names the work this meter governs; it is pushed onto the
+    /// shared budget's stage stack for the meter's lifetime (so nested
+    /// modules produce nested stage paths). `shared` may be null.
+    Meter(std::string stage, Budget* shared)
+        : shared_(shared), stage_(stage), local_scope_(local_, stage) {
+        if (shared_) shared_scope_.emplace(*shared_, std::move(stage));
+    }
+
+    /// The module-local caps; arm before the first charge.
+    [[nodiscard]] Budget& local() { return local_; }
+
+    bool charge(Resource r, std::uint64_t amount = 1) {
+        if (!local_.charge(r, amount)) return false;
+        return shared_ == nullptr || shared_->charge(r, amount);
+    }
+    bool checkpoint() {
+        if (!local_.checkpoint()) return false;
+        return shared_ == nullptr || shared_->checkpoint();
+    }
+
+    [[nodiscard]] bool exhausted() const {
+        return local_.exhausted() || (shared_ != nullptr && shared_->exhausted());
+    }
+    /// The exhaustion that stopped the work (local cap or shared budget).
+    [[nodiscard]] const Exhaustion& why() const {
+        if (local_.exhausted()) return *local_.failure();
+        require(shared_ != nullptr && shared_->exhausted(), "Meter::why without exhaustion");
+        return *shared_->failure();
+    }
+
+private:
+    Budget local_;
+    Budget* shared_;
+    std::string stage_;
+    Budget::StageScope local_scope_;
+    std::optional<Budget::StageScope> shared_scope_;
+};
+
+/// Partial-result carrier for budget-governed analyses: either a
+/// complete value, or an Exhaustion (optionally with a best-effort
+/// partial value — callers must check is_complete() before trusting it).
+template <class T>
+class Outcome {
+public:
+    [[nodiscard]] static Outcome complete(T value) {
+        Outcome o;
+        o.value_.emplace(std::move(value));
+        return o;
+    }
+    [[nodiscard]] static Outcome exhausted(Exhaustion why) {
+        Outcome o;
+        o.why_.emplace(std::move(why));
+        return o;
+    }
+    [[nodiscard]] static Outcome exhausted(Exhaustion why, T partial) {
+        Outcome o;
+        o.why_.emplace(std::move(why));
+        o.value_.emplace(std::move(partial));
+        return o;
+    }
+
+    [[nodiscard]] bool is_complete() const { return !why_.has_value(); }
+    /// True when a (complete or partial) value is available.
+    [[nodiscard]] bool has_value() const { return value_.has_value(); }
+
+    [[nodiscard]] const Exhaustion& why() const {
+        require(why_.has_value(), "Outcome::why on a complete outcome");
+        return *why_;
+    }
+    [[nodiscard]] T& value() {
+        require(value_.has_value(), "Outcome::value on a value-less outcome");
+        return *value_;
+    }
+    [[nodiscard]] const T& value() const {
+        require(value_.has_value(), "Outcome::value on a value-less outcome");
+        return *value_;
+    }
+
+    /// "complete" or the exhaustion description, for reports.
+    [[nodiscard]] std::string status() const {
+        return is_complete() ? std::string("complete") : why_->describe();
+    }
+
+private:
+    Outcome() = default;
+    std::optional<T> value_;
+    std::optional<Exhaustion> why_;
+};
+
+} // namespace si::util

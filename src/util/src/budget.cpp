@@ -1,0 +1,77 @@
+#include "si/util/budget.hpp"
+
+namespace si::util {
+
+const char* to_string(Resource r) {
+    switch (r) {
+        case Resource::WallClock: return "milliseconds";
+        case Resource::States: return "states";
+        case Resource::Steps: return "steps";
+        case Resource::Conflicts: return "conflicts";
+        case Resource::BddNodes: return "BDD nodes";
+        case Resource::Attempts: return "attempts";
+    }
+    return "?";
+}
+
+std::string Exhaustion::describe() const {
+    return "budget exhausted in stage '" + (stage.empty() ? std::string("<top>") : stage) +
+           "': " + std::to_string(consumed) + " of " + std::to_string(limit) + " " +
+           to_string(resource) + " consumed";
+}
+
+Budget& Budget::cap(Resource r, std::uint64_t limit) {
+    limits_[static_cast<std::size_t>(r)] = limit;
+    return *this;
+}
+
+Budget& Budget::deadline(std::chrono::milliseconds wall) {
+    armed_at_ = std::chrono::steady_clock::now();
+    deadline_ = armed_at_ + wall;
+    wall_ms_ = static_cast<std::uint64_t>(wall.count());
+    return *this;
+}
+
+std::string Budget::current_stage() const {
+    std::string out;
+    for (const auto& s : stages_) {
+        if (!out.empty()) out += '/';
+        out += s;
+    }
+    return out;
+}
+
+void Budget::trip(Resource r, std::uint64_t consumed, std::uint64_t limit) {
+    failure_ = Exhaustion{current_stage(), r, consumed, limit};
+}
+
+bool Budget::charge(Resource r, std::uint64_t amount) {
+    if (failure_) return false;
+    const auto i = static_cast<std::size_t>(r);
+    consumed_[i] += amount;
+    if (consumed_[i] > limits_[i]) {
+        trip(r, consumed_[i], limits_[i]);
+        return false;
+    }
+    // Poll the clock every 64 charges; a deadline is a coarse guard, not
+    // a precise timer, and steady_clock::now() is too expensive per step.
+    if (deadline_ && (++clock_skip_ & 63u) == 0) return checkpoint();
+    return true;
+}
+
+bool Budget::checkpoint() {
+    if (failure_) return false;
+    if (!deadline_) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= *deadline_) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - armed_at_).count();
+        consumed_[static_cast<std::size_t>(Resource::WallClock)] =
+            static_cast<std::uint64_t>(elapsed);
+        trip(Resource::WallClock, static_cast<std::uint64_t>(elapsed), wall_ms_);
+        return false;
+    }
+    return true;
+}
+
+} // namespace si::util

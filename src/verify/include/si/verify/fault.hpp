@@ -1,0 +1,181 @@
+// Gate-level fault injection against the speed-independence verifier.
+//
+// Two families of faults probe a synthesized netlist:
+//   * structural mutations — a literal polarity flip, a dropped literal,
+//     a swapped latch set/reset pair — permanent design errors the
+//     exhaustive verifier should reject;
+//   * dynamic faults — transient SEUs on state-holding gates, glitch
+//     pulses on combinational wires, and adversarial delay schedules —
+//     runtime perturbations injected into a concrete reachable state,
+//     each carrying a replayable witness trace from reset.
+// Campaigns are deterministic from a fixed seed and report the verifier
+// kill-rate per fault class; every survivor is listed with the witness
+// that reaches its injection point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "si/netlist/netlist.hpp"
+#include "si/sg/state_graph.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si::verify::fault {
+
+enum class FaultClass : unsigned char {
+    // Structural (permanent) mutations of the netlist.
+    LiteralFlip,   ///< invert one AND/OR fanin polarity
+    LiteralDrop,   ///< remove the last fanin of a multi-input AND/OR
+    LatchSwap,     ///< swap a C-element's / RS latch's two fanins
+    // Dynamic (transient) faults on the intact netlist.
+    DelaySchedule, ///< adversarial gate-delay interleaving (seeded walk)
+    Seu,           ///< single-event upset: flip a state-holding gate output
+    Glitch,        ///< transient pulse: flip a combinational gate output
+};
+inline constexpr std::size_t kNumFaultClasses = 6;
+
+[[nodiscard]] const char* to_string(FaultClass c);
+
+// ---------------------------------------------------------------------------
+// Structural mutations
+
+struct StructuralFault {
+    FaultClass cls = FaultClass::LiteralFlip;
+    GateId gate;           ///< mutated gate
+    std::size_t fanin = 0; ///< fanin index (LiteralFlip only)
+
+    /// "flip literal 2 of gate 'y0_up'", for reports.
+    [[nodiscard]] std::string describe(const net::Netlist& nl) const;
+};
+
+/// Every structural mutant of the netlist, in deterministic gate order:
+/// one LiteralFlip per AND/OR fanin, one LiteralDrop per multi-input
+/// AND/OR, one LatchSwap per C-element / RS latch.
+[[nodiscard]] std::vector<StructuralFault> enumerate_structural(const net::Netlist& nl);
+
+/// The mutated copy of `nl` (the input is never modified).
+[[nodiscard]] net::Netlist apply(const net::Netlist& nl, const StructuralFault& f);
+
+// ---------------------------------------------------------------------------
+// Dynamic faults
+
+struct DynamicOptions {
+    std::uint64_t seed = 1;
+    /// Injection points sampled per netlist and fault class.
+    std::size_t max_sites = 32;
+    /// Cap on the nominal exploration that discovers reachable states.
+    std::size_t max_states = 1u << 16;
+    /// Cap per post-injection verification.
+    std::size_t verify_max_states = 1u << 18;
+    util::Budget* budget = nullptr;
+};
+
+/// One injected dynamic fault and the verifier's verdict on it.
+struct Injection {
+    FaultClass cls = FaultClass::Seu;
+    std::string gate; ///< perturbed gate name
+    /// Actions from reset to the injection point, then the perturbation
+    /// token ("seu:<gate>" or "glitch:<gate>"), then — when killed — the
+    /// verifier's violating suffix. Replayable via replay_witness.
+    std::vector<std::string> witness;
+    bool killed = false; ///< the verifier flagged the perturbed behaviour
+    std::string detail;  ///< violation summary, or why it survived
+};
+
+/// Flips the output of a state-holding gate (C-element, RS latch, NOR)
+/// in sampled reachable states and verifies onward from the perturbed
+/// state. A killed injection is one whose downstream behaviour the
+/// verifier rejects; a survivor is an upset the circuit masks.
+[[nodiscard]] std::vector<Injection> inject_seu(const net::Netlist& nl,
+                                                const sg::StateGraph& spec,
+                                                const DynamicOptions& opts = {});
+
+/// As inject_seu, but pulses combinational outputs (AND/OR/NOT/Wire).
+[[nodiscard]] std::vector<Injection> inject_glitches(const net::Netlist& nl,
+                                                     const sg::StateGraph& spec,
+                                                     const DynamicOptions& opts = {});
+
+/// One adversarial delay schedule: a seeded random walk over the closed
+/// circuit, checking gate disabling, specification conformance and
+/// deadlock at every step — a sampled interleaving where the verifier is
+/// exhaustive. On a speed-independent netlist every walk is clean.
+struct ScheduleResult {
+    bool violation_found = false;
+    std::vector<std::string> trace; ///< actions from reset (ends at the violation)
+    std::string detail;             ///< violation description when found
+    std::size_t steps = 0;
+};
+[[nodiscard]] ScheduleResult adversarial_schedule(const net::Netlist& nl,
+                                                  const sg::StateGraph& spec,
+                                                  std::uint64_t seed,
+                                                  std::size_t max_steps = 2048);
+
+// ---------------------------------------------------------------------------
+// Witness replay
+
+/// Outcome of replaying a witness trace against a netlist + spec pair.
+struct ReplayResult {
+    bool valid = false;    ///< every token was executable in sequence
+    std::string error;     ///< first inexecutable token, when !valid
+    /// A replayed step exhibited the anomaly the witness reported:
+    /// a non-conformant firing, a disabled excited gate, or a deadlock
+    /// at the end of the trace.
+    bool anomaly = false;
+    std::string anomaly_detail;
+    BitVec final_values;
+    StateId final_spec;
+};
+
+/// Re-executes a witness from reset. "+g"/"-g" fire gate or input g
+/// (inputs must be spec-enabled; gates must be excited — except for the
+/// non-conformant final firing a violation witness ends with);
+/// "seu:g"/"glitch:g" flip g's output in place.
+[[nodiscard]] ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
+                                          std::span<const std::string> witness);
+
+// ---------------------------------------------------------------------------
+// Campaigns
+
+struct CampaignOptions {
+    std::uint64_t seed = 1;
+    bool structural = true; ///< run the structural mutation sweep
+    bool dynamic = true;    ///< run SEU / glitch / delay-schedule passes
+    DynamicOptions dynamic_opts;      ///< seed is derived from `seed`
+    std::size_t schedule_walks = 4;   ///< delay-schedule walks per mutant
+    std::size_t schedule_steps = 512; ///< steps per walk
+    VerifyOptions verify;             ///< for the structural mutants
+};
+
+struct ClassStats {
+    std::size_t injected = 0;
+    std::size_t killed = 0;
+};
+
+struct Survivor {
+    FaultClass cls = FaultClass::Seu;
+    std::string description;
+    std::vector<std::string> witness; ///< empty for structural survivors
+};
+
+struct CampaignReport {
+    /// Indexed by static_cast<std::size_t>(FaultClass).
+    std::array<ClassStats, kNumFaultClasses> per_class{};
+    std::vector<Survivor> survivors;
+
+    [[nodiscard]] std::size_t injected() const;
+    [[nodiscard]] std::size_t killed() const;
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the full deterministic campaign on one netlist/spec pair:
+/// every structural mutant through the exhaustive verifier (and under
+/// `schedule_walks` adversarial schedules — the DelaySchedule row counts
+/// how many killed mutants a sampled interleaving alone catches), plus
+/// seeded SEU and glitch injections on the intact netlist.
+[[nodiscard]] CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
+                                          const CampaignOptions& opts = {});
+
+} // namespace si::verify::fault

@@ -10,11 +10,13 @@
 // Section III) and every latched signal change conforms to the spec.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "si/netlist/netlist.hpp"
 #include "si/sg/state_graph.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::verify {
 
@@ -22,7 +24,7 @@ enum class ViolationKind {
     GateDisabled,     ///< an excited non-input gate lost its excitation: hazard
     NonConformant,    ///< a latched signal fired when the spec forbids it
     Deadlock,         ///< spec expects progress but nothing can fire
-    StateExplosion,   ///< exploration exceeded the configured bound
+    StateExplosion,   ///< exploration exhausted its budget: verdict unknown
 };
 
 struct Violation {
@@ -36,9 +38,18 @@ struct Violation {
 };
 
 struct VerifyOptions {
+    /// Cap on composite states (a module-local util::Resource::States
+    /// cap; the exploration also charges Steps per transition).
     std::size_t max_states = 1u << 22;
     /// Stop at the first violation (default) or keep exploring around it.
     bool stop_at_first = true;
+    /// Optional shared governance budget, charged alongside max_states.
+    util::Budget* budget = nullptr;
+    /// Start exploration from this composite state (gate output vector +
+    /// spec state) instead of the reset state — the fault-injection
+    /// engine resumes from perturbed states through this.
+    std::optional<BitVec> start_values;
+    std::optional<StateId> start_spec;
 };
 
 struct VerifyResult {
@@ -46,6 +57,14 @@ struct VerifyResult {
     std::vector<Violation> violations;
     std::size_t states_explored = 0;
     std::size_t transitions_explored = 0;
+    /// Set when the exploration ran out of budget: `ok` is then false
+    /// but the verdict is "unknown", not "hazardous" — only `complete()`
+    /// results prove anything.
+    std::optional<util::Exhaustion> exhaustion;
+
+    /// True when the whole composite space was explored (the verdict in
+    /// `ok` is definitive).
+    [[nodiscard]] bool complete() const { return !exhaustion.has_value(); }
 
     [[nodiscard]] std::string describe() const;
 };

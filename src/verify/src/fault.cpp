@@ -1,0 +1,461 @@
+#include "si/verify/fault.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <random>
+#include <unordered_map>
+
+#include "si/util/error.hpp"
+
+namespace si::verify::fault {
+
+const char* to_string(FaultClass c) {
+    switch (c) {
+    case FaultClass::LiteralFlip: return "literal-flip";
+    case FaultClass::LiteralDrop: return "literal-drop";
+    case FaultClass::LatchSwap: return "latch-swap";
+    case FaultClass::DelaySchedule: return "delay-schedule";
+    case FaultClass::Seu: return "seu";
+    case FaultClass::Glitch: return "glitch";
+    }
+    return "?";
+}
+
+std::string StructuralFault::describe(const net::Netlist& nl) const {
+    const std::string g = "gate '" + nl.gate(gate).name + "'";
+    switch (cls) {
+    case FaultClass::LiteralFlip:
+        return "flip polarity of literal " + std::to_string(fanin) + " of " + g;
+    case FaultClass::LiteralDrop: return "drop the last literal of " + g;
+    case FaultClass::LatchSwap: return "swap the set/reset fanins of " + g;
+    default: return std::string(to_string(cls)) + " on " + g;
+    }
+}
+
+std::vector<StructuralFault> enumerate_structural(const net::Netlist& nl) {
+    std::vector<StructuralFault> out;
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const auto& g = nl.gate(GateId(gi));
+        if (g.kind == net::GateKind::And || g.kind == net::GateKind::Or) {
+            for (std::size_t fi = 0; fi < g.fanins.size(); ++fi)
+                out.push_back({FaultClass::LiteralFlip, GateId(gi), fi});
+            if (g.fanins.size() > 1) out.push_back({FaultClass::LiteralDrop, GateId(gi), 0});
+        }
+        if (g.kind == net::GateKind::CElement || g.kind == net::GateKind::RsLatch)
+            out.push_back({FaultClass::LatchSwap, GateId(gi), 0});
+    }
+    return out;
+}
+
+net::Netlist apply(const net::Netlist& nl, const StructuralFault& f) {
+    net::Netlist mutant = nl;
+    auto& g = mutant.gate(f.gate);
+    switch (f.cls) {
+    case FaultClass::LiteralFlip:
+        require(f.fanin < g.fanins.size(), "literal-flip fanin out of range");
+        g.fanins[f.fanin].inverted = !g.fanins[f.fanin].inverted;
+        break;
+    case FaultClass::LiteralDrop:
+        require(g.fanins.size() > 1, "literal-drop needs a multi-input gate");
+        g.fanins.pop_back();
+        break;
+    case FaultClass::LatchSwap:
+        require(g.fanins.size() >= 2, "latch-swap needs two fanins");
+        std::swap(g.fanins[0], g.fanins[1]);
+        break;
+    default: throw SpecError("apply: not a structural fault class");
+    }
+    return mutant;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-circuit stepping shared by the nominal explorer, the adversarial
+// scheduler and the witness replayer. A move is either an environment
+// input transition the spec enables or the firing of an excited gate.
+
+namespace {
+
+struct Composite {
+    BitVec values;
+    StateId spec;
+
+    friend bool operator==(const Composite&, const Composite&) = default;
+};
+
+struct CompositeHash {
+    std::size_t operator()(const Composite& c) const noexcept {
+        return c.values.hash() * 1000003u ^ c.spec.raw();
+    }
+};
+
+struct Move {
+    GateId gate;        ///< fired gate (Input gates model environment moves)
+    std::string action; ///< "+name" / "-name"
+    Composite next;
+    bool conformant = true; ///< spec allows this latched-signal change
+};
+
+// All moves available in `c`, in deterministic gate order. Non-conformant
+// latched firings are included (flagged) so callers decide whether they
+// are a violation to report or a witness step to replay.
+std::vector<Move> enabled_moves(const net::Netlist& nl, const sg::StateGraph& spec,
+                                const Composite& c) {
+    std::vector<Move> out;
+    for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
+        const SignalId v{vi};
+        if (spec.signals()[v].kind != SignalKind::Input) continue;
+        const auto arc = spec.arc_on(c.spec, v);
+        if (arc == UINT32_MAX) continue;
+        const GateId in_gate = nl.gate_of_signal(v);
+        require(in_gate.is_valid(), "input signal without an Input gate");
+        if (c.values.test(in_gate.index()) != spec.value(c.spec, v))
+            continue; // input desynchronized (possible after an injection)
+        Composite next = c;
+        next.values.flip(in_gate.index());
+        next.spec = spec.arc(arc).to;
+        const std::string action =
+            (next.values.test(in_gate.index()) ? "+" : "-") + nl.gate(in_gate).name;
+        out.push_back({in_gate, action, std::move(next), true});
+    }
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+        const GateId gid{g};
+        const auto& gate = nl.gate(gid);
+        if (gate.kind == net::GateKind::Input) continue;
+        if (!nl.gate_excited(gid, c.values)) continue;
+        Composite next = c;
+        next.values.flip(g);
+        const bool new_value = next.values.test(g);
+        bool conformant = true;
+        if (gate.signal.is_valid() && is_non_input(spec.signals()[gate.signal].kind)) {
+            const auto arc = spec.arc_on(c.spec, gate.signal);
+            conformant =
+                arc != UINT32_MAX && spec.value(spec.arc(arc).to, gate.signal) == new_value;
+            if (conformant) next.spec = spec.arc(arc).to;
+        }
+        out.push_back({gid, (new_value ? "+" : "-") + gate.name, std::move(next), conformant});
+    }
+    return out;
+}
+
+// A non-input gate (other than `fired`) that was excited before the move
+// and is not after it — the pure-delay hazard.
+std::string disabled_gate(const net::Netlist& nl, const Composite& before,
+                          const Composite& after, GateId fired) {
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+        const GateId gid{g};
+        if (gid == fired) continue;
+        if (nl.gate(gid).kind == net::GateKind::Input) continue;
+        if (nl.gate_excited(gid, before.values) && !nl.gate_excited(gid, after.values))
+            return nl.gate(gid).name;
+    }
+    return {};
+}
+
+// Breadth-first nominal exploration recording one shortest action trace
+// per reachable composite state — the injection-site pool.
+struct NominalNode {
+    Composite state;
+    std::uint32_t parent;
+    std::string action;
+};
+
+std::vector<NominalNode> explore_nominal(const net::Netlist& nl, const sg::StateGraph& spec,
+                                         std::size_t max_states) {
+    std::vector<NominalNode> nodes;
+    std::unordered_map<Composite, std::uint32_t, CompositeHash> index;
+    const Composite init{nl.initial_values(), spec.initial()};
+    index.emplace(init, 0);
+    nodes.push_back({init, UINT32_MAX, ""});
+    std::deque<std::uint32_t> queue{0};
+    while (!queue.empty() && nodes.size() < max_states) {
+        const std::uint32_t cur = queue.front();
+        queue.pop_front();
+        const Composite c = nodes[cur].state; // copy: nodes may reallocate
+        for (auto& m : enabled_moves(nl, spec, c)) {
+            if (!m.conformant) continue; // nominal exploration stays in-spec
+            const auto [it, inserted] =
+                index.emplace(m.next, static_cast<std::uint32_t>(nodes.size()));
+            if (!inserted) continue;
+            nodes.push_back({std::move(m.next), cur, m.action});
+            queue.push_back(it->second);
+            if (nodes.size() >= max_states) break;
+        }
+    }
+    return nodes;
+}
+
+std::vector<std::string> trace_to(const std::vector<NominalNode>& nodes, std::uint32_t node) {
+    std::vector<std::string> out;
+    for (std::uint32_t n = node; n != UINT32_MAX; n = nodes[n].parent)
+        if (!nodes[n].action.empty()) out.push_back(nodes[n].action);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+// Shared engine for SEU and glitch passes: sample (state, gate) pairs
+// over the given gate-kind targets, flip the gate output there, and
+// verify onward from the perturbed composite state.
+std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph& spec,
+                                    const DynamicOptions& opts, FaultClass cls,
+                                    std::span<const net::GateKind> targets) {
+    const auto nodes = explore_nominal(nl, spec, opts.max_states);
+
+    std::vector<GateId> candidates;
+    for (std::size_t g = 0; g < nl.num_gates(); ++g)
+        for (const auto k : targets)
+            if (nl.gate(GateId(g)).kind == k) candidates.push_back(GateId(g));
+
+    std::vector<Injection> out;
+    if (candidates.empty() || nodes.empty()) return out;
+    std::mt19937_64 rng(opts.seed);
+    const char* token_prefix = cls == FaultClass::Seu ? "seu:" : "glitch:";
+    for (std::size_t site = 0; site < opts.max_sites; ++site) {
+        const auto& node = nodes[rng() % nodes.size()];
+        const GateId gid = candidates[rng() % candidates.size()];
+
+        Composite perturbed = node.state;
+        perturbed.values.flip(gid.index());
+
+        Injection inj;
+        inj.cls = cls;
+        inj.gate = nl.gate(gid).name;
+        inj.witness = trace_to(nodes, static_cast<std::uint32_t>(&node - nodes.data()));
+        inj.witness.push_back(token_prefix + inj.gate);
+
+        VerifyOptions vo;
+        vo.max_states = opts.verify_max_states;
+        vo.budget = opts.budget;
+        vo.start_values = perturbed.values;
+        vo.start_spec = perturbed.spec;
+        const VerifyResult res = verify_speed_independence(nl, spec, vo);
+
+        // A definitive violation (not a budget trip) kills the injection.
+        const Violation* hit = nullptr;
+        for (const auto& v : res.violations)
+            if (v.kind != ViolationKind::StateExplosion) hit = hit ? hit : &v;
+        if (hit != nullptr) {
+            inj.killed = true;
+            inj.detail = hit->message;
+            inj.witness.insert(inj.witness.end(), hit->trace.begin(), hit->trace.end());
+        } else {
+            inj.detail = res.complete() ? "absorbed: all downstream behaviour conforms"
+                                        : "undetected within budget: " +
+                                              res.exhaustion->describe();
+        }
+        out.push_back(std::move(inj));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Injection> inject_seu(const net::Netlist& nl, const sg::StateGraph& spec,
+                                  const DynamicOptions& opts) {
+    const net::GateKind targets[] = {net::GateKind::CElement, net::GateKind::RsLatch,
+                                     net::GateKind::Nor};
+    return inject_flips(nl, spec, opts, FaultClass::Seu, targets);
+}
+
+std::vector<Injection> inject_glitches(const net::Netlist& nl, const sg::StateGraph& spec,
+                                       const DynamicOptions& opts) {
+    const net::GateKind targets[] = {net::GateKind::And, net::GateKind::Or, net::GateKind::Not,
+                                     net::GateKind::Wire};
+    return inject_flips(nl, spec, opts, FaultClass::Glitch, targets);
+}
+
+ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph& spec,
+                                    std::uint64_t seed, std::size_t max_steps) {
+    ScheduleResult out;
+    std::mt19937_64 rng(seed);
+    Composite c{nl.initial_values(), spec.initial()};
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        auto moves = enabled_moves(nl, spec, c);
+        if (moves.empty()) {
+            if (!spec.state(c.spec).out.empty()) {
+                out.violation_found = true;
+                out.detail = "deadlock: no gate or input can fire but the spec expects "
+                             "progress at " +
+                             spec.state_label(c.spec);
+            }
+            return out;
+        }
+        auto& m = moves[rng() % moves.size()];
+        out.trace.push_back(m.action);
+        ++out.steps;
+        if (!m.conformant) {
+            out.violation_found = true;
+            out.detail = "signal '" + nl.gate(m.gate).name +
+                         "' fired against the specification at " + spec.state_label(c.spec);
+            return out;
+        }
+        const GateId fired = nl.gate(m.gate).kind == net::GateKind::Input
+                                 ? GateId::invalid()
+                                 : m.gate;
+        if (const auto g = disabled_gate(nl, c, m.next, fired); !g.empty()) {
+            out.violation_found = true;
+            out.detail = "gate '" + g + "' disabled while excited by " + m.action;
+            return out;
+        }
+        c = std::move(m.next);
+    }
+    return out;
+}
+
+ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
+                            std::span<const std::string> witness) {
+    ReplayResult out;
+    Composite c{nl.initial_values(), spec.initial()};
+    for (const auto& token : witness) {
+        if (token.rfind("seu:", 0) == 0 || token.rfind("glitch:", 0) == 0) {
+            const std::string name = token.substr(token.find(':') + 1);
+            GateId gid = GateId::invalid();
+            for (std::size_t g = 0; g < nl.num_gates(); ++g)
+                if (nl.gate(GateId(g)).name == name) gid = GateId(g);
+            if (!gid.is_valid()) {
+                out.error = "unknown gate in token '" + token + "'";
+                return out;
+            }
+            c.values.flip(gid.index());
+            continue;
+        }
+        if (token.size() < 2 || (token[0] != '+' && token[0] != '-')) {
+            out.error = "malformed action token '" + token + "'";
+            return out;
+        }
+        auto moves = enabled_moves(nl, spec, c);
+        const Move* chosen = nullptr;
+        for (const auto& m : moves)
+            if (m.action == token) chosen = &m;
+        if (chosen == nullptr) {
+            out.error = "action '" + token + "' is not executable here";
+            return out;
+        }
+        if (!chosen->conformant) {
+            out.anomaly = true;
+            out.anomaly_detail = "non-conformant firing " + token;
+        }
+        const GateId fired = nl.gate(chosen->gate).kind == net::GateKind::Input
+                                 ? GateId::invalid()
+                                 : chosen->gate;
+        if (const auto g = disabled_gate(nl, c, chosen->next, fired); !g.empty()) {
+            out.anomaly = true;
+            out.anomaly_detail = "gate '" + g + "' disabled while excited by " + token;
+        }
+        c = chosen->next;
+    }
+    if (!out.anomaly && enabled_moves(nl, spec, c).empty() && !spec.state(c.spec).out.empty()) {
+        out.anomaly = true;
+        out.anomaly_detail = "deadlock at the end of the trace";
+    }
+    out.valid = true;
+    out.final_values = std::move(c.values);
+    out.final_spec = c.spec;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+
+std::size_t CampaignReport::injected() const {
+    std::size_t n = 0;
+    for (const auto& s : per_class) n += s.injected;
+    return n;
+}
+
+std::size_t CampaignReport::killed() const {
+    std::size_t n = 0;
+    for (const auto& s : per_class) n += s.killed;
+    return n;
+}
+
+std::string CampaignReport::describe() const {
+    std::string out;
+    for (std::size_t i = 0; i < kNumFaultClasses; ++i) {
+        const auto& s = per_class[i];
+        if (s.injected == 0) continue;
+        out += std::string(to_string(static_cast<FaultClass>(i))) + ": " +
+               std::to_string(s.killed) + "/" + std::to_string(s.injected) + " killed\n";
+    }
+    out += "survivors: " + std::to_string(survivors.size());
+    return out;
+}
+
+CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
+                            const CampaignOptions& opts) {
+    CampaignReport report;
+    auto& stats = report.per_class;
+    const auto idx = [](FaultClass c) { return static_cast<std::size_t>(c); };
+
+    if (opts.structural) {
+        std::mt19937_64 walk_seed(opts.seed * 0x9e3779b97f4a7c15ull + 1);
+        for (const auto& f : enumerate_structural(nl)) {
+            auto& s = stats[idx(f.cls)];
+            ++s.injected;
+            bool killed;
+            std::vector<std::string> witness;
+            try {
+                const auto mutant = apply(nl, f);
+                const auto res = verify_speed_independence(mutant, spec, opts.verify);
+                bool refuted = false;
+                for (const auto& v : res.violations)
+                    refuted = refuted || v.kind != ViolationKind::StateExplosion;
+                killed = refuted;
+                if (killed && !res.violations.empty()) witness = res.violations.front().trace;
+
+                // How many of these permanent faults does a *sampled*
+                // interleaving catch without exhaustive search?
+                if (killed && opts.schedule_walks != 0) {
+                    auto& ds = stats[idx(FaultClass::DelaySchedule)];
+                    ++ds.injected;
+                    for (std::size_t w = 0; w < opts.schedule_walks; ++w) {
+                        try {
+                            if (adversarial_schedule(mutant, spec, walk_seed(),
+                                                     opts.schedule_steps)
+                                    .violation_found) {
+                                ++ds.killed;
+                                break;
+                            }
+                        } catch (const Error&) {
+                            ++ds.killed; // walk tripped a structural break
+                            break;
+                        }
+                    }
+                }
+            } catch (const Error&) {
+                killed = true; // structurally broken counts as caught
+            }
+            if (killed) {
+                ++s.killed;
+            } else {
+                report.survivors.push_back(
+                    {f.cls, f.describe(nl), std::move(witness)});
+            }
+        }
+    }
+
+    if (opts.dynamic) {
+        DynamicOptions dyn = opts.dynamic_opts;
+        dyn.seed = opts.seed * 0x9e3779b97f4a7c15ull + 2;
+        auto absorb = [&](std::vector<Injection>&& injections) {
+            for (auto& inj : injections) {
+                auto& s = stats[idx(inj.cls)];
+                ++s.injected;
+                if (inj.killed) {
+                    ++s.killed;
+                } else {
+                    report.survivors.push_back({inj.cls,
+                                                std::string(to_string(inj.cls)) + " on '" +
+                                                    inj.gate + "': " + inj.detail,
+                                                std::move(inj.witness)});
+                }
+            }
+        };
+        absorb(inject_seu(nl, spec, dyn));
+        dyn.seed = opts.seed * 0x9e3779b97f4a7c15ull + 3;
+        absorb(inject_glitches(nl, spec, dyn));
+    }
+
+    return report;
+}
+
+} // namespace si::verify::fault

@@ -18,9 +18,16 @@ std::string Violation::describe() const {
 }
 
 std::string VerifyResult::describe() const {
-    std::string out = ok ? "speed-independent" : "NOT speed-independent";
+    // A concrete violation refutes SI even on a partial exploration; an
+    // exhausted exploration with no violation proves nothing either way.
+    bool refuted = false;
+    for (const auto& v : violations) refuted = refuted || v.kind != ViolationKind::StateExplosion;
+    std::string out = ok        ? "speed-independent"
+                      : refuted ? "NOT speed-independent"
+                                : "UNKNOWN (budget exhausted)";
     out += " (" + std::to_string(states_explored) + " composite states, " +
            std::to_string(transitions_explored) + " transitions)";
+    if (exhaustion) out += "\n" + exhaustion->describe();
     for (const auto& v : violations) out += "\n" + v.describe();
     return out;
 }
@@ -43,12 +50,17 @@ struct CompositeHash {
 class Verifier {
 public:
     Verifier(const net::Netlist& nl, const sg::StateGraph& spec, const VerifyOptions& opts)
-        : nl_(nl), spec_(spec), opts_(opts) {}
+        : nl_(nl), spec_(spec), opts_(opts), meter_("verify.explore", opts.budget) {
+        meter_.local().cap(util::Resource::States, opts.max_states);
+    }
 
     VerifyResult run() {
-        const Composite init{nl_.initial_values(), spec_.initial()};
+        const Composite init{opts_.start_values ? *opts_.start_values : nl_.initial_values(),
+                             opts_.start_spec ? *opts_.start_spec : spec_.initial()};
+        require(init.values.size() == nl_.num_gates(), "start_values width != gate count");
         index_.emplace(init, 0);
         nodes_.push_back(Node{init, UINT32_MAX, ""});
+        (void)meter_.charge(util::Resource::States);
         std::deque<std::uint32_t> queue{0};
 
         while (!queue.empty()) {
@@ -56,10 +68,11 @@ public:
             const std::uint32_t cur = queue.front();
             queue.pop_front();
             expand(cur, queue);
-            if (index_.size() > opts_.max_states) {
+            if (meter_.exhausted()) {
                 add_violation(ViolationKind::StateExplosion, cur,
-                              "exploration exceeded " + std::to_string(opts_.max_states) +
-                                  " composite states");
+                              "exploration stopped early, verdict unknown: " +
+                                  meter_.why().describe());
+                result_.exhaustion = meter_.why();
                 break;
             }
         }
@@ -113,10 +126,16 @@ private:
 
     void take_step(std::uint32_t cur, Composite next, GateId fired, const std::string& action,
                    std::deque<std::uint32_t>& queue) {
+        if (meter_.exhausted()) return; // stop materializing states once tripped
         ++result_.transitions_explored;
+        (void)meter_.charge(util::Resource::Steps);
         check_disabling(cur, nodes_[cur].state, next, fired, action);
         const auto [it, inserted] = index_.emplace(next, static_cast<std::uint32_t>(nodes_.size()));
         if (inserted) {
+            if (!meter_.charge(util::Resource::States)) {
+                index_.erase(it);
+                return;
+            }
             nodes_.push_back(Node{std::move(next), cur, action});
             queue.push_back(it->second);
         }
@@ -188,6 +207,7 @@ private:
     const net::Netlist& nl_;
     const sg::StateGraph& spec_;
     const VerifyOptions& opts_;
+    util::Meter meter_;
     std::unordered_map<Composite, std::uint32_t, CompositeHash> index_;
     std::vector<Node> nodes_;
     VerifyResult result_;

@@ -1,0 +1,227 @@
+// Fault-injection engine tests: the structural enumerator and mutator,
+// deterministic campaigns, adversarial delay schedules, and witness
+// replay — every witness the engine emits must re-execute from reset.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/verify/fault.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+using verify::fault::FaultClass;
+
+// One synthesized benchmark, built once: small enough for fast tests but
+// with C-elements, latch networks and killable mutants (6 of 9).
+const synth::SynthesisResult& delement() {
+    static const synth::SynthesisResult res = [] {
+        for (const auto& entry : bench::table1_suite()) {
+            if (std::string(entry.name) == "Delement")
+                return synth::synthesize(sg::build_state_graph(bench::load(entry)));
+        }
+        throw SpecError("Delement missing from the Table-1 suite");
+    }();
+    return res;
+}
+
+TEST(FaultEnumerator, MatchesManualRecount) {
+    const auto& nl = delement().netlist;
+    std::size_t expected = 0;
+    for (const auto& g : nl.gates()) {
+        if (g.kind == net::GateKind::And || g.kind == net::GateKind::Or) {
+            expected += g.fanins.size();            // one flip per literal
+            if (g.fanins.size() > 1) ++expected;    // one drop per multi-input gate
+        }
+        if (g.kind == net::GateKind::CElement || g.kind == net::GateKind::RsLatch)
+            ++expected;                             // one set/reset swap
+    }
+    const auto faults = verify::fault::enumerate_structural(nl);
+    EXPECT_EQ(faults.size(), expected);
+    EXPECT_GT(faults.size(), 0u);
+
+    // Deterministic order: a second enumeration is identical.
+    const auto again = verify::fault::enumerate_structural(nl);
+    ASSERT_EQ(again.size(), faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_EQ(again[i].cls, faults[i].cls);
+        EXPECT_EQ(again[i].gate, faults[i].gate);
+        EXPECT_EQ(again[i].fanin, faults[i].fanin);
+    }
+}
+
+TEST(FaultEnumerator, ApplyMutatesExactlyTheNamedSite) {
+    const auto& nl = delement().netlist;
+    for (const auto& f : verify::fault::enumerate_structural(nl)) {
+        const auto mutant = verify::fault::apply(nl, f);
+        ASSERT_EQ(mutant.num_gates(), nl.num_gates());
+        const auto& before = nl.gate(f.gate);
+        const auto& after = mutant.gate(f.gate);
+        switch (f.cls) {
+        case FaultClass::LiteralFlip:
+            ASSERT_EQ(after.fanins.size(), before.fanins.size());
+            EXPECT_NE(after.fanins[f.fanin].inverted, before.fanins[f.fanin].inverted);
+            break;
+        case FaultClass::LiteralDrop:
+            EXPECT_EQ(after.fanins.size(), before.fanins.size() - 1);
+            break;
+        case FaultClass::LatchSwap:
+            ASSERT_GE(after.fanins.size(), 2u);
+            EXPECT_EQ(after.fanins[0].gate, before.fanins[1].gate);
+            EXPECT_EQ(after.fanins[1].gate, before.fanins[0].gate);
+            break;
+        default: FAIL() << "enumerate_structural produced a dynamic class";
+        }
+        // The input netlist is untouched.
+        EXPECT_EQ(nl.gate(f.gate).fanins.size(), before.fanins.size());
+    }
+}
+
+TEST(FaultCampaign, DeterministicFromSeed) {
+    const auto& res = delement();
+    verify::fault::CampaignOptions opts;
+    opts.seed = 42;
+    const auto a = verify::fault::run_campaign(res.netlist, res.graph, opts);
+    const auto b = verify::fault::run_campaign(res.netlist, res.graph, opts);
+    for (std::size_t i = 0; i < verify::fault::kNumFaultClasses; ++i) {
+        EXPECT_EQ(a.per_class[i].injected, b.per_class[i].injected);
+        EXPECT_EQ(a.per_class[i].killed, b.per_class[i].killed);
+    }
+    ASSERT_EQ(a.survivors.size(), b.survivors.size());
+    for (std::size_t i = 0; i < a.survivors.size(); ++i) {
+        EXPECT_EQ(a.survivors[i].cls, b.survivors[i].cls);
+        EXPECT_EQ(a.survivors[i].description, b.survivors[i].description);
+        EXPECT_EQ(a.survivors[i].witness, b.survivors[i].witness);
+    }
+    EXPECT_GT(a.injected(), 0u);
+    EXPECT_GT(a.killed(), 0u);
+    EXPECT_FALSE(a.describe().empty());
+}
+
+TEST(FaultCampaign, StructuralKillsMatchDirectVerification) {
+    // A mutant the campaign counts as killed is one the verifier refutes.
+    const auto& res = delement();
+    std::size_t killed = 0;
+    for (const auto& f : verify::fault::enumerate_structural(res.netlist)) {
+        const auto mutant = verify::fault::apply(res.netlist, f);
+        try {
+            const auto v = verify::verify_speed_independence(mutant, res.graph);
+            if (v.complete() && !v.ok) ++killed;
+        } catch (const Error&) {
+            ++killed; // structurally broken (cannot even initialize) counts as caught
+        }
+    }
+    verify::fault::CampaignOptions opts;
+    opts.dynamic = false;
+    const auto report = verify::fault::run_campaign(res.netlist, res.graph, opts);
+    std::size_t campaign_killed = 0;
+    for (const auto cls :
+         {FaultClass::LiteralFlip, FaultClass::LiteralDrop, FaultClass::LatchSwap})
+        campaign_killed += report.per_class[static_cast<std::size_t>(cls)].killed;
+    EXPECT_EQ(campaign_killed, killed);
+    EXPECT_EQ(killed, 6u); // Delement's stable kill count (see EXPERIMENTS.md)
+}
+
+TEST(FaultDynamic, AdversarialScheduleCleanOnNominalNetlist) {
+    // The synthesized netlist is verified speed-independent; no sampled
+    // interleaving may find a violation.
+    const auto& res = delement();
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const auto r = verify::fault::adversarial_schedule(res.netlist, res.graph, seed, 512);
+        EXPECT_FALSE(r.violation_found) << "seed " << seed << ": " << r.detail;
+        EXPECT_GT(r.steps, 0u);
+    }
+}
+
+TEST(FaultDynamic, WalksCatchAVerifierKilledMutant) {
+    const auto& res = delement();
+    for (const auto& f : verify::fault::enumerate_structural(res.netlist)) {
+        const auto mutant = verify::fault::apply(res.netlist, f);
+        bool buildable = true;
+        verify::VerifyResult v;
+        try {
+            v = verify::verify_speed_independence(mutant, res.graph);
+        } catch (const Error&) {
+            buildable = false; // mutation broke initialization — not walkable
+        }
+        if (!buildable || !v.complete() || v.ok) continue;
+        bool caught = false;
+        for (std::uint64_t seed = 0; seed < 16 && !caught; ++seed)
+            caught = verify::fault::adversarial_schedule(mutant, res.graph, seed, 512)
+                         .violation_found;
+        EXPECT_TRUE(caught) << "no walk caught: " << f.describe(res.netlist);
+        return; // one killed mutant suffices
+    }
+    FAIL() << "no verifier-killed mutant found";
+}
+
+TEST(FaultDynamic, SeuWitnessesReplay) {
+    const auto& res = delement();
+    verify::fault::DynamicOptions opts;
+    opts.seed = 7;
+    opts.max_sites = 16;
+    const auto injections = verify::fault::inject_seu(res.netlist, res.graph, opts);
+    ASSERT_FALSE(injections.empty());
+    for (const auto& inj : injections) {
+        ASSERT_FALSE(inj.witness.empty());
+        const auto r = verify::fault::replay_witness(res.netlist, res.graph, inj.witness);
+        EXPECT_TRUE(r.valid) << inj.detail << " -- replay error: " << r.error;
+    }
+}
+
+TEST(FaultDynamic, GlitchWitnessesReplay) {
+    const auto& res = delement();
+    verify::fault::DynamicOptions opts;
+    opts.seed = 7;
+    opts.max_sites = 16;
+    const auto injections = verify::fault::inject_glitches(res.netlist, res.graph, opts);
+    ASSERT_FALSE(injections.empty());
+    for (const auto& inj : injections) {
+        const auto r = verify::fault::replay_witness(res.netlist, res.graph, inj.witness);
+        EXPECT_TRUE(r.valid) << inj.detail << " -- replay error: " << r.error;
+    }
+}
+
+TEST(FaultDynamic, CampaignSurvivorWitnessesReplay) {
+    const auto& res = delement();
+    verify::fault::CampaignOptions opts;
+    opts.seed = 3;
+    const auto report = verify::fault::run_campaign(res.netlist, res.graph, opts);
+    for (const auto& s : report.survivors) {
+        if (s.witness.empty()) continue; // structural survivors carry no trace
+        const auto r = verify::fault::replay_witness(res.netlist, res.graph, s.witness);
+        EXPECT_TRUE(r.valid) << s.description << " -- replay error: " << r.error;
+    }
+}
+
+TEST(FaultReplay, RejectsGarbageTokens) {
+    const auto& res = delement();
+    const std::vector<std::string> bogus_gate{"+no_such_gate"};
+    auto r = verify::fault::replay_witness(res.netlist, res.graph, bogus_gate);
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.error.empty());
+
+    const std::vector<std::string> bogus_seu{"seu:no_such_gate"};
+    r = verify::fault::replay_witness(res.netlist, res.graph, bogus_seu);
+    EXPECT_FALSE(r.valid);
+
+    // A firing that is not even excited must be rejected, not executed.
+    const auto& first_output = [&]() -> const net::Gate& {
+        for (const auto& g : res.netlist.gates())
+            if (g.kind != net::GateKind::Input) return g;
+        throw SpecError("netlist without non-input gates");
+    }();
+    const std::vector<std::string> unexcited{
+        (first_output.initial_value ? "+" : "-") + first_output.name};
+    r = verify::fault::replay_witness(res.netlist, res.graph, unexcited);
+    EXPECT_FALSE(r.valid);
+}
+
+} // namespace
+} // namespace si

@@ -1,17 +1,28 @@
 // Robustness: the parsers must reject malformed input with a ParseError
 // or SpecError — never crash, never loop — across adversarial and
-// pseudo-random inputs; plus assorted edge-case coverage.
+// pseudo-random inputs; graceful degradation under tiny resource
+// budgets (Exhausted outcomes, never crashes or false verdicts); and
+// .g round-trip idempotence over the embedded benchmark STGs.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <optional>
 #include <random>
+#include <string>
 
 #include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/boolean/minimize.hpp"
 #include "si/mc/requirement.hpp"
 #include "si/netlist/parse_eqn.hpp"
+#include "si/sg/from_stg.hpp"
 #include "si/sg/read_sg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/stg/parse.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/budget.hpp"
 #include "si/util/error.hpp"
+#include "si/verify/verifier.hpp"
 
 namespace si {
 namespace {
@@ -113,6 +124,133 @@ TEST(Robustness, GParserRejectsBadTokenCounts) {
     EXPECT_THROW(
         (void)stg::read_g(".model x\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { p=-1 }\n.end\n"),
         Error);
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance: budgets trip accurately, stick, and surface as
+// Exhausted outcomes — never as crashes or definitive false verdicts.
+
+TEST(Budget, CapTripsAtTheLimitAndSticks) {
+    util::Budget b;
+    b.cap(util::Resource::States, 3);
+    EXPECT_TRUE(b.charge(util::Resource::States));
+    EXPECT_TRUE(b.charge(util::Resource::States));
+    EXPECT_TRUE(b.charge(util::Resource::States));
+    EXPECT_FALSE(b.charge(util::Resource::States)); // 4th exceeds the cap
+    ASSERT_TRUE(b.exhausted());
+    const auto& why = *b.failure();
+    EXPECT_EQ(why.resource, util::Resource::States);
+    EXPECT_EQ(why.consumed, 4u);
+    EXPECT_EQ(why.limit, 3u);
+    // Sticky: every later charge fails, whatever the resource.
+    EXPECT_FALSE(b.charge(util::Resource::Steps));
+    EXPECT_FALSE(b.checkpoint());
+}
+
+TEST(Budget, DeadlineTripsAtACheckpoint) {
+    util::Budget b;
+    b.deadline(std::chrono::milliseconds(0));
+    EXPECT_FALSE(b.checkpoint());
+    ASSERT_TRUE(b.exhausted());
+    EXPECT_EQ(b.failure()->resource, util::Resource::WallClock);
+}
+
+TEST(Budget, StageScopesNameTheTripSite) {
+    util::Budget b;
+    b.cap(util::Resource::Steps, 0);
+    {
+        const auto outer = b.stage("outer");
+        const auto inner = b.stage("inner");
+        EXPECT_EQ(b.current_stage(), "outer/inner");
+        EXPECT_FALSE(b.charge(util::Resource::Steps));
+    }
+    ASSERT_TRUE(b.exhausted());
+    EXPECT_EQ(b.failure()->stage, "outer/inner");
+    // The recorded stage survives scope exit.
+    EXPECT_EQ(b.current_stage(), "");
+    EXPECT_EQ(b.failure()->stage, "outer/inner");
+}
+
+TEST(Governance, FromStgExhaustsGracefully) {
+    const auto stg = bench::load(bench::table1_suite().front());
+    util::Budget b;
+    b.cap(util::Resource::States, 2);
+    sg::FromStgOptions opts;
+    opts.budget = &b;
+    const auto outcome = sg::build_state_graph_outcome(stg, opts);
+    ASSERT_FALSE(outcome.is_complete());
+    EXPECT_EQ(outcome.why().resource, util::Resource::States);
+    EXPECT_NE(outcome.why().stage.find("sg.explore"), std::string::npos);
+    EXPECT_GE(outcome.why().consumed, outcome.why().limit);
+}
+
+TEST(Governance, VerifierReportsUnknownNotHazardous) {
+    static const auto res = synth::synthesize(bench::figure1());
+    util::Budget b;
+    b.cap(util::Resource::States, 2);
+    verify::VerifyOptions vo;
+    vo.budget = &b;
+    const auto r = verify::verify_speed_independence(res.netlist, res.graph, vo);
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.complete());
+    EXPECT_NE(r.exhaustion->stage.find("verify.explore"), std::string::npos);
+    EXPECT_NE(r.describe().find("UNKNOWN"), std::string::npos);
+}
+
+TEST(Governance, SynthesizeOutcomeExhaustsWithoutThrowing) {
+    // Acceptance check: a tiny budget on the duplicator yields Exhausted
+    // naming the stage and resource — no exception, no bogus result.
+    std::optional<stg::Stg> duplicator;
+    for (const auto& entry : bench::table1_suite())
+        if (std::string(entry.name) == "duplicator") duplicator.emplace(bench::load(entry));
+    ASSERT_TRUE(duplicator.has_value());
+    const auto graph = sg::build_state_graph(*duplicator);
+
+    util::Budget b;
+    b.cap(util::Resource::Steps, 1);
+    const auto outcome = synth::synthesize_outcome(graph, {}, &b);
+    ASSERT_FALSE(outcome.is_complete());
+    EXPECT_NE(outcome.why().stage.find("synth"), std::string::npos);
+    EXPECT_EQ(outcome.why().resource, util::Resource::Steps);
+    EXPECT_GT(outcome.why().consumed, 0u);
+    // The legacy wrapper converts the same exhaustion (here via the
+    // module-local search-node cap) into a SynthesisError.
+    synth::SynthOptions so;
+    so.max_search_nodes = 1;
+    EXPECT_THROW((void)synth::synthesize(graph, so), Error);
+}
+
+TEST(Governance, MinimizeDegradesToAValidCover) {
+    Cover f(2);
+    f.add(Cube::from_string("00"));
+    f.add(Cube::from_string("10"));
+    util::Budget b;
+    b.cap(util::Resource::Steps, 0); // exhausted on the first sweep
+    MinimizeOptions opts;
+    opts.budget = &b;
+    const Cover g = minimize(f, Cover(2), opts);
+    EXPECT_TRUE(g.covers(f)); // still a cover of the onset...
+    EXPECT_FALSE(g.covers_cube(Cube::from_string("01"))); // ...and no offset point
+    EXPECT_FALSE(g.covers_cube(Cube::from_string("11")));
+    EXPECT_TRUE(b.exhausted());
+}
+
+// ---------------------------------------------------------------------------
+// .g round-trips: write_g(read_g(text)) is a fixed point, and the
+// reparsed net generates the same state graph.
+
+TEST(RoundTrip, GWriterIsIdempotentOnTable1) {
+    for (const auto& entry : bench::table1_suite()) {
+        const auto s1 = stg::read_g(entry.g_text);
+        const auto t1 = stg::write_g(s1);
+        const auto s2 = stg::read_g(t1);
+        const auto t2 = stg::write_g(s2);
+        EXPECT_EQ(t1, t2) << entry.name << ": write_g not idempotent";
+        const auto g1 = sg::build_state_graph(s1);
+        const auto g2 = sg::build_state_graph(s2);
+        EXPECT_EQ(g1.num_states(), g2.num_states()) << entry.name;
+        EXPECT_EQ(g1.num_arcs(), g2.num_arcs()) << entry.name;
+    }
 }
 
 } // namespace
