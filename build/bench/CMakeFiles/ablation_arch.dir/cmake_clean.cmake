@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arch.dir/ablation_arch.cpp.o"
+  "CMakeFiles/ablation_arch.dir/ablation_arch.cpp.o.d"
+  "ablation_arch"
+  "ablation_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

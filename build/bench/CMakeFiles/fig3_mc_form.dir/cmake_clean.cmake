@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mc_form.dir/fig3_mc_form.cpp.o"
+  "CMakeFiles/fig3_mc_form.dir/fig3_mc_form.cpp.o.d"
+  "fig3_mc_form"
+  "fig3_mc_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mc_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

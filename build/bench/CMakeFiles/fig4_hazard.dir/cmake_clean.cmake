@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hazard.dir/fig4_hazard.cpp.o"
+  "CMakeFiles/fig4_hazard.dir/fig4_hazard.cpp.o.d"
+  "fig4_hazard"
+  "fig4_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mc_reduction.dir/table1_mc_reduction.cpp.o"
+  "CMakeFiles/table1_mc_reduction.dir/table1_mc_reduction.cpp.o.d"
+  "table1_mc_reduction"
+  "table1_mc_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mc_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

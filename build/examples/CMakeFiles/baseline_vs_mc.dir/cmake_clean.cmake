@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_vs_mc.dir/baseline_vs_mc.cpp.o"
+  "CMakeFiles/baseline_vs_mc.dir/baseline_vs_mc.cpp.o.d"
+  "baseline_vs_mc"
+  "baseline_vs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_vs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

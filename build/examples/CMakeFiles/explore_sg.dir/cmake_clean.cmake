@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_sg.dir/explore_sg.cpp.o"
+  "CMakeFiles/explore_sg.dir/explore_sg.cpp.o.d"
+  "explore_sg"
+  "explore_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

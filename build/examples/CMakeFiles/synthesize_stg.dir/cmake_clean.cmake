@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_stg.dir/synthesize_stg.cpp.o"
+  "CMakeFiles/synthesize_stg.dir/synthesize_stg.cpp.o.d"
+  "synthesize_stg"
+  "synthesize_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

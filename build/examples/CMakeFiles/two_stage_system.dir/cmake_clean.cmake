@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stage_system.dir/two_stage_system.cpp.o"
+  "CMakeFiles/two_stage_system.dir/two_stage_system.cpp.o.d"
+  "two_stage_system"
+  "two_stage_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stage_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_netlist.dir/verify_netlist.cpp.o"
+  "CMakeFiles/verify_netlist.dir/verify_netlist.cpp.o.d"
+  "verify_netlist"
+  "verify_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

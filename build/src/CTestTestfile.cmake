@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("boolean")
+subdirs("bdd")
+subdirs("sat")
+subdirs("stg")
+subdirs("sg")
+subdirs("mc")
+subdirs("netlist")
+subdirs("verify")
+subdirs("synth")
+subdirs("bench_stgs")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/src/bdd.cpp" "src/bdd/CMakeFiles/si_bdd.dir/src/bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/si_bdd.dir/src/bdd.cpp.o.d"
+  "/root/repo/src/bdd/src/symbolic.cpp" "src/bdd/CMakeFiles/si_bdd.dir/src/symbolic.cpp.o" "gcc" "src/bdd/CMakeFiles/si_bdd.dir/src/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

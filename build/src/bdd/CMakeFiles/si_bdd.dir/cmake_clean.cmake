@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_bdd.dir/src/bdd.cpp.o"
+  "CMakeFiles/si_bdd.dir/src/bdd.cpp.o.d"
+  "CMakeFiles/si_bdd.dir/src/symbolic.cpp.o"
+  "CMakeFiles/si_bdd.dir/src/symbolic.cpp.o.d"
+  "libsi_bdd.a"
+  "libsi_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

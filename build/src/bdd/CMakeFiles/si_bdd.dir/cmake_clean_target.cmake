@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsi_bdd.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_stgs/src/components.cpp" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/components.cpp.o" "gcc" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/components.cpp.o.d"
+  "/root/repo/src/bench_stgs/src/figures.cpp" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/figures.cpp.o" "gcc" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/figures.cpp.o.d"
+  "/root/repo/src/bench_stgs/src/generators.cpp" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/generators.cpp.o" "gcc" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/generators.cpp.o.d"
+  "/root/repo/src/bench_stgs/src/table1.cpp" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/table1.cpp.o" "gcc" "src/bench_stgs/CMakeFiles/si_bench_stgs.dir/src/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

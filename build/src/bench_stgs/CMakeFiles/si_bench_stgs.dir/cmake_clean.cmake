@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_bench_stgs.dir/src/components.cpp.o"
+  "CMakeFiles/si_bench_stgs.dir/src/components.cpp.o.d"
+  "CMakeFiles/si_bench_stgs.dir/src/figures.cpp.o"
+  "CMakeFiles/si_bench_stgs.dir/src/figures.cpp.o.d"
+  "CMakeFiles/si_bench_stgs.dir/src/generators.cpp.o"
+  "CMakeFiles/si_bench_stgs.dir/src/generators.cpp.o.d"
+  "CMakeFiles/si_bench_stgs.dir/src/table1.cpp.o"
+  "CMakeFiles/si_bench_stgs.dir/src/table1.cpp.o.d"
+  "libsi_bench_stgs.a"
+  "libsi_bench_stgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_bench_stgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for si_bench_stgs.
+# This may be replaced when dependencies are built.

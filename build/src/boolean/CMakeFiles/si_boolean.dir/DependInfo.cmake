@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolean/src/cover.cpp" "src/boolean/CMakeFiles/si_boolean.dir/src/cover.cpp.o" "gcc" "src/boolean/CMakeFiles/si_boolean.dir/src/cover.cpp.o.d"
+  "/root/repo/src/boolean/src/cube.cpp" "src/boolean/CMakeFiles/si_boolean.dir/src/cube.cpp.o" "gcc" "src/boolean/CMakeFiles/si_boolean.dir/src/cube.cpp.o.d"
+  "/root/repo/src/boolean/src/minimize.cpp" "src/boolean/CMakeFiles/si_boolean.dir/src/minimize.cpp.o" "gcc" "src/boolean/CMakeFiles/si_boolean.dir/src/minimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_boolean.dir/src/cover.cpp.o"
+  "CMakeFiles/si_boolean.dir/src/cover.cpp.o.d"
+  "CMakeFiles/si_boolean.dir/src/cube.cpp.o"
+  "CMakeFiles/si_boolean.dir/src/cube.cpp.o.d"
+  "CMakeFiles/si_boolean.dir/src/minimize.cpp.o"
+  "CMakeFiles/si_boolean.dir/src/minimize.cpp.o.d"
+  "libsi_boolean.a"
+  "libsi_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

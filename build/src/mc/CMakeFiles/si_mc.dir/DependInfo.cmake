@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/src/certificate.cpp" "src/mc/CMakeFiles/si_mc.dir/src/certificate.cpp.o" "gcc" "src/mc/CMakeFiles/si_mc.dir/src/certificate.cpp.o.d"
+  "/root/repo/src/mc/src/cover_cube.cpp" "src/mc/CMakeFiles/si_mc.dir/src/cover_cube.cpp.o" "gcc" "src/mc/CMakeFiles/si_mc.dir/src/cover_cube.cpp.o.d"
+  "/root/repo/src/mc/src/monotonous.cpp" "src/mc/CMakeFiles/si_mc.dir/src/monotonous.cpp.o" "gcc" "src/mc/CMakeFiles/si_mc.dir/src/monotonous.cpp.o.d"
+  "/root/repo/src/mc/src/requirement.cpp" "src/mc/CMakeFiles/si_mc.dir/src/requirement.cpp.o" "gcc" "src/mc/CMakeFiles/si_mc.dir/src/requirement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/si_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_mc.dir/src/certificate.cpp.o"
+  "CMakeFiles/si_mc.dir/src/certificate.cpp.o.d"
+  "CMakeFiles/si_mc.dir/src/cover_cube.cpp.o"
+  "CMakeFiles/si_mc.dir/src/cover_cube.cpp.o.d"
+  "CMakeFiles/si_mc.dir/src/monotonous.cpp.o"
+  "CMakeFiles/si_mc.dir/src/monotonous.cpp.o.d"
+  "CMakeFiles/si_mc.dir/src/requirement.cpp.o"
+  "CMakeFiles/si_mc.dir/src/requirement.cpp.o.d"
+  "libsi_mc.a"
+  "libsi_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

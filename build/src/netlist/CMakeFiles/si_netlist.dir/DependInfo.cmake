@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/src/builder.cpp" "src/netlist/CMakeFiles/si_netlist.dir/src/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/si_netlist.dir/src/builder.cpp.o.d"
+  "/root/repo/src/netlist/src/netlist.cpp" "src/netlist/CMakeFiles/si_netlist.dir/src/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/si_netlist.dir/src/netlist.cpp.o.d"
+  "/root/repo/src/netlist/src/parse_eqn.cpp" "src/netlist/CMakeFiles/si_netlist.dir/src/parse_eqn.cpp.o" "gcc" "src/netlist/CMakeFiles/si_netlist.dir/src/parse_eqn.cpp.o.d"
+  "/root/repo/src/netlist/src/print.cpp" "src/netlist/CMakeFiles/si_netlist.dir/src/print.cpp.o" "gcc" "src/netlist/CMakeFiles/si_netlist.dir/src/print.cpp.o.d"
+  "/root/repo/src/netlist/src/transform.cpp" "src/netlist/CMakeFiles/si_netlist.dir/src/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/si_netlist.dir/src/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/si_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

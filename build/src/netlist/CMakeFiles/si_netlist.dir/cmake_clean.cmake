@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_netlist.dir/src/builder.cpp.o"
+  "CMakeFiles/si_netlist.dir/src/builder.cpp.o.d"
+  "CMakeFiles/si_netlist.dir/src/netlist.cpp.o"
+  "CMakeFiles/si_netlist.dir/src/netlist.cpp.o.d"
+  "CMakeFiles/si_netlist.dir/src/parse_eqn.cpp.o"
+  "CMakeFiles/si_netlist.dir/src/parse_eqn.cpp.o.d"
+  "CMakeFiles/si_netlist.dir/src/print.cpp.o"
+  "CMakeFiles/si_netlist.dir/src/print.cpp.o.d"
+  "CMakeFiles/si_netlist.dir/src/transform.cpp.o"
+  "CMakeFiles/si_netlist.dir/src/transform.cpp.o.d"
+  "libsi_netlist.a"
+  "libsi_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

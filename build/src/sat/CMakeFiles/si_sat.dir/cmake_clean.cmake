@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sat.dir/src/solver.cpp.o"
+  "CMakeFiles/si_sat.dir/src/solver.cpp.o.d"
+  "libsi_sat.a"
+  "libsi_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

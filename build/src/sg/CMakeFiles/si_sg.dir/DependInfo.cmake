@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sg/src/analysis.cpp" "src/sg/CMakeFiles/si_sg.dir/src/analysis.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/sg/src/dot.cpp" "src/sg/CMakeFiles/si_sg.dir/src/dot.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/dot.cpp.o.d"
+  "/root/repo/src/sg/src/from_stg.cpp" "src/sg/CMakeFiles/si_sg.dir/src/from_stg.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/from_stg.cpp.o.d"
+  "/root/repo/src/sg/src/minimize_sg.cpp" "src/sg/CMakeFiles/si_sg.dir/src/minimize_sg.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/minimize_sg.cpp.o.d"
+  "/root/repo/src/sg/src/net_synthesis.cpp" "src/sg/CMakeFiles/si_sg.dir/src/net_synthesis.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/net_synthesis.cpp.o.d"
+  "/root/repo/src/sg/src/projection.cpp" "src/sg/CMakeFiles/si_sg.dir/src/projection.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/projection.cpp.o.d"
+  "/root/repo/src/sg/src/read_sg.cpp" "src/sg/CMakeFiles/si_sg.dir/src/read_sg.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/read_sg.cpp.o.d"
+  "/root/repo/src/sg/src/regions.cpp" "src/sg/CMakeFiles/si_sg.dir/src/regions.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/regions.cpp.o.d"
+  "/root/repo/src/sg/src/state_graph.cpp" "src/sg/CMakeFiles/si_sg.dir/src/state_graph.cpp.o" "gcc" "src/sg/CMakeFiles/si_sg.dir/src/state_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sg.dir/src/analysis.cpp.o"
+  "CMakeFiles/si_sg.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/dot.cpp.o"
+  "CMakeFiles/si_sg.dir/src/dot.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/from_stg.cpp.o"
+  "CMakeFiles/si_sg.dir/src/from_stg.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/minimize_sg.cpp.o"
+  "CMakeFiles/si_sg.dir/src/minimize_sg.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/net_synthesis.cpp.o"
+  "CMakeFiles/si_sg.dir/src/net_synthesis.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/projection.cpp.o"
+  "CMakeFiles/si_sg.dir/src/projection.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/read_sg.cpp.o"
+  "CMakeFiles/si_sg.dir/src/read_sg.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/regions.cpp.o"
+  "CMakeFiles/si_sg.dir/src/regions.cpp.o.d"
+  "CMakeFiles/si_sg.dir/src/state_graph.cpp.o"
+  "CMakeFiles/si_sg.dir/src/state_graph.cpp.o.d"
+  "libsi_sg.a"
+  "libsi_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for si_sg.
+# This may be replaced when dependencies are built.

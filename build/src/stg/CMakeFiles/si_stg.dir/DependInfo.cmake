@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stg/src/compose.cpp" "src/stg/CMakeFiles/si_stg.dir/src/compose.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/compose.cpp.o.d"
+  "/root/repo/src/stg/src/dot.cpp" "src/stg/CMakeFiles/si_stg.dir/src/dot.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/dot.cpp.o.d"
+  "/root/repo/src/stg/src/parse.cpp" "src/stg/CMakeFiles/si_stg.dir/src/parse.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/parse.cpp.o.d"
+  "/root/repo/src/stg/src/signals.cpp" "src/stg/CMakeFiles/si_stg.dir/src/signals.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/signals.cpp.o.d"
+  "/root/repo/src/stg/src/stg.cpp" "src/stg/CMakeFiles/si_stg.dir/src/stg.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/stg.cpp.o.d"
+  "/root/repo/src/stg/src/structure.cpp" "src/stg/CMakeFiles/si_stg.dir/src/structure.cpp.o" "gcc" "src/stg/CMakeFiles/si_stg.dir/src/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

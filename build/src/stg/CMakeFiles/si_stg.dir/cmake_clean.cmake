@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_stg.dir/src/compose.cpp.o"
+  "CMakeFiles/si_stg.dir/src/compose.cpp.o.d"
+  "CMakeFiles/si_stg.dir/src/dot.cpp.o"
+  "CMakeFiles/si_stg.dir/src/dot.cpp.o.d"
+  "CMakeFiles/si_stg.dir/src/parse.cpp.o"
+  "CMakeFiles/si_stg.dir/src/parse.cpp.o.d"
+  "CMakeFiles/si_stg.dir/src/signals.cpp.o"
+  "CMakeFiles/si_stg.dir/src/signals.cpp.o.d"
+  "CMakeFiles/si_stg.dir/src/stg.cpp.o"
+  "CMakeFiles/si_stg.dir/src/stg.cpp.o.d"
+  "CMakeFiles/si_stg.dir/src/structure.cpp.o"
+  "CMakeFiles/si_stg.dir/src/structure.cpp.o.d"
+  "libsi_stg.a"
+  "libsi_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/src/baseline.cpp" "src/synth/CMakeFiles/si_synth.dir/src/baseline.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/baseline.cpp.o.d"
+  "/root/repo/src/synth/src/complex_gate.cpp" "src/synth/CMakeFiles/si_synth.dir/src/complex_gate.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/complex_gate.cpp.o.d"
+  "/root/repo/src/synth/src/insertion.cpp" "src/synth/CMakeFiles/si_synth.dir/src/insertion.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/insertion.cpp.o.d"
+  "/root/repo/src/synth/src/labeling.cpp" "src/synth/CMakeFiles/si_synth.dir/src/labeling.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/labeling.cpp.o.d"
+  "/root/repo/src/synth/src/sharing.cpp" "src/synth/CMakeFiles/si_synth.dir/src/sharing.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/sharing.cpp.o.d"
+  "/root/repo/src/synth/src/synthesize.cpp" "src/synth/CMakeFiles/si_synth.dir/src/synthesize.cpp.o" "gcc" "src/synth/CMakeFiles/si_synth.dir/src/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/si_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/si_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/si_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/si_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/si_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_synth.dir/src/baseline.cpp.o"
+  "CMakeFiles/si_synth.dir/src/baseline.cpp.o.d"
+  "CMakeFiles/si_synth.dir/src/complex_gate.cpp.o"
+  "CMakeFiles/si_synth.dir/src/complex_gate.cpp.o.d"
+  "CMakeFiles/si_synth.dir/src/insertion.cpp.o"
+  "CMakeFiles/si_synth.dir/src/insertion.cpp.o.d"
+  "CMakeFiles/si_synth.dir/src/labeling.cpp.o"
+  "CMakeFiles/si_synth.dir/src/labeling.cpp.o.d"
+  "CMakeFiles/si_synth.dir/src/sharing.cpp.o"
+  "CMakeFiles/si_synth.dir/src/sharing.cpp.o.d"
+  "CMakeFiles/si_synth.dir/src/synthesize.cpp.o"
+  "CMakeFiles/si_synth.dir/src/synthesize.cpp.o.d"
+  "libsi_synth.a"
+  "libsi_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

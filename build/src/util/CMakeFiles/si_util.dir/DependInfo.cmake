@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/bitvec.cpp" "src/util/CMakeFiles/si_util.dir/src/bitvec.cpp.o" "gcc" "src/util/CMakeFiles/si_util.dir/src/bitvec.cpp.o.d"
+  "/root/repo/src/util/src/budget.cpp" "src/util/CMakeFiles/si_util.dir/src/budget.cpp.o" "gcc" "src/util/CMakeFiles/si_util.dir/src/budget.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/si_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/si_util.dir/src/table.cpp.o.d"
+  "/root/repo/src/util/src/text.cpp" "src/util/CMakeFiles/si_util.dir/src/text.cpp.o" "gcc" "src/util/CMakeFiles/si_util.dir/src/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_util.dir/src/bitvec.cpp.o"
+  "CMakeFiles/si_util.dir/src/bitvec.cpp.o.d"
+  "CMakeFiles/si_util.dir/src/budget.cpp.o"
+  "CMakeFiles/si_util.dir/src/budget.cpp.o.d"
+  "CMakeFiles/si_util.dir/src/table.cpp.o"
+  "CMakeFiles/si_util.dir/src/table.cpp.o.d"
+  "CMakeFiles/si_util.dir/src/text.cpp.o"
+  "CMakeFiles/si_util.dir/src/text.cpp.o.d"
+  "libsi_util.a"
+  "libsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/src/fault.cpp" "src/verify/CMakeFiles/si_verify.dir/src/fault.cpp.o" "gcc" "src/verify/CMakeFiles/si_verify.dir/src/fault.cpp.o.d"
+  "/root/repo/src/verify/src/performance.cpp" "src/verify/CMakeFiles/si_verify.dir/src/performance.cpp.o" "gcc" "src/verify/CMakeFiles/si_verify.dir/src/performance.cpp.o.d"
+  "/root/repo/src/verify/src/timed.cpp" "src/verify/CMakeFiles/si_verify.dir/src/timed.cpp.o" "gcc" "src/verify/CMakeFiles/si_verify.dir/src/timed.cpp.o.d"
+  "/root/repo/src/verify/src/verifier.cpp" "src/verify/CMakeFiles/si_verify.dir/src/verifier.cpp.o" "gcc" "src/verify/CMakeFiles/si_verify.dir/src/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/si_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/si_boolean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

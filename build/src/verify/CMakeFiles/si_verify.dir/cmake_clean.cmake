@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_verify.dir/src/fault.cpp.o"
+  "CMakeFiles/si_verify.dir/src/fault.cpp.o.d"
+  "CMakeFiles/si_verify.dir/src/performance.cpp.o"
+  "CMakeFiles/si_verify.dir/src/performance.cpp.o.d"
+  "CMakeFiles/si_verify.dir/src/timed.cpp.o"
+  "CMakeFiles/si_verify.dir/src/timed.cpp.o.d"
+  "CMakeFiles/si_verify.dir/src/verifier.cpp.o"
+  "CMakeFiles/si_verify.dir/src/verifier.cpp.o.d"
+  "libsi_verify.a"
+  "libsi_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

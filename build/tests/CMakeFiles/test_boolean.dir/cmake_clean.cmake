@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boolean.dir/boolean_test.cpp.o"
+  "CMakeFiles/test_boolean.dir/boolean_test.cpp.o.d"
+  "test_boolean"
+  "test_boolean.pdb"
+  "test_boolean[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

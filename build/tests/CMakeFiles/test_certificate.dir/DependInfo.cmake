@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/certificate_test.cpp" "tests/CMakeFiles/test_certificate.dir/certificate_test.cpp.o" "gcc" "tests/CMakeFiles/test_certificate.dir/certificate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/si_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/si_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/si_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/si_stg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/si_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/si_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/si_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/si_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/si_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_stgs/CMakeFiles/si_bench_stgs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

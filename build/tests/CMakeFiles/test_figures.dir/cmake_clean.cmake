@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figures.dir/figures_test.cpp.o"
+  "CMakeFiles/test_figures.dir/figures_test.cpp.o.d"
+  "test_figures"
+  "test_figures.pdb"
+  "test_figures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

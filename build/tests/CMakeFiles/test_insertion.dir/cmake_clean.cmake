@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insertion.dir/insertion_test.cpp.o"
+  "CMakeFiles/test_insertion.dir/insertion_test.cpp.o.d"
+  "test_insertion"
+  "test_insertion.pdb"
+  "test_insertion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_synthesis.dir/net_synthesis_test.cpp.o"
+  "CMakeFiles/test_net_synthesis.dir/net_synthesis_test.cpp.o.d"
+  "test_net_synthesis"
+  "test_net_synthesis.pdb"
+  "test_net_synthesis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

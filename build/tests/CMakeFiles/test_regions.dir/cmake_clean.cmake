@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regions.dir/regions_test.cpp.o"
+  "CMakeFiles/test_regions.dir/regions_test.cpp.o.d"
+  "test_regions"
+  "test_regions.pdb"
+  "test_regions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sg.dir/sg_test.cpp.o"
+  "CMakeFiles/test_sg.dir/sg_test.cpp.o.d"
+  "test_sg"
+  "test_sg.pdb"
+  "test_sg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed.dir/timed_test.cpp.o"
+  "CMakeFiles/test_timed.dir/timed_test.cpp.o.d"
+  "test_timed"
+  "test_timed.pdb"
+  "test_timed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

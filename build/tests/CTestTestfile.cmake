@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_boolean[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_stg[1]_include.cmake")
+include("/root/repo/build/tests/test_sg[1]_include.cmake")
+include("/root/repo/build/tests/test_regions[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_insertion[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_table1[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_interchange[1]_include.cmake")
+include("/root/repo/build/tests/test_projection[1]_include.cmake")
+include("/root/repo/build/tests/test_structure[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_net_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_timed[1]_include.cmake")
+include("/root/repo/build/tests/test_compose[1]_include.cmake")
+include("/root/repo/build/tests/test_components[1]_include.cmake")
+include("/root/repo/build/tests/test_certificate[1]_include.cmake")
