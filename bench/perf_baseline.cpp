@@ -1,0 +1,213 @@
+// Recorded performance baseline for the parallel/indexed core.
+//
+// Runs the synthesis and fault-campaign workloads under four execution
+// modes and writes BENCH_perf.json:
+//   * seed       — fast_path off, 1 thread: the scan-based seed code path
+//                  (linear excited()/arc_on() scans, per-state cover
+//                  evaluation, whole-netlist disabling checks);
+//   * indexed    — fast_path on, 1 thread: excitation index + word-wide
+//                  BitVec set algebra + fanout-narrowed checks;
+//   * parallel-2 / parallel-8 — indexed plus the thread pool at 2 / 8
+//                  workers (on a single-core host these measure pool
+//                  overhead, not speedup; host_threads is recorded).
+// The headline figure is the geometric-mean speedup of each mode against
+// `seed` across all workloads, plus per-workload states/sec.
+//
+// Usage: perf_baseline [--smoke] [--out <path>] [--reps <n>]
+//   --smoke  small workloads + 1 repetition (the perf-smoke ctest label)
+//   --out    JSON output path (default: BENCH_perf.json in the CWD)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "si/bench_stgs/generators.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/fault.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Mode {
+    std::string name;
+    bool fast_path;
+    std::size_t threads;
+};
+
+struct Workload {
+    std::string name;
+    /// Runs once and returns the number of states processed (spec or
+    /// composite), the unit of the states/sec column.
+    std::function<std::uint64_t()> run;
+};
+
+struct Sample {
+    double ms = 0;
+    std::uint64_t states = 0;
+};
+
+double geomean(const std::vector<double>& xs) {
+    if (xs.empty()) return 0;
+    double log_sum = 0;
+    for (const double x : xs) log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::size_t reps = 3;
+    std::string out_path = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            reps = 1;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--reps <n>]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    // Inputs are built once, outside the timed section, so every mode
+    // times exactly the same work on exactly the same objects. Sizes are
+    // chosen so the seed scan path's superlinear costs dominate: tiny
+    // Table-1 circuits finish in microseconds and measure only noise.
+    const si::sg::StateGraph synth_spec =
+        si::sg::build_state_graph(smoke ? si::bench::make_tree(5, 2) : si::bench::make_tree(9, 4));
+    const si::sg::StateGraph fork_join =
+        si::sg::build_state_graph(si::bench::make_fork_join(smoke ? 3 : 10));
+    const si::sg::StateGraph sequencer =
+        si::sg::build_state_graph(si::bench::make_sequencer(smoke ? 3 : 8));
+    const si::sg::StateGraph campaign_spec =
+        si::sg::build_state_graph(si::bench::make_fork_join(smoke ? 3 : 6));
+    si::util::set_num_threads(1);
+    const si::synth::SynthesisResult campaign_target = si::synth::synthesize(campaign_spec);
+    const si::synth::SynthesisResult suite_target = si::synth::synthesize(synth_spec);
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"synth:tree", [&] {
+                             si::synth::SynthOptions opts;
+                             opts.verify_result = true;
+                             const auto res = si::synth::synthesize(synth_spec, opts);
+                             return static_cast<std::uint64_t>(
+                                 res.graph.num_states() + res.verification.states_explored);
+                         }});
+    workloads.push_back({"regions+mc:fork-join", [&] {
+                             const si::sg::RegionAnalysis ra(fork_join);
+                             const auto report = si::mc::check_requirement(ra, {});
+                             return static_cast<std::uint64_t>(fork_join.num_states() +
+                                                               report.regions.size());
+                         }});
+    workloads.push_back({"regions+mc:sequencer", [&] {
+                             const si::sg::RegionAnalysis ra(sequencer);
+                             const auto report = si::mc::check_requirement(ra, {});
+                             return static_cast<std::uint64_t>(sequencer.num_states() +
+                                                               report.regions.size());
+                         }});
+    workloads.push_back({"regions+mc:tree", [&] {
+                             const si::sg::RegionAnalysis ra(synth_spec);
+                             const auto report = si::mc::check_requirement(ra, {});
+                             return static_cast<std::uint64_t>(synth_spec.num_states() +
+                                                               report.regions.size());
+                         }});
+    workloads.push_back({"fault-campaign:fork-join", [&] {
+                             si::verify::fault::CampaignOptions opts;
+                             opts.seed = 7;
+                             opts.dynamic_opts.max_sites = smoke ? 4 : 16;
+                             opts.schedule_walks = smoke ? 2 : 4;
+                             const auto report = si::verify::fault::run_campaign(
+                                 campaign_target.netlist, campaign_target.graph, opts);
+                             return static_cast<std::uint64_t>(
+                                 campaign_target.graph.num_states() * report.injected());
+                         }});
+    workloads.push_back({"verify-suite:tree", [&] {
+                             const auto suite = si::verify::verify_suite(suite_target.netlist,
+                                                                         suite_target.graph);
+                             return static_cast<std::uint64_t>(suite.si.states_explored);
+                         }});
+
+    const std::vector<Mode> modes = {{"seed", false, 1},
+                                     {"indexed", true, 1},
+                                     {"parallel-2", true, 2},
+                                     {"parallel-8", true, 8}};
+
+    // results[m][w] = best-of-reps sample for workload w under mode m.
+    std::vector<std::vector<Sample>> results(modes.size(),
+                                             std::vector<Sample>(workloads.size()));
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        si::util::set_fast_path(modes[m].fast_path);
+        si::util::set_num_threads(modes[m].threads);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            Sample best;
+            for (std::size_t r = 0; r < reps; ++r) {
+                const auto t0 = Clock::now();
+                const std::uint64_t states = workloads[w].run();
+                const auto t1 = Clock::now();
+                const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+                if (r == 0 || ms < best.ms) best = {ms, states};
+            }
+            results[m][w] = best;
+            std::fprintf(stderr, "%-12s %-24s %10.3f ms  %12.0f states/s\n",
+                         modes[m].name.c_str(), workloads[w].name.c_str(), best.ms,
+                         best.ms > 0 ? 1000.0 * double(best.states) / best.ms : 0.0);
+        }
+    }
+    si::util::set_fast_path(true);
+    si::util::set_num_threads(0);
+
+    std::ofstream json(out_path);
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    json << "{\n";
+    json << "  \"bench\": \"perf_baseline\",\n";
+    json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    json << "  \"repetitions\": " << reps << ",\n";
+    json << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
+    json << "  \"baseline_mode\": \"seed\",\n";
+    json << "  \"modes\": [\n";
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        std::vector<double> speedups;
+        json << "    {\n      \"name\": \"" << modes[m].name << "\",\n";
+        json << "      \"fast_path\": " << (modes[m].fast_path ? "true" : "false") << ",\n";
+        json << "      \"threads\": " << modes[m].threads << ",\n";
+        json << "      \"workloads\": [\n";
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const Sample& s = results[m][w];
+            const double speedup = s.ms > 0 ? results[0][w].ms / s.ms : 0.0;
+            speedups.push_back(speedup);
+            json << "        {\"name\": \"" << workloads[w].name << "\", \"ms\": " << s.ms
+                 << ", \"states\": " << s.states << ", \"states_per_sec\": "
+                 << (s.ms > 0 ? 1000.0 * double(s.states) / s.ms : 0.0)
+                 << ", \"speedup_vs_seed\": " << speedup << "}";
+            json << (w + 1 < workloads.size() ? ",\n" : "\n");
+        }
+        json << "      ],\n";
+        json << "      \"geomean_speedup_vs_seed\": " << geomean(speedups) << "\n";
+        json << "    }" << (m + 1 < modes.size() ? ",\n" : "\n");
+        std::fprintf(stderr, "%-12s geomean speedup vs seed: %.2fx\n", modes[m].name.c_str(),
+                     geomean(speedups));
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -25,8 +25,14 @@ namespace si::mc {
 /// its value within the region (then `c` automatically covers the ER).
 [[nodiscard]] bool is_cover_cube(const sg::RegionAnalysis& ra, RegionId r, const Cube& c);
 
-/// States (reachable) covered by `c`.
+/// States (reachable) covered by `c`. On the fast path this is a
+/// word-wide intersection of the graph's per-signal code columns instead
+/// of a per-state minterm scan.
 [[nodiscard]] BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c);
+
+/// States (reachable) where the SOP `f` evaluates to 1 (union of the
+/// cube covers).
+[[nodiscard]] BitVec covered_states(const sg::RegionAnalysis& ra, const Cover& f);
 
 /// Def 16: states that make the cover incorrect — covered states where
 /// the excitation function of the region's signal must be 0: for +a,

@@ -1,6 +1,7 @@
 #include "si/mc/cover_cube.hpp"
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::mc {
 
@@ -32,9 +33,35 @@ bool is_cover_cube(const sg::RegionAnalysis& ra, RegionId r, const Cube& c) {
 
 BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c) {
     const auto& sg = ra.graph();
+    if (util::fast_path()) {
+        BitVec out = ra.reachable();
+        for (std::size_t vi = 0; vi < c.num_vars(); ++vi) {
+            const Lit l = c.lit(SignalId(vi));
+            if (l == Lit::Dash) continue;
+            if (l == Lit::One)
+                out &= sg.value_set(SignalId(vi));
+            else
+                out.and_not(sg.value_set(SignalId(vi)));
+        }
+        return out;
+    }
     BitVec out(sg.num_states());
     ra.reachable().for_each_set([&](std::size_t si) {
         if (c.contains_minterm(sg.state(StateId(si)).code)) out.set(si);
+    });
+    return out;
+}
+
+BitVec covered_states(const sg::RegionAnalysis& ra, const Cover& f) {
+    const auto& sg = ra.graph();
+    if (util::fast_path()) {
+        BitVec out(sg.num_states());
+        for (const auto& c : f.cubes()) out |= covered_states(ra, c);
+        return out;
+    }
+    BitVec out(sg.num_states());
+    ra.reachable().for_each_set([&](std::size_t si) {
+        if (f.eval(sg.state(StateId(si)).code)) out.set(si);
     });
     return out;
 }
@@ -61,6 +88,15 @@ std::optional<StateId> check_consistent_excitation(const sg::RegionAnalysis& ra,
     const BitVec& must_one = up ? ra.set_excited0(a) : ra.set_excited1(a);
     const BitVec must_zero = up ? (ra.set_excited1(a) | ra.set_stable0(a))
                                 : (ra.set_excited0(a) | ra.set_stable1(a));
+    if (util::fast_path()) {
+        const BitVec cov = covered_states(ra, f);
+        BitVec missed = must_one;
+        missed.and_not(cov);
+        if (const auto si = missed.find_first(); si < missed.size()) return StateId(si);
+        const BitVec wrong = must_zero & cov;
+        if (const auto si = wrong.find_first(); si < wrong.size()) return StateId(si);
+        return std::nullopt;
+    }
     std::optional<StateId> bad;
     must_one.for_each_set([&](std::size_t si) {
         if (!bad && !f.eval(sg.state(StateId(si)).code)) bad = StateId(si);

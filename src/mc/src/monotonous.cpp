@@ -48,23 +48,27 @@ namespace {
 // a quiescent region shared between two excitation regions of the same
 // transition: a cube rising there is a gate pulse no latch acknowledges,
 // even though some in-CFR path sees only one change.
-template <class ValueFn>
+//
+// `cov` is the covered-state set of the cube/sum over the reachable part
+// (the CFR is reachable, so bit tests on it equal function evaluation).
 std::vector<StateId> find_rise_inside(const sg::StateGraph& sg, const BitVec& cfr,
-                                      const ValueFn& value) {
+                                      const BitVec& cov) {
     for (std::uint32_t ai = 0; ai < sg.num_arcs(); ++ai) {
         const auto& a = sg.arc(ai);
         if (!cfr.test(a.from.index()) || !cfr.test(a.to.index())) continue;
-        if (!value(a.from) && value(a.to)) return {a.from, a.to}; // rises inside the CFR
+        if (!cov.test(a.from.index()) && cov.test(a.to.index()))
+            return {a.from, a.to}; // rises inside the CFR
     }
     return {};
 }
 
-std::vector<StateId> find_double_change(const sg::RegionAnalysis& ra, const BitVec& cfr,
-                                        const Cube& c) {
-    const auto& sg = ra.graph();
-    return find_rise_inside(sg, cfr, [&](StateId s) {
-        return c.contains_minterm(sg.state(s).code);
-    });
+// Condition 1: ER states the cover misses, in state order.
+std::vector<StateId> missed_er_states(const sg::Region& region, const BitVec& cov) {
+    BitVec missed = region.states;
+    missed.and_not(cov);
+    std::vector<StateId> out;
+    missed.for_each_set([&](std::size_t si) { out.emplace_back(si); });
+    return out;
 }
 
 } // namespace
@@ -80,20 +84,19 @@ std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra, Re
         return out;
     }
 
+    // One covered-state set feeds all three conditions.
+    const BitVec cov = covered_states(ra, c);
+
     // Condition 1: cover all ER states.
-    std::vector<StateId> missed;
-    region.states.for_each_set([&](std::size_t si) {
-        if (!c.contains_minterm(sg.state(StateId(si)).code)) missed.emplace_back(si);
-    });
-    if (!missed.empty())
+    if (auto missed = missed_er_states(region, cov); !missed.empty())
         out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
 
     // Condition 2: at most one change on any trace within the CFR.
-    if (auto flips = find_double_change(ra, region.cfr, c); !flips.empty())
+    if (auto flips = find_rise_inside(sg, region.cfr, cov); !flips.empty())
         out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
 
     // Condition 3: no covered reachable state outside the CFR.
-    BitVec outside = covered_states(ra, c);
+    BitVec outside = cov;
     outside.and_not(region.cfr);
     if (outside.any()) {
         std::vector<StateId> bad;
@@ -114,27 +117,24 @@ std::vector<McViolation> check_elementary_sum(const sg::RegionAnalysis& ra, Regi
         if (c.literal_count() != 1)
             out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
 
-    std::vector<StateId> missed;
-    region.states.for_each_set([&](std::size_t si) {
-        if (!sum.eval(sg.state(StateId(si)).code)) missed.emplace_back(si);
-    });
-    if (!missed.empty()) out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+    const BitVec cov = covered_states(ra, sum);
 
-    if (auto flips = find_rise_inside(
-            sg, region.cfr, [&](StateId s) { return sum.eval(sg.state(s).code); });
-        !flips.empty())
+    if (auto missed = missed_er_states(region, cov); !missed.empty())
+        out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+
+    if (auto flips = find_rise_inside(sg, region.cfr, cov); !flips.empty())
         out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
 
     // Nothing covered outside the CFR, and correct covering (Def 16).
     const BitVec forbidden = region.rising
                                  ? (ra.set_excited1(region.signal) | ra.set_stable0(region.signal))
                                  : (ra.set_excited0(region.signal) | ra.set_stable1(region.signal));
+    BitVec outside_bv = cov;
+    outside_bv.and_not(region.cfr);
+    const BitVec incorrect_bv = cov & forbidden;
     std::vector<StateId> outside, incorrect;
-    ra.reachable().for_each_set([&](std::size_t si) {
-        if (!sum.eval(sg.state(StateId(si)).code)) return;
-        if (!region.cfr.test(si)) outside.emplace_back(si);
-        if (forbidden.test(si)) incorrect.emplace_back(si);
-    });
+    outside_bv.for_each_set([&](std::size_t si) { outside.emplace_back(si); });
+    incorrect_bv.for_each_set([&](std::size_t si) { incorrect.emplace_back(si); });
     if (!outside.empty())
         out.push_back(McViolation{McFailure::CoversOutsideCfr, r, std::move(outside)});
     if (!incorrect.empty())
@@ -164,6 +164,9 @@ std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
     std::vector<McViolation> out;
     BitVec all_cfr(sg.num_states());
 
+    // One covered-state set serves every region and the union condition.
+    const BitVec cov = covered_states(ra, c);
+
     for (const RegionId r : regions) {
         const auto& region = ra.region(r);
         all_cfr |= region.cfr;
@@ -172,24 +175,27 @@ std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
             out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
             continue;
         }
-        std::vector<StateId> missed;
-        region.states.for_each_set([&](std::size_t si) {
-            if (!c.contains_minterm(sg.state(StateId(si)).code)) missed.emplace_back(si);
-        });
-        if (!missed.empty())
+        if (auto missed = missed_er_states(region, cov); !missed.empty())
             out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
-        if (auto flips = find_double_change(ra, region.cfr, c); !flips.empty())
+        if (auto flips = find_rise_inside(sg, region.cfr, cov); !flips.empty())
             out.push_back(McViolation{McFailure::NonMonotonic, r, std::move(flips)});
         // Correct covering per region (Def 16): a cube shared into
         // another signal's excitation function must still evaluate to 0
         // wherever that function is required to be 0 — the union-of-CFRs
         // condition below does not guarantee it across signals.
-        if (auto bad = incorrect_cover_states(ra, r, c); !bad.empty())
+        const BitVec forbidden =
+            region.rising ? (ra.set_excited1(region.signal) | ra.set_stable0(region.signal))
+                          : (ra.set_excited0(region.signal) | ra.set_stable1(region.signal));
+        const BitVec bad_bv = cov & forbidden;
+        if (bad_bv.any()) {
+            std::vector<StateId> bad;
+            bad_bv.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
             out.push_back(McViolation{McFailure::IncorrectCover, r, std::move(bad)});
+        }
     }
 
     // Condition 3 against the union of the CFRs.
-    BitVec outside = covered_states(ra, c);
+    BitVec outside = cov;
     outside.and_not(all_cfr);
     if (outside.any()) {
         std::vector<StateId> bad;

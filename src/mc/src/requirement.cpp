@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "si/mc/cover_cube.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::mc {
 
@@ -114,12 +115,18 @@ McReport check_requirement(const sg::RegionAnalysis& ra, const McCubeSearch& opt
     McReport report;
     // Map region id -> slot in the report for the group fallback.
     std::map<std::size_t, std::size_t> slot;
+    // Phase 1: each non-input region's cube search is independent — fan
+    // out over the pool and splice results back in region order, so the
+    // report is byte-identical to the serial pass.
+    std::vector<RegionId> work;
     for (std::size_t ri = 0; ri < ra.regions().size(); ++ri) {
         const RegionId r{ri};
         if (!is_non_input(ra.graph().signals()[ra.region(r).signal].kind)) continue;
-        slot[ri] = report.regions.size();
-        report.regions.push_back(find_mc_cube(ra, r, opts));
+        slot[ri] = work.size();
+        work.push_back(r);
     }
+    report.regions =
+        util::parallel_map(work, [&](RegionId r) { return find_mc_cube(ra, r, opts); });
 
     // Phase 2: Def-19 fallback per (signal, polarity) with failures.
     std::map<std::pair<std::size_t, bool>, std::vector<RegionId>> families;

@@ -109,4 +109,21 @@ private:
     std::vector<Gate> gates_;
 };
 
+/// Fanout adjacency of a netlist snapshot: for each gate, the ascending,
+/// duplicate-free list of gates whose next-state function reads its
+/// output. Complex gates evaluate their SOP over every signal-realizing
+/// gate, so they appear in each such gate's row. The index is immutable
+/// after construction (safe to share across verifier threads) and is NOT
+/// updated by later netlist mutations — rebuild it per mutant.
+class FanoutIndex {
+public:
+    FanoutIndex() = default;
+    explicit FanoutIndex(const Netlist& nl);
+
+    [[nodiscard]] const std::vector<GateId>& of(GateId g) const { return rows_[g.index()]; }
+
+private:
+    std::vector<std::vector<GateId>> rows_;
+};
+
 } // namespace si::net

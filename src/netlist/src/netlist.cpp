@@ -1,5 +1,7 @@
 #include "si/netlist/netlist.hpp"
 
+#include <algorithm>
+
 #include "si/util/error.hpp"
 
 namespace si::net {
@@ -144,6 +146,28 @@ BitVec Netlist::initial_values() const {
         if (!changed) return values;
     }
     throw SpecError("netlist '" + name + "' has unstable combinational logic at reset");
+}
+
+FanoutIndex::FanoutIndex(const Netlist& nl) {
+    rows_.assign(nl.num_gates(), {});
+    for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+        const Gate& g = nl.gate(GateId(gi));
+        if (g.kind == GateKind::Complex) {
+            // target_value rebuilds the whole signal code vector, so a
+            // complex gate re-evaluates whenever any realized signal moves.
+            for (std::size_t v = 0; v < nl.signals().size(); ++v) {
+                const GateId src = nl.gate_of_signal(SignalId(v));
+                if (src.is_valid()) rows_[src.index()].push_back(GateId(gi));
+            }
+        } else {
+            for (const auto& f : g.fanins) rows_[f.gate.index()].push_back(GateId(gi));
+        }
+    }
+    for (auto& row : rows_) {
+        std::sort(row.begin(), row.end(),
+                  [](GateId a, GateId b) { return a.index() < b.index(); });
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+    }
 }
 
 Netlist::Stats Netlist::stats() const {

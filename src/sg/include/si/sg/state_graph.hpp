@@ -6,6 +6,15 @@
 // invariant: an arc u->v on signal s flips exactly bit s of the code.
 // Enabledness ("excitation") of a signal in a state is represented by the
 // presence of an outgoing arc on that signal.
+//
+// Excitation index: alongside the arc lists the graph maintains, per
+// signal, a dense bitset row over states of where that signal is excited
+// (and one of the state-code column), plus a (state, signal) -> arc
+// lookup table. add_arc keeps them current, so excited()/arc_on() are
+// O(1) and the region/MC layers can compute ER/QR/CFR membership and
+// cube covers as word-wide BitVec operations. util::set_fast_path(false)
+// drops back to the seed's linear arc scans (benchmark baseline; results
+// are identical either way).
 #pragma once
 
 #include <string>
@@ -58,6 +67,13 @@ public:
     [[nodiscard]] bool excited(StateId s, SignalId v) const;
     /// The arc firing signal v from s (invalid index UINT32_MAX if none).
     [[nodiscard]] std::uint32_t arc_on(StateId s, SignalId v) const;
+
+    /// Excitation index row: bit s set iff v is excited in state s.
+    [[nodiscard]] const BitVec& excited_set(SignalId v) const {
+        return excited_rows_[v.index()];
+    }
+    /// Code column: bit s set iff v is 1 in state s.
+    [[nodiscard]] const BitVec& value_set(SignalId v) const { return value_rows_[v.index()]; }
     /// The signal edge an arc performs (+v when the target has v=1).
     [[nodiscard]] SignalEdge edge_of(std::uint32_t arc_index) const;
 
@@ -79,6 +95,14 @@ private:
     std::vector<State> states_;
     std::vector<Arc> arcs_;
     StateId initial_{};
+
+    // Excitation index (see file header). Rows are sized lazily from the
+    // signal count at the first add_state; arc_on_ is row-major
+    // [state * num_signals + signal] with the *first* arc on each slot
+    // (matching the out-list scan order the accessors replaced).
+    std::vector<BitVec> excited_rows_;
+    std::vector<BitVec> value_rows_;
+    std::vector<std::uint32_t> arc_on_;
 };
 
 } // namespace si::sg

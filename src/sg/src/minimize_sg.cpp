@@ -1,12 +1,29 @@
 #include "si/sg/minimize_sg.hpp"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "si/util/error.hpp"
 
 namespace si::sg {
+
+namespace {
+
+// Refinement signature: old class + sorted (signal -> successor class).
+using Signature = std::pair<std::uint32_t, std::vector<std::pair<std::uint32_t, std::uint32_t>>>;
+
+struct SignatureHash {
+    std::size_t operator()(const Signature& s) const noexcept {
+        std::uint64_t h = 0x9e3779b97f4a7c15ull ^ s.first;
+        for (const auto& [signal, cls] : s.second)
+            h ^= ((std::uint64_t(signal) << 32) | cls) + 0x9e3779b97f4a7c15ull + (h << 6) +
+                 (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace
 
 StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
     const BitVec reach = g.reachable();
@@ -29,10 +46,10 @@ StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
     while (changed) {
         changed = false;
         ++rounds;
-        // Signature: old class + sorted (signal -> successor class).
-        std::map<std::pair<std::uint32_t, std::vector<std::pair<std::uint32_t, std::uint32_t>>>,
-                 std::uint32_t>
-            sig_to_class;
+        // Class ids are assigned in state-encounter order (not key
+        // order), so the hashed container yields the same partition ids
+        // as an ordered one.
+        std::unordered_map<Signature, std::uint32_t, SignatureHash> sig_to_class;
         std::vector<std::uint32_t> next_class(n, UINT32_MAX);
         reach.for_each_set([&](std::size_t si) {
             std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
@@ -57,18 +74,18 @@ StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
     StateGraph out;
     out.name = g.name;
     for (const auto& s : g.signals().all()) out.signals().add(s.name, s.kind);
-    std::map<std::uint32_t, StateId> rep;
+    std::unordered_map<std::uint32_t, StateId> rep;
     reach.for_each_set([&](std::size_t si) {
         if (!rep.count(class_of[si]))
             rep.emplace(class_of[si], out.add_state(g.state(StateId(si)).code));
     });
-    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> arc_seen;
+    std::unordered_set<std::uint64_t> arc_seen;
     reach.for_each_set([&](std::size_t si) {
         for (const auto ai : g.state(StateId(si)).out) {
             const auto& arc = g.arc(ai);
             const StateId from = rep.at(class_of[si]);
             const StateId to = rep.at(class_of[arc.to.index()]);
-            if (arc_seen.emplace(std::make_pair(from.raw(), to.raw()), true).second)
+            if (arc_seen.insert((std::uint64_t(from.raw()) << 32) | to.raw()).second)
                 out.add_arc(from, to, arc.signal);
         }
     });

@@ -1,7 +1,7 @@
 #include "si/sg/projection.hpp"
 
 #include <deque>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 namespace si::sg {
@@ -11,8 +11,16 @@ namespace {
 struct Pair {
     StateId impl;
     StateId spec;
-    friend bool operator<(const Pair& a, const Pair& b) {
-        return a.impl != b.impl ? a.impl < b.impl : a.spec < b.spec;
+    friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+struct PairHash {
+    std::size_t operator()(const Pair& p) const noexcept {
+        std::uint64_t h = (std::uint64_t(p.impl.raw()) << 32) | p.spec.raw();
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        return static_cast<std::size_t>(h);
     }
 };
 
@@ -40,18 +48,22 @@ ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec
     // transitions only (including s).
     auto hidden_closure = [&](StateId s) {
         std::vector<StateId> closure{s};
-        std::set<StateId> seen{s};
+        BitVec seen(impl.num_states());
+        seen.set(s.index());
         for (std::size_t i = 0; i < closure.size(); ++i) {
             for (const auto ai : impl.state(closure[i]).out) {
                 const auto& arc = impl.arc(ai);
                 if (to_spec[arc.signal.index()].is_valid()) continue;
-                if (seen.insert(arc.to).second) closure.push_back(arc.to);
+                if (!seen.test(arc.to.index())) {
+                    seen.set(arc.to.index());
+                    closure.push_back(arc.to);
+                }
             }
         }
         return closure;
     };
 
-    std::set<Pair> related{{impl.initial(), spec.initial()}};
+    std::unordered_set<Pair, PairHash> related{{impl.initial(), spec.initial()}};
     std::deque<Pair> queue{{impl.initial(), spec.initial()}};
     while (!queue.empty()) {
         const Pair p = queue.front();

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::sg {
 
@@ -87,16 +88,33 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
     for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
         const SignalId v{vi};
         auto& ps = per_signal_[vi];
-        ps.stable0 = BitVec(n);
-        ps.stable1 = BitVec(n);
-        ps.excited0 = BitVec(n);
-        ps.excited1 = BitVec(n);
-        reachable_.for_each_set([&](std::size_t si) {
-            const StateId s{si};
-            const bool val = sg.value(s, v);
-            const bool exc = sg.excited(s, v);
-            (exc ? (val ? ps.excited1 : ps.excited0) : (val ? ps.stable1 : ps.stable0)).set(si);
-        });
+        if (util::fast_path()) {
+            // Word-wide from the excitation index: the 0*/1*/0/1-sets are
+            // intersections of {excited, ~excited} x {value, ~value}
+            // restricted to the reachable mask.
+            const BitVec excited = sg.excited_set(v) & reachable_;
+            const BitVec& value = sg.value_set(v);
+            ps.excited1 = excited & value;
+            ps.excited0 = excited;
+            ps.excited0.and_not(value);
+            BitVec stable = reachable_;
+            stable.and_not(excited);
+            ps.stable1 = stable & value;
+            ps.stable0 = std::move(stable);
+            ps.stable0.and_not(value);
+        } else {
+            ps.stable0 = BitVec(n);
+            ps.stable1 = BitVec(n);
+            ps.excited0 = BitVec(n);
+            ps.excited1 = BitVec(n);
+            reachable_.for_each_set([&](std::size_t si) {
+                const StateId s{si};
+                const bool val = sg.value(s, v);
+                const bool exc = sg.excited(s, v);
+                (exc ? (val ? ps.excited1 : ps.excited0) : (val ? ps.stable1 : ps.stable0))
+                    .set(si);
+            });
+        }
 
         // Excitation regions: components of excited0 (ERs of +v) and of
         // excited1 (ERs of -v), interleaved by discovery order for
@@ -144,12 +162,18 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
 
         // Ordered signals: no transition of b excited within the ER.
         r.ordered_signals = BitVec(sg.num_signals());
-        for (std::size_t bi = 0; bi < sg.num_signals(); ++bi) {
-            bool ordered = true;
-            r.states.for_each_set([&](std::size_t si) {
-                if (sg.excited(StateId(si), SignalId(bi))) ordered = false;
-            });
-            if (ordered) r.ordered_signals.set(bi);
+        if (util::fast_path()) {
+            for (std::size_t bi = 0; bi < sg.num_signals(); ++bi)
+                if (!r.states.intersects(sg.excited_set(SignalId(bi))))
+                    r.ordered_signals.set(bi);
+        } else {
+            for (std::size_t bi = 0; bi < sg.num_signals(); ++bi) {
+                bool ordered = true;
+                r.states.for_each_set([&](std::size_t si) {
+                    if (sg.excited(StateId(si), SignalId(bi))) ordered = false;
+                });
+                if (ordered) r.ordered_signals.set(bi);
+            }
         }
 
         // Quiescent region: stable components entered by firing this

@@ -3,13 +3,27 @@
 #include <deque>
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::sg {
 
 StateId StateGraph::add_state(BitVec code) {
     require(code.size() == signals_.size(), "state code width mismatch");
+    const std::size_t ns = signals_.size();
+    if (excited_rows_.size() != ns) { // first state pins the signal count
+        require(states_.empty(), "signal table changed after states were added");
+        excited_rows_.assign(ns, BitVec());
+        value_rows_.assign(ns, BitVec());
+    }
+    const std::size_t si = states_.size();
+    for (std::size_t v = 0; v < ns; ++v) {
+        excited_rows_[v].resize(si + 1);
+        value_rows_[v].resize(si + 1);
+        if (code.test(v)) value_rows_[v].set(si);
+    }
+    arc_on_.resize(arc_on_.size() + ns, UINT32_MAX);
     states_.push_back(State{std::move(code), {}, {}});
-    return StateId(states_.size() - 1);
+    return StateId(si);
 }
 
 std::uint32_t StateGraph::add_arc(StateId from, StateId to, SignalId signal) {
@@ -24,16 +38,21 @@ std::uint32_t StateGraph::add_arc(StateId from, StateId to, SignalId signal) {
     arcs_.push_back(Arc{from, to, signal});
     states_[from.index()].out.push_back(idx);
     states_[to.index()].in.push_back(idx);
+    excited_rows_[signal.index()].set(from.index());
+    auto& slot = arc_on_[from.index() * signals_.size() + signal.index()];
+    if (slot == UINT32_MAX) slot = idx;
     return idx;
 }
 
 bool StateGraph::excited(StateId s, SignalId v) const {
+    if (util::fast_path()) return excited_rows_[v.index()].test(s.index());
     for (const auto a : states_[s.index()].out)
         if (arcs_[a].signal == v) return true;
     return false;
 }
 
 std::uint32_t StateGraph::arc_on(StateId s, SignalId v) const {
+    if (util::fast_path()) return arc_on_[s.index() * signals_.size() + v.index()];
     for (const auto a : states_[s.index()].out)
         if (arcs_[a].signal == v) return a;
     return UINT32_MAX;

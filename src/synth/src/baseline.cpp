@@ -1,15 +1,19 @@
 #include "si/synth/baseline.hpp"
 
 #include "si/boolean/minimize.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::synth {
 
 std::vector<net::SignalNetwork> derive_baseline_networks(const sg::RegionAnalysis& ra) {
     const auto& graph = ra.graph();
-    std::vector<net::SignalNetwork> out;
-    for (std::size_t vi = 0; vi < graph.num_signals(); ++vi) {
-        const SignalId v{vi};
-        if (!is_non_input(graph.signals()[v].kind)) continue;
+    // Each non-input signal's two-level minimization is independent of
+    // the others; fan them out and collect in signal order.
+    std::vector<SignalId> targets;
+    for (std::size_t vi = 0; vi < graph.num_signals(); ++vi)
+        if (is_non_input(graph.signals()[SignalId(vi)].kind)) targets.push_back(SignalId(vi));
+
+    return util::parallel_map(targets, [&](SignalId v) {
         net::SignalNetwork network;
         network.signal = v;
 
@@ -31,9 +35,8 @@ std::vector<net::SignalNetwork> derive_baseline_networks(const sg::RegionAnalysi
         };
         network.up_cubes = half(true);
         network.down_cubes = half(false);
-        out.push_back(std::move(network));
-    }
-    return out;
+        return network;
+    });
 }
 
 } // namespace si::synth

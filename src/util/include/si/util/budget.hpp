@@ -99,6 +99,17 @@ public:
     /// Innermost-first stage path, joined with '/' ("" outside any stage).
     [[nodiscard]] std::string current_stage() const;
 
+    /// A fresh Budget whose caps are this budget's *remaining* headroom
+    /// (limit - consumed per resource, zero once exhausted) and whose
+    /// deadline is the same absolute time point. Handed to one task of a
+    /// parallel fan-out; see parallel.hpp for the discipline.
+    [[nodiscard]] Budget shard() const;
+    /// Folds a shard's consumption back in (counters summed; the shard's
+    /// exhaustion — or the overshoot the sum itself causes — trips this
+    /// budget if it has not tripped already). Shards must be absorbed in
+    /// task order so the recorded exhaustion is deterministic.
+    void absorb(const Budget& shard);
+
     /// RAII stage marker: exhaustions recorded while alive name `name`.
     class [[nodiscard]] StageScope {
     public:

@@ -1,0 +1,95 @@
+// Parallel execution core.
+//
+// A single process-wide ThreadPool drives every data-parallel fan-out in
+// the library: per-region MC cover search, per-mutant fault campaigns,
+// per-property verification suites and the benchmark runners. The pool is
+// deliberately simple — a fixed set of workers pulling chunk indices from
+// an atomic counter — because every call site is an independent fan-out
+// whose results are reduced in canonical (input) order, so output is
+// byte-identical no matter how many workers run.
+//
+// Knobs:
+//   * set_num_threads(n) — global worker count (0 = hardware concurrency;
+//     compile with SI_THREADS=OFF to force 1 regardless).
+//   * set_fast_path(b)   — gates the excitation/fanout indexes and the
+//     word-wide set paths built on them. Results are identical either
+//     way; the knob exists so benchmarks can measure the seed-equivalent
+//     scan path against the indexed one.
+//
+// Budget integration: Budget/Meter are single-threaded by design (cheap
+// unguarded counters). A parallel fan-out therefore gives each task a
+// *shard* — a fresh Budget armed with the parent's remaining headroom —
+// and absorbs the shards back into the parent in task order after the
+// join (consumption summed; the first exhaustion, lowest task index,
+// wins). Each task is individually bounded by the headroom that existed
+// at fork time, so the merged total can overshoot the cap by at most one
+// task's worth per worker; exhaustion detection stays deterministic and
+// governed entry points still report Outcome::exhausted, never a wrong
+// verdict.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "si/util/budget.hpp"
+
+namespace si::util {
+
+/// Sets the global worker count used by parallel_for/parallel_map.
+/// 0 selects std::thread::hardware_concurrency(). With SI_THREADS=OFF
+/// the effective count is always 1.
+void set_num_threads(std::size_t n);
+/// The effective worker count (>= 1).
+[[nodiscard]] std::size_t num_threads();
+
+/// Enables (default) or disables the indexed fast paths; see file header.
+void set_fast_path(bool on);
+[[nodiscard]] bool fast_path();
+
+namespace detail {
+/// Runs task(0..n-1), distributing indices over the pool. Blocks until
+/// all complete. The first exception (lowest task index) is rethrown on
+/// the calling thread. Reentrant calls (from inside a pool task) run
+/// inline on the calling thread to avoid deadlock.
+void pool_run(std::size_t n, const std::function<void(std::size_t)>& task);
+} // namespace detail
+
+/// fn(i) for i in [0, n), in parallel. Blocking; exception-propagating
+/// (first failing index wins deterministically).
+template <class Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+    detail::pool_run(n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+}
+
+/// Maps fn over items, returning results in input order.
+template <class T, class Fn>
+[[nodiscard]] auto parallel_map(const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items[0]))>> {
+    using R = std::decay_t<decltype(fn(items[0]))>;
+    std::vector<R> out(items.size());
+    detail::pool_run(items.size(), [&](std::size_t i) { out[i] = fn(items[i]); });
+    return out;
+}
+
+/// Budget-aware fan-out: each task receives its own Budget shard (null
+/// when `shared` is null), and after the join every shard is absorbed
+/// into `shared` in task order — so the recorded exhaustion, if any, is
+/// the same no matter how many workers ran. fn(i, shard) must charge the
+/// shard, not `shared`.
+template <class Fn>
+void parallel_for_budget(Budget* shared, std::size_t n, Fn&& fn) {
+    if (shared == nullptr) {
+        detail::pool_run(n, [&](std::size_t i) { fn(i, static_cast<Budget*>(nullptr)); });
+        return;
+    }
+    std::vector<Budget> shards;
+    shards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) shards.push_back(shared->shard());
+    detail::pool_run(n, [&](std::size_t i) { fn(i, &shards[i]); });
+    for (auto& s : shards) shared->absorb(s);
+}
+
+} // namespace si::util

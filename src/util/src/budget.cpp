@@ -59,6 +59,32 @@ bool Budget::charge(Resource r, std::uint64_t amount) {
     return true;
 }
 
+Budget Budget::shard() const {
+    Budget s;
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+        if (limits_[i] == UINT64_MAX) continue;
+        s.limits_[i] = limits_[i] > consumed_[i] ? limits_[i] - consumed_[i] : 0;
+    }
+    if (failure_) s.limits_.fill(0); // already exhausted: shards get nothing
+    if (deadline_) {
+        s.deadline_ = deadline_;
+        s.armed_at_ = armed_at_;
+        s.wall_ms_ = wall_ms_;
+    }
+    s.stages_ = stages_;
+    return s;
+}
+
+void Budget::absorb(const Budget& shard) {
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+        if (i == static_cast<std::size_t>(Resource::WallClock)) continue; // not additive
+        consumed_[i] += shard.consumed_[i];
+        if (!failure_ && consumed_[i] > limits_[i])
+            trip(static_cast<Resource>(i), consumed_[i], limits_[i]);
+    }
+    if (!failure_ && shard.failure_) failure_ = shard.failure_;
+}
+
 bool Budget::checkpoint() {
     if (failure_) return false;
     if (!deadline_) return true;

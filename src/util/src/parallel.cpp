@@ -1,0 +1,183 @@
+#include "si/util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace si::util {
+
+namespace {
+
+std::atomic<std::size_t> g_requested_threads{0}; // 0 = hardware concurrency
+std::atomic<bool> g_fast_path{true};
+
+// True on threads owned by the pool: nested fan-outs run inline there.
+thread_local bool t_in_pool_worker = false;
+
+// One job: a task function over [0, n) indices pulled via an atomic
+// cursor, a completion latch, and a deterministic first-error slot.
+struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+
+    std::mutex error_mutex;
+    std::size_t error_index = SIZE_MAX;
+    std::exception_ptr error;
+
+    void record(std::size_t index, std::exception_ptr e) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < error_index) {
+            error_index = index;
+            error = std::move(e);
+        }
+    }
+
+    void work() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                (*task)(i);
+            } catch (...) {
+                record(i, std::current_exception());
+            }
+            done.fetch_add(1, std::memory_order_acq_rel);
+        }
+    }
+};
+
+// Lazily started worker set. Workers block on a condition variable until
+// a job is published, help drain it, then go back to sleep. The pool is
+// sized once, at first use, from the knob active at that moment; later
+// set_num_threads calls below the pool size simply leave extra workers
+// idle (the job cursor hands out no more than `n` indices anyway), and
+// calls above it grow the pool on the next fan-out.
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool p;
+        return p;
+    }
+
+    void run(std::size_t n, const std::function<void(std::size_t)>& task) {
+        Job job;
+        job.n = n;
+        job.task = &task;
+        const std::size_t workers = num_threads() - 1; // caller participates
+        ensure_workers(workers);
+        if (workers > 0) publish(&job);
+        job.work(); // the calling thread is always worker #0
+        // Wait for stragglers still inside task(i).
+        while (job.done.load(std::memory_order_acquire) < n) std::this_thread::yield();
+        if (workers > 0) retract();
+        if (job.error) std::rethrow_exception(job.error);
+    }
+
+private:
+    Pool() = default;
+    ~Pool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        wake_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    void ensure_workers(std::size_t count) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (threads_.size() < count) {
+            threads_.emplace_back([this] {
+                t_in_pool_worker = true;
+                worker_loop();
+            });
+        }
+    }
+
+    void publish(Job* job) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            current_ = job;
+            ++generation_;
+        }
+        wake_.notify_all();
+    }
+
+    void retract() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_ = nullptr;
+    }
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        while (true) {
+            Job* job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+                if (shutdown_) return;
+                seen = generation_;
+                job = current_;
+            }
+            if (job != nullptr) job->work();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<std::thread> threads_;
+    Job* current_ = nullptr;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace
+
+void set_num_threads(std::size_t n) { g_requested_threads.store(n); }
+
+std::size_t num_threads() {
+#ifdef SI_NO_THREADS
+    return 1;
+#else
+    const std::size_t req = g_requested_threads.load();
+    if (req != 0) return req;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+#endif
+}
+
+void set_fast_path(bool on) { g_fast_path.store(on); }
+bool fast_path() { return g_fast_path.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
+    if (n == 0) return;
+    if (n == 1 || num_threads() == 1 || t_in_pool_worker) {
+        // Inline: nested fan-outs and serial mode share one code path so
+        // results cannot depend on the worker count.
+        std::size_t error_index = SIZE_MAX;
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                task(i);
+            } catch (...) {
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+        if (error) std::rethrow_exception(error);
+        return;
+    }
+    Pool::instance().run(n, task);
+}
+
+} // namespace detail
+
+} // namespace si::util

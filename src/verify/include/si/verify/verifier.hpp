@@ -73,4 +73,38 @@ struct VerifyResult {
                                                      const sg::StateGraph& spec,
                                                      const VerifyOptions& opts = {});
 
+// ---------------------------------------------------------------------------
+// Property suite
+
+struct SuiteOptions {
+    VerifyOptions si;                      ///< for the speed-independence exploration
+    bool check_cycle = true;               ///< include the unit-delay cycle estimate
+    std::size_t cycle_max_ticks = 100000;  ///< cap for estimate_cycle_time
+};
+
+struct PropertyReport {
+    std::string name;
+    bool ok = false;
+    std::string detail; ///< first witness / estimate summary
+};
+
+struct SuiteResult {
+    /// Full speed-independence result (also summarized in properties[0]).
+    VerifyResult si;
+    /// Fixed canonical order: speed-independence, spec-output-
+    /// semimodularity, spec-csc, unit-delay-cycle (when enabled).
+    std::vector<PropertyReport> properties;
+
+    [[nodiscard]] bool ok() const;
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Checks the independent properties of a netlist/spec pair — gate-level
+/// speed independence, output semi-modularity and CSC of the
+/// specification, and the unit-delay cycle estimate — fanning the checks
+/// out over the thread pool. Slots are pre-assigned so the report is
+/// identical for every thread count.
+[[nodiscard]] SuiteResult verify_suite(const net::Netlist& nl, const sg::StateGraph& spec,
+                                       const SuiteOptions& opts = {});
+
 } // namespace si::verify

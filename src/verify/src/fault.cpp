@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <random>
 #include <unordered_map>
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
 
 namespace si::verify::fault {
 
@@ -138,16 +140,25 @@ std::vector<Move> enabled_moves(const net::Netlist& nl, const sg::StateGraph& sp
 }
 
 // A non-input gate (other than `fired`) that was excited before the move
-// and is not after it — the pure-delay hazard.
-std::string disabled_gate(const net::Netlist& nl, const Composite& before,
-                          const Composite& after, GateId fired) {
-    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
-        const GateId gid{g};
-        if (gid == fired) continue;
-        if (nl.gate(gid).kind == net::GateKind::Input) continue;
-        if (nl.gate_excited(gid, before.values) && !nl.gate_excited(gid, after.values))
-            return nl.gate(gid).name;
+// and is not after it — the pure-delay hazard. With a fanout index the
+// scan narrows to the readers of the flipped gate (the only gates whose
+// excitation can change); the rows are ascending, so the first hit is
+// the same gate the full scan reports.
+std::string disabled_gate(const net::Netlist& nl, const net::FanoutIndex* fo,
+                          const Composite& before, const Composite& after, GateId fired,
+                          GateId flipped) {
+    auto hit = [&](GateId gid) {
+        if (gid == fired) return false;
+        if (nl.gate(gid).kind == net::GateKind::Input) return false;
+        return nl.gate_excited(gid, before.values) && !nl.gate_excited(gid, after.values);
+    };
+    if (fo != nullptr) {
+        for (const GateId gid : fo->of(flipped))
+            if (hit(gid)) return nl.gate(gid).name;
+        return {};
     }
+    for (std::size_t g = 0; g < nl.num_gates(); ++g)
+        if (hit(GateId(g))) return nl.gate(GateId(g)).name;
     return {};
 }
 
@@ -205,26 +216,43 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
         for (const auto k : targets)
             if (nl.gate(GateId(g)).kind == k) candidates.push_back(GateId(g));
 
-    std::vector<Injection> out;
-    if (candidates.empty() || nodes.empty()) return out;
+    if (candidates.empty() || nodes.empty()) return {};
+
+    // Draw every injection site up front from the single seeded stream
+    // (same draw order as the serial engine), then verify the sites
+    // concurrently — each with its own budget shard so exhaustion is
+    // reproducible for any thread count.
+    struct Site {
+        std::uint32_t node;
+        GateId gid;
+    };
+    std::vector<Site> sites;
+    sites.reserve(opts.max_sites);
     std::mt19937_64 rng(opts.seed);
-    const char* token_prefix = cls == FaultClass::Seu ? "seu:" : "glitch:";
     for (std::size_t site = 0; site < opts.max_sites; ++site) {
-        const auto& node = nodes[rng() % nodes.size()];
-        const GateId gid = candidates[rng() % candidates.size()];
+        const auto node = static_cast<std::uint32_t>(rng() % nodes.size());
+        sites.push_back({node, candidates[rng() % candidates.size()]});
+    }
+
+    const char* token_prefix = cls == FaultClass::Seu ? "seu:" : "glitch:";
+    std::vector<Injection> out(sites.size());
+    util::parallel_for_budget(opts.budget, sites.size(), [&](std::size_t i, util::Budget* shard) {
+        const Site& site = sites[i];
+        const NominalNode& node = nodes[site.node];
+        const GateId gid = site.gid;
 
         Composite perturbed = node.state;
         perturbed.values.flip(gid.index());
 
-        Injection inj;
+        Injection& inj = out[i];
         inj.cls = cls;
         inj.gate = nl.gate(gid).name;
-        inj.witness = trace_to(nodes, static_cast<std::uint32_t>(&node - nodes.data()));
+        inj.witness = trace_to(nodes, site.node);
         inj.witness.push_back(token_prefix + inj.gate);
 
         VerifyOptions vo;
         vo.max_states = opts.verify_max_states;
-        vo.budget = opts.budget;
+        vo.budget = shard;
         vo.start_values = perturbed.values;
         vo.start_spec = perturbed.spec;
         const VerifyResult res = verify_speed_independence(nl, spec, vo);
@@ -242,8 +270,7 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
                                         : "undetected within budget: " +
                                               res.exhaustion->describe();
         }
-        out.push_back(std::move(inj));
-    }
+    });
     return out;
 }
 
@@ -267,6 +294,8 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
                                     std::uint64_t seed, std::size_t max_steps) {
     ScheduleResult out;
     std::mt19937_64 rng(seed);
+    std::optional<net::FanoutIndex> fo;
+    if (util::fast_path()) fo.emplace(nl);
     Composite c{nl.initial_values(), spec.initial()};
     for (std::size_t step = 0; step < max_steps; ++step) {
         auto moves = enabled_moves(nl, spec, c);
@@ -291,7 +320,8 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
         const GateId fired = nl.gate(m.gate).kind == net::GateKind::Input
                                  ? GateId::invalid()
                                  : m.gate;
-        if (const auto g = disabled_gate(nl, c, m.next, fired); !g.empty()) {
+        if (const auto g = disabled_gate(nl, fo ? &*fo : nullptr, c, m.next, fired, m.gate);
+            !g.empty()) {
             out.violation_found = true;
             out.detail = "gate '" + g + "' disabled while excited by " + m.action;
             return out;
@@ -304,6 +334,8 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
 ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
                             std::span<const std::string> witness) {
     ReplayResult out;
+    std::optional<net::FanoutIndex> fo;
+    if (util::fast_path()) fo.emplace(nl);
     Composite c{nl.initial_values(), spec.initial()};
     for (const auto& token : witness) {
         if (token.rfind("seu:", 0) == 0 || token.rfind("glitch:", 0) == 0) {
@@ -337,7 +369,9 @@ ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
         const GateId fired = nl.gate(chosen->gate).kind == net::GateKind::Input
                                  ? GateId::invalid()
                                  : chosen->gate;
-        if (const auto g = disabled_gate(nl, c, chosen->next, fired); !g.empty()) {
+        if (const auto g =
+                disabled_gate(nl, fo ? &*fo : nullptr, c, chosen->next, fired, chosen->gate);
+            !g.empty()) {
             out.anomaly = true;
             out.anomaly_detail = "gate '" + g + "' disabled while excited by " + token;
         }
@@ -387,48 +421,73 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
     const auto idx = [](FaultClass c) { return static_cast<std::size_t>(c); };
 
     if (opts.structural) {
-        std::mt19937_64 walk_seed(opts.seed * 0x9e3779b97f4a7c15ull + 1);
-        for (const auto& f : enumerate_structural(nl)) {
-            auto& s = stats[idx(f.cls)];
-            ++s.injected;
-            bool killed;
+        // Every mutant's verification is independent: fan the campaign
+        // out per fault and reduce the outcomes in enumeration order, so
+        // stats and survivor order match the serial sweep byte for byte.
+        // Each fault derives its own walk stream from (seed, index) —
+        // the schedule draws cannot depend on how work was scheduled.
+        const auto faults = enumerate_structural(nl);
+        struct FaultOutcome {
+            bool killed = false;
             std::vector<std::string> witness;
-            try {
-                const auto mutant = apply(nl, f);
-                const auto res = verify_speed_independence(mutant, spec, opts.verify);
-                bool refuted = false;
-                for (const auto& v : res.violations)
-                    refuted = refuted || v.kind != ViolationKind::StateExplosion;
-                killed = refuted;
-                if (killed && !res.violations.empty()) witness = res.violations.front().trace;
+            bool ds_injected = false;
+            bool ds_killed = false;
+        };
+        std::vector<FaultOutcome> outcomes(faults.size());
+        util::parallel_for_budget(
+            opts.verify.budget, faults.size(), [&](std::size_t fi, util::Budget* shard) {
+                const auto& f = faults[fi];
+                auto& o = outcomes[fi];
+                VerifyOptions vo = opts.verify;
+                if (shard != nullptr) vo.budget = shard;
+                std::mt19937_64 walk_seed((opts.seed * 0x9e3779b97f4a7c15ull + 1) ^
+                                          (0xbf58476d1ce4e5b9ull * (fi + 1)));
+                try {
+                    const auto mutant = apply(nl, f);
+                    const auto res = verify_speed_independence(mutant, spec, vo);
+                    bool refuted = false;
+                    for (const auto& v : res.violations)
+                        refuted = refuted || v.kind != ViolationKind::StateExplosion;
+                    o.killed = refuted;
+                    if (o.killed && !res.violations.empty())
+                        o.witness = res.violations.front().trace;
 
-                // How many of these permanent faults does a *sampled*
-                // interleaving catch without exhaustive search?
-                if (killed && opts.schedule_walks != 0) {
-                    auto& ds = stats[idx(FaultClass::DelaySchedule)];
-                    ++ds.injected;
-                    for (std::size_t w = 0; w < opts.schedule_walks; ++w) {
-                        try {
-                            if (adversarial_schedule(mutant, spec, walk_seed(),
-                                                     opts.schedule_steps)
-                                    .violation_found) {
-                                ++ds.killed;
+                    // How many of these permanent faults does a *sampled*
+                    // interleaving catch without exhaustive search?
+                    if (o.killed && opts.schedule_walks != 0) {
+                        o.ds_injected = true;
+                        for (std::size_t w = 0; w < opts.schedule_walks; ++w) {
+                            try {
+                                if (adversarial_schedule(mutant, spec, walk_seed(),
+                                                         opts.schedule_steps)
+                                        .violation_found) {
+                                    o.ds_killed = true;
+                                    break;
+                                }
+                            } catch (const Error&) {
+                                o.ds_killed = true; // walk tripped a structural break
                                 break;
                             }
-                        } catch (const Error&) {
-                            ++ds.killed; // walk tripped a structural break
-                            break;
                         }
                     }
+                } catch (const Error&) {
+                    o.killed = true; // structurally broken counts as caught
                 }
-            } catch (const Error&) {
-                killed = true; // structurally broken counts as caught
+            });
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            const auto& f = faults[fi];
+            auto& o = outcomes[fi];
+            auto& s = stats[idx(f.cls)];
+            ++s.injected;
+            if (o.ds_injected) {
+                auto& ds = stats[idx(FaultClass::DelaySchedule)];
+                ++ds.injected;
+                if (o.ds_killed) ++ds.killed;
             }
-            if (killed) {
+            if (o.killed) {
                 ++s.killed;
             } else {
-                report.survivors.push_back(
-                    {f.cls, f.describe(nl), std::move(witness)});
+                report.survivors.push_back({f.cls, f.describe(nl), std::move(o.witness)});
             }
         }
     }

@@ -4,7 +4,10 @@
 #include <deque>
 #include <unordered_map>
 
+#include "si/sg/analysis.hpp"
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/performance.hpp"
 
 namespace si::verify {
 
@@ -52,6 +55,7 @@ public:
     Verifier(const net::Netlist& nl, const sg::StateGraph& spec, const VerifyOptions& opts)
         : nl_(nl), spec_(spec), opts_(opts), meter_("verify.explore", opts.budget) {
         meter_.local().cap(util::Resource::States, opts.max_states);
+        if (util::fast_path()) fanout_ = net::FanoutIndex(nl);
     }
 
     VerifyResult run() {
@@ -108,28 +112,39 @@ private:
     }
 
     void check_disabling(std::uint32_t from_node, const Composite& before, const Composite& after,
-                         GateId fired, const std::string& action) {
+                         GateId fired, GateId flipped, const std::string& action) {
         // Pure-delay semantics: any excited non-input gate must stay
         // excited until it fires (Section III).
-        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
-            const GateId gid{g};
-            if (fired.is_valid() && gid == fired) continue;
-            if (nl_.gate(gid).kind == net::GateKind::Input) continue;
+        auto consider = [&](GateId gid) {
+            if (fired.is_valid() && gid == fired) return false;
+            if (nl_.gate(gid).kind == net::GateKind::Input) return false;
             if (nl_.gate_excited(gid, before.values) && !nl_.gate_excited(gid, after.values)) {
                 add_violation(ViolationKind::GateDisabled, from_node,
                               "gate '" + nl_.gate(gid).name + "' disabled while excited by " +
                                   action + " (unacknowledged switching: hazard)");
-                if (opts_.stop_at_first) return;
+                return opts_.stop_at_first;
             }
+            return false;
+        };
+        if (util::fast_path()) {
+            // Only the flipped gate's readers can change excitation (the
+            // flipped gate itself is the fired gate or an input). The
+            // fanout rows are ascending, so violations come out in the
+            // same gate order as the full scan.
+            for (const GateId gid : fanout_.of(flipped))
+                if (consider(gid)) return;
+            return;
         }
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g)
+            if (consider(GateId(g))) return;
     }
 
-    void take_step(std::uint32_t cur, Composite next, GateId fired, const std::string& action,
-                   std::deque<std::uint32_t>& queue) {
+    void take_step(std::uint32_t cur, Composite next, GateId fired, GateId flipped,
+                   const std::string& action, std::deque<std::uint32_t>& queue) {
         if (meter_.exhausted()) return; // stop materializing states once tripped
         ++result_.transitions_explored;
         (void)meter_.charge(util::Resource::Steps);
-        check_disabling(cur, nodes_[cur].state, next, fired, action);
+        check_disabling(cur, nodes_[cur].state, next, fired, flipped, action);
         const auto [it, inserted] = index_.emplace(next, static_cast<std::uint32_t>(nodes_.size()));
         if (inserted) {
             if (!meter_.charge(util::Resource::States)) {
@@ -160,7 +175,7 @@ private:
             next.spec = spec_.arc(arc).to;
             const std::string action =
                 (next.values.test(in_gate.index()) ? "+" : "-") + nl_.gate(in_gate).name;
-            take_step(cur, std::move(next), GateId::invalid(), action, queue);
+            take_step(cur, std::move(next), GateId::invalid(), in_gate, action, queue);
             any = true;
             if (!result_.violations.empty() && opts_.stop_at_first) return;
         }
@@ -192,7 +207,7 @@ private:
                 }
                 next.spec = spec_.arc(arc).to;
             }
-            take_step(cur, std::move(next), gid, action, queue);
+            take_step(cur, std::move(next), gid, gid, action, queue);
             any = true;
             if (!result_.violations.empty() && opts_.stop_at_first) return;
         }
@@ -207,6 +222,7 @@ private:
     const net::Netlist& nl_;
     const sg::StateGraph& spec_;
     const VerifyOptions& opts_;
+    net::FanoutIndex fanout_; ///< built only on the fast path
     util::Meter meter_;
     std::unordered_map<Composite, std::uint32_t, CompositeHash> index_;
     std::vector<Node> nodes_;
@@ -218,6 +234,81 @@ private:
 VerifyResult verify_speed_independence(const net::Netlist& nl, const sg::StateGraph& spec,
                                        const VerifyOptions& opts) {
     return Verifier(nl, spec, opts).run();
+}
+
+bool SuiteResult::ok() const {
+    for (const auto& p : properties)
+        if (!p.ok) return false;
+    return true;
+}
+
+std::string SuiteResult::describe() const {
+    std::string out;
+    for (const auto& p : properties) {
+        out += p.name + ": " + (p.ok ? "PASS" : "FAIL");
+        if (!p.detail.empty()) out += " (" + p.detail + ")";
+        out += "\n";
+    }
+    return out;
+}
+
+SuiteResult verify_suite(const net::Netlist& nl, const sg::StateGraph& spec,
+                         const SuiteOptions& opts) {
+    SuiteResult out;
+    const std::size_t n = opts.check_cycle ? 4 : 3;
+    out.properties.resize(n);
+    // The four properties are independent reads of (nl, spec); only the
+    // speed-independence exploration touches the caller's budget, so the
+    // fan-out needs no budget sharding. Slots are pre-assigned, keeping
+    // the report order fixed regardless of completion order.
+    util::parallel_for(n, [&](std::size_t i) {
+        PropertyReport& p = out.properties[i];
+        switch (i) {
+        case 0: {
+            p.name = "speed-independence";
+            out.si = verify_speed_independence(nl, spec, opts.si);
+            p.ok = out.si.ok;
+            if (!p.ok) p.detail = out.si.violations.empty()
+                                      ? "no violation recorded"
+                                      : out.si.violations.front().message;
+            break;
+        }
+        case 1: {
+            p.name = "spec-output-semimodularity";
+            std::size_t internal = 0;
+            std::string first;
+            for (const auto& c : sg::find_conflicts(spec)) {
+                if (!c.internal) continue;
+                if (internal == 0) first = c.describe(spec);
+                ++internal;
+            }
+            p.ok = internal == 0;
+            if (!p.ok) p.detail = first;
+            break;
+        }
+        case 2: {
+            p.name = "spec-csc";
+            const auto csc = sg::find_csc_violations(spec);
+            p.ok = csc.empty();
+            if (!p.ok) p.detail = csc.front().describe(spec);
+            break;
+        }
+        case 3: {
+            p.name = "unit-delay-cycle";
+            try {
+                const CycleEstimate est = estimate_cycle_time(nl, spec, opts.cycle_max_ticks);
+                p.ok = est.periodic;
+                p.detail = est.describe();
+            } catch (const Error& e) {
+                p.ok = false;
+                p.detail = e.what();
+            }
+            break;
+        }
+        default: break;
+        }
+    });
+    return out;
 }
 
 } // namespace si::verify

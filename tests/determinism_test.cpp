@@ -1,0 +1,139 @@
+// Determinism contract of the parallel core: synthesis, verification and
+// fault campaigns must produce byte-identical reports for any thread
+// count, and the indexed fast paths must match the seed scan paths bit
+// for bit.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/fault.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+struct KnobGuard {
+    ~KnobGuard() {
+        util::set_num_threads(0);
+        util::set_fast_path(true);
+    }
+};
+
+const sg::StateGraph& delement_spec() {
+    static const sg::StateGraph spec = [] {
+        for (const auto& entry : bench::table1_suite())
+            if (entry.name == "Delement") return sg::build_state_graph(bench::load(entry));
+        throw SpecError("Delement missing from the Table-1 suite");
+    }();
+    return spec;
+}
+
+std::string synthesis_signature(const sg::StateGraph& spec) {
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(spec, opts);
+    const sg::RegionAnalysis ra(res.graph);
+    return res.summary() + "\n" + res.graph.dump() + "\n" + ra.report() + "\n" +
+           res.mc.describe(ra) + "\n" + res.verification.describe();
+}
+
+std::string campaign_signature(const net::Netlist& nl, const sg::StateGraph& spec) {
+    verify::fault::CampaignOptions opts;
+    opts.seed = 7;
+    opts.dynamic_opts.max_sites = 8;
+    const auto report = verify::fault::run_campaign(nl, spec, opts);
+    std::string sig = report.describe();
+    for (const auto& s : report.survivors) {
+        sig += "\n" + s.description;
+        for (const auto& w : s.witness) sig += " " + w;
+    }
+    return sig;
+}
+
+TEST(Determinism, SynthesisIdenticalForAnyThreadCount) {
+    KnobGuard guard;
+    util::set_num_threads(1);
+    const std::string serial = synthesis_signature(delement_spec());
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        EXPECT_EQ(synthesis_signature(delement_spec()), serial) << "thread count " << t;
+    }
+}
+
+TEST(Determinism, FaultCampaignIdenticalForAnyThreadCount) {
+    KnobGuard guard;
+    util::set_num_threads(1);
+    const auto res = synth::synthesize(delement_spec());
+    const std::string serial = campaign_signature(res.netlist, res.graph);
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        EXPECT_EQ(campaign_signature(res.netlist, res.graph), serial) << "thread count " << t;
+    }
+}
+
+TEST(Determinism, VerifySuiteIdenticalForAnyThreadCount) {
+    KnobGuard guard;
+    util::set_num_threads(1);
+    const auto res = synth::synthesize(delement_spec());
+    const std::string serial = verify::verify_suite(res.netlist, res.graph).describe();
+    EXPECT_FALSE(serial.empty());
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        EXPECT_EQ(verify::verify_suite(res.netlist, res.graph).describe(), serial)
+            << "thread count " << t;
+    }
+}
+
+TEST(Determinism, FastPathMatchesSeedScanPath) {
+    KnobGuard guard;
+    util::set_num_threads(1);
+    util::set_fast_path(false);
+    const std::string seed_synth = synthesis_signature(delement_spec());
+    const auto seed_res = synth::synthesize(delement_spec());
+    const std::string seed_campaign = campaign_signature(seed_res.netlist, seed_res.graph);
+
+    util::set_fast_path(true);
+    EXPECT_EQ(synthesis_signature(delement_spec()), seed_synth);
+    const auto fast_res = synth::synthesize(delement_spec());
+    EXPECT_EQ(campaign_signature(fast_res.netlist, fast_res.graph), seed_campaign);
+}
+
+TEST(Determinism, ExcitationIndexMatchesArcScan) {
+    KnobGuard guard;
+    const sg::StateGraph g = bench::figure3();
+    for (std::size_t si = 0; si < g.num_states(); ++si) {
+        for (std::size_t vi = 0; vi < g.num_signals(); ++vi) {
+            const StateId s{si};
+            const SignalId v{vi};
+            util::set_fast_path(true);
+            const bool exc_fast = g.excited(s, v);
+            const auto arc_fast = g.arc_on(s, v);
+            util::set_fast_path(false);
+            EXPECT_EQ(exc_fast, g.excited(s, v));
+            EXPECT_EQ(arc_fast, g.arc_on(s, v));
+            util::set_fast_path(true);
+            EXPECT_EQ(g.excited_set(v).test(si), exc_fast);
+        }
+    }
+}
+
+TEST(Determinism, RegionAnalysisIdenticalUnderBothPaths) {
+    KnobGuard guard;
+    const auto stg = bench::make_fork_join(3);
+    const sg::StateGraph g = sg::build_state_graph(stg);
+    util::set_fast_path(true);
+    const std::string fast = sg::RegionAnalysis(g).report();
+    util::set_fast_path(false);
+    EXPECT_EQ(sg::RegionAnalysis(g).report(), fast);
+}
+
+} // namespace
+} // namespace si

@@ -1,0 +1,155 @@
+// ThreadPool / parallel fan-out tests: every index runs exactly once for
+// any worker count, results come back in input order, the lowest failing
+// index's exception wins deterministically, nested fan-outs run inline,
+// and budget shards make exhaustion mid-fan-out reproducible.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "si/util/budget.hpp"
+#include "si/util/parallel.hpp"
+
+namespace si {
+namespace {
+
+using util::Budget;
+using util::Resource;
+
+// Restores the global knobs no matter how a test exits.
+struct KnobGuard {
+    ~KnobGuard() {
+        util::set_num_threads(0);
+        util::set_fast_path(true);
+    }
+};
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+    KnobGuard guard;
+    for (const std::size_t t : {1u, 2u, 8u}) {
+        util::set_num_threads(t);
+        std::vector<std::atomic<int>> counts(100);
+        util::parallel_for(counts.size(), [&](std::size_t i) { ++counts[i]; });
+        for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i].load(), 1);
+    }
+}
+
+TEST(ThreadPool, MapPreservesInputOrder) {
+    KnobGuard guard;
+    std::vector<int> items;
+    for (int i = 0; i < 200; ++i) items.push_back(i);
+    for (const std::size_t t : {1u, 8u}) {
+        util::set_num_threads(t);
+        const auto squares = util::parallel_map(items, [](int x) { return x * x; });
+        ASSERT_EQ(squares.size(), items.size());
+        for (int i = 0; i < 200; ++i) EXPECT_EQ(squares[i], i * i);
+    }
+}
+
+TEST(ThreadPool, LowestFailingIndexWins) {
+    KnobGuard guard;
+    for (const std::size_t t : {1u, 8u}) {
+        util::set_num_threads(t);
+        try {
+            util::parallel_for(64, [](std::size_t i) {
+                if (i == 3 || i == 7 || i == 40)
+                    throw std::runtime_error("task " + std::to_string(i));
+            });
+            FAIL() << "expected the fan-out to rethrow";
+        } catch (const std::runtime_error& e) {
+            // Deterministic even when a later index throws first.
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(ThreadPool, NestedFanOutRunsInline) {
+    KnobGuard guard;
+    util::set_num_threads(4);
+    std::atomic<int> total{0};
+    util::parallel_for(8, [&](std::size_t) {
+        // Reentrant fan-out from a pool task must not deadlock: it runs
+        // inline on the calling worker.
+        util::parallel_for(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ThreadCountKnobRoundTrips) {
+    KnobGuard guard;
+    util::set_num_threads(3);
+    EXPECT_EQ(util::num_threads(), 3u);
+    util::set_num_threads(0);
+    EXPECT_GE(util::num_threads(), 1u); // hardware concurrency, at least 1
+}
+
+TEST(ThreadPool, FastPathKnobRoundTrips) {
+    KnobGuard guard;
+    EXPECT_TRUE(util::fast_path());
+    util::set_fast_path(false);
+    EXPECT_FALSE(util::fast_path());
+    util::set_fast_path(true);
+    EXPECT_TRUE(util::fast_path());
+}
+
+TEST(BudgetShard, CarriesRemainingHeadroomOnly) {
+    Budget b;
+    b.cap(Resource::Steps, 100);
+    ASSERT_TRUE(b.charge(Resource::Steps, 40));
+    const Budget s = b.shard();
+    EXPECT_EQ(s.limit(Resource::Steps), 60u);
+    EXPECT_EQ(s.consumed(Resource::Steps), 0u);
+    EXPECT_EQ(s.limit(Resource::States), UINT64_MAX); // uncapped stays uncapped
+}
+
+TEST(BudgetShard, AbsorbSumsConsumptionAndTrips) {
+    Budget b;
+    b.cap(Resource::Steps, 10);
+    Budget s1 = b.shard();
+    Budget s2 = b.shard();
+    EXPECT_TRUE(s1.charge(Resource::Steps, 6));
+    EXPECT_TRUE(s2.charge(Resource::Steps, 6));
+    b.absorb(s1);
+    EXPECT_FALSE(b.exhausted());
+    b.absorb(s2); // 12 > 10: the merged total trips the parent
+    ASSERT_TRUE(b.exhausted());
+    EXPECT_EQ(b.failure()->resource, Resource::Steps);
+    EXPECT_EQ(b.consumed(Resource::Steps), 12u);
+}
+
+TEST(ThreadPool, BudgetExhaustionMidFanOutIsDeterministic) {
+    KnobGuard guard;
+    std::string first_sig;
+    for (const std::size_t t : {1u, 2u, 8u}) {
+        util::set_num_threads(t);
+        Budget shared;
+        shared.cap(Resource::Steps, 50);
+        util::parallel_for_budget(&shared, 16, [&](std::size_t, Budget* shard) {
+            ASSERT_NE(shard, nullptr);
+            for (int j = 0; j < 10; ++j)
+                if (!shard->charge(Resource::Steps)) break;
+        });
+        ASSERT_TRUE(shared.exhausted());
+        const std::string sig = shared.failure()->describe() + " consumed=" +
+                                std::to_string(shared.consumed(Resource::Steps));
+        if (first_sig.empty())
+            first_sig = sig;
+        else
+            EXPECT_EQ(sig, first_sig) << "thread count " << t;
+    }
+}
+
+TEST(ThreadPool, NullBudgetPassesNullShards) {
+    KnobGuard guard;
+    util::set_num_threads(2);
+    std::atomic<int> nulls{0};
+    util::parallel_for_budget(nullptr, 8, [&](std::size_t, Budget* shard) {
+        if (shard == nullptr) ++nulls;
+    });
+    EXPECT_EQ(nulls.load(), 8);
+}
+
+} // namespace
+} // namespace si
