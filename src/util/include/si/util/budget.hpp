@@ -99,11 +99,14 @@ public:
     /// Innermost-first stage path, joined with '/' ("" outside any stage).
     [[nodiscard]] std::string current_stage() const;
 
-    /// A fresh Budget whose caps are this budget's *remaining* headroom
-    /// (limit - consumed per resource, zero once exhausted) and whose
-    /// deadline is the same absolute time point. Handed to one task of a
-    /// parallel fan-out; see parallel.hpp for the discipline.
-    [[nodiscard]] Budget shard() const;
+    /// A fresh Budget whose caps are a 1/`ways` slice (rounded up) of
+    /// this budget's *remaining* headroom (limit - consumed per resource,
+    /// zero once exhausted) and whose deadline is the same absolute time
+    /// point. A fan-out over n tasks passes ways = n so the shards'
+    /// combined caps never exceed the remaining headroom by more than
+    /// rounding. Handed to one task of a parallel fan-out; see
+    /// parallel.hpp for the discipline.
+    [[nodiscard]] Budget shard(std::uint64_t ways = 1) const;
     /// Folds a shard's consumption back in (counters summed; the shard's
     /// exhaustion — or the overshoot the sum itself causes — trips this
     /// budget if it has not tripped already). Shards must be absorbed in

@@ -17,19 +17,22 @@
 //     scan path against the indexed one.
 //
 // Budget integration: Budget/Meter are single-threaded by design (cheap
-// unguarded counters). A parallel fan-out therefore gives each task a
-// *shard* — a fresh Budget armed with the parent's remaining headroom —
-// and absorbs the shards back into the parent in task order after the
-// join (consumption summed; the first exhaustion, lowest task index,
-// wins). Each task is individually bounded by the headroom that existed
-// at fork time, so the merged total can overshoot the cap by at most one
-// task's worth per worker; exhaustion detection stays deterministic and
-// governed entry points still report Outcome::exhausted, never a wrong
-// verdict.
+// unguarded counters). A parallel fan-out over n tasks therefore gives
+// each task a *shard* — a fresh Budget armed with a 1/n slice of the
+// parent's remaining headroom — and absorbs the shards back into the
+// parent in task order after the join (consumption summed; the first
+// exhaustion, lowest task index, wins). Slicing by the task count (never
+// the worker count) keeps exhaustion independent of how many workers
+// ran, and bounds the merged total at the remaining headroom plus one
+// trip-charge per shard — not n × the headroom. The cost is that a
+// single task can no longer consume more than its slice even when its
+// siblings are cheap; exhaustion is still reported as Outcome::exhausted,
+// never a wrong verdict.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -64,21 +67,27 @@ void parallel_for(std::size_t n, Fn&& fn) {
     detail::pool_run(n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
 }
 
-/// Maps fn over items, returning results in input order.
+/// Maps fn over items, returning results in input order. R only needs to
+/// be move-constructible: results are built in optional slots, not
+/// default-constructed then assigned.
 template <class T, class Fn>
 [[nodiscard]] auto parallel_map(const std::vector<T>& items, Fn&& fn)
     -> std::vector<std::decay_t<decltype(fn(items[0]))>> {
     using R = std::decay_t<decltype(fn(items[0]))>;
-    std::vector<R> out(items.size());
-    detail::pool_run(items.size(), [&](std::size_t i) { out[i] = fn(items[i]); });
+    std::vector<std::optional<R>> slots(items.size());
+    detail::pool_run(items.size(), [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (auto& s : slots) out.push_back(std::move(*s));
     return out;
 }
 
-/// Budget-aware fan-out: each task receives its own Budget shard (null
-/// when `shared` is null), and after the join every shard is absorbed
-/// into `shared` in task order — so the recorded exhaustion, if any, is
-/// the same no matter how many workers ran. fn(i, shard) must charge the
-/// shard, not `shared`.
+/// Budget-aware fan-out: each task receives its own Budget shard armed
+/// with a 1/n slice of `shared`'s remaining headroom (null shard when
+/// `shared` is null), and after the join every shard is absorbed into
+/// `shared` in task order — so the recorded exhaustion, if any, is the
+/// same no matter how many workers ran. fn(i, shard) must charge the
+/// shard, not `shared`. See the file header for the overshoot bound.
 template <class Fn>
 void parallel_for_budget(Budget* shared, std::size_t n, Fn&& fn) {
     if (shared == nullptr) {
@@ -87,7 +96,7 @@ void parallel_for_budget(Budget* shared, std::size_t n, Fn&& fn) {
     }
     std::vector<Budget> shards;
     shards.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) shards.push_back(shared->shard());
+    for (std::size_t i = 0; i < n; ++i) shards.push_back(shared->shard(n));
     detail::pool_run(n, [&](std::size_t i) { fn(i, &shards[i]); });
     for (auto& s : shards) shared->absorb(s);
 }

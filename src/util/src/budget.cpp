@@ -59,11 +59,12 @@ bool Budget::charge(Resource r, std::uint64_t amount) {
     return true;
 }
 
-Budget Budget::shard() const {
+Budget Budget::shard(std::uint64_t ways) const {
     Budget s;
     for (std::size_t i = 0; i < kNumResources; ++i) {
-        if (limits_[i] == UINT64_MAX) continue;
-        s.limits_[i] = limits_[i] > consumed_[i] ? limits_[i] - consumed_[i] : 0;
+        if (limits_[i] == UINT64_MAX) continue; // uncapped stays uncapped
+        const std::uint64_t headroom = limits_[i] > consumed_[i] ? limits_[i] - consumed_[i] : 0;
+        s.limits_[i] = ways > 1 ? (headroom + ways - 1) / ways : headroom;
     }
     if (failure_) s.limits_.fill(0); // already exhausted: shards get nothing
     if (deadline_) {

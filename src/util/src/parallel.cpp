@@ -15,14 +15,19 @@ std::atomic<bool> g_fast_path{true};
 
 // True on threads owned by the pool: nested fan-outs run inline there.
 thread_local bool t_in_pool_worker = false;
+// True on a caller thread while it drives a top-level fan-out: a nested
+// fan-out issued from inside one of its own tasks must also run inline —
+// re-entering Pool::run would self-deadlock on the run mutex.
+thread_local bool t_in_fan_out = false;
 
 // One job: a task function over [0, n) indices pulled via an atomic
-// cursor, a completion latch, and a deterministic first-error slot.
+// cursor and a deterministic first-error slot. Completion is tracked by
+// the pool (busy worker count), not the job, because the job lives on
+// the caller's stack and must not be read after the caller returns.
 struct Job {
     std::size_t n = 0;
     const std::function<void(std::size_t)>* task = nullptr;
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
 
     std::mutex error_mutex;
     std::size_t error_index = SIZE_MAX;
@@ -45,7 +50,6 @@ struct Job {
             } catch (...) {
                 record(i, std::current_exception());
             }
-            done.fetch_add(1, std::memory_order_acq_rel);
         }
     }
 };
@@ -56,6 +60,11 @@ struct Job {
 // set_num_threads calls below the pool size simply leave extra workers
 // idle (the job cursor hands out no more than `n` indices anyway), and
 // calls above it grow the pool on the next fan-out.
+//
+// Only one top-level job is in flight at a time: run() holds run_mutex_
+// for the whole fan-out, so concurrent callers queue instead of
+// clobbering the single current_/generation_ slot. (Pool workers never
+// reach run() — nested fan-outs run inline in pool_run.)
 class Pool {
 public:
     static Pool& instance() {
@@ -64,6 +73,7 @@ public:
     }
 
     void run(std::size_t n, const std::function<void(std::size_t)>& task) {
+        std::lock_guard<std::mutex> serialize(run_mutex_);
         Job job;
         job.n = n;
         job.task = &task;
@@ -71,9 +81,7 @@ public:
         ensure_workers(workers);
         if (workers > 0) publish(&job);
         job.work(); // the calling thread is always worker #0
-        // Wait for stragglers still inside task(i).
-        while (job.done.load(std::memory_order_acquire) < n) std::this_thread::yield();
-        if (workers > 0) retract();
+        if (workers > 0) retract(); // blocks until no worker can touch `job`
         if (job.error) std::rethrow_exception(job.error);
     }
 
@@ -107,9 +115,14 @@ private:
         wake_.notify_all();
     }
 
+    // Unpublishes the current job and waits until every worker that
+    // picked it up has left work(). The job is stack-allocated in run();
+    // returning before busy_ hits zero would let a straggler dereference
+    // freed memory (its cursor read or a work() call it had in flight).
     void retract() {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         current_ = nullptr;
+        idle_.wait(lock, [&] { return busy_ == 0; });
     }
 
     void worker_loop() {
@@ -122,16 +135,30 @@ private:
                 if (shutdown_) return;
                 seen = generation_;
                 job = current_;
+                // Register under the same lock that read current_, so
+                // retract() always sees an accurate count of workers
+                // holding the job pointer.
+                if (job != nullptr) ++busy_;
             }
-            if (job != nullptr) job->work();
+            if (job != nullptr) {
+                job->work();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    --busy_;
+                }
+                idle_.notify_all();
+            }
         }
     }
 
+    std::mutex run_mutex_; ///< serializes top-level run() calls
     std::mutex mutex_;
     std::condition_variable wake_;
+    std::condition_variable idle_;
     std::vector<std::thread> threads_;
     Job* current_ = nullptr;
     std::uint64_t generation_ = 0;
+    std::size_t busy_ = 0; ///< workers currently inside current job's work()
     bool shutdown_ = false;
 };
 
@@ -157,7 +184,7 @@ namespace detail {
 
 void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
     if (n == 0) return;
-    if (n == 1 || num_threads() == 1 || t_in_pool_worker) {
+    if (n == 1 || num_threads() == 1 || t_in_pool_worker || t_in_fan_out) {
         // Inline: nested fan-outs and serial mode share one code path so
         // results cannot depend on the worker count.
         std::size_t error_index = SIZE_MAX;
@@ -175,7 +202,14 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
         if (error) std::rethrow_exception(error);
         return;
     }
-    Pool::instance().run(n, task);
+    t_in_fan_out = true;
+    try {
+        Pool::instance().run(n, task);
+    } catch (...) {
+        t_in_fan_out = false;
+        throw;
+    }
+    t_in_fan_out = false;
 }
 
 } // namespace detail

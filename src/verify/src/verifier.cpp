@@ -53,9 +53,10 @@ struct CompositeHash {
 class Verifier {
 public:
     Verifier(const net::Netlist& nl, const sg::StateGraph& spec, const VerifyOptions& opts)
-        : nl_(nl), spec_(spec), opts_(opts), meter_("verify.explore", opts.budget) {
+        : nl_(nl), spec_(spec), opts_(opts), use_fanout_(util::fast_path()),
+          meter_("verify.explore", opts.budget) {
         meter_.local().cap(util::Resource::States, opts.max_states);
-        if (util::fast_path()) fanout_ = net::FanoutIndex(nl);
+        if (use_fanout_) fanout_ = net::FanoutIndex(nl);
     }
 
     VerifyResult run() {
@@ -126,7 +127,7 @@ private:
             }
             return false;
         };
-        if (util::fast_path()) {
+        if (use_fanout_) {
             // Only the flipped gate's readers can change excitation (the
             // flipped gate itself is the fired gate or an input). The
             // fanout rows are ascending, so violations come out in the
@@ -222,7 +223,11 @@ private:
     const net::Netlist& nl_;
     const sg::StateGraph& spec_;
     const VerifyOptions& opts_;
-    net::FanoutIndex fanout_; ///< built only on the fast path
+    // The fast-path knob is sampled once here: fanout_ is only built when
+    // it was on at construction, so a later set_fast_path(true) must not
+    // route check_disabling through an empty index.
+    bool use_fanout_;
+    net::FanoutIndex fanout_; ///< built only when use_fanout_
     util::Meter meter_;
     std::unordered_map<Composite, std::uint32_t, CompositeHash> index_;
     std::vector<Node> nodes_;

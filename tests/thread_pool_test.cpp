@@ -7,6 +7,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "si/util/budget.hpp"
@@ -104,6 +105,35 @@ TEST(BudgetShard, CarriesRemainingHeadroomOnly) {
     EXPECT_EQ(s.limit(Resource::States), UINT64_MAX); // uncapped stays uncapped
 }
 
+TEST(BudgetShard, DividesHeadroomAcrossWays) {
+    Budget b;
+    b.cap(Resource::Steps, 100);
+    ASSERT_TRUE(b.charge(Resource::Steps, 20));
+    const Budget s = b.shard(8); // ceil(80 / 8) = 10 per shard
+    EXPECT_EQ(s.limit(Resource::Steps), 10u);
+    EXPECT_EQ(s.limit(Resource::States), UINT64_MAX); // uncapped stays uncapped
+}
+
+TEST(BudgetShard, FanOutCannotMultiplyTheCap) {
+    // Every shard charging to its own limit must not let the merged total
+    // reach n x the remaining headroom (the old full-headroom-per-shard
+    // behaviour). With 1/n slices the total stays near the cap.
+    const std::uint64_t cap = 100;
+    const std::size_t n = 10;
+    Budget b;
+    b.cap(Resource::Steps, cap);
+    std::vector<Budget> shards;
+    for (std::size_t i = 0; i < n; ++i) shards.push_back(b.shard(n));
+    for (auto& s : shards)
+        while (s.charge(Resource::Steps)) {
+        }
+    for (auto& s : shards) b.absorb(s);
+    // Each shard overshoots its slice by at most the one charge that
+    // tripped it, so the merged total is bounded by cap + n, not n * cap.
+    EXPECT_LE(b.consumed(Resource::Steps), cap + n);
+    EXPECT_TRUE(b.exhausted());
+}
+
 TEST(BudgetShard, AbsorbSumsConsumptionAndTrips) {
     Budget b;
     b.cap(Resource::Steps, 10);
@@ -138,6 +168,34 @@ TEST(ThreadPool, BudgetExhaustionMidFanOutIsDeterministic) {
             first_sig = sig;
         else
             EXPECT_EQ(sig, first_sig) << "thread count " << t;
+    }
+}
+
+TEST(ThreadPool, ConcurrentTopLevelFanOutsSerialize) {
+    // Two non-pool threads issuing fan-outs at once must not clobber each
+    // other's job slot or touch a job the other caller already destroyed:
+    // run() serializes, so every index of both fan-outs runs exactly once.
+    KnobGuard guard;
+    util::set_num_threads(4);
+    std::vector<std::atomic<int>> a(64), b(64);
+    std::thread other(
+        [&] { util::parallel_for(b.size(), [&](std::size_t i) { ++b[i]; }); });
+    util::parallel_for(a.size(), [&](std::size_t i) { ++a[i]; });
+    other.join();
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].load(), 1);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i].load(), 1);
+}
+
+TEST(ThreadPool, RepeatedFanOutsDoNotCorruptJobLifetime) {
+    // Regression for the stack-job use-after-free: hammer many short
+    // fan-outs so a straggling worker from fan-out k would race fan-out
+    // k+1's stack frame if run() returned before workers left the job.
+    KnobGuard guard;
+    util::set_num_threads(8);
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<int> hits{0};
+        util::parallel_for(16, [&](std::size_t) { ++hits; });
+        ASSERT_EQ(hits.load(), 16) << "round " << round;
     }
 }
 
