@@ -14,10 +14,18 @@
 // Also reports whether 2-input tech mapping (fanin decomposition of the
 // region AND/OR gates) preserves speed independence on each benchmark —
 // the "standard library" question behind the paper's architecture.
+//
+// Usage: fault_injection [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs export of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/table1.hpp"
 #include "si/netlist/transform.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/synth/synthesize.hpp"
 #include "si/util/error.hpp"
@@ -38,7 +46,21 @@ std::string ratio(const verify::fault::ClassStats& s) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     printf("Fault injection on the synthesized Table-1 netlists (seed %llu)\n\n",
            static_cast<unsigned long long>(kSeed));
     TextTable table({"example", "structural", "delay-walk", "seu", "glitch",
@@ -98,6 +120,7 @@ int main() {
             printf("  [%s] %s\n    witness:", name.c_str(), s.description.c_str());
             for (const auto& a : s.witness) printf(" %s", a.c_str());
             printf("\n");
+            if (!s.span_path.empty()) printf("    found in: %s\n", s.span_path.c_str());
         }
     }
 
@@ -106,5 +129,14 @@ int main() {
            "absorbed SEU/glitch means the circuit recovered into specified behaviour.\n"
            "The 2-input mapping column answers whether tree-decomposing the monotone\n"
            "region functions preserves speed independence on these controllers.\n");
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return 0;
 }

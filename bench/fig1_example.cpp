@@ -5,19 +5,41 @@
 // cover cube, the two-cube Beerel-style baseline implementation of
 // equations (1), and the verifier's acknowledgement-failure witness on
 // that baseline.
+//
+// Usage: fig1_example [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs trace of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/figures.hpp"
 #include "si/boolean/cover.hpp"
 #include "si/mc/requirement.hpp"
 #include "si/netlist/print.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/synth/baseline.hpp"
 #include "si/verify/verifier.hpp"
 
 using namespace si;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     printf("== Figure 1: state graph specification ==\n");
     const auto g = bench::figure1();
     printf("%s\n", g.dump().c_str());
@@ -58,5 +80,16 @@ int main() {
     printf("\npaper-vs-measured: the baseline needs %zu cubes for Sd (paper: 2) and the\n"
            "verifier %s a hazard on it (paper: unacknowledged gates).\n",
            networks.back().up_cubes.size(), result.ok ? "does NOT find" : "finds");
+    if (!result.violations.empty() && !result.violations.front().span_path.empty())
+        printf("hazard provenance: %s\n", result.violations.front().span_path.c_str());
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return result.ok ? 1 : 0; // the expected outcome is a detected hazard
 }

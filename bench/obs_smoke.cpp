@@ -1,0 +1,139 @@
+// obs-smoke: end-to-end validation of the si::obs tracing layer.
+//
+// Runs the full pipeline (synthesis + verification + a deliberately
+// hazardous baseline netlist) on the paper's Figure-1 example with
+// tracing enabled, then checks:
+//   * the exported Chrome trace-event JSON is well-formed: every line is
+//     a B or E event, B/E pairs balance, nesting depth never goes
+//     negative and ends at zero;
+//   * the trace is byte-identical when the same work is repeated on a
+//     different thread count (the determinism contract, sampled);
+//   * the verifier's hazard counterexample carries span-path provenance.
+// Exits non-zero on any failure, so the obs-smoke ctest label catches
+// regressions in the exporter or the canonical merge.
+//
+// Usage: obs_smoke [--obs-out <path>] [--force]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/netlist/builder.hpp"
+#include "si/obs/obs.hpp"
+#include "si/sg/regions.hpp"
+#include "si/synth/baseline.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/verifier.hpp"
+
+using namespace si;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+    std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) ++g_failures;
+}
+
+/// One traced pipeline pass; returns the Chrome JSON export.
+std::string traced_run(const sg::StateGraph& g, std::size_t threads, std::string* span_path) {
+    obs::reset();
+    util::set_num_threads(threads);
+
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(g, opts);
+    (void)res;
+
+    // The Beerel-style baseline of equations (1) is the paper's known
+    // hazard: the verifier must reject it and stamp the violation with
+    // the span path it was found under.
+    const auto baseline =
+        net::build_standard_implementation(g, synth::derive_baseline_networks(sg::RegionAnalysis(g)));
+    const auto vr = verify::verify_speed_independence(baseline, g);
+    if (span_path != nullptr && !vr.violations.empty()) *span_path = vr.violations.front().span_path;
+
+    return obs::trace_chrome_json();
+}
+
+/// Minimal structural validation of the Chrome trace-event export.
+bool validate_chrome(const std::string& json, std::size_t* events_out) {
+    const std::string head = "{\"traceEvents\":[\n";
+    const std::string tail = "],\"displayTimeUnit\":\"ms\"}\n";
+    if (json.size() < head.size() + tail.size()) return false;
+    if (json.compare(0, head.size(), head) != 0) return false;
+    if (json.compare(json.size() - tail.size(), tail.size(), tail) != 0) return false;
+
+    std::size_t begins = 0, ends = 0;
+    long depth = 0;
+    std::size_t pos = head.size();
+    const std::size_t stop = json.size() - tail.size();
+    while (pos < stop) {
+        std::size_t eol = json.find('\n', pos);
+        if (eol == std::string::npos || eol > stop) eol = stop;
+        const std::string_view line(json.data() + pos, eol - pos);
+        if (line.find("\"ph\":\"B\"") != std::string_view::npos) {
+            ++begins;
+            ++depth;
+        } else if (line.find("\"ph\":\"E\"") != std::string_view::npos) {
+            ++ends;
+            if (--depth < 0) return false;
+        } else {
+            return false; // every event must be a B or an E
+        }
+        if (line.find("\"name\":\"") == std::string_view::npos) return false;
+        if (line.find("\"ts\":") == std::string_view::npos) return false;
+        pos = eol + 1;
+    }
+    if (events_out != nullptr) *events_out = begins + ends;
+    return depth == 0 && begins == ends && begins > 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    obs::set_mode(obs::Mode::Trace);
+    const auto g = bench::figure1();
+
+    std::string span_path;
+    const std::string trace1 = traced_run(g, 1, &span_path);
+    const std::string trace8 = traced_run(g, 8, nullptr);
+    util::set_num_threads(0);
+
+    std::size_t events = 0;
+    check(validate_chrome(trace1, &events), "chrome export well-formed, B/E balanced");
+    std::printf("  (%zu events)\n", events);
+    check(trace1 == trace8, "trace byte-identical: 1 thread vs 8 threads");
+    check(!span_path.empty(), "hazard counterexample carries span path");
+    if (!span_path.empty()) std::printf("  (found in: %s)\n", span_path.c_str());
+    check(trace1.find("\"name\":\"synth.bnb\"") != std::string::npos, "trace covers synthesis");
+    check(trace1.find("\"name\":\"verify.explore\"") != std::string::npos,
+          "trace covers verification");
+    check(!obs::metrics_text(false).empty(), "stable metrics recorded");
+
+    if (!obs_out.empty()) {
+        // Re-export the last (8-thread) run to the requested file; the
+        // overwrite refusal is part of the CLI contract being smoked.
+        const std::string err = obs::export_to_file(obs_out, force);
+        check(err.empty(), "--obs-out export");
+        if (!err.empty()) std::fprintf(stderr, "%s\n", err.c_str());
+    }
+
+    std::printf("%s\n", g_failures == 0 ? "obs-smoke: PASS" : "obs-smoke: FAIL");
+    return g_failures == 0 ? 0 : 1;
+}

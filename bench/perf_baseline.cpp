@@ -14,8 +14,17 @@
 // `seed` across all workloads, plus per-workload states/sec.
 //
 // Usage: perf_baseline [--smoke] [--out <path>] [--reps <n>]
-//   --smoke  small workloads + 1 repetition (the perf-smoke ctest label)
-//   --out    JSON output path (default: BENCH_perf.json in the CWD)
+//                      [--obs-out <path> [--force]]
+//   --smoke    small workloads + 1 repetition (the perf-smoke ctest label)
+//   --out      JSON output path (default: BENCH_perf.json in the CWD)
+//   --obs-out  also write the si::obs export of the untimed metrics pass
+//              (refuses to overwrite an existing file without --force)
+//
+// The timed section always runs with obs disabled — it measures the
+// shipping configuration. A separate untimed metrics-mode pass then
+// re-runs every workload once and embeds the stable counters into the
+// JSON under "metrics", so a recorded baseline documents how much work
+// (states, transitions, SAT conflicts, BDD nodes) the numbers represent.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "si/bench_stgs/generators.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/mc/requirement.hpp"
@@ -66,12 +76,31 @@ double geomean(const std::vector<double>& xs) {
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
+/// Renders si::obs::metrics_brief() ("a=1 b=2") as a JSON object.
+std::string metrics_brief_json(const std::string& brief) {
+    std::string out = "{";
+    std::size_t pos = 0;
+    while (pos < brief.size()) {
+        std::size_t end = brief.find(' ', pos);
+        if (end == std::string::npos) end = brief.size();
+        const std::size_t eq = brief.find('=', pos);
+        if (eq != std::string::npos && eq < end) {
+            if (out.size() > 1) out += ", ";
+            out += "\"" + brief.substr(pos, eq - pos) + "\": " + brief.substr(eq + 1, end - eq - 1);
+        }
+        pos = end + 1;
+    }
+    return out + "}";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     bool smoke = false;
+    bool force = false;
     std::size_t reps = 3;
     std::string out_path = "BENCH_perf.json";
+    std::string obs_out;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -80,8 +109,15 @@ int main(int argc, char** argv) {
             out_path = argv[++i];
         } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
             reps = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--reps <n>]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--out <path>] [--reps <n>]"
+                         " [--obs-out <path> [--force]]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -150,6 +186,10 @@ int main(int argc, char** argv) {
                                      {"parallel-8", true, 8}};
 
     // results[m][w] = best-of-reps sample for workload w under mode m.
+    // Observability stays off while timing: the baseline records the
+    // shipping configuration (and the <2% disabled-overhead budget is
+    // checked by comparing this file across commits, not within a run).
+    si::obs::set_mode(si::obs::Mode::Off);
     std::vector<std::vector<Sample>> results(modes.size(),
                                              std::vector<Sample>(workloads.size()));
     for (std::size_t m = 0; m < modes.size(); ++m) {
@@ -171,6 +211,17 @@ int main(int argc, char** argv) {
         }
     }
     si::util::set_fast_path(true);
+
+    // Untimed metrics pass: the same workloads once more with counters
+    // on, so the recorded baseline states what the timings paid for.
+    si::obs::set_mode(si::obs::Mode::Metrics);
+    si::obs::reset();
+    si::util::set_num_threads(1);
+    for (const auto& w : workloads) (void)w.run();
+    const std::string metrics_json = metrics_brief_json(si::obs::metrics_brief());
+    std::string obs_err;
+    if (!obs_out.empty()) obs_err = si::obs::export_to_file(obs_out, force);
+    si::obs::set_mode(si::obs::Mode::Off);
     si::util::set_num_threads(0);
 
     std::ofstream json(out_path);
@@ -184,6 +235,7 @@ int main(int argc, char** argv) {
     json << "  \"repetitions\": " << reps << ",\n";
     json << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
     json << "  \"baseline_mode\": \"seed\",\n";
+    json << "  \"metrics\": " << metrics_json << ",\n";
     json << "  \"modes\": [\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         std::vector<double> speedups;
@@ -209,5 +261,10 @@ int main(int argc, char** argv) {
     }
     json << "  ]\n}\n";
     std::cout << "wrote " << out_path << "\n";
+    if (!obs_err.empty()) {
+        std::fprintf(stderr, "%s\n", obs_err.c_str());
+        return 1;
+    }
+    if (!obs_out.empty()) std::cout << "wrote " << obs_out << "\n";
     return 0;
 }

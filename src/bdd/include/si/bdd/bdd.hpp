@@ -27,6 +27,11 @@ public:
     static constexpr Ref kTrue = 1;
 
     explicit Manager(std::size_t num_vars);
+    /// Flushes this manager's node/ITE statistics to the obs metrics
+    /// registry ("bdd.*" counters) when metrics are enabled.
+    ~Manager();
+    Manager(const Manager&) = delete;
+    Manager& operator=(const Manager&) = delete;
 
     [[nodiscard]] std::size_t num_vars() const { return nvars_; }
     /// Total live nodes (including terminals).
@@ -77,6 +82,10 @@ public:
     /// Node count of the BDD rooted at f (measure of its size).
     [[nodiscard]] std::size_t size(Ref f) const;
 
+    /// ITE statistics, for the obs layer and the perf benchmarks.
+    [[nodiscard]] std::uint64_t ite_calls() const { return ite_calls_; }
+    [[nodiscard]] std::uint64_t ite_cache_hits() const { return ite_cache_hits_; }
+
 private:
     struct Node {
         std::uint32_t var;
@@ -118,6 +127,8 @@ private:
     std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
     std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
     util::Budget* budget_ = nullptr;
+    std::uint64_t ite_calls_ = 0;
+    std::uint64_t ite_cache_hits_ = 0;
 };
 
 } // namespace si::bdd

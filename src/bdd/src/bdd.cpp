@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 
 namespace si::bdd {
@@ -14,6 +15,14 @@ constexpr std::uint32_t kTermVar = UINT32_MAX;
 Manager::Manager(std::size_t num_vars) : nvars_(num_vars) {
     nodes_.push_back(Node{kTermVar, kFalse, kFalse}); // 0
     nodes_.push_back(Node{kTermVar, kTrue, kTrue});   // 1
+}
+
+Manager::~Manager() {
+    if (!obs::enabled()) return;
+    obs::count("bdd.managers");
+    obs::count("bdd.nodes", nodes_.size() - 2); // minus the two terminals
+    obs::count("bdd.ite_calls", ite_calls_);
+    obs::count("bdd.ite_cache_hits", ite_cache_hits_);
 }
 
 Ref Manager::make(std::uint32_t var, Ref lo, Ref hi) {
@@ -47,6 +56,7 @@ std::uint32_t Manager::top_var(Ref f, Ref g, Ref h) const {
 }
 
 Ref Manager::ite(Ref f, Ref g, Ref h) {
+    ++ite_calls_;
     // Terminal cases.
     if (f == kTrue) return g;
     if (f == kFalse) return h;
@@ -54,7 +64,10 @@ Ref Manager::ite(Ref f, Ref g, Ref h) {
     if (g == kTrue && h == kFalse) return f;
 
     const IteKey key{f, g, h};
-    if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+    if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+        ++ite_cache_hits_;
+        return it->second;
+    }
 
     const std::uint32_t v = top_var(f, g, h);
     auto cof = [&](Ref x, bool hi) {

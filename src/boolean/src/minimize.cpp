@@ -1,5 +1,7 @@
 #include "si/boolean/minimize.hpp"
 
+#include "si/obs/obs.hpp"
+
 namespace si {
 
 Cover expand_against(const Cover& cover, const Cover& offset) {
@@ -76,6 +78,8 @@ Cover reduce(const Cover& cover, const Cover& onset, const Cover& dontcare) {
 }
 
 Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions& opts) {
+    obs::Span span("minimize");
+    span.attr("onset_cubes", static_cast<std::uint64_t>(onset.size()));
     util::Meter meter("minimize", opts.budget);
 
     Cover care(onset.num_vars());
@@ -92,6 +96,7 @@ Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions&
         // exhausted budget settles for the best cover reached so far (a
         // correct cover every round — only optimality degrades).
         if (!meter.charge(util::Resource::Steps, cur.size() + 1)) break;
+        obs::count("minimize.passes");
         Cover expanded = expand_against(cur, offset);
         if (!meter.charge(util::Resource::Steps, expanded.size())) {
             Cover pruned = irredundant(expanded, dontcare);
@@ -112,6 +117,13 @@ Cover minimize(const Cover& onset, const Cover& dontcare, const MinimizeOptions&
         // different primes.
         cur = reduce(pruned, onset, dontcare);
         if (cur.empty()) cur = std::move(pruned);
+    }
+    span.attr("cubes", static_cast<std::uint64_t>(best.size()));
+    span.attr("literals", static_cast<std::uint64_t>(best.literal_count()));
+    if (obs::enabled()) {
+        obs::count("minimize.calls");
+        obs::count("minimize.cubes_out", best.size());
+        obs::observe("minimize.literals", best.literal_count());
     }
     return best;
 }

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "si/mc/cover_cube.hpp"
+#include "si/obs/obs.hpp"
 #include "si/util/parallel.hpp"
 
 namespace si::mc {
@@ -38,6 +39,7 @@ std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max
     std::unordered_set<Cube> seen{full};
     std::size_t examined = 0;
     while (!queue.empty() && examined < max_candidates) {
+        obs::count("mc.cube_candidates");
         const Cube cur = queue.front();
         queue.pop_front();
         ++examined;
@@ -58,6 +60,8 @@ std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max
 } // namespace
 
 RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r, const McCubeSearch& opts) {
+    obs::Span span("mc.cube");
+    span.attr("region", ra.region(r).label(ra.graph()));
     RegionMc out;
     out.region = r;
     const Cube full = smallest_cover_cube(ra, r);
@@ -66,8 +70,15 @@ RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r, const McCubeSear
         opts.max_candidates);
     if (cube) {
         out.cube = std::move(cube);
+        if (obs::enabled()) {
+            obs::count("mc.cubes_found");
+            obs::observe("mc.cube_literals", out.cube->literal_count());
+        }
+        span.attr("cube", "found");
     } else {
         out.violations = check_monotonous_cover(ra, r, full);
+        obs::count("mc.cubes_missing");
+        span.attr("cube", "none");
     }
     return out;
 }
@@ -112,6 +123,8 @@ std::string McReport::describe(const sg::RegionAnalysis& ra) const {
 }
 
 McReport check_requirement(const sg::RegionAnalysis& ra, const McCubeSearch& opts) {
+    obs::Span span("mc.check");
+    span.attr("regions", static_cast<std::uint64_t>(ra.regions().size()));
     McReport report;
     // Map region id -> slot in the report for the group fallback.
     std::map<std::size_t, std::size_t> slot;

@@ -1,0 +1,230 @@
+// si::obs — deterministic tracing, metrics and profiling.
+//
+// The pipeline (SG unfolding → regions → MC cubes → implementation →
+// SI verification) is instrumented with three primitives:
+//
+//   * Span — an RAII stage marker with a name and key=value attributes.
+//     Spans nest per thread; parallel fan-outs (si::util::parallel) open
+//     one span per fan-out and one per task, keyed by the task *index*,
+//     so the merged trace tree is canonical: byte-identical for any
+//     worker count and for fast_path on/off. Ticks come from a pluggable
+//     clock — the default deterministic clock assigns them at export
+//     time by a DFS over the canonical tree (so they never depend on
+//     scheduling); wall-clock timestamps are opt-in.
+//   * Metrics — named counters / max-gauges / log2 histograms, sharded
+//     per thread and merged commutatively (sums and maxima), so the
+//     merged snapshot is deterministic whenever the work is. Metrics
+//     whose value is inherently execution-dependent (pool task placement,
+//     fast-path index hit counts) are tagged Tag::Diag and excluded from
+//     the deterministic export.
+//   * Exporters — Chrome trace-event JSON (chrome://tracing), a
+//     human-readable span tree, and a sorted metrics listing.
+//
+// Everything is gated on one mode flag (SI_OBS=trace|metrics|off or
+// set_mode); when Off, every entry point reduces to one relaxed atomic
+// load and a branch, so the instrumented hot paths cost nothing
+// measurable. The module sits below si::util (no dependencies into the
+// rest of the library) so every layer, including Budget/Meter, can use
+// it.
+//
+// Quiescence contract: exports, snapshots and reset() must be called
+// while no instrumented parallel work is in flight (after fan-outs have
+// joined). The library's fan-outs all block until completion, so any
+// single-threaded caller satisfies this by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace si::obs {
+
+// ---------------------------------------------------------------------------
+// Mode control
+
+enum class Mode : unsigned char {
+    Off,     ///< everything disabled (near-zero overhead)
+    Metrics, ///< metrics only
+    Trace,   ///< spans + metrics
+};
+
+/// Active mode. Initialized once from the SI_OBS environment variable
+/// ("trace", "metrics", anything else / unset = off); set_mode overrides.
+[[nodiscard]] Mode mode();
+void set_mode(Mode m);
+
+namespace detail {
+/// The mode flag, exposed so the inline guards below compile to one
+/// relaxed load. 255 = "not yet initialized from the environment".
+extern std::atomic<unsigned char> g_mode;
+[[nodiscard]] Mode mode_slow();
+[[nodiscard]] inline Mode mode_fast() {
+    const unsigned char m = g_mode.load(std::memory_order_relaxed);
+    if (m == 255) return mode_slow();
+    return static_cast<Mode>(m);
+}
+} // namespace detail
+
+/// True when metrics (and possibly spans) are being recorded.
+[[nodiscard]] inline bool enabled() { return detail::mode_fast() != Mode::Off; }
+/// True when spans are being recorded.
+[[nodiscard]] inline bool tracing() { return detail::mode_fast() == Mode::Trace; }
+
+// ---------------------------------------------------------------------------
+// Clock
+
+enum class ClockMode : unsigned char {
+    Deterministic, ///< ticks assigned at export by canonical DFS (default)
+    Wall,          ///< steady_clock nanoseconds recorded at span begin/end
+};
+
+[[nodiscard]] ClockMode clock_mode();
+void set_clock(ClockMode m);
+
+// ---------------------------------------------------------------------------
+// Spans
+
+namespace detail {
+struct Rec; // one recorded span (thread-local arena)
+/// Cross-thread reference to a recorded span: arena id + slot. Task
+/// spans created on pool workers link to the fan-out span through this.
+struct SpanRef {
+    Rec* rec = nullptr;
+    std::int32_t buf = -1;
+    std::uint32_t idx = 0;
+};
+Rec* span_begin(const char* name);
+void span_end(Rec* rec);
+void span_attr(Rec* rec, const char* key, std::string value);
+[[nodiscard]] SpanRef current_ref();
+Rec* task_begin(const SpanRef& fan, std::size_t index);
+} // namespace detail
+
+/// RAII stage span. A no-op unless tracing() at construction. Attributes
+/// are attached to the begin event of the exported trace.
+class Span {
+public:
+    explicit Span(const char* name) {
+        if (tracing()) rec_ = detail::span_begin(name);
+    }
+    ~Span() {
+        if (rec_ != nullptr) detail::span_end(rec_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void attr(const char* key, std::string value) {
+        if (rec_ != nullptr) detail::span_attr(rec_, key, std::move(value));
+    }
+    void attr(const char* key, const char* value) {
+        if (rec_ != nullptr) detail::span_attr(rec_, key, std::string(value));
+    }
+    void attr(const char* key, std::uint64_t value) {
+        if (rec_ != nullptr) detail::span_attr(rec_, key, std::to_string(value));
+    }
+
+private:
+    detail::Rec* rec_ = nullptr;
+};
+
+/// The current thread's open-span path, root first, joined with '/'
+/// ("synth.bnb/parallel/task/verify.explore"). Empty when not tracing or
+/// outside any span. This is the provenance string violation witnesses
+/// carry.
+[[nodiscard]] std::string current_span_path();
+
+// ---------------------------------------------------------------------------
+// Fan-out integration (used by si::util::parallel, not by user code)
+
+/// Opens a "parallel" span around a fan-out of n tasks. The per-task
+/// TaskSpan children are keyed by task index, which is what keeps the
+/// merged tree identical for every worker count.
+class FanOutSpan {
+public:
+    explicit FanOutSpan(std::size_t n);
+    ~FanOutSpan();
+    FanOutSpan(const FanOutSpan&) = delete;
+    FanOutSpan& operator=(const FanOutSpan&) = delete;
+
+private:
+    friend class TaskSpan;
+    detail::SpanRef ref_;
+};
+
+/// Opened on the executing thread (pool worker or caller) around task i.
+class TaskSpan {
+public:
+    TaskSpan(const FanOutSpan& fan, std::size_t index);
+    ~TaskSpan();
+    TaskSpan(const TaskSpan&) = delete;
+    TaskSpan& operator=(const TaskSpan&) = delete;
+
+private:
+    detail::Rec* rec_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+/// Stable metrics are deterministic whenever the instrumented work is —
+/// they survive the byte-identical-across-thread-counts contract. Diag
+/// metrics depend on scheduling or on which code path ran (pool task
+/// placement, fast-path index hits) and are excluded from deterministic
+/// exports.
+enum class Tag : unsigned char { Stable, Diag };
+
+/// Adds `delta` to the named counter.
+void count(std::string_view name, std::uint64_t delta = 1, Tag tag = Tag::Stable);
+/// Raises the named gauge to at least `value` (merge = max: commutative).
+void gauge_max(std::string_view name, std::uint64_t value, Tag tag = Tag::Stable);
+/// Records `value` into the named log2-bucket histogram.
+void observe(std::string_view name, std::uint64_t value, Tag tag = Tag::Stable);
+
+// Fixed-slot counters for the hottest instrumentation points, where even
+// a hash lookup per event would distort what is being measured. One
+// relaxed atomic increment when enabled; merged into the snapshot under
+// the names in obs.cpp. All are Diag (their values depend on fast_path).
+enum class Hot : unsigned char {
+    ExcitedIndexHit, ///< StateGraph::excited served by the excitation index
+    ArcOnIndexHit,   ///< StateGraph::arc_on served by the arc-on table
+    FanoutNarrowed,  ///< verifier disabling checks narrowed by FanoutIndex
+};
+inline constexpr std::size_t kNumHot = 3;
+namespace detail {
+extern std::atomic<std::uint64_t> g_hot[kNumHot];
+} // namespace detail
+inline void hot(Hot h) {
+    if (enabled())
+        detail::g_hot[static_cast<std::size_t>(h)].fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+
+/// Sorted "counter|gauge|hist name ..." lines, one metric per line.
+/// Diag-tagged metrics are appended under a marker line when included.
+[[nodiscard]] std::string metrics_text(bool include_diag = true);
+
+/// One-line "name=value ..." summary of the Stable counters — the
+/// snapshot util::Exhaustion carries so budget trips are attributable.
+[[nodiscard]] std::string metrics_brief();
+
+/// Chrome trace-event JSON (load via chrome://tracing or Perfetto).
+/// Balanced B/E event pairs in canonical DFS order; with the
+/// deterministic clock, timestamps are DFS tick numbers.
+[[nodiscard]] std::string trace_chrome_json();
+
+/// Human-readable indented span tree.
+[[nodiscard]] std::string trace_tree();
+
+/// Writes the active export (trace JSON when tracing, metrics text
+/// otherwise) to `path`. Refuses to overwrite an existing file unless
+/// `force`. Returns an empty string on success, else the error message.
+[[nodiscard]] std::string export_to_file(const std::string& path, bool force);
+
+/// Drops every recorded span and metric (mode and clock are kept).
+/// Subject to the quiescence contract above.
+void reset();
+
+} // namespace si::obs

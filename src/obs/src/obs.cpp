@@ -1,0 +1,547 @@
+#include "si/obs/obs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace si::obs {
+
+namespace detail {
+
+std::atomic<unsigned char> g_mode{255}; // 255 = read SI_OBS on first use
+std::atomic<std::uint64_t> g_hot[kNumHot]{};
+
+// One recorded span. Arenas are per-thread deques (pointer-stable), so
+// a record is appended and mutated only by its owning thread; the single
+// cross-thread link — a task span pointing at the fan-out span in the
+// caller's arena — stores (buf, idx) and never writes through it.
+struct Rec {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::int32_t parent_buf = -1; ///< -1 for roots
+    std::uint32_t parent_idx = 0;
+    /// Sort key among siblings: the parent's sequential child counter,
+    /// or the task index under a fan-out span. Unique per parent either
+    /// way, so child order is canonical.
+    std::uint64_t key = 0;
+    std::uint32_t next_child = 0; ///< sequential-child counter (owner thread only)
+    std::uint64_t begin_ns = 0;   ///< wall clock mode only
+    std::uint64_t end_ns = 0;
+};
+
+namespace {
+
+struct ThreadBuf {
+    std::deque<Rec> recs;
+    std::int32_t id = -1;
+};
+
+struct Slot {
+    enum class Kind : unsigned char { Counter, Gauge, Hist };
+    Kind kind = Kind::Counter;
+    Tag tag = Tag::Stable;
+    std::uint64_t value = 0; ///< counter sum / gauge max
+    std::uint64_t hist_count = 0;
+    std::uint64_t hist_sum = 0;
+    std::array<std::uint64_t, 65> buckets{}; ///< index = bit_width(value)
+};
+
+struct MetricShard {
+    std::unordered_map<std::string, Slot> slots;
+};
+
+// Leaked singleton: pool worker threads outlive every static-destruction
+// order we could reason about, so the registry is never destroyed.
+struct Registry {
+    std::mutex mutex;
+    std::vector<ThreadBuf*> bufs;
+    std::vector<MetricShard*> shards;
+    std::atomic<std::uint64_t> root_seq{0};
+};
+
+Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+std::atomic<unsigned char> g_clock{static_cast<unsigned char>(ClockMode::Deterministic)};
+
+struct Tls {
+    ThreadBuf* buf = nullptr;
+    MetricShard* shard = nullptr;
+    std::vector<SpanRef> stack;
+};
+
+Tls& tls() {
+    thread_local Tls t;
+    return t;
+}
+
+ThreadBuf& thread_buf() {
+    Tls& t = tls();
+    if (t.buf == nullptr) {
+        auto* buf = new ThreadBuf;
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        buf->id = static_cast<std::int32_t>(r.bufs.size());
+        r.bufs.push_back(buf);
+        t.buf = buf;
+    }
+    return *t.buf;
+}
+
+MetricShard& metric_shard() {
+    Tls& t = tls();
+    if (t.shard == nullptr) {
+        auto* shard = new MetricShard;
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.shards.push_back(shard);
+        t.shard = shard;
+    }
+    return *t.shard;
+}
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+}
+
+bool wall_clock() {
+    return static_cast<ClockMode>(g_clock.load(std::memory_order_relaxed)) == ClockMode::Wall;
+}
+
+Slot& slot(std::string_view name, Slot::Kind kind, Tag tag) {
+    MetricShard& shard = metric_shard();
+    auto [it, inserted] = shard.slots.try_emplace(std::string(name));
+    if (inserted) {
+        it->second.kind = kind;
+        it->second.tag = tag;
+    }
+    return it->second;
+}
+
+void json_escape(std::string& out, const std::string& s) {
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical tree reconstruction shared by both trace exporters.
+
+struct TreeNode {
+    const Rec* rec = nullptr;
+    std::int32_t buf = 0;
+    std::vector<std::uint32_t> children; ///< global node indices, key-sorted
+};
+
+struct Tree {
+    std::vector<TreeNode> nodes;
+    std::vector<std::uint32_t> roots; ///< key-sorted
+};
+
+// Must be called under the registry lock with no spans being recorded
+// (the quiescence contract from the header).
+Tree build_tree(Registry& r) {
+    Tree tree;
+    // Global index = offset of the buf + slot within it.
+    std::vector<std::size_t> base(r.bufs.size() + 1, 0);
+    for (std::size_t b = 0; b < r.bufs.size(); ++b)
+        base[b + 1] = base[b] + r.bufs[b]->recs.size();
+    tree.nodes.resize(base.back());
+    for (std::size_t b = 0; b < r.bufs.size(); ++b) {
+        std::size_t i = base[b];
+        for (const Rec& rec : r.bufs[b]->recs) {
+            tree.nodes[i].rec = &rec;
+            tree.nodes[i].buf = static_cast<std::int32_t>(b);
+            ++i;
+        }
+    }
+    for (std::uint32_t i = 0; i < tree.nodes.size(); ++i) {
+        const Rec& rec = *tree.nodes[i].rec;
+        if (rec.parent_buf < 0) {
+            tree.roots.push_back(i);
+        } else {
+            const std::size_t p = base[static_cast<std::size_t>(rec.parent_buf)] + rec.parent_idx;
+            tree.nodes[p].children.push_back(i);
+        }
+    }
+    const auto by_key = [&](std::uint32_t a, std::uint32_t b) {
+        return tree.nodes[a].rec->key < tree.nodes[b].rec->key;
+    };
+    std::sort(tree.roots.begin(), tree.roots.end(), by_key);
+    for (auto& n : tree.nodes) std::sort(n.children.begin(), n.children.end(), by_key);
+    return tree;
+}
+
+} // namespace
+
+Rec* span_begin(const char* name) {
+    Tls& t = tls();
+    ThreadBuf& buf = thread_buf();
+    Rec rec;
+    rec.name = name;
+    if (!t.stack.empty()) {
+        const SpanRef& top = t.stack.back();
+        rec.parent_buf = top.buf;
+        rec.parent_idx = top.idx;
+        rec.key = top.rec->next_child++;
+    } else {
+        rec.key = registry().root_seq.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (wall_clock()) rec.begin_ns = now_ns();
+    buf.recs.push_back(std::move(rec));
+    Rec* r = &buf.recs.back();
+    t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
+    return r;
+}
+
+Rec* task_begin(const SpanRef& fan, std::size_t index) {
+    Tls& t = tls();
+    ThreadBuf& buf = thread_buf();
+    Rec rec;
+    rec.name = "task";
+    rec.parent_buf = fan.buf;
+    rec.parent_idx = fan.idx;
+    rec.key = index; // canonical: the task index, not arrival order
+    if (wall_clock()) rec.begin_ns = now_ns();
+    buf.recs.push_back(std::move(rec));
+    Rec* r = &buf.recs.back();
+    t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
+    return r;
+}
+
+void span_end(Rec* rec) {
+    if (wall_clock()) rec->end_ns = now_ns();
+    auto& stack = tls().stack;
+    // RAII discipline makes this the top; tolerate a mismatch (a span
+    // leaked across a reset) by scanning instead of corrupting the stack.
+    for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i].rec == rec) {
+            stack.resize(i);
+            return;
+        }
+    }
+}
+
+void span_attr(Rec* rec, const char* key, std::string value) {
+    rec->attrs.emplace_back(key, std::move(value));
+}
+
+SpanRef current_ref() {
+    auto& stack = tls().stack;
+    return stack.empty() ? SpanRef{} : stack.back();
+}
+
+Mode mode_slow() {
+    unsigned char expected = 255;
+    const char* env = std::getenv("SI_OBS");
+    Mode m = Mode::Off;
+    if (env != nullptr) {
+        if (std::strcmp(env, "trace") == 0) m = Mode::Trace;
+        else if (std::strcmp(env, "metrics") == 0) m = Mode::Metrics;
+    }
+    g_mode.compare_exchange_strong(expected, static_cast<unsigned char>(m));
+    return static_cast<Mode>(g_mode.load(std::memory_order_relaxed));
+}
+
+} // namespace detail
+
+Mode mode() { return detail::mode_fast(); }
+
+void set_mode(Mode m) { detail::g_mode.store(static_cast<unsigned char>(m)); }
+
+ClockMode clock_mode() {
+    return static_cast<ClockMode>(detail::g_clock.load(std::memory_order_relaxed));
+}
+
+void set_clock(ClockMode m) { detail::g_clock.store(static_cast<unsigned char>(m)); }
+
+std::string current_span_path() {
+    const auto& stack = detail::tls().stack;
+    std::string out;
+    for (const auto& ref : stack) {
+        if (!out.empty()) out += '/';
+        out += ref.rec->name;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out integration
+
+FanOutSpan::FanOutSpan(std::size_t n) {
+    if (!tracing()) return;
+    detail::Rec* rec = detail::span_begin("parallel");
+    detail::span_attr(rec, "n", std::to_string(n));
+    ref_ = detail::current_ref();
+}
+
+FanOutSpan::~FanOutSpan() {
+    if (ref_.rec != nullptr) detail::span_end(ref_.rec);
+}
+
+TaskSpan::TaskSpan(const FanOutSpan& fan, std::size_t index) {
+    if (fan.ref_.rec == nullptr) return;
+    rec_ = detail::task_begin(fan.ref_, index);
+}
+
+TaskSpan::~TaskSpan() {
+    if (rec_ != nullptr) detail::span_end(rec_);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+void count(std::string_view name, std::uint64_t delta, Tag tag) {
+    if (!enabled()) return;
+    detail::slot(name, detail::Slot::Kind::Counter, tag).value += delta;
+}
+
+void gauge_max(std::string_view name, std::uint64_t value, Tag tag) {
+    if (!enabled()) return;
+    auto& s = detail::slot(name, detail::Slot::Kind::Gauge, tag);
+    s.value = std::max(s.value, value);
+}
+
+void observe(std::string_view name, std::uint64_t value, Tag tag) {
+    if (!enabled()) return;
+    auto& s = detail::slot(name, detail::Slot::Kind::Hist, tag);
+    ++s.hist_count;
+    s.hist_sum += value;
+    ++s.buckets[std::bit_width(value)];
+}
+
+namespace {
+
+using detail::Slot;
+
+/// Fixed names for the Hot counter slots, all Diag.
+constexpr const char* kHotNames[kNumHot] = {
+    "sg.excited_index_hits",
+    "sg.arc_on_index_hits",
+    "verify.fanout_narrowed_checks",
+};
+
+// Merged, name-ordered snapshot of every shard plus the hot counters.
+std::map<std::string, Slot> merged_metrics() {
+    auto& r = detail::registry();
+    std::map<std::string, Slot> out;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (const auto* shard : r.shards) {
+            for (const auto& [name, s] : shard->slots) {
+                auto [it, inserted] = out.try_emplace(name, s);
+                if (inserted) continue;
+                Slot& m = it->second;
+                switch (s.kind) {
+                case Slot::Kind::Counter: m.value += s.value; break;
+                case Slot::Kind::Gauge: m.value = std::max(m.value, s.value); break;
+                case Slot::Kind::Hist:
+                    m.hist_count += s.hist_count;
+                    m.hist_sum += s.hist_sum;
+                    for (std::size_t b = 0; b < m.buckets.size(); ++b)
+                        m.buckets[b] += s.buckets[b];
+                    break;
+                }
+            }
+        }
+    }
+    for (std::size_t h = 0; h < kNumHot; ++h) {
+        const std::uint64_t v = detail::g_hot[h].load(std::memory_order_relaxed);
+        if (v == 0) continue;
+        Slot s;
+        s.kind = Slot::Kind::Counter;
+        s.tag = Tag::Diag;
+        s.value = v;
+        out.emplace(kHotNames[h], s);
+    }
+    return out;
+}
+
+std::string metric_line(const std::string& name, const Slot& s) {
+    switch (s.kind) {
+    case Slot::Kind::Counter: return "counter " + name + " = " + std::to_string(s.value);
+    case Slot::Kind::Gauge: return "gauge " + name + " max = " + std::to_string(s.value);
+    case Slot::Kind::Hist: {
+        std::string out = "hist " + name + " count=" + std::to_string(s.hist_count) +
+                          " sum=" + std::to_string(s.hist_sum) + " buckets=[";
+        bool first = true;
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            if (s.buckets[b] == 0) continue;
+            if (!first) out += ' ';
+            first = false;
+            out += "2^" + std::to_string(b) + ":" + std::to_string(s.buckets[b]);
+        }
+        return out + "]";
+    }
+    }
+    return {};
+}
+
+} // namespace
+
+std::string metrics_text(bool include_diag) {
+    const auto merged = merged_metrics();
+    std::string out;
+    for (const auto& [name, s] : merged)
+        if (s.tag == Tag::Stable) out += metric_line(name, s) + "\n";
+    if (include_diag) {
+        bool header = false;
+        for (const auto& [name, s] : merged) {
+            if (s.tag != Tag::Diag) continue;
+            if (!header) {
+                out += "# diagnostic (scheduling/path dependent)\n";
+                header = true;
+            }
+            out += metric_line(name, s) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string metrics_brief() {
+    std::string out;
+    for (const auto& [name, s] : merged_metrics()) {
+        if (s.tag != Tag::Stable || s.kind != Slot::Kind::Counter) continue;
+        if (!out.empty()) out += ' ';
+        out += name + "=" + std::to_string(s.value);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace exports
+
+namespace {
+
+// Emits one node (begin event, children, end event). With the
+// deterministic clock `tick` numbers the events by canonical DFS order,
+// which is what makes the export byte-identical across worker counts.
+void emit_chrome(const detail::Tree& tree, std::uint32_t n, bool wall, std::uint64_t& tick,
+                 std::string& out) {
+    const auto& node = tree.nodes[n];
+    const auto& rec = *node.rec;
+    const std::uint64_t ts = wall ? rec.begin_ns / 1000 : tick++;
+    const std::int32_t tid = wall ? node.buf : 0;
+    out += "{\"name\":\"";
+    detail::json_escape(out, rec.name);
+    out += "\",\"cat\":\"si\",\"ph\":\"B\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + std::to_string(ts);
+    if (!rec.attrs.empty()) {
+        out += ",\"args\":{";
+        for (std::size_t a = 0; a < rec.attrs.size(); ++a) {
+            if (a != 0) out += ',';
+            out += '"';
+            detail::json_escape(out, rec.attrs[a].first);
+            out += "\":\"";
+            detail::json_escape(out, rec.attrs[a].second);
+            out += '"';
+        }
+        out += '}';
+    }
+    out += "},\n";
+    for (const auto c : node.children) emit_chrome(tree, c, wall, tick, out);
+    const std::uint64_t end = wall ? rec.end_ns / 1000 : tick++;
+    out += "{\"name\":\"";
+    detail::json_escape(out, rec.name);
+    out += "\",\"cat\":\"si\",\"ph\":\"E\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + std::to_string(end) + "},\n";
+}
+
+void emit_tree(const detail::Tree& tree, std::uint32_t n, bool wall, std::size_t depth,
+               std::uint64_t& tick, std::string& out) {
+    const auto& node = tree.nodes[n];
+    const auto& rec = *node.rec;
+    out.append(depth * 2, ' ');
+    out += rec.name;
+    for (const auto& [k, v] : rec.attrs) out += " " + k + "=" + v;
+    if (wall) {
+        out += " (" + std::to_string((rec.end_ns - rec.begin_ns) / 1000) + " us)\n";
+        for (const auto c : node.children) emit_tree(tree, c, wall, depth + 1, tick, out);
+    } else {
+        const std::uint64_t begin = tick++;
+        std::string body;
+        for (const auto c : node.children) emit_tree(tree, c, wall, depth + 1, tick, body);
+        out += " [" + std::to_string(begin) + ".." + std::to_string(tick++) + "]\n";
+        out += body;
+    }
+}
+
+} // namespace
+
+std::string trace_chrome_json() {
+    auto& r = detail::registry();
+    std::unique_lock<std::mutex> lock(r.mutex);
+    const detail::Tree tree = detail::build_tree(r);
+    lock.unlock(); // records are stable; only the registry lists needed the lock
+    const bool wall = clock_mode() == ClockMode::Wall;
+    std::string out = "{\"traceEvents\":[\n";
+    std::uint64_t tick = 0;
+    for (const auto root : tree.roots) emit_chrome(tree, root, wall, tick, out);
+    if (out.size() >= 2 && out[out.size() - 2] == ',') {
+        out.erase(out.size() - 2, 1); // drop the trailing comma
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::string trace_tree() {
+    auto& r = detail::registry();
+    std::unique_lock<std::mutex> lock(r.mutex);
+    const detail::Tree tree = detail::build_tree(r);
+    lock.unlock();
+    const bool wall = clock_mode() == ClockMode::Wall;
+    std::string out;
+    std::uint64_t tick = 0;
+    for (const auto root : tree.roots) emit_tree(tree, root, wall, 0, tick, out);
+    return out;
+}
+
+std::string export_to_file(const std::string& path, bool force) {
+    std::error_code ec;
+    if (!force && std::filesystem::exists(path, ec))
+        return "refusing to overwrite '" + path + "' (pass --force to allow)";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return "cannot write '" + path + "'";
+    if (tracing()) out << trace_chrome_json();
+    else out << metrics_text(true);
+    return out.good() ? std::string{} : "write to '" + path + "' failed";
+}
+
+void reset() {
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto* buf : r.bufs) buf->recs.clear();
+    for (auto* shard : r.shards) shard->slots.clear();
+    for (auto& h : detail::g_hot) h.store(0, std::memory_order_relaxed);
+    r.root_seq.store(0, std::memory_order_relaxed);
+}
+
+} // namespace si::obs

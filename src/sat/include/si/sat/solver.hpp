@@ -88,6 +88,9 @@ public:
 
     /// Total conflicts seen; exposed for the perf benchmarks.
     [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+    /// Total branching decisions / unit propagations, for the obs layer.
+    [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+    [[nodiscard]] std::uint64_t propagations() const { return propagations_; }
 
     /// Abort search after this many conflicts (0 = unlimited);
     /// solve() then returns Unknown.
@@ -121,6 +124,7 @@ private:
         return (v == Value::True) != l.negative() ? Value::True : Value::False;
     }
 
+    Result solve_impl(std::span<const Lit> assumptions);
     void enqueue(Lit l, ClauseRef reason);
     [[nodiscard]] ClauseRef propagate();
     void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
@@ -144,6 +148,8 @@ private:
     double var_inc_ = 1.0;
     bool ok_ = true;
     std::uint64_t conflicts_ = 0;
+    std::uint64_t decisions_ = 0;
+    std::uint64_t propagations_ = 0;
     std::uint64_t conflict_budget_ = 0;
     util::Budget* budget_ = nullptr;
     bool budget_exhausted_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 
 namespace si::sat {
@@ -112,6 +113,7 @@ Solver::ClauseRef Solver::propagate() {
                 qhead_ = trail_.size();
                 return cr;
             }
+            ++propagations_;
             enqueue(cl[0], cr);
         }
         ws.resize(keep);
@@ -213,6 +215,25 @@ void Solver::reduce_learnts() {
 }
 
 Result Solver::solve(std::span<const Lit> assumptions) {
+    if (!obs::enabled()) return solve_impl(assumptions);
+    obs::Span span("sat.solve");
+    span.attr("vars", static_cast<std::uint64_t>(num_vars()));
+    span.attr("clauses", static_cast<std::uint64_t>(clauses_.size()));
+    const std::uint64_t conflicts0 = conflicts_;
+    const std::uint64_t decisions0 = decisions_;
+    const std::uint64_t propagations0 = propagations_;
+    const Result r = solve_impl(assumptions);
+    obs::count("sat.solves");
+    obs::count("sat.conflicts", conflicts_ - conflicts0);
+    obs::count("sat.decisions", decisions_ - decisions0);
+    obs::count("sat.propagations", propagations_ - propagations0);
+    span.attr("conflicts", conflicts_ - conflicts0);
+    span.attr("result",
+              r == Result::Sat ? "sat" : (r == Result::Unsat ? "unsat" : "unknown"));
+    return r;
+}
+
+Result Solver::solve_impl(std::span<const Lit> assumptions) {
     budget_exhausted_ = false;
     if (!ok_) return Result::Unsat;
     if (budget_ != nullptr && !budget_->checkpoint()) {
@@ -280,6 +301,7 @@ Result Solver::solve(std::span<const Lit> assumptions) {
 
         const auto branch = pick_branch();
         if (!branch) return Result::Sat;
+        ++decisions_;
         trail_lim_.push_back(trail_.size());
         enqueue(*branch, kNoReason);
     }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 
 namespace si::sg {
@@ -37,6 +38,8 @@ struct MarkingGraph {
 // names the stage and resource), charging States per new marking and
 // Steps per explored edge.
 std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
+    obs::Span span("sg.explore");
+    span.attr("net", net.name);
     MarkingGraph g;
     std::unordered_map<stg::Marking, std::uint32_t, MarkingHash> index;
     g.nodes.push_back(net.initial_marking());
@@ -64,6 +67,12 @@ std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
             g.out[cur].push_back(static_cast<std::uint32_t>(g.edges.size()));
             g.edges.push_back(MarkingGraph::Edge{cur, it->second, t});
         }
+    }
+    span.attr("markings", static_cast<std::uint64_t>(g.nodes.size()));
+    span.attr("edges", static_cast<std::uint64_t>(g.edges.size()));
+    if (obs::enabled()) {
+        obs::count("sg.markings", g.nodes.size());
+        obs::count("sg.edges", g.edges.size());
     }
     return g;
 }

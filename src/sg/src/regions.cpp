@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
 
@@ -62,6 +63,8 @@ std::vector<BitVec> components(const StateGraph& sg, const BitVec& members,
 } // namespace
 
 RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.reachable()) {
+    obs::Span span("sg.regions");
+    span.attr("sg", sg.name);
     const std::size_t n = sg.num_states();
     region_at_.assign(n * sg.num_signals(), UINT32_MAX);
 
@@ -207,6 +210,8 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
 
         r.cfr = r.states | r.quiescent;
     }
+    span.attr("regions", static_cast<std::uint64_t>(regions_.size()));
+    if (obs::enabled()) obs::count("sg.regions", regions_.size());
 }
 
 std::vector<RegionId> RegionAnalysis::regions_of(SignalId v) const {

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
 
@@ -45,14 +46,20 @@ std::uint32_t StateGraph::add_arc(StateId from, StateId to, SignalId signal) {
 }
 
 bool StateGraph::excited(StateId s, SignalId v) const {
-    if (util::fast_path()) return excited_rows_[v.index()].test(s.index());
+    if (util::fast_path()) {
+        obs::hot(obs::Hot::ExcitedIndexHit);
+        return excited_rows_[v.index()].test(s.index());
+    }
     for (const auto a : states_[s.index()].out)
         if (arcs_[a].signal == v) return true;
     return false;
 }
 
 std::uint32_t StateGraph::arc_on(StateId s, SignalId v) const {
-    if (util::fast_path()) return arc_on_[s.index() * signals_.size() + v.index()];
+    if (util::fast_path()) {
+        obs::hot(obs::Hot::ArcOnIndexHit);
+        return arc_on_[s.index() * signals_.size() + v.index()];
+    }
     for (const auto a : states_[s.index()].out)
         if (arcs_[a].signal == v) return a;
     return UINT32_MAX;

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "si/mc/cover_cube.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sat/solver.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/projection.hpp"
@@ -175,6 +176,10 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
     if (ra.reachable().count() != n)
         throw SpecError("signal insertion requires a fully reachable state graph");
     if (victims.empty()) return {};
+
+    obs::Span span("synth.insert");
+    span.attr("signal", signal_name);
+    span.attr("victims", static_cast<std::uint64_t>(victims.size()));
 
     util::Meter meter("synth.insert", opts.budget);
     meter.local().cap(util::Resource::Attempts, opts.max_attempts);
@@ -344,6 +349,7 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
         // max_attempts` bound, which also persisted across tiers.
         if (!meter.charge(util::Resource::Attempts)) goto done;
         ++attempt;
+        obs::count("synth.insert_attempts");
         const auto verdict =
             solver.solve(std::span<const sat::Lit>(assumptions.data(), assumptions.size()));
         if (verdict != sat::Result::Sat) {

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/minimize_sg.hpp"
 #include "si/util/error.hpp"
@@ -46,6 +47,7 @@ struct Search {
     void run(const sg::StateGraph& current, std::vector<std::string>& names) {
         if (names.size() >= best_known) return; // cannot improve
         if (!meter.charge(util::Resource::Steps)) return;
+        obs::count("synth.rounds");
 
         const sg::RegionAnalysis ra(current);
         const mc::McReport report = mc::check_requirement(ra, opts.cube_search);
@@ -98,6 +100,9 @@ util::Outcome<SynthesisResult> synthesize_outcome(const sg::StateGraph& spec,
     SynthOptions opts = caller_opts;
     if (budget != nullptr && opts.insertion.budget == nullptr) opts.insertion.budget = budget;
 
+    obs::Span span("synth.bnb");
+    span.attr("spec", spec.name);
+
     const sg::StateGraph start =
         opts.minimize_graph ? sg::minimize_bisimulation(spec) : spec;
 
@@ -107,6 +112,10 @@ util::Outcome<SynthesisResult> synthesize_outcome(const sg::StateGraph& spec,
     Search search{opts, meter, opts.max_inserted_signals + 1, std::nullopt, {}};
     std::vector<std::string> names;
     search.run(start, names);
+    span.attr("inserted",
+              static_cast<std::uint64_t>(search.best_graph ? search.best_names.size() : 0));
+    if (obs::enabled() && search.best_graph)
+        obs::count("synth.inserted_signals", search.best_names.size());
 
     if (!search.best_graph) {
         if (meter.exhausted()) return util::Outcome<SynthesisResult>::exhausted(meter.why());

@@ -46,6 +46,14 @@ struct Exhaustion {
     Resource resource = Resource::Steps;
     std::uint64_t consumed = 0; ///< units consumed when the cap tripped
     std::uint64_t limit = 0;    ///< the cap that tripped
+    /// False only for the structured "not exhausted" outcome Meter::why()
+    /// returns when queried from an observability path before any trip.
+    bool tripped = true;
+    /// Stable-metric snapshot at the trip (obs::metrics_brief), filled
+    /// when metrics are enabled so the exhaustion site is attributable.
+    /// Diagnostic only — excluded from describe() because mid-flight
+    /// counter values are not part of the determinism contract.
+    std::string metrics;
 
     /// "budget exhausted in stage 'verify.explore': 4096 of 4096 states consumed"
     [[nodiscard]] std::string describe() const;
@@ -158,6 +166,11 @@ public:
         : shared_(shared), stage_(stage), local_scope_(local_, stage) {
         if (shared_) shared_scope_.emplace(*shared_, std::move(stage));
     }
+    /// Flushes the meter's per-stage spend to the obs metrics registry
+    /// ("stage.<stage>.<resource>" counters) when metrics are enabled.
+    ~Meter();
+    Meter(const Meter&) = delete;
+    Meter& operator=(const Meter&) = delete;
 
     /// The module-local caps; arm before the first charge.
     [[nodiscard]] Budget& local() { return local_; }
@@ -175,11 +188,13 @@ public:
         return local_.exhausted() || (shared_ != nullptr && shared_->exhausted());
     }
     /// The exhaustion that stopped the work (local cap or shared budget).
-    [[nodiscard]] const Exhaustion& why() const {
-        if (local_.exhausted()) return *local_.failure();
-        require(shared_ != nullptr && shared_->exhausted(), "Meter::why without exhaustion");
-        return *shared_->failure();
-    }
+    /// Never aborts: when neither budget has tripped (an observability
+    /// path asking "why did you stop?" of a meter that didn't), the
+    /// returned Exhaustion is a structured "not exhausted" outcome with
+    /// tripped == false.
+    [[nodiscard]] const Exhaustion& why() const;
+    /// Stage path of this meter on its local budget (innermost scope).
+    [[nodiscard]] std::string stage_path() const { return local_.current_stage(); }
 
 private:
     Budget local_;

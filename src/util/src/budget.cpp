@@ -1,6 +1,26 @@
 #include "si/util/budget.hpp"
 
+#include "si/obs/obs.hpp"
+
 namespace si::util {
+
+namespace {
+
+/// Identifier-safe resource names for metric keys ("BDD nodes" has a
+/// space in its human form).
+const char* resource_key(Resource r) {
+    switch (r) {
+        case Resource::WallClock: return "wall_ms";
+        case Resource::States: return "states";
+        case Resource::Steps: return "steps";
+        case Resource::Conflicts: return "conflicts";
+        case Resource::BddNodes: return "bdd_nodes";
+        case Resource::Attempts: return "attempts";
+    }
+    return "?";
+}
+
+} // namespace
 
 const char* to_string(Resource r) {
     switch (r) {
@@ -15,6 +35,7 @@ const char* to_string(Resource r) {
 }
 
 std::string Exhaustion::describe() const {
+    if (!tripped) return "budget not exhausted";
     return "budget exhausted in stage '" + (stage.empty() ? std::string("<top>") : stage) +
            "': " + std::to_string(consumed) + " of " + std::to_string(limit) + " " +
            to_string(resource) + " consumed";
@@ -43,6 +64,15 @@ std::string Budget::current_stage() const {
 
 void Budget::trip(Resource r, std::uint64_t consumed, std::uint64_t limit) {
     failure_ = Exhaustion{current_stage(), r, consumed, limit};
+    if (obs::enabled()) {
+        // Attach the stable-metric snapshot so the exhaustion site is
+        // attributable, and count the trip per stage/resource. Both are
+        // diagnostic: a snapshot taken mid-flight depends on scheduling.
+        failure_->metrics = obs::metrics_brief();
+        obs::count("budget.exhaustions", 1);
+        obs::count("budget.exhausted." + failure_->stage + "." + resource_key(r), 1,
+                   obs::Tag::Diag);
+    }
 }
 
 bool Budget::charge(Resource r, std::uint64_t amount) {
@@ -84,6 +114,25 @@ void Budget::absorb(const Budget& shard) {
             trip(static_cast<Resource>(i), consumed_[i], limits_[i]);
     }
     if (!failure_ && shard.failure_) failure_ = shard.failure_;
+}
+
+Meter::~Meter() {
+    if (!obs::enabled()) return;
+    // Per-stage spend: what this analysis consumed, by resource. The
+    // local budget mirrors every charge (shared budgets see the same
+    // amounts), so its counters are the stage's own spend.
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+        const std::uint64_t used = local_.consumed(static_cast<Resource>(i));
+        if (used == 0) continue;
+        obs::count("stage." + stage_ + "." + resource_key(static_cast<Resource>(i)), used);
+    }
+}
+
+const Exhaustion& Meter::why() const {
+    if (local_.exhausted()) return *local_.failure();
+    if (shared_ != nullptr && shared_->exhausted()) return *shared_->failure();
+    static const Exhaustion not_exhausted{"", Resource::Steps, 0, 0, /*tripped=*/false, ""};
+    return not_exhausted;
 }
 
 bool Budget::checkpoint() {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "si/obs/obs.hpp"
+
 namespace si::util {
 
 namespace {
@@ -182,11 +184,14 @@ bool fast_path() { return g_fast_path.load(std::memory_order_relaxed); }
 
 namespace detail {
 
-void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
-    if (n == 0) return;
+namespace {
+
+// The fan-out body, shared by the traced and untraced entry below.
+void pool_run_impl(std::size_t n, const std::function<void(std::size_t)>& task) {
     if (n == 1 || num_threads() == 1 || t_in_pool_worker || t_in_fan_out) {
         // Inline: nested fan-outs and serial mode share one code path so
         // results cannot depend on the worker count.
+        obs::count("pool.tasks_inline", n, obs::Tag::Diag);
         std::size_t error_index = SIZE_MAX;
         std::exception_ptr error;
         for (std::size_t i = 0; i < n; ++i) {
@@ -202,6 +207,8 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
         if (error) std::rethrow_exception(error);
         return;
     }
+    obs::count("pool.tasks_pooled", n, obs::Tag::Diag);
+    obs::gauge_max("pool.workers", num_threads(), obs::Tag::Diag);
     t_in_fan_out = true;
     try {
         Pool::instance().run(n, task);
@@ -210,6 +217,27 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
         throw;
     }
     t_in_fan_out = false;
+}
+
+} // namespace
+
+void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
+    if (n == 0) return;
+    obs::count("pool.fan_outs");
+    obs::count("pool.tasks", n);
+    if (!obs::tracing()) {
+        pool_run_impl(n, task);
+        return;
+    }
+    // One "parallel" span plus one "task" span per index, keyed by the
+    // index — the traced tree is the same whether tasks ran inline, on
+    // this thread, or on any number of pool workers.
+    obs::FanOutSpan fan(n);
+    const std::function<void(std::size_t)> traced = [&](std::size_t i) {
+        obs::TaskSpan scope(fan, i);
+        task(i);
+    };
+    pool_run_impl(n, traced);
 }
 
 } // namespace detail

@@ -83,6 +83,11 @@ struct Injection {
     std::vector<std::string> witness;
     bool killed = false; ///< the verifier flagged the perturbed behaviour
     std::string detail;  ///< violation summary, or why it survived
+    /// Provenance: the span path of the verifier counterexample that
+    /// killed the injection, or of the injection site itself for a
+    /// survivor (empty for survivors when tracing is off). Kept separate
+    /// from `witness` so the token vector stays replayable.
+    std::string span_path;
 };
 
 /// Flips the output of a state-holding gate (C-element, RS latch, NOR)
@@ -158,6 +163,9 @@ struct Survivor {
     FaultClass cls = FaultClass::Seu;
     std::string description;
     std::vector<std::string> witness; ///< empty for structural survivors
+    /// Obs span path of the campaign stage that failed to kill the fault
+    /// (empty when tracing is off); see Injection::span_path.
+    std::string span_path;
 };
 
 struct CampaignReport {

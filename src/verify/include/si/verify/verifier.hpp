@@ -33,6 +33,11 @@ struct Violation {
     /// Actions (gate/input names with polarity) from reset to the
     /// violating transition.
     std::vector<std::string> trace;
+    /// Provenance: the obs span path open when the violation was found
+    /// (e.g. "synth.bnb/parallel/task/verify.explore"), or the budget
+    /// stage path when tracing is off. Names only — no indices or tick
+    /// values — so it is identical for every thread count.
+    std::string span_path;
 
     [[nodiscard]] std::string describe() const;
 };

@@ -6,6 +6,7 @@
 #include <random>
 #include <unordered_map>
 
+#include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
 
@@ -250,6 +251,9 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
         inj.witness = trace_to(nodes, site.node);
         inj.witness.push_back(token_prefix + inj.gate);
 
+        obs::Span span("fault.inject");
+        span.attr("fault", token_prefix + inj.gate);
+
         VerifyOptions vo;
         vo.max_states = opts.verify_max_states;
         vo.budget = shard;
@@ -265,11 +269,14 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
             inj.killed = true;
             inj.detail = hit->message;
             inj.witness.insert(inj.witness.end(), hit->trace.begin(), hit->trace.end());
+            inj.span_path = hit->span_path;
         } else {
             inj.detail = res.complete() ? "absorbed: all downstream behaviour conforms"
                                         : "undetected within budget: " +
                                               res.exhaustion->describe();
+            inj.span_path = obs::current_span_path();
         }
+        span.attr("killed", inj.killed ? "true" : "false");
     });
     return out;
 }
@@ -416,6 +423,8 @@ std::string CampaignReport::describe() const {
 
 CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
                             const CampaignOptions& opts) {
+    obs::Span campaign_span("fault.campaign");
+    campaign_span.attr("circuit", nl.name);
     CampaignReport report;
     auto& stats = report.per_class;
     const auto idx = [](FaultClass c) { return static_cast<std::size_t>(c); };
@@ -430,6 +439,7 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
         struct FaultOutcome {
             bool killed = false;
             std::vector<std::string> witness;
+            std::string span_path;
             bool ds_injected = false;
             bool ds_killed = false;
         };
@@ -438,6 +448,8 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
             opts.verify.budget, faults.size(), [&](std::size_t fi, util::Budget* shard) {
                 const auto& f = faults[fi];
                 auto& o = outcomes[fi];
+                obs::Span span("fault.mutant");
+                span.attr("fault", f.describe(nl));
                 VerifyOptions vo = opts.verify;
                 if (shard != nullptr) vo.budget = shard;
                 std::mt19937_64 walk_seed((opts.seed * 0x9e3779b97f4a7c15ull + 1) ^
@@ -449,8 +461,12 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
                     for (const auto& v : res.violations)
                         refuted = refuted || v.kind != ViolationKind::StateExplosion;
                     o.killed = refuted;
-                    if (o.killed && !res.violations.empty())
+                    if (o.killed && !res.violations.empty()) {
                         o.witness = res.violations.front().trace;
+                        o.span_path = res.violations.front().span_path;
+                    } else if (!o.killed) {
+                        o.span_path = obs::current_span_path();
+                    }
 
                     // How many of these permanent faults does a *sampled*
                     // interleaving catch without exhaustive search?
@@ -487,7 +503,8 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
             if (o.killed) {
                 ++s.killed;
             } else {
-                report.survivors.push_back({f.cls, f.describe(nl), std::move(o.witness)});
+                report.survivors.push_back(
+                    {f.cls, f.describe(nl), std::move(o.witness), std::move(o.span_path)});
             }
         }
     }
@@ -505,7 +522,8 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
                     report.survivors.push_back({inj.cls,
                                                 std::string(to_string(inj.cls)) + " on '" +
                                                     inj.gate + "': " + inj.detail,
-                                                std::move(inj.witness)});
+                                                std::move(inj.witness),
+                                                std::move(inj.span_path)});
                 }
             }
         };
@@ -514,6 +532,13 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
         absorb(inject_glitches(nl, spec, dyn));
     }
 
+    if (obs::enabled()) {
+        obs::count("fault.injections", report.injected());
+        obs::count("fault.kills", report.killed());
+        obs::count("fault.survivors", report.survivors.size());
+    }
+    campaign_span.attr("injected", static_cast<std::uint64_t>(report.injected()));
+    campaign_span.attr("killed", static_cast<std::uint64_t>(report.killed()));
     return report;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
@@ -17,6 +18,7 @@ std::string Violation::describe() const {
         out += "\n  trace:";
         for (const auto& a : trace) out += " " + a;
     }
+    if (!span_path.empty()) out += "\n  found in: " + span_path;
     return out;
 }
 
@@ -60,6 +62,8 @@ public:
     }
 
     VerifyResult run() {
+        obs::Span span("verify.explore");
+        span.attr("circuit", nl_.name);
         const Composite init{opts_.start_values ? *opts_.start_values : nl_.initial_values(),
                              opts_.start_spec ? *opts_.start_spec : spec_.initial()};
         require(init.values.size() == nl_.num_gates(), "start_values width != gate count");
@@ -83,6 +87,15 @@ public:
         }
         result_.ok = result_.violations.empty();
         result_.states_explored = nodes_.size();
+        span.attr("states", static_cast<std::uint64_t>(nodes_.size()));
+        span.attr("transitions", static_cast<std::uint64_t>(result_.transitions_explored));
+        span.attr("ok", result_.ok ? "true" : "false");
+        if (obs::enabled()) {
+            obs::count("verify.runs");
+            obs::count("verify.states", nodes_.size());
+            obs::count("verify.transitions", result_.transitions_explored);
+            obs::count("verify.violations", result_.violations.size());
+        }
         return std::move(result_);
     }
 
@@ -94,11 +107,16 @@ private:
     };
 
     void add_violation(ViolationKind kind, std::uint32_t node, std::string message) {
-        Violation v{kind, std::move(message), {}};
+        Violation v{kind, std::move(message), {}, {}};
         for (std::uint32_t n = node; n != UINT32_MAX; n = nodes_[n].parent) {
             if (!nodes_[n].action.empty()) v.trace.push_back(nodes_[n].action);
         }
         std::reverse(v.trace.begin(), v.trace.end());
+        // Provenance: the open span path while tracing, else the budget
+        // stage path (always available). Both are name paths, so the
+        // witness stays byte-identical across worker counts.
+        if (obs::tracing()) v.span_path = obs::current_span_path();
+        if (v.span_path.empty()) v.span_path = meter_.stage_path();
         result_.violations.push_back(std::move(v));
     }
 
@@ -132,6 +150,7 @@ private:
             // flipped gate itself is the fired gate or an input). The
             // fanout rows are ascending, so violations come out in the
             // same gate order as the full scan.
+            obs::hot(obs::Hot::FanoutNarrowed);
             for (const GateId gid : fanout_.of(flipped))
                 if (consider(gid)) return;
             return;

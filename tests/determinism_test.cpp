@@ -1,7 +1,9 @@
 // Determinism contract of the parallel core: synthesis, verification and
 // fault campaigns must produce byte-identical reports for any thread
 // count, and the indexed fast paths must match the seed scan paths bit
-// for bit.
+// for bit. The same contract extends to the observability layer: traced
+// runs must export byte-identical span trees and metrics regardless of
+// worker count or code path.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -9,6 +11,7 @@
 #include "si/bench_stgs/figures.hpp"
 #include "si/bench_stgs/generators.hpp"
 #include "si/bench_stgs/table1.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/synth/synthesize.hpp"
@@ -24,6 +27,8 @@ struct KnobGuard {
     ~KnobGuard() {
         util::set_num_threads(0);
         util::set_fast_path(true);
+        obs::set_mode(obs::Mode::Off);
+        obs::reset();
     }
 };
 
@@ -133,6 +138,82 @@ TEST(Determinism, RegionAnalysisIdenticalUnderBothPaths) {
     const std::string fast = sg::RegionAnalysis(g).report();
     util::set_fast_path(false);
     EXPECT_EQ(sg::RegionAnalysis(g).report(), fast);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: traced runs obey the same byte-identical contract.
+
+/// One traced synthesis + fault-campaign pass; returns every
+/// deterministic obs export concatenated (Chrome JSON, span tree, and
+/// the Stable metrics — Diag metrics are scheduling-dependent by design
+/// and excluded, which is exactly what metrics_text(false) does).
+std::string obs_signature() {
+    // Materialize the lazily-built spec *outside* the traced window:
+    // its one-time sg.explore span would otherwise appear only in the
+    // first signature taken.
+    const sg::StateGraph& spec = delement_spec();
+    obs::reset();
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(spec, opts);
+    verify::fault::CampaignOptions copts;
+    copts.seed = 7;
+    copts.dynamic_opts.max_sites = 8;
+    (void)verify::fault::run_campaign(res.netlist, res.graph, copts);
+    return obs::trace_chrome_json() + "\n---\n" + obs::trace_tree() + "\n---\n" +
+           obs::metrics_text(/*include_diag=*/false);
+}
+
+TEST(Determinism, TracedExportsIdenticalForAnyThreadCount) {
+    KnobGuard guard;
+    obs::set_mode(obs::Mode::Trace);
+    util::set_num_threads(1);
+    const std::string serial = obs_signature();
+    EXPECT_NE(serial.find("\"name\":\"synth.bnb\""), std::string::npos);
+    EXPECT_NE(serial.find("\"name\":\"fault.campaign\""), std::string::npos);
+    EXPECT_NE(serial.find("counter verify.states"), std::string::npos);
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        EXPECT_EQ(obs_signature(), serial) << "thread count " << t;
+    }
+}
+
+TEST(Determinism, TracedExportsIdenticalUnderBothPaths) {
+    KnobGuard guard;
+    obs::set_mode(obs::Mode::Trace);
+    util::set_num_threads(1);
+    util::set_fast_path(false);
+    const std::string seed = obs_signature();
+    util::set_fast_path(true);
+    EXPECT_EQ(obs_signature(), seed);
+}
+
+TEST(Determinism, ViolationSpanPathIdenticalForAnyThreadCount) {
+    KnobGuard guard;
+    obs::set_mode(obs::Mode::Trace);
+    // The naive Figure-4 implementation (t = c'd, b = a + t — Example 2)
+    // carries the paper's hazard; its provenance must name the same span
+    // path for every worker count.
+    const auto g = bench::figure4();
+    net::Netlist nl(g.signals());
+    const GateId ga = nl.add_gate(net::GateKind::Input, "a", {}, g.signals().find("a"));
+    const GateId gc = nl.add_gate(net::GateKind::Input, "c", {}, g.signals().find("c"));
+    const GateId gd = nl.add_gate(net::GateKind::Input, "d", {}, g.signals().find("d"));
+    const GateId t0 = nl.add_gate(net::GateKind::And, "t", {{gc, true}, {gd, false}});
+    nl.add_gate(net::GateKind::Or, "b", {{ga, false}, {t0, false}}, g.signals().find("b"));
+    util::set_num_threads(1);
+    obs::reset();
+    const auto serial = verify::verify_speed_independence(nl, g);
+    ASSERT_FALSE(serial.violations.empty());
+    EXPECT_FALSE(serial.violations.front().span_path.empty());
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        obs::reset();
+        const auto res = verify::verify_speed_independence(nl, g);
+        ASSERT_FALSE(res.violations.empty());
+        EXPECT_EQ(res.violations.front().span_path, serial.violations.front().span_path)
+            << "thread count " << t;
+    }
 }
 
 } // namespace

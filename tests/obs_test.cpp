@@ -1,0 +1,266 @@
+// Unit tests for si::obs: span nesting and canonical merge, metric
+// sharding, the disabled-mode fast path, exporters, the overwrite
+// refusal, and the Meter::why() "not exhausted" contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "si/netlist/builder.hpp"
+#include "si/obs/obs.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/util/budget.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/fault.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+/// Every test runs with a clean registry and leaves obs off.
+struct ObsGuard {
+    explicit ObsGuard(obs::Mode m) {
+        obs::set_mode(m);
+        obs::reset();
+    }
+    ~ObsGuard() {
+        util::set_num_threads(0);
+        obs::set_mode(obs::Mode::Off);
+        obs::reset();
+    }
+};
+
+TEST(Obs, SpanNestingProducesIndentedTree) {
+    ObsGuard guard(obs::Mode::Trace);
+    {
+        obs::Span outer("outer");
+        outer.attr("k", "v");
+        {
+            obs::Span inner("inner");
+            EXPECT_EQ(obs::current_span_path(), "outer/inner");
+        }
+        obs::Span sibling("sibling");
+    }
+    EXPECT_EQ(obs::current_span_path(), "");
+    const std::string tree = obs::trace_tree();
+    // Deterministic clock: DFS tick intervals, children indented under
+    // their parent, siblings in creation order.
+    EXPECT_EQ(tree,
+              "outer k=v [0..5]\n"
+              "  inner [1..2]\n"
+              "  sibling [3..4]\n");
+}
+
+TEST(Obs, ChromeExportBalancedAndEscaped) {
+    ObsGuard guard(obs::Mode::Trace);
+    {
+        obs::Span s("stage");
+        s.attr("msg", "quote\" and \\slash");
+        obs::Span child("child");
+    }
+    const std::string json = obs::trace_chrome_json();
+    std::size_t begins = 0, ends = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) ++begins, pos += 8;
+    pos = 0;
+    while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) ++ends, pos += 8;
+    EXPECT_EQ(begins, 2u);
+    EXPECT_EQ(ends, 2u);
+    EXPECT_NE(json.find("quote\\\" and \\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(Obs, FanOutMergeIsCanonicalAcrossThreadCounts) {
+    ObsGuard guard(obs::Mode::Trace);
+    const auto traced_fan_out = [] {
+        obs::reset();
+        obs::Span root("root");
+        util::parallel_for(6, [](std::size_t i) {
+            obs::Span work("work");
+            work.attr("i", static_cast<std::uint64_t>(i));
+        });
+        return std::pair{obs::trace_tree(), obs::trace_chrome_json()};
+    };
+    util::set_num_threads(1);
+    const auto serial = traced_fan_out();
+    // Tasks appear as index-keyed children of the fan-out span.
+    EXPECT_NE(serial.first.find("parallel"), std::string::npos);
+    EXPECT_NE(serial.first.find("i=5"), std::string::npos);
+    for (const std::size_t t : {2u, 8u}) {
+        util::set_num_threads(t);
+        EXPECT_EQ(traced_fan_out(), serial) << "thread count " << t;
+    }
+}
+
+TEST(Obs, MetricsMergeAcrossThreads) {
+    ObsGuard guard(obs::Mode::Metrics);
+    util::set_num_threads(4);
+    util::parallel_for(16, [](std::size_t i) {
+        obs::count("test.events");
+        obs::gauge_max("test.peak", i);
+        obs::observe("test.size", i + 1);
+    });
+    const std::string text = obs::metrics_text(false);
+    EXPECT_NE(text.find("counter test.events = 16"), std::string::npos);
+    EXPECT_NE(text.find("gauge test.peak max = 15"), std::string::npos);
+    EXPECT_NE(text.find("hist test.size count=16 sum=136"), std::string::npos);
+}
+
+TEST(Obs, DiagMetricsExcludedFromDeterministicExport) {
+    ObsGuard guard(obs::Mode::Metrics);
+    obs::count("test.stable", 1, obs::Tag::Stable);
+    obs::count("test.diag", 1, obs::Tag::Diag);
+    const std::string deterministic = obs::metrics_text(false);
+    EXPECT_NE(deterministic.find("test.stable"), std::string::npos);
+    EXPECT_EQ(deterministic.find("test.diag"), std::string::npos);
+    const std::string full = obs::metrics_text(true);
+    EXPECT_NE(full.find("# diagnostic"), std::string::npos);
+    EXPECT_NE(full.find("test.diag"), std::string::npos);
+    // metrics_brief carries only the Stable counters.
+    EXPECT_EQ(obs::metrics_brief(), "test.stable=1");
+}
+
+TEST(Obs, DisabledModeRecordsNothing) {
+    ObsGuard guard(obs::Mode::Off);
+    {
+        obs::Span s("stage");
+        s.attr("k", "v");
+        obs::count("test.events", 3);
+        obs::observe("test.size", 7);
+        obs::hot(obs::Hot::ExcitedIndexHit);
+        EXPECT_EQ(obs::current_span_path(), "");
+    }
+    EXPECT_EQ(obs::trace_tree(), "");
+    EXPECT_EQ(obs::metrics_text(true), "");
+    EXPECT_EQ(obs::metrics_brief(), "");
+}
+
+TEST(Obs, MetricsModeRecordsNoSpans) {
+    ObsGuard guard(obs::Mode::Metrics);
+    {
+        obs::Span s("stage");
+        obs::count("test.events");
+    }
+    EXPECT_EQ(obs::trace_tree(), "");
+    EXPECT_NE(obs::metrics_text(false).find("test.events"), std::string::npos);
+}
+
+TEST(Obs, ExportToFileRefusesOverwriteWithoutForce) {
+    ObsGuard guard(obs::Mode::Metrics);
+    obs::count("test.events");
+    const std::string path = ::testing::TempDir() + "obs_test_export.txt";
+    std::remove(path.c_str());
+    EXPECT_EQ(obs::export_to_file(path, false), "");
+    const std::string err = obs::export_to_file(path, false);
+    EXPECT_NE(err.find("refusing to overwrite"), std::string::npos);
+    EXPECT_NE(err.find("--force"), std::string::npos);
+    EXPECT_EQ(obs::export_to_file(path, true), "");
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "counter test.events = 1");
+    std::remove(path.c_str());
+}
+
+TEST(Obs, ResetClearsEverything) {
+    ObsGuard guard(obs::Mode::Trace);
+    {
+        obs::Span s("stage");
+        obs::count("test.events");
+        obs::hot(obs::Hot::ArcOnIndexHit);
+    }
+    EXPECT_NE(obs::trace_tree(), "");
+    obs::reset();
+    EXPECT_EQ(obs::trace_tree(), "");
+    EXPECT_EQ(obs::metrics_text(true), "");
+}
+
+TEST(Obs, MeterWhyNeverAborts) {
+    // A meter whose budgets never tripped still answers why(): the
+    // structured "not exhausted" outcome, not an abort.
+    util::Meter idle("test.stage", nullptr);
+    EXPECT_FALSE(idle.exhausted());
+    const util::Exhaustion& why = idle.why();
+    EXPECT_FALSE(why.tripped);
+    EXPECT_EQ(why.describe(), "budget not exhausted");
+    EXPECT_EQ(idle.stage_path(), "test.stage");
+}
+
+TEST(Obs, MeterWhyReportsTripWithMetricsSnapshot) {
+    ObsGuard guard(obs::Mode::Metrics);
+    obs::count("test.before_trip", 2);
+    util::Meter meter("test.stage", nullptr);
+    meter.local().cap(util::Resource::Steps, 1);
+    EXPECT_TRUE(meter.charge(util::Resource::Steps));
+    EXPECT_FALSE(meter.charge(util::Resource::Steps));
+    const util::Exhaustion& why = meter.why();
+    EXPECT_TRUE(why.tripped);
+    EXPECT_EQ(why.stage, "test.stage");
+    EXPECT_EQ(why.resource, util::Resource::Steps);
+    // The trip captured the Stable-counter snapshot for attribution.
+    EXPECT_NE(why.metrics.find("test.before_trip=2"), std::string::npos);
+}
+
+sg::StateGraph handshake() {
+    return sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+TEST(Obs, ViolationCarriesSpanPathProvenance) {
+    ObsGuard guard(obs::Mode::Trace);
+    const auto g = handshake();
+    net::Netlist nl(g.signals());
+    const GateId in = nl.add_gate(net::GateKind::Input, "r", {}, g.signals().find("r"));
+    nl.add_gate(net::GateKind::Not, "a", {{in, false}}, g.signals().find("a"));
+    const auto result = verify::verify_speed_independence(nl, g);
+    ASSERT_FALSE(result.ok);
+    ASSERT_FALSE(result.violations.empty());
+    EXPECT_EQ(result.violations.front().span_path, "verify.explore");
+    // The serialized witness includes the provenance line. (The firing
+    // sequence rides alongside in `trace` — empty here only because this
+    // violation is at the reset state itself.)
+    EXPECT_NE(result.violations.front().describe().find("found in: verify.explore"),
+              std::string::npos);
+}
+
+TEST(Obs, FaultInjectionsCarrySpanPathProvenance) {
+    ObsGuard guard(obs::Mode::Trace);
+    const auto g = handshake();
+    net::Netlist nl(g.signals());
+    const GateId in = nl.add_gate(net::GateKind::Input, "r", {}, g.signals().find("r"));
+    nl.add_gate(net::GateKind::Wire, "a", {{in, false}}, g.signals().find("a"));
+    ASSERT_TRUE(verify::verify_speed_independence(nl, g).ok);
+
+    const auto injections = verify::fault::inject_glitches(nl, g);
+    ASSERT_FALSE(injections.empty());
+    bool saw_killed = false;
+    for (const auto& inj : injections) {
+        // Killed or survived, every injection names the span it ran in.
+        EXPECT_NE(inj.span_path.find("fault.inject"), std::string::npos) << inj.detail;
+        saw_killed = saw_killed || inj.killed;
+    }
+    EXPECT_TRUE(saw_killed);
+}
+
+TEST(Obs, BudgetTripCountsExhaustions) {
+    ObsGuard guard(obs::Mode::Metrics);
+    util::Budget b;
+    b.cap(util::Resource::States, 1);
+    EXPECT_TRUE(b.charge(util::Resource::States));
+    EXPECT_FALSE(b.charge(util::Resource::States));
+    EXPECT_NE(obs::metrics_text(false).find("counter budget.exhaustions = 1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace si
