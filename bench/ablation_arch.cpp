@@ -13,13 +13,21 @@
 //     speed-independence; the implementation is hazard-free only under
 //     the relative bound d_inv^max < D_sn^min, which the paper argues is
 //     realistic. The verifier exhibits the inverter race.
+//
+// Usage: ablation_arch [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs trace of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/figures.hpp"
 #include "si/bench_stgs/table1.hpp"
 #include "si/netlist/builder.hpp"
 #include "si/netlist/print.hpp"
 #include "si/netlist/transform.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/synth/complex_gate.hpp"
@@ -32,7 +40,21 @@
 
 using namespace si;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     int failures = 0;
 
     printf("== (1) complex-gate vs basic-gate implementations ==\n\n");
@@ -123,5 +145,14 @@ int main() {
     if (slow.ok) ++failures;
     printf("\nSection III reproduced: C1 is speed-independent outright; the\n"
            "tech-mapped C2 is hazard-free exactly under the relative timing bound.\n");
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return failures;
 }

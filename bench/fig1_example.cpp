@@ -6,10 +6,14 @@
 // equations (1), and the verifier's acknowledgement-failure witness on
 // that baseline.
 //
-// Usage: fig1_example [--obs-out <path>] [--force]
-//   --obs-out  write the si::obs trace of the run (Chrome trace-event
-//              JSON; tracing is switched on if it is not already).
-//              Refuses to overwrite an existing file without --force.
+// Usage: fig1_example [--obs-out <path>] [--explain-out <path>] [--force]
+//   --obs-out      write the si::obs trace of the run (Chrome trace-event
+//                  JSON; tracing is switched on if it is not already).
+//                  Refuses to overwrite an existing file without --force.
+//   --explain-out  write the si::obs::report diagnosis of the run as JSON
+//                  (the MC explain report with the cube-search trail and
+//                  the verifier's annotated hazard replay, concatenated
+//                  as a two-member object). Same overwrite rule.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,6 +23,7 @@
 #include "si/mc/requirement.hpp"
 #include "si/netlist/print.hpp"
 #include "si/obs/obs.hpp"
+#include "si/obs/report.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/synth/baseline.hpp"
 #include "si/verify/verifier.hpp"
@@ -27,14 +32,19 @@ using namespace si;
 
 int main(int argc, char** argv) {
     std::string obs_out;
+    std::string explain_out;
     bool force = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
             obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--explain-out") == 0 && i + 1 < argc) {
+            explain_out = argv[++i];
         } else if (std::strcmp(argv[i], "--force") == 0) {
             force = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--obs-out <path>] [--explain-out <path>] [--force]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -55,7 +65,9 @@ int main(int argc, char** argv) {
     printf("%s\n", ra.report().c_str());
 
     printf("== Monotonous Cover requirement (Def 18) ==\n");
-    const auto report = mc::check_requirement(ra);
+    mc::McCubeSearch search;
+    search.record_trail = !explain_out.empty(); // narrate the search in the report
+    const auto report = mc::check_requirement(ra, search);
     printf("%s\nsatisfied: %s  (paper: ER(+d,1) has a non-persistent trigger +a, so no\n"
            "single cube covers it -- two cubes are needed)\n\n",
            report.describe(ra).c_str(), report.satisfied() ? "yes" : "NO");
@@ -90,6 +102,17 @@ int main(int argc, char** argv) {
             return 2;
         }
         printf("wrote %s\n", obs_out.c_str());
+    }
+    if (!explain_out.empty()) {
+        const std::string doc = "{\n\"mc\": " + obs::report::mc_explain_json(ra, report) +
+                                ",\n\"verify\": " + obs::report::verify_explain_json(nl, result) +
+                                "}\n";
+        const std::string err = obs::report::write(explain_out, doc, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", explain_out.c_str());
     }
     return result.ok ? 1 : 0; // the expected outcome is a detected hazard
 }

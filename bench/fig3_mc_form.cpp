@@ -7,17 +7,39 @@
 //   (b) the Figure-3 state graph transcribed from the paper, shown to
 //       satisfy the (generalized) MC requirement with the paper's cubes
 //       (Sd = x' shared across both ERs of +d, Sx = a'b'c').
+//
+// Usage: fig3_mc_form [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs trace of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/figures.hpp"
 #include "si/mc/requirement.hpp"
 #include "si/netlist/print.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/regions.hpp"
 #include "si/synth/synthesize.hpp"
 
 using namespace si;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     int failures = 0;
 
     printf("== (a) MC-reduction of Figure 1 by our synthesis flow ==\n");
@@ -46,5 +68,14 @@ int main() {
            "complexity of implementation\" -- our netlist uses %zu literals across %zu\n"
            "AND gates for 3 latched signals.\n",
            res.netlist.stats().literals, res.netlist.stats().and_gates);
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return failures;
 }

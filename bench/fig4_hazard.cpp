@@ -2,13 +2,25 @@
 // on which every correctness condition of the Beerel-style method [2]
 // holds, yet the derived implementation t = c'd, b = a + t is hazardous;
 // the MC requirement detects the problem statically and one inserted
-// signal removes it.
+// signal removes it. Both failures are narrated through the
+// si::obs::report explain renderers: the hazard as an annotated witness
+// replay, the MC failure with the cube-search trail and the specific
+// Def 17 condition that killed each candidate.
+//
+// Usage: fig4_hazard [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs trace of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/figures.hpp"
 #include "si/mc/cover_cube.hpp"
 #include "si/mc/requirement.hpp"
 #include "si/netlist/print.hpp"
+#include "si/obs/obs.hpp"
+#include "si/obs/report.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/regions.hpp"
 #include "si/synth/synthesize.hpp"
@@ -16,7 +28,21 @@
 
 using namespace si;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     int failures = 0;
     const auto g = bench::figure4();
 
@@ -37,13 +63,19 @@ int main() {
     const auto v = verify::verify_speed_independence(naive, g);
     printf("%s\n\n", v.describe().c_str());
     if (v.ok) ++failures; // the paper's point is that this netlist hazards
+    printf("-- explain report (annotated witness replay) --\n%s\n",
+           obs::report::verify_explain_text(naive, v).c_str());
 
     printf("== Static detection by the MC requirement ==\n");
-    const auto report = mc::check_requirement(ra);
+    mc::McCubeSearch search;
+    search.record_trail = true; // narrate the cube search in the explain report
+    const auto report = mc::check_requirement(ra, search);
     printf("%s\n", report.describe(ra).c_str());
     printf("(paper: cube a for ER(+b,1) also covers state 10*01 of ER(+b,2),\n"
            " outside CFR(+b,1) -- condition 3 of Def 17)\n\n");
     if (report.satisfied()) ++failures;
+    printf("-- explain report (per-region MC diagnosis) --\n%s\n",
+           obs::report::mc_explain_text(ra, report).c_str());
 
     printf("== Repair: \"MC ... can remove the hazard by adding one signal\" ==\n");
     synth::SynthOptions opts;
@@ -54,5 +86,14 @@ int main() {
     printf("inserted signals: %zu (paper: 1)\nverification: %s\n", res.inserted.size(),
            res.verification.describe().c_str());
     if (res.inserted.size() != 1 || !res.verification.ok) ++failures;
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return failures;
 }

@@ -1,0 +1,222 @@
+// flight-smoke: end-to-end validation of the si::obs::flight recorder.
+//
+// Checks, in order:
+//   * a traced MC-requirement run (parallel fan-out) dumped at thread
+//     counts 1, 2 and 8 produces byte-identical flight JSON (the keyed
+//     span path + per-path sequence sort contract);
+//   * the dump round-trips through a JSON well-formedness check and
+//     through obs::report::parse_snapshot (the embedded "metrics" block
+//     parses back to exactly obs::metrics_json());
+//   * an exhausted verification writes both the "budget-trip" and the
+//     "verifier-abort" dumps;
+//   * (non-sanitized builds only) a forked child that takes SIGSEGV
+//     leaves a parseable flight-crash.json behind.
+// Exits non-zero on any failure.
+//
+// Usage: flight_smoke [--dir <path>]   (default: ./flight_smoke_out)
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/netlist.hpp"
+#include "si/obs/flight.hpp"
+#include "si/obs/obs.hpp"
+#include "si/obs/report.hpp"
+#include "si/sg/read_sg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/verifier.hpp"
+
+#if defined(__unix__) && !defined(SI_BENCH_SANITIZED)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#define SI_FLIGHT_CRASH_TEST 1
+#endif
+
+using namespace si;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+    std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) ++g_failures;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/// Minimal JSON well-formedness scan: balanced braces/brackets outside
+/// strings, no trailing garbage.
+bool valid_json(const std::string& text) {
+    long depth = 0;
+    bool in_string = false;
+    bool saw_any = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{' || c == '[') {
+            ++depth;
+            saw_any = true;
+        } else if (c == '}' || c == ']') {
+            if (--depth < 0) return false;
+        } else if (depth == 0 && std::isspace(static_cast<unsigned char>(c)) == 0 && saw_any) {
+            return false; // content after the document closed
+        }
+    }
+    return saw_any && depth == 0 && !in_string;
+}
+
+/// One traced MC pass with the recorder armed; returns the bytes of the
+/// resulting flight-probe.json.
+std::string probe_run(const std::string& dir, std::size_t threads) {
+    obs::set_mode(obs::Mode::Trace);
+    obs::reset(); // also clears the flight ring
+    obs::flight::set_dir(dir);
+    util::set_num_threads(threads);
+
+    const auto g = bench::figure1();
+    const sg::RegionAnalysis ra(g);
+    const auto report = mc::check_requirement(ra);
+    (void)report;
+    obs::flight::note("probe complete");
+
+    const std::string err = obs::flight::dump("probe");
+    if (!err.empty()) {
+        std::fprintf(stderr, "dump failed: %s\n", err.c_str());
+        return {};
+    }
+    std::string text;
+    if (!read_file(dir + "/flight-probe.json", text)) return {};
+    return text;
+}
+
+sg::StateGraph handshake() {
+    return sg::read_sg(R"(
+.model hs
+.inputs r
+.outputs a
+.arcs
+00 r+ 10
+10 a+ 11
+11 r- 01
+01 a- 00
+.initial 00
+.end
+)");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string dir = "flight_smoke_out";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+            dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--dir <path>]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    // --- determinism across thread counts -------------------------------
+    const std::string t1 = probe_run(dir + "/t1", 1);
+    const std::string t2 = probe_run(dir + "/t2", 2);
+    const std::string t8 = probe_run(dir + "/t8", 8);
+    check(!t1.empty(), "probe dump written (1 thread)");
+    check(!t1.empty() && t1 == t2, "flight dump identical for 1 vs 2 threads");
+    check(!t1.empty() && t1 == t8, "flight dump identical for 1 vs 8 threads");
+    check(t1.find("\"flight\": 1") != std::string::npos, "dump carries the format marker");
+    check(t1.find("\"reason\": \"probe\"") != std::string::npos, "dump carries the reason");
+    check(t1.find("mc.check:") != std::string::npos, "dump events carry keyed span paths");
+
+    // --- round trip through the parsers ---------------------------------
+    check(valid_json(t1), "dump is well-formed JSON");
+    const auto parsed = obs::report::parse_snapshot(t1);
+    const auto direct = obs::report::parse_snapshot(obs::metrics_json());
+    check(!parsed.counters.empty(), "embedded metrics block parses");
+    check(parsed.counters == direct.counters, "parsed metrics equal obs::metrics_json()");
+
+    // --- budget-trip and verifier-abort dumps ---------------------------
+    // A *correct* implementation under a 2-state cap: the exploration
+    // always exhausts (no violation can preempt it), so both the budget
+    // trip and the verifier abort leave their artifacts.
+    obs::reset();
+    obs::flight::set_dir(dir + "/abort");
+    {
+        const auto g = handshake();
+        net::Netlist nl(g.signals());
+        const GateId in = nl.add_gate(net::GateKind::Input, "r", {}, g.signals().find("r"));
+        nl.add_gate(net::GateKind::Wire, "a", {{in, false}}, g.signals().find("a"));
+        verify::VerifyOptions vo;
+        vo.max_states = 2;
+        const auto result = verify::verify_speed_independence(nl, g, vo);
+        check(!result.complete(), "tiny state cap exhausts the verifier");
+    }
+    std::string trip;
+    std::string abort_dump;
+    check(read_file(dir + "/abort/flight-budget-trip.json", trip), "budget trip wrote a dump");
+    check(read_file(dir + "/abort/flight-verifier-abort.json", abort_dump),
+          "verifier abort wrote a dump");
+    check(valid_json(trip) && trip.find("\"kind\": \"T\"") != std::string::npos,
+          "trip dump records the T event");
+    check(valid_json(abort_dump) &&
+              abort_dump.find("verifier abort on 'netlist'") != std::string::npos,
+          "abort dump notes the exhausted netlist");
+
+    // --- crash handler (skipped under sanitizers: ASan owns SIGSEGV) ----
+#ifdef SI_FLIGHT_CRASH_TEST
+    {
+        const std::string crash_dir = dir + "/crash";
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            // Child: arm, record a breadcrumb, die by SIGSEGV. The
+            // handler must write flight-crash.json before re-raising.
+            obs::flight::set_dir(crash_dir);
+            obs::flight::note("child about to crash");
+            ::raise(SIGSEGV);
+            ::_exit(0); // not reached
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        check(WIFSIGNALED(status) && WTERMSIG(status) == SIGSEGV, "child died by SIGSEGV");
+        std::string crash;
+        check(read_file(crash_dir + "/flight-crash.json", crash), "crash handler wrote a dump");
+        check(valid_json(crash) && crash.find("\"reason\": \"crash\"") != std::string::npos &&
+                  crash.find("child about to crash") != std::string::npos,
+              "crash dump parses and holds the breadcrumb");
+    }
+#else
+    std::printf("%-52s %s\n", "crash-handler fork test", "skipped (sanitized build)");
+#endif
+
+    // Disarm so nothing lingers for other tests in the same process.
+    obs::flight::set_dir("");
+    obs::set_mode(obs::Mode::Off);
+    util::set_num_threads(0);
+
+    if (g_failures != 0) {
+        std::printf("\n%d check(s) FAILED\n", g_failures);
+        return 1;
+    }
+    std::printf("\nall checks passed\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+// obs_diff: stable-metrics regression guard.
+//
+// Compares two stable-metric snapshots — obs::metrics_text dumps,
+// obs::metrics_json objects, or whole BENCH_perf.json files (their
+// "metrics" block is extracted) — counter by counter against relative
+// thresholds, and exits non-zero when the current snapshot regressed.
+// Stable counters are deterministic whenever the work is, so a
+// checked-in baseline compares meaningfully against any later run of
+// the same workload regardless of thread count.
+//
+// Usage: obs_diff [options] <baseline> <current>
+//   --threshold <x>        global growth factor that counts as a
+//                          regression (default 1.5)
+//   --threshold <name>=<x> per-counter override (repeatable)
+//   --slack <n>            absolute growth ignored regardless of ratio
+//                          (default 16; keeps 0->3 noise quiet)
+//   --fail-on-missing      baseline counters absent from the current
+//                          snapshot are regressions, not notes
+//   --inject-all <f>       multiply every current counter by <f> before
+//                          diffing (self-test hook for the ctest guard)
+//   --expect-regression    invert the verdict: exit 0 iff a regression
+//                          WAS found (wires the injected-regression
+//                          ctest without PASS_REGULAR_EXPRESSION)
+//   -q                     print the summary line only
+//
+// Exit: 0 ok, 1 regression (inverted by --expect-regression), 2 usage
+// or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "si/obs/report.hpp"
+
+using namespace si;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--threshold <x> | --threshold <name>=<x>]... [--slack <n>]\n"
+                 "          [--fail-on-missing] [--inject-all <f>] [--expect-regression] [-q]\n"
+                 "          <baseline> <current>\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    obs::report::DiffOptions opts;
+    double inject = 1.0;
+    bool expect_regression = false;
+    bool quiet = false;
+    std::string base_path;
+    std::string cur_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const auto eq = spec.find('=');
+            char* end = nullptr;
+            if (eq == std::string::npos) {
+                opts.threshold = std::strtod(spec.c_str(), &end);
+                if (end == spec.c_str() || opts.threshold <= 0) return usage(argv[0]);
+            } else {
+                const std::string val = spec.substr(eq + 1);
+                const double t = std::strtod(val.c_str(), &end);
+                if (end == val.c_str() || t <= 0) return usage(argv[0]);
+                opts.per_counter[spec.substr(0, eq)] = t;
+            }
+        } else if (std::strcmp(arg, "--slack") == 0 && i + 1 < argc) {
+            opts.slack = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--fail-on-missing") == 0) {
+            opts.fail_on_missing = true;
+        } else if (std::strcmp(arg, "--inject-all") == 0 && i + 1 < argc) {
+            inject = std::strtod(argv[++i], nullptr);
+            if (inject <= 0) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--expect-regression") == 0) {
+            expect_regression = true;
+        } else if (std::strcmp(arg, "-q") == 0) {
+            quiet = true;
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (base_path.empty()) {
+            base_path = arg;
+        } else if (cur_path.empty()) {
+            cur_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (base_path.empty() || cur_path.empty()) return usage(argv[0]);
+
+    std::string base_text;
+    std::string cur_text;
+    if (!read_file(base_path, base_text)) {
+        std::fprintf(stderr, "obs_diff: cannot read '%s'\n", base_path.c_str());
+        return 2;
+    }
+    if (!read_file(cur_path, cur_text)) {
+        std::fprintf(stderr, "obs_diff: cannot read '%s'\n", cur_path.c_str());
+        return 2;
+    }
+
+    const auto base = obs::report::parse_snapshot(base_text);
+    auto cur = obs::report::parse_snapshot(cur_text);
+    if (base.counters.empty()) {
+        std::fprintf(stderr, "obs_diff: no stable counters in '%s'\n", base_path.c_str());
+        return 2;
+    }
+    if (inject != 1.0)
+        for (auto& [name, value] : cur.counters)
+            value = static_cast<std::uint64_t>(static_cast<double>(value) * inject);
+
+    const auto diff = obs::report::diff_snapshots(base, cur, opts);
+    const std::string text = diff.describe();
+    if (quiet) {
+        const auto last = text.rfind("obs_diff: ");
+        std::fputs(text.c_str() + (last == std::string::npos ? 0 : last), stdout);
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+
+    const bool regressed = diff.regressed();
+    if (expect_regression) return regressed ? 0 : 1;
+    return regressed ? 1 : 0;
+}

@@ -76,23 +76,6 @@ double geomean(const std::vector<double>& xs) {
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-/// Renders si::obs::metrics_brief() ("a=1 b=2") as a JSON object.
-std::string metrics_brief_json(const std::string& brief) {
-    std::string out = "{";
-    std::size_t pos = 0;
-    while (pos < brief.size()) {
-        std::size_t end = brief.find(' ', pos);
-        if (end == std::string::npos) end = brief.size();
-        const std::size_t eq = brief.find('=', pos);
-        if (eq != std::string::npos && eq < end) {
-            if (out.size() > 1) out += ", ";
-            out += "\"" + brief.substr(pos, eq - pos) + "\": " + brief.substr(eq + 1, end - eq - 1);
-        }
-        pos = end + 1;
-    }
-    return out + "}";
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -218,7 +201,7 @@ int main(int argc, char** argv) {
     si::obs::reset();
     si::util::set_num_threads(1);
     for (const auto& w : workloads) (void)w.run();
-    const std::string metrics_json = metrics_brief_json(si::obs::metrics_brief());
+    const std::string metrics_json = si::obs::metrics_json();
     std::string obs_err;
     if (!obs_out.empty()) obs_err = si::obs::export_to_file(obs_out, force);
     si::obs::set_mode(si::obs::Mode::Off);

@@ -4,17 +4,39 @@
 // counts before/after expansion, the netlist size, the verifier verdict
 // and the wall-clock time (the paper's machine budget was "within a
 // 5 minutes timeout on a DEC 5000").
+//
+// Usage: table1_mc_reduction [--obs-out <path>] [--force]
+//   --obs-out  write the si::obs trace of the run (Chrome trace-event
+//              JSON; tracing is switched on if it is not already).
+//              Refuses to overwrite an existing file without --force.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "si/bench_stgs/table1.hpp"
+#include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/synth/synthesize.hpp"
 #include "si/util/table.hpp"
 
 using namespace si;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string obs_out;
+    bool force = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--obs-out <path>] [--force]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
     printf("Table 1: RESULTS OF MC-REDUCTION (paper values in brackets)\n\n");
     TextTable table({"example", "in", "out", "added signals", "states", "AND/OR/latch",
                      "literals", "SI-verified", "time"});
@@ -54,5 +76,14 @@ int main() {
            total_ms);
     printf("rows matching the paper's added-signal count: %zu/9\n",
            bench::table1_suite().size() - static_cast<std::size_t>(mismatches));
+
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        printf("wrote %s\n", obs_out.c_str());
+    }
     return mismatches;
 }

@@ -22,6 +22,19 @@ struct McCubeSearch {
     /// Upper bound on cube candidates examined when repairing a
     /// condition-2 failure by dropping literals.
     std::size_t max_candidates = 4096;
+    /// Record every candidate cube the search examined (with the
+    /// violations that rejected it) into RegionMc::trail. Off by default:
+    /// the trail exists for explain reports, not for synthesis.
+    bool record_trail = false;
+};
+
+/// One cube the MC search examined: the violations that rejected it, or
+/// empty when it was accepted (the accepted cube's greedy reductions
+/// appear as later entries).
+struct McCandidate {
+    Cube cube;
+    std::vector<McViolation> violations;
+    [[nodiscard]] bool accepted() const { return violations.empty(); }
 };
 
 /// MC status of one excitation region.
@@ -39,6 +52,10 @@ struct RegionMc {
     /// Violations of the *smallest* cover cube when no MC cube exists
     /// (these drive the repair engine).
     std::vector<McViolation> violations;
+    /// Candidate-by-candidate search record, in examination order, when
+    /// McCubeSearch::record_trail is set (empty otherwise). The first
+    /// entry is always the Lemma-3 smallest cover cube.
+    std::vector<McCandidate> trail;
 
     [[nodiscard]] bool ok() const { return cube.has_value() || !sum_literals.empty(); }
 };

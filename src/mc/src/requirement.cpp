@@ -20,18 +20,27 @@ bool violations_mono_only(const std::vector<McViolation>& vs) {
 
 // Generic literal-subset search shared by the per-region and group
 // searches: `check` returns the violation list for a candidate cube.
+// A non-null `trail` records every examined candidate (including the
+// greedy-reduce probes) with its rejecting violations, for explain
+// reports.
 template <class CheckFn>
-std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max_candidates) {
+std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max_candidates,
+                                std::vector<McCandidate>* trail = nullptr) {
+    auto checked = [&](const Cube& c) {
+        auto vio = check(c);
+        if (trail != nullptr) trail->push_back(McCandidate{c, vio});
+        return vio;
+    };
     auto reduce = [&](Cube c) {
         for (std::size_t v = 0; v < c.num_vars(); ++v) {
             if (c.lit(SignalId(v)) == Lit::Dash) continue;
             Cube smaller = c.without(SignalId(v));
-            if (check(smaller).empty()) c = std::move(smaller);
+            if (checked(smaller).empty()) c = std::move(smaller);
         }
         return c;
     };
 
-    const auto first = check(full);
+    const auto first = checked(full);
     if (first.empty()) return reduce(std::move(full));
     if (!violations_mono_only(first)) return std::nullopt;
 
@@ -47,7 +56,7 @@ std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max
             if (cur.lit(SignalId(v)) == Lit::Dash) continue;
             Cube cand = cur.without(SignalId(v));
             if (!seen.insert(cand).second) continue;
-            const auto vio = check(cand);
+            const auto vio = checked(cand);
             if (vio.empty()) return reduce(std::move(cand));
             // Below a condition-1/3 failure, subsets only cover more:
             // keep exploring only pure-monotonicity failures.
@@ -67,7 +76,7 @@ RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r, const McCubeSear
     const Cube full = smallest_cover_cube(ra, r);
     auto cube = search_cube(
         full, [&](const Cube& c) { return check_monotonous_cover(ra, r, c); },
-        opts.max_candidates);
+        opts.max_candidates, opts.record_trail ? &out.trail : nullptr);
     if (cube) {
         out.cube = std::move(cube);
         if (obs::enabled()) {

@@ -1,0 +1,80 @@
+// si::obs::flight — a crash/abort flight recorder.
+//
+// A bounded in-memory ring of recent observability events (span
+// begin/end markers and free-form log notes) that is serialized to
+// `<dir>/flight-<reason>.json` when something goes wrong:
+//
+//   * on a fatal signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL), from a
+//     best-effort async-signal handler that formats the ring with no
+//     allocation and write(2)s it;
+//   * on a top-level util::Budget trip ("budget-trip");
+//   * on a verifier abort — exploration exhausted, verdict unknown
+//     ("verifier-abort").
+//
+// So a failed CI run leaves a post-mortem artifact even when nobody was
+// watching the stdout. Recording is off unless a dump directory is
+// armed, either programmatically (set_dir) or through the
+// SI_OBS_FLIGHT environment variable; when disarmed every entry point
+// is one relaxed atomic load.
+//
+// Determinism: each entry is stamped with the *keyed* span path of the
+// recording thread ("mc.check:0/parallel:0/task:3" — names plus the
+// canonical child key, so two tasks of one fan-out get distinct paths)
+// and a per-path sequence number, and dumps are sorted by (path, seq).
+// Under the deterministic clock, with tracing on and the ring below
+// capacity, a dump is therefore byte-identical for every worker count.
+// Beyond capacity the eviction order is arrival order and the recency
+// window becomes scheduling-dependent; crash dumps are best-effort by
+// nature.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace si::obs::flight {
+
+/// Ring capacity: the post-mortem keeps this many most-recent events.
+inline constexpr std::size_t kCapacity = 512;
+
+/// Arms the recorder: events are recorded and dumps are written into
+/// `dir` (created if missing). An empty string disarms. Also installs
+/// the fatal-signal handlers on first arming.
+void set_dir(std::string dir);
+[[nodiscard]] std::string dir();
+
+namespace detail {
+/// 0 = disarmed, 1 = armed, 255 = not yet initialized from SI_OBS_FLIGHT.
+extern std::atomic<unsigned char> g_armed;
+[[nodiscard]] bool armed_slow();
+/// One entry appended to the ring. `kind` is 'B'/'E' for span events,
+/// 'N' for notes, 'T' for budget trips.
+void record(char kind, std::string path, std::string msg);
+} // namespace detail
+
+/// True when the recorder is armed (one relaxed load once initialized).
+[[nodiscard]] inline bool armed() {
+    const unsigned char a = detail::g_armed.load(std::memory_order_relaxed);
+    if (a == 255) return detail::armed_slow();
+    return a != 0;
+}
+
+/// Appends a log line to the ring, stamped with the current keyed span
+/// path. No-op when disarmed.
+void note(std::string_view message);
+
+/// The flight JSON document for the current ring contents (canonically
+/// sorted events plus the stable-metric snapshot). Works even when
+/// disarmed — for tests.
+[[nodiscard]] std::string render(std::string_view reason);
+
+/// Writes render(reason) to `<dir>/flight-<reason>.json`, overwriting
+/// any previous dump of the same reason (latest post-mortem wins).
+/// Returns an empty string on success, else the error message.
+[[nodiscard]] std::string dump(std::string_view reason);
+
+/// Clears the ring and the per-path sequence counters (the armed state
+/// and directory are kept). Also invoked by obs::reset().
+void reset();
+
+} // namespace si::obs::flight

@@ -50,7 +50,8 @@ enum class Mode : unsigned char {
 };
 
 /// Active mode. Initialized once from the SI_OBS environment variable
-/// ("trace", "metrics", anything else / unset = off); set_mode overrides.
+/// ("trace", "metrics", "off"/"0"/unset = off); an unrecognized value is
+/// treated as off with a one-time warning on stderr. set_mode overrides.
 [[nodiscard]] Mode mode();
 void set_mode(Mode m);
 
@@ -99,6 +100,13 @@ void span_end(Rec* rec);
 void span_attr(Rec* rec, const char* key, std::string value);
 [[nodiscard]] SpanRef current_ref();
 Rec* task_begin(const SpanRef& fan, std::size_t index);
+/// Appends `s` to `out` with JSON string escaping (shared by the trace
+/// exporter, the flight recorder and the report renderers).
+void json_escape(std::string& out, std::string_view s);
+/// Like current_span_path() but each component carries its canonical
+/// child key ("mc.check:0/parallel:0/task:3") — unique per concurrent
+/// task, which is what the flight recorder sorts by.
+[[nodiscard]] std::string keyed_span_path();
 } // namespace detail
 
 /// RAII stage span. A no-op unless tracing() at construction. Attributes
@@ -209,6 +217,12 @@ inline void hot(Hot h) {
 /// One-line "name=value ..." summary of the Stable counters — the
 /// snapshot util::Exhaustion carries so budget trips are attributable.
 [[nodiscard]] std::string metrics_brief();
+
+/// The Stable counters as a flat JSON object, name-sorted:
+/// {"mc.cubes_found": 12, "verify.states": 4763}. "{}" when empty. This
+/// is the "metrics" block perf_baseline embeds in BENCH_perf.json and
+/// one of the snapshot formats bench/obs_diff compares.
+[[nodiscard]] std::string metrics_json();
 
 /// Chrome trace-event JSON (load via chrome://tracing or Perfetto).
 /// Balanced B/E event pairs in canonical DFS order; with the

@@ -1,0 +1,330 @@
+#include "si/obs/flight.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "si/obs/obs.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#define SI_FLIGHT_SIGNALS 1
+#endif
+
+namespace si::obs::flight {
+
+namespace detail {
+std::atomic<unsigned char> g_armed{255}; // 255 = read SI_OBS_FLIGHT on first use
+} // namespace detail
+
+namespace {
+
+struct Entry {
+    std::string path; ///< keyed span path at record time ("" outside spans)
+    std::uint64_t seq = 0; ///< per-path sequence number
+    char kind = 'N';       ///< 'B'/'E' span events, 'N' note, 'T' trip
+    std::string msg;
+};
+
+// Leaked singleton, like the obs registry: the recorder must stay valid
+// for pool workers and the signal handler regardless of static
+// destruction order.
+struct State {
+    std::mutex mutex; ///< ring, sequence counters and directory
+    std::mutex io;    ///< serializes concurrent dump() file writes
+    std::deque<Entry> ring;
+    std::unordered_map<std::string, std::uint64_t> seq;
+    std::string dir;
+    /// Pre-composed crash-dump path, readable from the signal handler.
+    char crash_path[512] = {0};
+    bool handlers_installed = false;
+};
+
+State& state() {
+    static State* s = new State;
+    return *s;
+}
+
+const char* kind_name(char k) {
+    switch (k) {
+    case 'B': return "B";
+    case 'E': return "E";
+    case 'T': return "T";
+    default: return "N";
+    }
+}
+
+/// Canonical event order: per-path program order. Paths are unique per
+/// concurrent task (they embed the canonical span keys), so this order
+/// is thread-count independent whenever the instrumented work is.
+bool entry_less(const Entry& a, const Entry& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.msg < b.msg;
+}
+
+void append_event_line(std::string& out, const Entry& e, bool last) {
+    out += "    {\"path\": \"";
+    obs::detail::json_escape(out, e.path);
+    out += "\", \"seq\": " + std::to_string(e.seq) + ", \"kind\": \"";
+    out += kind_name(e.kind);
+    out += "\", \"msg\": \"";
+    obs::detail::json_escape(out, e.msg);
+    out += last ? "\"}\n" : "\"},\n";
+}
+
+const char* mode_name() {
+    switch (mode()) {
+    case Mode::Trace: return "trace";
+    case Mode::Metrics: return "metrics";
+    case Mode::Off: return "off";
+    }
+    return "?";
+}
+
+const char* clock_name() {
+    return clock_mode() == ClockMode::Wall ? "wall" : "deterministic";
+}
+
+#ifdef SI_FLIGHT_SIGNALS
+
+// ---------------------------------------------------------------------------
+// Signal-safe crash writer. Mirrors render()'s byte layout using only
+// write(2) and hand-rolled formatting (no allocation, no stdio); the
+// entry strings are read in place — racing threads can at worst tear a
+// message, and the process is crashing anyway.
+
+void put(int fd, const char* s, std::size_t n) {
+    while (n > 0) {
+        const ::ssize_t w = ::write(fd, s, n);
+        if (w <= 0) return;
+        s += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+void put_str(int fd, const char* s) { put(fd, s, std::strlen(s)); }
+
+void put_u64(int fd, std::uint64_t v) {
+    char buf[24];
+    char* p = buf + sizeof buf;
+    *--p = '\0';
+    do {
+        *--p = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    put_str(fd, p);
+}
+
+void put_escaped(int fd, const char* s, std::size_t n) {
+    static const char* hex = "0123456789abcdef";
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = s[i];
+        switch (c) {
+        case '"': put(fd, "\\\"", 2); break;
+        case '\\': put(fd, "\\\\", 2); break;
+        case '\n': put(fd, "\\n", 2); break;
+        case '\t': put(fd, "\\t", 2); break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char u[6] = {'\\', 'u', '0', '0', hex[(c >> 4) & 0xf], hex[c & 0xf]};
+                put(fd, u, 6);
+            } else {
+                put(fd, &c, 1);
+            }
+        }
+    }
+}
+
+void write_crash_json(int fd, int sig) {
+    State& s = state();
+    // Best effort: if the crashing thread already holds the ring mutex,
+    // dump without it rather than deadlocking in the handler.
+    const bool locked = s.mutex.try_lock();
+    static const Entry* sorted[kCapacity];
+    std::size_t n = 0;
+    for (const Entry& e : s.ring) {
+        if (n == kCapacity) break;
+        sorted[n++] = &e;
+    }
+    std::sort(sorted, sorted + n,
+              [](const Entry* a, const Entry* b) { return entry_less(*a, *b); });
+
+    put_str(fd, "{\n  \"flight\": 1,\n  \"reason\": \"crash\",\n  \"signal\": ");
+    put_u64(fd, static_cast<std::uint64_t>(sig));
+    put_str(fd, ",\n  \"mode\": \"");
+    put_str(fd, mode_name());
+    put_str(fd, "\",\n  \"clock\": \"");
+    put_str(fd, clock_name());
+    put_str(fd, "\",\n  \"events\": [\n");
+    for (std::size_t i = 0; i < n; ++i) {
+        const Entry& e = *sorted[i];
+        put_str(fd, "    {\"path\": \"");
+        put_escaped(fd, e.path.data(), e.path.size());
+        put_str(fd, "\", \"seq\": ");
+        put_u64(fd, e.seq);
+        put_str(fd, ", \"kind\": \"");
+        put_str(fd, kind_name(e.kind));
+        put_str(fd, "\", \"msg\": \"");
+        put_escaped(fd, e.msg.data(), e.msg.size());
+        put_str(fd, i + 1 == n ? "\"}\n" : "\"},\n");
+    }
+    // No metrics in the crash path: merging the shards allocates.
+    put_str(fd, "  ],\n  \"metrics\": {}\n}\n");
+    if (locked) s.mutex.unlock();
+}
+
+extern "C" void flight_signal_handler(int sig) {
+    State& s = state();
+    if (s.crash_path[0] != '\0') {
+        const int fd = ::open(s.crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            write_crash_json(fd, sig);
+            ::close(fd);
+        }
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void install_handlers_locked(State& s) {
+    if (s.handlers_installed) return;
+    s.handlers_installed = true;
+    for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL})
+        ::signal(sig, flight_signal_handler);
+}
+
+#else
+
+void install_handlers_locked(State&) {}
+
+#endif // SI_FLIGHT_SIGNALS
+
+} // namespace
+
+namespace detail {
+
+bool armed_slow() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    unsigned char expected = 255;
+    if (g_armed.load(std::memory_order_relaxed) == 255) {
+        const char* env = std::getenv("SI_OBS_FLIGHT");
+        if (env != nullptr && env[0] != '\0') {
+            std::error_code ec;
+            std::filesystem::create_directories(env, ec);
+            s.dir = env;
+            std::snprintf(s.crash_path, sizeof s.crash_path, "%s/flight-crash.json", env);
+            install_handlers_locked(s);
+            g_armed.compare_exchange_strong(expected, 1);
+        } else {
+            g_armed.compare_exchange_strong(expected, 0);
+        }
+    }
+    return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+void record(char kind, std::string path, std::string msg) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const std::uint64_t seq = s.seq[path]++;
+    if (s.ring.size() >= kCapacity) s.ring.pop_front();
+    s.ring.push_back(Entry{std::move(path), seq, kind, std::move(msg)});
+}
+
+} // namespace detail
+
+void set_dir(std::string dir) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (dir.empty()) {
+        s.dir.clear();
+        s.crash_path[0] = '\0';
+        detail::g_armed.store(0);
+        return;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::snprintf(s.crash_path, sizeof s.crash_path, "%s/flight-crash.json", dir.c_str());
+    s.dir = std::move(dir);
+    install_handlers_locked(s);
+    detail::g_armed.store(1);
+}
+
+std::string dir() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.dir;
+}
+
+void note(std::string_view message) {
+    if (!armed()) return;
+    detail::record('N', obs::detail::keyed_span_path(), std::string(message));
+}
+
+std::string render(std::string_view reason) {
+    std::string out = "{\n  \"flight\": 1,\n  \"reason\": \"";
+    obs::detail::json_escape(out, reason);
+    out += "\",\n  \"signal\": 0,\n  \"mode\": \"";
+    out += mode_name();
+    out += "\",\n  \"clock\": \"";
+    out += clock_name();
+    out += "\",\n  \"events\": [\n";
+    {
+        State& s = state();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        std::vector<const Entry*> sorted;
+        sorted.reserve(s.ring.size());
+        for (const Entry& e : s.ring) sorted.push_back(&e);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Entry* a, const Entry* b) { return entry_less(*a, *b); });
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+            append_event_line(out, *sorted[i], i + 1 == sorted.size());
+    }
+    out += "  ],\n  \"metrics\": " + metrics_json() + "\n}\n";
+    return out;
+}
+
+std::string dump(std::string_view reason) {
+    if (!armed()) return "flight recorder disarmed (set_dir or SI_OBS_FLIGHT)";
+    std::string name = "flight-";
+    for (const char c : reason)
+        name += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')
+                    ? c
+                    : '-';
+    name += ".json";
+    State& s = state();
+    std::lock_guard<std::mutex> io(s.io);
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.dir.empty()) return "flight recorder disarmed (set_dir or SI_OBS_FLIGHT)";
+        path = s.dir + "/" + name;
+    }
+    // Latest post-mortem wins: a dump is a crash artifact, not a report
+    // the overwrite-refusal contract protects.
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return "cannot write '" + path + "'";
+    out << render(reason);
+    return out.good() ? std::string{} : "write to '" + path + "' failed";
+}
+
+void reset() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.ring.clear();
+    s.seq.clear();
+}
+
+} // namespace si::obs::flight

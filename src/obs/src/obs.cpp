@@ -1,5 +1,7 @@
 #include "si/obs/obs.hpp"
 
+#include "si/obs/flight.hpp"
+
 #include <algorithm>
 #include <array>
 #include <bit>
@@ -38,6 +40,13 @@ struct Rec {
     std::uint32_t next_child = 0; ///< sequential-child counter (owner thread only)
     std::uint64_t begin_ns = 0;   ///< wall clock mode only
     std::uint64_t end_ns = 0;
+    /// Keyed-path base for stacks rooted at this span. A worker's TLS
+    /// stack starts at its task span, so without this the flight
+    /// recorder's paths would lose the caller-side chain and depend on
+    /// which thread ran the task. Set on a fan-out span (its own full
+    /// keyed path, computed on the calling thread) before any task is
+    /// published, copied into each task span, immutable afterwards.
+    std::string flight_prefix;
 };
 
 namespace {
@@ -133,25 +142,6 @@ Slot& slot(std::string_view name, Slot::Kind kind, Tag tag) {
     return it->second;
 }
 
-void json_escape(std::string& out, const std::string& s) {
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char hex[8];
-                std::snprintf(hex, sizeof hex, "\\u%04x", c);
-                out += hex;
-            } else {
-                out += c;
-            }
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Canonical tree reconstruction shared by both trace exporters.
 
@@ -202,6 +192,38 @@ Tree build_tree(Registry& r) {
 
 } // namespace
 
+void json_escape(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string keyed_span_path() {
+    const auto& stack = tls().stack;
+    std::string out;
+    if (!stack.empty()) out = stack.front().rec->flight_prefix;
+    for (const auto& ref : stack) {
+        if (!out.empty()) out += '/';
+        out += ref.rec->name;
+        out += ':';
+        out += std::to_string(ref.rec->key);
+    }
+    return out;
+}
+
 Rec* span_begin(const char* name) {
     Tls& t = tls();
     ThreadBuf& buf = thread_buf();
@@ -219,6 +241,7 @@ Rec* span_begin(const char* name) {
     buf.recs.push_back(std::move(rec));
     Rec* r = &buf.recs.back();
     t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
+    if (flight::armed()) flight::detail::record('B', keyed_span_path(), r->name);
     return r;
 }
 
@@ -230,10 +253,12 @@ Rec* task_begin(const SpanRef& fan, std::size_t index) {
     rec.parent_buf = fan.buf;
     rec.parent_idx = fan.idx;
     rec.key = index; // canonical: the task index, not arrival order
+    rec.flight_prefix = fan.rec->flight_prefix; // caller-side chain (read-only here)
     if (wall_clock()) rec.begin_ns = now_ns();
     buf.recs.push_back(std::move(rec));
     Rec* r = &buf.recs.back();
     t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
+    if (flight::armed()) flight::detail::record('B', keyed_span_path(), r->name);
     return r;
 }
 
@@ -244,6 +269,7 @@ void span_end(Rec* rec) {
     // leaked across a reset) by scanning instead of corrupting the stack.
     for (std::size_t i = stack.size(); i-- > 0;) {
         if (stack[i].rec == rec) {
+            if (flight::armed()) flight::detail::record('E', keyed_span_path(), rec->name);
             stack.resize(i);
             return;
         }
@@ -263,11 +289,22 @@ Mode mode_slow() {
     unsigned char expected = 255;
     const char* env = std::getenv("SI_OBS");
     Mode m = Mode::Off;
+    bool recognized = true;
     if (env != nullptr) {
         if (std::strcmp(env, "trace") == 0) m = Mode::Trace;
         else if (std::strcmp(env, "metrics") == 0) m = Mode::Metrics;
+        else
+            recognized =
+                std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 || env[0] == '\0';
     }
-    g_mode.compare_exchange_strong(expected, static_cast<unsigned char>(m));
+    // Only the initializing thread (the one whose CAS installs the mode)
+    // warns, so a misspelt SI_OBS is reported exactly once instead of
+    // silently disabling the instrumentation.
+    if (g_mode.compare_exchange_strong(expected, static_cast<unsigned char>(m)) && !recognized)
+        std::fprintf(stderr,
+                     "si::obs: ignoring unrecognized SI_OBS value '%s' "
+                     "(expected trace|metrics|off); observability stays off\n",
+                     env);
     return static_cast<Mode>(g_mode.load(std::memory_order_relaxed));
 }
 
@@ -301,6 +338,9 @@ FanOutSpan::FanOutSpan(std::size_t n) {
     detail::Rec* rec = detail::span_begin("parallel");
     detail::span_attr(rec, "n", std::to_string(n));
     ref_ = detail::current_ref();
+    // The fan's full keyed path, resolved while the caller's stack is
+    // visible; task_begin hands it to tasks that run on pool workers.
+    rec->flight_prefix = detail::keyed_span_path();
 }
 
 FanOutSpan::~FanOutSpan() {
@@ -436,6 +476,18 @@ std::string metrics_brief() {
     return out;
 }
 
+std::string metrics_json() {
+    std::string out = "{";
+    for (const auto& [name, s] : merged_metrics()) {
+        if (s.tag != Tag::Stable || s.kind != Slot::Kind::Counter) continue;
+        if (out.size() > 1) out += ", ";
+        out += '"';
+        detail::json_escape(out, name);
+        out += "\": " + std::to_string(s.value);
+    }
+    return out + "}";
+}
+
 // ---------------------------------------------------------------------------
 // Trace exports
 
@@ -536,12 +588,15 @@ std::string export_to_file(const std::string& path, bool force) {
 }
 
 void reset() {
-    auto& r = detail::registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    for (auto* buf : r.bufs) buf->recs.clear();
-    for (auto* shard : r.shards) shard->slots.clear();
-    for (auto& h : detail::g_hot) h.store(0, std::memory_order_relaxed);
-    r.root_seq.store(0, std::memory_order_relaxed);
+    {
+        auto& r = detail::registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (auto* buf : r.bufs) buf->recs.clear();
+        for (auto* shard : r.shards) shard->slots.clear();
+        for (auto& h : detail::g_hot) h.store(0, std::memory_order_relaxed);
+        r.root_seq.store(0, std::memory_order_relaxed);
+    }
+    flight::reset();
 }
 
 } // namespace si::obs

@@ -1,0 +1,146 @@
+// si::obs::report — structured diagnosis reports over the analysis
+// results, and the stable-metrics snapshot diff that backs the
+// bench/obs_diff regression guard.
+//
+// The explain renderers turn a failed (or successful) analysis into a
+// deterministic artifact a designer can read or a tool can parse:
+//
+//   * MC explain — per-signal Monotonous Cover status: ER/QR/CFR sizes
+//     for every excitation region, the cube (or elementary sum) that
+//     implements it, and — when McCubeSearch::record_trail was set —
+//     every candidate cube the search examined with the specific MC
+//     condition that killed it (covers-ER / single-change-in-CFR /
+//     no-state-outside-CFR, in the Def 17 numbering).
+//   * Verify explain — every hazard Violation replayed as an annotated
+//     witness: the firing sequence from reset with the excited gate set
+//     after each action, the disabling step marked HAZARD, plus the span
+//     path the violation was found under.
+//
+// Both come in text and JSON. Determinism contract: the reports are
+// pure functions of the analysis results, and those results are
+// byte-identical across thread counts (parallel_map splices in task
+// order), so the reports are too.
+//
+// The snapshot half parses the three stable-metric serializations the
+// repo produces — obs::metrics_text, obs::metrics_json, and the
+// "metrics" block of bench/BENCH_perf.json — into one flat counter map
+// and diffs two of them with per-counter relative thresholds. Stable
+// counters are deterministic whenever the work is, which is what makes
+// a checked-in baseline meaningful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "si/mc/requirement.hpp"
+#include "si/netlist/netlist.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si::obs::report {
+
+// ---------------------------------------------------------------------------
+// MC explain
+
+/// The Def 17 condition (or definition) a violation kind falls under,
+/// e.g. "covers-ER (condition 1)". Stable strings — tests and tools
+/// match on them.
+[[nodiscard]] const char* condition_name(mc::McFailure kind);
+
+/// Multi-line per-signal report of an McReport. Regions are grouped by
+/// signal in signal order; each carries |ER|/|QR|/|CFR| and its
+/// implementation or the violations of the smallest cover cube (with a
+/// replayed firing sequence to the first witness state). Candidate
+/// trails are rendered when present.
+[[nodiscard]] std::string mc_explain_text(const sg::RegionAnalysis& ra,
+                                          const mc::McReport& report);
+
+/// The same report as JSON:
+/// {"mc_explain": 1, "satisfied": ..., "signals": [{"name": ..,
+///  "regions": [{"label", "er", "qr", "cfr", "status", "cube"?,
+///  "shared_with"?, "sum"?, "violations": [..], "trail": [..]}]}]}
+[[nodiscard]] std::string mc_explain_json(const sg::RegionAnalysis& ra,
+                                          const mc::McReport& report);
+
+// ---------------------------------------------------------------------------
+// Verify explain
+
+/// Multi-line report of a VerifyResult against the netlist it was run
+/// on. Each violation's trace is re-simulated from the netlist's initial
+/// values: every step lists the action and the excited non-input gates
+/// after it, and a step that disables an excited gate without firing it
+/// is annotated HAZARD. Ends with the violation's span-path provenance.
+[[nodiscard]] std::string verify_explain_text(const net::Netlist& nl,
+                                              const verify::VerifyResult& result);
+
+/// The same report as JSON:
+/// {"verify_explain": 1, "ok": .., "states": N, "violations":
+///  [{"kind", "message", "span_path", "steps": [{"action", "excited":
+///  [..], "hazard"?: ".."}]}]}
+[[nodiscard]] std::string verify_explain_json(const net::Netlist& nl,
+                                              const verify::VerifyResult& result);
+
+// ---------------------------------------------------------------------------
+// Stable-metric snapshots and the regression diff
+
+/// A flat stable-counter map parsed from any snapshot serialization.
+/// Gauges keep their name; histograms contribute NAME.count and
+/// NAME.sum. Diagnostic metrics (the "# diagnostic" section) are
+/// skipped — they are scheduling-dependent by definition.
+struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/// Parses obs::metrics_text output, an obs::metrics_json flat object, or
+/// any JSON document with a "metrics" object member (BENCH_perf.json).
+/// Format is auto-detected from the first non-space character.
+[[nodiscard]] Snapshot parse_snapshot(std::string_view text);
+
+struct DiffOptions {
+    /// A counter regresses when cur > base * threshold AND
+    /// cur > base + slack; the slack keeps tiny counters (0 → 3) from
+    /// tripping a ratio test that is meaningless at that scale.
+    double threshold = 1.5;
+    std::uint64_t slack = 16;
+    /// Per-counter threshold overrides (exact names), e.g. allow
+    /// "verify.states" to grow 3x while everything else holds 1.5x.
+    std::map<std::string, double> per_counter;
+    /// Treat counters present in the baseline but absent from the
+    /// current snapshot as regressions (default: report only).
+    bool fail_on_missing = false;
+};
+
+struct CounterDiff {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t cur = 0;
+    double threshold = 0; ///< the threshold applied to this counter
+    bool regressed = false;
+};
+
+struct DiffResult {
+    std::vector<CounterDiff> rows;       ///< name-sorted, one per common counter
+    std::vector<std::string> missing;    ///< in base, absent from cur
+    std::vector<std::string> added;      ///< in cur, absent from base
+    bool missing_regress = false;        ///< DiffOptions::fail_on_missing
+    [[nodiscard]] bool regressed() const;
+    /// Human-readable table: every regressed counter, then a summary
+    /// line ("obs_diff: OK, 42 counters within thresholds" or
+    /// "obs_diff: REGRESSION in 2 of 42 counters").
+    [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] DiffResult diff_snapshots(const Snapshot& base, const Snapshot& cur,
+                                        const DiffOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Report files
+
+/// Writes `content` to `path`, refusing to overwrite an existing file
+/// unless `force` (the export_to_file contract). Empty string on
+/// success, else the error message.
+[[nodiscard]] std::string write(const std::string& path, std::string_view content, bool force);
+
+} // namespace si::obs::report

@@ -1,0 +1,640 @@
+#include "si/obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "si/obs/obs.hpp"
+
+namespace si::obs::report {
+
+namespace {
+
+void esc(std::string& out, std::string_view s) { obs::detail::json_escape(out, s); }
+
+std::string jstr(std::string_view s) {
+    std::string out = "\"";
+    esc(out, s);
+    return out + "\"";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// MC explain
+
+const char* condition_name(mc::McFailure kind) {
+    switch (kind) {
+    case mc::McFailure::NotACoverCube: return "cover-cube (Def 15)";
+    case mc::McFailure::UncoveredEr: return "covers-ER (condition 1)";
+    case mc::McFailure::NonMonotonic: return "single-change-in-CFR (condition 2)";
+    case mc::McFailure::CoversOutsideCfr: return "no-state-outside-CFR (condition 3)";
+    case mc::McFailure::IncorrectCover: return "correct-cover (Def 16)";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Report slots grouped by signal, in signal order; region order inside
+/// each group follows the McReport (= region discovery order), so the
+/// report layout is independent of how the search was scheduled.
+std::vector<std::vector<const mc::RegionMc*>> group_by_signal(const sg::RegionAnalysis& ra,
+                                                              const mc::McReport& report) {
+    std::vector<std::vector<const mc::RegionMc*>> groups(ra.graph().num_signals());
+    for (const auto& rmc : report.regions)
+        groups[ra.region(rmc.region).signal.index()].push_back(&rmc);
+    return groups;
+}
+
+std::string region_status(const mc::RegionMc& rmc) {
+    if (!rmc.ok()) return "no-monotonous-cover";
+    if (!rmc.cube) return "elementary-sum";
+    return rmc.shared_with.empty() ? "mc-cube" : "shared-mc-cube";
+}
+
+/// "x y' (rejected: single-change-in-CFR (condition 2))" or
+/// "x y' (accepted)".
+std::string trail_line(const mc::McCandidate& cand, const std::vector<std::string>& names) {
+    std::string out = cand.cube.to_expr(names);
+    if (cand.accepted()) return out + " (accepted)";
+    out += " (rejected: ";
+    out += condition_name(cand.violations.front().kind);
+    if (cand.violations.size() > 1)
+        out += " +" + std::to_string(cand.violations.size() - 1) + " more";
+    return out + ")";
+}
+
+} // namespace
+
+std::string mc_explain_text(const sg::RegionAnalysis& ra, const mc::McReport& report) {
+    const auto& sg = ra.graph();
+    const auto names = sg.signals().names();
+    std::string out = "Monotonous Cover diagnosis for '" + sg.name + "'\n";
+    out += report.satisfied()
+               ? "requirement satisfied (Def 18)\n"
+               : std::to_string(report.violation_count()) +
+                     " excitation region(s) without a monotonous cover\n";
+
+    const auto groups = group_by_signal(ra, report);
+    for (std::size_t v = 0; v < groups.size(); ++v) {
+        if (groups[v].empty()) continue;
+        out += "\nsignal " + names[v] + "\n";
+        for (const auto* rmc : groups[v]) {
+            const auto& region = ra.region(rmc->region);
+            out += "  " + region.label(sg) + ": |ER|=" + std::to_string(region.states.count()) +
+                   " |QR|=" + std::to_string(region.quiescent.count()) +
+                   " |CFR|=" + std::to_string(region.cfr.count()) + "\n";
+            if (rmc->ok() && rmc->cube) {
+                out += "    MC cube: " + rmc->cube->to_expr(names);
+                if (!rmc->shared_with.empty()) {
+                    out += " (generalized, shared with";
+                    for (const auto g : rmc->shared_with)
+                        if (g != rmc->region) out += " " + ra.region(g).label(sg);
+                    out += ")";
+                }
+                out += "\n";
+            } else if (rmc->ok()) {
+                out += "    elementary sum (OR-causality form):";
+                for (const auto& lit : rmc->sum_literals) out += " " + lit.to_expr(names);
+                out += "\n";
+            } else {
+                out += "    NO monotonous cover; smallest cover cube fails:\n";
+                for (const auto& vio : rmc->violations) {
+                    out += "      [" + std::string(condition_name(vio.kind)) + "] ";
+                    // describe_with_trace is multi-line (the replayed
+                    // firing sequence); re-indent its continuation lines.
+                    const std::string desc = vio.describe_with_trace(ra);
+                    for (const char c : desc) {
+                        out += c;
+                        if (c == '\n') out += "      ";
+                    }
+                    out += "\n";
+                }
+            }
+            if (!rmc->trail.empty()) {
+                out += "    search trail (" + std::to_string(rmc->trail.size()) +
+                       " candidates examined):\n";
+                for (std::size_t i = 0; i < rmc->trail.size(); ++i)
+                    out += "      [" + std::to_string(i) + "] " +
+                           trail_line(rmc->trail[i], names) + "\n";
+            }
+        }
+    }
+    return out;
+}
+
+std::string mc_explain_json(const sg::RegionAnalysis& ra, const mc::McReport& report) {
+    const auto& sg = ra.graph();
+    const auto names = sg.signals().names();
+    std::string out = "{\n  \"mc_explain\": 1,\n  \"graph\": " + jstr(sg.name) +
+                      ",\n  \"satisfied\": " + (report.satisfied() ? "true" : "false") +
+                      ",\n  \"signals\": [";
+
+    const auto groups = group_by_signal(ra, report);
+    bool first_signal = true;
+    for (std::size_t v = 0; v < groups.size(); ++v) {
+        if (groups[v].empty()) continue;
+        out += first_signal ? "\n" : ",\n";
+        first_signal = false;
+        out += "    {\"name\": " + jstr(names[v]) + ", \"regions\": [";
+        bool first_region = true;
+        for (const auto* rmc : groups[v]) {
+            const auto& region = ra.region(rmc->region);
+            out += first_region ? "\n" : ",\n";
+            first_region = false;
+            out += "      {\"label\": " + jstr(region.label(sg)) +
+                   ", \"er\": " + std::to_string(region.states.count()) +
+                   ", \"qr\": " + std::to_string(region.quiescent.count()) +
+                   ", \"cfr\": " + std::to_string(region.cfr.count()) +
+                   ", \"status\": " + jstr(region_status(*rmc));
+            if (rmc->cube) out += ", \"cube\": " + jstr(rmc->cube->to_expr(names));
+            if (!rmc->shared_with.empty()) {
+                out += ", \"shared_with\": [";
+                bool first = true;
+                for (const auto g : rmc->shared_with) {
+                    if (g == rmc->region) continue;
+                    if (!first) out += ", ";
+                    first = false;
+                    out += jstr(ra.region(g).label(sg));
+                }
+                out += "]";
+            }
+            if (!rmc->sum_literals.empty()) {
+                out += ", \"sum\": [";
+                for (std::size_t i = 0; i < rmc->sum_literals.size(); ++i) {
+                    if (i != 0) out += ", ";
+                    out += jstr(rmc->sum_literals[i].to_expr(names));
+                }
+                out += "]";
+            }
+            if (!rmc->violations.empty()) {
+                out += ", \"violations\": [";
+                for (std::size_t i = 0; i < rmc->violations.size(); ++i) {
+                    const auto& vio = rmc->violations[i];
+                    if (i != 0) out += ", ";
+                    out += "{\"condition\": " + jstr(condition_name(vio.kind)) +
+                           ", \"witness\": " + jstr(vio.describe_with_trace(ra)) + "}";
+                }
+                out += "]";
+            }
+            if (!rmc->trail.empty()) {
+                out += ", \"trail\": [";
+                for (std::size_t i = 0; i < rmc->trail.size(); ++i) {
+                    const auto& cand = rmc->trail[i];
+                    if (i != 0) out += ", ";
+                    out += "{\"cube\": " + jstr(cand.cube.to_expr(names)) + ", \"killed_by\": " +
+                           (cand.accepted() ? std::string("null")
+                                            : jstr(condition_name(cand.violations.front().kind))) +
+                           "}";
+                }
+                out += "]";
+            }
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Verify explain
+
+namespace {
+
+struct ReplayStep {
+    std::string action;
+    std::vector<std::string> excited; ///< excited non-input gates after it
+    std::vector<std::string> hazard;  ///< gates this step disabled without firing
+    bool diverged = false;            ///< action named no known gate
+};
+
+std::vector<std::string> excited_gates(const net::Netlist& nl, const BitVec& values) {
+    std::vector<std::string> out;
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+        const GateId gid{g};
+        if (nl.gate(gid).kind == net::GateKind::Input) continue;
+        if (nl.gate_excited(gid, values)) out.push_back(nl.gate(gid).name);
+    }
+    return out;
+}
+
+/// Re-simulates a violation trace from the netlist's initial values.
+/// The verifier only records gate/input names with polarity, so the
+/// replay recomputes what a designer wants to see: which gates were
+/// excited after every action and which step disabled one (the hazard).
+std::vector<ReplayStep> replay(const net::Netlist& nl, const std::vector<std::string>& trace) {
+    std::vector<ReplayStep> steps;
+    BitVec values = nl.initial_values();
+    for (const auto& action : trace) {
+        ReplayStep step;
+        step.action = action;
+        GateId fired = GateId::invalid();
+        if (action.size() > 1 && (action[0] == '+' || action[0] == '-')) {
+            for (std::size_t g = 0; g < nl.num_gates(); ++g)
+                if (nl.gate(GateId{g}).name == action.substr(1)) {
+                    fired = GateId{g};
+                    break;
+                }
+        }
+        if (!fired.is_valid()) {
+            // A trace from a perturbed start state (fault injection) or a
+            // renamed netlist cannot be replayed from reset; say so
+            // instead of guessing.
+            step.diverged = true;
+            steps.push_back(std::move(step));
+            break;
+        }
+        const auto before = excited_gates(nl, values);
+        values.flip(fired.index());
+        step.excited = excited_gates(nl, values);
+        for (const auto& name : before) {
+            if (name == nl.gate(fired).name) continue; // it fired, not disabled
+            if (std::find(step.excited.begin(), step.excited.end(), name) == step.excited.end())
+                step.hazard.push_back(name);
+        }
+        steps.push_back(std::move(step));
+    }
+    return steps;
+}
+
+/// The witness trace of a gate-disabled violation stops at the state
+/// *before* the disabling transition — the action itself only appears in
+/// the message ("... disabled while excited by -d ..."). Recover it so
+/// the replay can show the hazard step instead of ending one action
+/// short of the point.
+std::vector<std::string> replay_trace(const verify::Violation& v) {
+    auto trace = v.trace;
+    if (v.kind == verify::ViolationKind::GateDisabled) {
+        static constexpr std::string_view kBy = "excited by ";
+        const auto pos = v.message.find(kBy);
+        if (pos != std::string::npos) {
+            const auto start = pos + kBy.size();
+            const auto end = v.message.find(' ', start);
+            std::string action = v.message.substr(
+                start, end == std::string::npos ? std::string::npos : end - start);
+            if (!action.empty()) trace.push_back(std::move(action));
+        }
+    }
+    return trace;
+}
+
+const char* kind_name(verify::ViolationKind k) {
+    switch (k) {
+    case verify::ViolationKind::GateDisabled: return "gate-disabled";
+    case verify::ViolationKind::NonConformant: return "non-conformant";
+    case verify::ViolationKind::Deadlock: return "deadlock";
+    case verify::ViolationKind::StateExplosion: return "state-explosion";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string verify_explain_text(const net::Netlist& nl, const verify::VerifyResult& result) {
+    std::string out = "Speed-independence diagnosis for '" + nl.name + "'\n";
+    out += result.ok ? "no violations" : std::to_string(result.violations.size()) + " violation(s)";
+    out += " in " + std::to_string(result.states_explored) + " states / " +
+           std::to_string(result.transitions_explored) + " transitions";
+    if (!result.complete()) out += " (INCOMPLETE: " + result.exhaustion->describe() + ")";
+    out += "\n";
+
+    for (std::size_t i = 0; i < result.violations.size(); ++i) {
+        const auto& v = result.violations[i];
+        out += "\nviolation " + std::to_string(i + 1) + " [" + kind_name(v.kind) + "]: " +
+               v.message + "\n";
+        if (!v.span_path.empty()) out += "  found in: " + v.span_path + "\n";
+        const auto trace = replay_trace(v);
+        if (trace.empty()) {
+            out += "  witness: (initial state)\n";
+            continue;
+        }
+        out += "  witness replay from reset:\n";
+        for (const auto& step : replay(nl, trace)) {
+            out += "    " + step.action;
+            if (step.diverged) {
+                out += " (replay unavailable: action names no gate; "
+                       "trace starts from a perturbed state)\n";
+                break;
+            }
+            out += "  excited after: {";
+            for (std::size_t e = 0; e < step.excited.size(); ++e)
+                out += (e != 0 ? " " : "") + step.excited[e];
+            out += "}";
+            if (!step.hazard.empty()) {
+                out += "  HAZARD: disabled";
+                for (const auto& g : step.hazard) out += " " + g;
+                out += " without firing";
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::string verify_explain_json(const net::Netlist& nl, const verify::VerifyResult& result) {
+    std::string out = "{\n  \"verify_explain\": 1,\n  \"netlist\": " + jstr(nl.name) +
+                      ",\n  \"ok\": " + (result.ok ? "true" : "false") +
+                      ",\n  \"complete\": " + (result.complete() ? "true" : "false") +
+                      ",\n  \"states\": " + std::to_string(result.states_explored) +
+                      ",\n  \"transitions\": " + std::to_string(result.transitions_explored) +
+                      ",\n  \"violations\": [";
+    for (std::size_t i = 0; i < result.violations.size(); ++i) {
+        const auto& v = result.violations[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"kind\": " + jstr(kind_name(v.kind)) + ",\n     \"message\": " +
+               jstr(v.message) + ",\n     \"span_path\": " + jstr(v.span_path) +
+               ",\n     \"steps\": [";
+        const auto steps = replay(nl, replay_trace(v));
+        for (std::size_t s = 0; s < steps.size(); ++s) {
+            const auto& step = steps[s];
+            out += s == 0 ? "\n" : ",\n";
+            out += "       {\"action\": " + jstr(step.action);
+            if (step.diverged) {
+                out += ", \"replay\": \"unavailable\"}";
+                continue;
+            }
+            out += ", \"excited\": [";
+            for (std::size_t e = 0; e < step.excited.size(); ++e) {
+                if (e != 0) out += ", ";
+                out += jstr(step.excited[e]);
+            }
+            out += "]";
+            if (!step.hazard.empty()) {
+                out += ", \"hazard\": [";
+                for (std::size_t h = 0; h < step.hazard.size(); ++h) {
+                    if (h != 0) out += ", ";
+                    out += jstr(step.hazard[h]);
+                }
+                out += "]";
+            }
+            out += "}";
+        }
+        out += steps.empty() ? "]}" : "\n     ]}";
+    }
+    out += result.violations.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+}
+
+/// Scans a JSON string starting at the opening quote; returns the
+/// unescaped content (escapes beyond \" \\ are kept verbatim — metric
+/// names never use them).
+std::string scan_string(std::string_view s, std::size_t& i) {
+    std::string out;
+    ++i; // opening quote
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            if (s[i] == '"' || s[i] == '\\') out += s[i];
+            else {
+                out += '\\';
+                out += s[i];
+            }
+        } else {
+            out += s[i];
+        }
+        ++i;
+    }
+    if (i < s.size()) ++i; // closing quote
+    return out;
+}
+
+/// Skips any JSON value (for members we do not collect).
+void skip_value(std::string_view s, std::size_t& i) {
+    skip_ws(s, i);
+    if (i >= s.size()) return;
+    if (s[i] == '"') {
+        scan_string(s, i);
+        return;
+    }
+    if (s[i] == '{' || s[i] == '[') {
+        int depth = 0;
+        bool in_string = false;
+        for (; i < s.size(); ++i) {
+            const char c = s[i];
+            if (in_string) {
+                if (c == '\\') ++i;
+                else if (c == '"') in_string = false;
+            } else if (c == '"') {
+                in_string = true;
+            } else if (c == '{' || c == '[') {
+                ++depth;
+            } else if (c == '}' || c == ']') {
+                if (--depth == 0) {
+                    ++i;
+                    return;
+                }
+            }
+        }
+        return;
+    }
+    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']') ++i;
+}
+
+/// Collects the integer-valued members of the object starting at `i`
+/// (which must point at '{'). Non-integer members are skipped.
+void collect_object(std::string_view s, std::size_t i, Snapshot& out) {
+    if (i >= s.size() || s[i] != '{') return;
+    ++i;
+    while (i < s.size()) {
+        skip_ws(s, i);
+        if (i >= s.size() || s[i] == '}') return;
+        if (s[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (s[i] != '"') return; // malformed; stop collecting
+        const std::string key = scan_string(s, i);
+        skip_ws(s, i);
+        if (i >= s.size() || s[i] != ':') return;
+        ++i;
+        skip_ws(s, i);
+        if (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+            std::uint64_t v = 0;
+            while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0)
+                v = v * 10 + static_cast<std::uint64_t>(s[i++] - '0');
+            // A fractional value is not a stable counter; skip it.
+            if (i < s.size() && (s[i] == '.' || s[i] == 'e' || s[i] == 'E')) skip_value(s, i);
+            else out.counters[key] = v;
+        } else {
+            skip_value(s, i);
+        }
+    }
+}
+
+/// Locates `"metrics"` used as an object key (not inside a string value)
+/// and returns the position of its '{', or npos.
+std::size_t find_metrics_object(std::string_view s) {
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c != '"') continue;
+        if (s.substr(i, 9) == "\"metrics\"") {
+            std::size_t j = i + 9;
+            skip_ws(s, j);
+            if (j < s.size() && s[j] == ':') {
+                ++j;
+                skip_ws(s, j);
+                if (j < s.size() && s[j] == '{') return j;
+            }
+        }
+        in_string = true;
+    }
+    return std::string_view::npos;
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) break;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+/// Parses one obs::metrics_text line into counter entries.
+void parse_metric_line(std::string_view line, Snapshot& out) {
+    auto word = [&](std::size_t& i) {
+        skip_ws(line, i);
+        const std::size_t start = i;
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) == 0) ++i;
+        return line.substr(start, i - start);
+    };
+    std::size_t i = 0;
+    const auto kind = word(i);
+    const auto name = word(i);
+    if (name.empty()) return;
+    if (kind == "counter" || kind == "gauge") {
+        // "counter NAME = V" / "gauge NAME max = V"
+        std::string_view tok = word(i);
+        if (tok == "max") tok = word(i);
+        if (tok != "=") return;
+        out.counters[std::string(name)] = parse_u64(word(i));
+    } else if (kind == "hist") {
+        // "hist NAME count=C sum=S buckets=[...]"
+        for (std::string_view tok = word(i); !tok.empty(); tok = word(i)) {
+            if (tok.substr(0, 6) == "count=")
+                out.counters[std::string(name) + ".count"] = parse_u64(tok.substr(6));
+            else if (tok.substr(0, 4) == "sum=")
+                out.counters[std::string(name) + ".sum"] = parse_u64(tok.substr(4));
+        }
+    }
+}
+
+} // namespace
+
+Snapshot parse_snapshot(std::string_view text) {
+    Snapshot out;
+    std::size_t i = 0;
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == '{') {
+        const std::size_t metrics = find_metrics_object(text);
+        collect_object(text, metrics == std::string_view::npos ? i : metrics, out);
+        return out;
+    }
+    // metrics_text format: one metric per line, diagnostics after the
+    // "# diagnostic" marker (excluded — they are scheduling-dependent).
+    while (i < text.size()) {
+        std::size_t eol = text.find('\n', i);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(i, eol - i);
+        i = eol + 1;
+        if (!line.empty() && line[0] == '#') {
+            if (line.find("diagnostic") != std::string_view::npos) break;
+            continue;
+        }
+        parse_metric_line(line, out);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+
+bool DiffResult::regressed() const {
+    if (missing_regress && !missing.empty()) return true;
+    for (const auto& row : rows)
+        if (row.regressed) return true;
+    return false;
+}
+
+std::string DiffResult::describe() const {
+    std::string out;
+    std::size_t bad = 0;
+    for (const auto& row : rows) {
+        if (!row.regressed) continue;
+        ++bad;
+        const double ratio =
+            row.base == 0 ? 0.0 : static_cast<double>(row.cur) / static_cast<double>(row.base);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.2fx > %.2fx", ratio, row.threshold);
+        out += "REGRESSION " + row.name + ": " + std::to_string(row.base) + " -> " +
+               std::to_string(row.cur) + " (" + buf + ")\n";
+    }
+    for (const auto& name : missing)
+        out += std::string(missing_regress ? "REGRESSION " : "note ") + name +
+               ": present in baseline, missing from current\n";
+    for (const auto& name : added) out += "note " + name + ": new counter, no baseline\n";
+    out += "obs_diff: ";
+    out += regressed() ? "REGRESSION in " + std::to_string(bad + (missing_regress ? missing.size() : 0)) +
+                             " of " + std::to_string(rows.size()) + " counters"
+                       : "OK, " + std::to_string(rows.size()) + " counters within thresholds";
+    out += "\n";
+    return out;
+}
+
+DiffResult diff_snapshots(const Snapshot& base, const Snapshot& cur, const DiffOptions& opts) {
+    DiffResult out;
+    out.missing_regress = opts.fail_on_missing;
+    for (const auto& [name, bval] : base.counters) {
+        const auto it = cur.counters.find(name);
+        if (it == cur.counters.end()) {
+            out.missing.push_back(name);
+            continue;
+        }
+        CounterDiff row;
+        row.name = name;
+        row.base = bval;
+        row.cur = it->second;
+        const auto t = opts.per_counter.find(name);
+        row.threshold = t == opts.per_counter.end() ? opts.threshold : t->second;
+        row.regressed = static_cast<double>(row.cur) >
+                            static_cast<double>(row.base) * row.threshold &&
+                        row.cur > row.base + opts.slack;
+        out.rows.push_back(std::move(row));
+    }
+    for (const auto& [name, cval] : cur.counters)
+        if (base.counters.find(name) == base.counters.end()) out.added.push_back(name);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report files
+
+std::string write(const std::string& path, std::string_view content, bool force) {
+    std::error_code ec;
+    if (!force && std::filesystem::exists(path, ec))
+        return "refusing to overwrite '" + path + "' (pass --force to allow)";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return "cannot write '" + path + "'";
+    out << content;
+    return out.good() ? std::string{} : "write to '" + path + "' failed";
+}
+
+} // namespace si::obs::report

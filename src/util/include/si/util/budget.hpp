@@ -148,6 +148,9 @@ private:
     std::chrono::steady_clock::time_point armed_at_;
     std::uint64_t wall_ms_ = 0;
     std::uint32_t clock_skip_ = 0;
+    /// True for budgets created by shard(): their trips are absorbed by
+    /// the parent, so only top-level trips write a flight-recorder dump.
+    bool shard_ = false;
     std::vector<std::string> stages_;
     std::optional<Exhaustion> failure_;
 };

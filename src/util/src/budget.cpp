@@ -1,5 +1,6 @@
 #include "si/util/budget.hpp"
 
+#include "si/obs/flight.hpp"
 #include "si/obs/obs.hpp"
 
 namespace si::util {
@@ -73,6 +74,14 @@ void Budget::trip(Resource r, std::uint64_t consumed, std::uint64_t limit) {
         obs::count("budget.exhausted." + failure_->stage + "." + resource_key(r), 1,
                    obs::Tag::Diag);
     }
+    // Top-level trips leave a post-mortem artifact when the flight
+    // recorder is armed. Shard trips are skipped: they are folded into
+    // the parent by absorb(), and dumping from every parallel worker
+    // would race on the same file.
+    if (!shard_ && obs::flight::armed()) {
+        obs::flight::detail::record('T', obs::detail::keyed_span_path(), failure_->describe());
+        (void)obs::flight::dump("budget-trip");
+    }
 }
 
 bool Budget::charge(Resource r, std::uint64_t amount) {
@@ -96,6 +105,7 @@ Budget Budget::shard(std::uint64_t ways) const {
         const std::uint64_t headroom = limits_[i] > consumed_[i] ? limits_[i] - consumed_[i] : 0;
         s.limits_[i] = ways > 1 ? (headroom + ways - 1) / ways : headroom;
     }
+    s.shard_ = true;
     if (failure_) s.limits_.fill(0); // already exhausted: shards get nothing
     if (deadline_) {
         s.deadline_ = deadline_;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "si/obs/flight.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/util/error.hpp"
@@ -82,6 +83,14 @@ public:
                               "exploration stopped early, verdict unknown: " +
                                   meter_.why().describe());
                 result_.exhaustion = meter_.why();
+                // An aborted verification leaves a post-mortem artifact:
+                // the ring at this point holds the exploration's recent
+                // span events plus the budget-trip marker.
+                if (obs::flight::armed()) {
+                    obs::flight::note("verifier abort on '" + nl_.name +
+                                      "': " + meter_.why().describe());
+                    (void)obs::flight::dump("verifier-abort");
+                }
                 break;
             }
         }

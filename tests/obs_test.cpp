@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <string>
 
 #include "si/netlist/builder.hpp"
+#include "si/obs/flight.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/read_sg.hpp"
 #include "si/util/budget.hpp"
@@ -260,6 +264,128 @@ TEST(Obs, BudgetTripCountsExhaustions) {
     EXPECT_FALSE(b.charge(util::Resource::States));
     EXPECT_NE(obs::metrics_text(false).find("counter budget.exhaustions = 1"),
               std::string::npos);
+}
+
+TEST(Obs, ChromeExportEscapesSpanAndAttributeNames) {
+    ObsGuard guard(obs::Mode::Trace);
+    {
+        // Hostile span name and attribute key: quote, backslash, newline,
+        // tab and a raw control byte, all of which must be escaped for
+        // the export to stay loadable JSON.
+        obs::Span s("sp\"an\\x\nname");
+        s.attr("ke\"y\t1", std::string("va\\l\x01ue"));
+    }
+    const std::string json = obs::trace_chrome_json();
+    EXPECT_NE(json.find("\"name\":\"sp\\\"an\\\\x\\nname\""), std::string::npos);
+    EXPECT_NE(json.find("\"ke\\\"y\\t1\":\"va\\\\l\\u0001ue\""), std::string::npos);
+    // No raw control characters survive inside the event records (the
+    // exporter's own newline separators are the only bytes below 0x20).
+    std::size_t raw_controls = 0;
+    for (const char c : json)
+        if (static_cast<unsigned char>(c) < 0x20 && c != '\n') ++raw_controls;
+    EXPECT_EQ(raw_controls, 0u);
+}
+
+TEST(Obs, HistogramZeroAndMaxBuckets) {
+    ObsGuard guard(obs::Mode::Metrics);
+    obs::observe("test.edge", 0);                                  // bit_width(0) = 0
+    obs::observe("test.edge", std::numeric_limits<std::uint64_t>::max()); // bit_width = 64
+    const std::string text = obs::metrics_text(false);
+    EXPECT_NE(text.find("hist test.edge count=2"), std::string::npos);
+    EXPECT_NE(text.find("2^0:1"), std::string::npos);
+    EXPECT_NE(text.find("2^64:1"), std::string::npos);
+}
+
+TEST(Obs, HistogramMergeSingleVsMultiShard) {
+    ObsGuard guard(obs::Mode::Metrics);
+    const auto run = [](std::size_t threads) {
+        obs::reset();
+        util::set_num_threads(threads);
+        util::parallel_for(32, [](std::size_t i) { obs::observe("test.merge", i); });
+        return obs::metrics_text(false);
+    };
+    const std::string serial = run(1); // one shard holds the whole histogram
+    EXPECT_EQ(run(8), serial);         // merged shards must render identically
+    EXPECT_NE(serial.find("hist test.merge count=32 sum=496"), std::string::npos);
+}
+
+TEST(Obs, UnrecognizedSiObsValueWarnsOnceAndStaysOff) {
+    obs::set_mode(obs::Mode::Off);
+    ::setenv("SI_OBS", "bogus-mode", 1);
+    // Force the one-time env read to re-run.
+    obs::detail::g_mode.store(255);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(obs::mode(), obs::Mode::Off);
+    EXPECT_EQ(obs::mode(), obs::Mode::Off); // second read: no second warning
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("unrecognized SI_OBS value 'bogus-mode'"), std::string::npos);
+    EXPECT_EQ(err.find("unrecognized", err.find("unrecognized") + 1), std::string::npos);
+    ::unsetenv("SI_OBS");
+    obs::set_mode(obs::Mode::Off);
+}
+
+TEST(Obs, MetricsJsonRendersStableCounters) {
+    ObsGuard guard(obs::Mode::Metrics);
+    obs::count("test.alpha", 3);
+    obs::count("test.beta", 7);
+    obs::count("test.diag", 1, obs::Tag::Diag);    // excluded
+    obs::gauge_max("test.gauge", 9);               // not a counter: excluded
+    EXPECT_EQ(obs::metrics_json(), "{\"test.alpha\": 3, \"test.beta\": 7}");
+}
+
+TEST(ObsFlight, DisarmedByDefaultAndRenderWorks) {
+    ObsGuard guard(obs::Mode::Off);
+    ASSERT_TRUE(obs::flight::dir().empty());
+    obs::flight::note("dropped"); // no-op while disarmed
+    const std::string doc = obs::flight::render("unit");
+    EXPECT_NE(doc.find("\"flight\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"reason\": \"unit\""), std::string::npos);
+    EXPECT_EQ(doc.find("dropped"), std::string::npos);
+    EXPECT_NE(obs::flight::dump("unit").find("disarmed"), std::string::npos);
+}
+
+TEST(ObsFlight, DumpWritesSanitizedReasonAndResetClears) {
+    ObsGuard guard(obs::Mode::Off);
+    const std::string dir = ::testing::TempDir() + "obs_flight_test";
+    obs::flight::set_dir(dir);
+    ASSERT_TRUE(obs::flight::armed());
+    obs::flight::note("first breadcrumb");
+    ASSERT_TRUE(obs::flight::dump("weird/../reason !").empty());
+    std::ifstream in(dir + "/flight-weird----reason--.json");
+    ASSERT_TRUE(in.good()) << "reason was not sanitized into the expected filename";
+    std::string doc((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    EXPECT_NE(doc.find("first breadcrumb"), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\": \"N\""), std::string::npos);
+
+    obs::flight::reset();
+    EXPECT_EQ(obs::flight::render("unit").find("first breadcrumb"), std::string::npos);
+    obs::flight::set_dir("");
+    EXPECT_FALSE(obs::flight::armed());
+}
+
+TEST(ObsFlight, SpanEventsRecordKeyedPathsDeterministically) {
+    ObsGuard flight_guard(obs::Mode::Trace);
+    const std::string dir = ::testing::TempDir() + "obs_flight_det";
+    const auto run = [&](std::size_t threads) {
+        obs::reset(); // clears the ring too
+        obs::flight::set_dir(dir);
+        util::set_num_threads(threads);
+        {
+            obs::Span root("root");
+            util::parallel_for(4, [](std::size_t i) {
+                obs::Span work("work");
+                obs::flight::note("task " + std::to_string(i));
+            });
+        }
+        return obs::flight::render("unit");
+    };
+    const std::string serial = run(1);
+    // Keyed task paths make concurrent tasks distinct, so the canonical
+    // (path, seq) sort is thread-count independent.
+    EXPECT_NE(serial.find("root:0/parallel:0/task:2/work:0"), std::string::npos);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+    obs::flight::set_dir("");
 }
 
 } // namespace

@@ -1,0 +1,207 @@
+// Unit tests for si::obs::report: the MC and verify explain renderers
+// (content, determinism across thread counts), the snapshot parser for
+// all three stable-metric serializations, the regression diff rules
+// behind bench/obs_diff, and the overwrite-refusing writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "si/bench_stgs/figures.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/netlist/netlist.hpp"
+#include "si/obs/report.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/parallel.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si {
+namespace {
+
+/// The paper's Figure 4 naive implementation t = c'd, b = a + t — the
+/// canonical hazardous netlist (fig4_hazard regenerates it too).
+net::Netlist fig4_naive(const sg::StateGraph& g) {
+    net::Netlist nl(g.signals());
+    nl.name = "fig4-naive";
+    const GateId ga = nl.add_gate(net::GateKind::Input, "a", {}, g.signals().find("a"));
+    const GateId gc = nl.add_gate(net::GateKind::Input, "c", {}, g.signals().find("c"));
+    const GateId gd = nl.add_gate(net::GateKind::Input, "d", {}, g.signals().find("d"));
+    const GateId t = nl.add_gate(net::GateKind::And, "t", {{gc, true}, {gd, false}});
+    nl.add_gate(net::GateKind::Or, "b", {{ga, false}, {t, false}}, g.signals().find("b"));
+    return nl;
+}
+
+TEST(Report, ConditionNamesAreStable) {
+    using mc::McFailure;
+    EXPECT_STREQ(obs::report::condition_name(McFailure::UncoveredEr),
+                 "covers-ER (condition 1)");
+    EXPECT_STREQ(obs::report::condition_name(McFailure::NonMonotonic),
+                 "single-change-in-CFR (condition 2)");
+    EXPECT_STREQ(obs::report::condition_name(McFailure::CoversOutsideCfr),
+                 "no-state-outside-CFR (condition 3)");
+    EXPECT_STREQ(obs::report::condition_name(McFailure::NotACoverCube),
+                 "cover-cube (Def 15)");
+    EXPECT_STREQ(obs::report::condition_name(McFailure::IncorrectCover),
+                 "correct-cover (Def 16)");
+}
+
+TEST(Report, McExplainNarratesFigure4Failure) {
+    const auto g = bench::figure4();
+    const sg::RegionAnalysis ra(g);
+    mc::McCubeSearch search;
+    search.record_trail = true;
+    const auto report = mc::check_requirement(ra, search);
+    ASSERT_FALSE(report.satisfied());
+
+    const std::string text = obs::report::mc_explain_text(ra, report);
+    // Region sizes, the Def 17 condition of the Figure 4 failure, and
+    // the recorded candidate trail all appear.
+    EXPECT_NE(text.find("|ER|"), std::string::npos);
+    EXPECT_NE(text.find("no-state-outside-CFR (condition 3)"), std::string::npos);
+    EXPECT_NE(text.find("candidate"), std::string::npos);
+
+    const std::string json = obs::report::mc_explain_json(ra, report);
+    EXPECT_NE(json.find("\"mc_explain\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"satisfied\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"trail\""), std::string::npos);
+    EXPECT_NE(json.find("\"er\""), std::string::npos);
+}
+
+TEST(Report, McExplainByteIdenticalAcrossThreadCounts) {
+    const auto g = bench::figure1();
+    const auto run = [&](std::size_t threads) {
+        util::set_num_threads(threads);
+        const sg::RegionAnalysis ra(g);
+        mc::McCubeSearch search;
+        search.record_trail = true;
+        const auto report = mc::check_requirement(ra, search);
+        return obs::report::mc_explain_text(ra, report) +
+               obs::report::mc_explain_json(ra, report);
+    };
+    const std::string serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+    util::set_num_threads(0);
+}
+
+TEST(Report, VerifyExplainAnnotatesHazardReplay) {
+    const auto g = bench::figure4();
+    const auto nl = fig4_naive(g);
+    const auto result = verify::verify_speed_independence(nl, g);
+    ASSERT_FALSE(result.ok);
+
+    const std::string text = obs::report::verify_explain_text(nl, result);
+    EXPECT_NE(text.find("HAZARD"), std::string::npos);
+    EXPECT_NE(text.find("excited"), std::string::npos);
+
+    const std::string json = obs::report::verify_explain_json(nl, result);
+    EXPECT_NE(json.find("\"verify_explain\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"hazard\""), std::string::npos);
+    EXPECT_NE(json.find("\"steps\""), std::string::npos);
+}
+
+TEST(Report, VerifyExplainByteIdenticalAcrossThreadCounts) {
+    const auto g = bench::figure4();
+    const auto nl = fig4_naive(g);
+    const auto run = [&](std::size_t threads) {
+        util::set_num_threads(threads);
+        const auto result = verify::verify_speed_independence(nl, g);
+        return obs::report::verify_explain_text(nl, result) +
+               obs::report::verify_explain_json(nl, result);
+    };
+    const std::string serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+    util::set_num_threads(0);
+}
+
+TEST(Report, VerifyExplainOnCleanResult) {
+    synth::SynthOptions opts;
+    opts.verify_result = true;
+    const auto res = synth::synthesize(bench::figure4(), opts);
+    ASSERT_TRUE(res.verification.ok);
+    const std::string text = obs::report::verify_explain_text(res.netlist, res.verification);
+    EXPECT_EQ(text.find("HAZARD"), std::string::npos);
+    const std::string json = obs::report::verify_explain_json(res.netlist, res.verification);
+    EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(Report, ParseSnapshotMetricsText) {
+    const auto snap = obs::report::parse_snapshot(
+        "# stable\n"
+        "counter mc.checks = 12\n"
+        "gauge pool.depth max = 4\n"
+        "hist verify.frontier count=3 sum=21 buckets=[2^1:1 2^3:2]\n"
+        "# diagnostic (scheduling/path dependent)\n"
+        "counter pool.steals = 999\n");
+    EXPECT_EQ(snap.counters.size(), 4u);
+    EXPECT_EQ(snap.counters.at("mc.checks"), 12u);
+    EXPECT_EQ(snap.counters.at("pool.depth"), 4u);
+    EXPECT_EQ(snap.counters.at("verify.frontier.count"), 3u);
+    EXPECT_EQ(snap.counters.at("verify.frontier.sum"), 21u);
+    EXPECT_EQ(snap.counters.count("pool.steals"), 0u); // diagnostic section skipped
+}
+
+TEST(Report, ParseSnapshotFlatJsonAndPerfWrapper) {
+    const auto flat = obs::report::parse_snapshot("{\"a.b\": 1, \"c\": 42}");
+    EXPECT_EQ(flat.counters.size(), 2u);
+    EXPECT_EQ(flat.counters.at("c"), 42u);
+
+    // BENCH_perf.json shape: the "metrics" member is the snapshot; the
+    // surrounding members (including nested objects and fractional
+    // numbers) are skipped.
+    const auto perf = obs::report::parse_snapshot(
+        "{\"bench\": \"perf\", \"wall_ms\": 12.5,\n"
+        " \"cases\": {\"metrics\": \"decoy\"},\n"
+        " \"metrics\": {\"verify.states\": 100, \"mc.checks\": 7}}");
+    EXPECT_EQ(perf.counters.size(), 2u);
+    EXPECT_EQ(perf.counters.at("verify.states"), 100u);
+    EXPECT_EQ(perf.counters.at("mc.checks"), 7u);
+}
+
+TEST(Report, DiffAppliesThresholdAndSlack) {
+    obs::report::Snapshot base, cur;
+    base.counters = {{"a", 100}, {"b", 2}, {"gone", 5}};
+    cur.counters = {{"a", 160}, {"b", 4}, {"new", 9}};
+
+    const auto d = obs::report::diff_snapshots(base, cur);
+    // a: 160 > 100*1.5 and 160 > 100+16 -> regression.
+    // b: 4 > 2*1.5 but NOT > 2+16 -> slack saves the tiny counter.
+    ASSERT_EQ(d.rows.size(), 2u);
+    EXPECT_TRUE(d.rows[0].regressed);
+    EXPECT_FALSE(d.rows[1].regressed);
+    EXPECT_TRUE(d.regressed());
+    ASSERT_EQ(d.missing.size(), 1u);
+    EXPECT_EQ(d.missing[0], "gone");
+    ASSERT_EQ(d.added.size(), 1u);
+    EXPECT_EQ(d.added[0], "new");
+    EXPECT_NE(d.describe().find("REGRESSION a:"), std::string::npos);
+    EXPECT_NE(d.describe().find("obs_diff: REGRESSION in 1 of 2 counters"),
+              std::string::npos);
+
+    // A per-counter override relaxes just that counter.
+    obs::report::DiffOptions opts;
+    opts.per_counter["a"] = 2.0;
+    const auto relaxed = obs::report::diff_snapshots(base, cur, opts);
+    EXPECT_FALSE(relaxed.regressed());
+    EXPECT_NE(relaxed.describe().find("obs_diff: OK"), std::string::npos);
+
+    // Missing counters regress only on request.
+    opts.fail_on_missing = true;
+    EXPECT_TRUE(obs::report::diff_snapshots(base, cur, opts).regressed());
+}
+
+TEST(Report, WriteRefusesOverwriteWithoutForce) {
+    const std::string path = ::testing::TempDir() + "report_write_test.json";
+    std::remove(path.c_str());
+    EXPECT_TRUE(obs::report::write(path, "{\"v\": 1}\n", false).empty());
+    const std::string err = obs::report::write(path, "{\"v\": 2}\n", false);
+    EXPECT_NE(err.find("refusing to overwrite"), std::string::npos);
+    EXPECT_TRUE(obs::report::write(path, "{\"v\": 3}\n", true).empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace si
