@@ -1,0 +1,164 @@
+// Differential fuzzing campaign over seeded generated STGs (Theorem 3
+// mechanically, at scale): every generated specification runs through
+// unfolding -> MC check -> insertion -> mapping -> gate-level
+// verification, and the MC checker's verdict is compared with the
+// verifier's hazard oracle. Any disagreement (or pipeline error, or
+// unstructured parser failure on a hostile .g mutant) is a finding: it
+// is shrunk to a minimal recipe and written out as a replayable
+// seed+recipe one-liner. Budget exhaustion tallies as Unknown and never
+// aborts the campaign.
+//
+// Usage:
+//   fuzz_diff [--count N] [--seed S] [--hostile K] [--max-blocks B]
+//             [--out <failures-file>] [--obs-out <path>] [--force]
+//   fuzz_diff --replay "seed=<s> recipe=<r> [hostile=<k>]"
+//   fuzz_diff --selftest-shrink
+//
+// Exit code: 0 clean / not reproduced, 1 findings / reproduced, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "si/gen/fuzz.hpp"
+#include "si/gen/gen.hpp"
+#include "si/obs/obs.hpp"
+#include "si/util/error.hpp"
+
+using namespace si;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--count N] [--seed S] [--hostile K] [--max-blocks B]\n"
+                 "          [--out <failures-file>] [--obs-out <path>] [--force]\n"
+                 "       %s --replay \"seed=<s> recipe=<r> [hostile=<k>]\"\n"
+                 "       %s --selftest-shrink\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+// The injected-disagreement hook used by --selftest-shrink: any recipe
+// containing a fork of width >= 2 "fails", so the shrinker must converge
+// on the minimal such recipe, par:fork2.
+bool fake_fork_bug(const gen::Recipe& r) {
+    for (const auto& b : r.blocks)
+        if (b.kind == gen::BlockKind::Fork && b.param >= 2) return true;
+    return false;
+}
+
+int selftest_shrink() {
+    gen::CampaignOptions opts;
+    opts.seed = 7;
+    opts.count = 24;
+    opts.hostile_per_case = 0;
+    opts.inject_disagree = fake_fork_bug;
+    const gen::CampaignResult result = gen::run_campaign(opts);
+    std::printf("%s", result.describe().c_str());
+    if (result.disagree == 0) {
+        std::fprintf(stderr, "selftest: the injected fault never fired over %zu cases\n",
+                     result.cases);
+        return 1;
+    }
+    for (const auto& rec : result.failures) {
+        if (rec.parser) continue;
+        if (!fake_fork_bug(rec.shrunk)) {
+            std::fprintf(stderr, "selftest: shrunk recipe '%s' no longer reproduces\n",
+                         rec.shrunk.to_string().c_str());
+            return 1;
+        }
+        if (rec.shrunk.to_string() != "par:fork2") {
+            std::fprintf(stderr, "selftest: expected convergence to par:fork2, got '%s'\n",
+                         rec.shrunk.to_string().c_str());
+            return 1;
+        }
+        const auto replay = gen::replay_one_liner(rec.one_liner(), opts);
+        if (!replay.ok || !replay.reproduced) {
+            std::fprintf(stderr, "selftest: one-liner '%s' did not replay: %s\n",
+                         rec.one_liner().c_str(), replay.describe().c_str());
+            return 1;
+        }
+    }
+    std::printf("selftest-shrink OK: %zu injected findings, all shrunk to par:fork2 "
+                "and replayed from their one-liners\n",
+                result.disagree);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    gen::CampaignOptions opts;
+    std::string out_path;
+    std::string obs_out;
+    std::string replay_line;
+    bool force = false;
+    bool selftest = false;
+    for (int i = 1; i < argc; ++i) {
+        const auto num = [&](std::uint64_t& dst) {
+            if (i + 1 >= argc) return false;
+            dst = std::strtoull(argv[++i], nullptr, 10);
+            return true;
+        };
+        std::uint64_t v = 0;
+        if (std::strcmp(argv[i], "--count") == 0 && num(v)) {
+            opts.count = static_cast<std::size_t>(v);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && num(v)) {
+            opts.seed = v;
+        } else if (std::strcmp(argv[i], "--hostile") == 0 && num(v)) {
+            opts.hostile_per_case = static_cast<std::size_t>(v);
+        } else if (std::strcmp(argv[i], "--max-blocks") == 0 && num(v)) {
+            opts.gen.max_blocks = static_cast<std::size_t>(v);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+            replay_line = argv[++i];
+        } else if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+        } else if (std::strcmp(argv[i], "--selftest-shrink") == 0) {
+            selftest = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+
+    int rc = 0;
+    if (selftest) {
+        rc = selftest_shrink();
+    } else if (!replay_line.empty()) {
+        const auto replay = gen::replay_one_liner(replay_line, opts);
+        std::printf("%s\n", replay.describe().c_str());
+        rc = !replay.ok ? 2 : (replay.reproduced ? 1 : 0);
+    } else {
+        const gen::CampaignResult result = gen::run_campaign(opts);
+        std::printf("%s", result.describe().c_str());
+        if (!out_path.empty()) {
+            std::ofstream out(out_path, std::ios::trunc);
+            for (const auto& rec : result.failures) {
+                out << "# " << to_string(rec.verdict) << ": " << rec.detail << "\n";
+                out << rec.one_liner() << "\n";
+            }
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+                return 2;
+            }
+            std::printf("failures file: %s (%zu one-liners)\n", out_path.c_str(),
+                        result.failures.size());
+        }
+        rc = result.clean() ? 0 : 1;
+    }
+    if (!obs_out.empty()) {
+        const std::string err = obs::export_to_file(obs_out, force);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", obs_out.c_str());
+    }
+    return rc;
+}

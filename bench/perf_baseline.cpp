@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "si/bench_stgs/generators.hpp"
+#include "si/gen/fuzz.hpp"
+#include "si/gen/gen.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
@@ -195,12 +197,56 @@ int main(int argc, char** argv) {
     }
     si::util::set_fast_path(true);
 
+    // Scaling section: token-game unfolding throughput (states/sec) as a
+    // function of |SG| over si::gen workloads — parallel composition
+    // multiplies component state counts, so the ladder sweeps two orders
+    // of magnitude. Timed in the shipping configuration (indexed, one
+    // thread); recorded so states/sec at each size is regression-visible.
+    struct GenRung {
+        std::string recipe;
+        std::uint64_t states = 0;
+        double ms = 0;
+    };
+    const std::vector<std::string> ladder =
+        smoke ? std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3"}
+              : std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3",
+                                         "par:ring3,ring3,seq3", "par:ring3,ring3,ring3,seq2"};
+    si::util::set_num_threads(1);
+    std::vector<GenRung> gen_rungs;
+    for (const auto& text : ladder) {
+        const auto recipe = si::gen::Recipe::parse(text);
+        if (!recipe) continue;
+        const si::stg::Stg net = si::gen::build(*recipe);
+        GenRung rung{text, 0, 0};
+        for (std::size_t r = 0; r < reps; ++r) {
+            const auto t0 = Clock::now();
+            const auto graph = si::sg::build_state_graph(net, {1u << 18});
+            const auto t1 = Clock::now();
+            const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+            if (r == 0 || ms < rung.ms) rung = {text, graph.num_states(), ms};
+        }
+        gen_rungs.push_back(rung);
+        std::fprintf(stderr, "gen-scaling  %-28s %8llu states %10.3f ms  %12.0f states/s\n",
+                     rung.recipe.c_str(), static_cast<unsigned long long>(rung.states), rung.ms,
+                     rung.ms > 0 ? 1000.0 * double(rung.states) / rung.ms : 0.0);
+    }
+
     // Untimed metrics pass: the same workloads once more with counters
     // on, so the recorded baseline states what the timings paid for.
+    // A fixed slice of the differential fuzzing campaign runs here too:
+    // its gen.*/fuzz.* counters join the snapshot, so the obs_diff guard
+    // extends over the generator and both oracles.
     si::obs::set_mode(si::obs::Mode::Metrics);
     si::obs::reset();
     si::util::set_num_threads(1);
     for (const auto& w : workloads) (void)w.run();
+    {
+        si::gen::CampaignOptions fuzz_opts;
+        fuzz_opts.seed = 1;
+        fuzz_opts.count = smoke ? 4 : 8;
+        fuzz_opts.hostile_per_case = 1;
+        (void)si::gen::run_campaign(fuzz_opts);
+    }
     const std::string metrics_json = si::obs::metrics_json();
     std::string obs_err;
     if (!obs_out.empty()) obs_err = si::obs::export_to_file(obs_out, force);
@@ -219,6 +265,15 @@ int main(int argc, char** argv) {
     json << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
     json << "  \"baseline_mode\": \"seed\",\n";
     json << "  \"metrics\": " << metrics_json << ",\n";
+    json << "  \"gen_scaling\": [\n";
+    for (std::size_t g = 0; g < gen_rungs.size(); ++g) {
+        const GenRung& rung = gen_rungs[g];
+        json << "    {\"recipe\": \"" << rung.recipe << "\", \"sg_states\": " << rung.states
+             << ", \"ms\": " << rung.ms << ", \"states_per_sec\": "
+             << (rung.ms > 0 ? 1000.0 * double(rung.states) / rung.ms : 0.0) << "}"
+             << (g + 1 < gen_rungs.size() ? ",\n" : "\n");
+    }
+    json << "  ],\n";
     json << "  \"modes\": [\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         std::vector<double> speedups;

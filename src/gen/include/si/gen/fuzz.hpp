@@ -1,0 +1,182 @@
+// Differential fuzzing of the synthesis pipeline (Theorem 3 at scale)
+// and hostile-input fuzzing of the .g parser.
+//
+// Each generated STG is driven through the full flow — token-game
+// unfolding, MC requirement check, state-signal insertion, standard-C
+// implementation — and the final netlist is handed to the gate-level
+// speed-independence verifier. Theorem 3 promises the two oracles agree:
+// a satisfied MC report means the implementation is hazard-free. The
+// campaign fails loudly on any disagreement, reduces the failing case to
+// a replayable seed+recipe one-liner via the greedy recipe shrinker, and
+// tallies budget exhaustion as a distinct Unknown verdict — a campaign
+// degrades, it never aborts.
+//
+// The same harness mutates each case's .g text into hostile parser
+// input: the parser must either parse it or reject it with a structured
+// si::Error. Anything else (foreign exception, crash, sanitizer report)
+// is a finding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "si/gen/gen.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/stg/stg.hpp"
+
+namespace si::gen {
+
+// ---------------------------------------------------------------------------
+// One differential case
+
+enum class Verdict : unsigned char {
+    Agree,    ///< MC satisfied and the gate-level verifier found no hazard
+    Disagree, ///< the oracles contradict each other: a Theorem-3 violation
+    Unknown,  ///< a budget ran out before either oracle finished
+    Error,    ///< unexpected exception inside the pipeline (also a finding)
+};
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+struct DiffOptions {
+    /// Cap on spec state-graph markings (small by default: a campaign
+    /// wants many cheap cases, the scaling bench wants few huge ones).
+    std::size_t max_sg_states = 1u << 11;
+    /// Cap on composite states per gate-level verification.
+    std::size_t max_verify_states = 1u << 14;
+    /// Shared per-case budget — deterministic resources only (never a
+    /// wall-clock deadline: verdicts must not flip across machines).
+    /// States across all explorations, Steps across all traversals,
+    /// Conflicts in the insertion SAT solver, Attempts in its CEGAR
+    /// loop. Exhaustion yields Verdict::Unknown.
+    std::uint64_t budget_states = 1u << 15;
+    std::uint64_t budget_steps = 1u << 19;
+    std::uint64_t budget_conflicts = 1u << 14;
+    std::uint64_t budget_attempts = 128;
+    mc::McCubeSearch cube_search;
+    /// Caps forwarded to the insertion repair loop. Each branch-and-bound
+    /// round re-analyzes a candidate graph, which is the dominant cost on
+    /// CSC-conflicted cases — keep the rounds low for campaign speed.
+    std::size_t max_inserted_signals = 4;
+    std::size_t max_search_nodes = 24;
+};
+
+struct CaseOutcome {
+    Verdict verdict = Verdict::Unknown;
+    std::string detail;    ///< disagreement / exhaustion / error description
+    std::string span_path; ///< obs provenance of the deciding event
+    std::size_t sg_states = 0;        ///< spec state-graph size
+    std::size_t mc_missing = 0;       ///< regions without MC cube pre-insertion
+    std::size_t inserted_signals = 0; ///< state signals the repair loop added
+    std::size_t verify_states = 0;    ///< composite states the verifier walked
+};
+
+/// Runs one spec through pipeline and both oracles. Never throws: every
+/// failure mode is folded into the verdict.
+[[nodiscard]] CaseOutcome diff_case(const stg::Stg& spec, const DiffOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Hostile parser input
+
+/// Deterministically mutates .g text into hostile parser input: byte
+/// flips, span deletions, line duplication, token injection, digit
+/// explosion, truncation. Same (text, seed) in, same mutant out.
+[[nodiscard]] std::string mutate_g(const std::string& text, std::uint64_t seed);
+
+struct HostileResult {
+    bool handled = false; ///< parsed cleanly or rejected with an si::Error
+    bool parsed = false;  ///< the mutant still parsed as a valid net
+    std::string error;    ///< the rejection (or foreign-exception) text
+};
+
+/// Feeds `text` to the .g parser under a try/catch harness. handled is
+/// false only for non-si exceptions — those are findings.
+[[nodiscard]] HostileResult parse_hostile(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Campaigns
+
+struct CampaignOptions {
+    std::uint64_t seed = 1;
+    std::size_t count = 200; ///< differential cases
+    GenOptions gen;
+    DiffOptions diff;
+    /// Hostile parser mutants derived from each case's .g text.
+    std::size_t hostile_per_case = 1;
+    /// Shrink every Disagree/Error finding to a minimal recipe.
+    bool shrink_failures = true;
+    /// Probe cap per shrink (each probe replays the full pipeline).
+    std::size_t shrink_max_attempts = 64;
+    /// Test hook: force Verdict::Disagree for matching recipes, so the
+    /// failure-to-one-liner path is exercisable without a real bug.
+    std::function<bool(const Recipe&)> inject_disagree;
+};
+
+struct FailureRecord {
+    std::size_t case_index = 0;
+    std::uint64_t case_seed = 0; ///< derive_seed(campaign seed, index)
+    Recipe recipe;
+    Verdict verdict = Verdict::Error;
+    std::string detail;
+    std::string span_path;
+    /// Shrunk reproduction (== recipe when shrinking is off or no
+    /// candidate reproduced).
+    Recipe shrunk;
+    ShrinkStats shrink;
+    /// Parser finding: the failure is a hostile mutant, not a diff case;
+    /// hostile_index identifies the mutant stream.
+    bool parser = false;
+    std::size_t hostile_index = 0;
+
+    /// The replayable one-liner: "seed=<s> recipe=<shrunk>" (diff) or
+    /// "seed=<s> recipe=<r> hostile=<k>" (parser) — paste into
+    /// replay_one_liner / fuzz_diff --replay.
+    [[nodiscard]] std::string one_liner() const;
+};
+
+struct CampaignResult {
+    std::size_t cases = 0;
+    std::size_t agree = 0;
+    std::size_t disagree = 0;
+    std::size_t unknown = 0; ///< budget-exhausted cases (never an abort)
+    std::size_t errors = 0;
+    std::size_t hostile = 0;
+    std::size_t hostile_parsed = 0;
+    std::size_t hostile_rejected = 0;
+    std::size_t hostile_unhandled = 0;
+    std::size_t sg_states_total = 0;
+    std::vector<FailureRecord> failures;
+
+    /// True when no finding was recorded (Unknowns are not findings).
+    [[nodiscard]] bool clean() const { return failures.empty(); }
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the campaign: `count` differential cases with per-case derived
+/// seeds, plus `hostile_per_case` parser mutants each. Deterministic for
+/// a fixed option set; degrades to Unknown tallies under exhaustion.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Replay
+
+struct ReplayOutcome {
+    bool ok = false;       ///< the one-liner parsed and replayed
+    std::string error;     ///< why not, when !ok
+    bool reproduced = false; ///< replay yielded a finding again
+    CaseOutcome outcome;   ///< diff replays: the pipeline verdict
+    HostileResult hostile; ///< parser replays: the parse harness result
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Replays a FailureRecord::one_liner(): rebuilds the recipe's STG and
+/// re-runs the pipeline (or regenerates the hostile mutant and re-feeds
+/// the parser). The injection hook is re-applied so injected findings
+/// reproduce too.
+[[nodiscard]] ReplayOutcome replay_one_liner(const std::string& line,
+                                             const CampaignOptions& opts = {});
+
+} // namespace si::gen

@@ -1,0 +1,124 @@
+// si::gen — seeded, deterministic generation of live/safe STGs from
+// known-speed-independent building blocks.
+//
+// A Recipe is a replayable build description: a composition mode plus a
+// list of parameterized blocks (sequencers, fork/joins, arbitration-free
+// input choice, pipelines, rings — the component zoo of Section VII's
+// examples). `build` turns a recipe into a validated STG; `random_recipe`
+// draws one deterministically from a seed. The pair (seed, recipe string)
+// is the replayable one-liner every fuzzing failure reduces to: the
+// recipe alone rebuilds the exact net, the seed documents where it came
+// from.
+//
+// All blocks are composed so the result is a live and safe net whose
+// state graph is output semi-modular — the precondition of the paper's
+// synthesis flow. CSC may or may not hold (sequencers and shared-ack
+// choices violate it on purpose), so generated workloads exercise the
+// state-signal insertion path as well as the direct one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "si/stg/stg.hpp"
+
+namespace si::gen {
+
+// ---------------------------------------------------------------------------
+// Recipes
+
+enum class BlockKind : unsigned char {
+    Pipe,   ///< linear acknowledgement pipeline of `param` stages
+    Fork,   ///< `param`-way fork re-joined before the phase completes
+    Ring,   ///< sequential rise through `param` stations, concurrent fall
+    Choice, ///< arbitration-free input choice among `param` branches
+    Seq,    ///< round-robin sequencer over `param` output handshakes
+            ///< (multi-instance transitions; parallel recipes only)
+};
+inline constexpr std::size_t kNumBlockKinds = 5;
+
+[[nodiscard]] const char* to_string(BlockKind k);
+
+struct Block {
+    BlockKind kind = BlockKind::Pipe;
+    int param = 1; ///< the block's size dial (stages / width / branches)
+
+    friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// A deterministic build description. Serializes to a compact string —
+/// "ser:pipe2,fork3" / "par:seq2,choice2" — that parses back losslessly,
+/// which is what makes every fuzzing failure a replayable one-liner.
+struct Recipe {
+    /// true: blocks are chained on one four-phase master handshake (the
+    /// ack of block i triggers block i+1). false: blocks run in parallel,
+    /// each under its own environment handshake (the state graph is the
+    /// product of the components).
+    bool serial = false;
+    std::vector<Block> blocks;
+
+    [[nodiscard]] std::string to_string() const;
+    /// Inverse of to_string. nullopt on malformed text, unknown block
+    /// kinds, out-of-range params, or a serial recipe with a Seq block.
+    [[nodiscard]] static std::optional<Recipe> parse(std::string_view text);
+
+    friend bool operator==(const Recipe&, const Recipe&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Generation
+
+struct GenOptions {
+    int min_blocks = 1;
+    int max_blocks = 3;
+    /// Upper bound on each block's param (lower bounds are per-kind:
+    /// choice/seq need 2 branches, the rest accept 1).
+    int max_param = 3;
+    bool allow_serial = true;
+    /// Permit Choice blocks (free input choice). Off restricts recipes
+    /// to marked-graph structure.
+    bool allow_choice = true;
+    /// Permit Seq blocks in parallel recipes (CSC violations that force
+    /// state-signal insertion).
+    bool allow_seq = true;
+};
+
+/// Draws a recipe deterministically from `seed`: same seed, same recipe,
+/// on every platform and thread count.
+[[nodiscard]] Recipe random_recipe(std::uint64_t seed, const GenOptions& opts = {});
+
+/// Builds the recipe's STG (named "gen_<recipe>", validated, live, safe).
+/// Throws SpecError on invalid recipes (empty, bad params, Seq in a
+/// serial recipe) — build() never produces an unvalidated net.
+[[nodiscard]] stg::Stg build(const Recipe& recipe);
+
+/// build(random_recipe(seed, opts)).
+[[nodiscard]] stg::Stg generate(std::uint64_t seed, const GenOptions& opts = {});
+
+/// Splitmix64-derived per-item seed stream: item `index` of a campaign
+/// seeded with `campaign_seed` draws from derive_seed(campaign_seed,
+/// index), so adding or removing one case never reshuffles the others —
+/// the fault engine's per-fault derived-seed discipline.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t campaign_seed, std::uint64_t index);
+
+// ---------------------------------------------------------------------------
+// Shrinking
+
+struct ShrinkStats {
+    std::size_t attempts = 0; ///< candidate recipes probed
+    std::size_t accepted = 0; ///< probes that still reproduced the failure
+};
+
+/// Greedy recipe minimization: repeatedly tries dropping a block and
+/// shrinking a block's param (halving, then decrementing), keeping any
+/// candidate for which `still_fails` returns true, until no candidate
+/// reproduces the failure. Deterministic candidate order; at most
+/// `max_attempts` probes. `still_fails(failing)` is assumed true.
+[[nodiscard]] Recipe shrink(Recipe failing,
+                            const std::function<bool(const Recipe&)>& still_fails,
+                            ShrinkStats* stats = nullptr, std::size_t max_attempts = 256);
+
+} // namespace si::gen

@@ -1,0 +1,459 @@
+#include "si/gen/fuzz.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "si/obs/obs.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/stg/parse.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/budget.hpp"
+#include "si/util/error.hpp"
+#include "si/util/text.hpp"
+#include "si/verify/verifier.hpp"
+
+namespace si::gen {
+
+namespace {
+
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/// The hostile mutant stream of a case: index 0 is the case's own
+/// recipe stream, so mutants start at 1. Shared by campaign and replay.
+std::uint64_t hostile_seed(std::uint64_t case_seed, std::size_t k) {
+    return derive_seed(case_seed, 1 + k);
+}
+
+std::string provenance(const std::string& fallback) {
+    const std::string path = obs::current_span_path();
+    return path.empty() ? fallback : path;
+}
+
+CaseOutcome unknown_outcome(const util::Exhaustion& why, std::size_t sg_states) {
+    CaseOutcome out;
+    out.verdict = Verdict::Unknown;
+    out.detail = why.describe();
+    out.span_path = provenance(why.stage);
+    out.sg_states = sg_states;
+    return out;
+}
+
+} // namespace
+
+const char* to_string(Verdict v) {
+    switch (v) {
+    case Verdict::Agree: return "agree";
+    case Verdict::Disagree: return "DISAGREE";
+    case Verdict::Unknown: return "unknown";
+    case Verdict::Error: return "ERROR";
+    }
+    return "?";
+}
+
+CaseOutcome diff_case(const stg::Stg& spec, const DiffOptions& opts) {
+    obs::Span span("fuzz.case");
+    span.attr("model", spec.name);
+    CaseOutcome out;
+    util::Budget budget;
+    budget.cap(util::Resource::States, opts.budget_states)
+        .cap(util::Resource::Steps, opts.budget_steps)
+        .cap(util::Resource::Conflicts, opts.budget_conflicts)
+        .cap(util::Resource::Attempts, opts.budget_attempts);
+    try {
+        // 1. Token-game unfolding.
+        auto sgo = sg::build_state_graph_outcome(spec, {opts.max_sg_states, &budget});
+        if (!sgo.is_complete()) return unknown_outcome(sgo.why(), 0);
+        const sg::StateGraph& graph = sgo.value();
+        out.sg_states = graph.num_states();
+
+        // Generator soundness gate: every composed net must yield an
+        // output semi-modular graph — the paper's precondition. A miss
+        // is a generator bug, not a pipeline verdict.
+        if (!sg::is_output_semimodular(graph)) {
+            out.verdict = Verdict::Error;
+            out.detail = "generated state graph is not output semi-modular";
+            out.span_path = provenance("fuzz.case");
+            return out;
+        }
+
+        // 2. MC checker's verdict on the spec as given (pre-insertion).
+        sg::RegionAnalysis ra(graph);
+        auto mco = mc::check_requirement_outcome(ra, opts.cube_search, &budget);
+        if (!mco.is_complete()) return unknown_outcome(mco.why(), out.sg_states);
+        out.mc_missing = mco.value().violation_count();
+
+        // 3. Full synthesis (inserts state signals until MC holds).
+        synth::SynthOptions sopts;
+        sopts.cube_search = opts.cube_search;
+        sopts.max_inserted_signals = opts.max_inserted_signals;
+        sopts.max_search_nodes = opts.max_search_nodes;
+        auto so = synth::synthesize_outcome(graph, sopts, &budget);
+        if (!so.is_complete()) return unknown_outcome(so.why(), out.sg_states);
+        const synth::SynthesisResult& res = so.value();
+        out.inserted_signals = res.inserted.size();
+        if (!res.mc.satisfied()) {
+            out.verdict = Verdict::Disagree;
+            out.detail = "synthesis returned an unsatisfied MC report";
+            out.span_path = provenance("fuzz.case");
+            return out;
+        }
+
+        // 4. The gate-level hazard oracle on the synthesized netlist.
+        verify::VerifyOptions vopts;
+        vopts.max_states = opts.max_verify_states;
+        vopts.budget = &budget;
+        const verify::VerifyResult vr =
+            verify::verify_speed_independence(res.netlist, res.graph, vopts);
+        out.verify_states = vr.states_explored;
+        switch (vr.verdict()) {
+        case verify::HazardVerdict::Clean:
+            out.verdict = Verdict::Agree;
+            out.span_path = provenance("fuzz.case");
+            break;
+        case verify::HazardVerdict::Hazard:
+            // Theorem 3 broken: the MC checker accepted the very netlist
+            // the verifier rejects.
+            out.verdict = Verdict::Disagree;
+            out.detail = "MC satisfied but the gate-level verifier found: " +
+                         (vr.violations.empty() ? std::string("(no witness recorded)")
+                                                : vr.violations.front().describe());
+            out.span_path = !vr.violations.empty() && !vr.violations.front().span_path.empty()
+                                ? vr.violations.front().span_path
+                                : provenance("fuzz.case");
+            break;
+        case verify::HazardVerdict::Unknown:
+            return unknown_outcome(vr.exhaustion.has_value()
+                                       ? *vr.exhaustion
+                                       : util::Exhaustion{"verify.explore",
+                                                          util::Resource::States,
+                                                          vr.states_explored,
+                                                          opts.max_verify_states},
+                                   out.sg_states);
+        }
+        return out;
+    } catch (const util::BudgetExhausted& e) {
+        return unknown_outcome(e.why(), out.sg_states);
+    } catch (const Error& e) {
+        out.verdict = Verdict::Error;
+        out.detail = std::string("pipeline threw: ") + e.what();
+        out.span_path = provenance("fuzz.case");
+        return out;
+    } catch (const std::exception& e) {
+        out.verdict = Verdict::Error;
+        out.detail = std::string("pipeline threw a foreign exception: ") + e.what();
+        out.span_path = provenance("fuzz.case");
+        return out;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile parser input
+
+std::string mutate_g(const std::string& text, std::uint64_t seed) {
+    static constexpr const char* kTokens[] = {
+        " <",          " >",         " <a+,",       " {",          " }",
+        " .graph",     " .end",      " .marking",   " .dummy x",   " .unknown",
+        " a+/",        "/9999999999999999999",      "=99999999999999999999",
+        " +",          " -",         " a+ a+",      "\x01\xff\x7f", " p=256",
+        " <,>",        " </2>",
+    };
+    Rng rng{seed * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull};
+    std::string out = text;
+    const std::size_t rounds = 1 + rng.below(3);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        switch (rng.below(6)) {
+        case 0: { // flip one byte
+            if (out.empty()) break;
+            out[rng.below(out.size())] = static_cast<char>(rng.next() & 0xff);
+            break;
+        }
+        case 1: { // delete a span
+            if (out.empty()) break;
+            const std::size_t pos = rng.below(out.size());
+            const std::size_t len = 1 + rng.below(16);
+            out.erase(pos, std::min(len, out.size() - pos));
+            break;
+        }
+        case 2: { // duplicate a line
+            const auto lines = lines_of(out);
+            if (lines.empty()) break;
+            out += lines[rng.below(lines.size())] + "\n";
+            break;
+        }
+        case 3: { // inject a hostile token
+            const char* tok = kTokens[rng.below(std::size(kTokens))];
+            const std::size_t pos = out.empty() ? 0 : rng.below(out.size());
+            out.insert(pos, tok);
+            break;
+        }
+        case 4: { // truncate
+            if (out.empty()) break;
+            out.resize(rng.below(out.size()));
+            break;
+        }
+        case 5: { // drop the .end terminator
+            const auto pos = out.rfind(".end");
+            if (pos != std::string::npos) out.erase(pos, 4);
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+HostileResult parse_hostile(const std::string& text) {
+    HostileResult res;
+    try {
+        const stg::Stg net = stg::read_g(text);
+        res.handled = true;
+        res.parsed = true;
+        res.error = "";
+        (void)net;
+    } catch (const Error& e) {
+        // Structured rejection: ParseError/SpecError are the contract.
+        res.handled = true;
+        res.parsed = false;
+        res.error = e.what();
+    } catch (const std::exception& e) {
+        res.handled = false;
+        res.parsed = false;
+        res.error = std::string("foreign exception: ") + e.what();
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+
+std::string FailureRecord::one_liner() const {
+    std::string s = "seed=" + std::to_string(case_seed);
+    if (parser) {
+        s += " recipe=" + recipe.to_string();
+        s += " hostile=" + std::to_string(hostile_index);
+    } else {
+        s += " recipe=" + shrunk.to_string();
+    }
+    return s;
+}
+
+std::string CampaignResult::describe() const {
+    std::string s = "fuzz campaign: " + std::to_string(cases) + " cases — " +
+                    std::to_string(agree) + " agree, " + std::to_string(disagree) +
+                    " disagree, " + std::to_string(unknown) + " unknown, " +
+                    std::to_string(errors) + " errors; " + std::to_string(hostile) +
+                    " hostile parser inputs — " + std::to_string(hostile_parsed) + " parsed, " +
+                    std::to_string(hostile_rejected) + " rejected, " +
+                    std::to_string(hostile_unhandled) + " UNHANDLED; " +
+                    std::to_string(sg_states_total) + " spec states total\n";
+    for (const auto& f : failures) {
+        s += "  [" + std::string(to_string(f.verdict)) + (f.parser ? "/parser" : "") +
+             "] case " + std::to_string(f.case_index) + ": " + f.one_liner() + "\n";
+        if (!f.detail.empty()) s += "    " + f.detail + "\n";
+        if (!f.span_path.empty()) s += "    found in: " + f.span_path + "\n";
+        if (!f.parser && !(f.shrunk == f.recipe))
+            s += "    shrunk from " + f.recipe.to_string() + " in " +
+                 std::to_string(f.shrink.attempts) + " probes\n";
+    }
+    return s;
+}
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+    obs::Span span("fuzz.campaign");
+    span.attr("count", static_cast<std::uint64_t>(opts.count));
+    CampaignResult result;
+
+    // A case fails when the oracles disagree or the pipeline errored —
+    // the same predicate drives shrinking, with the injection hook
+    // applied first so injected findings reproduce without a real bug.
+    auto fails = [&](const Recipe& r) {
+        if (opts.inject_disagree && opts.inject_disagree(r)) return true;
+        try {
+            const CaseOutcome o = diff_case(build(r), opts.diff);
+            return o.verdict == Verdict::Disagree || o.verdict == Verdict::Error;
+        } catch (const Error&) {
+            return false; // a candidate build() refuses is no reproduction
+        }
+    };
+
+    for (std::size_t i = 0; i < opts.count; ++i) {
+        const std::uint64_t case_seed = derive_seed(opts.seed, i);
+        const Recipe recipe = random_recipe(case_seed, opts.gen);
+        ++result.cases;
+        obs::count("fuzz.cases");
+
+        CaseOutcome outcome;
+        if (opts.inject_disagree && opts.inject_disagree(recipe)) {
+            outcome.verdict = Verdict::Disagree;
+            outcome.detail = "injected disagreement (test hook)";
+            outcome.span_path = provenance("fuzz.campaign");
+        } else {
+            try {
+                outcome = diff_case(build(recipe), opts.diff);
+            } catch (const Error& e) {
+                outcome.verdict = Verdict::Error;
+                outcome.detail = std::string("build threw: ") + e.what();
+                outcome.span_path = provenance("fuzz.campaign");
+            }
+        }
+        result.sg_states_total += outcome.sg_states;
+
+        switch (outcome.verdict) {
+        case Verdict::Agree: ++result.agree; obs::count("fuzz.agree"); break;
+        case Verdict::Unknown: ++result.unknown; obs::count("fuzz.unknown"); break;
+        case Verdict::Disagree: ++result.disagree; obs::count("fuzz.disagree"); break;
+        case Verdict::Error: ++result.errors; obs::count("fuzz.errors"); break;
+        }
+        if (outcome.verdict == Verdict::Disagree || outcome.verdict == Verdict::Error) {
+            FailureRecord rec;
+            rec.case_index = i;
+            rec.case_seed = case_seed;
+            rec.recipe = recipe;
+            rec.verdict = outcome.verdict;
+            rec.detail = outcome.detail;
+            rec.span_path = outcome.span_path;
+            rec.shrunk = recipe;
+            if (opts.shrink_failures)
+                rec.shrunk = shrink(recipe, fails, &rec.shrink, opts.shrink_max_attempts);
+            obs::count("fuzz.shrink_attempts", rec.shrink.attempts);
+            result.failures.push_back(std::move(rec));
+        }
+
+        // Hostile parser mutants of this case's .g text.
+        if (opts.hostile_per_case > 0) {
+            std::string g_text;
+            try {
+                g_text = stg::write_g(build(recipe));
+            } catch (const Error&) {
+                g_text = ".model broken\n.graph\n.end\n";
+            }
+            for (std::size_t k = 0; k < opts.hostile_per_case; ++k) {
+                ++result.hostile;
+                obs::count("fuzz.hostile");
+                const std::string mutant = mutate_g(g_text, hostile_seed(case_seed, k));
+                const HostileResult hr = parse_hostile(mutant);
+                if (!hr.handled) {
+                    ++result.hostile_unhandled;
+                    FailureRecord rec;
+                    rec.case_index = i;
+                    rec.case_seed = case_seed;
+                    rec.recipe = recipe;
+                    rec.shrunk = recipe;
+                    rec.verdict = Verdict::Error;
+                    rec.detail = "parser did not reject hostile input structurally: " + hr.error;
+                    rec.span_path = provenance("fuzz.campaign");
+                    rec.parser = true;
+                    rec.hostile_index = k;
+                    result.failures.push_back(std::move(rec));
+                } else if (hr.parsed) {
+                    ++result.hostile_parsed;
+                    obs::count("fuzz.hostile_parsed");
+                } else {
+                    ++result.hostile_rejected;
+                    obs::count("fuzz.hostile_rejected");
+                }
+            }
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+std::string ReplayOutcome::describe() const {
+    if (!ok) return "replay failed: " + error;
+    std::string s = reproduced ? "reproduced" : "did NOT reproduce";
+    if (!outcome.detail.empty()) s += ": " + outcome.detail;
+    if (!hostile.error.empty()) s += ": " + hostile.error;
+    return s;
+}
+
+ReplayOutcome replay_one_liner(const std::string& line, const CampaignOptions& opts) {
+    ReplayOutcome out;
+    std::uint64_t seed = 0;
+    bool saw_seed = false;
+    std::optional<Recipe> recipe;
+    std::optional<std::size_t> hostile_index;
+    for (const auto& tok : split(line)) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+            out.error = "token '" + tok + "' is not key=value";
+            return out;
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        if (key == "seed" || key == "hostile") {
+            if (value.empty()) {
+                out.error = "empty value in '" + tok + "'";
+                return out;
+            }
+            std::uint64_t v = 0;
+            for (const char c : value) {
+                const auto d = static_cast<std::uint64_t>(c - '0');
+                if (c < '0' || c > '9' || v > (UINT64_MAX - d) / 10) {
+                    out.error = "bad number in '" + tok + "'";
+                    return out;
+                }
+                v = v * 10 + d;
+            }
+            if (key == "seed") {
+                seed = v;
+                saw_seed = true;
+            } else {
+                hostile_index = static_cast<std::size_t>(v);
+            }
+        } else if (key == "recipe") {
+            recipe = Recipe::parse(value);
+            if (!recipe) {
+                out.error = "unparsable recipe '" + value + "'";
+                return out;
+            }
+        } else {
+            out.error = "unknown key '" + key + "'";
+            return out;
+        }
+    }
+    if (!recipe) {
+        out.error = "one-liner carries no recipe=";
+        return out;
+    }
+    if (hostile_index && !saw_seed) {
+        out.error = "hostile replay needs seed=";
+        return out;
+    }
+    try {
+        if (hostile_index) {
+            const std::string g_text = stg::write_g(build(*recipe));
+            const std::string mutant = mutate_g(g_text, hostile_seed(seed, *hostile_index));
+            out.hostile = parse_hostile(mutant);
+            out.reproduced = !out.hostile.handled;
+        } else if (opts.inject_disagree && opts.inject_disagree(*recipe)) {
+            out.outcome.verdict = Verdict::Disagree;
+            out.outcome.detail = "injected disagreement (test hook)";
+            out.reproduced = true;
+        } else {
+            out.outcome = diff_case(build(*recipe), opts.diff);
+            out.reproduced = out.outcome.verdict == Verdict::Disagree ||
+                             out.outcome.verdict == Verdict::Error;
+        }
+    } catch (const Error& e) {
+        out.error = std::string("replay threw: ") + e.what();
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace si::gen

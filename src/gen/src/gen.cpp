@@ -1,0 +1,431 @@
+#include "si/gen/gen.hpp"
+
+#include <algorithm>
+
+#include "si/obs/obs.hpp"
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+#include "si/util/text.hpp"
+
+namespace si::gen {
+
+namespace {
+
+/// Hard ceiling on any block param; random_recipe stays far below it,
+/// Recipe::parse rejects anything past it (a replayed one-liner must not
+/// be able to demand a 10^9-way fork).
+constexpr int kMaxParam = 64;
+
+/// Smallest param that makes the block well-formed: a choice or
+/// sequencer needs two branches to choose between / alternate over.
+int min_param(BlockKind k) {
+    return (k == BlockKind::Choice || k == BlockKind::Seq) ? 2 : 1;
+}
+
+/// splitmix64: the deterministic stream every seeded decision draws
+/// from (same constants as the fault engine's walk streams).
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    /// Uniform draw in [lo, hi] (hi >= lo).
+    int range(int lo, int hi) {
+        return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+};
+
+// ---------------------------------------------------------------------------
+// .g emission
+//
+// Blocks are emitted as four-phase fragments over "ports". A port is the
+// set of transition labels whose firing completes a phase — usually one
+// label, several mutually exclusive ones downstream of a choice (the
+// ack's /k instances, exactly one of which fires per cycle).
+//
+// Arc semantics of the .g dialect used below:
+//   * "a+ b+"  — implicit place per arc: multiple arcs FROM a label fork
+//     (concurrency), multiple arcs INTO a label join (AND-causality);
+//   * an explicit place with several producers and one consumer is an
+//     OR-merge — the port-to-single-consumer adapter for choice outputs;
+//   * an explicit place with several input-transition consumers is a
+//     free choice resolved by the environment.
+
+struct Port {
+    std::vector<std::string> labels; ///< mutually exclusive completers
+};
+
+struct Emitter {
+    std::string inputs;  ///< " name" accumulations for .inputs
+    std::string outputs; ///< ... for .outputs
+    std::string graph;   ///< .graph section body
+    int place_counter = 0;
+
+    void arc(const std::string& from, const std::string& to) { graph += from + " " + to + "\n"; }
+
+    std::string fresh_place(const std::string& prefix) {
+        return prefix + "p" + std::to_string(place_counter++);
+    }
+
+    /// Routes `port` into the single consumer `target`: a direct arc, or
+    /// an OR-merge place when the port has alternatives. Returns the
+    /// marking token naming the connection (the implicit-place token or
+    /// the explicit place) so wrap-up arcs can carry the initial token.
+    std::string trigger(const Port& port, const std::string& target, const std::string& prefix) {
+        if (port.labels.size() == 1) {
+            arc(port.labels.front(), target);
+            return "<" + port.labels.front() + "," + target + ">";
+        }
+        const std::string pl = fresh_place(prefix);
+        for (const auto& l : port.labels) arc(l, pl);
+        arc(pl, target);
+        return pl;
+    }
+};
+
+/// Linear pipeline: the phase ripples through `n` sequential stages.
+void emit_pipe(Emitter& em, const std::string& prefix, int n, Port& rise, Port& fall) {
+    for (int k = 0; k < n; ++k) {
+        const std::string s = prefix + "s" + std::to_string(k);
+        em.outputs += " " + s;
+        em.trigger(rise, s + "+", prefix);
+        em.trigger(fall, s + "-", prefix);
+        rise = {{s + "+"}};
+        fall = {{s + "-"}};
+    }
+}
+
+/// Fork-join: the phase forks into `n` concurrent branches that all
+/// AND-join on a fresh signal before the block completes.
+void emit_fork(Emitter& em, const std::string& prefix, int n, Port& rise, Port& fall) {
+    const std::string j = prefix + "j";
+    for (int k = 0; k < n; ++k) {
+        const std::string y = prefix + "y" + std::to_string(k);
+        em.outputs += " " + y;
+        em.trigger(rise, y + "+", prefix);
+        em.arc(y + "+", j + "+");
+        em.trigger(fall, y + "-", prefix);
+        em.arc(y + "-", j + "-");
+    }
+    em.outputs += " " + j;
+    rise = {{j + "+"}};
+    fall = {{j + "-"}};
+}
+
+/// Ring: sequential rise through `n` stations, fully concurrent fall,
+/// both phases completed by a join signal.
+void emit_ring(Emitter& em, const std::string& prefix, int n, Port& rise, Port& fall) {
+    const std::string u = prefix + "u";
+    std::vector<std::string> stations;
+    for (int k = 0; k < n; ++k) {
+        const std::string t = prefix + "t" + std::to_string(k);
+        em.outputs += " " + t;
+        stations.push_back(t);
+        em.trigger(rise, t + "+", prefix);
+        rise = {{t + "+"}};
+    }
+    em.arc(stations.back() + "+", u + "+");
+    for (const auto& t : stations) {
+        em.trigger(fall, t + "-", prefix);
+        em.arc(t + "-", u + "-");
+    }
+    em.outputs += " " + u;
+    rise = {{u + "+"}};
+    fall = {{u + "-"}};
+}
+
+/// Arbitration-free choice: the rising phase reaches a free-choice place
+/// whose consumers are `n` environment inputs; the chosen branch raises
+/// its private output and one instance of the shared ack. A memory place
+/// per branch steers the falling phase back through the same branch, so
+/// the net stays safe and the choice is only ever resolved by inputs.
+void emit_choice(Emitter& em, const std::string& prefix, int n, Port& rise, Port& fall) {
+    const std::string ack = prefix + "ack";
+    const std::string pc = em.fresh_place(prefix);
+    const std::string pf = em.fresh_place(prefix);
+    for (const auto& l : rise.labels) em.arc(l, pc);
+    for (const auto& l : fall.labels) em.arc(l, pf);
+    std::vector<std::string> ack_rise;
+    std::vector<std::string> ack_fall;
+    for (int k = 0; k < n; ++k) {
+        const std::string c = prefix + "c" + std::to_string(k);
+        const std::string a = prefix + "a" + std::to_string(k);
+        em.inputs += " " + c;
+        em.outputs += " " + a;
+        const std::string inst = k == 0 ? "" : "/" + std::to_string(k + 1);
+        em.arc(pc, c + "+");
+        em.arc(c + "+", a + "+");
+        em.arc(a + "+", ack + "+" + inst);
+        const std::string q = em.fresh_place(prefix);
+        em.arc(c + "+", q);
+        em.arc(pf, c + "-");
+        em.arc(q, c + "-");
+        em.arc(c + "-", a + "-");
+        em.arc(a + "-", ack + "-" + inst);
+        ack_rise.push_back(ack + "+" + inst);
+        ack_fall.push_back(ack + "-" + inst);
+    }
+    em.outputs += " " + ack;
+    rise = {std::move(ack_rise)};
+    fall = {std::move(ack_fall)};
+}
+
+/// Standalone round-robin sequencer (parallel recipes only): one input
+/// handshake answered by `n` output handshakes in turn within one cycle.
+/// The phases share codes, so CSC fails and state signals are inserted —
+/// the workload that exercises the repair loop.
+void emit_seq(Emitter& em, const std::string& prefix, int n, std::string& marking) {
+    const std::string r = prefix + "r";
+    em.inputs += " " + r;
+    std::vector<std::string> cycle;
+    for (int k = 0; k < n; ++k) {
+        const std::string a = prefix + "a" + std::to_string(k);
+        em.outputs += " " + a;
+        const std::string inst = k == 0 ? "" : "/" + std::to_string(k + 1);
+        cycle.push_back(r + "+" + inst);
+        cycle.push_back(a + "+");
+        cycle.push_back(r + "-" + inst);
+        cycle.push_back(a + "-");
+    }
+    for (std::size_t i = 0; i < cycle.size(); ++i)
+        em.arc(cycle[i], cycle[(i + 1) % cycle.size()]);
+    marking += " <" + cycle.back() + "," + cycle.front() + ">";
+}
+
+/// Emits one block as a four-phase fragment between the given ports.
+void emit_block(Emitter& em, const Block& b, const std::string& prefix, Port& rise, Port& fall) {
+    switch (b.kind) {
+    case BlockKind::Pipe: emit_pipe(em, prefix, b.param, rise, fall); return;
+    case BlockKind::Fork: emit_fork(em, prefix, b.param, rise, fall); return;
+    case BlockKind::Ring: emit_ring(em, prefix, b.param, rise, fall); return;
+    case BlockKind::Choice: emit_choice(em, prefix, b.param, rise, fall); return;
+    case BlockKind::Seq: break; // standalone only; handled by the caller
+    }
+    throw SpecError("gen: block kind not emittable as a fragment");
+}
+
+void validate_recipe(const Recipe& r) {
+    if (r.blocks.empty()) throw SpecError("gen: recipe has no blocks");
+    for (const auto& b : r.blocks) {
+        if (b.param < min_param(b.kind) || b.param > kMaxParam)
+            throw SpecError("gen: block param " + std::to_string(b.param) + " out of range for " +
+                            std::string(to_string(b.kind)));
+        if (b.kind == BlockKind::Seq && r.serial)
+            throw SpecError("gen: seq blocks require a parallel recipe");
+    }
+}
+
+} // namespace
+
+const char* to_string(BlockKind k) {
+    switch (k) {
+    case BlockKind::Pipe: return "pipe";
+    case BlockKind::Fork: return "fork";
+    case BlockKind::Ring: return "ring";
+    case BlockKind::Choice: return "choice";
+    case BlockKind::Seq: return "seq";
+    }
+    return "?";
+}
+
+std::string Recipe::to_string() const {
+    std::string s = serial ? "ser:" : "par:";
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (i != 0) s += ",";
+        s += gen::to_string(blocks[i].kind);
+        s += std::to_string(blocks[i].param);
+    }
+    return s;
+}
+
+std::optional<Recipe> Recipe::parse(std::string_view text) {
+    const auto colon = text.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const std::string_view mode = text.substr(0, colon);
+    Recipe r;
+    if (mode == "ser") {
+        r.serial = true;
+    } else if (mode == "par") {
+        r.serial = false;
+    } else {
+        return std::nullopt;
+    }
+    for (const auto& tok : split(text.substr(colon + 1), ",")) {
+        std::size_t i = 0;
+        while (i < tok.size() && tok[i] >= 'a' && tok[i] <= 'z') ++i;
+        if (i == 0 || i == tok.size()) return std::nullopt;
+        const std::string_view name(tok.data(), i);
+        Block b;
+        bool known = false;
+        for (std::size_t k = 0; k < kNumBlockKinds; ++k) {
+            if (name == gen::to_string(static_cast<BlockKind>(k))) {
+                b.kind = static_cast<BlockKind>(k);
+                known = true;
+                break;
+            }
+        }
+        if (!known) return std::nullopt;
+        int param = 0;
+        for (; i < tok.size(); ++i) {
+            if (tok[i] < '0' || tok[i] > '9') return std::nullopt;
+            if (param > kMaxParam) return std::nullopt;
+            param = param * 10 + (tok[i] - '0');
+        }
+        if (param < min_param(b.kind) || param > kMaxParam) return std::nullopt;
+        b.param = param;
+        if (b.kind == BlockKind::Seq && r.serial) return std::nullopt;
+        r.blocks.push_back(b);
+    }
+    if (r.blocks.empty()) return std::nullopt;
+    return r;
+}
+
+Recipe random_recipe(std::uint64_t seed, const GenOptions& opts) {
+    Rng rng{seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull};
+    Recipe r;
+    r.serial = opts.allow_serial && (rng.next() & 1) != 0;
+    std::vector<BlockKind> kinds = {BlockKind::Pipe, BlockKind::Fork, BlockKind::Ring};
+    if (opts.allow_choice) kinds.push_back(BlockKind::Choice);
+    if (opts.allow_seq && !r.serial) kinds.push_back(BlockKind::Seq);
+    const int lo = std::max(1, opts.min_blocks);
+    const int hi = std::max(lo, opts.max_blocks);
+    const int n = rng.range(lo, hi);
+    for (int i = 0; i < n; ++i) {
+        Block b;
+        b.kind = kinds[static_cast<std::size_t>(rng.next() % kinds.size())];
+        const int pmin = min_param(b.kind);
+        const int pmax = std::min(kMaxParam, std::max(pmin, opts.max_param));
+        b.param = rng.range(pmin, pmax);
+        r.blocks.push_back(b);
+    }
+    return r;
+}
+
+stg::Stg build(const Recipe& recipe) {
+    validate_recipe(recipe);
+    obs::Span span("gen.build");
+    span.attr("recipe", recipe.to_string());
+
+    Emitter em;
+    std::string marking;
+    if (recipe.serial) {
+        // One master environment handshake; blocks chain on it: the ack
+        // of block i triggers block i+1 in both phases.
+        em.inputs += " r";
+        Port rise{{"r+"}};
+        Port fall{{"r-"}};
+        for (std::size_t i = 0; i < recipe.blocks.size(); ++i)
+            emit_block(em, recipe.blocks[i], "b" + std::to_string(i) + "_", rise, fall);
+        em.trigger(rise, "r-", "w_");
+        marking += " " + em.trigger(fall, "r+", "w_");
+    } else {
+        // Independent components, each under its own environment
+        // handshake; the state graph is the product of the blocks.
+        for (std::size_t i = 0; i < recipe.blocks.size(); ++i) {
+            const std::string prefix = "b" + std::to_string(i) + "_";
+            const Block& b = recipe.blocks[i];
+            if (b.kind == BlockKind::Seq) {
+                emit_seq(em, prefix, b.param, marking);
+                continue;
+            }
+            const std::string r = prefix + "r";
+            em.inputs += " " + r;
+            Port rise{{r + "+"}};
+            Port fall{{r + "-"}};
+            emit_block(em, b, prefix, rise, fall);
+            em.trigger(rise, r + "-", prefix);
+            marking += " " + em.trigger(fall, r + "+", prefix);
+        }
+    }
+
+    std::string g = ".model gen_" + recipe.to_string() + "\n";
+    if (!em.inputs.empty()) g += ".inputs" + em.inputs + "\n";
+    if (!em.outputs.empty()) g += ".outputs" + em.outputs + "\n";
+    g += ".graph\n" + em.graph;
+    g += ".marking {" + marking + " }\n.end\n";
+
+    stg::Stg net = stg::read_g(g);
+    if (obs::enabled()) {
+        obs::count("gen.built");
+        obs::count("gen.blocks", recipe.blocks.size());
+        obs::count("gen.transitions", net.num_transitions());
+    }
+    return net;
+}
+
+stg::Stg generate(std::uint64_t seed, const GenOptions& opts) {
+    return build(random_recipe(seed, opts));
+}
+
+std::uint64_t derive_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+    // One splitmix step over (seed, index): item streams are independent
+    // of how many other items the campaign draws — the fault engine's
+    // per-fault derived-seed discipline.
+    Rng rng{(campaign_seed * 0x9e3779b97f4a7c15ull + 1) ^ (index * 0xbf58476d1ce4e5b9ull)};
+    return rng.next();
+}
+
+Recipe shrink(Recipe failing, const std::function<bool(const Recipe&)>& still_fails,
+              ShrinkStats* stats, std::size_t max_attempts) {
+    ShrinkStats local;
+    ShrinkStats& st = stats != nullptr ? *stats : local;
+    st = {};
+
+    auto try_candidate = [&](const Recipe& cand) {
+        if (st.attempts >= max_attempts) return false;
+        ++st.attempts;
+        if (!still_fails(cand)) return false;
+        ++st.accepted;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress && st.attempts < max_attempts) {
+        progress = false;
+        // Drop one block (later blocks first, so prefixes of the
+        // survivors stay stable).
+        for (std::size_t i = failing.blocks.size(); i-- > 0 && failing.blocks.size() > 1;) {
+            Recipe cand = failing;
+            cand.blocks.erase(cand.blocks.begin() + static_cast<std::ptrdiff_t>(i));
+            if (try_candidate(cand)) {
+                failing = std::move(cand);
+                progress = true;
+                break;
+            }
+        }
+        if (progress) continue;
+        // Halve, then decrement, a block's param.
+        for (std::size_t i = 0; i < failing.blocks.size() && !progress; ++i) {
+            const Block& b = failing.blocks[i];
+            for (const int smaller : {b.param / 2, b.param - 1}) {
+                if (smaller < min_param(b.kind) || smaller >= b.param) continue;
+                Recipe cand = failing;
+                cand.blocks[i].param = smaller;
+                if (try_candidate(cand)) {
+                    failing = std::move(cand);
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if (progress) continue;
+        // Serial-to-parallel flip: decomposes a chain into independent
+        // components, which often still reproduces generator-level
+        // faults with a much smaller state graph.
+        if (failing.serial) {
+            Recipe cand = failing;
+            cand.serial = false;
+            if (try_candidate(cand)) {
+                failing = std::move(cand);
+                progress = true;
+            }
+        }
+    }
+    return failing;
+}
+
+} // namespace si::gen

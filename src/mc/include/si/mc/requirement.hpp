@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "si/mc/monotonous.hpp"
+#include "si/util/budget.hpp"
 
 namespace si::mc {
 
@@ -96,5 +97,14 @@ struct McReport {
 
 [[nodiscard]] McReport check_requirement(const sg::RegionAnalysis& ra,
                                          const McCubeSearch& opts = {});
+
+/// Budget-governed variant (stage "mc.check", one Steps unit per
+/// non-input excitation region, charged before the search runs): returns
+/// Exhausted instead of a report when the shared budget cannot pay for
+/// the check — the differential-fuzzing oracle's graceful-degradation
+/// path. `budget` may be null (then always Complete).
+[[nodiscard]] util::Outcome<McReport> check_requirement_outcome(const sg::RegionAnalysis& ra,
+                                                                const McCubeSearch& opts = {},
+                                                                util::Budget* budget = nullptr);
 
 } // namespace si::mc

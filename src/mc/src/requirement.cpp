@@ -203,4 +203,21 @@ McReport check_requirement(const sg::RegionAnalysis& ra, const McCubeSearch& opt
     return report;
 }
 
+util::Outcome<McReport> check_requirement_outcome(const sg::RegionAnalysis& ra,
+                                                  const McCubeSearch& opts,
+                                                  util::Budget* budget) {
+    std::uint64_t work = 0;
+    for (const auto& region : ra.regions())
+        if (is_non_input(ra.graph().signals()[region.signal].kind)) ++work;
+    {
+        util::Meter meter("mc.check", budget);
+        // Stage-granularity governance: the check either runs in full or
+        // not at all — the cube searches below are capped locally by
+        // McCubeSearch::max_candidates, so per-region spend is bounded.
+        if (!meter.charge(util::Resource::Steps, work > 0 ? work : 1))
+            return util::Outcome<McReport>::exhausted(meter.why());
+    }
+    return util::Outcome<McReport>::complete(check_requirement(ra, opts));
+}
+
 } // namespace si::mc

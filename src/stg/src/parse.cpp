@@ -1,8 +1,10 @@
 #include "si/stg/parse.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "si/util/error.hpp"
 #include "si/util/text.hpp"
@@ -17,6 +19,11 @@ struct EdgeToken {
     int instance = 1;
 };
 
+/// Largest /k instance suffix accepted. Anything past this is a
+/// malformed label, not a place name — unbounded digit strings must not
+/// overflow the accumulator (signed overflow is UB under -fsanitize).
+constexpr int kMaxInstance = 1 << 20;
+
 // Parses "a+", "b-", "c+/2"; nullopt when the token is not a transition
 // label (then it names a place).
 std::optional<EdgeToken> parse_edge_token(std::string_view tok) {
@@ -29,17 +36,15 @@ std::optional<EdgeToken> parse_edge_token(std::string_view tok) {
         instance = 0;
         for (const char c : inst) {
             if (c < '0' || c > '9') return std::nullopt;
+            if (instance > kMaxInstance) return std::nullopt;
             instance = instance * 10 + (c - '0');
         }
+        if (instance > kMaxInstance) return std::nullopt;
     }
     if (head.size() < 2) return std::nullopt;
     const char dir = head.back();
     if (dir != '+' && dir != '-') return std::nullopt;
     return EdgeToken{std::string(head.substr(0, head.size() - 1)), dir == '+', instance};
-}
-
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-    throw ParseError(".g line " + std::to_string(line_no + 1) + ": " + msg);
 }
 
 class GReader {
@@ -55,12 +60,24 @@ public:
             if (line.empty()) continue;
             dispatch(line);
         }
-        if (!saw_end_) fail(lines_.size() - 1, "missing .end");
+        line_ = lines_.empty() ? 0 : lines_.size() - 1;
+        if (!saw_end_) fail("missing .end");
         stg_.validate();
         return std::move(stg_);
     }
 
 private:
+    /// Raises a structured ParseError at the current line. When `tok` is
+    /// given and occurs in the line's source text, the error points at
+    /// its 1-based column; otherwise at column 1.
+    [[noreturn]] void fail(const std::string& msg, std::string_view tok = {}) const {
+        std::size_t column = 1;
+        if (!tok.empty() && line_ < lines_.size()) {
+            const auto pos = lines_[line_].find(tok);
+            if (pos != std::string::npos) column = pos + 1;
+        }
+        throw ParseError(line_ + 1, column, msg);
+    }
     void dispatch(std::string_view line) {
         const auto toks = split(line);
         const std::string& head = toks[0];
@@ -73,7 +90,7 @@ private:
         } else if (head == ".internal") {
             declare(toks, SignalKind::Internal);
         } else if (head == ".dummy") {
-            fail(line_, "dummy transitions are not supported");
+            fail("dummy transitions are not supported", head);
         } else if (head == ".graph") {
             in_graph_ = true;
         } else if (head == ".marking") {
@@ -84,11 +101,11 @@ private:
         } else if (head == ".capacity" || head == ".slowenv" || head == ".coords") {
             // Harmless extensions produced by other tools; ignored.
         } else if (head[0] == '.') {
-            fail(line_, "unknown directive '" + head + "'");
+            fail("unknown directive '" + head + "'", head);
         } else if (in_graph_) {
             parse_arc_line(toks);
         } else {
-            fail(line_, "unexpected line outside .graph");
+            fail("unexpected line outside .graph", head);
         }
     }
 
@@ -114,7 +131,7 @@ private:
             }
             // A token shaped like "x+" whose head is not a declared signal
             // is a malformed label rather than a place.
-            fail(line_, "transition label '" + tok + "' names undeclared signal '" + e->signal + "'");
+            fail("transition label '" + tok + "' names undeclared signal '" + e->signal + "'", tok);
         }
         PlaceId p = stg_.find_place(tok);
         if (!p.is_valid()) p = stg_.add_place(tok);
@@ -122,7 +139,7 @@ private:
     }
 
     void parse_arc_line(const std::vector<std::string>& toks) {
-        if (toks.size() < 2) fail(line_, "arc line needs a source and at least one target");
+        if (toks.size() < 2) fail("arc line needs a source and at least one target", toks[0]);
         const Node src = resolve(toks[0]);
         for (std::size_t i = 1; i < toks.size(); ++i) {
             const Node dst = resolve(toks[i]);
@@ -133,7 +150,7 @@ private:
             } else if (!src.is_transition && dst.is_transition) {
                 stg_.connect_pt(src.p, dst.t);
             } else {
-                fail(line_, "place-to-place arc '" + toks[0] + " " + toks[i] + "'");
+                fail("place-to-place arc '" + toks[0] + " " + toks[i] + "'", toks[i]);
             }
         }
     }
@@ -142,7 +159,7 @@ private:
         const auto open = line.find('{');
         const auto close = line.rfind('}');
         if (open == std::string_view::npos || close == std::string_view::npos || close < open)
-            fail(line_, ".marking must carry a { ... } list");
+            fail(".marking must carry a { ... } list");
         std::string_view body = line.substr(open + 1, close - open - 1);
 
         // Tokens: "p", "p=2", "<a+,b->". Angle groups may contain no
@@ -153,12 +170,12 @@ private:
             if (const auto eq = name.find('='); eq != std::string::npos) {
                 const std::string digits = name.substr(eq + 1);
                 int v = 0;
-                if (digits.empty()) fail(line_, "bad token count in '" + tok + "'");
+                if (digits.empty()) fail("bad token count in '" + tok + "'", tok);
                 for (const char c : digits) {
-                    if (c < '0' || c > '9' || v > 255) fail(line_, "bad token count in '" + tok + "'");
+                    if (c < '0' || c > '9' || v > 255) fail("bad token count in '" + tok + "'", tok);
                     v = v * 10 + (c - '0');
                 }
-                if (v > 255) fail(line_, "bad token count in '" + tok + "'");
+                if (v > 255) fail("bad token count in '" + tok + "'", tok);
                 tokens = static_cast<std::uint8_t>(v);
                 name = name.substr(0, eq);
             }
@@ -168,7 +185,7 @@ private:
             } else {
                 p = stg_.find_place(name);
             }
-            if (!p.is_valid()) fail(line_, "marking names unknown place '" + name + "'");
+            if (!p.is_valid()) fail("marking names unknown place '" + name + "'", tok);
             stg_.mark(p, tokens);
         }
     }
@@ -176,18 +193,18 @@ private:
     // "<a+,b->" denotes the implicit place created by the arc a+ -> b-.
     PlaceId resolve_implicit_place(const std::string& name) {
         const auto comma = name.find(',');
-        if (comma == std::string::npos) fail(line_, "bad implicit place '" + name + "'");
+        if (comma == std::string::npos) fail("bad implicit place '" + name + "'", name);
         const std::string from = name.substr(1, comma - 1);
         const std::string to = name.substr(comma + 1, name.size() - comma - 2);
         const auto fe = parse_edge_token(from);
         const auto te = parse_edge_token(to);
-        if (!fe || !te) fail(line_, "bad implicit place '" + name + "'");
+        if (!fe || !te) fail("bad implicit place '" + name + "'", name);
         const TransitionId ft =
             stg_.find_transition({stg_.signals().find(fe->signal), fe->rising}, fe->instance);
         const TransitionId tt =
             stg_.find_transition({stg_.signals().find(te->signal), te->rising}, te->instance);
         if (!ft.is_valid() || !tt.is_valid())
-            fail(line_, "implicit place '" + name + "' refers to unknown transitions");
+            fail("implicit place '" + name + "' refers to unknown transitions", name);
         // Find the implicit place on the ft -> tt arc.
         for (const PlaceId p : stg_.transition(ft).postset) {
             if (!stg_.place(p).implicit) continue;
@@ -195,7 +212,7 @@ private:
             for (const PlaceId q : preset)
                 if (q == p) return p;
         }
-        fail(line_, "no arc between transitions of implicit place '" + name + "'");
+        fail("no arc between transitions of implicit place '" + name + "'", name);
     }
 
     std::vector<std::string> lines_;
@@ -234,7 +251,12 @@ std::string write_g(const Stg& stg) {
     }
     out += ".graph\n";
     // Emit transition->place and place->transition arcs. Implicit places
-    // are flattened back to transition->transition arcs.
+    // are flattened back to transition->transition arcs. Each source
+    // (transition or explicit place) produces exactly one line carrying
+    // its successors in arc order; the lines are then sorted, so the
+    // rendering is independent of internal id assignment and write_g is
+    // a byte-stable fixpoint under re-parsing.
+    std::vector<std::string> lines;
     for (std::size_t ti = 0; ti < stg.num_transitions(); ++ti) {
         const TransitionId t{ti};
         std::string line = stg.transition_label(t);
@@ -255,7 +277,7 @@ std::string write_g(const Stg& stg) {
                 any = true;
             }
         }
-        if (any) out += line + "\n";
+        if (any) lines.push_back(std::move(line));
     }
     for (std::size_t pi = 0; pi < stg.num_places(); ++pi) {
         const PlaceId p{pi};
@@ -270,16 +292,22 @@ std::string write_g(const Stg& stg) {
                 }
             }
         }
-        if (any) out += line + "\n";
+        if (any) lines.push_back(std::move(line));
     }
-    out += ".marking {";
+    std::sort(lines.begin(), lines.end());
+    for (const auto& line : lines) out += line + "\n";
+    std::vector<std::string> marks;
     for (std::size_t pi = 0; pi < stg.num_places(); ++pi) {
         const auto tokens = stg.initial_marking()[pi];
         if (tokens == 0) continue;
         const Place& pl = stg.place(PlaceId(pi));
-        out += " " + pl.name;
-        if (tokens != 1) out += "=" + std::to_string(tokens);
+        std::string mark = pl.name;
+        if (tokens != 1) mark += "=" + std::to_string(tokens);
+        marks.push_back(std::move(mark));
     }
+    std::sort(marks.begin(), marks.end());
+    out += ".marking {";
+    for (const auto& mark : marks) out += " " + mark;
     out += " }\n.end\n";
     return out;
 }

@@ -5,6 +5,7 @@
 // site (E.14: purpose-designed, informative exception types).
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -17,9 +18,36 @@ public:
 };
 
 /// A malformed input file or string (e.g. a bad .g STG description).
+/// Structured: carries the 1-based source position next to the message,
+/// so fuzzing harnesses and editors can point at the offending token
+/// without re-parsing what(). Position 0 means "not attributable to a
+/// location" (e.g. a missing file or a whole-input problem).
 class ParseError : public Error {
 public:
     using Error::Error;
+    ParseError(std::size_t line, std::size_t column, std::string message)
+        : Error(render(line, column, message)),
+          line_(line),
+          column_(column),
+          message_(std::move(message)) {}
+
+    /// 1-based line of the offending token (0 when unknown).
+    [[nodiscard]] std::size_t line() const { return line_; }
+    /// 1-based column of the offending token (0 when unknown).
+    [[nodiscard]] std::size_t column() const { return column_; }
+    /// The bare message, without the rendered position prefix.
+    [[nodiscard]] const std::string& message() const { return message_; }
+
+private:
+    static std::string render(std::size_t line, std::size_t column, const std::string& message) {
+        std::string s = ".g line " + std::to_string(line);
+        if (column != 0) s += ", col " + std::to_string(column);
+        return s + ": " + message;
+    }
+
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
+    std::string message_;
 };
 
 /// A specification that violates a structural requirement (e.g. an STG

@@ -57,6 +57,17 @@ struct VerifyOptions {
     std::optional<StateId> start_spec;
 };
 
+/// Three-valued hazard-oracle verdict — what a differential harness
+/// compares against the MC checker's claim (Theorem 3: a satisfied MC
+/// report must imply Clean).
+enum class HazardVerdict : unsigned char {
+    Clean,   ///< exhaustively explored, no violation: speed-independent
+    Hazard,  ///< a definitive violation was found
+    Unknown, ///< exploration exhausted its budget: proves nothing
+};
+
+[[nodiscard]] const char* to_string(HazardVerdict v);
+
 struct VerifyResult {
     bool ok = false;
     std::vector<Violation> violations;
@@ -70,6 +81,17 @@ struct VerifyResult {
     /// True when the whole composite space was explored (the verdict in
     /// `ok` is definitive).
     [[nodiscard]] bool complete() const { return !exhaustion.has_value(); }
+
+    /// Folds ok/exhaustion into the three-valued oracle verdict. A
+    /// concrete violation refutes speed-independence even when the
+    /// exploration was cut short; a clean partial exploration proves
+    /// nothing.
+    [[nodiscard]] HazardVerdict verdict() const {
+        for (const auto& v : violations)
+            if (v.kind != ViolationKind::StateExplosion) return HazardVerdict::Hazard;
+        if (!complete()) return HazardVerdict::Unknown;
+        return ok ? HazardVerdict::Clean : HazardVerdict::Hazard;
+    }
 
     [[nodiscard]] std::string describe() const;
 };

@@ -13,6 +13,15 @@
 
 namespace si::verify {
 
+const char* to_string(HazardVerdict v) {
+    switch (v) {
+    case HazardVerdict::Clean: return "clean";
+    case HazardVerdict::Hazard: return "hazard";
+    case HazardVerdict::Unknown: return "unknown";
+    }
+    return "?";
+}
+
 std::string Violation::describe() const {
     std::string out = message;
     if (!trace.empty()) {

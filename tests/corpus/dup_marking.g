@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs b
+.graph
+a+ b+
+.marking {<a+,b+> <a+,b+>}
+.end

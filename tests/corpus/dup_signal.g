@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs a
+.graph
+a+ a-
+.marking {<a+,a->}
+.end

@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs b
+.graph
+a+ b+/99999999999999999999
+.marking {<a+,b+>}
+.end

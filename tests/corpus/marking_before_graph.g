@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs b
+.marking {<a+,b+>}
+.graph
+a+ b+
+.end

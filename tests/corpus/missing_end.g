@@ -1,0 +1,5 @@
+.model trunc
+.inputs a b
+.outputs c
+.graph
+a+ c+

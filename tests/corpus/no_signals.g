@@ -1,0 +1,3 @@
+.model m
+.graph
+.end

@@ -1,0 +1,12 @@
+.model m
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+.end
+.graph

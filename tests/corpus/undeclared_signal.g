@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs b
+.graph
+a+ z+
+.marking {<a+,z+>}
+.end

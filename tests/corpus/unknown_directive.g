@@ -1,0 +1,4 @@
+.unknown directive
+.model m
+.graph
+.end

@@ -1,0 +1,7 @@
+.model m
+.inputs a
+.outputs b
+.graph
+a+/0 b+/0
+.marking {<a+/0,b+/0>}
+.end

@@ -1,0 +1,188 @@
+// Differential-fuzzing harness tests: oracle agreement on known-good
+// recipes, Unknown on starved budgets, campaign determinism, the
+// injected-disagreement shrink/replay loop, hostile .g mutants, and the
+// checked-in hostile corpus (every file must parse or be rejected with a
+// structured si::Error — never crash, never leak a foreign exception).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/gen/fuzz.hpp"
+#include "si/gen/gen.hpp"
+#include "si/stg/parse.hpp"
+#include "si/util/error.hpp"
+
+#ifndef SI_CORPUS_DIR
+#define SI_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace si::gen {
+namespace {
+
+CaseOutcome run_recipe(const char* text, const DiffOptions& opts = {}) {
+    const auto r = Recipe::parse(text);
+    EXPECT_TRUE(r.has_value()) << text;
+    return diff_case(build(*r), opts);
+}
+
+TEST(DiffCase, OraclesAgreeOnKnownGoodRecipes) {
+    // One recipe per block kind, covering both composition modes. All
+    // are built from known-SI components, so Theorem 3 must hold: MC
+    // synthesis succeeds and the gate-level verifier finds no hazard.
+    for (const char* text : {"ser:pipe2", "par:fork3", "ser:ring2", "par:choice2", "par:seq2"}) {
+        const CaseOutcome out = run_recipe(text);
+        EXPECT_EQ(out.verdict, Verdict::Agree) << text << ": " << out.detail;
+        EXPECT_GT(out.sg_states, 0u) << text;
+    }
+}
+
+TEST(DiffCase, SeqBlocksExerciseInsertion) {
+    // Round-robin sequencers violate CSC by construction; the repair
+    // loop must insert state signals and the oracles must still agree.
+    const CaseOutcome out = run_recipe("par:seq2");
+    EXPECT_EQ(out.verdict, Verdict::Agree) << out.detail;
+    EXPECT_GT(out.inserted_signals, 0u);
+}
+
+TEST(DiffCase, StarvedBudgetYieldsUnknownNotAbort) {
+    DiffOptions opts;
+    opts.budget_steps = 4;
+    opts.budget_states = 4;
+    const CaseOutcome out = run_recipe("par:ring3,ring3", opts);
+    EXPECT_EQ(out.verdict, Verdict::Unknown) << out.detail;
+    EXPECT_FALSE(out.detail.empty());
+    EXPECT_FALSE(out.span_path.empty());
+}
+
+TEST(MutateG, DeterministicAndDifferent) {
+    const std::string base = stg::write_g(generate(3));
+    const std::string a = mutate_g(base, 11);
+    EXPECT_EQ(a, mutate_g(base, 11));
+    EXPECT_NE(a, mutate_g(base, 12));
+}
+
+TEST(ParseHostile, MutantsNeverEscapeStructuredErrors) {
+    std::size_t rejected = 0;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const std::string base = stg::write_g(generate(seed));
+        for (std::uint64_t m = 0; m < 16; ++m) {
+            const HostileResult hr = parse_hostile(mutate_g(base, derive_seed(seed, m)));
+            EXPECT_TRUE(hr.handled) << hr.error;
+            rejected += hr.parsed ? 0 : 1;
+        }
+    }
+    EXPECT_GT(rejected, 0u); // the mutator actually breaks inputs
+}
+
+TEST(ParseHostile, CorpusParsesOrRejectsCleanly) {
+    const std::filesystem::path dir(SI_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".g") continue;
+        ++files;
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        const HostileResult hr = parse_hostile(text.str());
+        EXPECT_TRUE(hr.handled) << entry.path() << ": " << hr.error;
+    }
+    EXPECT_GE(files, 12u) << "hostile corpus went missing from " << dir;
+}
+
+TEST(Parser, StructuredErrorsCarryPosition) {
+    try {
+        (void)stg::read_g(".model m\n.inputs a\n.graph\na+ b+\n.marking {<a+,b+>}\n.end\n");
+        FAIL() << "undeclared signal must not parse";
+    } catch (const ParseError& e) {
+        EXPECT_GT(e.line(), 0u);
+        EXPECT_FALSE(e.message().empty());
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+}
+
+TEST(Campaign, DeterministicAndCleanOnDefaults) {
+    CampaignOptions opts;
+    opts.seed = 42;
+    opts.count = 12;
+    opts.hostile_per_case = 2;
+    const CampaignResult a = run_campaign(opts);
+    const CampaignResult b = run_campaign(opts);
+    EXPECT_TRUE(a.clean()) << a.describe();
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.agree + a.disagree + a.unknown + a.errors, a.cases);
+    EXPECT_EQ(a.hostile, 24u);
+    EXPECT_EQ(a.hostile_unhandled, 0u);
+}
+
+TEST(Campaign, InjectedDisagreementShrinksToReplayableOneLiner) {
+    CampaignOptions opts;
+    opts.seed = 7;
+    opts.count = 24;
+    opts.hostile_per_case = 0;
+    opts.inject_disagree = [](const Recipe& r) {
+        for (const auto& b : r.blocks)
+            if (b.kind == BlockKind::Fork && b.param >= 2) return true;
+        return false;
+    };
+    const CampaignResult result = run_campaign(opts);
+    ASSERT_GT(result.disagree, 0u);
+    ASSERT_FALSE(result.failures.empty());
+    for (const auto& rec : result.failures) {
+        EXPECT_EQ(rec.shrunk.to_string(), "par:fork2") << rec.one_liner();
+        const ReplayOutcome replay = replay_one_liner(rec.one_liner(), opts);
+        EXPECT_TRUE(replay.ok) << replay.error;
+        EXPECT_TRUE(replay.reproduced) << rec.one_liner();
+    }
+    // Without the injection hook the same one-liners must NOT reproduce:
+    // the finding lives in the hook, not the pipeline.
+    CampaignOptions plain = opts;
+    plain.inject_disagree = nullptr;
+    const ReplayOutcome replay = replay_one_liner(result.failures[0].one_liner(), plain);
+    EXPECT_TRUE(replay.ok) << replay.error;
+    EXPECT_FALSE(replay.reproduced);
+}
+
+TEST(Replay, RejectsMalformedOneLiners) {
+    for (const char* line : {"", "recipe", "seed=1", "recipe=par:gate9", "seed=xx recipe=par:pipe1",
+                             "seed=1 recipe=par:pipe1 hostile=", "what=ever recipe=par:pipe1",
+                             "recipe=par:pipe1 hostile=3"}) {
+        const ReplayOutcome out = replay_one_liner(line);
+        EXPECT_FALSE(out.ok) << line;
+        EXPECT_FALSE(out.error.empty()) << line;
+    }
+}
+
+TEST(Replay, HostileOneLinerRegeneratesSameMutant) {
+    // A parser one-liner replays the exact mutant stream: same seed and
+    // index, same mutant, same structured outcome.
+    const ReplayOutcome a = replay_one_liner("seed=5 recipe=par:pipe2 hostile=0");
+    const ReplayOutcome b = replay_one_liner("seed=5 recipe=par:pipe2 hostile=0");
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_FALSE(a.reproduced); // the hardened parser handles it
+    EXPECT_EQ(a.hostile.parsed, b.hostile.parsed);
+    EXPECT_EQ(a.hostile.error, b.hostile.error);
+}
+
+TEST(RoundTrip, WriteParseWriteIsByteStable) {
+    // write_g must be a fixpoint under re-parsing: once for the paper's
+    // benchmark nets, once for 50 generated ones.
+    std::size_t bench_nets = 0;
+    for (const auto& entry : bench::table1_suite()) {
+        const std::string g1 = stg::write_g(bench::load(entry));
+        EXPECT_EQ(g1, stg::write_g(stg::read_g(g1))) << g1.substr(0, 40);
+        ++bench_nets;
+    }
+    EXPECT_GE(bench_nets, 9u);
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const std::string g1 = stg::write_g(generate(seed));
+        EXPECT_EQ(g1, stg::write_g(stg::read_g(g1))) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace si::gen

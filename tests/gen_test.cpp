@@ -1,0 +1,164 @@
+// si::gen tests: recipe round-trips, seed determinism across thread
+// counts, liveness/safeness/semi-modularity of every generated net, the
+// derived-seed discipline, and shrinker convergence on injected faults.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "si/gen/gen.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/stg/parse.hpp"
+#include "si/stg/structure.hpp"
+#include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+
+namespace si::gen {
+namespace {
+
+TEST(Recipe, ToStringParseRoundTrip) {
+    const std::vector<std::string> forms = {
+        "ser:pipe2",       "par:pipe1",           "ser:pipe2,fork3",
+        "par:seq2,choice2", "par:ring3,seq2,ring3", "ser:choice2,ring1",
+    };
+    for (const auto& s : forms) {
+        const auto r = Recipe::parse(s);
+        ASSERT_TRUE(r.has_value()) << s;
+        EXPECT_EQ(r->to_string(), s);
+    }
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        const Recipe r = random_recipe(seed);
+        const auto back = Recipe::parse(r.to_string());
+        ASSERT_TRUE(back.has_value()) << r.to_string();
+        EXPECT_EQ(*back, r) << r.to_string();
+    }
+}
+
+TEST(Recipe, ParseRejectsMalformed) {
+    EXPECT_FALSE(Recipe::parse("").has_value());
+    EXPECT_FALSE(Recipe::parse("pipe2").has_value());          // no mode
+    EXPECT_FALSE(Recipe::parse("ser:").has_value());           // no blocks
+    EXPECT_FALSE(Recipe::parse("ser:seq2").has_value());       // Seq in serial
+    EXPECT_FALSE(Recipe::parse("par:choice1").has_value());    // below min param
+    EXPECT_FALSE(Recipe::parse("par:pipe0").has_value());
+    EXPECT_FALSE(Recipe::parse("par:pipe999999").has_value()); // above max param
+    EXPECT_FALSE(Recipe::parse("par:pipe99999999999999999999").has_value());
+    EXPECT_FALSE(Recipe::parse("par:gate2").has_value());      // unknown kind
+    EXPECT_FALSE(Recipe::parse("xxx:pipe2").has_value());
+}
+
+TEST(Gen, SameSeedSameNetAcrossThreadCounts) {
+    const std::vector<std::uint64_t> seeds = {1, 2, 17, 123456789, 0xdeadbeef};
+    std::vector<std::string> reference;
+    for (const auto s : seeds) reference.push_back(stg::write_g(generate(s)));
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        util::set_num_threads(threads);
+        for (std::size_t i = 0; i < seeds.size(); ++i)
+            EXPECT_EQ(stg::write_g(generate(seeds[i])), reference[i])
+                << "seed " << seeds[i] << " with " << threads << " threads";
+    }
+    util::set_num_threads(0);
+}
+
+TEST(Gen, GeneratedNetsAreLiveSafeAndSemimodular) {
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const Recipe recipe = random_recipe(seed);
+        const stg::Stg net = build(recipe);
+        const auto report = stg::analyze_structure(net);
+        EXPECT_TRUE(report.safe) << recipe.to_string() << ": " << report.offender;
+        EXPECT_TRUE(report.live) << recipe.to_string() << ": " << report.offender;
+        const auto graph = sg::build_state_graph(net);
+        EXPECT_TRUE(sg::is_output_semimodular(graph)) << recipe.to_string();
+    }
+}
+
+TEST(Gen, SizeDialScalesStateGraph) {
+    // The generator's size dial must span tens to thousands of states:
+    // parallel composition multiplies component state counts.
+    const auto states = [](const char* text) {
+        const auto r = Recipe::parse(text);
+        EXPECT_TRUE(r.has_value()) << text;
+        return sg::build_state_graph(build(*r), {1u << 15}).num_states();
+    };
+    const std::size_t small = states("par:pipe1");
+    const std::size_t large = states("par:ring3,ring3,seq3");
+    EXPECT_LT(small, 10u);
+    EXPECT_GT(large, 1000u);
+}
+
+TEST(Gen, ChoiceBlocksAreArbitrationFreeChoice) {
+    // The rising phase is a free choice among *input* transitions (the
+    // environment picks a branch); the falling phase is a controlled
+    // choice steered by the branch's memory place, so the whole net is
+    // not free-choice class — but it stays safe, live, and output
+    // semi-modular, i.e. no output ever arbitrates.
+    const auto r = Recipe::parse("par:choice3");
+    ASSERT_TRUE(r.has_value());
+    const stg::Stg net = build(*r);
+    const auto report = stg::analyze_structure(net);
+    EXPECT_FALSE(report.marked_graph); // a real choice place exists
+    EXPECT_TRUE(report.safe) << report.offender;
+    EXPECT_TRUE(report.live) << report.offender;
+    EXPECT_TRUE(sg::is_output_semimodular(sg::build_state_graph(net)));
+}
+
+TEST(Gen, DeriveSeedIsPerIndexStable) {
+    // The fault-engine discipline: the seed of item i depends only on
+    // (campaign seed, i), so adding or removing cases never reshuffles
+    // the rest. Distinctness over a wide window guards degenerate mixing.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(seen.insert(derive_seed(1, i)).second);
+    EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+    EXPECT_EQ(derive_seed(1, 7), derive_seed(1, 7));
+}
+
+TEST(Gen, BuildRejectsInvalidRecipes) {
+    EXPECT_THROW((void)build(Recipe{}), SpecError); // empty
+    Recipe bad;
+    bad.serial = true;
+    bad.blocks.push_back({BlockKind::Seq, 2});
+    EXPECT_THROW((void)build(bad), SpecError); // Seq needs a parallel recipe
+    Recipe oob;
+    oob.blocks.push_back({BlockKind::Choice, 1});
+    EXPECT_THROW((void)build(oob), SpecError); // choice needs >= 2 branches
+}
+
+TEST(Shrink, ConvergesOnInjectedFault) {
+    // "Fails" iff the recipe has a choice block with >= 2 branches: the
+    // shrinker must strip every other block and converge to par:choice2.
+    const auto has_choice = [](const Recipe& r) {
+        for (const auto& b : r.blocks)
+            if (b.kind == BlockKind::Choice && b.param >= 2) return true;
+        return false;
+    };
+    auto failing = Recipe::parse("ser:pipe3,choice3,ring2");
+    ASSERT_TRUE(failing.has_value());
+    ShrinkStats stats;
+    const Recipe min = shrink(*failing, has_choice, &stats);
+    EXPECT_EQ(min.to_string(), "par:choice2");
+    EXPECT_GT(stats.attempts, 0u);
+    EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(Shrink, RespectsAttemptCap) {
+    auto failing = Recipe::parse("ser:pipe3,fork3,ring3");
+    ASSERT_TRUE(failing.has_value());
+    ShrinkStats stats;
+    const Recipe out = shrink(*failing, [](const Recipe&) { return true; }, &stats, 2);
+    EXPECT_EQ(stats.attempts, 2u);
+    // With every candidate "failing", two probes can drop at most two
+    // blocks — params are untouched when the cap trips first.
+    EXPECT_GE(out.blocks.size(), 1u);
+    for (const auto& b : out.blocks) EXPECT_EQ(b.param, 3);
+}
+
+TEST(Shrink, KeepsOriginalWhenNothingSmallerFails) {
+    const auto original = Recipe::parse("par:fork2");
+    ASSERT_TRUE(original.has_value());
+    const Recipe out = shrink(*original, [&](const Recipe& r) { return r == *original; });
+    EXPECT_EQ(out, *original);
+}
+
+} // namespace
+} // namespace si::gen
