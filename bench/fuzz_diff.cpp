@@ -10,6 +10,7 @@
 //
 // Usage:
 //   fuzz_diff [--count N] [--seed S] [--hostile K] [--max-blocks B]
+//             [--engine explicit|symbolic|cross]
 //             [--out <failures-file>] [--obs-out <path>] [--force]
 //   fuzz_diff --replay "seed=<s> recipe=<r> [hostile=<k>]"
 //   fuzz_diff --selftest-shrink
@@ -33,6 +34,7 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--count N] [--seed S] [--hostile K] [--max-blocks B]\n"
+                 "          [--engine explicit|symbolic|cross]\n"
                  "          [--out <failures-file>] [--obs-out <path>] [--force]\n"
                  "       %s --replay \"seed=<s> recipe=<r> [hostile=<k>]\"\n"
                  "       %s --selftest-shrink\n",
@@ -111,6 +113,12 @@ int main(int argc, char** argv) {
             opts.hostile_per_case = static_cast<std::size_t>(v);
         } else if (std::strcmp(argv[i], "--max-blocks") == 0 && num(v)) {
             opts.gen.max_blocks = static_cast<std::size_t>(v);
+        } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "explicit") opts.diff.mc_engine = gen::McEngineMode::Explicit;
+            else if (mode == "symbolic") opts.diff.mc_engine = gen::McEngineMode::Symbolic;
+            else if (mode == "cross") opts.diff.mc_engine = gen::McEngineMode::Cross;
+            else return usage(argv[0]);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {

@@ -13,10 +13,15 @@
 // The headline figure is the geometric-mean speedup of each mode against
 // `seed` across all workloads, plus per-workload states/sec.
 //
-// Usage: perf_baseline [--smoke] [--out <path>] [--reps <n>]
+// Usage: perf_baseline [--smoke] [--out <path>] [--reps <n>] [--profile]
 //                      [--obs-out <path> [--force]]
 //   --smoke    small workloads + 1 repetition (the perf-smoke ctest label)
 //   --out      JSON output path (default: BENCH_perf.json in the CWD)
+//   --profile  instead of timing, run each workload once under wall-clock
+//              tracing and dump its top-5 stage spans (inclusive ms) plus
+//              the sg.store.* counters; the gen ladder runs under both
+//              seed and indexed modes so the states/sec cliff is
+//              attributable (see EXPERIMENTS.md)
 //   --obs-out  also write the si::obs export of the untimed metrics pass
 //              (refuses to overwrite an existing file without --force)
 //
@@ -33,6 +38,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +50,7 @@
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/mc/requirement.hpp"
+#include "si/mc/symbolic.hpp"
 #include "si/synth/synthesize.hpp"
 #include "si/util/parallel.hpp"
 #include "si/verify/fault.hpp"
@@ -78,11 +85,64 @@ double geomean(const std::vector<double>& xs) {
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
+// Runs `run` once under wall-clock tracing and prints the top-5 span
+// names by inclusive time (summed over instances) plus the sg.store.*
+// counters — the attribution data behind the gen_scaling cliff analysis.
+void profile_one(const std::string& label, const std::function<std::uint64_t()>& run) {
+    si::obs::set_mode(si::obs::Mode::Trace);
+    si::obs::reset();
+    const std::uint64_t states = run();
+    const std::string tree = si::obs::trace_tree();
+    const std::string metrics = si::obs::metrics_text(false);
+    si::obs::set_mode(si::obs::Mode::Off);
+
+    // trace_tree lines are "<indent><name> [attrs] (<N> us)".
+    std::map<std::string, std::pair<double, std::size_t>> by_name; // ms, count
+    std::size_t pos = 0;
+    while (pos < tree.size()) {
+        std::size_t eol = tree.find('\n', pos);
+        if (eol == std::string::npos) eol = tree.size();
+        std::string line = tree.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t first = line.find_first_not_of(' ');
+        if (first == std::string::npos) continue;
+        const std::size_t name_end = line.find(' ', first);
+        const std::size_t open = line.rfind(" (");
+        const std::size_t close = line.rfind(" us)");
+        if (name_end == std::string::npos || open == std::string::npos ||
+            close == std::string::npos || close < open)
+            continue;
+        const std::string name = line.substr(first, name_end - first);
+        const double ms = std::strtod(line.c_str() + open + 2, nullptr) / 1000.0;
+        auto& slot = by_name[name];
+        slot.first += ms;
+        slot.second += 1;
+    }
+    std::vector<std::pair<std::string, std::pair<double, std::size_t>>> top(by_name.begin(),
+                                                                            by_name.end());
+    std::sort(top.begin(), top.end(),
+              [](const auto& a, const auto& b) { return a.second.first > b.second.first; });
+    std::fprintf(stderr, "profile %-36s %llu states\n", label.c_str(),
+                 static_cast<unsigned long long>(states));
+    for (std::size_t i = 0; i < top.size() && i < 5; ++i)
+        std::fprintf(stderr, "    %-24s %10.3f ms  x%zu\n", top[i].first.c_str(),
+                     top[i].second.first, top[i].second.second);
+    for (std::size_t ls = 0; ls < metrics.size();) {
+        std::size_t eol = metrics.find('\n', ls);
+        if (eol == std::string::npos) eol = metrics.size();
+        const std::string line = metrics.substr(ls, eol - ls);
+        ls = eol + 1;
+        if (line.find("sg.store.") != std::string::npos)
+            std::fprintf(stderr, "    %s\n", line.c_str());
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     bool smoke = false;
     bool force = false;
+    bool profile = false;
     std::size_t reps = 3;
     std::string out_path = "BENCH_perf.json";
     std::string obs_out;
@@ -98,9 +158,11 @@ int main(int argc, char** argv) {
             obs_out = argv[++i];
         } else if (std::strcmp(argv[i], "--force") == 0) {
             force = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--out <path>] [--reps <n>]"
+                         "usage: %s [--smoke] [--out <path>] [--reps <n>] [--profile]"
                          " [--obs-out <path> [--force]]\n",
                          argv[0]);
             return 2;
@@ -165,6 +227,40 @@ int main(int argc, char** argv) {
                              return static_cast<std::uint64_t>(suite.si.states_explored);
                          }});
 
+    // The gen-scaling ladder sweeps three orders of magnitude; the
+    // ring4/pipe8 rungs extend it past the former 21,952-state ceiling.
+    const std::vector<std::string> ladder =
+        smoke ? std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3"}
+              : std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3",
+                                         "par:ring3,ring3,seq3", "par:ring3,ring3,ring3,seq2",
+                                         "par:ring4,ring4,pipe8", "par:ring4,ring4,ring4",
+                                         "par:ring4,ring4,ring4,pipe8"};
+
+    if (profile) {
+        // Attribution mode: no timing table, just per-workload span
+        // profiles (plus seed-vs-indexed contrast on the gen ladder,
+        // where the states/sec cliff lives).
+        si::obs::set_clock(si::obs::ClockMode::Wall);
+        si::util::set_num_threads(1);
+        si::util::set_fast_path(true);
+        for (const auto& w : workloads) profile_one(w.name + " [indexed]", w.run);
+        for (const auto& text : ladder) {
+            const auto recipe = si::gen::Recipe::parse(text);
+            if (!recipe) continue;
+            const si::stg::Stg net = si::gen::build(*recipe);
+            for (const bool fast : {false, true}) {
+                si::util::set_fast_path(fast);
+                profile_one("gen:" + text + (fast ? " [indexed]" : " [seed]"), [&] {
+                    return static_cast<std::uint64_t>(
+                        si::sg::build_state_graph(net, {1u << 18}).num_states());
+                });
+            }
+        }
+        si::util::set_fast_path(true);
+        si::obs::set_clock(si::obs::ClockMode::Deterministic);
+        return 0;
+    }
+
     const std::vector<Mode> modes = {{"seed", false, 1},
                                      {"indexed", true, 1},
                                      {"parallel-2", true, 2},
@@ -207,10 +303,6 @@ int main(int argc, char** argv) {
         std::uint64_t states = 0;
         double ms = 0;
     };
-    const std::vector<std::string> ladder =
-        smoke ? std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3"}
-              : std::vector<std::string>{"par:pipe2", "par:ring2,ring2", "par:ring3,ring3",
-                                         "par:ring3,ring3,seq3", "par:ring3,ring3,ring3,seq2"};
     si::util::set_num_threads(1);
     std::vector<GenRung> gen_rungs;
     for (const auto& text : ladder) {
@@ -231,6 +323,25 @@ int main(int argc, char** argv) {
                      rung.ms > 0 ? 1000.0 * double(rung.states) / rung.ms : 0.0);
     }
 
+    // Million-state workload row: the Def-18 verdict through the
+    // symbolic BDD engine on a net far past the explicit wall (the full
+    // recipe has 2.56 * 10^6 reachable states; the explicit engine
+    // exhausts its state budget there). One repetition — the run is tens
+    // of seconds and the BDD path has no warm-up variance worth chasing.
+    const std::string sym_recipe = smoke ? "par:ring4,ring4" : "par:ring5,ring5,ring5,ring5";
+    double sym_ms = 0;
+    si::mc::StgMcResult sym_res;
+    {
+        const auto recipe = si::gen::Recipe::parse(sym_recipe);
+        const si::stg::Stg net = si::gen::build(*recipe);
+        const auto t0 = Clock::now();
+        sym_res = si::mc::check_stg(net, si::mc::Engine::Symbolic);
+        const auto t1 = Clock::now();
+        sym_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::fprintf(stderr, "symbolic-mc  %-28s %10.3f ms  %s\n", sym_recipe.c_str(), sym_ms,
+                     sym_res.describe().c_str());
+    }
+
     // Untimed metrics pass: the same workloads once more with counters
     // on, so the recorded baseline states what the timings paid for.
     // A fixed slice of the differential fuzzing campaign runs here too:
@@ -246,6 +357,26 @@ int main(int argc, char** argv) {
         fuzz_opts.count = smoke ? 4 : 8;
         fuzz_opts.hostile_per_case = 1;
         (void)si::gen::run_campaign(fuzz_opts);
+    }
+    {
+        // One small symbolic MC run so the mc.symbolic.* counters join
+        // the obs_diff-guarded snapshot alongside sg.store.*.
+        const auto recipe = si::gen::Recipe::parse("par:ring3,ring3");
+        (void)si::mc::check_stg(si::gen::build(*recipe), si::mc::Engine::Symbolic);
+    }
+    {
+        // Timing-derived guard value: the indexed-mode geomean speedup
+        // vs seed, inverted (scaled to 1e5) so that a *drop* in the
+        // geomean shows up as counter growth — which is the direction
+        // obs_diff's threshold machinery tests. The perf-guard ctest
+        // pins this counter to 1.1 (a >10% regression fails).
+        std::vector<double> indexed_speedups;
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            if (results[1][w].ms > 0) indexed_speedups.push_back(results[0][w].ms / results[1][w].ms);
+        const double g = geomean(indexed_speedups);
+        if (g > 0)
+            si::obs::count("perf.geomean_inverse_scaled",
+                           static_cast<std::uint64_t>(std::llround(100000.0 / g)));
     }
     const std::string metrics_json = si::obs::metrics_json();
     std::string obs_err;
@@ -274,6 +405,11 @@ int main(int argc, char** argv) {
              << (g + 1 < gen_rungs.size() ? ",\n" : "\n");
     }
     json << "  ],\n";
+    json << "  \"symbolic_mc\": {\"recipe\": \"" << sym_recipe
+         << "\", \"reachable_states\": " << sym_res.reachable_states << ", \"ms\": " << sym_ms
+         << ", \"regions\": " << sym_res.regions << ", \"complete\": "
+         << (sym_res.complete() ? "true" : "false")
+         << ", \"satisfied\": " << (sym_res.satisfied ? "true" : "false") << "},\n";
     json << "  \"modes\": [\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         std::vector<double> speedups;

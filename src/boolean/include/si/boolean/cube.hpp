@@ -90,6 +90,12 @@ public:
 
     [[nodiscard]] std::size_t hash() const;
 
+    /// Constrained-position mask: bit set ⟺ the variable carries a
+    /// literal. Word layout matches BitVec::word_data().
+    [[nodiscard]] const BitVec& mask() const { return mask_; }
+    /// Literal polarity at constrained positions (0 at dashes).
+    [[nodiscard]] const BitVec& polarity() const { return value_; }
+
 private:
     // mask_ bit set   => variable constrained; value_ then gives polarity.
     // mask_ bit clear => dash (value_ bit kept 0 so equality works).

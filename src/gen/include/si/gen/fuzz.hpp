@@ -41,6 +41,11 @@ enum class Verdict : unsigned char {
 
 [[nodiscard]] const char* to_string(Verdict v);
 
+/// Which MC machinery judges the spec pre-insertion. Cross runs both and
+/// treats any difference in (satisfied, regions, missing) as a finding —
+/// the differential oracle for the symbolic BDD engine itself.
+enum class McEngineMode : unsigned char { Explicit, Symbolic, Cross };
+
 struct DiffOptions {
     /// Cap on spec state-graph markings (small by default: a campaign
     /// wants many cheap cases, the scaling bench wants few huge ones).
@@ -57,6 +62,8 @@ struct DiffOptions {
     std::uint64_t budget_conflicts = 1u << 14;
     std::uint64_t budget_attempts = 128;
     mc::McCubeSearch cube_search;
+    /// Engine for the pre-insertion MC verdict (fuzz_diff --engine).
+    McEngineMode mc_engine = McEngineMode::Explicit;
     /// Caps forwarded to the insertion repair loop. Each branch-and-bound
     /// round re-analyzes a candidate graph, which is the dominant cost on
     /// CSC-conflicted cases — keep the rounds low for campaign speed.

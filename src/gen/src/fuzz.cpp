@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "si/mc/symbolic.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/from_stg.hpp"
@@ -88,11 +89,43 @@ CaseOutcome diff_case(const stg::Stg& spec, const DiffOptions& opts) {
             return out;
         }
 
-        // 2. MC checker's verdict on the spec as given (pre-insertion).
-        sg::RegionAnalysis ra(graph);
-        auto mco = mc::check_requirement_outcome(ra, opts.cube_search, &budget);
-        if (!mco.is_complete()) return unknown_outcome(mco.why(), out.sg_states);
-        out.mc_missing = mco.value().violation_count();
+        // 2. MC checker's verdict on the spec as given (pre-insertion),
+        // through the engine(s) the campaign asked for.
+        std::size_t explicit_regions = 0;
+        bool explicit_satisfied = false;
+        if (opts.mc_engine != McEngineMode::Symbolic) {
+            sg::RegionAnalysis ra(graph);
+            auto mco = mc::check_requirement_outcome(ra, opts.cube_search, &budget);
+            if (!mco.is_complete()) return unknown_outcome(mco.why(), out.sg_states);
+            out.mc_missing = mco.value().violation_count();
+            explicit_regions = mco.value().regions.size();
+            explicit_satisfied = mco.value().satisfied();
+        }
+        if (opts.mc_engine != McEngineMode::Explicit) {
+            mc::StgMcOptions mopts;
+            mopts.cube_search = opts.cube_search;
+            mopts.max_sg_states = opts.max_sg_states;
+            const auto sy = mc::check_stg(spec, mc::Engine::Symbolic, mopts, &budget);
+            if (!sy.complete()) return unknown_outcome(*sy.exhaustion, out.sg_states);
+            if (opts.mc_engine == McEngineMode::Cross) {
+                // The BDD path must reproduce the explicit verdict
+                // triple exactly — a symbolic-engine differential oracle
+                // rides along with the Theorem-3 one.
+                if (sy.satisfied != explicit_satisfied || sy.regions != explicit_regions ||
+                    sy.missing != out.mc_missing) {
+                    out.verdict = Verdict::Disagree;
+                    out.detail = "symbolic MC engine disagrees with explicit: explicit " +
+                                 std::to_string(explicit_regions) + " regions / " +
+                                 std::to_string(out.mc_missing) + " missing, symbolic " +
+                                 std::to_string(sy.regions) + " regions / " +
+                                 std::to_string(sy.missing) + " missing";
+                    out.span_path = provenance("fuzz.case");
+                    return out;
+                }
+            } else {
+                out.mc_missing = sy.missing;
+            }
+        }
 
         // 3. Full synthesis (inserts state signals until MC holds).
         synth::SynthOptions sopts;

@@ -30,6 +30,10 @@ namespace si::mc {
 /// of a per-state minterm scan.
 [[nodiscard]] BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c);
 
+/// covered_states(ra, c) into a caller-provided buffer, reusing its
+/// capacity — the allocation-free form the candidate searches lean on.
+void covered_states_into(const sg::RegionAnalysis& ra, const Cube& c, BitVec& out);
+
 /// States (reachable) where the SOP `f` evaluates to 1 (union of the
 /// cube covers).
 [[nodiscard]] BitVec covered_states(const sg::RegionAnalysis& ra, const Cover& f);

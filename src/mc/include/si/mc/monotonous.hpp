@@ -43,6 +43,43 @@ struct McViolation {
 [[nodiscard]] std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra,
                                                               RegionId r, const Cube& c);
 
+/// Per-region facts reused across the many candidate cubes one search
+/// examines: the smallest cover cube (Def 15 test becomes a word-wise
+/// containment), the arcs interior to the CFR (so the monotonicity scan
+/// is proportional to the CFR instead of the whole graph), and the
+/// Def-16 forbidden zone. `cov`/`tmp` are scratch buffers the cached
+/// checks reuse across candidates; a cache is local to one search, so
+/// the mutation is single-threaded.
+struct McRegionCache {
+    Cube smallest;
+    std::vector<std::pair<StateId, StateId>> cfr_arcs; ///< arc-index order
+    BitVec forbidden; ///< states where the excitation function must be 0
+    mutable BitVec cov, tmp;
+    McRegionCache(const sg::RegionAnalysis& ra, RegionId r);
+};
+
+/// What a candidate-cube check tells the search: the search succeeds on
+/// Cover, keeps exploring subsets on NonMonotonicOnly, and prunes on
+/// Fail (conditions 1/3 only worsen for subsets).
+enum class McVerdict { Cover, NonMonotonicOnly, Fail };
+
+/// Verdict of check_monotonous_cover without materializing witness
+/// states — the allocation-free predicate the cube searches branch on.
+[[nodiscard]] McVerdict quick_monotonous_cover(const sg::RegionAnalysis& ra, RegionId r,
+                                               const Cube& c, const McRegionCache& cache);
+
+/// Verdict of check_generalized_mc without witnesses; caches[i] must
+/// belong to regions[i].
+[[nodiscard]] McVerdict quick_generalized_mc(const sg::RegionAnalysis& ra,
+                                             std::span<const RegionId> regions, const Cube& c,
+                                             std::span<const McRegionCache> caches);
+
+/// check_monotonous_cover with the per-region facts precomputed; the
+/// violation list is identical to the uncached overload.
+[[nodiscard]] std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra,
+                                                              RegionId r, const Cube& c,
+                                                              const McRegionCache& cache);
+
 /// Checks whether a *sum of single literals* implements ER(*a_i)
 /// directly at the OR gate (Section IV: the implementation form for
 /// detonant regions of semi-modular but non-distributive graphs, where
@@ -66,5 +103,13 @@ struct McViolation {
 [[nodiscard]] std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
                                                             std::span<const RegionId> regions,
                                                             const Cube& c);
+
+/// check_generalized_mc with per-region facts precomputed; caches[i]
+/// must belong to regions[i]. Violation list identical to the uncached
+/// overload.
+[[nodiscard]] std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
+                                                            std::span<const RegionId> regions,
+                                                            const Cube& c,
+                                                            std::span<const McRegionCache> caches);
 
 } // namespace si::mc

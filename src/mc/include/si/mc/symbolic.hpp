@@ -1,0 +1,72 @@
+// The Monotonous Cover requirement checked directly on an STG, with a
+// symbolic (BDD) engine that never materializes the state graph.
+//
+// The explicit checker (requirement.hpp) needs the unfolded StateGraph;
+// for wide parallel compositions the graph is the product of the
+// components and explodes long before the net itself gets large. Here
+// the reachable state space lives as a BDD over one variable per place
+// and per signal (the csc_impl encoding), excitation regions are flooded
+// as symbolic connected components, QR/CFR/Def-16 zones are image
+// fixpoints, and the Def 17/19 cube searches run with verdict-only BDD
+// membership tests — the same control flow as the explicit search, so
+// the Def-18 verdict agrees with the explicit pipeline wherever both can
+// run, and still completes on 10^6+-state nets.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "si/mc/requirement.hpp"
+#include "si/stg/stg.hpp"
+#include "si/util/budget.hpp"
+
+namespace si::mc {
+
+/// Which machinery evaluates the Def-18 requirement.
+enum class Engine : unsigned char {
+    Explicit, ///< token-game unfolding + RegionAnalysis + check_requirement
+    Symbolic, ///< BDD state space; regions and cube checks fully symbolic
+    Auto,     ///< Explicit below the estimated-state threshold, else Symbolic
+};
+
+[[nodiscard]] const char* to_string(Engine e);
+
+struct StgMcOptions {
+    McCubeSearch cube_search;
+    /// Cap on explicit unfolding states (Engine::Explicit / the explicit
+    /// side of Auto). The explicit engine reports exhaustion beyond it.
+    std::size_t max_sg_states = 1u << 20;
+    /// Auto picks Symbolic when the symbolically counted reachable
+    /// markings exceed this threshold (the estimate costs one cheap
+    /// place-space reachability, which the symbolic engine needs anyway).
+    double auto_threshold = 1u << 15;
+};
+
+/// Engine-independent Def-18 verdict for one STG.
+struct StgMcResult {
+    Engine used = Engine::Explicit; ///< engine that produced the verdict
+    bool satisfied = false;         ///< every region has a cube / group cube / sum
+    std::size_t regions = 0;        ///< ERs of non-input signals examined
+    std::size_t missing = 0;        ///< regions left without any MC implementation
+    /// Reachable states the engine saw: exact BDD count (symbolic) or
+    /// unfolded graph size (explicit).
+    double reachable_states = 0;
+    /// Set when a budget tripped; satisfied/missing are then unknown.
+    std::optional<util::Exhaustion> exhaustion;
+
+    [[nodiscard]] bool complete() const { return !exhaustion.has_value(); }
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Checks the MC requirement (Def 18, with the Def-19 group fallback and
+/// the Section-IV elementary-sum fallback) on `net` using the chosen
+/// engine. Symbolic work charges Resource::Steps under stage "mc.check"
+/// (identical accounting to the explicit checker, so Budget::shard
+/// fairness holds across engines) and BDD allocations under
+/// Resource::BddNodes. Never throws on exhaustion — the result carries
+/// the Exhaustion instead.
+[[nodiscard]] StgMcResult check_stg(const stg::Stg& net, Engine engine,
+                                    const StgMcOptions& opts = {},
+                                    util::Budget* budget = nullptr);
+
+} // namespace si::mc

@@ -31,18 +31,22 @@ bool is_cover_cube(const sg::RegionAnalysis& ra, RegionId r, const Cube& c) {
     return true;
 }
 
+void covered_states_into(const sg::RegionAnalysis& ra, const Cube& c, BitVec& out) {
+    const auto& sg = ra.graph();
+    out = ra.reachable();
+    c.mask().for_each_set([&](std::size_t vi) {
+        if (c.polarity().test(vi))
+            out &= sg.value_set(SignalId(vi));
+        else
+            out.and_not(sg.value_set(SignalId(vi)));
+    });
+}
+
 BitVec covered_states(const sg::RegionAnalysis& ra, const Cube& c) {
     const auto& sg = ra.graph();
     if (util::fast_path()) {
-        BitVec out = ra.reachable();
-        for (std::size_t vi = 0; vi < c.num_vars(); ++vi) {
-            const Lit l = c.lit(SignalId(vi));
-            if (l == Lit::Dash) continue;
-            if (l == Lit::One)
-                out &= sg.value_set(SignalId(vi));
-            else
-                out.and_not(sg.value_set(SignalId(vi)));
-        }
+        BitVec out;
+        covered_states_into(ra, c, out);
         return out;
     }
     BitVec out(sg.num_states());

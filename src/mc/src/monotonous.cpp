@@ -106,6 +106,115 @@ std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra, Re
     return out;
 }
 
+namespace {
+
+// Word-level c ⊇ o: c's literals are a subset of o's with matching
+// polarity. Equivalent to Cube::covers without the temporary BitVec.
+bool cube_covers(const Cube& c, const Cube& o) {
+    const std::size_t nw = c.mask().num_words();
+    const std::uint64_t* cm = c.mask().word_data();
+    const std::uint64_t* cv = c.polarity().word_data();
+    const std::uint64_t* om = o.mask().word_data();
+    const std::uint64_t* ov = o.polarity().word_data();
+    for (std::size_t w = 0; w < nw; ++w) {
+        if (cm[w] & ~om[w]) return false;
+        if ((cv[w] ^ ov[w]) & cm[w]) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+McRegionCache::McRegionCache(const sg::RegionAnalysis& ra, RegionId r)
+    : smallest(smallest_cover_cube(ra, r)) {
+    const auto& sg = ra.graph();
+    const auto& region = ra.region(r);
+    const BitVec& cfr = region.cfr;
+    for (std::uint32_t ai = 0; ai < sg.num_arcs(); ++ai) {
+        const auto& a = sg.arc(ai);
+        if (cfr.test(a.from.index()) && cfr.test(a.to.index()))
+            cfr_arcs.emplace_back(a.from, a.to);
+    }
+    forbidden = region.rising ? (ra.set_excited1(region.signal) | ra.set_stable0(region.signal))
+                              : (ra.set_excited0(region.signal) | ra.set_stable1(region.signal));
+}
+
+McVerdict quick_monotonous_cover(const sg::RegionAnalysis& ra, RegionId r, const Cube& c,
+                                 const McRegionCache& cache) {
+    if (!cube_covers(c, cache.smallest)) return McVerdict::Fail; // Def 15
+    covered_states_into(ra, c, cache.cov);
+    const auto& region = ra.region(r);
+    if (!region.states.is_subset_of(cache.cov)) return McVerdict::Fail; // condition 1
+    if (!cache.cov.is_subset_of(region.cfr)) return McVerdict::Fail;    // condition 3
+    for (const auto& [from, to] : cache.cfr_arcs)
+        if (!cache.cov.test(from.index()) && cache.cov.test(to.index()))
+            return McVerdict::NonMonotonicOnly; // condition 2
+    return McVerdict::Cover;
+}
+
+McVerdict quick_generalized_mc(const sg::RegionAnalysis& ra, std::span<const RegionId> regions,
+                               const Cube& c, std::span<const McRegionCache> caches) {
+    covered_states_into(ra, c, caches[0].cov);
+    const BitVec& cov = caches[0].cov;
+    bool mono = false;
+    for (std::size_t gi = 0; gi < regions.size(); ++gi) {
+        const auto& region = ra.region(regions[gi]);
+        const McRegionCache& cache = caches[gi];
+        if (!cube_covers(c, cache.smallest)) return McVerdict::Fail;        // Def 15
+        if (!region.states.is_subset_of(cov)) return McVerdict::Fail;       // condition 1
+        if (cov.intersects(cache.forbidden)) return McVerdict::Fail;        // Def 16
+        if (!mono) {
+            for (const auto& [from, to] : cache.cfr_arcs) {
+                if (!cov.test(from.index()) && cov.test(to.index())) {
+                    mono = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Condition 3 against the union of the CFRs.
+    BitVec& all_cfr = caches[0].tmp;
+    all_cfr = ra.region(regions[0]).cfr;
+    for (std::size_t gi = 1; gi < regions.size(); ++gi) all_cfr |= ra.region(regions[gi]).cfr;
+    if (!cov.is_subset_of(all_cfr)) return McVerdict::Fail;
+    return mono ? McVerdict::NonMonotonicOnly : McVerdict::Cover;
+}
+
+std::vector<McViolation> check_monotonous_cover(const sg::RegionAnalysis& ra, RegionId r,
+                                                const Cube& c, const McRegionCache& cache) {
+    const auto& region = ra.region(r);
+    std::vector<McViolation> out;
+
+    // Def 15: c's literals ⊆ smallest cube's literals ⟺ c ⊇ smallest.
+    if (!c.covers(cache.smallest)) {
+        out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
+        return out;
+    }
+
+    const BitVec cov = covered_states(ra, c);
+
+    if (auto missed = missed_er_states(region, cov); !missed.empty())
+        out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+
+    // Condition 2 over the precomputed in-CFR arcs (same arc order as
+    // the full scan, so the witness pair is identical).
+    for (const auto& [from, to] : cache.cfr_arcs) {
+        if (!cov.test(from.index()) && cov.test(to.index())) {
+            out.push_back(McViolation{McFailure::NonMonotonic, r, {from, to}});
+            break;
+        }
+    }
+
+    BitVec outside = cov;
+    outside.and_not(region.cfr);
+    if (outside.any()) {
+        std::vector<StateId> bad;
+        outside.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
+        out.push_back(McViolation{McFailure::CoversOutsideCfr, r, std::move(bad)});
+    }
+    return out;
+}
+
 std::vector<McViolation> check_elementary_sum(const sg::RegionAnalysis& ra, RegionId r,
                                               const Cover& sum) {
     const auto& sg = ra.graph();
@@ -195,6 +304,56 @@ std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
     }
 
     // Condition 3 against the union of the CFRs.
+    BitVec outside = cov;
+    outside.and_not(all_cfr);
+    if (outside.any()) {
+        std::vector<StateId> bad;
+        outside.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
+        out.push_back(McViolation{McFailure::CoversOutsideCfr,
+                                  regions.empty() ? RegionId::invalid() : regions[0],
+                                  std::move(bad)});
+    }
+    return out;
+}
+
+std::vector<McViolation> check_generalized_mc(const sg::RegionAnalysis& ra,
+                                              std::span<const RegionId> regions, const Cube& c,
+                                              std::span<const McRegionCache> caches) {
+    const auto& sg = ra.graph();
+    std::vector<McViolation> out;
+    BitVec all_cfr(sg.num_states());
+
+    const BitVec cov = covered_states(ra, c);
+
+    for (std::size_t gi = 0; gi < regions.size(); ++gi) {
+        const RegionId r = regions[gi];
+        const auto& region = ra.region(r);
+        const McRegionCache& cache = caches[gi];
+        all_cfr |= region.cfr;
+
+        if (!c.covers(cache.smallest)) {
+            out.push_back(McViolation{McFailure::NotACoverCube, r, {}});
+            continue;
+        }
+        if (auto missed = missed_er_states(region, cov); !missed.empty())
+            out.push_back(McViolation{McFailure::UncoveredEr, r, std::move(missed)});
+        for (const auto& [from, to] : cache.cfr_arcs) {
+            if (!cov.test(from.index()) && cov.test(to.index())) {
+                out.push_back(McViolation{McFailure::NonMonotonic, r, {from, to}});
+                break;
+            }
+        }
+        const BitVec forbidden =
+            region.rising ? (ra.set_excited1(region.signal) | ra.set_stable0(region.signal))
+                          : (ra.set_excited0(region.signal) | ra.set_stable1(region.signal));
+        const BitVec bad_bv = cov & forbidden;
+        if (bad_bv.any()) {
+            std::vector<StateId> bad;
+            bad_bv.for_each_set([&](std::size_t si) { bad.emplace_back(si); });
+            out.push_back(McViolation{McFailure::IncorrectCover, r, std::move(bad)});
+        }
+    }
+
     BitVec outside = cov;
     outside.and_not(all_cfr);
     if (outside.any()) {

@@ -19,30 +19,37 @@ bool violations_mono_only(const std::vector<McViolation>& vs) {
 }
 
 // Generic literal-subset search shared by the per-region and group
-// searches: `check` returns the violation list for a candidate cube.
+// searches. `check` returns the violation list for a candidate cube;
+// `quick` returns the same candidate's verdict without materializing
+// witness states, and carries the hot path when no trail is recorded.
 // A non-null `trail` records every examined candidate (including the
 // greedy-reduce probes) with its rejecting violations, for explain
 // reports.
-template <class CheckFn>
-std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max_candidates,
+template <class CheckFn, class QuickFn>
+std::optional<Cube> search_cube(Cube full, const CheckFn& check, const QuickFn& quick,
+                                std::size_t max_candidates,
                                 std::vector<McCandidate>* trail = nullptr) {
-    auto checked = [&](const Cube& c) {
+    auto verdict = [&](const Cube& c) {
+        if (trail == nullptr) return quick(c);
         auto vio = check(c);
-        if (trail != nullptr) trail->push_back(McCandidate{c, vio});
-        return vio;
+        const auto v = vio.empty() ? McVerdict::Cover
+                                   : (violations_mono_only(vio) ? McVerdict::NonMonotonicOnly
+                                                                : McVerdict::Fail);
+        trail->push_back(McCandidate{c, std::move(vio)});
+        return v;
     };
     auto reduce = [&](Cube c) {
         for (std::size_t v = 0; v < c.num_vars(); ++v) {
             if (c.lit(SignalId(v)) == Lit::Dash) continue;
             Cube smaller = c.without(SignalId(v));
-            if (checked(smaller).empty()) c = std::move(smaller);
+            if (verdict(smaller) == McVerdict::Cover) c = std::move(smaller);
         }
         return c;
     };
 
-    const auto first = checked(full);
-    if (first.empty()) return reduce(std::move(full));
-    if (!violations_mono_only(first)) return std::nullopt;
+    const auto first = verdict(full);
+    if (first == McVerdict::Cover) return reduce(std::move(full));
+    if (first != McVerdict::NonMonotonicOnly) return std::nullopt;
 
     std::deque<Cube> queue{full};
     std::unordered_set<Cube> seen{full};
@@ -56,14 +63,27 @@ std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max
             if (cur.lit(SignalId(v)) == Lit::Dash) continue;
             Cube cand = cur.without(SignalId(v));
             if (!seen.insert(cand).second) continue;
-            const auto vio = checked(cand);
-            if (vio.empty()) return reduce(std::move(cand));
+            const auto vio = verdict(cand);
+            if (vio == McVerdict::Cover) return reduce(std::move(cand));
             // Below a condition-1/3 failure, subsets only cover more:
             // keep exploring only pure-monotonicity failures.
-            if (violations_mono_only(vio)) queue.push_back(std::move(cand));
+            if (vio == McVerdict::NonMonotonicOnly) queue.push_back(std::move(cand));
         }
     }
     return std::nullopt;
+}
+
+// Convenience overload deriving the verdict from the full check — the
+// seed path and any caller without cached per-region facts.
+template <class CheckFn>
+std::optional<Cube> search_cube(Cube full, const CheckFn& check, std::size_t max_candidates,
+                                std::vector<McCandidate>* trail = nullptr) {
+    auto quick = [&](const Cube& c) {
+        const auto vio = check(c);
+        if (vio.empty()) return McVerdict::Cover;
+        return violations_mono_only(vio) ? McVerdict::NonMonotonicOnly : McVerdict::Fail;
+    };
+    return search_cube(std::move(full), check, quick, max_candidates, trail);
 }
 
 } // namespace
@@ -74,9 +94,21 @@ RegionMc find_mc_cube(const sg::RegionAnalysis& ra, RegionId r, const McCubeSear
     RegionMc out;
     out.region = r;
     const Cube full = smallest_cover_cube(ra, r);
-    auto cube = search_cube(
-        full, [&](const Cube& c) { return check_monotonous_cover(ra, r, c); },
-        opts.max_candidates, opts.record_trail ? &out.trail : nullptr);
+    std::optional<Cube> cube;
+    if (util::fast_path()) {
+        // One region's search examines hundreds of candidate cubes; the
+        // cache amortizes the smallest-cube and in-CFR-arc computations
+        // across all of them.
+        const McRegionCache cache(ra, r);
+        cube = search_cube(
+            full, [&](const Cube& c) { return check_monotonous_cover(ra, r, c, cache); },
+            [&](const Cube& c) { return quick_monotonous_cover(ra, r, c, cache); },
+            opts.max_candidates, opts.record_trail ? &out.trail : nullptr);
+    } else {
+        cube = search_cube(
+            full, [&](const Cube& c) { return check_monotonous_cover(ra, r, c); },
+            opts.max_candidates, opts.record_trail ? &out.trail : nullptr);
+    }
     if (cube) {
         out.cube = std::move(cube);
         if (obs::enabled()) {
@@ -100,6 +132,22 @@ std::optional<Cube> find_group_mc_cube(const sg::RegionAnalysis& ra,
     for (std::size_t i = 1; i < group.size(); ++i)
         full = full.supercube(smallest_cover_cube(ra, group[i]));
     if (full.is_universal()) return std::nullopt;
+    if (util::fast_path()) {
+        std::vector<McRegionCache> caches;
+        caches.reserve(group.size());
+        for (const auto r : group) caches.emplace_back(ra, r);
+        return search_cube(
+            full,
+            [&](const Cube& c) {
+                return check_generalized_mc(ra, group, c,
+                                            std::span<const McRegionCache>(caches));
+            },
+            [&](const Cube& c) {
+                return quick_generalized_mc(ra, group, c,
+                                            std::span<const McRegionCache>(caches));
+            },
+            opts.max_candidates);
+    }
     return search_cube(
         full, [&](const Cube& c) { return check_generalized_mc(ra, group, c); },
         opts.max_candidates);

@@ -1,0 +1,600 @@
+#include "si/mc/symbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "si/bdd/bdd.hpp"
+#include "si/bdd/symbolic.hpp"
+#include "si/obs/obs.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/regions.hpp"
+#include "si/util/error.hpp"
+
+namespace si::mc {
+
+const char* to_string(Engine e) {
+    switch (e) {
+    case Engine::Explicit: return "explicit";
+    case Engine::Symbolic: return "symbolic";
+    case Engine::Auto: return "auto";
+    }
+    return "?";
+}
+
+std::string StgMcResult::describe() const {
+    std::string s = std::string("mc[") + to_string(used) + "]: ";
+    if (!complete()) return s + exhaustion->describe();
+    s += satisfied ? "satisfied" : "NOT satisfied";
+    s += ", " + std::to_string(regions) + " regions (" + std::to_string(missing) + " missing)";
+    s += " over " + std::to_string(static_cast<std::uint64_t>(reachable_states)) + " states";
+    return s;
+}
+
+namespace {
+
+using bdd::Manager;
+using bdd::Ref;
+
+// The symbolic state space of one STG: variables are the places and the
+// signal values, current/next interleaved, ordered by the same
+// signal-clustering heuristic as the symbolic CSC check (a signal's
+// value variable sits next to the places its transitions touch).
+struct SymSpace {
+    const stg::Stg& net;
+    std::size_t P, S, N;
+    Manager mgr;
+    std::vector<std::size_t> pos;       ///< variable -> order slot
+    std::vector<Ref> place_rels;        ///< token game only, per transition
+    std::vector<Ref> relations;         ///< per transition, over (cur, next)
+    /// Monolithic disjunctions: one AND+exists per image instead of one
+    /// per transition — the difference between minutes and seconds on
+    /// 10^6-state products.
+    Ref mono_rel = Manager::kFalse;               ///< OR of all relations
+    Ref und_rel = Manager::kFalse;                ///< mono_rel ∨ its transpose
+    std::vector<Ref> fire_up_rel, fire_down_rel;  ///< OR per (signal, polarity)
+    Ref reached = Manager::kFalse;
+    BitVec cur_mask, nxt_mask;
+    std::vector<std::size_t> next_to_cur, cur_to_next;
+    std::vector<Ref> excited_up, excited_down, excited_any; ///< per signal, ∧ reached
+    std::vector<Ref> stable0, stable1;                      ///< per signal, ∧ reached
+    double state_count = 0;
+
+    explicit SymSpace(const stg::Stg& n)
+        : net(n), P(n.num_places()), S(n.signals().size()), N(P + S), mgr(2 * (P + S)) {}
+
+    [[nodiscard]] std::size_t curv(std::size_t i) const { return 2 * pos[i]; }
+    [[nodiscard]] std::size_t nxtv(std::size_t i) const { return 2 * pos[i] + 1; }
+    [[nodiscard]] std::size_t sigvar(std::size_t s) const { return P + s; }
+
+    void build();
+    [[nodiscard]] BitVec infer_initial_code();
+    [[nodiscard]] Ref fwd(Ref f, Ref rel);
+    /// Undirected flood of `seed` inside `members` (symbolic connected
+    /// component union — the ER/QR component discipline of regions.cpp).
+    [[nodiscard]] Ref flood(Ref seed, Ref members);
+    /// Minterm over current variables of one satisfying assignment of f.
+    [[nodiscard]] Ref any_state(Ref f);
+    [[nodiscard]] Ref cov_of(const Cube& c);
+};
+
+void SymSpace::build() {
+    // Static clustering order (see csc_impl): narrow signals claim their
+    // adjacent places first, hub signals last.
+    pos.assign(N, SIZE_MAX);
+    {
+        std::vector<std::vector<std::size_t>> adjacent(S);
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const auto& t = net.transition(TransitionId(ti));
+            auto& adj = adjacent[t.edge.signal.index()];
+            for (const PlaceId p : t.preset) adj.push_back(p.index());
+            for (const PlaceId p : t.postset) adj.push_back(p.index());
+        }
+        std::vector<std::size_t> order(S);
+        for (std::size_t i = 0; i < S; ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return adjacent[a].size() != adjacent[b].size()
+                       ? adjacent[a].size() < adjacent[b].size()
+                       : a < b;
+        });
+        std::size_t next_slot = 0;
+        for (const std::size_t sigi : order) {
+            for (const std::size_t p : adjacent[sigi])
+                if (pos[p] == SIZE_MAX) pos[p] = next_slot++;
+            pos[P + sigi] = next_slot++;
+        }
+        for (std::size_t i = 0; i < N; ++i)
+            if (pos[i] == SIZE_MAX) pos[i] = next_slot++;
+    }
+
+    cur_mask = BitVec(2 * N);
+    nxt_mask = BitVec(2 * N);
+    for (std::size_t i = 0; i < N; ++i) {
+        cur_mask.set(curv(i));
+        nxt_mask.set(nxtv(i));
+    }
+    next_to_cur.assign(2 * N, 0);
+    cur_to_next.assign(2 * N, 0);
+    for (std::size_t i = 0; i < N; ++i) {
+        next_to_cur[curv(i)] = curv(i);
+        next_to_cur[nxtv(i)] = curv(i);
+        cur_to_next[curv(i)] = nxtv(i);
+        cur_to_next[nxtv(i)] = nxtv(i);
+    }
+
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        BitVec in_pre(P), in_post(P);
+        for (const PlaceId p : t.preset) in_pre.set(p.index());
+        for (const PlaceId p : t.postset) in_post.set(p.index());
+        const std::size_t sig = sigvar(t.edge.signal.index());
+
+        // The token game alone (the explicit explore() fires on markings
+        // only; codes come later) — also what the initial-code inference
+        // below walks.
+        Ref prel = Manager::kTrue;
+        in_pre.for_each_set([&](std::size_t p) { prel = mgr.apply_and(prel, mgr.var(curv(p))); });
+        for (std::size_t p = 0; p < P; ++p) {
+            Ref next_val;
+            if (in_post.test(p)) next_val = mgr.var(nxtv(p));
+            else if (in_pre.test(p)) next_val = mgr.nvar(nxtv(p));
+            else next_val = mgr.apply_xor(mgr.var(curv(p)), mgr.nvar(nxtv(p)));
+            prel = mgr.apply_and(prel, next_val);
+        }
+        place_rels.push_back(prel);
+
+        // Full relation: consistency (the signal holds its
+        // pre-transition value) plus the signal next-values.
+        Ref rel = mgr.apply_and(prel, t.edge.rising ? mgr.nvar(curv(sig)) : mgr.var(curv(sig)));
+        // Its transpose, built structurally (a cur/next variable swap is
+        // not a monotone rename, so it cannot come from rename()): holds
+        // for (x, x') exactly when x' fires t into x.
+        Ref rev = Manager::kTrue;
+        in_pre.for_each_set([&](std::size_t p) { rev = mgr.apply_and(rev, mgr.var(nxtv(p))); });
+        rev = mgr.apply_and(rev, t.edge.rising ? mgr.nvar(nxtv(sig)) : mgr.var(nxtv(sig)));
+        for (std::size_t p = 0; p < P; ++p) {
+            Ref cur_val;
+            if (in_post.test(p)) cur_val = mgr.var(curv(p));
+            else if (in_pre.test(p)) cur_val = mgr.nvar(curv(p));
+            else cur_val = mgr.apply_xor(mgr.var(curv(p)), mgr.nvar(nxtv(p)));
+            rev = mgr.apply_and(rev, cur_val);
+        }
+        for (std::size_t i = P; i < N; ++i) {
+            Ref next_val;
+            if (i == sig) next_val = t.edge.rising ? mgr.var(nxtv(i)) : mgr.nvar(nxtv(i));
+            else next_val = mgr.apply_xor(mgr.var(curv(i)), mgr.nvar(nxtv(i)));
+            rel = mgr.apply_and(rel, next_val);
+            Ref cur_val;
+            if (i == sig) cur_val = t.edge.rising ? mgr.var(curv(i)) : mgr.nvar(curv(i));
+            else cur_val = mgr.apply_xor(mgr.var(curv(i)), mgr.nvar(nxtv(i)));
+            rev = mgr.apply_and(rev, cur_val);
+        }
+        relations.push_back(rel);
+        und_rel = mgr.apply_or(und_rel, rev);
+    }
+    fire_up_rel.assign(S, Manager::kFalse);
+    fire_down_rel.assign(S, Manager::kFalse);
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        auto& slot = (t.edge.rising ? fire_up_rel : fire_down_rel)[t.edge.signal.index()];
+        slot = mgr.apply_or(slot, relations[ti]);
+    }
+    for (std::size_t s = 0; s < S; ++s)
+        mono_rel = mgr.apply_or(mono_rel, mgr.apply_or(fire_up_rel[s], fire_down_rel[s]));
+    und_rel = mgr.apply_or(und_rel, mono_rel);
+
+    reached = Manager::kTrue;
+    for (std::size_t p = 0; p < P; ++p) {
+        if (net.initial_marking()[p] > 1)
+            throw SpecError("symbolic MC requires a safe initial marking");
+        reached = mgr.apply_and(reached, net.initial_marking()[p] != 0 ? mgr.var(curv(p))
+                                                                       : mgr.nvar(curv(p)));
+    }
+    const BitVec init_code = infer_initial_code();
+    for (std::size_t i = 0; i < S; ++i)
+        reached = mgr.apply_and(
+            reached, init_code.test(i) ? mgr.var(curv(P + i)) : mgr.nvar(curv(P + i)));
+
+    Ref frontier = reached;
+    while (frontier != Manager::kFalse) {
+        const Ref fresh = mgr.apply_and(fwd(frontier, mono_rel), mgr.apply_not(reached));
+        reached = mgr.apply_or(reached, fresh);
+        frontier = fresh;
+    }
+    state_count = mgr.sat_count(reached) / std::pow(2.0, static_cast<double>(N));
+
+    // Per-signal excitation and stability zones (the 0*/1*/0/1-sets).
+    excited_up.assign(S, Manager::kFalse);
+    excited_down.assign(S, Manager::kFalse);
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        const auto& t = net.transition(TransitionId(ti));
+        Ref en = Manager::kTrue;
+        for (const PlaceId p : t.preset) en = mgr.apply_and(en, mgr.var(curv(p.index())));
+        // An enabled transition is an arc only on the consistent side of
+        // the signal — exactly the states where the explicit graph has
+        // the edge.
+        const std::size_t sig = sigvar(t.edge.signal.index());
+        en = mgr.apply_and(en, t.edge.rising ? mgr.nvar(curv(sig)) : mgr.var(curv(sig)));
+        auto& slot = t.edge.rising ? excited_up[t.edge.signal.index()]
+                                   : excited_down[t.edge.signal.index()];
+        slot = mgr.apply_or(slot, en);
+    }
+    excited_any.assign(S, Manager::kFalse);
+    stable0.assign(S, Manager::kFalse);
+    stable1.assign(S, Manager::kFalse);
+    for (std::size_t s = 0; s < S; ++s) {
+        excited_up[s] = mgr.apply_and(excited_up[s], reached);
+        excited_down[s] = mgr.apply_and(excited_down[s], reached);
+        excited_any[s] = mgr.apply_or(excited_up[s], excited_down[s]);
+        const Ref stable = mgr.apply_and(reached, mgr.apply_not(excited_any[s]));
+        const Ref val = mgr.var(curv(sigvar(s)));
+        stable1[s] = mgr.apply_and(stable, val);
+        stable0[s] = mgr.apply_and(stable, mgr.apply_not(val));
+    }
+}
+
+// The explicit builder pins each signal's initial value from the
+// polarity of its first edge (and rejects nets where both polarities can
+// come first). Symbolically: freeze signal s and take the place-space
+// fixpoint — the edges of s enabled somewhere in that set are exactly
+// the ones that can fire first, so their polarity gives the initial
+// value. Runs on the token game only (place_rels); precondition: the
+// member `reached` still holds just the initial-marking function.
+BitVec SymSpace::infer_initial_code() {
+    // One token-game relation per signal, then prefix/suffix ORs so the
+    // everyone-but-s disjunction costs two ORs per signal, not S of them.
+    std::vector<Ref> by_sig(S, Manager::kFalse);
+    for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+        auto& slot = by_sig[net.transition(TransitionId(ti)).edge.signal.index()];
+        slot = mgr.apply_or(slot, place_rels[ti]);
+    }
+    std::vector<Ref> prefix(S + 1, Manager::kFalse), suffix(S + 1, Manager::kFalse);
+    for (std::size_t s = 0; s < S; ++s) prefix[s + 1] = mgr.apply_or(prefix[s], by_sig[s]);
+    for (std::size_t s = S; s-- > 0;) suffix[s] = mgr.apply_or(suffix[s + 1], by_sig[s]);
+
+    BitVec init(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        const Ref others = mgr.apply_or(prefix[s], suffix[s + 1]);
+        Ref frozen = reached;
+        Ref frontier = frozen;
+        while (frontier != Manager::kFalse) {
+            const Ref fresh = mgr.apply_and(fwd(frontier, others), mgr.apply_not(frozen));
+            frozen = mgr.apply_or(frozen, fresh);
+            frontier = fresh;
+        }
+        bool rising_first = false, falling_first = false;
+        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
+            const auto& t = net.transition(TransitionId(ti));
+            if (t.edge.signal.index() != s) continue;
+            Ref en = frozen;
+            for (const PlaceId p : t.preset) en = mgr.apply_and(en, mgr.var(curv(p.index())));
+            if (en == Manager::kFalse) continue;
+            (t.edge.rising ? rising_first : falling_first) = true;
+        }
+        if (rising_first && falling_first)
+            throw SpecError("signal '" + net.signals()[SignalId(s)].name +
+                            "' can both rise and fall first: no consistent initial value");
+        if (falling_first) init.set(s);
+    }
+    return init;
+}
+
+Ref SymSpace::fwd(Ref f, Ref rel) {
+    return mgr.rename(mgr.exists(mgr.apply_and(f, rel), cur_mask), next_to_cur);
+}
+
+Ref SymSpace::flood(Ref seed, Ref members) {
+    // Arcs with both endpoints inside `members` are the only ones an
+    // interior flood can take; restricting the (already undirected)
+    // relation up front keeps every image proportional to the component,
+    // not the whole space, and needs one image per BFS level.
+    const Ref rel = mgr.apply_and(mgr.apply_and(und_rel, members),
+                                  mgr.rename(members, cur_to_next));
+    Ref comp = mgr.apply_and(seed, members);
+    Ref frontier = comp;
+    while (frontier != Manager::kFalse) {
+        const Ref fresh = mgr.apply_and(fwd(frontier, rel), mgr.apply_not(comp));
+        comp = mgr.apply_or(comp, fresh);
+        frontier = fresh;
+    }
+    return comp;
+}
+
+Ref SymSpace::any_state(Ref f) {
+    const BitVec a = mgr.any_sat(f);
+    Ref m = Manager::kTrue;
+    for (std::size_t i = 0; i < N; ++i)
+        m = mgr.apply_and(m, a.test(curv(i)) ? mgr.var(curv(i)) : mgr.nvar(curv(i)));
+    return m;
+}
+
+Ref SymSpace::cov_of(const Cube& c) {
+    Ref f = reached;
+    c.mask().for_each_set([&](std::size_t vi) {
+        const Ref v = mgr.var(curv(sigvar(vi)));
+        f = mgr.apply_and(f, c.polarity().test(vi) ? v : mgr.apply_not(v));
+    });
+    return f;
+}
+
+// One symbolic excitation region with its derived zones — the BDD
+// counterpart of sg::Region + McRegionCache.
+struct SymRegion {
+    SignalId signal;
+    bool rising = true;
+    Ref er = Manager::kFalse;
+    Ref cfr = Manager::kFalse;
+    Ref forbidden = Manager::kFalse; ///< Def-16 zone of the signal/polarity
+    Ref rise_rel = Manager::kFalse;  ///< arcs interior to the CFR, over (cur, next)
+    Cube smallest;                   ///< Lemma-3 smallest cover cube
+    bool ok = false;
+};
+
+// Mirrors the explicit search_cube verdict contract on symbolic sets.
+enum class Verdict { Cover, NonMonotonicOnly, Fail };
+
+Verdict verdict_single(SymSpace& sp, const SymRegion& r, const Cube& c) {
+    Manager& mgr = sp.mgr;
+    const Ref cov = sp.cov_of(c);
+    if (mgr.apply_and(r.er, mgr.apply_not(cov)) != Manager::kFalse)
+        return Verdict::Fail; // condition 1
+    if (mgr.apply_and(cov, mgr.apply_not(r.cfr)) != Manager::kFalse)
+        return Verdict::Fail; // condition 3
+    const Ref rise = mgr.apply_and(
+        mgr.apply_and(r.rise_rel, mgr.apply_not(cov)), mgr.rename(cov, sp.cur_to_next));
+    return rise != Manager::kFalse ? Verdict::NonMonotonicOnly : Verdict::Cover;
+}
+
+Verdict verdict_group(SymSpace& sp, const std::vector<const SymRegion*>& group, const Cube& c) {
+    Manager& mgr = sp.mgr;
+    const Ref cov = sp.cov_of(c);
+    const Ref cov_next = mgr.rename(cov, sp.cur_to_next);
+    const Ref not_cov = mgr.apply_not(cov);
+    bool mono = false;
+    Ref all_cfr = Manager::kFalse;
+    for (const SymRegion* r : group) {
+        all_cfr = mgr.apply_or(all_cfr, r->cfr);
+        if (!c.covers(r->smallest)) return Verdict::Fail;                      // Def 15
+        if (mgr.apply_and(r->er, not_cov) != Manager::kFalse) return Verdict::Fail; // cond 1
+        if (mgr.apply_and(cov, r->forbidden) != Manager::kFalse) return Verdict::Fail; // Def 16
+        if (!mono &&
+            mgr.apply_and(mgr.apply_and(r->rise_rel, not_cov), cov_next) != Manager::kFalse)
+            mono = true;
+    }
+    if (mgr.apply_and(cov, mgr.apply_not(all_cfr)) != Manager::kFalse)
+        return Verdict::Fail; // condition 3 against the union of the CFRs
+    return mono ? Verdict::NonMonotonicOnly : Verdict::Cover;
+}
+
+// The explicit search_cube control flow (requirement.cpp), verdict-only:
+// Cover succeeds, NonMonotonicOnly explores literal subsets breadth
+// first, Fail prunes (conditions 1/3 only worsen for subsets). The
+// greedy literal-minimal reduction is skipped — it changes which cube is
+// found, never whether one exists, and only existence feeds the verdict.
+template <class VerdictFn>
+bool cube_exists(Cube full, const VerdictFn& verdict, std::size_t max_candidates) {
+    const auto first = verdict(full);
+    if (first == Verdict::Cover) return true;
+    if (first != Verdict::NonMonotonicOnly) return false;
+
+    std::deque<Cube> queue{full};
+    std::unordered_set<Cube> seen{full};
+    std::size_t examined = 0;
+    while (!queue.empty() && examined < max_candidates) {
+        obs::count("mc.symbolic.candidates");
+        const Cube cur = queue.front();
+        queue.pop_front();
+        ++examined;
+        for (std::size_t v = 0; v < cur.num_vars(); ++v) {
+            if (cur.lit(SignalId(v)) == Lit::Dash) continue;
+            Cube cand = cur.without(SignalId(v));
+            if (!seen.insert(cand).second) continue;
+            const auto vio = verdict(cand);
+            if (vio == Verdict::Cover) return true;
+            if (vio == Verdict::NonMonotonicOnly) queue.push_back(std::move(cand));
+        }
+    }
+    return false;
+}
+
+StgMcResult symbolic_check(const stg::Stg& net, const StgMcOptions& opts,
+                           util::Budget* budget) {
+    obs::Span span("mc.symbolic");
+    span.attr("model", net.name);
+    StgMcResult out;
+    out.used = Engine::Symbolic;
+
+    SymSpace sp(net);
+    // The explicit checker charges one Steps unit per non-input region
+    // under "mc.check"; the symbolic engine mirrors that accounting
+    // exactly so Budget::shard fairness holds across engines. BDD work is
+    // charged separately as Resource::BddNodes by the manager.
+    util::Meter meter("mc.check", budget);
+    sp.mgr.set_budget(budget);
+    try {
+        sp.build();
+        out.reachable_states = sp.state_count;
+
+        const std::size_t S = sp.S;
+        Manager& mgr = sp.mgr;
+
+        // Excitation regions of non-input signals: symbolic connected
+        // components of the 0*/1*-sets, each with QR/CFR/Def-16 zones.
+        std::vector<SymRegion> regions;
+        for (std::size_t s = 0; s < S; ++s) {
+            if (!is_non_input(net.signals()[SignalId(s)].kind)) continue;
+            for (const bool rising : {true, false}) {
+                Ref excited = rising ? sp.excited_up[s] : sp.excited_down[s];
+                while (excited != Manager::kFalse) {
+                    SymRegion r;
+                    r.signal = SignalId(s);
+                    r.rising = rising;
+                    r.er = sp.flood(sp.any_state(excited), excited);
+                    excited = mgr.apply_and(excited, mgr.apply_not(r.er));
+                    regions.push_back(r);
+                }
+            }
+        }
+        out.regions = regions.size();
+        obs::count("mc.symbolic.regions", regions.size());
+        if (!meter.charge(util::Resource::Steps, regions.empty() ? 1 : regions.size())) {
+            out.exhaustion = meter.why();
+            return out;
+        }
+
+        for (auto& r : regions) {
+            const std::size_t s = r.signal.index();
+            // QR: stable components entered by firing this region's
+            // transition; flooding the whole successor seed at once
+            // yields the same union as per-component floods.
+            const Ref stable_after = r.rising ? sp.stable1[s] : sp.stable0[s];
+            const Ref succ = mgr.apply_and(
+                sp.fwd(r.er, r.rising ? sp.fire_up_rel[s] : sp.fire_down_rel[s]), stable_after);
+            r.cfr = mgr.apply_or(r.er, sp.flood(succ, stable_after));
+            r.forbidden = r.rising ? mgr.apply_or(sp.excited_down[s], sp.stable0[s])
+                                   : mgr.apply_or(sp.excited_up[s], sp.stable1[s]);
+            // Arcs interior to the CFR (condition 2's scan domain).
+            const Ref cfr_next = mgr.rename(r.cfr, sp.cur_to_next);
+            r.rise_rel = mgr.apply_and(mgr.apply_and(sp.mono_rel, r.cfr), cfr_next);
+
+            // Smallest cover cube: ordered signals (never excited inside
+            // the ER) at their constant ER value.
+            r.smallest = Cube(S);
+            for (std::size_t b = 0; b < S; ++b) {
+                if (mgr.apply_and(r.er, sp.excited_any[b]) != Manager::kFalse) continue;
+                const Ref val = mgr.var(sp.curv(sp.sigvar(b)));
+                if (mgr.apply_and(r.er, mgr.apply_not(val)) == Manager::kFalse)
+                    r.smallest.set_lit(SignalId(b), Lit::One);
+                else if (mgr.apply_and(r.er, val) == Manager::kFalse)
+                    r.smallest.set_lit(SignalId(b), Lit::Zero);
+            }
+        }
+
+        // Phase 1: a private MC cube per region (Def 17).
+        for (auto& r : regions)
+            r.ok = cube_exists(
+                r.smallest, [&](const Cube& c) { return verdict_single(sp, r, c); },
+                opts.cube_search.max_candidates);
+
+        // Phase 2: Def-19 generalized cube per (signal, polarity) family
+        // with failures — the whole family first, then pairs around each
+        // failing region (the explicit phase-2 candidate order).
+        std::map<std::pair<std::size_t, bool>, std::vector<SymRegion*>> families;
+        for (auto& r : regions) families[{r.signal.index(), r.rising}].push_back(&r);
+        for (auto& [key, family] : families) {
+            if (family.size() < 2) continue;
+            const bool any_failed =
+                std::any_of(family.begin(), family.end(), [](SymRegion* r) { return !r->ok; });
+            if (!any_failed) continue;
+            std::vector<std::vector<SymRegion*>> candidates{family};
+            for (SymRegion* r : family) {
+                if (r->ok) continue;
+                for (SymRegion* s2 : family)
+                    if (s2 != r) candidates.push_back({r, s2});
+            }
+            for (const auto& group : candidates) {
+                const bool still_needed =
+                    std::any_of(group.begin(), group.end(), [](SymRegion* r) { return !r->ok; });
+                if (!still_needed) continue;
+                Cube full = group[0]->smallest;
+                for (std::size_t i = 1; i < group.size(); ++i)
+                    full = full.supercube(group[i]->smallest);
+                if (full.is_universal()) continue;
+                std::vector<const SymRegion*> view(group.begin(), group.end());
+                if (cube_exists(
+                        full, [&](const Cube& c) { return verdict_group(sp, view, c); },
+                        opts.cube_search.max_candidates))
+                    for (SymRegion* r : group) r->ok = true;
+            }
+        }
+
+        // Phase 3: elementary sum of trigger literals (Section IV) for
+        // regions still without a cube.
+        for (auto& r : regions) {
+            if (r.ok) continue;
+            // Triggers: signal edges on arcs entering the ER from outside.
+            Ref cov = Manager::kFalse;
+            bool any_lit = false;
+            const Ref er_next = mgr.rename(r.er, sp.cur_to_next);
+            const Ref outside = mgr.apply_and(sp.reached, mgr.apply_not(r.er));
+            for (std::size_t b = 0; b < S; ++b) {
+                for (const bool rising : {true, false}) {
+                    const Ref rel = rising ? sp.fire_up_rel[b] : sp.fire_down_rel[b];
+                    const Ref enters = mgr.apply_and(mgr.apply_and(rel, outside), er_next);
+                    if (enters == Manager::kFalse) continue;
+                    any_lit = true;
+                    const Ref val = mgr.var(sp.curv(sp.sigvar(b)));
+                    cov = mgr.apply_or(cov, rising ? val : mgr.apply_not(val));
+                }
+            }
+            if (!any_lit) continue;
+            cov = mgr.apply_and(cov, sp.reached);
+            if (mgr.apply_and(r.er, mgr.apply_not(cov)) != Manager::kFalse) continue;
+            if (mgr.apply_and(cov, mgr.apply_not(r.cfr)) != Manager::kFalse) continue;
+            if (mgr.apply_and(cov, r.forbidden) != Manager::kFalse) continue;
+            const Ref rise = mgr.apply_and(mgr.apply_and(r.rise_rel, mgr.apply_not(cov)),
+                                           mgr.rename(cov, sp.cur_to_next));
+            if (rise != Manager::kFalse) continue;
+            r.ok = true;
+        }
+
+        for (const auto& r : regions)
+            if (!r.ok) ++out.missing;
+        out.satisfied = out.missing == 0;
+        obs::count("mc.symbolic.nodes", sp.mgr.num_nodes());
+        span.attr("satisfied", out.satisfied ? "true" : "false");
+        span.attr("regions", static_cast<std::uint64_t>(out.regions));
+    } catch (const util::BudgetExhausted& e) {
+        out.exhaustion = e.why();
+    }
+    return out;
+}
+
+StgMcResult explicit_check(const stg::Stg& net, const StgMcOptions& opts,
+                           util::Budget* budget) {
+    StgMcResult out;
+    out.used = Engine::Explicit;
+    auto sgo = sg::build_state_graph_outcome(net, {opts.max_sg_states, budget});
+    if (!sgo.is_complete()) {
+        out.exhaustion = sgo.why();
+        return out;
+    }
+    const sg::StateGraph& graph = sgo.value();
+    out.reachable_states = static_cast<double>(graph.num_states());
+    sg::RegionAnalysis ra(graph);
+    auto mco = check_requirement_outcome(ra, opts.cube_search, budget);
+    if (!mco.is_complete()) {
+        out.exhaustion = mco.why();
+        return out;
+    }
+    out.regions = mco.value().regions.size();
+    out.missing = mco.value().violation_count();
+    out.satisfied = mco.value().satisfied();
+    return out;
+}
+
+} // namespace
+
+StgMcResult check_stg(const stg::Stg& net, Engine engine, const StgMcOptions& opts,
+                      util::Budget* budget) {
+    net.validate();
+    if (engine == Engine::Auto) {
+        // Estimated-state threshold: one place-space reachability counts
+        // the markings exactly and is cheap relative to either engine.
+        const auto reach = bdd::symbolic_reachability(net, budget);
+        if (!reach.complete()) {
+            StgMcResult out;
+            out.used = Engine::Auto;
+            out.exhaustion = reach.exhaustion;
+            return out;
+        }
+        engine =
+            reach.reachable_markings <= opts.auto_threshold ? Engine::Explicit : Engine::Symbolic;
+    }
+    return engine == Engine::Symbolic ? symbolic_check(net, opts, budget)
+                                      : explicit_check(net, opts, budget);
+}
+
+} // namespace si::mc

@@ -33,19 +33,62 @@ struct Arc {
 };
 
 struct State {
-    BitVec code;                        ///< one bit per signal, signal order
-    std::vector<std::uint32_t> out;     ///< arc indices
-    std::vector<std::uint32_t> in;      ///< arc indices
+    BitVec code; ///< one bit per signal, signal order
 };
 
 class StateGraph {
 public:
     std::string name = "sg";
 
+    /// Forward range over the arc indices leaving/entering one state, in
+    /// add_arc order. Adjacency is stored as intrusive chains through two
+    /// flat per-arc `next` arrays instead of a vector-of-vectors: adding
+    /// an arc never allocates, and arcs added in from-state order (the
+    /// from_stg builder) chain through consecutive slots.
+    class ArcRange {
+    public:
+        class iterator {
+        public:
+            using value_type = std::uint32_t;
+            std::uint32_t operator*() const { return cur_; }
+            iterator& operator++() {
+                cur_ = (*next_)[cur_];
+                return *this;
+            }
+            friend bool operator==(const iterator& a, const iterator& b) {
+                return a.cur_ == b.cur_;
+            }
+
+        private:
+            friend class ArcRange;
+            iterator(const std::vector<std::uint32_t>* next, std::uint32_t cur)
+                : next_(next), cur_(cur) {}
+            const std::vector<std::uint32_t>* next_;
+            std::uint32_t cur_;
+        };
+
+        [[nodiscard]] iterator begin() const { return {next_, head_}; }
+        [[nodiscard]] iterator end() const { return {next_, UINT32_MAX}; }
+        [[nodiscard]] bool empty() const { return head_ == UINT32_MAX; }
+
+    private:
+        friend class StateGraph;
+        ArcRange(const std::vector<std::uint32_t>* next, std::uint32_t head)
+            : next_(next), head_(head) {}
+        const std::vector<std::uint32_t>* next_;
+        std::uint32_t head_;
+    };
+
     [[nodiscard]] SignalTable& signals() { return signals_; }
     [[nodiscard]] const SignalTable& signals() const { return signals_; }
     [[nodiscard]] std::size_t num_signals() const { return signals_.size(); }
 
+    /// Pre-sizes the state list, excitation-index rows and arc-on table
+    /// for `nstates` states and `narcs` arcs. Call after the signal
+    /// table is final; adding more states than reserved stays correct
+    /// (rows grow on demand), fewer is an error only if nothing shrinks
+    /// them — from_stg reserves the exact counts it explored.
+    void reserve(std::size_t nstates, std::size_t narcs = 0);
     /// Adds a state with the given code (width must equal num_signals()).
     StateId add_state(BitVec code);
     /// Adds an arc; throws SpecError unless the codes differ exactly in
@@ -57,6 +100,12 @@ public:
     [[nodiscard]] const State& state(StateId s) const { return states_[s.index()]; }
     [[nodiscard]] const Arc& arc(std::uint32_t i) const { return arcs_[i]; }
     [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+    /// Arc indices leaving `s`, in insertion order.
+    [[nodiscard]] ArcRange out_arcs(StateId s) const {
+        return {&out_next_, out_head_[s.index()]};
+    }
+    /// Arc indices entering `s`, in insertion order.
+    [[nodiscard]] ArcRange in_arcs(StateId s) const { return {&in_next_, in_head_[s.index()]}; }
 
     void set_initial(StateId s) { initial_ = s; }
     [[nodiscard]] StateId initial() const { return initial_; }
@@ -94,6 +143,9 @@ private:
     SignalTable signals_;
     std::vector<State> states_;
     std::vector<Arc> arcs_;
+    // Adjacency chains (see ArcRange): head/tail per state, next per arc.
+    std::vector<std::uint32_t> out_head_, out_tail_, in_head_, in_tail_;
+    std::vector<std::uint32_t> out_next_, in_next_;
     StateId initial_{};
 
     // Excitation index (see file header). Rows are sized lazily from the

@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
 
 namespace si::sg {
 
@@ -32,7 +34,7 @@ std::vector<ConflictWitness> find_conflicts(const StateGraph& sg) {
         for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
             const SignalId v{vi};
             if (!sg.excited(s, v)) continue;
-            for (const auto a : sg.state(s).out) {
+            for (const auto a : sg.out_arcs(s)) {
                 const Arc& arc = sg.arc(a);
                 if (arc.signal == v) continue;
                 // v is "disabled" if stable (same value, not excited) in
@@ -61,7 +63,8 @@ std::vector<DetonantWitness> find_detonants(const StateGraph& sg) {
             // excited. Successors reached by conflicting transitions
             // (choices — e.g. an input deciding between behaviours) are
             // alternatives, not OR-causality, and do not detonate.
-            const auto& outs = sg.state(s).out;
+            std::vector<std::uint32_t> outs;
+            for (const auto a : sg.out_arcs(s)) outs.push_back(a);
             for (std::size_t i = 0; i < outs.size(); ++i) {
                 for (std::size_t j = i + 1; j < outs.size(); ++j) {
                     const Arc& a1 = sg.arc(outs[i]);
@@ -90,13 +93,12 @@ bool is_output_distributive(const StateGraph& sg) {
     return is_output_semimodular(sg) && find_detonants(sg).empty();
 }
 
-std::vector<CscWitness> find_csc_violations(const StateGraph& sg) {
+namespace {
+
+template <class BucketsFn>
+std::vector<CscWitness> csc_from_buckets(const StateGraph& sg, const BucketsFn& for_each_bucket) {
     std::vector<CscWitness> out;
-    const BitVec reach = sg.reachable();
-    std::unordered_map<BitVec, std::vector<StateId>> buckets;
-    for (std::size_t si = 0; si < sg.num_states(); ++si)
-        if (reach.test(si)) buckets[sg.state(StateId(si)).code].push_back(StateId(si));
-    for (const auto& [code, states] : buckets) {
+    for_each_bucket([&](const std::vector<StateId>& states) {
         for (std::size_t i = 0; i < states.size(); ++i) {
             for (std::size_t j = i + 1; j < states.size(); ++j) {
                 for (std::size_t vi = 0; vi < sg.num_signals(); ++vi) {
@@ -109,12 +111,53 @@ std::vector<CscWitness> find_csc_violations(const StateGraph& sg) {
                 }
             }
         }
-    }
+    });
     return out;
+}
+
+} // namespace
+
+std::vector<CscWitness> find_csc_violations(const StateGraph& sg) {
+    const BitVec reach = sg.reachable();
+    if (util::fast_path()) {
+        // Bucket by interned code id; buckets come out in state-encounter
+        // order, so the witness list is deterministic.
+        const std::size_t cw = (sg.num_signals() + 63) / 64;
+        util::StateStore store(cw);
+        const std::uint64_t zero = 0;
+        std::vector<std::vector<StateId>> buckets;
+        for (std::size_t si = 0; si < sg.num_states(); ++si) {
+            if (!reach.test(si)) continue;
+            const std::uint64_t* w = cw ? sg.state(StateId(si)).code.word_data() : &zero;
+            const auto [id, inserted] = store.intern(w);
+            if (inserted) buckets.emplace_back();
+            buckets[id].emplace_back(si);
+        }
+        return csc_from_buckets(sg, [&](auto&& fn) {
+            for (const auto& states : buckets) fn(states);
+        });
+    }
+    std::unordered_map<BitVec, std::vector<StateId>> buckets;
+    for (std::size_t si = 0; si < sg.num_states(); ++si)
+        if (reach.test(si)) buckets[sg.state(StateId(si)).code].push_back(StateId(si));
+    return csc_from_buckets(sg, [&](auto&& fn) {
+        for (const auto& [code, states] : buckets) fn(states);
+    });
 }
 
 bool has_unique_state_coding(const StateGraph& sg) {
     const BitVec reach = sg.reachable();
+    if (util::fast_path()) {
+        const std::size_t cw = (sg.num_signals() + 63) / 64;
+        util::StateStore seen(cw);
+        const std::uint64_t zero = 0;
+        for (std::size_t si = 0; si < sg.num_states(); ++si) {
+            if (!reach.test(si)) continue;
+            const std::uint64_t* w = cw ? sg.state(StateId(si)).code.word_data() : &zero;
+            if (!seen.intern(w).second) return false;
+        }
+        return true;
+    }
     std::unordered_map<BitVec, StateId> seen;
     for (std::size_t si = 0; si < sg.num_states(); ++si) {
         if (!reach.test(si)) continue;
@@ -138,7 +181,7 @@ std::optional<std::string> check_well_formed(const StateGraph& sg) {
     // Interleaving semantics: at most one arc per (state, signal).
     for (std::size_t si = 0; si < sg.num_states(); ++si) {
         std::vector<bool> seen(sg.num_signals(), false);
-        for (const auto ai : sg.state(StateId(si)).out) {
+        for (const auto ai : sg.out_arcs(StateId(si))) {
             const auto v = sg.arc(ai).signal.index();
             if (seen[v])
                 return "state " + sg.state_label(StateId(si)) + " fires signal " +

@@ -36,7 +36,7 @@ std::optional<std::vector<std::string>> shortest_path(const StateGraph& sg, Stat
         const StateId s = queue.front();
         queue.pop_front();
         if (s == to) break;
-        for (const auto ai : sg.state(s).out) {
+        for (const auto ai : sg.out_arcs(s)) {
             const StateId t = sg.arc(ai).to;
             if (seen[t.index()]) continue;
             seen[t.index()] = true;

@@ -1,37 +1,42 @@
 #include "si/sg/from_stg.hpp"
 
-#include <deque>
+#include <cstring>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
+#include "si/util/state_store.hpp"
 
 namespace si::sg {
 
 namespace {
 
-struct MarkingHash {
-    std::size_t operator()(const stg::Marking& m) const noexcept {
-        std::size_t h = 1469598103934665603ull;
-        for (const auto b : m) {
-            h ^= b;
-            h *= 1099511628211ull;
-        }
-        return h;
-    }
-};
-
+// Reachable markings live as byte-packed rows (8 token counts per 64-bit
+// word, zero-padded tail) in a StateStore arena: the BFS below touches
+// only dense ids and contiguous rows, never a per-marking heap node. Ids
+// are assigned in discovery order, so the graph — and every budget or
+// counter stream derived from it — is identical for any shard count.
 struct MarkingGraph {
     struct Edge {
         std::uint32_t from;
         std::uint32_t to;
         TransitionId transition;
     };
-    std::vector<stg::Marking> nodes;
+
+    explicit MarkingGraph(std::size_t nplaces)
+        : words_per_marking((nplaces + 7) / 8), store(words_per_marking) {}
+
+    [[nodiscard]] std::size_t num_nodes() const { return store.size(); }
+    [[nodiscard]] const std::uint8_t* marking(std::uint32_t id) const {
+        return reinterpret_cast<const std::uint8_t*>(store.code(id));
+    }
+
+    std::size_t words_per_marking;
+    util::StateStore store;
     std::vector<Edge> edges;
-    std::vector<std::vector<std::uint32_t>> out; // edge indices per node
+    // CSR out-edge offsets: edges of node i are [out_begin[i], out_begin[i+1]).
+    std::vector<std::uint32_t> out_begin;
 };
 
 // BFS over reachable markings; nullopt when the meter runs out (why()
@@ -40,79 +45,169 @@ struct MarkingGraph {
 std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
     obs::Span span("sg.explore");
     span.attr("net", net.name);
-    MarkingGraph g;
-    std::unordered_map<stg::Marking, std::uint32_t, MarkingHash> index;
-    g.nodes.push_back(net.initial_marking());
-    g.out.emplace_back();
-    index.emplace(net.initial_marking(), 0);
+    const std::size_t P = net.num_places();
+    MarkingGraph g(P);
+
+    // Scratch marking as bytes inside zero-padded words.
+    std::vector<std::uint64_t> scratch(g.words_per_marking, 0);
+    auto* const scratch_bytes = reinterpret_cast<std::uint8_t*>(scratch.data());
+
+    const stg::Marking& init = net.initial_marking();
+    std::memcpy(scratch_bytes, init.data(), P);
+    (void)g.store.intern(scratch.data());
     if (!meter.charge(util::Resource::States)) return std::nullopt;
-    std::deque<std::uint32_t> queue{0};
-    while (!queue.empty()) {
-        const std::uint32_t cur = queue.front();
-        queue.pop_front();
-        for (std::size_t ti = 0; ti < net.num_transitions(); ++ti) {
-            const TransitionId t{ti};
-            // Copy the marking: fire() may be reached after nodes grows.
-            const stg::Marking m = g.nodes[cur];
-            if (!net.enabled(m, t)) continue;
+
+    // Flatten every transition's preset/postset place indices into one
+    // contiguous array (CSR over transitions): the enabledness test is
+    // the inner loop of the whole exploration and should chase no
+    // vector-of-vectors pointers.
+    const std::size_t T = net.num_transitions();
+    std::vector<std::uint32_t> pre_begin(T + 1, 0), post_begin(T + 1, 0);
+    for (std::size_t ti = 0; ti < T; ++ti) {
+        const auto& tr = net.transition(TransitionId{ti});
+        pre_begin[ti + 1] = pre_begin[ti] + static_cast<std::uint32_t>(tr.preset.size());
+        post_begin[ti + 1] = post_begin[ti] + static_cast<std::uint32_t>(tr.postset.size());
+    }
+    std::vector<std::uint32_t> pre(pre_begin[T]), post(post_begin[T]);
+    for (std::size_t ti = 0; ti < T; ++ti) {
+        const auto& tr = net.transition(TransitionId{ti});
+        std::uint32_t* pp = pre.data() + pre_begin[ti];
+        for (const PlaceId p : tr.preset) *pp++ = static_cast<std::uint32_t>(p.index());
+        std::uint32_t* qp = post.data() + post_begin[ti];
+        for (const PlaceId p : tr.postset) *qp++ = static_cast<std::uint32_t>(p.index());
+    }
+
+    // Node ids are assigned in discovery order and expanded in id order,
+    // so `edges` comes out grouped by ascending `from` — the CSR offsets
+    // below need no sort.
+    std::vector<std::uint8_t> cur_marking(P);
+    for (std::uint32_t cur = 0; cur < g.num_nodes(); ++cur) {
+        // Local copy: the arena row may move when intern grows it.
+        std::memcpy(cur_marking.data(), g.marking(cur), P);
+        const std::uint8_t* m = cur_marking.data();
+        for (std::size_t ti = 0; ti < T; ++ti) {
+            bool enabled = true;
+            for (std::uint32_t pi = pre_begin[ti]; pi < pre_begin[ti + 1]; ++pi)
+                enabled = enabled && m[pre[pi]] > 0;
+            if (!enabled) continue;
             if (!meter.charge(util::Resource::Steps)) return std::nullopt;
-            stg::Marking next = net.fire(m, t);
-            auto [it, inserted] = index.emplace(std::move(next), static_cast<std::uint32_t>(g.nodes.size()));
-            if (inserted) {
-                if (!meter.charge(util::Resource::States)) return std::nullopt;
-                g.nodes.push_back(it->first);
-                g.out.emplace_back();
-                queue.push_back(it->second);
+            std::memcpy(scratch_bytes, m, P);
+            for (std::uint32_t pi = pre_begin[ti]; pi < pre_begin[ti + 1]; ++pi)
+                --scratch_bytes[pre[pi]];
+            for (std::uint32_t pi = post_begin[ti]; pi < post_begin[ti + 1]; ++pi) {
+                if (scratch_bytes[post[pi]] == 255)
+                    throw SpecError("unbounded place '" + net.place(PlaceId{post[pi]}).name + "'");
+                ++scratch_bytes[post[pi]];
             }
-            g.out[cur].push_back(static_cast<std::uint32_t>(g.edges.size()));
-            g.edges.push_back(MarkingGraph::Edge{cur, it->second, t});
+            const auto [to, inserted] = g.store.intern(scratch.data());
+            if (inserted && !meter.charge(util::Resource::States)) return std::nullopt;
+            g.edges.push_back(MarkingGraph::Edge{cur, to, TransitionId{ti}});
         }
     }
-    span.attr("markings", static_cast<std::uint64_t>(g.nodes.size()));
+
+    g.out_begin.assign(g.num_nodes() + 1, 0);
+    for (const auto& e : g.edges) ++g.out_begin[e.from + 1];
+    for (std::size_t i = 1; i < g.out_begin.size(); ++i) g.out_begin[i] += g.out_begin[i - 1];
+
+    span.attr("markings", static_cast<std::uint64_t>(g.num_nodes()));
     span.attr("edges", static_cast<std::uint64_t>(g.edges.size()));
     if (obs::enabled()) {
-        obs::count("sg.markings", g.nodes.size());
+        obs::count("sg.markings", g.num_nodes());
         obs::count("sg.edges", g.edges.size());
+        obs::count("sg.store.interned", g.store.size());
+        obs::count("sg.store.probes", g.store.probes());
+        obs::count("sg.store.resizes", g.store.resizes());
     }
     return g;
 }
 
+// Consistent state assignment in one pass. A BFS over the marking graph
+// computes each node's code *relative to the initial code* (edge on
+// signal s flips bit s; two BFS paths reaching a node with different
+// deltas means no consistent assignment exists). The initial code itself
+// then falls out of the firing rule: a +s edge fires only where s is 0,
+// so every edge of s pins initial(s) = !rising xor delta(source, s) —
+// conflicting pins mean the signal would have to both rise and fall
+// first. Signals that never fire default to 0, matching the seed's
+// per-signal reachability inference (which this replaces: one walk over
+// the edges instead of one whole-graph BFS per signal).
+struct Assignment {
+    BitVec initial;                   ///< inferred initial code
+    std::vector<std::uint64_t> delta; ///< per node: code ^ initial, packed words
+    std::size_t code_words = 0;
+    std::vector<std::uint32_t> esig;  ///< per edge: (signal << 1) | rising
+};
 
-BitVec infer_code(const stg::Stg& net, const MarkingGraph& g) {
+Assignment assign_codes(const stg::Stg& net, const MarkingGraph& g) {
     const std::size_t nsig = net.signals().size();
-    BitVec code(nsig);
-    for (std::size_t vi = 0; vi < nsig; ++vi) {
-        const SignalId v{vi};
-        // Reachability without firing any transition of v.
-        std::vector<bool> seen(g.nodes.size(), false);
-        std::deque<std::uint32_t> queue{0};
-        seen[0] = true;
-        bool saw_plus = false;
-        bool saw_minus = false;
-        while (!queue.empty()) {
-            const std::uint32_t cur = queue.front();
-            queue.pop_front();
-            for (const auto ei : g.out[cur]) {
-                const auto& e = g.edges[ei];
-                const auto& tr = net.transition(e.transition);
-                if (tr.edge.signal == v) {
-                    (tr.edge.rising ? saw_plus : saw_minus) = true;
-                    continue;
-                }
-                if (!seen[e.to]) {
-                    seen[e.to] = true;
-                    queue.push_back(e.to);
-                }
+    const std::size_t n = g.num_nodes();
+    Assignment out;
+    out.code_words = (nsig + 63) / 64;
+    const std::size_t cw = out.code_words;
+
+    out.esig.resize(g.edges.size());
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+        const auto& edge = net.transition(g.edges[ei].transition).edge;
+        out.esig[ei] = (static_cast<std::uint32_t>(edge.signal.index()) << 1) |
+                       (edge.rising ? 1u : 0u);
+    }
+
+    out.delta.assign(n * cw, 0);
+    std::vector<std::uint8_t> have(n, 0);
+    have[0] = 1;
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    queue.push_back(0);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const std::uint32_t cur = queue[qi];
+        const std::uint64_t* cur_delta = out.delta.data() + std::size_t(cur) * cw;
+        for (std::uint32_t ei = g.out_begin[cur]; ei < g.out_begin[cur + 1]; ++ei) {
+            const std::uint32_t to = g.edges[ei].to;
+            const std::size_t bit = out.esig[ei] >> 1;
+            const std::size_t bw = bit / 64;
+            const std::uint64_t bm = std::uint64_t(1) << (bit % 64);
+            std::uint64_t* to_delta = out.delta.data() + std::size_t(to) * cw;
+            if (have[to]) {
+                bool same = (cur_delta[bw] ^ bm) == to_delta[bw];
+                for (std::size_t w = 0; same && w < cw; ++w)
+                    if (w != bw && cur_delta[w] != to_delta[w]) same = false;
+                if (!same)
+                    throw SpecError(
+                        "inconsistent state assignment in '" + net.name +
+                        "': marking reached with two different codes (relative to initial) " +
+                        BitVec::from_words(to_delta, nsig).to_string() + " and " +
+                        (BitVec::from_words(cur_delta, nsig).to_string() + " flipped at " +
+                         net.signals()[SignalId(bit)].name));
+            } else {
+                for (std::size_t w = 0; w < cw; ++w) to_delta[w] = cur_delta[w];
+                to_delta[bw] ^= bm;
+                have[to] = 1;
+                queue.push_back(to);
             }
         }
-        if (saw_plus && saw_minus)
-            throw SpecError("signal '" + net.signals()[v].name +
-                            "' can both rise and fall first: no consistent initial value");
-        // A signal whose first visible edge falls starts at 1; one that
-        // rises first (or never fires) starts at 0.
-        if (saw_minus) code.set(vi);
     }
-    return code;
+    for (std::size_t i = 0; i < n; ++i)
+        require(have[i] != 0, "unreached marking in explored graph");
+
+    // Pin the initial value of every firing signal.
+    std::vector<std::uint8_t> want(nsig, 2); // 2 = unconstrained
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+        const std::size_t bit = out.esig[ei] >> 1;
+        const bool rising = (out.esig[ei] & 1) != 0;
+        const std::uint64_t* d = out.delta.data() + std::size_t(g.edges[ei].from) * cw;
+        const bool dbit = ((d[bit / 64] >> (bit % 64)) & 1) != 0;
+        const std::uint8_t req = static_cast<std::uint8_t>(!rising != dbit ? 1 : 0);
+        if (want[bit] == 2) {
+            want[bit] = req;
+        } else if (want[bit] != req) {
+            throw SpecError("signal '" + net.signals()[SignalId(bit)].name +
+                            "' can both rise and fall first: no consistent initial value");
+        }
+    }
+    out.initial = BitVec(nsig);
+    for (std::size_t v = 0; v < nsig; ++v)
+        if (want[v] == 1) out.initial.set(v);
+    return out;
 }
 
 } // namespace
@@ -123,7 +218,7 @@ BitVec infer_initial_code(const stg::Stg& net, const FromStgOptions& opts) {
     const auto g = explore(net, meter);
     if (!g)
         throw SpecError("state explosion in '" + net.name + "': " + meter.why().describe());
-    return infer_code(net, *g);
+    return assign_codes(net, *g).initial;
 }
 
 util::Outcome<StateGraph> build_state_graph_outcome(const stg::Stg& net,
@@ -134,58 +229,31 @@ util::Outcome<StateGraph> build_state_graph_outcome(const stg::Stg& net,
     const auto explored = explore(net, meter);
     if (!explored) return util::Outcome<StateGraph>::exhausted(meter.why());
     const MarkingGraph& g = *explored;
-    const BitVec initial_code = infer_code(net, g);
+    Assignment assigned = assign_codes(net, g);
     const std::size_t nsig = net.signals().size();
+    const std::size_t n = g.num_nodes();
+    const std::size_t cw = assigned.code_words;
 
     StateGraph sg;
     sg.name = net.name;
     for (const auto& s : net.signals().all()) sg.signals().add(s.name, s.kind);
 
-    // Assign codes by BFS with the state-assignment rule.
-    std::vector<BitVec> codes(g.nodes.size());
-    std::vector<bool> have(g.nodes.size(), false);
-    codes[0] = initial_code;
-    have[0] = true;
-    std::deque<std::uint32_t> queue{0};
-    while (!queue.empty()) {
-        const std::uint32_t cur = queue.front();
-        queue.pop_front();
-        for (const auto ei : g.out[cur]) {
-            const auto& e = g.edges[ei];
-            const auto& tr = net.transition(e.transition);
-            const std::size_t bit = tr.edge.signal.index();
-            if (codes[cur].test(bit) == tr.edge.rising)
-                throw SpecError("inconsistent state assignment in '" + net.name + "': " +
-                                net.transition_label(e.transition) + " fires while " +
-                                net.signals()[tr.edge.signal].name + " is already " +
-                                (tr.edge.rising ? "1" : "0"));
-            BitVec next = codes[cur];
-            next.flip(bit);
-            if (have[e.to]) {
-                if (codes[e.to] != next)
-                    throw SpecError("inconsistent state assignment in '" + net.name +
-                                    "': marking reached with two different codes " +
-                                    codes[e.to].to_string() + " and " + next.to_string());
-            } else {
-                codes[e.to] = std::move(next);
-                have[e.to] = true;
-                queue.push_back(e.to);
-            }
-        }
-    }
-
-    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
-        require(have[i], "unreached marking in explored graph");
-        require(codes[i].size() == nsig, "code width mismatch");
-        sg.add_state(codes[i]);
+    // Materialize codes in place: code(i) = initial ^ delta(i).
+    const std::uint64_t* init_words = assigned.initial.word_data();
+    sg.reserve(n, g.edges.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t* d = assigned.delta.data() + i * cw;
+        for (std::size_t w = 0; w < cw; ++w) d[w] ^= init_words[w];
+        sg.add_state(BitVec::from_words(d, nsig));
     }
     sg.set_initial(StateId(0));
-    for (const auto& e : g.edges) {
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
         // Interleaving semantics: several transitions of the same signal
         // enabled in one marking would create parallel same-signal arcs;
         // collapse them (they reach the same code by construction).
+        const auto& e = g.edges[ei];
         const StateId from{e.from};
-        const SignalId sig = net.transition(e.transition).edge.signal;
+        const SignalId sig{assigned.esig[ei] >> 1};
         if (sg.arc_on(from, sig) != UINT32_MAX) {
             if (sg.arc(sg.arc_on(from, sig)).to != StateId(e.to))
                 throw SpecError("auto-concurrency in '" + net.name + "': two transitions of " +

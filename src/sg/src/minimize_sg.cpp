@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
 
 namespace si::sg {
 
@@ -28,10 +30,23 @@ struct SignatureHash {
 StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
     const BitVec reach = g.reachable();
     const std::size_t n = g.num_states();
+    const bool fast = util::fast_path();
 
     // class_of[s]: current partition block of state s (reachable only).
+    // Class ids are assigned in state-encounter order in both paths, so
+    // the partitions (and the quotient) are identical; the fast path
+    // interns packed code words in a StateStore instead of hashing BitVec
+    // keys into per-node map entries.
     std::vector<std::uint32_t> class_of(n, UINT32_MAX);
-    {
+    if (fast) {
+        const std::size_t cw = (g.num_signals() + 63) / 64;
+        util::StateStore by_code(cw);
+        const std::uint64_t zero = 0; // signal-free graphs have empty codes
+        reach.for_each_set([&](std::size_t si) {
+            const std::uint64_t* w = cw ? g.state(StateId(si)).code.word_data() : &zero;
+            class_of[si] = by_code.intern(w).first;
+        });
+    } else {
         std::unordered_map<BitVec, std::uint32_t> by_code;
         reach.for_each_set([&](std::size_t si) {
             const auto [it, inserted] =
@@ -43,17 +58,31 @@ StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
 
     std::size_t rounds = 0;
     bool changed = true;
+    std::vector<std::uint64_t> packed; // fast path: [old class, moves...]
     while (changed) {
         changed = false;
         ++rounds;
         // Class ids are assigned in state-encounter order (not key
-        // order), so the hashed container yields the same partition ids
+        // order), so the hashed containers yield the same partition ids
         // as an ordered one.
         std::unordered_map<Signature, std::uint32_t, SignatureHash> sig_to_class;
+        util::SeqStore sig_store;
         std::vector<std::uint32_t> next_class(n, UINT32_MAX);
         reach.for_each_set([&](std::size_t si) {
+            if (fast) {
+                packed.clear();
+                packed.push_back(class_of[si]);
+                for (const auto ai : g.out_arcs(StateId(si))) {
+                    const auto& arc = g.arc(ai);
+                    packed.push_back((std::uint64_t(arc.signal.index()) << 32) |
+                                     class_of[arc.to.index()]);
+                }
+                std::sort(packed.begin() + 1, packed.end());
+                next_class[si] = sig_store.intern(packed.data(), packed.size()).first;
+                return;
+            }
             std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
-            for (const auto ai : g.state(StateId(si)).out) {
+            for (const auto ai : g.out_arcs(StateId(si))) {
                 const auto& arc = g.arc(ai);
                 moves.emplace_back(static_cast<std::uint32_t>(arc.signal.index()),
                                    class_of[arc.to.index()]);
@@ -70,26 +99,51 @@ StateGraph minimize_bisimulation(const StateGraph& g, MinimizeStats* stats) {
         class_of = std::move(next_class);
     }
 
-    // Build the quotient.
+    // Build the quotient. Class ids are dense (0..num classes), so the
+    // fast path replaces the representative map with a flat vector and
+    // the quotient-arc dedup set with packed keys. The signal is implied
+    // by (from, to): consistent codes differ in exactly the fired bit.
     StateGraph out;
     out.name = g.name;
     for (const auto& s : g.signals().all()) out.signals().add(s.name, s.kind);
-    std::unordered_map<std::uint32_t, StateId> rep;
-    reach.for_each_set([&](std::size_t si) {
-        if (!rep.count(class_of[si]))
-            rep.emplace(class_of[si], out.add_state(g.state(StateId(si)).code));
-    });
-    std::unordered_set<std::uint64_t> arc_seen;
-    reach.for_each_set([&](std::size_t si) {
-        for (const auto ai : g.state(StateId(si)).out) {
-            const auto& arc = g.arc(ai);
-            const StateId from = rep.at(class_of[si]);
-            const StateId to = rep.at(class_of[arc.to.index()]);
-            if (arc_seen.insert((std::uint64_t(from.raw()) << 32) | to.raw()).second)
-                out.add_arc(from, to, arc.signal);
-        }
-    });
-    out.set_initial(rep.at(class_of[g.initial().index()]));
+    if (fast) {
+        std::uint32_t nclasses = 0;
+        reach.for_each_set(
+            [&](std::size_t si) { nclasses = std::max(nclasses, class_of[si] + 1); });
+        std::vector<StateId> rep(nclasses, StateId::invalid());
+        reach.for_each_set([&](std::size_t si) {
+            if (!rep[class_of[si]].is_valid())
+                rep[class_of[si]] = out.add_state(g.state(StateId(si)).code);
+        });
+        util::U64Set arc_seen;
+        reach.for_each_set([&](std::size_t si) {
+            for (const auto ai : g.out_arcs(StateId(si))) {
+                const auto& arc = g.arc(ai);
+                const StateId from = rep[class_of[si]];
+                const StateId to = rep[class_of[arc.to.index()]];
+                if (arc_seen.insert((std::uint64_t(from.raw()) << 32) | to.raw()))
+                    out.add_arc(from, to, arc.signal);
+            }
+        });
+        out.set_initial(rep[class_of[g.initial().index()]]);
+    } else {
+        std::unordered_map<std::uint32_t, StateId> rep;
+        reach.for_each_set([&](std::size_t si) {
+            if (!rep.count(class_of[si]))
+                rep.emplace(class_of[si], out.add_state(g.state(StateId(si)).code));
+        });
+        std::unordered_set<std::uint64_t> arc_seen;
+        reach.for_each_set([&](std::size_t si) {
+            for (const auto ai : g.out_arcs(StateId(si))) {
+                const auto& arc = g.arc(ai);
+                const StateId from = rep.at(class_of[si]);
+                const StateId to = rep.at(class_of[arc.to.index()]);
+                if (arc_seen.insert((std::uint64_t(from.raw()) << 32) | to.raw()).second)
+                    out.add_arc(from, to, arc.signal);
+            }
+        });
+        out.set_initial(rep.at(class_of[g.initial().index()]));
+    }
 
     if (stats) {
         stats->states_before = reach.count();

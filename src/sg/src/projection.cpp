@@ -4,6 +4,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
+
 namespace si::sg {
 
 namespace {
@@ -51,7 +54,7 @@ ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec
         BitVec seen(impl.num_states());
         seen.set(s.index());
         for (std::size_t i = 0; i < closure.size(); ++i) {
-            for (const auto ai : impl.state(closure[i]).out) {
+            for (const auto ai : impl.out_arcs(closure[i])) {
                 const auto& arc = impl.arc(ai);
                 if (to_spec[arc.signal.index()].is_valid()) continue;
                 if (!seen.test(arc.to.index())) {
@@ -63,14 +66,39 @@ ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec
         return closure;
     };
 
-    std::unordered_set<Pair, PairHash> related{{impl.initial(), spec.initial()}};
+    // Visited product states. The fast path packs (impl, spec) into one
+    // word in a flat open-addressing set, and memoizes per impl state
+    // which signals fire somewhere in its hidden closure — the closure
+    // walk is the hot inner loop and repeats for every spec state paired
+    // with the same implementation state.
+    const bool fast = util::fast_path();
+    util::U64Set related_fast;
+    std::unordered_set<Pair, PairHash> related;
+    auto remember = [&](const Pair& q) {
+        if (fast) return related_fast.insert((std::uint64_t(q.impl.raw()) << 32) | q.spec.raw());
+        return related.insert(q).second;
+    };
+    std::vector<BitVec> avail(fast ? impl.num_states() : 0);
+    std::vector<std::uint8_t> have_avail(fast ? impl.num_states() : 0, 0);
+    auto hidden_avail = [&](StateId s) -> const BitVec& {
+        if (!have_avail[s.index()]) {
+            BitVec m(impl.num_signals());
+            for (const StateId c : hidden_closure(s))
+                for (const auto ai : impl.out_arcs(c)) m.set(impl.arc(ai).signal.index());
+            avail[s.index()] = std::move(m);
+            have_avail[s.index()] = 1;
+        }
+        return avail[s.index()];
+    };
+
+    remember({impl.initial(), spec.initial()});
     std::deque<Pair> queue{{impl.initial(), spec.initial()}};
     while (!queue.empty()) {
         const Pair p = queue.front();
         queue.pop_front();
 
         // Soundness: every impl transition is hidden or spec-matched.
-        for (const auto ai : impl.state(p.impl).out) {
+        for (const auto ai : impl.out_arcs(p.impl)) {
             const auto& arc = impl.arc(ai);
             const SignalId vis = to_spec[arc.signal.index()];
             Pair next{arc.to, p.spec};
@@ -84,19 +112,23 @@ ProjectionResult check_projection(const StateGraph& impl, const StateGraph& spec
                                        " which the spec forbids at " + spec.state_label(p.spec)};
                 next.spec = spec.arc(sa).to;
             }
-            if (related.insert(next).second) queue.push_back(next);
+            if (remember(next)) queue.push_back(next);
         }
 
         // Completeness: every spec transition stays available — inputs
         // immediately, outputs within the hidden closure.
-        for (const auto ai : spec.state(p.spec).out) {
+        for (const auto ai : spec.out_arcs(p.spec)) {
             const auto& arc = spec.arc(ai);
             const SignalId iv = impl.signals().find(spec.signals()[arc.signal].name);
             const bool is_input = spec.signals()[arc.signal].kind == SignalKind::Input;
             bool found = is_input ? impl.arc_on(p.impl, iv) != UINT32_MAX : false;
             if (!is_input) {
-                for (const StateId c : hidden_closure(p.impl))
-                    if (impl.arc_on(c, iv) != UINT32_MAX) found = true;
+                if (fast) {
+                    found = hidden_avail(p.impl).test(iv.index());
+                } else {
+                    for (const StateId c : hidden_closure(p.impl))
+                        if (impl.arc_on(c, iv) != UINT32_MAX) found = true;
+                }
             }
             if (!found)
                 return {false, "specification transition " +

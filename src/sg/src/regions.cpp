@@ -46,8 +46,8 @@ std::vector<BitVec> components(const StateGraph& sg, const BitVec& members,
                     queue.push_back(t.index());
                 }
             };
-            for (const auto a : sg.state(StateId(s)).out) visit(sg.arc(a).to);
-            for (const auto a : sg.state(StateId(s)).in) visit(sg.arc(a).from);
+            for (const auto a : sg.out_arcs(StateId(s))) visit(sg.arc(a).to);
+            for (const auto a : sg.in_arcs(StateId(s))) visit(sg.arc(a).from);
         }
         comps.push_back(std::move(comp));
     });
@@ -77,7 +77,7 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
         while (!queue.empty()) {
             const StateId s = queue.front();
             queue.pop_front();
-            for (const auto a : sg.state(s).out) {
+            for (const auto a : sg.out_arcs(s)) {
                 const StateId t = sg.arc(a).to;
                 if (bfs_rank[t.index()] == UINT32_MAX) {
                     bfs_rank[t.index()] = next++;
@@ -146,7 +146,7 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
         // Minimal states: no predecessor inside the region.
         r.states.for_each_set([&](std::size_t si) {
             const StateId s{si};
-            for (const auto a : sg.state(s).in)
+            for (const auto a : sg.in_arcs(s))
                 if (r.states.test(sg.arc(a).from.index())) return;
             r.minimal_states.push_back(s);
         });
@@ -154,7 +154,7 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
         // Triggers: labels of arcs entering from outside.
         r.states.for_each_set([&](std::size_t si) {
             const StateId s{si};
-            for (const auto a : sg.state(s).in) {
+            for (const auto a : sg.in_arcs(s)) {
                 if (r.states.test(sg.arc(a).from.index())) continue;
                 if (!reachable_.test(sg.arc(a).from.index())) continue;
                 const SignalEdge e = sg.edge_of(a);
@@ -203,8 +203,8 @@ RegionAnalysis::RegionAnalysis(const StateGraph& sg) : sg_(&sg), reachable_(sg.r
                         queue.push_back(w);
                     }
                 };
-                for (const auto ai : sg.state(u).out) visit(sg.arc(ai).to);
-                for (const auto ai : sg.state(u).in) visit(sg.arc(ai).from);
+                for (const auto ai : sg.out_arcs(u)) visit(sg.arc(ai).to);
+                for (const auto ai : sg.in_arcs(u)) visit(sg.arc(ai).from);
             }
         });
 

@@ -8,6 +8,29 @@
 
 namespace si::sg {
 
+void StateGraph::reserve(std::size_t nstates, std::size_t narcs) {
+    states_.reserve(nstates);
+    arcs_.reserve(narcs);
+    out_head_.reserve(nstates);
+    out_tail_.reserve(nstates);
+    in_head_.reserve(nstates);
+    in_tail_.reserve(nstates);
+    out_next_.reserve(narcs);
+    in_next_.reserve(narcs);
+    const std::size_t ns = signals_.size();
+    if (ns == 0) return;
+    if (excited_rows_.size() != ns) { // pins the signal count, as add_state does
+        require(states_.empty(), "signal table changed after states were added");
+        excited_rows_.assign(ns, BitVec());
+        value_rows_.assign(ns, BitVec());
+    }
+    for (std::size_t v = 0; v < ns; ++v) {
+        if (excited_rows_[v].size() < nstates) excited_rows_[v].resize(nstates);
+        if (value_rows_[v].size() < nstates) value_rows_[v].resize(nstates);
+    }
+    if (arc_on_.size() < nstates * ns) arc_on_.resize(nstates * ns, UINT32_MAX);
+}
+
 StateId StateGraph::add_state(BitVec code) {
     require(code.size() == signals_.size(), "state code width mismatch");
     const std::size_t ns = signals_.size();
@@ -18,27 +41,48 @@ StateId StateGraph::add_state(BitVec code) {
     }
     const std::size_t si = states_.size();
     for (std::size_t v = 0; v < ns; ++v) {
-        excited_rows_[v].resize(si + 1);
-        value_rows_[v].resize(si + 1);
+        if (excited_rows_[v].size() < si + 1) excited_rows_[v].resize(si + 1);
+        if (value_rows_[v].size() < si + 1) value_rows_[v].resize(si + 1);
         if (code.test(v)) value_rows_[v].set(si);
     }
-    arc_on_.resize(arc_on_.size() + ns, UINT32_MAX);
-    states_.push_back(State{std::move(code), {}, {}});
+    if (arc_on_.size() < (si + 1) * ns) arc_on_.resize((si + 1) * ns, UINT32_MAX);
+    states_.push_back(State{std::move(code)});
+    out_head_.push_back(UINT32_MAX);
+    out_tail_.push_back(UINT32_MAX);
+    in_head_.push_back(UINT32_MAX);
+    in_tail_.push_back(UINT32_MAX);
     return StateId(si);
 }
 
 std::uint32_t StateGraph::add_arc(StateId from, StateId to, SignalId signal) {
     const BitVec& cf = states_[from.index()].code;
     const BitVec& ct = states_[to.index()].code;
-    BitVec diff = cf;
-    diff ^= ct;
-    if (diff.count() != 1 || !diff.test(signal.index()))
+    // Consistency: the codes differ in exactly bit `signal` — checked
+    // word-wise without materializing the xor.
+    const std::uint64_t* wf = cf.word_data();
+    const std::uint64_t* wt = ct.word_data();
+    const std::size_t sig_word = signal.index() / 64;
+    const std::uint64_t sig_bit = std::uint64_t(1) << (signal.index() % 64);
+    bool consistent = sig_word < cf.num_words() && (wf[sig_word] ^ wt[sig_word]) == sig_bit;
+    for (std::size_t w = 0; consistent && w < cf.num_words(); ++w)
+        if (w != sig_word && wf[w] != wt[w]) consistent = false;
+    if (!consistent)
         throw SpecError("inconsistent arc " + state_label(from) + " -> " + state_label(to) +
                         " on signal " + signals_[signal].name);
     const auto idx = static_cast<std::uint32_t>(arcs_.size());
     arcs_.push_back(Arc{from, to, signal});
-    states_[from.index()].out.push_back(idx);
-    states_[to.index()].in.push_back(idx);
+    out_next_.push_back(UINT32_MAX);
+    in_next_.push_back(UINT32_MAX);
+    if (out_head_[from.index()] == UINT32_MAX)
+        out_head_[from.index()] = idx;
+    else
+        out_next_[out_tail_[from.index()]] = idx;
+    out_tail_[from.index()] = idx;
+    if (in_head_[to.index()] == UINT32_MAX)
+        in_head_[to.index()] = idx;
+    else
+        in_next_[in_tail_[to.index()]] = idx;
+    in_tail_[to.index()] = idx;
     excited_rows_[signal.index()].set(from.index());
     auto& slot = arc_on_[from.index() * signals_.size() + signal.index()];
     if (slot == UINT32_MAX) slot = idx;
@@ -50,7 +94,7 @@ bool StateGraph::excited(StateId s, SignalId v) const {
         obs::hot(obs::Hot::ExcitedIndexHit);
         return excited_rows_[v.index()].test(s.index());
     }
-    for (const auto a : states_[s.index()].out)
+    for (const auto a : out_arcs(s))
         if (arcs_[a].signal == v) return true;
     return false;
 }
@@ -60,7 +104,7 @@ std::uint32_t StateGraph::arc_on(StateId s, SignalId v) const {
         obs::hot(obs::Hot::ArcOnIndexHit);
         return arc_on_[s.index() * signals_.size() + v.index()];
     }
-    for (const auto a : states_[s.index()].out)
+    for (const auto a : out_arcs(s))
         if (arcs_[a].signal == v) return a;
     return UINT32_MAX;
 }
@@ -78,7 +122,7 @@ BitVec StateGraph::reachable() const {
     while (!queue.empty()) {
         const StateId s = queue.front();
         queue.pop_front();
-        for (const auto a : states_[s.index()].out) {
+        for (const auto a : out_arcs(s)) {
             const StateId t = arcs_[a].to;
             if (!seen.test(t.index())) {
                 seen.set(t.index());
@@ -113,7 +157,7 @@ std::string StateGraph::dump() const {
         const StateId s{i};
         out += "  " + state_label(s);
         if (s == initial_) out += " (initial)";
-        for (const auto a : states_[i].out) {
+        for (const auto a : out_arcs(s)) {
             out += "  " + to_string(edge_of(a), signals_) + "->" + state_label(arcs_[a].to);
         }
         out += "\n";

@@ -46,7 +46,7 @@ std::vector<StateId> offending_for(const sg::RegionAnalysis& ra,
         while (!queue.empty()) {
             const StateId s = queue.front();
             queue.pop_front();
-            for (const auto a : sg.state(s).out) {
+            for (const auto a : sg.out_arcs(s)) {
                 const StateId t = sg.arc(a).to;
                 if (region.cfr.test(t.index()) && !after_zero.test(t.index())) {
                     after_zero.set(t.index());

@@ -78,6 +78,16 @@ public:
         }
     }
 
+    /// Raw 64-bit word access for arena packing and word-parallel scans.
+    /// Bit i lives at word_data()[i / 64] bit (i % 64); tail bits beyond
+    /// size() are zero.
+    [[nodiscard]] const std::uint64_t* word_data() const { return words_.data(); }
+    [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+    /// Builds a BitVec of `nbits` bits from packed words (tail bits of
+    /// the last word are masked off).
+    [[nodiscard]] static BitVec from_words(const std::uint64_t* words, std::size_t nbits);
+
     /// Stable hash of the contents (for hash-consing markings/codes).
     [[nodiscard]] std::size_t hash() const;
 

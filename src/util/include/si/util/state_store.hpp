@@ -1,0 +1,311 @@
+// Arena-packed state storage with sharded open-addressing interning.
+//
+// The explicit engines (marking exploration, verifier composites,
+// minimize signatures, projection pairs) used to keep one heap node per
+// state inside unordered containers; at 10^4+ states the pointer chasing
+// and per-node allocation dominate the walk. Here every state code is a
+// fixed-width row of 64-bit words in one contiguous arena, and the hash
+// table stores only dense 32-bit ids in flat power-of-two slot arrays
+// (open addressing, linear probing, no tombstones — nothing is ever
+// erased, so every non-empty slot is live and lookups never step over
+// graves).
+//
+// Sharding: the slot space is split into `shards` independent tables
+// selected by the top hash bits. A shard per ThreadPool worker bounds
+// probe-chain interference when workers intern disjoint frontiers; ids
+// are always handed out from the shared arena in insertion order, so the
+// id sequence — and everything derived from it — is identical for any
+// shard count and any worker count (the deterministic merge is the arena
+// order itself). The default shard count is fixed (not num_threads()) so
+// recorded probe/resize counters are byte-identical across thread
+// configurations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace si::util {
+
+/// Contiguous rows of `words_per_code` uint64 words. Row ids are dense
+/// and stable; growth is geometric (rows never move mid-call, the whole
+/// buffer reallocates on push like vector).
+class CodeArena {
+public:
+    explicit CodeArena(std::size_t words_per_code) : wpc_(words_per_code ? words_per_code : 1) {}
+
+    [[nodiscard]] std::size_t words_per_code() const { return wpc_; }
+    [[nodiscard]] std::size_t size() const { return rows_; }
+    [[nodiscard]] std::size_t capacity_rows() const { return data_.capacity() / wpc_; }
+
+    std::uint32_t push(const std::uint64_t* words) {
+        data_.insert(data_.end(), words, words + wpc_);
+        return static_cast<std::uint32_t>(rows_++);
+    }
+    [[nodiscard]] const std::uint64_t* row(std::uint32_t id) const {
+        return data_.data() + std::size_t(id) * wpc_;
+    }
+
+    void clear() {
+        data_.clear();
+        rows_ = 0;
+    }
+
+private:
+    std::vector<std::uint64_t> data_;
+    std::size_t wpc_;
+    std::size_t rows_ = 0;
+};
+
+namespace detail {
+/// splitmix64-style word mixer; the avalanche matters because shard
+/// selection uses the top bits and probing the low bits.
+inline std::uint64_t mix_u64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_words(const std::uint64_t* w, std::size_t n) {
+    std::uint64_t h = 0x243f6a8885a308d3ull ^ (n * 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < n; ++i) h = mix_u64(h ^ w[i]);
+    return h;
+}
+} // namespace detail
+
+/// Interns fixed-width word codes; returns dense ids in insertion order.
+class StateStore {
+public:
+    static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+    /// `shards` must be a power of two; the default is fixed so counter
+    /// streams don't depend on the thread configuration.
+    explicit StateStore(std::size_t words_per_code, std::size_t shards = 8)
+        : arena_(words_per_code), shards_(shards ? shards : 1) {
+        for (auto& s : shards_) s.slots.assign(kInitialSlots, kEmpty);
+    }
+
+    /// Interns `words` (exactly words_per_code() of them). Returns the
+    /// dense id and whether it was newly inserted.
+    std::pair<std::uint32_t, bool> intern(const std::uint64_t* words) {
+        const std::uint64_t h = detail::hash_words(words, arena_.words_per_code());
+        Shard& sh = shards_[(h >> 48) & (shards_.size() - 1)];
+        if ((sh.count + 1) * 4 > sh.slots.size() * 3) grow(sh);
+        const std::size_t mask = sh.slots.size() - 1;
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        while (true) {
+            ++probes_;
+            const std::uint32_t id = sh.slots[i];
+            if (id == kEmpty) {
+                const std::uint32_t fresh = arena_.push(words);
+                sh.slots[i] = fresh;
+                ++sh.count;
+                return {fresh, true};
+            }
+            if (equal(arena_.row(id), words)) return {id, false};
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Lookup without insertion; kEmpty when absent.
+    [[nodiscard]] std::uint32_t find(const std::uint64_t* words) const {
+        const std::uint64_t h = detail::hash_words(words, arena_.words_per_code());
+        const Shard& sh = shards_[(h >> 48) & (shards_.size() - 1)];
+        const std::size_t mask = sh.slots.size() - 1;
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        while (true) {
+            const std::uint32_t id = sh.slots[i];
+            if (id == kEmpty) return kEmpty;
+            if (equal(arena_.row(id), words)) return id;
+            i = (i + 1) & mask;
+        }
+    }
+
+    [[nodiscard]] const std::uint64_t* code(std::uint32_t id) const { return arena_.row(id); }
+    [[nodiscard]] std::size_t size() const { return arena_.size(); }
+    [[nodiscard]] std::size_t words_per_code() const { return arena_.words_per_code(); }
+    [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+    /// Probe steps (slot inspections) across all interns/finds.
+    [[nodiscard]] std::uint64_t probes() const { return probes_; }
+    /// Shard slot-array doublings.
+    [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+    /// Live slots across shards; equals size() while no clear() happened
+    /// — the tombstone-free invariant (nothing is ever erased).
+    [[nodiscard]] std::size_t occupied_slots() const {
+        std::size_t n = 0;
+        for (const auto& s : shards_) n += s.count;
+        return n;
+    }
+
+private:
+    struct Shard {
+        std::vector<std::uint32_t> slots;
+        std::size_t count = 0;
+    };
+    static constexpr std::size_t kInitialSlots = 16;
+
+    [[nodiscard]] bool equal(const std::uint64_t* a, const std::uint64_t* b) const {
+        for (std::size_t i = 0; i < arena_.words_per_code(); ++i)
+            if (a[i] != b[i]) return false;
+        return true;
+    }
+
+    void grow(Shard& sh) {
+        ++resizes_;
+        std::vector<std::uint32_t> old = std::move(sh.slots);
+        sh.slots.assign(old.size() * 2, kEmpty);
+        const std::size_t mask = sh.slots.size() - 1;
+        for (const std::uint32_t id : old) {
+            if (id == kEmpty) continue;
+            std::size_t i = static_cast<std::size_t>(
+                                detail::hash_words(arena_.row(id), arena_.words_per_code())) &
+                            mask;
+            while (sh.slots[i] != kEmpty) i = (i + 1) & mask;
+            sh.slots[i] = id;
+        }
+    }
+
+    CodeArena arena_;
+    std::vector<Shard> shards_;
+    std::uint64_t probes_ = 0;
+    std::uint64_t resizes_ = 0;
+};
+
+/// Interns variable-length uint64 sequences (refinement signatures and
+/// other composite keys). Same open-addressing/no-tombstone discipline
+/// as StateStore; ids are dense in insertion order.
+class SeqStore {
+public:
+    static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+    explicit SeqStore(std::size_t shards = 8) : shards_(shards ? shards : 1) {
+        for (auto& s : shards_) s.slots.assign(64, kEmpty);
+        offsets_.push_back(0);
+    }
+
+    std::pair<std::uint32_t, bool> intern(const std::uint64_t* words, std::size_t n) {
+        const std::uint64_t h = detail::hash_words(words, n);
+        Shard& sh = shards_[(h >> 48) & (shards_.size() - 1)];
+        if ((sh.count + 1) * 4 > sh.slots.size() * 3) grow(sh);
+        const std::size_t mask = sh.slots.size() - 1;
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        while (true) {
+            const std::uint32_t id = sh.slots[i];
+            if (id == kEmpty) {
+                const auto fresh = static_cast<std::uint32_t>(offsets_.size() - 1);
+                data_.insert(data_.end(), words, words + n);
+                offsets_.push_back(data_.size());
+                sh.slots[i] = fresh;
+                ++sh.count;
+                return {fresh, true};
+            }
+            if (equal(id, words, n)) return {id, false};
+            i = (i + 1) & mask;
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+
+private:
+    struct Shard {
+        std::vector<std::uint32_t> slots;
+        std::size_t count = 0;
+    };
+
+    [[nodiscard]] bool equal(std::uint32_t id, const std::uint64_t* words, std::size_t n) const {
+        const std::size_t b = offsets_[id];
+        if (offsets_[id + 1] - b != n) return false;
+        for (std::size_t i = 0; i < n; ++i)
+            if (data_[b + i] != words[i]) return false;
+        return true;
+    }
+
+    void grow(Shard& sh) {
+        std::vector<std::uint32_t> old = std::move(sh.slots);
+        sh.slots.assign(old.size() * 2, kEmpty);
+        const std::size_t mask = sh.slots.size() - 1;
+        for (const std::uint32_t id : old) {
+            if (id == kEmpty) continue;
+            const std::size_t b = offsets_[id];
+            std::size_t i = static_cast<std::size_t>(
+                                detail::hash_words(data_.data() + b, offsets_[id + 1] - b)) &
+                            mask;
+            while (sh.slots[i] != kEmpty) i = (i + 1) & mask;
+            sh.slots[i] = id;
+        }
+    }
+
+    std::vector<Shard> shards_;
+    std::vector<std::uint64_t> data_;
+    std::vector<std::size_t> offsets_;
+};
+
+/// Flat open-addressing set of uint64 keys (projection pairs, arc-dedup
+/// keys). No tombstones; kSentinel is tracked out of band so every key
+/// value is usable.
+class U64Set {
+public:
+    explicit U64Set(std::size_t initial_slots = 64) {
+        std::size_t n = 16;
+        while (n < initial_slots) n *= 2;
+        slots_.assign(n, kSentinel);
+    }
+
+    /// True when the key was newly inserted.
+    bool insert(std::uint64_t key) {
+        if (key == kSentinel) {
+            const bool fresh = !has_sentinel_;
+            has_sentinel_ = true;
+            return fresh;
+        }
+        if ((count_ + 1) * 4 > slots_.size() * 3) grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(detail::mix_u64(key)) & mask;
+        while (true) {
+            if (slots_[i] == kSentinel) {
+                slots_[i] = key;
+                ++count_;
+                return true;
+            }
+            if (slots_[i] == key) return false;
+            i = (i + 1) & mask;
+        }
+    }
+
+    [[nodiscard]] bool contains(std::uint64_t key) const {
+        if (key == kSentinel) return has_sentinel_;
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(detail::mix_u64(key)) & mask;
+        while (true) {
+            if (slots_[i] == kSentinel) return false;
+            if (slots_[i] == key) return true;
+            i = (i + 1) & mask;
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const { return count_ + (has_sentinel_ ? 1 : 0); }
+
+private:
+    static constexpr std::uint64_t kSentinel = ~0ull;
+
+    void grow() {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, kSentinel);
+        const std::size_t mask = slots_.size() - 1;
+        for (const std::uint64_t key : old) {
+            if (key == kSentinel) continue;
+            std::size_t i = static_cast<std::size_t>(detail::mix_u64(key)) & mask;
+            while (slots_[i] != kSentinel) i = (i + 1) & mask;
+            slots_[i] = key;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t count_ = 0;
+    bool has_sentinel_ = false;
+};
+
+} // namespace si::util

@@ -106,6 +106,13 @@ std::size_t BitVec::find_next(std::size_t i) const {
     }
 }
 
+BitVec BitVec::from_words(const std::uint64_t* words, std::size_t nbits) {
+    BitVec out(nbits);
+    for (std::size_t i = 0; i < out.words_.size(); ++i) out.words_[i] = words[i];
+    out.trim_tail();
+    return out;
+}
+
 std::size_t BitVec::hash() const {
     // FNV-1a over the words plus the length.
     std::size_t h = 1469598103934665603ull;

@@ -9,6 +9,7 @@
 #include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
 
 namespace si::verify::fault {
 
@@ -93,16 +94,33 @@ struct CompositeHash {
 
 struct Move {
     GateId gate;        ///< fired gate (Input gates model environment moves)
-    std::string action; ///< "+name" / "-name"
+    bool up = false;    ///< new output value
+    std::string action; ///< "+name" / "-name"; empty on the fast path (lazy)
     Composite next;
     bool conformant = true; ///< spec allows this latched-signal change
 };
+
+// "+name"/"-name" for a move; the fast path defers the string build to
+// the few moves that end up in a trace or message.
+std::string move_action(const net::Netlist& nl, const Move& m) {
+    if (!m.action.empty()) return m.action;
+    return (m.up ? "+" : "-") + nl.gate(m.gate).name;
+}
+
+// True iff `token` is the action string of `m`, without materializing it.
+bool move_matches(const net::Netlist& nl, const Move& m, const std::string& token) {
+    if (!m.action.empty()) return m.action == token;
+    const std::string& name = nl.gate(m.gate).name;
+    return token.size() == name.size() + 1 && token[0] == (m.up ? '+' : '-') &&
+           token.compare(1, std::string::npos, name) == 0;
+}
 
 // All moves available in `c`, in deterministic gate order. Non-conformant
 // latched firings are included (flagged) so callers decide whether they
 // are a violation to report or a witness step to replay.
 std::vector<Move> enabled_moves(const net::Netlist& nl, const sg::StateGraph& spec,
                                 const Composite& c) {
+    const bool lazy = util::fast_path(); // defer action-string builds
     std::vector<Move> out;
     for (std::size_t vi = 0; vi < spec.num_signals(); ++vi) {
         const SignalId v{vi};
@@ -116,9 +134,9 @@ std::vector<Move> enabled_moves(const net::Netlist& nl, const sg::StateGraph& sp
         Composite next = c;
         next.values.flip(in_gate.index());
         next.spec = spec.arc(arc).to;
-        const std::string action =
-            (next.values.test(in_gate.index()) ? "+" : "-") + nl.gate(in_gate).name;
-        out.push_back({in_gate, action, std::move(next), true});
+        const bool up = next.values.test(in_gate.index());
+        std::string action = lazy ? std::string() : (up ? "+" : "-") + nl.gate(in_gate).name;
+        out.push_back({in_gate, up, std::move(action), std::move(next), true});
     }
     for (std::size_t g = 0; g < nl.num_gates(); ++g) {
         const GateId gid{g};
@@ -135,7 +153,8 @@ std::vector<Move> enabled_moves(const net::Netlist& nl, const sg::StateGraph& sp
                 arc != UINT32_MAX && spec.value(spec.arc(arc).to, gate.signal) == new_value;
             if (conformant) next.spec = spec.arc(arc).to;
         }
-        out.push_back({gid, (new_value ? "+" : "-") + gate.name, std::move(next), conformant});
+        std::string action = lazy ? std::string() : (new_value ? "+" : "-") + gate.name;
+        out.push_back({gid, new_value, std::move(action), std::move(next), conformant});
     }
     return out;
 }
@@ -168,17 +187,48 @@ std::string disabled_gate(const net::Netlist& nl, const net::FanoutIndex* fo,
 struct NominalNode {
     Composite state;
     std::uint32_t parent;
-    std::string action;
+    GateId gate = GateId::invalid(); ///< move that reached this node
+    bool up = false;
+    std::string action; ///< eager on the seed path; empty on the fast path
 };
 
 std::vector<NominalNode> explore_nominal(const net::Netlist& nl, const sg::StateGraph& spec,
                                          std::size_t max_states) {
     std::vector<NominalNode> nodes;
-    std::unordered_map<Composite, std::uint32_t, CompositeHash> index;
     const Composite init{nl.initial_values(), spec.initial()};
-    index.emplace(init, 0);
-    nodes.push_back({init, UINT32_MAX, ""});
     std::deque<std::uint32_t> queue{0};
+    if (util::fast_path()) {
+        // Packed-code interning: one contiguous row per composite instead
+        // of a BitVec-hashed map node, same insertion-order ids.
+        const std::size_t vw = init.values.num_words();
+        util::StateStore store(vw + 1);
+        std::vector<std::uint64_t> packed(vw + 1);
+        auto pack = [&](const Composite& c) {
+            for (std::size_t w = 0; w < vw; ++w) packed[w] = c.values.word_data()[w];
+            packed[vw] = c.spec.raw();
+        };
+        pack(init);
+        store.intern(packed.data());
+        nodes.push_back({init, UINT32_MAX, GateId::invalid(), false, ""});
+        while (!queue.empty() && nodes.size() < max_states) {
+            const std::uint32_t cur = queue.front();
+            queue.pop_front();
+            const Composite c = nodes[cur].state; // copy: nodes may reallocate
+            for (auto& m : enabled_moves(nl, spec, c)) {
+                if (!m.conformant) continue; // nominal exploration stays in-spec
+                pack(m.next);
+                if (!store.intern(packed.data()).second) continue;
+                const auto id = static_cast<std::uint32_t>(nodes.size());
+                nodes.push_back({std::move(m.next), cur, m.gate, m.up, std::move(m.action)});
+                queue.push_back(id);
+                if (nodes.size() >= max_states) break;
+            }
+        }
+        return nodes;
+    }
+    std::unordered_map<Composite, std::uint32_t, CompositeHash> index;
+    index.emplace(init, 0);
+    nodes.push_back({init, UINT32_MAX, GateId::invalid(), false, ""});
     while (!queue.empty() && nodes.size() < max_states) {
         const std::uint32_t cur = queue.front();
         queue.pop_front();
@@ -188,7 +238,7 @@ std::vector<NominalNode> explore_nominal(const net::Netlist& nl, const sg::State
             const auto [it, inserted] =
                 index.emplace(m.next, static_cast<std::uint32_t>(nodes.size()));
             if (!inserted) continue;
-            nodes.push_back({std::move(m.next), cur, m.action});
+            nodes.push_back({std::move(m.next), cur, m.gate, m.up, std::move(m.action)});
             queue.push_back(it->second);
             if (nodes.size() >= max_states) break;
         }
@@ -196,10 +246,15 @@ std::vector<NominalNode> explore_nominal(const net::Netlist& nl, const sg::State
     return nodes;
 }
 
-std::vector<std::string> trace_to(const std::vector<NominalNode>& nodes, std::uint32_t node) {
+std::vector<std::string> trace_to(const net::Netlist& nl, const std::vector<NominalNode>& nodes,
+                                  std::uint32_t node) {
     std::vector<std::string> out;
-    for (std::uint32_t n = node; n != UINT32_MAX; n = nodes[n].parent)
-        if (!nodes[n].action.empty()) out.push_back(nodes[n].action);
+    for (std::uint32_t n = node; n != UINT32_MAX; n = nodes[n].parent) {
+        if (!nodes[n].action.empty())
+            out.push_back(nodes[n].action);
+        else if (nodes[n].gate.is_valid())
+            out.push_back((nodes[n].up ? "+" : "-") + nl.gate(nodes[n].gate).name);
+    }
     std::reverse(out.begin(), out.end());
     return out;
 }
@@ -248,7 +303,7 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
         Injection& inj = out[i];
         inj.cls = cls;
         inj.gate = nl.gate(gid).name;
-        inj.witness = trace_to(nodes, site.node);
+        inj.witness = trace_to(nl, nodes, site.node);
         inj.witness.push_back(token_prefix + inj.gate);
 
         obs::Span span("fault.inject");
@@ -307,7 +362,7 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
     for (std::size_t step = 0; step < max_steps; ++step) {
         auto moves = enabled_moves(nl, spec, c);
         if (moves.empty()) {
-            if (!spec.state(c.spec).out.empty()) {
+            if (!spec.out_arcs(c.spec).empty()) {
                 out.violation_found = true;
                 out.detail = "deadlock: no gate or input can fire but the spec expects "
                              "progress at " +
@@ -316,7 +371,7 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
             return out;
         }
         auto& m = moves[rng() % moves.size()];
-        out.trace.push_back(m.action);
+        out.trace.push_back(move_action(nl, m));
         ++out.steps;
         if (!m.conformant) {
             out.violation_found = true;
@@ -330,7 +385,7 @@ ScheduleResult adversarial_schedule(const net::Netlist& nl, const sg::StateGraph
         if (const auto g = disabled_gate(nl, fo ? &*fo : nullptr, c, m.next, fired, m.gate);
             !g.empty()) {
             out.violation_found = true;
-            out.detail = "gate '" + g + "' disabled while excited by " + m.action;
+            out.detail = "gate '" + g + "' disabled while excited by " + out.trace.back();
             return out;
         }
         c = std::move(m.next);
@@ -364,7 +419,7 @@ ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
         auto moves = enabled_moves(nl, spec, c);
         const Move* chosen = nullptr;
         for (const auto& m : moves)
-            if (m.action == token) chosen = &m;
+            if (move_matches(nl, m, token)) chosen = &m;
         if (chosen == nullptr) {
             out.error = "action '" + token + "' is not executable here";
             return out;
@@ -384,7 +439,7 @@ ReplayResult replay_witness(const net::Netlist& nl, const sg::StateGraph& spec,
         }
         c = chosen->next;
     }
-    if (!out.anomaly && enabled_moves(nl, spec, c).empty() && !spec.state(c.spec).out.empty()) {
+    if (!out.anomaly && enabled_moves(nl, spec, c).empty() && !spec.out_arcs(c.spec).empty()) {
         out.anomaly = true;
         out.anomaly_detail = "deadlock at the end of the trace";
     }

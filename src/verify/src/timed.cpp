@@ -177,7 +177,7 @@ private:
             progress = true; // a must-fire gate exists; firings cover it
         }
 
-        if (!progress && !spec_.state(s.spec).out.empty())
+        if (!progress && !spec_.out_arcs(s.spec).empty())
             fail(cur, "deadlock: nothing can fire but the spec expects progress at " +
                           spec_.state_label(s.spec));
     }

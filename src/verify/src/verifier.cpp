@@ -9,6 +9,7 @@
 #include "si/sg/analysis.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
 #include "si/verify/performance.hpp"
 
 namespace si::verify {
@@ -66,6 +67,9 @@ class Verifier {
 public:
     Verifier(const net::Netlist& nl, const sg::StateGraph& spec, const VerifyOptions& opts)
         : nl_(nl), spec_(spec), opts_(opts), use_fanout_(util::fast_path()),
+          value_words_((nl.num_gates() + 63) / 64),
+          store_(use_fanout_ ? value_words_ + 1 : 1),
+          packed_(value_words_ + 1, 0),
           meter_("verify.explore", opts.budget) {
         meter_.local().cap(util::Resource::States, opts.max_states);
         if (use_fanout_) fanout_ = net::FanoutIndex(nl);
@@ -77,8 +81,9 @@ public:
         const Composite init{opts_.start_values ? *opts_.start_values : nl_.initial_values(),
                              opts_.start_spec ? *opts_.start_spec : spec_.initial()};
         require(init.values.size() == nl_.num_gates(), "start_values width != gate count");
-        index_.emplace(init, 0);
-        nodes_.push_back(Node{init, UINT32_MAX, ""});
+        (void)remember(init);
+        nodes_.push_back(Node{init, UINT32_MAX, GateId::invalid(), false,
+                              use_fanout_ ? excited_gates(init) : BitVec()});
         (void)meter_.charge(util::Resource::States);
         std::deque<std::uint32_t> queue{0};
 
@@ -113,6 +118,12 @@ public:
             obs::count("verify.states", nodes_.size());
             obs::count("verify.transitions", result_.transitions_explored);
             obs::count("verify.violations", result_.violations.size());
+            // Store telemetry is Diag: the packed index only runs on the
+            // fast path, so its counters depend on which path was active.
+            if (use_fanout_) {
+                obs::count("verify.store.probes", store_.probes(), obs::Tag::Diag);
+                obs::count("verify.store.resizes", store_.resizes(), obs::Tag::Diag);
+            }
         }
         return std::move(result_);
     }
@@ -121,13 +132,40 @@ private:
     struct Node {
         Composite state;
         std::uint32_t parent;
-        std::string action;
+        // The step that reached this node, as (gate, new value) — the
+        // "+name"/"-name" string is only materialized when a violation
+        // needs a trace, not once per explored transition.
+        GateId act_gate;
+        bool act_up;
+        // Fast path: the excited non-input gates at this node, maintained
+        // incrementally — a step on gate g can only change excitation of
+        // g and its fanout, so each step recomputes those bits instead of
+        // re-evaluating every gate function. Empty on the slow path.
+        BitVec excited;
     };
+
+    [[nodiscard]] std::string action_string(GateId gate, bool up) const {
+        return (up ? "+" : "-") + nl_.gate(gate).name;
+    }
+
+    /// Records the composite in the visited index. Fast path: packed
+    /// [value words..., spec] rows in a StateStore (ids are handed out in
+    /// insertion order, matching nodes_). Returns whether it was new.
+    bool remember(const Composite& c) {
+        if (use_fanout_) {
+            const std::size_t vw = c.values.num_words();
+            for (std::size_t w = 0; w < vw; ++w) packed_[w] = c.values.word_data()[w];
+            packed_[value_words_] = c.spec.raw();
+            return store_.intern(packed_.data()).second;
+        }
+        return index_.emplace(c, static_cast<std::uint32_t>(nodes_.size())).second;
+    }
 
     void add_violation(ViolationKind kind, std::uint32_t node, std::string message) {
         Violation v{kind, std::move(message), {}, {}};
         for (std::uint32_t n = node; n != UINT32_MAX; n = nodes_[n].parent) {
-            if (!nodes_[n].action.empty()) v.trace.push_back(nodes_[n].action);
+            if (nodes_[n].act_gate.is_valid())
+                v.trace.push_back(action_string(nodes_[n].act_gate, nodes_[n].act_up));
         }
         std::reverse(v.trace.begin(), v.trace.end());
         // Provenance: the open span path while tracing, else the budget
@@ -149,52 +187,114 @@ private:
     }
 
     void check_disabling(std::uint32_t from_node, const Composite& before, const Composite& after,
-                         GateId fired, GateId flipped, const std::string& action) {
+                         GateId fired, GateId flipped, bool flipped_up) {
         // Pure-delay semantics: any excited non-input gate must stay
-        // excited until it fires (Section III).
-        auto consider = [&](GateId gid) {
-            if (fired.is_valid() && gid == fired) return false;
-            if (nl_.gate(gid).kind == net::GateKind::Input) return false;
+        // excited until it fires (Section III). Slow path: full gate scan.
+        for (std::size_t g = 0; g < nl_.num_gates(); ++g) {
+            const GateId gid{g};
+            if (fired.is_valid() && gid == fired) continue;
+            if (nl_.gate(gid).kind == net::GateKind::Input) continue;
             if (nl_.gate_excited(gid, before.values) && !nl_.gate_excited(gid, after.values)) {
                 add_violation(ViolationKind::GateDisabled, from_node,
                               "gate '" + nl_.gate(gid).name + "' disabled while excited by " +
-                                  action + " (unacknowledged switching: hazard)");
-                return opts_.stop_at_first;
+                                  action_string(flipped, flipped_up) +
+                                  " (unacknowledged switching: hazard)");
+                if (opts_.stop_at_first) return;
             }
-            return false;
-        };
-        if (use_fanout_) {
-            // Only the flipped gate's readers can change excitation (the
-            // flipped gate itself is the fired gate or an input). The
-            // fanout rows are ascending, so violations come out in the
-            // same gate order as the full scan.
-            obs::hot(obs::Hot::FanoutNarrowed);
-            for (const GateId gid : fanout_.of(flipped))
-                if (consider(gid)) return;
-            return;
         }
-        for (std::size_t g = 0; g < nl_.num_gates(); ++g)
-            if (consider(GateId(g))) return;
     }
 
     void take_step(std::uint32_t cur, Composite next, GateId fired, GateId flipped,
-                   const std::string& action, std::deque<std::uint32_t>& queue) {
+                   bool flipped_up, std::deque<std::uint32_t>& queue) {
         if (meter_.exhausted()) return; // stop materializing states once tripped
         ++result_.transitions_explored;
         (void)meter_.charge(util::Resource::Steps);
-        check_disabling(cur, nodes_[cur].state, next, fired, flipped, action);
-        const auto [it, inserted] = index_.emplace(next, static_cast<std::uint32_t>(nodes_.size()));
-        if (inserted) {
+        check_disabling(cur, nodes_[cur].state, next, fired, flipped, flipped_up);
+        if (remember(next)) {
             if (!meter_.charge(util::Resource::States)) {
-                index_.erase(it);
+                // Un-record the state we cannot afford.
+                index_.erase(next);
                 return;
             }
-            nodes_.push_back(Node{std::move(next), cur, action});
-            queue.push_back(it->second);
+            const auto id = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.push_back(Node{std::move(next), cur, flipped, flipped_up, BitVec()});
+            queue.push_back(id);
         }
     }
 
+    // Fast path: explore the move that flips `flipped` out of node `cur`.
+    // scratch_state_.values holds cur's gate values and is flipped in
+    // place for the duration of the call (restored before returning), so
+    // a revisited successor costs no allocation at all; the successor
+    // Composite and its excitation set are only materialized when the
+    // packed store reports the state as new.
+    void take_step_fast(std::uint32_t cur, GateId fired, GateId flipped, bool flipped_up,
+                        StateId next_spec, std::deque<std::uint32_t>& queue) {
+        if (meter_.exhausted()) return; // stop materializing states once tripped
+        ++result_.transitions_explored;
+        (void)meter_.charge(util::Resource::Steps);
+        obs::hot(obs::Hot::FanoutNarrowed);
+        BitVec& vals = scratch_state_.values;
+        vals.flip(flipped.index());
+
+        // Only `flipped` and its readers can change excitation. touched_
+        // merges flipped into the (ascending, duplicate-free) fanout row,
+        // so the disabling scan below reports violations in the same gate
+        // order as a full scan.
+        touched_.clear();
+        auto touch = [&](GateId gid) {
+            if (nl_.gate(gid).kind == net::GateKind::Input) return;
+            touched_.emplace_back(static_cast<std::uint32_t>(gid.index()),
+                                  nl_.gate_excited(gid, vals));
+        };
+        bool flipped_merged = false;
+        for (const GateId gid : fanout_.of(flipped)) {
+            if (!flipped_merged && flipped.index() <= gid.index()) {
+                if (flipped.index() < gid.index()) touch(flipped);
+                flipped_merged = true;
+            }
+            touch(gid);
+        }
+        if (!flipped_merged) touch(flipped);
+
+        // Disabling check: excited before, not excited after, didn't fire.
+        for (const auto& [g, ex_after] : touched_) {
+            if (ex_after || !scratch_ex_.test(g)) continue;
+            if (fired.is_valid() && g == fired.index()) continue;
+            add_violation(ViolationKind::GateDisabled, cur,
+                          "gate '" + nl_.gate(GateId(g)).name + "' disabled while excited by " +
+                              action_string(flipped, flipped_up) +
+                              " (unacknowledged switching: hazard)");
+            // Stop scanning, but still record the successor below — the
+            // run loop is what cuts the exploration short.
+            if (opts_.stop_at_first) break;
+        }
+
+        const std::size_t vw = vals.num_words();
+        for (std::size_t w = 0; w < vw; ++w) packed_[w] = vals.word_data()[w];
+        packed_[value_words_] = next_spec.raw();
+        if (store_.intern(packed_.data()).second) {
+            if (!meter_.charge(util::Resource::States)) {
+                // The packed store has no erase, but the meter is
+                // exhausted now, so no later step consults the index.
+                vals.flip(flipped.index());
+                return;
+            }
+            BitVec next_ex = scratch_ex_;
+            for (const auto& [g, ex_after] : touched_) next_ex.assign(g, ex_after);
+            const auto id = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.push_back(
+                Node{Composite{vals, next_spec}, cur, flipped, flipped_up, std::move(next_ex)});
+            queue.push_back(id);
+        }
+        vals.flip(flipped.index());
+    }
+
     void expand(std::uint32_t cur, std::deque<std::uint32_t>& queue) {
+        if (use_fanout_) {
+            expand_fast(cur, queue);
+            return;
+        }
         const Composite c = nodes_[cur].state; // copy: nodes_ may reallocate
         bool any = false;
 
@@ -211,9 +311,8 @@ private:
             Composite next = c;
             next.values.flip(in_gate.index());
             next.spec = spec_.arc(arc).to;
-            const std::string action =
-                (next.values.test(in_gate.index()) ? "+" : "-") + nl_.gate(in_gate).name;
-            take_step(cur, std::move(next), GateId::invalid(), in_gate, action, queue);
+            const bool up = next.values.test(in_gate.index());
+            take_step(cur, std::move(next), GateId::invalid(), in_gate, up, queue);
             any = true;
             if (!result_.violations.empty() && opts_.stop_at_first) return;
         }
@@ -227,7 +326,6 @@ private:
             Composite next = c;
             next.values.flip(g);
             const bool new_value = next.values.test(g);
-            const std::string action = (new_value ? "+" : "-") + gate.name;
 
             if (gate.signal.is_valid() && is_non_input(spec_.signals()[gate.signal].kind)) {
                 // A latched specification signal changed: the spec must
@@ -245,15 +343,77 @@ private:
                 }
                 next.spec = spec_.arc(arc).to;
             }
-            take_step(cur, std::move(next), gid, gid, action, queue);
+            take_step(cur, std::move(next), gid, gid, new_value, queue);
             any = true;
             if (!result_.violations.empty() && opts_.stop_at_first) return;
         }
 
-        if (!any && !spec_.state(c.spec).out.empty()) {
+        if (!any && !spec_.out_arcs(c.spec).empty()) {
             add_violation(ViolationKind::Deadlock, cur,
                           "no gate or input can fire but the spec expects progress at " +
                               spec_.state_label(c.spec));
+        }
+    }
+
+    // Fast-path expand: identical move enumeration, but the node state and
+    // excitation set are copied into capacity-reusing scratch buffers and
+    // successors are explored by take_step_fast (in-place bit flips).
+    void expand_fast(std::uint32_t cur, std::deque<std::uint32_t>& queue) {
+        scratch_state_ = nodes_[cur].state;  // scratch: nodes_ may reallocate
+        scratch_ex_ = nodes_[cur].excited;
+        const StateId cur_spec = scratch_state_.spec;
+        bool any = false;
+
+        // Environment moves: each input transition the spec enables.
+        for (std::size_t vi = 0; vi < spec_.num_signals(); ++vi) {
+            const SignalId v{vi};
+            if (spec_.signals()[v].kind != SignalKind::Input) continue;
+            const auto arc = spec_.arc_on(cur_spec, v);
+            if (arc == UINT32_MAX) continue;
+            const GateId in_gate = nl_.gate_of_signal(v);
+            require(in_gate.is_valid(), "input signal without an Input gate");
+            require(scratch_state_.values.test(in_gate.index()) == spec_.value(cur_spec, v),
+                    "input gate out of sync with the specification");
+            const bool up = !scratch_state_.values.test(in_gate.index());
+            take_step_fast(cur, GateId::invalid(), in_gate, up, spec_.arc(arc).to, queue);
+            any = true;
+            if (!result_.violations.empty() && opts_.stop_at_first) return;
+        }
+
+        // Circuit moves: walk the cached excitation set (ascending, the
+        // same order as the slow path's full scan).
+        for (std::size_t g = scratch_ex_.find_first(); g < nl_.num_gates();
+             g = scratch_ex_.find_next(g)) {
+            const GateId gid{g};
+            const auto& gate = nl_.gate(gid);
+            const bool new_value = !scratch_state_.values.test(g);
+            StateId next_spec = cur_spec;
+
+            if (gate.signal.is_valid() && is_non_input(spec_.signals()[gate.signal].kind)) {
+                // A latched specification signal changed: the spec must
+                // allow this transition here.
+                const auto arc = spec_.arc_on(cur_spec, gate.signal);
+                const bool allowed =
+                    arc != UINT32_MAX && spec_.value(spec_.arc(arc).to, gate.signal) == new_value;
+                if (!allowed) {
+                    add_violation(ViolationKind::NonConformant, cur,
+                                  "signal '" + gate.name + "' fired to " +
+                                      (new_value ? "1" : "0") + " at spec state " +
+                                      spec_.state_label(cur_spec) + " where it is not enabled");
+                    if (opts_.stop_at_first) return;
+                    continue;
+                }
+                next_spec = spec_.arc(arc).to;
+            }
+            take_step_fast(cur, gid, gid, new_value, next_spec, queue);
+            any = true;
+            if (!result_.violations.empty() && opts_.stop_at_first) return;
+        }
+
+        if (!any && !spec_.out_arcs(cur_spec).empty()) {
+            add_violation(ViolationKind::Deadlock, cur,
+                          "no gate or input can fire but the spec expects progress at " +
+                              spec_.state_label(cur_spec));
         }
     }
 
@@ -265,8 +425,14 @@ private:
     // route check_disabling through an empty index.
     bool use_fanout_;
     net::FanoutIndex fanout_; ///< built only when use_fanout_
+    std::size_t value_words_;            ///< packed words per gate-value row
+    util::StateStore store_;             ///< fast path: packed visited index
+    std::vector<std::uint64_t> packed_;  ///< scratch row for remember()
+    Composite scratch_state_;            ///< expand_fast: working copy of the node state
+    BitVec scratch_ex_;                  ///< expand_fast: the node's excitation set
+    std::vector<std::pair<std::uint32_t, bool>> touched_; ///< (gate, excited after flip)
     util::Meter meter_;
-    std::unordered_map<Composite, std::uint32_t, CompositeHash> index_;
+    std::unordered_map<Composite, std::uint32_t, CompositeHash> index_; ///< slow path
     std::vector<Node> nodes_;
     VerifyResult result_;
 };

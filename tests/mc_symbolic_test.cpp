@@ -1,0 +1,149 @@
+// Cross-engine agreement and governance of mc::check_stg: the symbolic
+// (BDD) MC engine must reach the same Def-18 verdict as the explicit
+// unfolding on every net both can handle, charge the same "mc.check"
+// Steps, and degrade to a reported Exhaustion instead of throwing.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/gen/gen.hpp"
+#include "si/mc/symbolic.hpp"
+#include "si/sg/from_stg.hpp"
+
+namespace si {
+namespace {
+
+// The checked-in million-state recipe (bench/million_state.recipe):
+// first non-comment line of the file.
+gen::Recipe million_recipe() {
+    std::ifstream in(SI_MILLION_RECIPE);
+    EXPECT_TRUE(in.is_open()) << SI_MILLION_RECIPE;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const auto recipe = gen::Recipe::parse(line);
+        EXPECT_TRUE(recipe.has_value()) << line;
+        return *recipe;
+    }
+    ADD_FAILURE() << "no recipe line in " << SI_MILLION_RECIPE;
+    return gen::Recipe{};
+}
+
+void expect_agreement(const stg::Stg& net, const std::string& what) {
+    const auto ex = mc::check_stg(net, mc::Engine::Explicit);
+    const auto sy = mc::check_stg(net, mc::Engine::Symbolic);
+    ASSERT_TRUE(ex.complete()) << what << ": " << ex.describe();
+    ASSERT_TRUE(sy.complete()) << what << ": " << sy.describe();
+    EXPECT_EQ(ex.satisfied, sy.satisfied) << what;
+    EXPECT_EQ(ex.regions, sy.regions) << what;
+    EXPECT_EQ(ex.missing, sy.missing) << what;
+    EXPECT_DOUBLE_EQ(ex.reachable_states, sy.reachable_states) << what;
+}
+
+TEST(McSymbolic, AgreesWithExplicitOnTable1Suite) {
+    for (const auto& entry : bench::table1_suite())
+        expect_agreement(bench::load(entry), entry.name);
+}
+
+TEST(McSymbolic, AgreesWithExplicitOnGeneratedNets) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        const auto seed = gen::derive_seed(0x51c0ffee, i);
+        const gen::Recipe recipe = gen::random_recipe(seed);
+        expect_agreement(gen::build(recipe), recipe.to_string());
+    }
+}
+
+TEST(McSymbolic, AutoSelectsEngineByEstimatedStateCount) {
+    const stg::Stg net = gen::build(*gen::Recipe::parse("par:ring3,ring3"));
+    const auto small = mc::check_stg(net, mc::Engine::Auto);
+    ASSERT_TRUE(small.complete());
+    EXPECT_EQ(small.used, mc::Engine::Explicit);
+
+    mc::StgMcOptions opts;
+    opts.auto_threshold = 4; // force the symbolic side on the same net
+    const auto big = mc::check_stg(net, mc::Engine::Auto, opts);
+    ASSERT_TRUE(big.complete());
+    EXPECT_EQ(big.used, mc::Engine::Symbolic);
+    const auto ex = mc::check_stg(net, mc::Engine::Explicit);
+    EXPECT_EQ(ex.satisfied, big.satisfied);
+    EXPECT_EQ(ex.regions, big.regions);
+    EXPECT_EQ(ex.missing, big.missing);
+}
+
+TEST(McSymbolic, SymbolicChargesOneStepPerRegionUnderMcCheck) {
+    // Budget::shard fairness across engines hangs on both engines
+    // metering the same stage with the same unit: one Steps charge per
+    // non-input excitation region under "mc.check".
+    const stg::Stg net = bench::load(bench::table1_suite().front());
+    util::Budget counting;
+    const auto res = mc::check_stg(net, mc::Engine::Symbolic, {}, &counting);
+    ASSERT_TRUE(res.complete());
+    ASSERT_GT(res.regions, 0u);
+    EXPECT_EQ(counting.consumed(util::Resource::Steps), res.regions);
+
+    util::Budget starved;
+    starved.cap(util::Resource::Steps, res.regions - 1);
+    const auto tripped = mc::check_stg(net, mc::Engine::Symbolic, {}, &starved);
+    EXPECT_FALSE(tripped.complete());
+    EXPECT_NE(tripped.exhaustion->stage.find("mc.check"), std::string::npos)
+        << tripped.exhaustion->stage;
+}
+
+TEST(McSymbolic, ExplicitEngineChargesTheSameMcCheckSteps) {
+    const stg::Stg net = bench::load(bench::table1_suite().front());
+    util::Budget sym_budget, exp_budget;
+    const auto sy = mc::check_stg(net, mc::Engine::Symbolic, {}, &sym_budget);
+    const auto ex = mc::check_stg(net, mc::Engine::Explicit, {}, &exp_budget);
+    ASSERT_TRUE(sy.complete());
+    ASSERT_TRUE(ex.complete());
+    // The explicit side also charges sg.explore Steps for the unfolding;
+    // the mc.check share is exactly the region count on both engines.
+    EXPECT_EQ(sym_budget.consumed(util::Resource::Steps), sy.regions);
+    EXPECT_GE(exp_budget.consumed(util::Resource::Steps), ex.regions);
+}
+
+TEST(McSymbolic, BddNodeExhaustionIsReportedNotThrown) {
+    const stg::Stg net = bench::load(bench::table1_suite().front());
+    util::Budget tiny;
+    tiny.cap(util::Resource::BddNodes, 16);
+    const auto res = mc::check_stg(net, mc::Engine::Symbolic, {}, &tiny);
+    EXPECT_FALSE(res.complete());
+    EXPECT_EQ(res.exhaustion->resource, util::Resource::BddNodes);
+}
+
+// The two halves of the explicit-state wall, on the checked-in
+// million-state recipe: the symbolic engine returns a complete Def-18
+// verdict without ever materializing the graph, while the explicit
+// engine trips its state budget and reports Unknown — it must not abort.
+TEST(McSymbolic, MillionStateRecipeTripsExplicitBudgetToUnknown) {
+    const stg::Stg net = gen::build(million_recipe());
+    const auto ex = mc::check_stg(net, mc::Engine::Explicit);
+    EXPECT_FALSE(ex.complete());
+    ASSERT_TRUE(ex.exhaustion.has_value());
+    EXPECT_FALSE(ex.exhaustion->stage.empty());
+}
+
+TEST(McSymbolic, MillionStateRecipeCompletesSymbolically) {
+    const stg::Stg net = gen::build(million_recipe());
+    const auto sy = mc::check_stg(net, mc::Engine::Symbolic);
+    ASSERT_TRUE(sy.complete()) << sy.describe();
+    EXPECT_GE(sy.reachable_states, 1e6);
+    EXPECT_TRUE(sy.satisfied) << sy.describe();
+    EXPECT_GT(sy.regions, 0u);
+}
+
+TEST(McSymbolic, VerdictIsDeterministicAcrossRepeats) {
+    const stg::Stg net = gen::build(*gen::Recipe::parse("par:ring2,seq2"));
+    const auto first = mc::check_stg(net, mc::Engine::Symbolic);
+    for (int i = 0; i < 3; ++i) {
+        const auto again = mc::check_stg(net, mc::Engine::Symbolic);
+        EXPECT_EQ(first.satisfied, again.satisfied);
+        EXPECT_EQ(first.regions, again.regions);
+        EXPECT_EQ(first.missing, again.missing);
+        EXPECT_DOUBLE_EQ(first.reachable_states, again.reachable_states);
+    }
+}
+
+} // namespace
+} // namespace si

@@ -139,7 +139,7 @@ z- a+
     const SignalId y = g.signals().find("y");
     const SignalId z = g.signals().find("z");
     StateId after_a = StateId::invalid();
-    for (const auto arcidx : g.state(g.initial()).out) after_a = g.arc(arcidx).to;
+    for (const auto arcidx : g.out_arcs(g.initial())) after_a = g.arc(arcidx).to;
     ASSERT_TRUE(after_a.is_valid());
     EXPECT_TRUE(g.excited(after_a, y));
     EXPECT_TRUE(g.excited(after_a, z));

@@ -1,0 +1,111 @@
+// The arena-packed sharded state store (si/util/state_store.hpp): dense
+// ids in insertion order for ANY shard count, codes stable across the
+// power-of-two slot resizes, no tombstones ever, and — through the
+// unfolder that builds on it — byte-identical state graphs across
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "si/gen/gen.hpp"
+#include "si/sg/dot.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/util/parallel.hpp"
+#include "si/util/state_store.hpp"
+
+namespace si {
+namespace {
+
+// A deterministic stream of 3-word codes with repeats mixed in.
+std::vector<std::array<std::uint64_t, 3>> code_stream(std::size_t n) {
+    std::vector<std::array<std::uint64_t, 3>> codes;
+    std::uint64_t x = 0x2545f4914f6cdd1dull;
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        codes.push_back({x, x >> 7, i % 5}); // i%5 keeps some near-collisions
+    }
+    return codes;
+}
+
+TEST(StateStore, IdsAreInsertionOrderedForAnyShardCount) {
+    const auto codes = code_stream(4096);
+    std::vector<std::uint32_t> reference;
+    for (const std::size_t shards : {1u, 2u, 8u, 16u}) {
+        util::StateStore store(3, shards);
+        std::vector<std::uint32_t> ids;
+        for (const auto& c : codes) ids.push_back(store.intern(c.data()).first);
+        if (reference.empty()) {
+            reference = ids;
+            // Dense, insertion-ordered: a fresh intern's id equals the
+            // store size right before it.
+            util::StateStore fresh(3, shards);
+            for (const auto& c : codes) {
+                const std::size_t before = fresh.size();
+                const auto [id, inserted] = fresh.intern(c.data());
+                if (inserted) EXPECT_EQ(id, before);
+            }
+        } else {
+            EXPECT_EQ(ids, reference) << shards << " shards";
+        }
+    }
+}
+
+TEST(StateStore, CodesSurviveGrowthAcrossResizeBoundaries) {
+    // 16 initial slots per shard and grow-at-3/4 means a single-shard
+    // store crosses a 2^k boundary every doubling from 12 entries on;
+    // 10k distinct codes force ~10 boundary crossings.
+    const auto codes = code_stream(10000);
+    util::StateStore store(3, 1);
+    std::vector<std::uint32_t> ids;
+    for (const auto& c : codes) ids.push_back(store.intern(c.data()).first);
+    EXPECT_GT(store.resizes(), 5u);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        ASSERT_EQ(store.find(codes[i].data()), ids[i]);
+        const std::uint64_t* row = store.code(ids[i]);
+        EXPECT_EQ(row[0], codes[i][0]);
+        EXPECT_EQ(row[1], codes[i][1]);
+        EXPECT_EQ(row[2], codes[i][2]);
+    }
+    // Re-interning is a pure lookup: same id, no insertion, no growth.
+    const auto resizes_before = store.resizes();
+    const auto size_before = store.size();
+    for (std::size_t i = 0; i < codes.size(); ++i)
+        EXPECT_EQ(store.intern(codes[i].data()), std::make_pair(ids[i], false));
+    EXPECT_EQ(store.resizes(), resizes_before);
+    EXPECT_EQ(store.size(), size_before);
+}
+
+TEST(StateStore, TombstoneFreeInvariantHolds) {
+    // Nothing is ever erased, so every non-empty slot is live:
+    // occupied_slots() tracks size() exactly, under any mix of fresh
+    // interns and duplicate hits.
+    const auto codes = code_stream(3000);
+    util::StateStore store(3);
+    for (std::size_t round = 0; round < 2; ++round) {
+        for (const auto& c : codes) {
+            (void)store.intern(c.data());
+            ASSERT_EQ(store.occupied_slots(), store.size());
+        }
+    }
+}
+
+TEST(StateStore, UnfoldingIsByteIdenticalAcrossThreadCounts) {
+    // The store hands out ids from the shared arena in insertion order,
+    // so the graphs the unfolder derives from them — and their full
+    // serialized form — cannot depend on the worker count.
+    const stg::Stg net = gen::build(*gen::Recipe::parse("par:ring3,ring3,seq3"));
+    util::set_num_threads(1);
+    const std::string reference = sg::to_dot(sg::build_state_graph(net));
+    for (const std::size_t threads : {2u, 8u}) {
+        util::set_num_threads(threads);
+        EXPECT_EQ(sg::to_dot(sg::build_state_graph(net)), reference) << threads << " threads";
+    }
+    util::set_num_threads(0);
+}
+
+} // namespace
+} // namespace si
