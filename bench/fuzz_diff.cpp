@@ -133,7 +133,13 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
-    if (!obs_out.empty() && obs::mode() != obs::Mode::Trace) obs::set_mode(obs::Mode::Trace);
+    // --obs-out defaults to Metrics mode: a full campaign records one
+    // span per pipeline stage per case, and at hundreds of cases the
+    // trace dwarfs the counters anyone diffing campaign runs wants. Set
+    // SI_OBS=trace in the environment to export the span tree instead
+    // (each campaign case is wrapped in an obs::RequestScope, so spans
+    // come back attributed to their case id).
+    if (!obs_out.empty() && obs::mode() == obs::Mode::Off) obs::set_mode(obs::Mode::Metrics);
 
     int rc = 0;
     if (selftest) {

@@ -21,6 +21,8 @@
 //   --expect-regression    invert the verdict: exit 0 iff a regression
 //                          WAS found (wires the injected-regression
 //                          ctest without PASS_REGULAR_EXPRESSION)
+//   --json                 print the diff as machine-readable JSON
+//                          (DiffResult::to_json) instead of the table
 //   -q                     print the summary line only
 //
 // Exit: 0 ok, 1 regression (inverted by --expect-regression), 2 usage
@@ -50,8 +52,8 @@ bool read_file(const std::string& path, std::string& out) {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--threshold <x> | --threshold <name>=<x>]... [--slack <n>]\n"
-                 "          [--fail-on-missing] [--inject-all <f>] [--expect-regression] [-q]\n"
-                 "          <baseline> <current>\n",
+                 "          [--fail-on-missing] [--inject-all <f>] [--expect-regression]\n"
+                 "          [--json] [-q] <baseline> <current>\n",
                  argv0);
     return 2;
 }
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
     obs::report::DiffOptions opts;
     double inject = 1.0;
     bool expect_regression = false;
+    bool json = false;
     bool quiet = false;
     std::string base_path;
     std::string cur_path;
@@ -90,6 +93,8 @@ int main(int argc, char** argv) {
             if (inject <= 0) return usage(argv[0]);
         } else if (std::strcmp(arg, "--expect-regression") == 0) {
             expect_regression = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
         } else if (std::strcmp(arg, "-q") == 0) {
             quiet = true;
         } else if (arg[0] == '-') {
@@ -127,7 +132,9 @@ int main(int argc, char** argv) {
 
     const auto diff = obs::report::diff_snapshots(base, cur, opts);
     const std::string text = diff.describe();
-    if (quiet) {
+    if (json) {
+        std::fputs(diff.to_json().c_str(), stdout);
+    } else if (quiet) {
         const auto last = text.rfind("obs_diff: ");
         std::fputs(text.c_str() + (last == std::string::npos ? 0 : last), stdout);
     } else {

@@ -14,22 +14,27 @@
 // `seed` across all workloads, plus per-workload states/sec.
 //
 // Usage: perf_baseline [--smoke] [--out <path>] [--reps <n>] [--profile]
-//                      [--obs-out <path> [--force]]
-//   --smoke    small workloads + 1 repetition (the perf-smoke ctest label)
-//   --out      JSON output path (default: BENCH_perf.json in the CWD)
-//   --profile  instead of timing, run each workload once under wall-clock
-//              tracing and dump its top-5 stage spans (inclusive ms) plus
-//              the sg.store.* counters; the gen ladder runs under both
-//              seed and indexed modes so the states/sec cliff is
-//              attributable (see EXPERIMENTS.md)
-//   --obs-out  also write the si::obs export of the untimed metrics pass
-//              (refuses to overwrite an existing file without --force)
+//                      [--obs-out <path>] [--trace-out <path>] [--force]
+//   --smoke      small workloads + 1 repetition (the perf-smoke ctest label)
+//   --out        JSON output path (default: BENCH_perf.json in the CWD)
+//   --profile    instead of timing, run each workload once under wall-clock
+//                tracing and dump its top-5 stage spans by self time plus
+//                the wall critical path and the sg.store.* counters; the
+//                gen ladder runs under both seed and indexed modes so the
+//                states/sec cliff is attributable (see EXPERIMENTS.md)
+//   --obs-out    also write the si::obs export of the untimed metrics pass
+//                (refuses to overwrite an existing file without --force)
+//   --trace-out  also write the untimed pass's span profile as
+//                trace::profile_json — the bench/trace_diff input
 //
 // The timed section always runs with obs disabled — it measures the
-// shipping configuration. A separate untimed metrics-mode pass then
-// re-runs every workload once and embeds the stable counters into the
-// JSON under "metrics", so a recorded baseline documents how much work
-// (states, transitions, SAT conflicts, BDD nodes) the numbers represent.
+// shipping configuration. A separate untimed pass then re-runs every
+// workload once under tracing with the wall lane on and embeds the
+// stable counters into the JSON under "metrics" — including per-stage
+// tick-lane latency.<span>.p50/p95/p99 counters, deterministic and
+// guarded by bench/obs_diff — plus real-nanosecond percentiles under
+// "latency_wall_ns". A recorded baseline thus documents how much work
+// the numbers represent and where the time went.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -47,6 +52,8 @@
 #include "si/gen/fuzz.hpp"
 #include "si/gen/gen.hpp"
 #include "si/obs/obs.hpp"
+#include "si/obs/report.hpp"
+#include "si/obs/trace.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/mc/requirement.hpp"
@@ -86,47 +93,35 @@ double geomean(const std::vector<double>& xs) {
 }
 
 // Runs `run` once under wall-clock tracing and prints the top-5 span
-// names by inclusive time (summed over instances) plus the sg.store.*
-// counters — the attribution data behind the gen_scaling cliff analysis.
+// names by wall self time (self, not inclusive, so rows sum to the run
+// instead of double-counting parents), the wall critical path, and the
+// sg.store.* counters — the attribution data behind the gen_scaling
+// cliff analysis. All structured analysis comes from si::obs::trace;
+// the old ad-hoc trace_tree text scraping is gone.
 void profile_one(const std::string& label, const std::function<std::uint64_t()>& run) {
     si::obs::set_mode(si::obs::Mode::Trace);
     si::obs::reset();
     const std::uint64_t states = run();
-    const std::string tree = si::obs::trace_tree();
+    const auto snap = si::obs::trace::snapshot();
+    const auto prof = si::obs::trace::profile(snap, si::obs::trace::Lane::Wall);
+    const std::string critical = si::obs::trace::critical_path_text(snap,
+                                                                    si::obs::trace::Lane::Wall);
     const std::string metrics = si::obs::metrics_text(false);
     si::obs::set_mode(si::obs::Mode::Off);
 
-    // trace_tree lines are "<indent><name> [attrs] (<N> us)".
-    std::map<std::string, std::pair<double, std::size_t>> by_name; // ms, count
-    std::size_t pos = 0;
-    while (pos < tree.size()) {
-        std::size_t eol = tree.find('\n', pos);
-        if (eol == std::string::npos) eol = tree.size();
-        std::string line = tree.substr(pos, eol - pos);
-        pos = eol + 1;
-        const std::size_t first = line.find_first_not_of(' ');
-        if (first == std::string::npos) continue;
-        const std::size_t name_end = line.find(' ', first);
-        const std::size_t open = line.rfind(" (");
-        const std::size_t close = line.rfind(" us)");
-        if (name_end == std::string::npos || open == std::string::npos ||
-            close == std::string::npos || close < open)
-            continue;
-        const std::string name = line.substr(first, name_end - first);
-        const double ms = std::strtod(line.c_str() + open + 2, nullptr) / 1000.0;
-        auto& slot = by_name[name];
-        slot.first += ms;
-        slot.second += 1;
-    }
-    std::vector<std::pair<std::string, std::pair<double, std::size_t>>> top(by_name.begin(),
-                                                                            by_name.end());
-    std::sort(top.begin(), top.end(),
-              [](const auto& a, const auto& b) { return a.second.first > b.second.first; });
+    std::vector<std::pair<std::string, si::obs::trace::Agg>> top(prof.by_name.begin(),
+                                                                 prof.by_name.end());
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+        if (a.second.wall_self != b.second.wall_self) return a.second.wall_self > b.second.wall_self;
+        return a.first < b.first;
+    });
     std::fprintf(stderr, "profile %-36s %llu states\n", label.c_str(),
                  static_cast<unsigned long long>(states));
     for (std::size_t i = 0; i < top.size() && i < 5; ++i)
-        std::fprintf(stderr, "    %-24s %10.3f ms  x%zu\n", top[i].first.c_str(),
-                     top[i].second.first, top[i].second.second);
+        std::fprintf(stderr, "    %-24s %10.3f ms self  x%llu\n", top[i].first.c_str(),
+                     static_cast<double>(top[i].second.wall_self) / 1e6,
+                     static_cast<unsigned long long>(top[i].second.count));
+    std::fprintf(stderr, "    %s", critical.c_str());
     for (std::size_t ls = 0; ls < metrics.size();) {
         std::size_t eol = metrics.find('\n', ls);
         if (eol == std::string::npos) eol = metrics.size();
@@ -146,6 +141,7 @@ int main(int argc, char** argv) {
     std::size_t reps = 3;
     std::string out_path = "BENCH_perf.json";
     std::string obs_out;
+    std::string trace_out;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -156,6 +152,8 @@ int main(int argc, char** argv) {
             reps = static_cast<std::size_t>(std::stoul(argv[++i]));
         } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
             obs_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            trace_out = argv[++i];
         } else if (std::strcmp(argv[i], "--force") == 0) {
             force = true;
         } else if (std::strcmp(argv[i], "--profile") == 0) {
@@ -163,7 +161,7 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--out <path>] [--reps <n>] [--profile]"
-                         " [--obs-out <path> [--force]]\n",
+                         " [--obs-out <path>] [--trace-out <path>] [--force]\n",
                          argv[0]);
             return 2;
         }
@@ -342,12 +340,14 @@ int main(int argc, char** argv) {
                      sym_res.describe().c_str());
     }
 
-    // Untimed metrics pass: the same workloads once more with counters
-    // on, so the recorded baseline states what the timings paid for.
-    // A fixed slice of the differential fuzzing campaign runs here too:
-    // its gen.*/fuzz.* counters join the snapshot, so the obs_diff guard
-    // extends over the generator and both oracles.
-    si::obs::set_mode(si::obs::Mode::Metrics);
+    // Untimed metrics+trace pass: the same workloads once more with
+    // counters AND spans on (wall lane enabled), so the recorded
+    // baseline states both what the timings paid for and where the time
+    // went. A fixed slice of the differential fuzzing campaign runs here
+    // too: its gen.*/fuzz.* counters join the snapshot, so the obs_diff
+    // guard extends over the generator and both oracles.
+    si::obs::set_mode(si::obs::Mode::Trace);
+    si::obs::set_wall_lane(true);
     si::obs::reset();
     si::util::set_num_threads(1);
     for (const auto& w : workloads) (void)w.run();
@@ -364,6 +364,24 @@ int main(int argc, char** argv) {
         const auto recipe = si::gen::Recipe::parse("par:ring3,ring3");
         (void)si::mc::check_stg(si::gen::build(*recipe), si::mc::Engine::Symbolic);
     }
+    // Freeze the span tree, then drop to Metrics mode: span recording
+    // stops (the percentile counters below must not grow the tree) while
+    // the metric shards stay intact and writable.
+    const auto trace_snap = si::obs::trace::snapshot();
+    si::obs::set_mode(si::obs::Mode::Metrics);
+    si::obs::set_wall_lane(false);
+    {
+        // Per-stage tick-lane latency percentiles as stable integer
+        // counters: the tick lane is byte-identical across thread counts
+        // and run-to-run on fixed seeds, so obs_diff can guard these
+        // like any other stable counter.
+        for (const auto& [name, p] :
+             si::obs::trace::latency_percentiles(trace_snap, si::obs::trace::Lane::Tick)) {
+            si::obs::count("latency." + name + ".p50", p.p50);
+            si::obs::count("latency." + name + ".p95", p.p95);
+            si::obs::count("latency." + name + ".p99", p.p99);
+        }
+    }
     {
         // Timing-derived guard value: the indexed-mode geomean speedup
         // vs seed, inverted (scaled to 1e5) so that a *drop* in the
@@ -379,8 +397,20 @@ int main(int argc, char** argv) {
                            static_cast<std::uint64_t>(std::llround(100000.0 / g)));
     }
     const std::string metrics_json = si::obs::metrics_json();
+    // Wall-lane percentiles are real nanoseconds — informative, not
+    // deterministic, so they go in their own JSON block (below) rather
+    // than the obs_diff-guarded "metrics" object.
+    const auto wall_lat =
+        si::obs::trace::latency_percentiles(trace_snap, si::obs::trace::Lane::Wall);
     std::string obs_err;
     if (!obs_out.empty()) obs_err = si::obs::export_to_file(obs_out, force);
+    std::string trace_err;
+    if (!trace_out.empty()) {
+        const auto prof = si::obs::trace::profile(
+            trace_snap, trace_snap.has_wall ? si::obs::trace::Lane::Wall
+                                            : si::obs::trace::Lane::Tick);
+        trace_err = si::obs::report::write(trace_out, si::obs::trace::profile_json(prof), force);
+    }
     si::obs::set_mode(si::obs::Mode::Off);
     si::util::set_num_threads(0);
 
@@ -396,6 +426,17 @@ int main(int argc, char** argv) {
     json << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
     json << "  \"baseline_mode\": \"seed\",\n";
     json << "  \"metrics\": " << metrics_json << ",\n";
+    json << "  \"latency_wall_ns\": {";
+    {
+        bool first = true;
+        for (const auto& [name, p] : wall_lat) {
+            json << (first ? "\n" : ",\n");
+            first = false;
+            json << "    \"" << name << "\": {\"p50\": " << p.p50 << ", \"p95\": " << p.p95
+                 << ", \"p99\": " << p.p99 << ", \"count\": " << p.count << "}";
+        }
+        json << (first ? "}" : "\n  }") << ",\n";
+    }
     json << "  \"gen_scaling\": [\n";
     for (std::size_t g = 0; g < gen_rungs.size(); ++g) {
         const GenRung& rung = gen_rungs[g];
@@ -440,5 +481,10 @@ int main(int argc, char** argv) {
         return 1;
     }
     if (!obs_out.empty()) std::cout << "wrote " << obs_out << "\n";
+    if (!trace_err.empty()) {
+        std::fprintf(stderr, "%s\n", trace_err.c_str());
+        return 1;
+    }
+    if (!trace_out.empty()) std::cout << "wrote " << trace_out << "\n";
     return 0;
 }

@@ -1,0 +1,381 @@
+// trace_diff: span-level latency attribution between two runs.
+//
+// Loads two snapshots and explains where the difference went, span by
+// span, instead of reporting one opaque total. Inputs are auto-detected
+// per file:
+//
+//   * a trace profile (si::obs::trace::profile_json output, the
+//     "si_trace_profile" marker) — diffed in profile mode: per-span
+//     self-time deltas in the chosen lane, each span's share of the
+//     root-total delta, and the current run's critical path. In the
+//     tick lane self-times partition the root total exactly, so the
+//     attribution sums to 100% of the delta by construction; in the
+//     wall lane it sums to whatever survives overlap clamping (the
+//     remainder is parallel overlap, reported as unattributed).
+//   * anything else parseable as a stable-metrics snapshot
+//     (obs::metrics_text, obs::metrics_json, or a BENCH_perf.json with
+//     a "metrics" block) — diffed in metrics mode via the same
+//     threshold/slack rule bench/obs_diff applies.
+//
+// Usage: trace_diff [options] <baseline> <current>
+//   --lane tick|wall   lane to attribute in profile mode (default: wall
+//                      when both profiles carry it, else tick)
+//   --threshold <x>    per-span growth factor flagged as a regression
+//                      (default 1.5)
+//   --slack <n>        absolute self-time growth ignored regardless of
+//                      ratio (default 16 ticks / 100000 ns)
+//   --top <n>          rows to print in the text table (default 10)
+//   --json             machine-readable output
+//   --selftest         run the built-in self-check and exit (identical
+//                      profiles diff to zero; an injected delta is
+//                      attributed to the right span)
+//
+// Exit: 0 ok, 1 regression (or failed selftest), 2 usage or I/O error.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "si/obs/report.hpp"
+#include "si/obs/trace.hpp"
+
+using namespace si;
+using obs::trace::Agg;
+using obs::trace::Lane;
+using obs::trace::Profile;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--lane tick|wall] [--threshold <x>] [--slack <n>] [--top <n>]\n"
+                 "          [--json] <baseline> <current>\n"
+                 "       %s --selftest\n",
+                 argv0, argv0);
+    return 2;
+}
+
+std::uint64_t lane_self(const Agg& a, Lane lane) {
+    return lane == Lane::Tick ? a.tick_self : a.wall_self;
+}
+
+std::uint64_t lane_root(const Profile& p, Lane lane) {
+    return lane == Lane::Tick ? p.root_tick : p.root_wall;
+}
+
+struct SpanRow {
+    std::string name;
+    std::uint64_t base_self = 0;
+    std::uint64_t cur_self = 0;
+    std::int64_t delta = 0;
+    bool regressed = false;
+};
+
+struct ProfileDiff {
+    Lane lane = Lane::Tick;
+    std::uint64_t root_base = 0;
+    std::uint64_t root_cur = 0;
+    std::int64_t root_delta = 0;
+    std::int64_t attributed = 0; ///< Σ per-span self deltas
+    std::vector<SpanRow> rows;   ///< |delta| descending, then name
+    [[nodiscard]] bool regressed() const {
+        return std::any_of(rows.begin(), rows.end(), [](const SpanRow& r) { return r.regressed; });
+    }
+};
+
+ProfileDiff diff_profiles(const Profile& base, const Profile& cur, Lane lane, double threshold,
+                          std::uint64_t slack) {
+    ProfileDiff out;
+    out.lane = lane;
+    out.root_base = lane_root(base, lane);
+    out.root_cur = lane_root(cur, lane);
+    out.root_delta =
+        static_cast<std::int64_t>(out.root_cur) - static_cast<std::int64_t>(out.root_base);
+    // Union of span names; absent-in-one means self 0 on that side, so a
+    // new or vanished span attributes its full weight.
+    std::map<std::string, SpanRow> rows;
+    for (const auto& [name, agg] : base.by_name) rows[name].base_self = lane_self(agg, lane);
+    for (const auto& [name, agg] : cur.by_name) rows[name].cur_self = lane_self(agg, lane);
+    for (auto& [name, row] : rows) {
+        row.name = name;
+        row.delta =
+            static_cast<std::int64_t>(row.cur_self) - static_cast<std::int64_t>(row.base_self);
+        row.regressed = static_cast<double>(row.cur_self) >
+                            static_cast<double>(row.base_self) * threshold &&
+                        row.cur_self > row.base_self + slack;
+        out.attributed += row.delta;
+        out.rows.push_back(row);
+    }
+    std::sort(out.rows.begin(), out.rows.end(), [](const SpanRow& a, const SpanRow& b) {
+        const std::uint64_t ma = static_cast<std::uint64_t>(a.delta < 0 ? -a.delta : a.delta);
+        const std::uint64_t mb = static_cast<std::uint64_t>(b.delta < 0 ? -b.delta : b.delta);
+        if (ma != mb) return ma > mb;
+        return a.name < b.name;
+    });
+    return out;
+}
+
+/// Share of the root delta a span's self delta explains, as a percent;
+/// 0 when the root did not move.
+double share_pct(std::int64_t delta, std::int64_t root_delta) {
+    if (root_delta == 0) return 0.0;
+    return 100.0 * static_cast<double>(delta) / static_cast<double>(root_delta);
+}
+
+const char* unit(Lane lane) { return lane == Lane::Tick ? "" : "ns"; }
+
+void print_text(const ProfileDiff& d, const Profile& cur, std::size_t top) {
+    const char* u = unit(d.lane);
+    std::printf("trace_diff [%s lane]: root %" PRIu64 "%s -> %" PRIu64 "%s (delta %+" PRId64
+                "%s)\n",
+                obs::trace::lane_name(d.lane), d.root_base, u, d.root_cur, u, d.root_delta, u);
+    std::printf("%-32s %14s %14s %12s %8s\n", "span", "base self", "cur self", "delta", "share");
+    std::size_t shown = 0;
+    for (const auto& row : d.rows) {
+        if (shown >= top) break;
+        if (row.delta == 0 && !row.regressed) continue;
+        ++shown;
+        std::printf("%-32s %14" PRIu64 " %14" PRIu64 " %+12" PRId64 " %7.1f%%%s\n",
+                    row.name.c_str(), row.base_self, row.cur_self, row.delta,
+                    share_pct(row.delta, d.root_delta), row.regressed ? "  REGRESSION" : "");
+    }
+    if (shown == 0) std::printf("  (no span self-time changed)\n");
+    if (d.root_delta != 0)
+        std::printf("attributed: %.1f%% of root delta across %zu spans\n",
+                    share_pct(d.attributed, d.root_delta), d.rows.size());
+    std::size_t bad = 0;
+    for (const auto& row : d.rows) bad += row.regressed ? 1 : 0;
+    std::printf("trace_diff: %s\n",
+                d.regressed()
+                    ? ("REGRESSION in " + std::to_string(bad) + " of " +
+                       std::to_string(d.rows.size()) + " spans")
+                          .c_str()
+                    : "OK");
+    if (!cur.critical.empty()) {
+        std::printf("critical path [%s] (current):\n", obs::trace::lane_name(cur.lane));
+        for (const auto& step : cur.critical) {
+            if (cur.lane == Lane::Tick)
+                std::printf("  %s  total=%" PRIu64 " self=%" PRIu64 "\n", step.path.c_str(),
+                            step.tick_total, step.tick_self);
+            else
+                std::printf("  %s  total=%" PRIu64 "ns self=%" PRIu64 "ns\n", step.path.c_str(),
+                            step.wall_total, step.wall_self);
+        }
+    }
+}
+
+void print_json(const ProfileDiff& d, const Profile& cur) {
+    auto jesc = [](const std::string& s) {
+        std::string out = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out += '\\';
+            out += c;
+        }
+        return out + "\"";
+    };
+    std::string out = "{\n  \"trace_diff\": 1,\n  \"mode\": \"profile\",\n  \"lane\": \"";
+    out += obs::trace::lane_name(d.lane);
+    out += "\",\n  \"root_base\": " + std::to_string(d.root_base) +
+           ",\n  \"root_cur\": " + std::to_string(d.root_cur) +
+           ",\n  \"root_delta\": " + std::to_string(d.root_delta) +
+           ",\n  \"attributed\": " + std::to_string(d.attributed) + ",\n  \"regressed\": " +
+           (d.regressed() ? "true" : "false") + ",\n  \"spans\": [";
+    for (std::size_t i = 0; i < d.rows.size(); ++i) {
+        const auto& row = d.rows[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": " + jesc(row.name) +
+               ", \"base_self\": " + std::to_string(row.base_self) +
+               ", \"cur_self\": " + std::to_string(row.cur_self) +
+               ", \"delta\": " + std::to_string(row.delta) +
+               ", \"regressed\": " + (row.regressed ? "true" : "false") + "}";
+    }
+    out += d.rows.empty() ? "]" : "\n  ]";
+    out += ",\n  \"critical_path\": [";
+    for (std::size_t i = 0; i < cur.critical.size(); ++i) {
+        const auto& step = cur.critical[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": " + jesc(step.name) + ", \"path\": " + jesc(step.path) +
+               ", \"tick_total\": " + std::to_string(step.tick_total) +
+               ", \"tick_self\": " + std::to_string(step.tick_self) +
+               ", \"wall_ns_total\": " + std::to_string(step.wall_total) +
+               ", \"wall_ns_self\": " + std::to_string(step.wall_self) + "}";
+    }
+    out += cur.critical.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    std::fputs(out.c_str(), stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+
+int fail(const char* what) {
+    std::fprintf(stderr, "trace_diff selftest FAILED: %s\n", what);
+    return 1;
+}
+
+/// Hand-built profile, round-tripped through the interchange JSON, then
+/// diffed against itself (must be all-zero) and against a copy with one
+/// span's self-time tripled (must attribute the whole delta to that
+/// span and flag it).
+int selftest() {
+    Profile base;
+    base.lane = Lane::Tick;
+    base.has_wall = true;
+    base.root_tick = 37;
+    base.root_wall = 5000;
+    base.by_name["mc.check"] = Agg{1, 37, 3, 5000, 500, 4};
+    base.by_name["parallel"] = Agg{1, 33, 1, 4500, 100, 4};
+    base.by_name["task"] = Agg{4, 32, 32, 4400, 4400, 0};
+    base.critical.push_back({"mc.check", "mc.check:0", 37, 3, 5000, 500});
+    base.critical.push_back({"parallel", "mc.check:0/parallel:0", 33, 1, 4500, 100});
+    base.critical.push_back({"task", "mc.check:0/parallel:0/task:1", 9, 9, 1400, 1400});
+
+    const std::string js = obs::trace::profile_json(base);
+    Profile rt;
+    std::string err;
+    if (!obs::trace::parse_profile(js, rt, &err)) {
+        std::fprintf(stderr, "trace_diff selftest: parse_profile: %s\n", err.c_str());
+        return 1;
+    }
+    if (obs::trace::profile_json(rt) != js) return fail("interchange round-trip not identical");
+
+    const auto zero = diff_profiles(rt, base, Lane::Tick, 1.5, 16);
+    if (zero.root_delta != 0 || zero.attributed != 0) return fail("identical profiles: delta != 0");
+    for (const auto& row : zero.rows)
+        if (row.delta != 0 || row.regressed) return fail("identical profiles: nonzero span row");
+    if (zero.regressed()) return fail("identical profiles: regression flagged");
+
+    Profile cur = base;
+    auto& task = cur.by_name["task"];
+    const std::uint64_t injected = task.tick_self * 2; // 32 -> 96
+    task.tick_self += injected;
+    task.tick_total += injected;
+    cur.root_tick += injected;
+    const auto diff = diff_profiles(base, cur, Lane::Tick, 1.5, 16);
+    if (diff.root_delta != static_cast<std::int64_t>(injected))
+        return fail("injected: root delta mismatch");
+    if (diff.rows.empty() || diff.rows.front().name != "task")
+        return fail("injected: top attributed span is not the injected one");
+    if (diff.rows.front().delta != static_cast<std::int64_t>(injected))
+        return fail("injected: span delta mismatch");
+    if (!diff.rows.front().regressed) return fail("injected: regression not flagged");
+    if (diff.attributed != diff.root_delta)
+        return fail("injected: tick-lane attribution not 100%");
+
+    // Metrics mode plumbing: a BENCH_perf.json-shaped document diffs to
+    // zero against itself through the same parser obs_diff uses.
+    const std::string perf = "{\"bench\": 1, \"metrics\": {\"a.b\": 3, \"c\": 7}}";
+    const auto snap = obs::report::parse_snapshot(perf);
+    if (snap.counters.size() != 2) return fail("metrics snapshot parse");
+    if (obs::report::diff_snapshots(snap, snap).regressed())
+        return fail("identical metrics snapshots regressed");
+
+    std::printf("trace_diff selftest OK\n");
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    double threshold = 1.5;
+    std::uint64_t slack = 0;
+    bool slack_set = false;
+    bool json = false;
+    bool lane_set = false;
+    Lane lane = Lane::Tick;
+    std::size_t top = 10;
+    std::string base_path;
+    std::string cur_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--selftest") == 0) {
+            return selftest();
+        } else if (std::strcmp(arg, "--lane") == 0 && i + 1 < argc) {
+            const char* val = argv[++i];
+            if (std::strcmp(val, "tick") == 0) lane = Lane::Tick;
+            else if (std::strcmp(val, "wall") == 0) lane = Lane::Wall;
+            else return usage(argv[0]);
+            lane_set = true;
+        } else if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            threshold = std::strtod(argv[++i], &end);
+            if (end == argv[i] || threshold <= 0) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--slack") == 0 && i + 1 < argc) {
+            slack = std::strtoull(argv[++i], nullptr, 10);
+            slack_set = true;
+        } else if (std::strcmp(arg, "--top") == 0 && i + 1 < argc) {
+            top = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (base_path.empty()) {
+            base_path = arg;
+        } else if (cur_path.empty()) {
+            cur_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (base_path.empty() || cur_path.empty()) return usage(argv[0]);
+
+    std::string base_text;
+    std::string cur_text;
+    if (!read_file(base_path, base_text)) {
+        std::fprintf(stderr, "trace_diff: cannot read '%s'\n", base_path.c_str());
+        return 2;
+    }
+    if (!read_file(cur_path, cur_text)) {
+        std::fprintf(stderr, "trace_diff: cannot read '%s'\n", cur_path.c_str());
+        return 2;
+    }
+
+    Profile base_prof;
+    Profile cur_prof;
+    const bool base_is_profile = obs::trace::parse_profile(base_text, base_prof);
+    const bool cur_is_profile = obs::trace::parse_profile(cur_text, cur_prof);
+    if (base_is_profile != cur_is_profile) {
+        std::fprintf(stderr, "trace_diff: '%s' and '%s' are different snapshot kinds\n",
+                     base_path.c_str(), cur_path.c_str());
+        return 2;
+    }
+
+    if (base_is_profile) {
+        if (!lane_set) lane = base_prof.has_wall && cur_prof.has_wall ? Lane::Wall : Lane::Tick;
+        if (!slack_set) slack = lane == Lane::Tick ? 16 : 100000;
+        const auto diff = diff_profiles(base_prof, cur_prof, lane, threshold, slack);
+        if (json) print_json(diff, cur_prof);
+        else print_text(diff, cur_prof, top);
+        return diff.regressed() ? 1 : 0;
+    }
+
+    // Metrics mode: same rule set as bench/obs_diff.
+    const auto base_snap = obs::report::parse_snapshot(base_text);
+    const auto cur_snap = obs::report::parse_snapshot(cur_text);
+    if (base_snap.counters.empty()) {
+        std::fprintf(stderr, "trace_diff: no stable counters in '%s'\n", base_path.c_str());
+        return 2;
+    }
+    obs::report::DiffOptions opts;
+    opts.threshold = threshold;
+    opts.slack = slack_set ? slack : 16;
+    const auto diff = obs::report::diff_snapshots(base_snap, cur_snap, opts);
+    if (json) std::fputs(diff.to_json().c_str(), stdout);
+    else std::fputs(diff.describe().c_str(), stdout);
+    if (!json) std::printf("trace_diff: %s\n", diff.regressed() ? "REGRESSION" : "OK");
+    return diff.regressed() ? 1 : 0;
+}

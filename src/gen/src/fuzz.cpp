@@ -322,6 +322,11 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
     for (std::size_t i = 0; i < opts.count; ++i) {
         const std::uint64_t case_seed = derive_seed(opts.seed, i);
+        // Each case is one request: under tracing its whole pipeline —
+        // including pool fan-outs — records under a "request" span keyed
+        // by the case index, so a trace of a long campaign attributes
+        // every span to the case that produced it.
+        obs::RequestScope request(i, case_seed);
         const Recipe recipe = random_recipe(case_seed, opts.gen);
         ++result.cases;
         obs::count("fuzz.cases");

@@ -74,7 +74,9 @@ struct SymSpace {
     [[nodiscard]] Ref fwd(Ref f, Ref rel);
     /// Undirected flood of `seed` inside `members` (symbolic connected
     /// component union — the ER/QR component discipline of regions.cpp).
-    [[nodiscard]] Ref flood(Ref seed, Ref members);
+    /// `cls` names the region class for the per-class fixpoint
+    /// iteration counter ("mc.symbolic.iterations.<cls>").
+    [[nodiscard]] Ref flood(Ref seed, Ref members, const char* cls);
     /// Minterm over current variables of one satisfying assignment of f.
     [[nodiscard]] Ref any_state(Ref f);
     [[nodiscard]] Ref cov_of(const Cube& c);
@@ -199,6 +201,7 @@ void SymSpace::build() {
 
     Ref frontier = reached;
     while (frontier != Manager::kFalse) {
+        obs::count("mc.symbolic.iterations.reach");
         const Ref fresh = mgr.apply_and(fwd(frontier, mono_rel), mgr.apply_not(reached));
         reached = mgr.apply_or(reached, fresh);
         frontier = fresh;
@@ -260,6 +263,7 @@ BitVec SymSpace::infer_initial_code() {
         Ref frozen = reached;
         Ref frontier = frozen;
         while (frontier != Manager::kFalse) {
+            obs::count("mc.symbolic.iterations.init");
             const Ref fresh = mgr.apply_and(fwd(frontier, others), mgr.apply_not(frozen));
             frozen = mgr.apply_or(frozen, fresh);
             frontier = fresh;
@@ -285,7 +289,7 @@ Ref SymSpace::fwd(Ref f, Ref rel) {
     return mgr.rename(mgr.exists(mgr.apply_and(f, rel), cur_mask), next_to_cur);
 }
 
-Ref SymSpace::flood(Ref seed, Ref members) {
+Ref SymSpace::flood(Ref seed, Ref members, const char* cls) {
     // Arcs with both endpoints inside `members` are the only ones an
     // interior flood can take; restricting the (already undirected)
     // relation up front keeps every image proportional to the component,
@@ -294,7 +298,9 @@ Ref SymSpace::flood(Ref seed, Ref members) {
                                   mgr.rename(members, cur_to_next));
     Ref comp = mgr.apply_and(seed, members);
     Ref frontier = comp;
+    const std::string iter_ctr = std::string("mc.symbolic.iterations.") + cls;
     while (frontier != Manager::kFalse) {
+        obs::count(iter_ctr);
         const Ref fresh = mgr.apply_and(fwd(frontier, rel), mgr.apply_not(comp));
         comp = mgr.apply_or(comp, fresh);
         frontier = fresh;
@@ -431,7 +437,7 @@ StgMcResult symbolic_check(const stg::Stg& net, const StgMcOptions& opts,
                     SymRegion r;
                     r.signal = SignalId(s);
                     r.rising = rising;
-                    r.er = sp.flood(sp.any_state(excited), excited);
+                    r.er = sp.flood(sp.any_state(excited), excited, "er");
                     excited = mgr.apply_and(excited, mgr.apply_not(r.er));
                     regions.push_back(r);
                 }
@@ -452,7 +458,7 @@ StgMcResult symbolic_check(const stg::Stg& net, const StgMcOptions& opts,
             const Ref stable_after = r.rising ? sp.stable1[s] : sp.stable0[s];
             const Ref succ = mgr.apply_and(
                 sp.fwd(r.er, r.rising ? sp.fire_up_rel[s] : sp.fire_down_rel[s]), stable_after);
-            r.cfr = mgr.apply_or(r.er, sp.flood(succ, stable_after));
+            r.cfr = mgr.apply_or(r.er, sp.flood(succ, stable_after, "qr"));
             r.forbidden = r.rising ? mgr.apply_or(sp.excited_down[s], sp.stable0[s])
                                    : mgr.apply_or(sp.excited_up[s], sp.stable1[s]);
             // Arcs interior to the CFR (condition 2's scan domain).

@@ -83,6 +83,14 @@ enum class ClockMode : unsigned char {
 [[nodiscard]] ClockMode clock_mode();
 void set_clock(ClockMode m);
 
+/// Wall-clock lane: when on, spans record steady_clock begin/end
+/// nanoseconds *in addition to* whatever the active clock mode exports —
+/// the deterministic tick exports stay byte-stable while the analysis
+/// layer (si::obs::trace) can still read real durations per span.
+/// Initialized once from SI_OBS_WALL ("1"/"on"); set_wall_lane overrides.
+[[nodiscard]] bool wall_lane();
+void set_wall_lane(bool on);
+
 // ---------------------------------------------------------------------------
 // Spans
 
@@ -141,6 +149,63 @@ private:
 /// outside any span. This is the provenance string violation witnesses
 /// carry.
 [[nodiscard]] std::string current_span_path();
+
+// ---------------------------------------------------------------------------
+// Request-scoped attribution
+
+/// Identity of the request the current thread is working for: a request
+/// id plus the seed derived for it (util::RequestContext carries the
+/// matching Budget shard). Thread-local; si::util's pool fan-outs
+/// capture it on the calling thread and install it on every worker for
+/// the duration of each task, so spans, metrics and flight entries
+/// recorded anywhere under a request can be grouped per request — the
+/// attribution substrate a long-lived batch server needs.
+struct RequestInfo {
+    std::uint64_t id = 0;
+    std::uint64_t seed = 0;
+    bool active = false;
+};
+
+/// The executing thread's request identity ({0,0,false} outside any
+/// RequestScope). Works in every mode, including Off.
+[[nodiscard]] RequestInfo current_request();
+
+namespace detail {
+/// Installs `info` as the thread's request identity and returns the
+/// previous one. Used by the pool to propagate the caller's identity
+/// into workers; user code should use RequestScope.
+RequestInfo swap_request(const RequestInfo& info);
+
+/// RAII propagation guard for one pool task: installs a captured
+/// request identity on the executing thread, restores on exit.
+class RequestTlsGuard {
+public:
+    explicit RequestTlsGuard(const RequestInfo& info) : prev_(swap_request(info)) {}
+    ~RequestTlsGuard() { (void)swap_request(prev_); }
+    RequestTlsGuard(const RequestTlsGuard&) = delete;
+    RequestTlsGuard& operator=(const RequestTlsGuard&) = delete;
+
+private:
+    RequestInfo prev_;
+};
+} // namespace detail
+
+/// RAII request scope. Installs {id, seed} as the thread's request
+/// identity; when tracing, additionally opens a "request" span carrying
+/// req=<id> and seed=<seed> attributes, so the merged trace tree groups
+/// everything the request did under one canonical subtree. Scopes nest
+/// (the previous identity is restored on destruction).
+class RequestScope {
+public:
+    explicit RequestScope(std::uint64_t id, std::uint64_t seed = 0);
+    ~RequestScope();
+    RequestScope(const RequestScope&) = delete;
+    RequestScope& operator=(const RequestScope&) = delete;
+
+private:
+    RequestInfo prev_;
+    detail::Rec* rec_ = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Fan-out integration (used by si::util::parallel, not by user code)

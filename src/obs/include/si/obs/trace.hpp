@@ -1,0 +1,190 @@
+// si::obs::trace — analysis toolkit over the recorded span machinery.
+//
+// obs.hpp records; this header answers questions. The toolkit reads the
+// merged canonical span tree (byte-identical across worker counts) into
+// a value-type Snapshot and derives:
+//
+//   * per-span self/total durations in two lanes — the deterministic
+//     DFS-tick lane (always present; a span's tick total is the size of
+//     its subtree footprint, 2·spans−1) and the wall-clock lane
+//     (steady-clock nanoseconds, present under ClockMode::Wall or the
+//     opt-in obs::wall_lane());
+//   * per-name aggregation (count, self, total, max fan-out) and the
+//     critical path — the heaviest root-to-leaf chain, deterministic
+//     tie-break by smallest keyed path — plus a folded-stack export for
+//     flamegraph tooling;
+//   * p50/p95/p99 percentiles derived from log2 histograms, both the
+//     metric histograms obs::observe feeds and per-span-name latency
+//     histograms built from a snapshot;
+//   * a profile interchange JSON (bench/trace_diff loads two of them
+//     and attributes the delta span by span).
+//
+// Everything here is read-only over quiescent recordings (the obs.hpp
+// quiescence contract) and pure from Snapshot onward, so any analysis
+// of the tick lane inherits the byte-stability of the trace itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "si/obs/obs.hpp"
+
+namespace si::obs::trace {
+
+/// Which per-span duration lane an analysis reads.
+enum class Lane : unsigned char {
+    Tick, ///< deterministic DFS ticks (always present)
+    Wall, ///< steady-clock nanoseconds (ClockMode::Wall or wall_lane())
+};
+
+[[nodiscard]] constexpr const char* lane_name(Lane lane) {
+    return lane == Lane::Tick ? "tick" : "wall";
+}
+
+/// One span of the merged canonical tree.
+struct Node {
+    std::string name;
+    std::string path; ///< keyed path, "mc.check:0/parallel:0/task:3"
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::string request;  ///< "req" id of the nearest enclosing request span, "" if none
+    std::uint32_t parent = UINT32_MAX; ///< index into Snapshot::nodes, UINT32_MAX for roots
+    std::vector<std::uint32_t> children;
+    std::uint64_t tick_begin = 0;
+    std::uint64_t tick_end = 0;
+    std::uint64_t tick_total = 0; ///< tick_end - tick_begin (= 2·subtree−1)
+    std::uint64_t tick_self = 0;  ///< tick_total minus children's totals
+    std::uint64_t wall_total = 0; ///< ns; 0 when the wall lane was off
+    std::uint64_t wall_self = 0;  ///< ns, clamped at 0 (children may overlap)
+
+    [[nodiscard]] std::uint64_t total(Lane lane) const {
+        return lane == Lane::Tick ? tick_total : wall_total;
+    }
+    [[nodiscard]] std::uint64_t self(Lane lane) const {
+        return lane == Lane::Tick ? tick_self : wall_self;
+    }
+};
+
+/// The merged span tree as a value: nodes in canonical DFS order
+/// (every parent precedes its children), ticks assigned exactly like
+/// the deterministic exporters assign them.
+struct Snapshot {
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> roots;
+    bool has_wall = false; ///< any span carried wall-lane timestamps
+
+    [[nodiscard]] bool empty() const { return nodes.empty(); }
+};
+
+/// Captures the currently recorded spans (quiescence contract: call
+/// after fan-outs have joined). The snapshot owns its data — reset()
+/// afterwards is safe.
+[[nodiscard]] Snapshot snapshot();
+
+// ---------------------------------------------------------------------------
+// Aggregation, critical path, folded stacks
+
+/// Per-span-name totals over one snapshot.
+struct Agg {
+    std::uint64_t count = 0;      ///< span instances with this name
+    std::uint64_t tick_total = 0; ///< summed over instances
+    std::uint64_t tick_self = 0;
+    std::uint64_t wall_total = 0; ///< ns
+    std::uint64_t wall_self = 0;  ///< ns
+    std::uint64_t max_fanout = 0; ///< widest child list of any instance
+};
+
+/// One step of the critical path (root first).
+struct CriticalStep {
+    std::string name;
+    std::string path;
+    std::uint64_t tick_total = 0;
+    std::uint64_t tick_self = 0;
+    std::uint64_t wall_total = 0;
+    std::uint64_t wall_self = 0;
+};
+
+/// Aggregated profile — the interchange unit bench/trace_diff consumes.
+/// Self-times partition the root totals exactly in the tick lane (and in
+/// the wall lane up to clamping of overlapped parallel children), which
+/// is what lets a diff attribute 100% of a delta to named spans.
+struct Profile {
+    std::map<std::string, Agg> by_name;
+    std::vector<CriticalStep> critical; ///< lane-weighted heaviest chain
+    Lane lane = Lane::Tick;             ///< lane the critical path used
+    std::uint64_t root_tick = 0;        ///< summed root tick totals
+    std::uint64_t root_wall = 0;        ///< summed root wall totals (ns)
+    bool has_wall = false;
+};
+
+[[nodiscard]] Profile profile(const Snapshot& snap, Lane lane = Lane::Tick);
+
+/// The heaviest root-to-leaf chain under `lane` weights: start from the
+/// root with the largest total, descend into the child with the largest
+/// total; every tie breaks to the lexicographically smallest keyed path,
+/// so the result is unique — and, in the tick lane, byte-identical for
+/// any worker count. Returns node indices, root first (empty snapshot →
+/// empty path).
+[[nodiscard]] std::vector<std::uint32_t> critical_path(const Snapshot& snap,
+                                                       Lane lane = Lane::Tick);
+
+/// The critical path rendered one step per line:
+/// "  mc.check:0  total=37 self=3" (tick lane) — stable format, used by
+/// the determinism tests and bench/trace_diff.
+[[nodiscard]] std::string critical_path_text(const Snapshot& snap, Lane lane = Lane::Tick);
+
+/// Folded-stack export (Brendan Gregg's collapsed format, one line per
+/// distinct stack): "root;child;leaf <self-weight>\n", name-sorted.
+/// Feed to flamegraph.pl or speedscope. Zero-self stacks are kept in
+/// the tick lane (every span has tick self ≥ 1) and skipped in the wall
+/// lane.
+[[nodiscard]] std::string export_folded(const Snapshot& snap, Lane lane = Lane::Tick);
+
+// ---------------------------------------------------------------------------
+// Profile interchange
+
+/// The profile as JSON: {"si_trace_profile": 1, "lane": .., "spans":
+/// [{"name", "count", "tick_total", "tick_self", "wall_ns_total",
+/// "wall_ns_self", "max_fanout"}...], "critical_path": [...],
+/// "root_tick": .., "root_wall_ns": ..}. Deterministic: spans are
+/// name-sorted and tick values canonical.
+[[nodiscard]] std::string profile_json(const Profile& prof);
+
+/// Parses profile_json output back. Returns false (and sets *error)
+/// on malformed input or a missing si_trace_profile marker.
+[[nodiscard]] bool parse_profile(std::string_view text, Profile& out,
+                                 std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Percentiles over log2 histograms
+
+/// Nearest-rank percentiles over log2 buckets (bucket b counts values
+/// with bit_width == b, i.e. {0} for b=0 and [2^(b−1), 2^b−1] for
+/// b ≥ 1). A percentile reports its bucket's upper bound, so results
+/// are exact for the singleton buckets {0} and {1} and conservative
+/// (rounded up) elsewhere; p50 ≤ p95 ≤ p99 by construction.
+struct Percentiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t count = 0; ///< total observations; 0 = no data
+};
+
+[[nodiscard]] Percentiles percentiles(const std::array<std::uint64_t, 65>& buckets);
+
+/// Percentiles of a recorded obs::observe histogram, by metric name
+/// (count == 0 when the metric is missing or not a histogram).
+[[nodiscard]] Percentiles metric_percentiles(std::string_view hist_name);
+
+/// Per-span-name latency percentiles over a snapshot: each instance's
+/// `lane` total feeds a log2 histogram per name, then the derivation
+/// above. Tick-lane results are deterministic and safe to guard with
+/// bench/obs_diff; wall-lane results are real nanoseconds.
+[[nodiscard]] std::map<std::string, Percentiles> latency_percentiles(const Snapshot& snap,
+                                                                     Lane lane = Lane::Tick);
+
+} // namespace si::obs::trace

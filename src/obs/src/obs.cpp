@@ -1,5 +1,6 @@
 #include "si/obs/obs.hpp"
 
+#include "obs_internal.hpp"
 #include "si/obs/flight.hpp"
 
 #include <algorithm>
@@ -24,72 +25,21 @@ namespace detail {
 std::atomic<unsigned char> g_mode{255}; // 255 = read SI_OBS on first use
 std::atomic<std::uint64_t> g_hot[kNumHot]{};
 
-// One recorded span. Arenas are per-thread deques (pointer-stable), so
-// a record is appended and mutated only by its owning thread; the single
-// cross-thread link — a task span pointing at the fan-out span in the
-// caller's arena — stores (buf, idx) and never writes through it.
-struct Rec {
-    std::string name;
-    std::vector<std::pair<std::string, std::string>> attrs;
-    std::int32_t parent_buf = -1; ///< -1 for roots
-    std::uint32_t parent_idx = 0;
-    /// Sort key among siblings: the parent's sequential child counter,
-    /// or the task index under a fan-out span. Unique per parent either
-    /// way, so child order is canonical.
-    std::uint64_t key = 0;
-    std::uint32_t next_child = 0; ///< sequential-child counter (owner thread only)
-    std::uint64_t begin_ns = 0;   ///< wall clock mode only
-    std::uint64_t end_ns = 0;
-    /// Keyed-path base for stacks rooted at this span. A worker's TLS
-    /// stack starts at its task span, so without this the flight
-    /// recorder's paths would lose the caller-side chain and depend on
-    /// which thread ran the task. Set on a fan-out span (its own full
-    /// keyed path, computed on the calling thread) before any task is
-    /// published, copied into each task span, immutable afterwards.
-    std::string flight_prefix;
-};
-
-namespace {
-
-struct ThreadBuf {
-    std::deque<Rec> recs;
-    std::int32_t id = -1;
-};
-
-struct Slot {
-    enum class Kind : unsigned char { Counter, Gauge, Hist };
-    Kind kind = Kind::Counter;
-    Tag tag = Tag::Stable;
-    std::uint64_t value = 0; ///< counter sum / gauge max
-    std::uint64_t hist_count = 0;
-    std::uint64_t hist_sum = 0;
-    std::array<std::uint64_t, 65> buckets{}; ///< index = bit_width(value)
-};
-
-struct MetricShard {
-    std::unordered_map<std::string, Slot> slots;
-};
-
-// Leaked singleton: pool worker threads outlive every static-destruction
-// order we could reason about, so the registry is never destroyed.
-struct Registry {
-    std::mutex mutex;
-    std::vector<ThreadBuf*> bufs;
-    std::vector<MetricShard*> shards;
-    std::atomic<std::uint64_t> root_seq{0};
-};
-
 Registry& registry() {
     static Registry* r = new Registry;
     return *r;
 }
 
+namespace {
+
 std::atomic<unsigned char> g_clock{static_cast<unsigned char>(ClockMode::Deterministic)};
+std::atomic<unsigned char> g_wall_lane{255}; // 255 = read SI_OBS_WALL on first use
 
 struct Tls {
     ThreadBuf* buf = nullptr;
     MetricShard* shard = nullptr;
     std::vector<SpanRef> stack;
+    RequestInfo request;
 };
 
 Tls& tls() {
@@ -132,6 +82,26 @@ bool wall_clock() {
     return static_cast<ClockMode>(g_clock.load(std::memory_order_relaxed)) == ClockMode::Wall;
 }
 
+bool wall_lane_slow() {
+    unsigned char expected = 255;
+    const char* env = std::getenv("SI_OBS_WALL");
+    const bool on =
+        env != nullptr && (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0);
+    g_wall_lane.compare_exchange_strong(expected, on ? 1 : 0);
+    return g_wall_lane.load(std::memory_order_relaxed) != 0;
+}
+
+bool wall_lane_on() {
+    const unsigned char v = g_wall_lane.load(std::memory_order_relaxed);
+    if (v == 255) return wall_lane_slow();
+    return v != 0;
+}
+
+/// True when spans should record steady-clock timestamps: either the
+/// wall clock drives the exports, or the wall lane rides along under
+/// the deterministic clock.
+bool record_wall() { return wall_clock() || wall_lane_on(); }
+
 Slot& slot(std::string_view name, Slot::Kind kind, Tag tag) {
     MetricShard& shard = metric_shard();
     auto [it, inserted] = shard.slots.try_emplace(std::string(name));
@@ -142,19 +112,7 @@ Slot& slot(std::string_view name, Slot::Kind kind, Tag tag) {
     return it->second;
 }
 
-// ---------------------------------------------------------------------------
-// Canonical tree reconstruction shared by both trace exporters.
-
-struct TreeNode {
-    const Rec* rec = nullptr;
-    std::int32_t buf = 0;
-    std::vector<std::uint32_t> children; ///< global node indices, key-sorted
-};
-
-struct Tree {
-    std::vector<TreeNode> nodes;
-    std::vector<std::uint32_t> roots; ///< key-sorted
-};
+} // namespace
 
 // Must be called under the registry lock with no spans being recorded
 // (the quiescence contract from the header).
@@ -189,8 +147,6 @@ Tree build_tree(Registry& r) {
     for (auto& n : tree.nodes) std::sort(n.children.begin(), n.children.end(), by_key);
     return tree;
 }
-
-} // namespace
 
 void json_escape(std::string& out, std::string_view s) {
     for (const char c : s) {
@@ -237,7 +193,7 @@ Rec* span_begin(const char* name) {
     } else {
         rec.key = registry().root_seq.fetch_add(1, std::memory_order_relaxed);
     }
-    if (wall_clock()) rec.begin_ns = now_ns();
+    if (record_wall()) rec.begin_ns = now_ns();
     buf.recs.push_back(std::move(rec));
     Rec* r = &buf.recs.back();
     t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
@@ -254,7 +210,7 @@ Rec* task_begin(const SpanRef& fan, std::size_t index) {
     rec.parent_idx = fan.idx;
     rec.key = index; // canonical: the task index, not arrival order
     rec.flight_prefix = fan.rec->flight_prefix; // caller-side chain (read-only here)
-    if (wall_clock()) rec.begin_ns = now_ns();
+    if (record_wall()) rec.begin_ns = now_ns();
     buf.recs.push_back(std::move(rec));
     Rec* r = &buf.recs.back();
     t.stack.push_back({r, buf.id, static_cast<std::uint32_t>(buf.recs.size() - 1)});
@@ -263,7 +219,7 @@ Rec* task_begin(const SpanRef& fan, std::size_t index) {
 }
 
 void span_end(Rec* rec) {
-    if (wall_clock()) rec->end_ns = now_ns();
+    if (record_wall()) rec->end_ns = now_ns();
     auto& stack = tls().stack;
     // RAII discipline makes this the top; tolerate a mismatch (a span
     // leaked across a reset) by scanning instead of corrupting the stack.
@@ -283,6 +239,13 @@ void span_attr(Rec* rec, const char* key, std::string value) {
 SpanRef current_ref() {
     auto& stack = tls().stack;
     return stack.empty() ? SpanRef{} : stack.back();
+}
+
+RequestInfo swap_request(const RequestInfo& info) {
+    RequestInfo& slot = tls().request;
+    const RequestInfo prev = slot;
+    slot = info;
+    return prev;
 }
 
 Mode mode_slow() {
@@ -320,6 +283,26 @@ ClockMode clock_mode() {
 
 void set_clock(ClockMode m) { detail::g_clock.store(static_cast<unsigned char>(m)); }
 
+bool wall_lane() { return detail::wall_lane_on(); }
+
+void set_wall_lane(bool on) { detail::g_wall_lane.store(on ? 1 : 0); }
+
+RequestInfo current_request() { return detail::tls().request; }
+
+RequestScope::RequestScope(std::uint64_t id, std::uint64_t seed)
+    : prev_(detail::swap_request(RequestInfo{id, seed, true})) {
+    if (tracing()) {
+        rec_ = detail::span_begin("request");
+        detail::span_attr(rec_, "req", std::to_string(id));
+        detail::span_attr(rec_, "seed", std::to_string(seed));
+    }
+}
+
+RequestScope::~RequestScope() {
+    if (rec_ != nullptr) detail::span_end(rec_);
+    (void)detail::swap_request(prev_);
+}
+
 std::string current_span_path() {
     const auto& stack = detail::tls().stack;
     std::string out;
@@ -337,6 +320,8 @@ FanOutSpan::FanOutSpan(std::size_t n) {
     if (!tracing()) return;
     detail::Rec* rec = detail::span_begin("parallel");
     detail::span_attr(rec, "n", std::to_string(n));
+    const RequestInfo req = current_request();
+    if (req.active) detail::span_attr(rec, "req", std::to_string(req.id));
     ref_ = detail::current_ref();
     // The fan's full keyed path, resolved while the caller's stack is
     // visible; task_begin hands it to tasks that run on pool workers.
@@ -378,9 +363,8 @@ void observe(std::string_view name, std::uint64_t value, Tag tag) {
     ++s.buckets[std::bit_width(value)];
 }
 
+namespace detail {
 namespace {
-
-using detail::Slot;
 
 /// Fixed names for the Hot counter slots, all Diag.
 constexpr const char* kHotNames[kNumHot] = {
@@ -389,9 +373,11 @@ constexpr const char* kHotNames[kNumHot] = {
     "verify.fanout_narrowed_checks",
 };
 
+} // namespace
+
 // Merged, name-ordered snapshot of every shard plus the hot counters.
 std::map<std::string, Slot> merged_metrics() {
-    auto& r = detail::registry();
+    auto& r = registry();
     std::map<std::string, Slot> out;
     {
         std::lock_guard<std::mutex> lock(r.mutex);
@@ -414,7 +400,7 @@ std::map<std::string, Slot> merged_metrics() {
         }
     }
     for (std::size_t h = 0; h < kNumHot; ++h) {
-        const std::uint64_t v = detail::g_hot[h].load(std::memory_order_relaxed);
+        const std::uint64_t v = g_hot[h].load(std::memory_order_relaxed);
         if (v == 0) continue;
         Slot s;
         s.kind = Slot::Kind::Counter;
@@ -424,6 +410,12 @@ std::map<std::string, Slot> merged_metrics() {
     }
     return out;
 }
+
+} // namespace detail
+
+namespace {
+
+using detail::Slot;
 
 std::string metric_line(const std::string& name, const Slot& s) {
     switch (s.kind) {
@@ -448,7 +440,7 @@ std::string metric_line(const std::string& name, const Slot& s) {
 } // namespace
 
 std::string metrics_text(bool include_diag) {
-    const auto merged = merged_metrics();
+    const auto merged = detail::merged_metrics();
     std::string out;
     for (const auto& [name, s] : merged)
         if (s.tag == Tag::Stable) out += metric_line(name, s) + "\n";
@@ -468,7 +460,7 @@ std::string metrics_text(bool include_diag) {
 
 std::string metrics_brief() {
     std::string out;
-    for (const auto& [name, s] : merged_metrics()) {
+    for (const auto& [name, s] : detail::merged_metrics()) {
         if (s.tag != Tag::Stable || s.kind != Slot::Kind::Counter) continue;
         if (!out.empty()) out += ' ';
         out += name + "=" + std::to_string(s.value);
@@ -478,7 +470,7 @@ std::string metrics_brief() {
 
 std::string metrics_json() {
     std::string out = "{";
-    for (const auto& [name, s] : merged_metrics()) {
+    for (const auto& [name, s] : detail::merged_metrics()) {
         if (s.tag != Tag::Stable || s.kind != Slot::Kind::Counter) continue;
         if (out.size() > 1) out += ", ";
         out += '"';

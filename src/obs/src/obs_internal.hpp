@@ -1,0 +1,101 @@
+// Internal sharing surface between obs.cpp and trace.cpp: the recorded
+// span arenas, the metric shards, and the canonical-tree reconstruction.
+// Everything here lives in si::obs::detail, obeys the quiescence
+// contract from obs.hpp, and is NOT part of the installed API — the
+// analysis layer (si::obs::trace) is the public face of this data.
+#pragma once
+
+#include "si/obs/obs.hpp"
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace si::obs::detail {
+
+// One recorded span. Arenas are per-thread deques (pointer-stable), so
+// a record is appended and mutated only by its owning thread; the single
+// cross-thread link — a task span pointing at the fan-out span in the
+// caller's arena — stores (buf, idx) and never writes through it.
+struct Rec {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::int32_t parent_buf = -1; ///< -1 for roots
+    std::uint32_t parent_idx = 0;
+    /// Sort key among siblings: the parent's sequential child counter,
+    /// or the task index under a fan-out span. Unique per parent either
+    /// way, so child order is canonical.
+    std::uint64_t key = 0;
+    std::uint32_t next_child = 0; ///< sequential-child counter (owner thread only)
+    std::uint64_t begin_ns = 0;   ///< wall clock mode or wall lane only
+    std::uint64_t end_ns = 0;
+    /// Keyed-path base for stacks rooted at this span. A worker's TLS
+    /// stack starts at its task span, so without this the flight
+    /// recorder's paths would lose the caller-side chain and depend on
+    /// which thread ran the task. Set on a fan-out span (its own full
+    /// keyed path, computed on the calling thread) before any task is
+    /// published, copied into each task span, immutable afterwards.
+    std::string flight_prefix;
+};
+
+struct ThreadBuf {
+    std::deque<Rec> recs;
+    std::int32_t id = -1;
+};
+
+struct Slot {
+    enum class Kind : unsigned char { Counter, Gauge, Hist };
+    Kind kind = Kind::Counter;
+    Tag tag = Tag::Stable;
+    std::uint64_t value = 0; ///< counter sum / gauge max
+    std::uint64_t hist_count = 0;
+    std::uint64_t hist_sum = 0;
+    std::array<std::uint64_t, 65> buckets{}; ///< index = bit_width(value)
+};
+
+struct MetricShard {
+    std::unordered_map<std::string, Slot> slots;
+};
+
+// Leaked singleton: pool worker threads outlive every static-destruction
+// order we could reason about, so the registry is never destroyed.
+struct Registry {
+    std::mutex mutex;
+    std::vector<ThreadBuf*> bufs;
+    std::vector<MetricShard*> shards;
+    std::atomic<std::uint64_t> root_seq{0};
+};
+
+[[nodiscard]] Registry& registry();
+
+// ---------------------------------------------------------------------------
+// Canonical tree reconstruction shared by the exporters and the
+// analysis layer.
+
+struct TreeNode {
+    const Rec* rec = nullptr;
+    std::int32_t buf = 0;
+    std::vector<std::uint32_t> children; ///< global node indices, key-sorted
+};
+
+struct Tree {
+    std::vector<TreeNode> nodes;
+    std::vector<std::uint32_t> roots; ///< key-sorted
+};
+
+/// Must be called under the registry lock with no spans being recorded
+/// (the quiescence contract from obs.hpp). The returned tree borrows
+/// the arenas' records; they stay valid until reset().
+[[nodiscard]] Tree build_tree(Registry& r);
+
+/// Merged, name-ordered snapshot of every metric shard plus the hot
+/// counters. Takes the registry lock itself.
+[[nodiscard]] std::map<std::string, Slot> merged_metrics();
+
+} // namespace si::obs::detail

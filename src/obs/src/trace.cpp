@@ -1,0 +1,420 @@
+#include "si/obs/trace.hpp"
+
+#include "obs_internal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+
+namespace si::obs::trace {
+
+// ---------------------------------------------------------------------------
+// Snapshot capture
+
+namespace {
+
+// Flattens one canonical-tree node (and its subtree) into the snapshot,
+// assigning ticks exactly like the deterministic exporters: one tick at
+// begin, one at end, children in key order between them.
+void flatten(const detail::Tree& tree, std::uint32_t t, std::uint32_t parent,
+             const std::string& parent_path, const std::string& request, std::uint64_t& tick,
+             Snapshot& out) {
+    const detail::Rec& rec = *tree.nodes[t].rec;
+    const std::uint32_t idx = static_cast<std::uint32_t>(out.nodes.size());
+    out.nodes.emplace_back();
+    {
+        Node& n = out.nodes[idx];
+        n.name = rec.name;
+        n.path = parent_path.empty() ? std::string{} : parent_path + "/";
+        n.path += rec.name + ":" + std::to_string(rec.key);
+        n.attrs = rec.attrs;
+        n.parent = parent;
+        n.request = request;
+        if (rec.name == "request") {
+            for (const auto& [k, v] : rec.attrs)
+                if (k == "req") n.request = v;
+        }
+        n.tick_begin = tick++;
+        if (rec.end_ns >= rec.begin_ns) n.wall_total = rec.end_ns - rec.begin_ns;
+        if ((rec.begin_ns | rec.end_ns) != 0) out.has_wall = true;
+    }
+    // Children: re-index into the locals each iteration — the nodes
+    // vector reallocates as the recursion appends.
+    for (const std::uint32_t c : tree.nodes[t].children) {
+        const std::uint32_t child_idx = static_cast<std::uint32_t>(out.nodes.size());
+        out.nodes[idx].children.push_back(child_idx);
+        flatten(tree, c, idx, out.nodes[idx].path, out.nodes[idx].request, tick, out);
+    }
+    Node& n = out.nodes[idx];
+    n.tick_end = tick++;
+    n.tick_total = n.tick_end - n.tick_begin;
+    std::uint64_t child_ticks = 0;
+    std::uint64_t child_wall = 0;
+    for (const std::uint32_t c : n.children) {
+        child_ticks += out.nodes[c].tick_total;
+        child_wall += out.nodes[c].wall_total;
+    }
+    n.tick_self = n.tick_total - child_ticks; // = 1 + #children, never underflows
+    // Parallel children overlap, so their wall sum can exceed the
+    // parent's span; clamp — self-time attribution never goes negative.
+    n.wall_self = n.wall_total > child_wall ? n.wall_total - child_wall : 0;
+}
+
+} // namespace
+
+Snapshot snapshot() {
+    auto& r = detail::registry();
+    std::unique_lock<std::mutex> lock(r.mutex);
+    const detail::Tree tree = detail::build_tree(r);
+    lock.unlock(); // records are stable; only the registry lists needed the lock
+    Snapshot out;
+    out.nodes.reserve(tree.nodes.size());
+    std::uint64_t tick = 0;
+    for (const std::uint32_t root : tree.roots) {
+        out.roots.push_back(static_cast<std::uint32_t>(out.nodes.size()));
+        flatten(tree, root, UINT32_MAX, {}, {}, tick, out);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation, critical path, folded stacks
+
+std::vector<std::uint32_t> critical_path(const Snapshot& snap, Lane lane) {
+    std::vector<std::uint32_t> out;
+    if (snap.empty()) return out;
+    // Heavier total wins; equal totals fall back to the smaller keyed
+    // path, so the choice is unique even when a lane carries no weight.
+    const auto better = [&](std::uint32_t a, std::uint32_t b) {
+        const Node& na = snap.nodes[a];
+        const Node& nb = snap.nodes[b];
+        if (na.total(lane) != nb.total(lane)) return na.total(lane) > nb.total(lane);
+        return na.path < nb.path;
+    };
+    std::uint32_t cur = snap.roots.front();
+    for (const std::uint32_t r : snap.roots)
+        if (r != cur && better(r, cur)) cur = r;
+    out.push_back(cur);
+    while (!snap.nodes[cur].children.empty()) {
+        std::uint32_t best = snap.nodes[cur].children.front();
+        for (const std::uint32_t c : snap.nodes[cur].children)
+            if (c != best && better(c, best)) best = c;
+        out.push_back(best);
+        cur = best;
+    }
+    return out;
+}
+
+std::string critical_path_text(const Snapshot& snap, Lane lane) {
+    const auto path = critical_path(snap, lane);
+    std::string out = "critical path [";
+    out += lane_name(lane);
+    out += "]:";
+    if (path.empty()) return out + " (no spans)\n";
+    out += " total=" + std::to_string(snap.nodes[path.front()].total(lane)) + "\n";
+    for (const std::uint32_t idx : path) {
+        const Node& n = snap.nodes[idx];
+        out += "  " + n.path + "  total=" + std::to_string(n.total(lane)) +
+               "  self=" + std::to_string(n.self(lane)) + "\n";
+    }
+    return out;
+}
+
+std::string export_folded(const Snapshot& snap, Lane lane) {
+    // Stack = name chain root→node; identical chains from different
+    // instances merge, which is exactly the collapsed-stack semantics.
+    std::map<std::string, std::uint64_t> folded;
+    std::vector<std::string> stack_of(snap.nodes.size());
+    for (std::uint32_t i = 0; i < snap.nodes.size(); ++i) {
+        const Node& n = snap.nodes[i];
+        stack_of[i] = n.parent == UINT32_MAX ? n.name : stack_of[n.parent] + ";" + n.name;
+        const std::uint64_t self = n.self(lane);
+        if (self == 0 && lane == Lane::Wall) continue;
+        folded[stack_of[i]] += self;
+    }
+    std::string out;
+    for (const auto& [stack, weight] : folded)
+        out += stack + " " + std::to_string(weight) + "\n";
+    return out;
+}
+
+Profile profile(const Snapshot& snap, Lane lane) {
+    Profile prof;
+    prof.lane = lane;
+    prof.has_wall = snap.has_wall;
+    for (const Node& n : snap.nodes) {
+        Agg& a = prof.by_name[n.name];
+        ++a.count;
+        a.tick_total += n.tick_total;
+        a.tick_self += n.tick_self;
+        a.wall_total += n.wall_total;
+        a.wall_self += n.wall_self;
+        a.max_fanout = std::max(a.max_fanout, static_cast<std::uint64_t>(n.children.size()));
+    }
+    for (const std::uint32_t r : snap.roots) {
+        prof.root_tick += snap.nodes[r].tick_total;
+        prof.root_wall += snap.nodes[r].wall_total;
+    }
+    for (const std::uint32_t idx : critical_path(snap, lane)) {
+        const Node& n = snap.nodes[idx];
+        prof.critical.push_back(
+            {n.name, n.path, n.tick_total, n.tick_self, n.wall_total, n.wall_self});
+    }
+    return prof;
+}
+
+// ---------------------------------------------------------------------------
+// Profile interchange
+
+std::string profile_json(const Profile& prof) {
+    std::string out = "{\n  \"si_trace_profile\": 1,\n";
+    out += "  \"lane\": \"";
+    out += lane_name(prof.lane);
+    out += "\",\n";
+    out += "  \"has_wall\": ";
+    out += prof.has_wall ? "true" : "false";
+    out += ",\n";
+    out += "  \"root_tick\": " + std::to_string(prof.root_tick) + ",\n";
+    out += "  \"root_wall_ns\": " + std::to_string(prof.root_wall) + ",\n";
+    out += "  \"spans\": [\n";
+    std::size_t i = 0;
+    for (const auto& [name, a] : prof.by_name) {
+        out += "    {\"name\": \"";
+        detail::json_escape(out, name);
+        out += "\", \"count\": " + std::to_string(a.count) +
+               ", \"tick_total\": " + std::to_string(a.tick_total) +
+               ", \"tick_self\": " + std::to_string(a.tick_self) +
+               ", \"wall_ns_total\": " + std::to_string(a.wall_total) +
+               ", \"wall_ns_self\": " + std::to_string(a.wall_self) +
+               ", \"max_fanout\": " + std::to_string(a.max_fanout) + "}";
+        out += ++i < prof.by_name.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n  \"critical_path\": [\n";
+    for (std::size_t s = 0; s < prof.critical.size(); ++s) {
+        const CriticalStep& step = prof.critical[s];
+        out += "    {\"name\": \"";
+        detail::json_escape(out, step.name);
+        out += "\", \"path\": \"";
+        detail::json_escape(out, step.path);
+        out += "\", \"tick_total\": " + std::to_string(step.tick_total) +
+               ", \"tick_self\": " + std::to_string(step.tick_self) +
+               ", \"wall_ns_total\": " + std::to_string(step.wall_total) +
+               ", \"wall_ns_self\": " + std::to_string(step.wall_self) + "}";
+        out += s + 1 < prof.critical.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+namespace {
+
+// Minimal scanner for the JSON subset profile_json emits: objects and
+// arrays of flat objects whose members are strings, integers or bools.
+struct Scanner {
+    std::string_view s;
+    std::size_t i = 0;
+    bool ok = true;
+    std::string error;
+
+    void fail(const std::string& msg) {
+        if (ok) error = msg + " at offset " + std::to_string(i);
+        ok = false;
+    }
+    void ws() {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+    }
+    bool eat(char c) {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+    std::string string() {
+        ws();
+        std::string out;
+        if (i >= s.size() || s[i] != '"') {
+            fail("expected string");
+            return out;
+        }
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) {
+                ++i;
+                switch (s[i]) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                default: out += s[i];
+                }
+            } else {
+                out += s[i];
+            }
+            ++i;
+        }
+        if (i >= s.size()) fail("unterminated string");
+        else ++i;
+        return out;
+    }
+    std::uint64_t number() {
+        ws();
+        if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+            fail("expected number");
+            return 0;
+        }
+        std::uint64_t v = 0;
+        while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0)
+            v = v * 10 + static_cast<std::uint64_t>(s[i++] - '0');
+        return v;
+    }
+    /// Skips any scalar value (string, number, true/false/null).
+    void skip_scalar() {
+        ws();
+        if (i < s.size() && s[i] == '"') {
+            (void)string();
+            return;
+        }
+        while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']') ++i;
+    }
+};
+
+/// Parses a flat object of string/number members into maps.
+void flat_object(Scanner& sc, std::map<std::string, std::string>& strings,
+                 std::map<std::string, std::uint64_t>& numbers) {
+    if (!sc.eat('{')) {
+        sc.fail("expected object");
+        return;
+    }
+    if (sc.eat('}')) return;
+    do {
+        const std::string key = sc.string();
+        if (!sc.eat(':')) {
+            sc.fail("expected ':'");
+            return;
+        }
+        sc.ws();
+        if (sc.i < sc.s.size() && sc.s[sc.i] == '"') strings[key] = sc.string();
+        else if (sc.i < sc.s.size() && std::isdigit(static_cast<unsigned char>(sc.s[sc.i])) != 0)
+            numbers[key] = sc.number();
+        else sc.skip_scalar();
+        if (!sc.ok) return;
+    } while (sc.eat(','));
+    if (!sc.eat('}')) sc.fail("expected '}'");
+}
+
+} // namespace
+
+bool parse_profile(std::string_view text, Profile& out, std::string* error) {
+    Scanner sc{text, 0, true, {}};
+    out = Profile{};
+    bool marker = false;
+    if (!sc.eat('{')) sc.fail("expected top-level object");
+    if (sc.ok && !sc.eat('}')) {
+        do {
+            const std::string key = sc.string();
+            if (!sc.eat(':')) {
+                sc.fail("expected ':'");
+                break;
+            }
+            if (key == "si_trace_profile") {
+                marker = sc.number() == 1;
+            } else if (key == "lane") {
+                out.lane = sc.string() == "wall" ? Lane::Wall : Lane::Tick;
+            } else if (key == "has_wall") {
+                sc.ws();
+                out.has_wall = sc.s.substr(sc.i, 4) == "true";
+                sc.skip_scalar();
+            } else if (key == "root_tick") {
+                out.root_tick = sc.number();
+            } else if (key == "root_wall_ns") {
+                out.root_wall = sc.number();
+            } else if (key == "spans" || key == "critical_path") {
+                if (!sc.eat('[')) {
+                    sc.fail("expected array");
+                    break;
+                }
+                if (!sc.eat(']')) {
+                    do {
+                        std::map<std::string, std::string> strs;
+                        std::map<std::string, std::uint64_t> nums;
+                        flat_object(sc, strs, nums);
+                        if (!sc.ok) break;
+                        if (key == "spans") {
+                            Agg& a = out.by_name[strs["name"]];
+                            a.count = nums["count"];
+                            a.tick_total = nums["tick_total"];
+                            a.tick_self = nums["tick_self"];
+                            a.wall_total = nums["wall_ns_total"];
+                            a.wall_self = nums["wall_ns_self"];
+                            a.max_fanout = nums["max_fanout"];
+                        } else {
+                            out.critical.push_back({strs["name"], strs["path"],
+                                                    nums["tick_total"], nums["tick_self"],
+                                                    nums["wall_ns_total"], nums["wall_ns_self"]});
+                        }
+                    } while (sc.eat(','));
+                    if (sc.ok && !sc.eat(']')) sc.fail("expected ']'");
+                }
+            } else {
+                sc.skip_scalar();
+            }
+            if (!sc.ok) break;
+        } while (sc.eat(','));
+        if (sc.ok && !sc.eat('}')) sc.fail("expected closing '}'");
+    }
+    if (sc.ok && !marker) {
+        sc.ok = false;
+        sc.error = "missing si_trace_profile marker";
+    }
+    if (!sc.ok && error != nullptr) *error = sc.error;
+    return sc.ok;
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles
+
+Percentiles percentiles(const std::array<std::uint64_t, 65>& buckets) {
+    Percentiles out;
+    for (const std::uint64_t c : buckets) out.count += c;
+    if (out.count == 0) return out;
+    // Nearest rank: the pct-th percentile is the ceil(count*pct/100)-th
+    // smallest observation; the log2 bucket holding that rank reports
+    // its upper bound (0 for bucket 0, 2^b−1 for bucket b).
+    const auto at = [&](std::uint64_t pct) {
+        const std::uint64_t rank = std::max<std::uint64_t>(1, (out.count * pct + 99) / 100);
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+            cum += buckets[b];
+            if (cum >= rank) {
+                if (b == 0) return std::uint64_t{0};
+                return b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1;
+            }
+        }
+        return UINT64_MAX; // unreachable: cum == count >= rank by then
+    };
+    out.p50 = at(50);
+    out.p95 = at(95);
+    out.p99 = at(99);
+    return out;
+}
+
+Percentiles metric_percentiles(std::string_view hist_name) {
+    const auto merged = detail::merged_metrics();
+    const auto it = merged.find(std::string(hist_name));
+    if (it == merged.end() || it->second.kind != detail::Slot::Kind::Hist) return {};
+    return percentiles(it->second.buckets);
+}
+
+std::map<std::string, Percentiles> latency_percentiles(const Snapshot& snap, Lane lane) {
+    std::map<std::string, std::array<std::uint64_t, 65>> hists;
+    for (const Node& n : snap.nodes) {
+        auto [it, inserted] = hists.try_emplace(n.name);
+        if (inserted) it->second.fill(0);
+        ++it->second[std::bit_width(n.total(lane))];
+    }
+    std::map<std::string, Percentiles> out;
+    for (const auto& [name, buckets] : hists) out.emplace(name, percentiles(buckets));
+    return out;
+}
+
+} // namespace si::obs::trace

@@ -37,9 +37,16 @@
 
 #include "si/mc/requirement.hpp"
 #include "si/netlist/netlist.hpp"
+#include "si/obs/trace.hpp"
 #include "si/verify/verifier.hpp"
 
 namespace si::obs::report {
+
+/// Optional per-stage latency block for the explain renderers: span name
+/// → tick-lane percentiles, typically trace::latency_percentiles() taken
+/// over the run that produced the analysis being explained. Rendered as
+/// a "stage latency" section when non-null and non-empty.
+using StageLatency = std::map<std::string, trace::Percentiles>;
 
 // ---------------------------------------------------------------------------
 // MC explain
@@ -55,14 +62,16 @@ namespace si::obs::report {
 /// replayed firing sequence to the first witness state). Candidate
 /// trails are rendered when present.
 [[nodiscard]] std::string mc_explain_text(const sg::RegionAnalysis& ra,
-                                          const mc::McReport& report);
+                                          const mc::McReport& report,
+                                          const StageLatency* latency = nullptr);
 
 /// The same report as JSON:
 /// {"mc_explain": 1, "satisfied": ..., "signals": [{"name": ..,
 ///  "regions": [{"label", "er", "qr", "cfr", "status", "cube"?,
 ///  "shared_with"?, "sum"?, "violations": [..], "trail": [..]}]}]}
 [[nodiscard]] std::string mc_explain_json(const sg::RegionAnalysis& ra,
-                                          const mc::McReport& report);
+                                          const mc::McReport& report,
+                                          const StageLatency* latency = nullptr);
 
 // ---------------------------------------------------------------------------
 // Verify explain
@@ -73,14 +82,16 @@ namespace si::obs::report {
 /// after it, and a step that disables an excited gate without firing it
 /// is annotated HAZARD. Ends with the violation's span-path provenance.
 [[nodiscard]] std::string verify_explain_text(const net::Netlist& nl,
-                                              const verify::VerifyResult& result);
+                                              const verify::VerifyResult& result,
+                                              const StageLatency* latency = nullptr);
 
 /// The same report as JSON:
 /// {"verify_explain": 1, "ok": .., "states": N, "violations":
 ///  [{"kind", "message", "span_path", "steps": [{"action", "excited":
 ///  [..], "hazard"?: ".."}]}]}
 [[nodiscard]] std::string verify_explain_json(const net::Netlist& nl,
-                                              const verify::VerifyResult& result);
+                                              const verify::VerifyResult& result,
+                                              const StageLatency* latency = nullptr);
 
 // ---------------------------------------------------------------------------
 // Stable-metric snapshots and the regression diff
@@ -130,6 +141,11 @@ struct DiffResult {
     /// line ("obs_diff: OK, 42 counters within thresholds" or
     /// "obs_diff: REGRESSION in 2 of 42 counters").
     [[nodiscard]] std::string describe() const;
+    /// Machine-readable form: {"obs_diff": 1, "regressed": bool,
+    /// "counters": [{"name", "base", "cur", "threshold", "regressed"}],
+    /// "missing": [..], "added": [..]}. Counters appear in row order
+    /// (name-sorted), so the output is deterministic.
+    [[nodiscard]] std::string to_json() const;
 };
 
 [[nodiscard]] DiffResult diff_snapshots(const Snapshot& base, const Snapshot& cur,

@@ -19,6 +19,34 @@ std::string jstr(std::string_view s) {
     return out + "\"";
 }
 
+/// "stage latency [ticks]:" block shared by the text explain renderers.
+/// Map order (name-sorted) keeps the section deterministic.
+std::string latency_text(const StageLatency* latency) {
+    if (latency == nullptr || latency->empty()) return {};
+    std::string out = "stage latency [ticks]:\n";
+    for (const auto& [name, p] : *latency)
+        out += "  " + name + ": p50=" + std::to_string(p.p50) + " p95=" + std::to_string(p.p95) +
+               " p99=" + std::to_string(p.p99) + " (n=" + std::to_string(p.count) + ")\n";
+    return out;
+}
+
+/// ",\n  \"stage_latency\": {...}" member for the JSON explain
+/// renderers; empty string when there is nothing to report.
+std::string latency_json(const StageLatency* latency) {
+    if (latency == nullptr || latency->empty()) return {};
+    std::string out = ",\n  \"stage_latency\": {";
+    bool first = true;
+    for (const auto& [name, p] : *latency) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + jstr(name) + ": {\"p50\": " + std::to_string(p.p50) +
+               ", \"p95\": " + std::to_string(p.p95) + ", \"p99\": " + std::to_string(p.p99) +
+               ", \"count\": " + std::to_string(p.count) + "}";
+    }
+    out += "\n  }";
+    return out;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -68,7 +96,8 @@ std::string trail_line(const mc::McCandidate& cand, const std::vector<std::strin
 
 } // namespace
 
-std::string mc_explain_text(const sg::RegionAnalysis& ra, const mc::McReport& report) {
+std::string mc_explain_text(const sg::RegionAnalysis& ra, const mc::McReport& report,
+                            const StageLatency* latency) {
     const auto& sg = ra.graph();
     const auto names = sg.signals().names();
     std::string out = "Monotonous Cover diagnosis for '" + sg.name + "'\n";
@@ -76,6 +105,7 @@ std::string mc_explain_text(const sg::RegionAnalysis& ra, const mc::McReport& re
                ? "requirement satisfied (Def 18)\n"
                : std::to_string(report.violation_count()) +
                      " excitation region(s) without a monotonous cover\n";
+    out += latency_text(latency);
 
     const auto groups = group_by_signal(ra, report);
     for (std::size_t v = 0; v < groups.size(); ++v) {
@@ -125,12 +155,13 @@ std::string mc_explain_text(const sg::RegionAnalysis& ra, const mc::McReport& re
     return out;
 }
 
-std::string mc_explain_json(const sg::RegionAnalysis& ra, const mc::McReport& report) {
+std::string mc_explain_json(const sg::RegionAnalysis& ra, const mc::McReport& report,
+                            const StageLatency* latency) {
     const auto& sg = ra.graph();
     const auto names = sg.signals().names();
     std::string out = "{\n  \"mc_explain\": 1,\n  \"graph\": " + jstr(sg.name) +
                       ",\n  \"satisfied\": " + (report.satisfied() ? "true" : "false") +
-                      ",\n  \"signals\": [";
+                      latency_json(latency) + ",\n  \"signals\": [";
 
     const auto groups = group_by_signal(ra, report);
     bool first_signal = true;
@@ -293,13 +324,15 @@ const char* kind_name(verify::ViolationKind k) {
 
 } // namespace
 
-std::string verify_explain_text(const net::Netlist& nl, const verify::VerifyResult& result) {
+std::string verify_explain_text(const net::Netlist& nl, const verify::VerifyResult& result,
+                                const StageLatency* latency) {
     std::string out = "Speed-independence diagnosis for '" + nl.name + "'\n";
     out += result.ok ? "no violations" : std::to_string(result.violations.size()) + " violation(s)";
     out += " in " + std::to_string(result.states_explored) + " states / " +
            std::to_string(result.transitions_explored) + " transitions";
     if (!result.complete()) out += " (INCOMPLETE: " + result.exhaustion->describe() + ")";
     out += "\n";
+    out += latency_text(latency);
 
     for (std::size_t i = 0; i < result.violations.size(); ++i) {
         const auto& v = result.violations[i];
@@ -334,13 +367,14 @@ std::string verify_explain_text(const net::Netlist& nl, const verify::VerifyResu
     return out;
 }
 
-std::string verify_explain_json(const net::Netlist& nl, const verify::VerifyResult& result) {
+std::string verify_explain_json(const net::Netlist& nl, const verify::VerifyResult& result,
+                                const StageLatency* latency) {
     std::string out = "{\n  \"verify_explain\": 1,\n  \"netlist\": " + jstr(nl.name) +
                       ",\n  \"ok\": " + (result.ok ? "true" : "false") +
                       ",\n  \"complete\": " + (result.complete() ? "true" : "false") +
                       ",\n  \"states\": " + std::to_string(result.states_explored) +
                       ",\n  \"transitions\": " + std::to_string(result.transitions_explored) +
-                      ",\n  \"violations\": [";
+                      latency_json(latency) + ",\n  \"violations\": [";
     for (std::size_t i = 0; i < result.violations.size(); ++i) {
         const auto& v = result.violations[i];
         out += i == 0 ? "\n" : ",\n";
@@ -596,6 +630,36 @@ std::string DiffResult::describe() const {
                              " of " + std::to_string(rows.size()) + " counters"
                        : "OK, " + std::to_string(rows.size()) + " counters within thresholds";
     out += "\n";
+    return out;
+}
+
+std::string DiffResult::to_json() const {
+    std::string out = "{\n  \"obs_diff\": 1,\n  \"regressed\": ";
+    out += regressed() ? "true" : "false";
+    out += ",\n  \"counters\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        char thr[32];
+        std::snprintf(thr, sizeof thr, "%.4f", row.threshold);
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": " + jstr(row.name) + ", \"base\": " + std::to_string(row.base) +
+               ", \"cur\": " + std::to_string(row.cur) + ", \"threshold\": " + thr +
+               ", \"regressed\": " + (row.regressed ? "true" : "false") + "}";
+    }
+    out += rows.empty() ? "]" : "\n  ]";
+    auto list = [&](const char* key, const std::vector<std::string>& names) {
+        out += ",\n  \"";
+        out += key;
+        out += "\": [";
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += jstr(names[i]);
+        }
+        out += "]";
+    };
+    list("missing", missing);
+    list("added", added);
+    out += "\n}\n";
     return out;
 }
 

@@ -111,6 +111,12 @@ std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
 
     span.attr("markings", static_cast<std::uint64_t>(g.num_nodes()));
     span.attr("edges", static_cast<std::uint64_t>(g.edges.size()));
+    // The store attrs put the interning work on the span itself: before
+    // this, --profile showed sg.explore time with the sg.store.* probe
+    // stream visible only as global counters, unattributable to a stage.
+    span.attr("interned", static_cast<std::uint64_t>(g.store.size()));
+    span.attr("probes", static_cast<std::uint64_t>(g.store.probes()));
+    span.attr("resizes", static_cast<std::uint64_t>(g.store.resizes()));
     if (obs::enabled()) {
         obs::count("sg.markings", g.num_nodes());
         obs::count("sg.edges", g.edges.size());
@@ -139,6 +145,7 @@ struct Assignment {
 };
 
 Assignment assign_codes(const stg::Stg& net, const MarkingGraph& g) {
+    obs::Span span("sg.assign");
     const std::size_t nsig = net.signals().size();
     const std::size_t n = g.num_nodes();
     Assignment out;
@@ -207,6 +214,8 @@ Assignment assign_codes(const stg::Stg& net, const MarkingGraph& g) {
     out.initial = BitVec(nsig);
     for (std::size_t v = 0; v < nsig; ++v)
         if (want[v] == 1) out.initial.set(v);
+    span.attr("signals", static_cast<std::uint64_t>(nsig));
+    if (obs::enabled()) obs::count("sg.assign.codes", n);
     return out;
 }
 
@@ -234,6 +243,10 @@ util::Outcome<StateGraph> build_state_graph_outcome(const stg::Stg& net,
     const std::size_t n = g.num_nodes();
     const std::size_t cw = assigned.code_words;
 
+    // Materialization was the last unattributed stage of the unfolding:
+    // code XOR-ing plus arc deduplication over the whole edge list.
+    obs::Span span("sg.materialize");
+    span.attr("states", static_cast<std::uint64_t>(n));
     StateGraph sg;
     sg.name = net.name;
     for (const auto& s : net.signals().all()) sg.signals().add(s.name, s.kind);

@@ -1,0 +1,64 @@
+// si::util — request-scoped execution context.
+//
+// One RequestContext describes one unit of batch/server work: a request
+// id, the seed derived for it, and the Budget shard it may spend. It is
+// the substrate the planned si::serve daemon sits on — a long-lived
+// process admits a request, carves it a budget shard, opens an
+// obs::RequestScope with the context's identity, and every span, metric
+// and flight-recorder entry the pipeline records (including on pool
+// workers — si::util::parallel propagates the identity through fan-outs)
+// is attributable to that request.
+//
+// The seed derivation is the same one-splitmix64-step discipline
+// si::gen::derive_seed and the fault engine use, so request streams are
+// decorrelated and independent of how many other requests a campaign
+// serves. trace_test pins the two derivations to each other.
+#pragma once
+
+#include <cstdint>
+
+#include "si/obs/obs.hpp"
+#include "si/util/budget.hpp"
+
+namespace si::util {
+
+struct RequestContext {
+    std::uint64_t id = 0;
+    std::uint64_t seed = 0;
+    /// This request's budget slice (unlimited when built without a
+    /// parent). The owner absorbs it back after the request completes:
+    /// parent.absorb(ctx.budget).
+    Budget budget;
+
+    /// One splitmix64 step over (campaign_seed, id) — byte-identical to
+    /// si::gen::derive_seed, kept here so layers below si::gen can seed
+    /// per-request streams the same way.
+    [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                                   std::uint64_t id) {
+        std::uint64_t z = ((campaign_seed * 0x9e3779b97f4a7c15ull + 1) ^
+                           (id * 0xbf58476d1ce4e5b9ull)) +
+                          0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Builds the context for request `id`: derived seed plus a budget
+    /// shard carved from `parent` (1/`ways` of its remaining headroom)
+    /// when one is given.
+    [[nodiscard]] static RequestContext make(std::uint64_t campaign_seed, std::uint64_t id,
+                                             const Budget* parent = nullptr,
+                                             std::uint64_t ways = 1) {
+        RequestContext ctx;
+        ctx.id = id;
+        ctx.seed = derive_seed(campaign_seed, id);
+        if (parent != nullptr) ctx.budget = parent->shard(ways);
+        return ctx;
+    }
+
+    /// The obs-side identity this context installs; construct
+    /// obs::RequestScope(ctx.id, ctx.seed) to activate it.
+    [[nodiscard]] obs::RequestInfo info() const { return obs::RequestInfo{id, seed, true}; }
+};
+
+} // namespace si::util

@@ -225,8 +225,21 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
     if (n == 0) return;
     obs::count("pool.fan_outs");
     obs::count("pool.tasks", n);
+    // The caller's request identity rides into every task: workers are
+    // long-lived threads with no identity of their own, so each task
+    // installs the captured identity for its duration (a no-op swap when
+    // the task runs inline on the calling thread).
+    const obs::RequestInfo req = obs::current_request();
     if (!obs::tracing()) {
-        pool_run_impl(n, task);
+        if (!req.active) {
+            pool_run_impl(n, task);
+            return;
+        }
+        const std::function<void(std::size_t)> scoped = [&](std::size_t i) {
+            obs::detail::RequestTlsGuard guard(req);
+            task(i);
+        };
+        pool_run_impl(n, scoped);
         return;
     }
     // One "parallel" span plus one "task" span per index, keyed by the
@@ -234,6 +247,7 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
     // this thread, or on any number of pool workers.
     obs::FanOutSpan fan(n);
     const std::function<void(std::size_t)> traced = [&](std::size_t i) {
+        obs::detail::RequestTlsGuard guard(req);
         obs::TaskSpan scope(fan, i);
         task(i);
     };

@@ -1,0 +1,442 @@
+// Unit tests for si::obs::trace and the request-scoped context plumbing:
+// log2-histogram percentile derivation (exact values on hand-built
+// histograms, monotonicity), critical-path extraction and its
+// determinism across worker counts, folded-stack export, the profile
+// interchange round-trip, self-time partition of the tick lane, the
+// opt-in wall lane, and request-id propagation through thread-pool
+// fan-outs (obs::RequestScope / util::RequestContext).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "si/gen/gen.hpp"
+#include "si/obs/obs.hpp"
+#include "si/obs/report.hpp"
+#include "si/obs/trace.hpp"
+#include "si/util/parallel.hpp"
+#include "si/util/request.hpp"
+
+namespace si {
+namespace {
+
+/// Every test runs with a clean registry and leaves obs off.
+struct ObsGuard {
+    explicit ObsGuard(obs::Mode m) {
+        obs::set_mode(m);
+        obs::reset();
+    }
+    ~ObsGuard() {
+        util::set_num_threads(0);
+        obs::set_wall_lane(false);
+        obs::set_mode(obs::Mode::Off);
+        obs::reset();
+    }
+};
+
+std::array<std::uint64_t, 65> empty_hist() {
+    std::array<std::uint64_t, 65> h{};
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles
+
+TEST(TracePercentiles, EmptyHistogramReportsNoData) {
+    const auto p = obs::trace::percentiles(empty_hist());
+    EXPECT_EQ(p.count, 0u);
+    EXPECT_EQ(p.p50, 0u);
+    EXPECT_EQ(p.p95, 0u);
+    EXPECT_EQ(p.p99, 0u);
+}
+
+TEST(TracePercentiles, SingletonBucketsAreExact) {
+    // Buckets 0 and 1 hold exactly {0} and {1}, so percentiles landing
+    // there are exact, not upper bounds.
+    auto h = empty_hist();
+    h[0] = 100; // one hundred observations of value 0
+    auto p = obs::trace::percentiles(h);
+    EXPECT_EQ(p.count, 100u);
+    EXPECT_EQ(p.p50, 0u);
+    EXPECT_EQ(p.p99, 0u);
+
+    h = empty_hist();
+    h[1] = 7; // seven observations of value 1
+    p = obs::trace::percentiles(h);
+    EXPECT_EQ(p.count, 7u);
+    EXPECT_EQ(p.p50, 1u);
+    EXPECT_EQ(p.p95, 1u);
+    EXPECT_EQ(p.p99, 1u);
+}
+
+TEST(TracePercentiles, NearestRankSelectsBucketUpperBound) {
+    // 50 observations of 1 and 50 in [4,7] (bucket 3): the 50th-smallest
+    // is still a 1, the 95th and 99th fall in bucket 3 and report its
+    // upper bound 7.
+    auto h = empty_hist();
+    h[1] = 50;
+    h[3] = 50;
+    const auto p = obs::trace::percentiles(h);
+    EXPECT_EQ(p.count, 100u);
+    EXPECT_EQ(p.p50, 1u);
+    EXPECT_EQ(p.p95, 7u);
+    EXPECT_EQ(p.p99, 7u);
+}
+
+TEST(TracePercentiles, TwoObservationsRoundRanksUp) {
+    // Nearest rank with count=2: p50 → rank 1 (the 1), p95/p99 → rank 2
+    // (the 2, reported as bucket 2's upper bound 3).
+    auto h = empty_hist();
+    h[1] = 1; // value 1
+    h[2] = 1; // value in [2,3]
+    const auto p = obs::trace::percentiles(h);
+    EXPECT_EQ(p.p50, 1u);
+    EXPECT_EQ(p.p95, 3u);
+    EXPECT_EQ(p.p99, 3u);
+}
+
+TEST(TracePercentiles, MonotoneAcrossSpreadHistograms) {
+    auto h = empty_hist();
+    for (std::size_t b = 0; b < 20; ++b) h[b] = (b * 7 + 3) % 11;
+    const auto p = obs::trace::percentiles(h);
+    EXPECT_LE(p.p50, p.p95);
+    EXPECT_LE(p.p95, p.p99);
+}
+
+TEST(TracePercentiles, TopBucketSaturatesToMax) {
+    auto h = empty_hist();
+    h[64] = 10; // values with bit_width 64: upper bound saturates
+    const auto p = obs::trace::percentiles(h);
+    EXPECT_EQ(p.p50, UINT64_MAX);
+}
+
+TEST(TracePercentiles, MetricPercentilesMatchObservedValues) {
+    ObsGuard guard(obs::Mode::Metrics);
+    for (int i = 0; i < 10; ++i) obs::observe("t.lat", 1);
+    obs::observe("t.lat", 6); // bucket 3, upper bound 7
+    const auto p = obs::trace::metric_percentiles("t.lat");
+    EXPECT_EQ(p.count, 11u);
+    EXPECT_EQ(p.p50, 1u);
+    EXPECT_EQ(p.p99, 7u);
+    // Missing or non-histogram names report no data.
+    EXPECT_EQ(obs::trace::metric_percentiles("t.nope").count, 0u);
+    obs::count("t.counter", 3);
+    EXPECT_EQ(obs::trace::metric_percentiles("t.counter").count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot structure, critical path, folded stacks
+
+/// root{ a{ a1, a2 }, b{ b1 } } — subtree sizes 6/3/2, tick totals
+/// 11/5/3, leaf totals 1.
+void record_hand_tree() {
+    obs::Span root("root");
+    {
+        obs::Span a("a");
+        { obs::Span a1("a1"); }
+        { obs::Span a2("a2"); }
+    }
+    {
+        obs::Span b("b");
+        { obs::Span b1("b1"); }
+    }
+}
+
+TEST(TraceSnapshot, TickTotalsAndSelfTimesMatchSubtreeSizes) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    ASSERT_EQ(snap.nodes.size(), 6u);
+    ASSERT_EQ(snap.roots.size(), 1u);
+    EXPECT_FALSE(snap.has_wall);
+    const auto& root = snap.nodes[snap.roots[0]];
+    EXPECT_EQ(root.name, "root");
+    EXPECT_EQ(root.tick_total, 11u);
+    EXPECT_EQ(root.tick_self, 3u); // 1 + two children
+    // Self-times partition the root total exactly.
+    std::uint64_t self_sum = 0;
+    for (const auto& n : snap.nodes) self_sum += n.tick_self;
+    EXPECT_EQ(self_sum, root.tick_total);
+}
+
+TEST(TraceSnapshot, CriticalPathDescendsHeaviestWithLexTieBreak) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    const auto path = obs::trace::critical_path(snap);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(snap.nodes[path[0]].name, "root");
+    EXPECT_EQ(snap.nodes[path[1]].name, "a"); // total 5 beats b's 3
+    // a1 and a2 tie at total 1; the lexicographically smaller keyed path
+    // wins.
+    EXPECT_EQ(snap.nodes[path[2]].name, "a1");
+    EXPECT_EQ(obs::trace::critical_path_text(snap),
+              "critical path [tick]: total=11\n"
+              "  root:0  total=11  self=3\n"
+              "  root:0/a:0  total=5  self=3\n"
+              "  root:0/a:0/a1:0  total=1  self=1\n");
+}
+
+TEST(TraceSnapshot, EmptySnapshotHasNoCriticalPath) {
+    ObsGuard guard(obs::Mode::Trace);
+    const auto snap = obs::trace::snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_TRUE(obs::trace::critical_path(snap).empty());
+    EXPECT_EQ(obs::trace::critical_path_text(snap), "critical path [tick]: (no spans)\n");
+    EXPECT_EQ(obs::trace::export_folded(snap), "");
+}
+
+TEST(TraceSnapshot, FoldedStacksMergeByNameChain) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    EXPECT_EQ(obs::trace::export_folded(snap),
+              "root 3\n"
+              "root;a 3\n"
+              "root;a;a1 1\n"
+              "root;a;a2 1\n"
+              "root;b 2\n"
+              "root;b;b1 1\n");
+}
+
+TEST(TraceSnapshot, LatencyPercentilesAggregateByName) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    const auto lat = obs::trace::latency_percentiles(snap);
+    // a1/a2/b1 all have tick total 1 — exact singleton-bucket percentiles.
+    ASSERT_EQ(lat.count("a1"), 1u);
+    EXPECT_EQ(lat.at("a1").p50, 1u);
+    EXPECT_EQ(lat.at("root").count, 1u);
+    for (const auto& [name, p] : lat) {
+        EXPECT_LE(p.p50, p.p95) << name;
+        EXPECT_LE(p.p95, p.p99) << name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts
+
+/// A two-level fan-out whose trace must not depend on scheduling.
+void fan_out_workload() {
+    std::atomic<std::uint64_t> sink{0};
+    obs::Span top("work");
+    util::parallel_for(8, [&](std::size_t i) {
+        std::uint64_t acc = i;
+        for (int r = 0; r < 200; ++r) acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+        sink += acc;
+        obs::count("work.items");
+    });
+}
+
+TEST(TraceDeterminism, AnalysesAreByteIdenticalAcrossWorkerCounts) {
+    std::string first_critical;
+    std::string first_folded;
+    std::string first_profile;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ObsGuard guard(obs::Mode::Trace);
+        util::set_num_threads(threads);
+        fan_out_workload();
+        const auto snap = obs::trace::snapshot();
+        const std::string critical = obs::trace::critical_path_text(snap);
+        const std::string folded = obs::trace::export_folded(snap);
+        const std::string profile =
+            obs::trace::profile_json(obs::trace::profile(snap));
+        if (first_critical.empty()) {
+            first_critical = critical;
+            first_folded = folded;
+            first_profile = profile;
+        } else {
+            EXPECT_EQ(critical, first_critical) << "threads=" << threads;
+            EXPECT_EQ(folded, first_folded) << "threads=" << threads;
+            EXPECT_EQ(profile, first_profile) << "threads=" << threads;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profile interchange
+
+TEST(TraceProfile, JsonRoundTripIsLossless) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    const auto prof = obs::trace::profile(snap);
+    EXPECT_EQ(prof.root_tick, 11u);
+    EXPECT_EQ(prof.by_name.at("root").max_fanout, 2u);
+    const std::string js = obs::trace::profile_json(prof);
+    obs::trace::Profile back;
+    std::string err;
+    ASSERT_TRUE(obs::trace::parse_profile(js, back, &err)) << err;
+    EXPECT_EQ(obs::trace::profile_json(back), js);
+    EXPECT_EQ(back.by_name.size(), prof.by_name.size());
+    EXPECT_EQ(back.critical.size(), prof.critical.size());
+    EXPECT_EQ(back.root_tick, prof.root_tick);
+}
+
+TEST(TraceProfile, ParseRejectsNonProfiles) {
+    obs::trace::Profile out;
+    std::string err;
+    EXPECT_FALSE(obs::trace::parse_profile("{\"metrics\": {}}", out, &err));
+    EXPECT_NE(err.find("si_trace_profile"), std::string::npos);
+    EXPECT_FALSE(obs::trace::parse_profile("not json", out, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Wall lane
+
+TEST(TraceWallLane, OptInRecordsNanosecondsUnderDeterministicClock) {
+    ObsGuard guard(obs::Mode::Trace);
+    obs::set_wall_lane(true);
+    EXPECT_TRUE(obs::wall_lane());
+    record_hand_tree();
+    const auto snap = obs::trace::snapshot();
+    EXPECT_TRUE(snap.has_wall);
+    for (const auto& n : snap.nodes) {
+        EXPECT_LE(n.wall_self, n.wall_total) << n.path;
+        // The tick lane is unaffected by the wall lane.
+        EXPECT_GE(n.tick_self, 1u);
+    }
+}
+
+TEST(TraceWallLane, OffByDefault) {
+    ObsGuard guard(obs::Mode::Trace);
+    record_hand_tree();
+    EXPECT_FALSE(obs::trace::snapshot().has_wall);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped contexts
+
+TEST(TraceRequest, InactiveByDefault) {
+    const auto req = obs::current_request();
+    EXPECT_FALSE(req.active);
+    EXPECT_EQ(req.id, 0u);
+}
+
+TEST(TraceRequest, ScopeInstallsAndRestoresIdentity) {
+    ObsGuard guard(obs::Mode::Off);
+    {
+        obs::RequestScope scope(42, 7);
+        const auto req = obs::current_request();
+        EXPECT_TRUE(req.active);
+        EXPECT_EQ(req.id, 42u);
+        EXPECT_EQ(req.seed, 7u);
+        {
+            obs::RequestScope inner(43, 8);
+            EXPECT_EQ(obs::current_request().id, 43u);
+        }
+        EXPECT_EQ(obs::current_request().id, 42u);
+    }
+    EXPECT_FALSE(obs::current_request().active);
+}
+
+TEST(TraceRequest, IdentityPropagatesThroughPoolFanOut) {
+    ObsGuard guard(obs::Mode::Off);
+    util::set_num_threads(4);
+    obs::RequestScope scope(42, 7);
+    std::atomic<int> wrong{0};
+    util::parallel_for(16, [&](std::size_t) {
+        const auto req = obs::current_request();
+        if (!req.active || req.id != 42 || req.seed != 7) ++wrong;
+    });
+    EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(TraceRequest, TracedFanOutStampsRequestOnSpans) {
+    ObsGuard guard(obs::Mode::Trace);
+    util::set_num_threads(2);
+    {
+        obs::RequestScope scope(42, 7);
+        util::parallel_for(3, [&](std::size_t) {});
+    }
+    const auto snap = obs::trace::snapshot();
+    ASSERT_EQ(snap.roots.size(), 1u);
+    const auto& root = snap.nodes[snap.roots[0]];
+    EXPECT_EQ(root.name, "request");
+    // The request span carries its identity as attributes...
+    bool has_req_attr = false;
+    for (const auto& [k, v] : root.attrs)
+        if (k == "req") {
+            has_req_attr = true;
+            EXPECT_EQ(v, "42");
+        }
+    EXPECT_TRUE(has_req_attr);
+    // ...and every descendant (the fan-out and its tasks) is attributed
+    // to it via Node::request.
+    std::size_t tasks = 0;
+    for (const auto& n : snap.nodes) {
+        if (&n != &root) {
+            EXPECT_EQ(n.request, "42") << n.path;
+        }
+        if (n.name == "task") ++tasks;
+    }
+    EXPECT_EQ(tasks, 3u);
+}
+
+TEST(TraceRequest, ContextDerivesSeedsLikeGen) {
+    // util::RequestContext::derive_seed must stay byte-identical to
+    // si::gen::derive_seed — request streams and campaign case streams
+    // are the same discipline.
+    for (const std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+        for (const std::uint64_t id : {0ull, 1ull, 7ull, 1000003ull}) {
+            EXPECT_EQ(util::RequestContext::derive_seed(seed, id), gen::derive_seed(seed, id))
+                << seed << "," << id;
+        }
+    }
+    const auto ctx = util::RequestContext::make(42, 7);
+    EXPECT_EQ(ctx.id, 7u);
+    EXPECT_EQ(ctx.seed, gen::derive_seed(42, 7));
+    EXPECT_TRUE(ctx.info().active);
+}
+
+TEST(TraceRequest, ContextShardsParentBudget) {
+    util::Budget parent;
+    parent.cap(util::Resource::States, 100);
+    const auto ctx = util::RequestContext::make(1, 2, &parent, 4);
+    EXPECT_EQ(ctx.budget.limit(util::Resource::States), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// Stage latency rendering (report layer)
+
+TEST(TraceReport, ExplainLatencyBlocksRender) {
+    obs::report::StageLatency lat;
+    lat["mc.check"] = {1, 3, 7, 11};
+    // The text block is name-sorted and carries all three percentiles.
+    const std::string vtext = "stage latency [ticks]:\n  mc.check: p50=1 p95=3 p99=7 (n=11)\n";
+    // Rendered through the public renderers on a trivial netlist/result.
+    net::Netlist nl{SignalTable{}};
+    nl.name = "t";
+    verify::VerifyResult res;
+    res.ok = true;
+    const std::string text = obs::report::verify_explain_text(nl, res, &lat);
+    EXPECT_NE(text.find(vtext), std::string::npos);
+    const std::string js = obs::report::verify_explain_json(nl, res, &lat);
+    EXPECT_NE(js.find("\"stage_latency\""), std::string::npos);
+    EXPECT_NE(js.find("\"p95\": 3"), std::string::npos);
+    // Null or empty latency adds nothing.
+    EXPECT_EQ(obs::report::verify_explain_text(nl, res).find("stage latency"), std::string::npos);
+}
+
+TEST(TraceReport, DiffResultToJsonIsMachineReadable) {
+    obs::report::Snapshot base;
+    obs::report::Snapshot cur;
+    base.counters["a"] = 10;
+    cur.counters["a"] = 100;
+    base.counters["gone"] = 1;
+    cur.counters["new"] = 1;
+    const auto diff = obs::report::diff_snapshots(base, cur);
+    EXPECT_TRUE(diff.regressed());
+    const std::string js = diff.to_json();
+    EXPECT_NE(js.find("\"obs_diff\": 1"), std::string::npos);
+    EXPECT_NE(js.find("\"regressed\": true"), std::string::npos);
+    EXPECT_NE(js.find("{\"name\": \"a\", \"base\": 10, \"cur\": 100"), std::string::npos);
+    EXPECT_NE(js.find("\"missing\": [\"gone\"]"), std::string::npos);
+    EXPECT_NE(js.find("\"added\": [\"new\"]"), std::string::npos);
+}
+
+} // namespace
+} // namespace si
