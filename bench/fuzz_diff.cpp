@@ -11,6 +11,7 @@
 // Usage:
 //   fuzz_diff [--count N] [--seed S] [--hostile K] [--max-blocks B]
 //             [--engine explicit|symbolic|cross]
+//             [--insertion-engine legacy|eager|cegar|portfolio|cross]
 //             [--out <failures-file>] [--obs-out <path>] [--force]
 //   fuzz_diff --replay "seed=<s> recipe=<r> [hostile=<k>]"
 //   fuzz_diff --selftest-shrink
@@ -35,6 +36,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--count N] [--seed S] [--hostile K] [--max-blocks B]\n"
                  "          [--engine explicit|symbolic|cross]\n"
+                 "          [--insertion-engine legacy|eager|cegar|portfolio|cross]\n"
                  "          [--out <failures-file>] [--obs-out <path>] [--force]\n"
                  "       %s --replay \"seed=<s> recipe=<r> [hostile=<k>]\"\n"
                  "       %s --selftest-shrink\n",
@@ -118,6 +120,15 @@ int main(int argc, char** argv) {
             if (mode == "explicit") opts.diff.mc_engine = gen::McEngineMode::Explicit;
             else if (mode == "symbolic") opts.diff.mc_engine = gen::McEngineMode::Symbolic;
             else if (mode == "cross") opts.diff.mc_engine = gen::McEngineMode::Cross;
+            else return usage(argv[0]);
+        } else if (std::strcmp(argv[i], "--insertion-engine") == 0 && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "legacy") opts.diff.insertion_engine = gen::InsertEngineMode::Legacy;
+            else if (mode == "eager") opts.diff.insertion_engine = gen::InsertEngineMode::Eager;
+            else if (mode == "cegar") opts.diff.insertion_engine = gen::InsertEngineMode::Cegar;
+            else if (mode == "portfolio")
+                opts.diff.insertion_engine = gen::InsertEngineMode::Portfolio;
+            else if (mode == "cross") opts.diff.insertion_engine = gen::InsertEngineMode::Cross;
             else return usage(argv[0]);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];

@@ -49,15 +49,18 @@
 #include <vector>
 
 #include "si/bench_stgs/generators.hpp"
+#include "si/bench_stgs/table1.hpp"
 #include "si/gen/fuzz.hpp"
 #include "si/gen/gen.hpp"
 #include "si/obs/obs.hpp"
 #include "si/obs/report.hpp"
 #include "si/obs/trace.hpp"
+#include "si/sg/analysis.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
 #include "si/mc/requirement.hpp"
 #include "si/mc/symbolic.hpp"
+#include "si/synth/spec.hpp"
 #include "si/synth/synthesize.hpp"
 #include "si/util/parallel.hpp"
 #include "si/verify/fault.hpp"
@@ -321,6 +324,80 @@ int main(int argc, char** argv) {
                      rung.ms > 0 ? 1000.0 * double(rung.states) / rung.ms : 0.0);
     }
 
+    // Insertion ladder: the exact-insertion engines against the legacy
+    // enumerate-and-block loop, one root CSC-repair round per Table 1
+    // case with violations. Wall time is best-of-reps per engine; the
+    // canonical stream's attempt count is deterministic and identical
+    // for every spec engine (the byte-identity contract, DESIGN.md §8),
+    // so it is recorded once as the ladder's work unit. The ganesh_8 row
+    // is the two-signal case the spec engines resolve exactly.
+    struct InsertRung {
+        std::string stg;
+        std::uint64_t states = 0;
+        std::size_t victims = 0;
+        std::size_t attempts = 0; ///< canonical stream length (engine-invariant)
+        double legacy_ms = 0, eager_ms = 0, cegar_ms = 0, portfolio_ms = 0;
+    };
+    std::vector<InsertRung> insert_rungs;
+    {
+        si::util::set_num_threads(0); // portfolio racers use the pool
+        const auto smoke_pick = [&](const std::string& n) {
+            return !smoke || n == "nak-pa" || n == "duplicator" || n == "ganesh_8";
+        };
+        const auto timed = [&](auto&& fn) {
+            double best = 0;
+            for (std::size_t r = 0; r < reps; ++r) {
+                const auto t0 = Clock::now();
+                fn();
+                const double ms =
+                    std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+                if (r == 0 || ms < best) best = ms;
+            }
+            return best;
+        };
+        for (const auto& e : si::bench::table1_suite()) {
+            if (!smoke_pick(e.name)) continue;
+            const si::sg::StateGraph graph = si::sg::build_state_graph(si::bench::load(e));
+            const si::sg::RegionAnalysis ra(graph);
+            const auto report = si::mc::check_requirement(ra, {});
+            std::vector<si::RegionId> victims;
+            for (const auto& r : report.regions)
+                if (!r.ok()) victims.push_back(r.region);
+            if (victims.empty()) continue; // CSC already holds
+            InsertRung rung{e.name, graph.num_states(), victims.size()};
+            si::synth::InsertionOptions legacy_opts;
+            legacy_opts.engine = si::synth::InsertEngine::Legacy;
+            rung.legacy_ms = timed([&] {
+                (void)si::synth::insert_signal_candidates(ra, victims, "csc0", 3, legacy_opts);
+            });
+            const si::synth::InsertionOptions spec_opts;
+            rung.eager_ms = timed([&] {
+                rung.attempts = si::synth::run_spec_engine(ra, victims, "csc0", 3, spec_opts,
+                                                           si::synth::SpecEncoding::Eager, 0,
+                                                           nullptr)
+                                    .stats.attempts;
+            });
+            rung.cegar_ms = timed([&] {
+                (void)si::synth::run_spec_engine(ra, victims, "csc0", 3, spec_opts,
+                                                 si::synth::SpecEncoding::Cegar, 0, nullptr);
+            });
+            si::synth::InsertionOptions pf_opts;
+            pf_opts.engine = si::synth::InsertEngine::Portfolio;
+            rung.portfolio_ms = timed([&] {
+                (void)si::synth::insert_signal_candidates(ra, victims, "csc0", 3, pf_opts);
+            });
+            std::fprintf(stderr,
+                         "insertion    %-12s %5llu states %2zu victims %4zu attempts  "
+                         "legacy %8.3f ms  eager %8.3f (%.1fx)  cegar %8.3f  portfolio %8.3f\n",
+                         rung.stg.c_str(), static_cast<unsigned long long>(rung.states),
+                         rung.victims, rung.attempts, rung.legacy_ms, rung.eager_ms,
+                         rung.eager_ms > 0 ? rung.legacy_ms / rung.eager_ms : 0.0,
+                         rung.cegar_ms, rung.portfolio_ms);
+            insert_rungs.push_back(std::move(rung));
+        }
+        si::util::set_num_threads(1);
+    }
+
     // Million-state workload row: the Def-18 verdict through the
     // symbolic BDD engine on a net far past the explicit wall (the full
     // recipe has 2.56 * 10^6 reachable states; the explicit engine
@@ -363,6 +440,26 @@ int main(int argc, char** argv) {
         // the obs_diff-guarded snapshot alongside sg.store.*.
         const auto recipe = si::gen::Recipe::parse("par:ring3,ring3");
         (void)si::mc::check_stg(si::gen::build(*recipe), si::mc::Engine::Symbolic);
+    }
+    {
+        // One portfolio insertion race on a fixed Table 1 case: the
+        // synthesis workloads above already exercise the default (eager)
+        // spec engine, so this adds the racing path — synth.spec.races
+        // and the winner's stream counters, all deterministic because
+        // every racer computes the same canonical stream.
+        for (const auto& e : si::bench::table1_suite()) {
+            if (e.name != "duplicator") continue;
+            const si::sg::StateGraph graph = si::sg::build_state_graph(si::bench::load(e));
+            const si::sg::RegionAnalysis ra(graph);
+            const auto report = si::mc::check_requirement(ra, {});
+            std::vector<si::RegionId> victims;
+            for (const auto& r : report.regions)
+                if (!r.ok()) victims.push_back(r.region);
+            si::synth::InsertionOptions opts;
+            opts.engine = si::synth::InsertEngine::Portfolio;
+            if (!victims.empty())
+                (void)si::synth::insert_signal_candidates(ra, victims, "csc0", 3, opts);
+        }
     }
     // Freeze the span tree, then drop to Metrics mode: span recording
     // stops (the percentile counters below must not grow the tree) while
@@ -444,6 +541,22 @@ int main(int argc, char** argv) {
              << ", \"ms\": " << rung.ms << ", \"states_per_sec\": "
              << (rung.ms > 0 ? 1000.0 * double(rung.states) / rung.ms : 0.0) << "}"
              << (g + 1 < gen_rungs.size() ? ",\n" : "\n");
+    }
+    json << "  ],\n";
+    json << "  \"insertion_ladder\": [\n";
+    for (std::size_t g = 0; g < insert_rungs.size(); ++g) {
+        const InsertRung& r = insert_rungs[g];
+        json << "    {\"stg\": \"" << r.stg << "\", \"sg_states\": " << r.states
+             << ", \"victims\": " << r.victims << ", \"stream_attempts\": " << r.attempts
+             << ", \"legacy_ms\": " << r.legacy_ms << ", \"eager_ms\": " << r.eager_ms
+             << ", \"cegar_ms\": " << r.cegar_ms << ", \"portfolio_ms\": " << r.portfolio_ms
+             << ", \"speedup_eager_vs_legacy\": "
+             << (r.eager_ms > 0 ? r.legacy_ms / r.eager_ms : 0.0)
+             << ", \"speedup_cegar_vs_legacy\": "
+             << (r.cegar_ms > 0 ? r.legacy_ms / r.cegar_ms : 0.0)
+             << ", \"speedup_portfolio_vs_legacy\": "
+             << (r.portfolio_ms > 0 ? r.legacy_ms / r.portfolio_ms : 0.0) << "}"
+             << (g + 1 < insert_rungs.size() ? ",\n" : "\n");
     }
     json << "  ],\n";
     json << "  \"symbolic_mc\": {\"recipe\": \"" << sym_recipe

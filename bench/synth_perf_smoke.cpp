@@ -1,0 +1,90 @@
+// synth-perf smoke: the portfolio insertion race end-to-end, under the
+// sanitizers when SI_SANITIZE is on.
+//
+// For each Table 1 case with CSC violations it runs one root repair
+// round through the Portfolio engine at pool widths 1, 2 and 8 and
+// asserts the chosen insertions are byte-identical to each other and to
+// a single-threaded Eager and Cegar run — the determinism contract of
+// DESIGN.md §8 exercised through the real thread pool (the unit tests
+// cover the same property on a subset; this smoke covers every case and
+// is the ctest home of the `synth-perf` label).
+//
+// Exit code: 0 all identical, 1 any mismatch (or no case exercised).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/synth/insertion.hpp"
+#include "si/synth/labeling.hpp"
+#include "si/util/parallel.hpp"
+
+using namespace si;
+
+namespace {
+
+/// The comparable fingerprint of one repair round.
+struct RoundResult {
+    std::vector<std::vector<synth::XLabel>> labels;
+    std::vector<std::size_t> sizes;
+    friend bool operator==(const RoundResult&, const RoundResult&) = default;
+};
+
+RoundResult round_result(const sg::RegionAnalysis& ra, const std::vector<RegionId>& victims,
+                         synth::InsertEngine engine) {
+    synth::InsertionOptions opts;
+    opts.engine = engine;
+    RoundResult rr;
+    for (const auto& c : synth::insert_signal_candidates(ra, victims, "csc0", 3, opts)) {
+        rr.labels.push_back(c.labels);
+        rr.sizes.push_back(c.graph.num_states());
+    }
+    return rr;
+}
+
+} // namespace
+
+int main() {
+    std::size_t exercised = 0;
+    std::size_t failures = 0;
+    for (const auto& e : bench::table1_suite()) {
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto report = mc::check_requirement(ra, {});
+        std::vector<RegionId> victims;
+        for (const auto& r : report.regions)
+            if (!r.ok()) victims.push_back(r.region);
+        if (victims.empty()) continue; // CSC already holds
+        ++exercised;
+
+        util::set_num_threads(1);
+        const RoundResult eager = round_result(ra, victims, synth::InsertEngine::Eager);
+        const RoundResult cegar = round_result(ra, victims, synth::InsertEngine::Cegar);
+        bool ok = cegar == eager;
+        if (!ok)
+            std::fprintf(stderr, "FAIL %-12s cegar differs from eager\n", e.name.c_str());
+        for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            util::set_num_threads(workers);
+            const RoundResult pf = round_result(ra, victims, synth::InsertEngine::Portfolio);
+            if (!(pf == eager)) {
+                ok = false;
+                std::fprintf(stderr, "FAIL %-12s portfolio at %zu workers differs from eager\n",
+                             e.name.c_str(), workers);
+            }
+        }
+        failures += ok ? 0 : 1;
+        std::printf("%-12s %4zu states %2zu victims %zu candidates  %s\n", e.name.c_str(),
+                    graph.num_states(), victims.size(), eager.labels.size(),
+                    ok ? "identical" : "MISMATCH");
+    }
+    util::set_num_threads(0);
+    if (exercised == 0) {
+        std::fprintf(stderr, "no Table 1 case had CSC violations — smoke exercised nothing\n");
+        return 1;
+    }
+    std::printf("synth-perf smoke: %zu cases, %zu mismatches\n", exercised, failures);
+    return failures == 0 ? 0 : 1;
+}

@@ -46,6 +46,16 @@ enum class Verdict : unsigned char {
 /// the differential oracle for the symbolic BDD engine itself.
 enum class McEngineMode : unsigned char { Explicit, Symbolic, Cross };
 
+/// Which insertion engine repairs CSC violations during synthesis
+/// (fuzz_diff --insertion-engine). Cross synthesizes once per spec
+/// engine (eager, cegar, portfolio) and treats any difference in the
+/// inserted signals or the final implementation as a finding — the
+/// differential oracle for the canonical-stream identity contract. A
+/// budget exhaustion in any cross run makes the case Unknown, never a
+/// disagreement: the engines spend solver effort differently, so one
+/// may run out where another finished.
+enum class InsertEngineMode : unsigned char { Legacy, Eager, Cegar, Portfolio, Cross };
+
 struct DiffOptions {
     /// Cap on spec state-graph markings (small by default: a campaign
     /// wants many cheap cases, the scaling bench wants few huge ones).
@@ -64,6 +74,8 @@ struct DiffOptions {
     mc::McCubeSearch cube_search;
     /// Engine for the pre-insertion MC verdict (fuzz_diff --engine).
     McEngineMode mc_engine = McEngineMode::Explicit;
+    /// Engine for CSC repair (fuzz_diff --insertion-engine).
+    InsertEngineMode insertion_engine = InsertEngineMode::Legacy;
     /// Caps forwarded to the insertion repair loop. Each branch-and-bound
     /// round re-analyzes a candidate graph, which is the dominant cost on
     /// CSC-conflicted cases — keep the rounds low for campaign speed.

@@ -132,10 +132,51 @@ CaseOutcome diff_case(const stg::Stg& spec, const DiffOptions& opts) {
         sopts.cube_search = opts.cube_search;
         sopts.max_inserted_signals = opts.max_inserted_signals;
         sopts.max_search_nodes = opts.max_search_nodes;
+        const auto engine_of = [](InsertEngineMode m) {
+            switch (m) {
+            case InsertEngineMode::Eager: return synth::InsertEngine::Eager;
+            case InsertEngineMode::Cegar: return synth::InsertEngine::Cegar;
+            case InsertEngineMode::Portfolio: return synth::InsertEngine::Portfolio;
+            default: return synth::InsertEngine::Legacy;
+            }
+        };
+        const bool cross_insert = opts.insertion_engine == InsertEngineMode::Cross;
+        sopts.insertion.engine =
+            engine_of(cross_insert ? InsertEngineMode::Eager : opts.insertion_engine);
         auto so = synth::synthesize_outcome(graph, sopts, &budget);
         if (!so.is_complete()) return unknown_outcome(so.why(), out.sg_states);
         const synth::SynthesisResult& res = so.value();
         out.inserted_signals = res.inserted.size();
+
+        if (cross_insert) {
+            // The spec engines promise byte-identical synthesis; any
+            // difference in the inserted signals or the summary is a
+            // finding. Each extra run gets a fresh budget with the
+            // case's full caps, so every engine faces the same limits
+            // regardless of what the earlier stages spent — and an
+            // exhaustion stays Unknown, never a disagreement.
+            for (const InsertEngineMode m :
+                 {InsertEngineMode::Cegar, InsertEngineMode::Portfolio}) {
+                synth::SynthOptions xopts = sopts;
+                xopts.insertion.engine = engine_of(m);
+                util::Budget xbudget;
+                xbudget.cap(util::Resource::States, opts.budget_states)
+                    .cap(util::Resource::Steps, opts.budget_steps)
+                    .cap(util::Resource::Conflicts, opts.budget_conflicts)
+                    .cap(util::Resource::Attempts, opts.budget_attempts);
+                auto xo = synth::synthesize_outcome(graph, xopts, &xbudget);
+                if (!xo.is_complete()) return unknown_outcome(xo.why(), out.sg_states);
+                if (xo.value().inserted != res.inserted ||
+                    xo.value().summary() != res.summary()) {
+                    out.verdict = Verdict::Disagree;
+                    out.detail = std::string("insertion engines disagree: eager vs ") +
+                                 synth::to_string(engine_of(m)) + ": " + res.summary() +
+                                 " vs " + xo.value().summary();
+                    out.span_path = provenance("fuzz.case");
+                    return out;
+                }
+            }
+        }
         if (!res.mc.satisfied()) {
             out.verdict = Verdict::Disagree;
             out.detail = "synthesis returned an unsatisfied MC report";

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "si/boolean/cover.hpp"
@@ -44,6 +45,19 @@ void covered_states_into(const sg::RegionAnalysis& ra, const Cube& c, BitVec& ou
 /// cube covers the region correctly.
 [[nodiscard]] std::vector<StateId> incorrect_cover_states(const sg::RegionAnalysis& ra, RegionId r,
                                                           const Cube& c);
+
+/// States a cube wrongly reaches w.r.t. a *set* of regions it is meant
+/// to cover (one region for a private cube, a Def-19 sibling group for a
+/// shared one): everything covered outside the union of the CFRs, plus
+/// covered states where the cube would re-rise inside some CFR (covered
+/// CFR states reachable, within that CFR, from a CFR state the cube does
+/// not cover — the witnesses behind condition 2). These are the
+/// counterexample states the insertion engines separate with the new
+/// signal's literal, and the refutation set the CEGAR loop extracts from
+/// a candidate model.
+[[nodiscard]] std::vector<StateId> offending_cover_states(const sg::RegionAnalysis& ra,
+                                                          std::span<const RegionId> regions,
+                                                          const Cube& cube);
 
 /// Def 13: checks a full SOP up- or down-excitation function for
 /// consistency — value 1 on every ER of that polarity, value 0 wherever

@@ -27,6 +27,12 @@ struct McCubeSearch {
     /// violations that rejected it) into RegionMc::trail. Off by default:
     /// the trail exists for explain reports, not for synthesis.
     bool record_trail = false;
+    /// Run the per-region cube searches inline instead of fanning out
+    /// over the thread pool. The report is byte-identical either way;
+    /// the insertion spec engine sets this because it re-checks many tiny
+    /// expanded graphs per second, where the fan-out handshake costs more
+    /// than the search.
+    bool serial = false;
 };
 
 /// One cube the MC search examined: the violations that rejected it, or

@@ -1,5 +1,7 @@
 #include "si/mc/cover_cube.hpp"
 
+#include <deque>
+
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
 
@@ -81,6 +83,48 @@ std::vector<StateId> incorrect_cover_states(const sg::RegionAnalysis& ra, Region
                                      : (ra.set_excited0(a) | ra.set_stable1(a));
     BitVec bad = covered_states(ra, c);
     bad &= forbidden;
+    std::vector<StateId> out;
+    bad.for_each_set([&](std::size_t si) { out.emplace_back(si); });
+    return out;
+}
+
+std::vector<StateId> offending_cover_states(const sg::RegionAnalysis& ra,
+                                            std::span<const RegionId> regions,
+                                            const Cube& cube) {
+    const auto& sg = ra.graph();
+    const BitVec covered = covered_states(ra, cube);
+
+    BitVec all_cfr(sg.num_states());
+    for (const RegionId r : regions) all_cfr |= ra.region(r).cfr;
+    BitVec bad = covered;
+    bad.and_not(all_cfr);
+
+    for (const RegionId rid : regions) {
+        const auto& region = ra.region(rid);
+        // Re-rises: covered CFR states reachable (inside this CFR) from a
+        // CFR state the cube does not cover.
+        BitVec zero_in_cfr(sg.num_states());
+        region.cfr.for_each_set([&](std::size_t si) {
+            if (!covered.test(si)) zero_in_cfr.set(si);
+        });
+        BitVec after_zero(sg.num_states());
+        std::deque<StateId> queue;
+        zero_in_cfr.for_each_set([&](std::size_t si) { queue.emplace_back(si); });
+        while (!queue.empty()) {
+            const StateId s = queue.front();
+            queue.pop_front();
+            for (const auto a : sg.out_arcs(s)) {
+                const StateId t = sg.arc(a).to;
+                if (region.cfr.test(t.index()) && !after_zero.test(t.index())) {
+                    after_zero.set(t.index());
+                    queue.push_back(t);
+                }
+            }
+        }
+        after_zero &= covered;
+        bad |= after_zero;
+    }
+
     std::vector<StateId> out;
     bad.for_each_set([&](std::size_t si) { out.emplace_back(si); });
     return out;

@@ -195,8 +195,13 @@ McReport check_requirement(const sg::RegionAnalysis& ra, const McCubeSearch& opt
         slot[ri] = work.size();
         work.push_back(r);
     }
-    report.regions =
-        util::parallel_map(work, [&](RegionId r) { return find_mc_cube(ra, r, opts); });
+    if (opts.serial) {
+        report.regions.reserve(work.size());
+        for (const RegionId r : work) report.regions.push_back(find_mc_cube(ra, r, opts));
+    } else {
+        report.regions =
+            util::parallel_map(work, [&](RegionId r) { return find_mc_cube(ra, r, opts); });
+    }
 
     // Phase 2: Def-19 fallback per (signal, polarity) with failures.
     std::map<std::pair<std::size_t, bool>, std::vector<RegionId>> families;

@@ -59,6 +59,9 @@ namespace detail {
 /// The mode flag, exposed so the inline guards below compile to one
 /// relaxed load. 255 = "not yet initialized from the environment".
 extern std::atomic<unsigned char> g_mode;
+/// Per-thread suppression depth (see Silence below). Checked after the
+/// mode flag so the obs-off fast path never touches thread-local state.
+extern thread_local int g_silence_depth;
 [[nodiscard]] Mode mode_slow();
 [[nodiscard]] inline Mode mode_fast() {
     const unsigned char m = g_mode.load(std::memory_order_relaxed);
@@ -68,9 +71,26 @@ extern std::atomic<unsigned char> g_mode;
 } // namespace detail
 
 /// True when metrics (and possibly spans) are being recorded.
-[[nodiscard]] inline bool enabled() { return detail::mode_fast() != Mode::Off; }
+[[nodiscard]] inline bool enabled() {
+    return detail::mode_fast() != Mode::Off && detail::g_silence_depth == 0;
+}
 /// True when spans are being recorded.
-[[nodiscard]] inline bool tracing() { return detail::mode_fast() == Mode::Trace; }
+[[nodiscard]] inline bool tracing() {
+    return detail::mode_fast() == Mode::Trace && detail::g_silence_depth == 0;
+}
+
+/// RAII: suppresses all obs recording (counters, spans, hot counters) on
+/// the current thread while alive. Portfolio racers run under Silence —
+/// a cancelled racer stops at a wall-clock-dependent point, so letting it
+/// write Stable counters would make the merged snapshot nondeterministic;
+/// the winner's effort is re-exported deterministically by the caller.
+class [[nodiscard]] Silence {
+public:
+    Silence() { ++detail::g_silence_depth; }
+    ~Silence() { --detail::g_silence_depth; }
+    Silence(const Silence&) = delete;
+    Silence& operator=(const Silence&) = delete;
+};
 
 // ---------------------------------------------------------------------------
 // Clock

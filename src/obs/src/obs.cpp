@@ -23,6 +23,7 @@ namespace si::obs {
 namespace detail {
 
 std::atomic<unsigned char> g_mode{255}; // 255 = read SI_OBS on first use
+thread_local int g_silence_depth = 0;
 std::atomic<std::uint64_t> g_hot[kNumHot]{};
 
 Registry& registry() {

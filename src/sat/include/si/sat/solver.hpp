@@ -9,6 +9,7 @@
 // solver, exhaustively cross-checked against enumeration in the tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -56,6 +57,16 @@ private:
 /// absence of models from an abandoned search.
 enum class Result { Sat, Unsat, Unknown };
 
+/// Per-call search effort, as deltas of the lifetime counters. Returned
+/// by Solver::last_stats() after each solve(); the incremental callers
+/// (the insertion spec engine) export these as obs counters per attempt.
+struct SolveStats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+};
+
 class Solver {
 public:
     Solver();
@@ -80,7 +91,13 @@ public:
     /// At most one of the literals is true (pairwise encoding).
     bool add_at_most_one(std::span<const Lit> lits);
 
-    /// Decides satisfiability under optional assumptions.
+    /// Decides satisfiability under optional assumptions. The solver is
+    /// incremental: clauses (including everything learnt), variable
+    /// activity and saved phases persist across calls, and a successive
+    /// call whose assumption vector shares a prefix with the previous one
+    /// re-uses the still-valid assumption levels of the trail instead of
+    /// restarting from level 0 — the cheap path the canonical-model
+    /// enumeration in si::synth::spec leans on.
     Result solve(std::span<const Lit> assumptions = {});
 
     /// Model value of v after solve() returned Sat.
@@ -91,6 +108,25 @@ public:
     /// Total branching decisions / unit propagations, for the obs layer.
     [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
     [[nodiscard]] std::uint64_t propagations() const { return propagations_; }
+    /// Total restarts performed (geometric schedule, reset per solve()).
+    [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+    /// Effort of the most recent solve() call alone.
+    [[nodiscard]] const SolveStats& last_stats() const { return last_stats_; }
+
+    /// Deterministically perturbs branching state (initial activities and
+    /// saved phases) from `seed` — the portfolio racer's diversification
+    /// knob. Affects only the order models are found in, never which
+    /// formulas are satisfiable; call after encoding, before solve().
+    void set_seed(std::uint64_t seed);
+
+    /// Attaches a cooperative cancellation flag (may be null to detach).
+    /// When the flag becomes true, solve() stops at the next conflict or
+    /// decision and returns Unknown with cancelled() set — how a losing
+    /// portfolio racer is told the race is over.
+    void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+    /// True when the last solve() returned Unknown because the attached
+    /// cancellation flag was raised (never set by budget exhaustion).
+    [[nodiscard]] bool cancelled() const { return cancelled_; }
 
     /// Abort search after this many conflicts (0 = unlimited);
     /// solve() then returns Unknown.
@@ -135,6 +171,18 @@ private:
     void attach(ClauseRef cr);
     void reduce_learnts();
 
+    // Branching order heap: an indexed binary max-heap over the strict
+    // total order (higher activity, then lower variable index). The
+    // comparator's tie-break reproduces the old linear argmax scan
+    // exactly — same decisions, same models — while each pick costs
+    // O(log n) instead of O(n), which is what makes the spec engine's
+    // thousands of tiny incremental solves affordable.
+    [[nodiscard]] bool heap_below(Var a, Var b) const;
+    void heap_sift_up(std::size_t i);
+    void heap_sift_down(std::size_t i);
+    void heap_insert(Var v);
+    void heap_rebuild();
+
     std::vector<Clause> clauses_;
     std::vector<std::vector<ClauseRef>> watches_; // indexed by Lit::code()
     std::vector<Value> assign_;                   // by var
@@ -142,6 +190,8 @@ private:
     std::vector<int> level_;                      // by var
     std::vector<double> activity_;                // by var
     std::vector<bool> polarity_;                  // by var (phase saving)
+    std::vector<Var> heap_;                       // branching heap (unassigned vars, lazily)
+    std::vector<std::int32_t> heap_pos_;          // by var; -1 = not in heap
     std::vector<Lit> trail_;
     std::vector<std::size_t> trail_lim_;
     std::size_t qhead_ = 0;
@@ -150,9 +200,20 @@ private:
     std::uint64_t conflicts_ = 0;
     std::uint64_t decisions_ = 0;
     std::uint64_t propagations_ = 0;
+    std::uint64_t restarts_ = 0;
     std::uint64_t conflict_budget_ = 0;
     util::Budget* budget_ = nullptr;
     bool budget_exhausted_ = false;
+    const std::atomic<bool>* cancel_ = nullptr;
+    bool cancelled_ = false;
+    SolveStats last_stats_;
+    /// Assumption vector of the previous solve() plus how many of its
+    /// leading trail levels are assumption decisions that survived — the
+    /// reusable prefix for the next call. add_clause() backtracks to
+    /// level 0, which invalidates reuse automatically (a new clause may
+    /// falsify literals below any kept level).
+    std::vector<Lit> last_assumptions_;
+    std::size_t assumption_levels_ = 0;
     std::vector<bool> seen_; // scratch for analyze
 };
 

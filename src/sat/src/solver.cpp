@@ -20,7 +20,58 @@ Var Solver::new_var() {
     seen_.push_back(false);
     watches_.emplace_back();
     watches_.emplace_back();
+    heap_pos_.push_back(-1);
+    heap_insert(v);
     return v;
+}
+
+bool Solver::heap_below(Var a, Var b) const {
+    // Strict order whose maximum is the lowest-index variable among those
+    // of maximal activity — exactly the variable the old linear argmax
+    // scan returned, so branching (and the model stream) is unchanged.
+    return activity_[a] < activity_[b] || (activity_[a] == activity_[b] && a > b);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!heap_below(heap_[parent], v)) break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && heap_below(heap_[child], heap_[child + 1])) ++child;
+        if (!heap_below(v, heap_[child])) break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_insert(Var v) {
+    if (heap_pos_[v] >= 0) return;
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_rebuild() {
+    // Floyd heapify over the current membership set; used when activities
+    // change wholesale (rescale, seeding) and pairwise sifts can't help.
+    if (heap_.size() > 1)
+        for (std::size_t i = heap_.size() / 2; i-- > 0;) heap_sift_down(i);
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -126,6 +177,11 @@ void Solver::bump_var(Var v) {
     if (activity_[v] > 1e100) {
         for (auto& a : activity_) a *= 1e-100;
         var_inc_ *= 1e-100;
+        // 1e-100 is not a power of two: rounding can reorder near-ties,
+        // so a full heapify is needed, not a sift of v alone.
+        heap_rebuild();
+    } else if (heap_pos_[v] >= 0) {
+        heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
     }
 }
 
@@ -181,6 +237,8 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrac
 }
 
 void Solver::backtrack(int target) {
+    if (static_cast<std::size_t>(target) < assumption_levels_)
+        assumption_levels_ = static_cast<std::size_t>(target);
     while (static_cast<int>(trail_lim_.size()) > target) {
         const std::size_t limit = trail_lim_.back();
         trail_lim_.pop_back();
@@ -188,6 +246,7 @@ void Solver::backtrack(int target) {
             const Var v = trail_.back().var();
             assign_[v] = Value::Undef;
             reason_[v] = kNoReason;
+            heap_insert(v);
             trail_.pop_back();
         }
     }
@@ -195,18 +254,21 @@ void Solver::backtrack(int target) {
 }
 
 std::optional<Lit> Solver::pick_branch() {
-    Var best = 0;
-    double best_act = -1.0;
-    bool found = false;
-    for (Var v = 0; v < assign_.size(); ++v) {
-        if (assign_[v] == Value::Undef && activity_[v] > best_act) {
-            best = v;
-            best_act = activity_[v];
-            found = true;
+    // Lazy deletion: assigned variables stay in the heap until popped
+    // here; backtrack() re-inserts whatever it unassigns.
+    while (!heap_.empty()) {
+        const Var v = heap_.front();
+        const Var last = heap_.back();
+        heap_.pop_back();
+        heap_pos_[v] = -1;
+        if (!heap_.empty() && v != last) {
+            heap_.front() = last;
+            heap_pos_[last] = 0;
+            heap_sift_down(0);
         }
+        if (assign_[v] == Value::Undef) return Lit(v, !polarity_[v]);
     }
-    if (!found) return std::nullopt;
-    return Lit(best, !polarity_[best]);
+    return std::nullopt;
 }
 
 void Solver::reduce_learnts() {
@@ -214,20 +276,43 @@ void Solver::reduce_learnts() {
     // assignment instances stay small. Kept as a hook for growth.
 }
 
+void Solver::set_seed(std::uint64_t seed) {
+    if (seed == 0) return; // seed 0 = the default untouched branching state
+    // splitmix64 per variable: deterministic, order-independent jitter.
+    for (Var v = 0; v < assign_.size(); ++v) {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (v + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        activity_[v] += static_cast<double>(z % 1024) * 1e-7 * var_inc_;
+        polarity_[v] = (z & 1024) != 0;
+    }
+    heap_rebuild();
+}
+
 Result Solver::solve(std::span<const Lit> assumptions) {
-    if (!obs::enabled()) return solve_impl(assumptions);
-    obs::Span span("sat.solve");
-    span.attr("vars", static_cast<std::uint64_t>(num_vars()));
-    span.attr("clauses", static_cast<std::uint64_t>(clauses_.size()));
     const std::uint64_t conflicts0 = conflicts_;
     const std::uint64_t decisions0 = decisions_;
     const std::uint64_t propagations0 = propagations_;
+    const std::uint64_t restarts0 = restarts_;
+    if (!obs::enabled()) {
+        const Result r = solve_impl(assumptions);
+        last_stats_ = SolveStats{conflicts_ - conflicts0, decisions_ - decisions0,
+                                 propagations_ - propagations0, restarts_ - restarts0};
+        return r;
+    }
+    obs::Span span("sat.solve");
+    span.attr("vars", static_cast<std::uint64_t>(num_vars()));
+    span.attr("clauses", static_cast<std::uint64_t>(clauses_.size()));
     const Result r = solve_impl(assumptions);
+    last_stats_ = SolveStats{conflicts_ - conflicts0, decisions_ - decisions0,
+                             propagations_ - propagations0, restarts_ - restarts0};
     obs::count("sat.solves");
-    obs::count("sat.conflicts", conflicts_ - conflicts0);
-    obs::count("sat.decisions", decisions_ - decisions0);
-    obs::count("sat.propagations", propagations_ - propagations0);
-    span.attr("conflicts", conflicts_ - conflicts0);
+    obs::count("sat.conflicts", last_stats_.conflicts);
+    obs::count("sat.decisions", last_stats_.decisions);
+    obs::count("sat.propagations", last_stats_.propagations);
+    obs::count("sat.restarts", last_stats_.restarts);
+    span.attr("conflicts", last_stats_.conflicts);
     span.attr("result",
               r == Result::Sat ? "sat" : (r == Result::Unsat ? "unsat" : "unknown"));
     return r;
@@ -235,13 +320,30 @@ Result Solver::solve(std::span<const Lit> assumptions) {
 
 Result Solver::solve_impl(std::span<const Lit> assumptions) {
     budget_exhausted_ = false;
+    cancelled_ = false;
     if (!ok_) return Result::Unsat;
     if (budget_ != nullptr && !budget_->checkpoint()) {
         budget_exhausted_ = true;
         return Result::Unknown;
     }
-    backtrack(0);
-    if (propagate() != kNoReason) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        cancelled_ = true;
+        return Result::Unknown;
+    }
+
+    // Trail reuse: keep the longest run of leading trail levels that are
+    // assumption decisions shared with the previous call. Those levels
+    // (and everything they propagated) are still valid — add_clause()
+    // backtracked to 0 if the clause database changed, so a non-zero
+    // assumption_levels_ certifies an unchanged database.
+    std::size_t keep = 0;
+    const std::size_t reusable = std::min(assumption_levels_, trail_lim_.size());
+    while (keep < assumptions.size() && keep < reusable &&
+           keep < last_assumptions_.size() && assumptions[keep] == last_assumptions_[keep])
+        ++keep;
+    last_assumptions_.assign(assumptions.begin(), assumptions.end());
+    backtrack(static_cast<int>(keep));
+    if (keep == 0 && propagate() != kNoReason) {
         ok_ = false;
         return Result::Unsat;
     }
@@ -265,6 +367,11 @@ Result Solver::solve_impl(std::span<const Lit> assumptions) {
                 budget_exhausted_ = true;
                 return Result::Unknown;
             }
+            if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+                backtrack(0);
+                cancelled_ = true;
+                return Result::Unknown;
+            }
             if (trail_lim_.empty()) return Result::Unsat;
             int bt_level = 0;
             analyze(conflict, learnt, bt_level);
@@ -283,6 +390,7 @@ Result Solver::solve_impl(std::span<const Lit> assumptions) {
         if (conflicts_since_restart >= restart_limit) {
             conflicts_since_restart = 0;
             restart_limit = restart_limit + restart_limit / 2;
+            ++restarts_;
             backtrack(0);
             continue;
         }
@@ -293,6 +401,7 @@ Result Solver::solve_impl(std::span<const Lit> assumptions) {
             const Lit a = assumptions[i];
             if (value(a) == Value::False) return Result::Unsat;
             trail_lim_.push_back(trail_.size());
+            assumption_levels_ = i + 1;
             if (value(a) == Value::Undef) enqueue(a, kNoReason);
             assumption_pending = true;
             break;

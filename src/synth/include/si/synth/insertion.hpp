@@ -31,17 +31,59 @@
 
 namespace si::synth {
 
+/// Which insertion engine answers insert_signal_candidates.
+///
+///  * Legacy    — the original encode-and-block loop over four assumption
+///                tiers; kept verbatim as the perf-ladder baseline.
+///  * Eager     — the spec engine (si/synth/spec.hpp): full eager
+///                encoding, incremental canonical (lex-min) model
+///                enumeration stratified by switching-state count.
+///  * Cegar     — the spec engine starting from a skeleton encoding and
+///                lazily adding only the constraint clauses each candidate
+///                model violates. Chooses byte-identical insertions to
+///                Eager (same canonical model stream).
+///  * Portfolio — races Eager/Cegar × solver seeds across the thread
+///                pool; the first deterministic completion wins and the
+///                losers are cancelled. Byte-identical to Eager/Cegar.
+enum class InsertEngine : unsigned char { Legacy, Eager, Cegar, Portfolio };
+
+[[nodiscard]] const char* to_string(InsertEngine e);
+
 struct InsertionOptions {
     /// Maximum SAT models examined across the search tiers.
     std::size_t max_attempts = 1024;
     /// Conflict budget per SAT call (0 = unlimited).
     std::uint64_t sat_conflict_budget = 200000;
-    /// Shared governance budget (stage "synth.insert"): every model
-    /// examined charges one Attempts unit, and the SAT solver charges
-    /// Conflicts. When the shared budget is exhausted the search stops
-    /// across all tiers; with only the per-call caps above, an Unknown
-    /// SAT verdict merely advances to the next tier as before.
+    /// Shared governance budget (stage "synth.insert"/"synth.spec"):
+    /// every model examined charges one Attempts unit, and the SAT solver
+    /// charges Conflicts. When the shared budget is exhausted the search
+    /// stops across all tiers; with only the per-call caps above, an
+    /// Unknown SAT verdict merely advances to the next tier as before.
     util::Budget* budget = nullptr;
+    /// Engine choice (spec engines only consult the fields below).
+    InsertEngine engine = InsertEngine::Eager;
+    /// Solver perturbation seed (see sat::Solver::set_seed). The spec
+    /// engines' canonical enumeration makes the chosen insertions
+    /// seed-invariant; the seed only moves solver effort around.
+    std::uint64_t seed = 0;
+    /// The spec engine explores switching-count layers k = 2, 3, ... and
+    /// keeps layering until `layer_slack` layers beyond the first layer
+    /// that produced a useful model (a complete repair always stops
+    /// immediately).
+    std::size_t layer_slack = 1;
+    /// Give up after this many examined models without any useful one —
+    /// the deterministic lid on dead-end recursion nodes, where
+    /// enumerating every rejected labeling up to max_attempts would
+    /// multiply across the synthesis driver's branch tree. Counted in
+    /// attempts, not layers: unsatisfiable layers cost one SAT call
+    /// each, so deep-but-sparse streams (repairs needing many switching
+    /// states) still get reached, while model-dense dead ends stop
+    /// cheaply.
+    std::size_t barren_attempts = 128;
+    /// Racer count for InsertEngine::Portfolio (configs cycle through
+    /// Eager/Cegar × distinct seeds; fixed list, independent of the
+    /// worker count, so results never depend on parallelism).
+    std::size_t portfolio_racers = 4;
 };
 
 struct InsertionOutcome {

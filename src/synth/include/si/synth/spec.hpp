@@ -1,0 +1,117 @@
+// si::synth::spec — the percy-style exact insertion engine.
+//
+// The legacy insertion loop (insertion.cpp) enumerates SAT models in
+// solver order, validates every one behaviourally, and stops at a global
+// attempt cap — on the hard two-signal instances it examines a thousand
+// models whose ~70µs validations dominate the synthesis wall time. The
+// spec engine replaces that with three measured ideas:
+//
+//  1. One incremental encoding per candidate signal. Tiers (the cross
+//     next-state pairs) and cardinality layers are assumption literals,
+//     never re-encodings; learnt clauses, variable activity and saved
+//     phases persist across every probe, and consecutive solves share
+//     their assumption-prefix trail (sat::Solver).
+//
+//  2. Canonical model enumeration, stratified by switching count. A
+//     sequential counter over per-state "x switches here" variables lets
+//     an AtMost(k) assumption select the layer; layers are explored in
+//     increasing k, so models arrive ordered by expansion size (n + k
+//     states) and the first complete repair found is a smallest one.
+//     Within a layer each model is the *lexicographically minimal* one
+//     (state-major, Zero < One < Rise < Fall), computed by committing one
+//     state's label at a time under assumptions. Canonical order is what
+//     makes every engine configuration — eager or CEGAR, any solver
+//     seed, any racer — produce byte-identical insertion streams, and it
+//     is why early stopping is sound: all engines truncate the same
+//     stream at the same place.
+//
+//  3. CEGAR. The Cegar encoding starts from a skeleton (one-hot labels,
+//     switching counter, x-must-switch, some-plan-chosen) and keeps the
+//     arc next-state clauses and the per-plan Def-17 repair clauses lazy:
+//     each candidate model is checked against the full clause list in
+//     plain code, violated clauses are added, and the model is re-drawn.
+//     At the fixpoint the model satisfies every clause of the eager
+//     encoding, and a lex-min model of a clause subset that satisfies the
+//     full set is the full set's lex-min model — so Cegar lands on
+//     exactly the Eager stream, usually after far fewer constraints.
+//
+// Portfolio mode (spec_insert_candidates with InsertEngine::Portfolio)
+// races a fixed list of (encoding, seed) configurations over the global
+// thread pool. Because every racer computes the same byte-identical
+// result, the physically first deterministic completion can win the race
+// outright: it publishes its result, raises a cancellation flag, and the
+// losers' partially-consumed budget shards are simply dropped (absorb is
+// the only commit point, so their headroom returns to the parent). See
+// DESIGN.md §8 for the determinism rules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "si/synth/insertion.hpp"
+
+namespace si::synth {
+
+/// How the spec engine builds its clause database.
+enum class SpecEncoding : unsigned char {
+    Eager, ///< all constraint clauses added up front
+    Cegar, ///< skeleton only; arc/plan clauses added on refutation
+};
+
+/// Per-run effort report. The stream-level fields are identical for
+/// every encoding and seed (they are functions of the canonical model
+/// stream); the solver-level fields are deterministic for a fixed
+/// (encoding, seed) but differ across configurations — portfolio mode
+/// therefore exports them as diagnostic, not stable, metrics.
+struct SpecStats {
+    // Stream-level (byte-identical across engine configurations).
+    std::size_t attempts = 0;    ///< candidate models validated
+    std::size_t accepted = 0;    ///< models accepted as partial/complete repairs
+    std::size_t layers = 0;      ///< cardinality layers entered
+    bool complete = false;       ///< a complete repair was found
+    // Solver-level (deterministic per configuration only).
+    std::size_t sat_calls = 0;   ///< solve() invocations incl. lex-min probes
+    std::size_t refinements = 0; ///< lazy clauses added by CEGAR refutation
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+};
+
+/// Why a spec run returned.
+enum class SpecStatus : unsigned char {
+    Done,      ///< search ran to its deterministic early-stop
+    Exhausted, ///< an attempt/conflict budget tripped mid-stream
+    Cancelled, ///< the cancellation flag was raised (losing racer)
+};
+
+struct SpecResult {
+    std::vector<InsertionOutcome> outcomes;
+    SpecStats stats;
+    SpecStatus status = SpecStatus::Done;
+};
+
+/// Runs one spec-engine configuration to completion. `budget` may be
+/// null; `cancel` (may be null) is polled between models and inside the
+/// solver — when raised, the run returns SpecStatus::Cancelled. Exposed
+/// separately from spec_insert_candidates so the differential tests can
+/// drive a single encoding/seed directly.
+[[nodiscard]] SpecResult run_spec_engine(const sg::RegionAnalysis& ra,
+                                         std::span<const RegionId> victims,
+                                         const std::string& signal_name,
+                                         std::size_t max_candidates,
+                                         const InsertionOptions& opts, SpecEncoding encoding,
+                                         std::uint64_t seed, util::Budget* budget,
+                                         const std::atomic<bool>* cancel = nullptr);
+
+/// The spec-engine entry point behind insert_signal_candidates for the
+/// non-legacy engines: dispatches Eager/Cegar to a single run and
+/// Portfolio to the racer fan-out, and exports the synth.spec.* metrics.
+[[nodiscard]] std::vector<InsertionOutcome> spec_insert_candidates(
+    const sg::RegionAnalysis& ra, std::span<const RegionId> victims,
+    const std::string& signal_name, std::size_t max_candidates, const InsertionOptions& opts);
+
+} // namespace si::synth

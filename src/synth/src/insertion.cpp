@@ -2,79 +2,27 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
 
+#include "insertion_oracle.hpp"
 #include "si/mc/cover_cube.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sat/solver.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/projection.hpp"
+#include "si/synth/spec.hpp"
 #include "si/util/error.hpp"
 
 namespace si::synth {
 
-namespace {
-
-// States a cube wrongly reaches w.r.t. a *set* of regions it is meant to
-// cover (one region for a private cube, the mergeable sibling group for
-// a shared cube): everything covered outside the union of the CFRs, plus
-// covered states where the cube would re-rise inside some CFR.
-std::vector<StateId> offending_for(const sg::RegionAnalysis& ra,
-                                   std::span<const RegionId> regions, const Cube& cube) {
-    const auto& sg = ra.graph();
-    const BitVec covered = mc::covered_states(ra, cube);
-
-    BitVec all_cfr(sg.num_states());
-    for (const RegionId r : regions) all_cfr |= ra.region(r).cfr;
-    BitVec bad = covered;
-    bad.and_not(all_cfr);
-
-    for (const RegionId rid : regions) {
-        const auto& region = ra.region(rid);
-        // Re-rises: covered CFR states reachable (inside this CFR) from a
-        // CFR state the cube does not cover.
-        BitVec zero_in_cfr(sg.num_states());
-        region.cfr.for_each_set([&](std::size_t si) {
-            if (!covered.test(si)) zero_in_cfr.set(si);
-        });
-        BitVec after_zero(sg.num_states());
-        std::deque<StateId> queue;
-        zero_in_cfr.for_each_set([&](std::size_t si) { queue.emplace_back(si); });
-        while (!queue.empty()) {
-            const StateId s = queue.front();
-            queue.pop_front();
-            for (const auto a : sg.out_arcs(s)) {
-                const StateId t = sg.arc(a).to;
-                if (region.cfr.test(t.index()) && !after_zero.test(t.index())) {
-                    after_zero.set(t.index());
-                    queue.push_back(t);
-                }
-            }
-        }
-        after_zero &= covered;
-        bad |= after_zero;
-    }
-
-    std::vector<StateId> out;
-    bad.for_each_set([&](std::size_t si) { out.emplace_back(si); });
-    return out;
-}
-
-// One way to repair a victim region: either privately (its own cube,
-// separated from everything it over-covers) or jointly with mergeable
-// same-signal same-polarity siblings under one shared cube (Def 19).
-struct RepairPlan {
-    std::vector<RegionId> regions;
-    std::vector<StateId> offending;
-};
+namespace detail {
 
 RepairPlan private_plan(const sg::RegionAnalysis& ra, RegionId victim) {
     const std::vector<RegionId> regions{victim};
-    return RepairPlan{regions,
-                      offending_for(ra, regions, mc::smallest_cover_cube(ra, victim))};
+    return RepairPlan{regions, mc::offending_cover_states(
+                                   ra, regions, mc::smallest_cover_cube(ra, victim))};
 }
 
 std::optional<RepairPlan> group_plan(const sg::RegionAnalysis& ra, RegionId victim) {
@@ -97,33 +45,28 @@ std::optional<RepairPlan> group_plan(const sg::RegionAnalysis& ra, RegionId vict
         regions.push_back(rid);
     }
     if (regions.size() < 2) return std::nullopt;
-    return RepairPlan{regions, offending_for(ra, regions, cube)};
+    return RepairPlan{regions, mc::offending_cover_states(ra, regions, cube)};
 }
 
-} // namespace
-
-std::vector<StateId> offending_states(const sg::RegionAnalysis& ra, RegionId victim) {
-    return private_plan(ra, victim).offending;
+bool plan_feasible(const sg::RegionAnalysis& ra, const RepairPlan& plan) {
+    if (plan.offending.empty()) return false; // nothing a literal could exclude
+    for (const StateId o : plan.offending)
+        for (const RegionId rid : plan.regions)
+            if (ra.region(rid).states.test(o.index())) return false;
+    return true;
 }
-
-namespace {
 
 // Counts MC violations, split into "pre-existing signals" (matched by
 // name against `old_names`) and newly inserted ones, and decides whether
 // every remaining violation is still repairable by a further insertion
 // (has offending states, none of which sit inside the region or on its
 // firing targets — there the insertion constraints would contradict).
-struct ViolationCount {
-    std::size_t old_signals = 0;
-    std::size_t new_signals = 0;
-    bool repairable = true;
-    [[nodiscard]] std::size_t total() const { return old_signals + new_signals; }
-};
-
 ViolationCount count_violations(const sg::StateGraph& graph,
-                                const std::vector<std::string>& old_names) {
+                                const std::vector<std::string>& old_names, bool serial_mc) {
     const sg::RegionAnalysis ra(graph);
-    const auto report = mc::check_requirement(ra);
+    mc::McCubeSearch search;
+    search.serial = serial_mc;
+    const auto report = mc::check_requirement(ra, search);
     ViolationCount vc;
     for (const auto& r : report.regions) {
         if (r.ok()) continue;
@@ -132,7 +75,7 @@ ViolationCount count_violations(const sg::StateGraph& graph,
             std::find(old_names.begin(), old_names.end(), name) != old_names.end();
         (is_old ? vc.old_signals : vc.new_signals) += 1;
 
-        const auto offending = offending_states(ra, r.region);
+        const auto offending = private_plan(ra, r.region).offending;
         if (offending.empty()) {
             vc.repairable = false;
             continue;
@@ -164,7 +107,11 @@ std::optional<std::string> structural_reject(const sg::StateGraph& graph,
     return std::nullopt;
 }
 
-} // namespace
+} // namespace detail
+
+std::vector<StateId> offending_states(const sg::RegionAnalysis& ra, RegionId victim) {
+    return detail::private_plan(ra, victim).offending;
+}
 
 std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis& ra,
                                                        std::span<const RegionId> victims,
@@ -176,6 +123,8 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
     if (ra.reachable().count() != n)
         throw SpecError("signal insertion requires a fully reachable state graph");
     if (victims.empty()) return {};
+    if (opts.engine != InsertEngine::Legacy)
+        return spec_insert_candidates(ra, victims, signal_name, max_candidates, opts);
 
     obs::Span span("synth.insert");
     span.attr("signal", signal_name);
@@ -238,14 +187,7 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
     // inside one of its ERs: it would have to carry x's active value and
     // its complement at once. (An offender that is merely a firing
     // target is representable — the Fall/Rise option below splits it.)
-    auto plan_feasible = [&](const RepairPlan& plan) {
-        if (plan.offending.empty()) return false; // nothing a literal could exclude
-        for (const StateId o : plan.offending)
-            for (const RegionId rid : plan.regions)
-                if (ra.region(rid).states.test(o.index())) return false;
-        return true;
-    };
-
+    //
     // Victim plans are individually optional: the solver may commit to
     // any non-empty subset (a signal repairing one conflict while the
     // group fallback absorbs another is perfectly fine — forcing every
@@ -253,12 +195,12 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
     // chosen globally.
     std::vector<sat::Lit> all_selectors;
     for (const RegionId victim : victims) {
-        std::vector<RepairPlan> plans;
-        plans.push_back(private_plan(ra, victim));
-        if (auto gp = group_plan(ra, victim)) plans.push_back(std::move(*gp));
+        std::vector<detail::RepairPlan> plans;
+        plans.push_back(detail::private_plan(ra, victim));
+        if (auto gp = detail::group_plan(ra, victim)) plans.push_back(std::move(*gp));
 
         for (const auto& plan : plans) {
-            if (!plan_feasible(plan)) continue;
+            if (!detail::plan_feasible(ra, plan)) continue;
             const sat::Var m = solver.new_var();   // this plan is chosen
             const sat::Var pol = solver.new_var(); // x high across the plan's regions
             all_selectors.push_back(pos(m));
@@ -324,7 +266,8 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
         }
     }
 
-    const ViolationCount before = count_violations(graph, graph.signals().names());
+    const detail::ViolationCount before =
+        detail::count_violations(graph, graph.signals().names());
     const auto old_names = graph.signals().names();
 
     struct Scored {
@@ -390,12 +333,12 @@ std::vector<InsertionOutcome> insert_signal_candidates(const sg::RegionAnalysis&
             if (debug) std::fprintf(stderr, "insert[%zu]: expansion failed: %s\n", attempt, e.what());
             continue; // malformed expansion; model already blocked
         }
-        if (const auto why = structural_reject(expanded, graph)) {
+        if (const auto why = detail::structural_reject(expanded, graph)) {
             if (debug) std::fprintf(stderr, "insert[%zu]: %s\n", attempt, why->c_str());
             continue;
         }
 
-        const ViolationCount after = count_violations(expanded, old_names);
+        const detail::ViolationCount after = detail::count_violations(expanded, old_names);
         if (after.old_signals >= before.old_signals) {
             if (debug)
                 std::fprintf(stderr, "insert[%zu]: old violations %zu -> %zu (no progress)\n",

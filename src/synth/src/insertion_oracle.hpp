@@ -1,0 +1,60 @@
+// Internal: the acceptance oracle shared by the legacy insertion loop
+// (insertion.cpp) and the spec engine (spec.cpp). Both engines judge a
+// candidate labeling with exactly the same machinery — repair plans,
+// structural re-validation, MC violation counting — so that "accepted"
+// means the same thing no matter which engine produced the model. Not
+// installed; include only from si_synth sources.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "si/sg/regions.hpp"
+#include "si/sg/state_graph.hpp"
+
+namespace si::synth::detail {
+
+/// One way to repair a victim region: either privately (its own cube,
+/// separated from everything it over-covers) or jointly with mergeable
+/// same-signal same-polarity siblings under one shared cube (Def 19).
+struct RepairPlan {
+    std::vector<RegionId> regions;
+    std::vector<StateId> offending;
+};
+
+[[nodiscard]] RepairPlan private_plan(const sg::RegionAnalysis& ra, RegionId victim);
+[[nodiscard]] std::optional<RepairPlan> group_plan(const sg::RegionAnalysis& ra, RegionId victim);
+
+/// A plan is structurally contradictory when it has nothing to separate,
+/// or an offending state lies inside one of its ERs (it would have to
+/// carry x's active value and its complement at once).
+[[nodiscard]] bool plan_feasible(const sg::RegionAnalysis& ra, const RepairPlan& plan);
+
+/// Counts MC violations, split into "pre-existing signals" (matched by
+/// name against `old_names`) and newly inserted ones, and decides whether
+/// every remaining violation is still repairable by a further insertion.
+struct ViolationCount {
+    std::size_t old_signals = 0;
+    std::size_t new_signals = 0;
+    bool repairable = true;
+    [[nodiscard]] std::size_t total() const { return old_signals + new_signals; }
+};
+
+/// `serial_mc` runs the MC cube searches inline instead of over the
+/// thread pool (byte-identical report) — the spec engine's choice, since
+/// it re-checks many tiny expanded graphs where the fan-out handshake
+/// costs more than the search, and it lets portfolio racers validate
+/// concurrently without contending for the pool.
+[[nodiscard]] ViolationCount count_violations(const sg::StateGraph& graph,
+                                              const std::vector<std::string>& old_names,
+                                              bool serial_mc = false);
+
+/// Full behavioural re-validation of an expanded graph: well-formedness,
+/// output semi-modularity, and the Foam Rubber Wrapper projection check
+/// against the base graph. Returns the rejection reason, or nullopt.
+[[nodiscard]] std::optional<std::string> structural_reject(const sg::StateGraph& graph,
+                                                           const sg::StateGraph& base);
+
+} // namespace si::synth::detail

@@ -1,0 +1,705 @@
+// The spec insertion engine: incremental encoding, canonical (lex-min)
+// model enumeration stratified by switching count, optional CEGAR clause
+// laziness, and the portfolio racer. See si/synth/spec.hpp for the
+// design contract and DESIGN.md §8 for the determinism argument.
+#include "si/synth/spec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "insertion_oracle.hpp"
+#include "si/obs/obs.hpp"
+#include "si/sat/solver.hpp"
+#include "si/synth/labeling.hpp"
+#include "si/util/error.hpp"
+#include "si/util/parallel.hpp"
+
+namespace si::synth {
+
+const char* to_string(InsertEngine e) {
+    switch (e) {
+        case InsertEngine::Legacy: return "legacy";
+        case InsertEngine::Eager: return "eager";
+        case InsertEngine::Cegar: return "cegar";
+        case InsertEngine::Portfolio: return "portfolio";
+    }
+    return "?";
+}
+
+namespace {
+
+using sat::Lit;
+using sat::neg;
+using sat::pos;
+using sat::Var;
+
+constexpr int kZero = 0, kOne = 1, kRise = 2, kFall = 3;
+
+/// Largest bounded cardinality layer; beyond it one unbounded catch-all
+/// stage enumerates whatever the blocked stream has left. Counter
+/// columns cost n variables each, so the cap also bounds encoding size.
+constexpr std::size_t kMaxLayerCap = 32;
+
+class Engine {
+public:
+    Engine(const sg::RegionAnalysis& ra, std::span<const RegionId> victims,
+           const std::string& signal_name, std::size_t max_candidates,
+           const InsertionOptions& opts, SpecEncoding enc, std::uint64_t seed,
+           util::Budget* budget, const std::atomic<bool>* cancel)
+        : ra_(ra),
+          graph_(ra.graph()),
+          victims_(victims),
+          name_(signal_name),
+          max_candidates_(max_candidates),
+          opts_(opts),
+          enc_(enc),
+          budget_(budget),
+          cancel_(cancel),
+          n_(graph_.num_states()),
+          meter_("synth.spec", budget) {
+        meter_.local().cap(util::Resource::Attempts, opts.max_attempts);
+        solver_.set_conflict_budget(opts.sat_conflict_budget);
+        solver_.set_budget(budget);
+        solver_.set_cancel(cancel);
+        old_names_ = graph_.signals().names();
+        before_ = detail::count_violations(graph_, old_names_, /*serial_mc=*/true);
+        cur_.resize(n_, kZero);
+        encode();
+        solver_.set_seed(seed);
+    }
+
+    SpecResult run() {
+        if (!feasible_) return finish();
+        // Lower-bound the first non-empty layer by binary search before
+        // climbing: on specs whose smallest repair switches in many
+        // states, walking up one layer at a time pays a fresh cardinality
+        // Unsat proof per step — log2 probes replace all of them. Layer
+        // feasibility is a property of the full constraint set (the
+        // CEGAR probe refines to a fixpoint before trusting Sat), so
+        // every engine configuration starts at the same layer and the
+        // canonical model stream — empty layers contribute nothing — is
+        // unchanged.
+        std::size_t start = max_width(); // catch-all when every bounded layer is empty
+        {
+            std::size_t lo = 2, hi = max_width() >= 1 ? max_width() - 1 : 0;
+            while (lo <= hi && hi >= 2) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                ensure_counter(mid);
+                const sat::Result r = feasible_probe(neg(count_ge_[mid]));
+                if (r == sat::Result::Unknown) {
+                    status_ = solver_.cancelled() ? SpecStatus::Cancelled
+                                                  : SpecStatus::Exhausted;
+                    return finish();
+                }
+                if (r == sat::Result::Sat) {
+                    start = mid;
+                    if (mid == 2) break;
+                    hi = mid - 1;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+        for (layer_ = start;; ++layer_) {
+            ++stats_.layers;
+            const bool catch_all = layer_ >= max_width();
+            if (!catch_all) ensure_counter(layer_);
+            for (int tier = 0; tier < 2; ++tier) {
+                base_.clear();
+                base_.push_back(tier == 0 ? neg(cross_) : pos(cross_));
+                if (!catch_all) base_.push_back(neg(count_ge_[layer_]));
+                warm_ = false; // prefix reuse is only sound under unchanged base_
+                if (!drain()) return finish();
+            }
+            if (catch_all) break; // the unbounded stage saw the whole stream
+            if (accepted_.size() >= max_candidates_) break;
+            if (first_accept_layer_ != 0 && layer_ >= first_accept_layer_ + opts_.layer_slack)
+                break;
+        }
+        status_ = SpecStatus::Done;
+        return finish();
+    }
+
+private:
+    struct Scored {
+        InsertionOutcome outcome;
+        std::size_t total = 0;
+    };
+    enum class Acceptance { Rejected, Partial, Complete };
+
+    [[nodiscard]] std::size_t max_width() const { return std::min(n_, kMaxLayerCap); }
+
+    /// Adds a constraint clause eagerly, or records it for refutation-
+    /// driven addition when the encoding is Cegar.
+    void lazy_clause(std::initializer_list<Lit> lits) {
+        if (enc_ == SpecEncoding::Eager) {
+            solver_.add_clause(lits);
+            return;
+        }
+        lazy_.emplace_back(lits.begin(), lits.end());
+        lazy_added_.push_back(false);
+    }
+
+    void encode() {
+        // One-hot label variables per state. Always skeleton: the label
+        // projection must be well-defined on every candidate model.
+        L_.resize(n_);
+        for (std::size_t s = 0; s < n_; ++s)
+            for (auto& v : L_[s]) v = solver_.new_var();
+        for (std::size_t s = 0; s < n_; ++s) {
+            const std::array<Lit, 4> lits{pos(L_[s][0]), pos(L_[s][1]), pos(L_[s][2]),
+                                          pos(L_[s][3])};
+            solver_.add_clause(std::span<const Lit>(lits.data(), 4));
+            solver_.add_at_most_one(std::span<const Lit>(lits.data(), 4));
+        }
+
+        // Next-state relation along every arc — clause shapes exactly as
+        // in the legacy engine (insertion.cpp), with the Zero→Fall /
+        // One→Rise cross pairs behind the `cross` tier guard. Always part
+        // of the skeleton, even under Cegar: they are cheap local
+        // constraints that prune the label space by orders of magnitude,
+        // and without them the lex-min probes on wide product graphs
+        // wander an almost unconstrained space until a single
+        // cardinality-vs-blocking Unsat proof blows the whole per-call
+        // conflict budget.
+        cross_ = solver_.new_var();
+        for (const auto& a : graph_.arcs()) {
+            const auto& S = L_[a.from.index()];
+            const auto& T = L_[a.to.index()];
+            solver_.add_clause({neg(S[kZero]), pos(T[kZero]), pos(T[kRise]), pos(T[kFall])});
+            solver_.add_clause({neg(S[kOne]), pos(T[kOne]), pos(T[kFall]), pos(T[kRise])});
+            solver_.add_clause({pos(cross_), neg(S[kZero]), pos(T[kZero]), pos(T[kRise])});
+            solver_.add_clause({pos(cross_), neg(S[kOne]), pos(T[kOne]), pos(T[kFall])});
+            if (graph_.signals()[a.signal].kind == SignalKind::Input) {
+                solver_.add_clause({neg(S[kRise]), pos(T[kRise])});
+                solver_.add_clause({neg(S[kFall]), pos(T[kFall])});
+            } else {
+                solver_.add_clause({neg(S[kRise]), pos(T[kRise]), pos(T[kOne])});
+                solver_.add_clause({neg(S[kFall]), pos(T[kFall]), pos(T[kZero])});
+            }
+        }
+
+        // Repair plans per victim (private / sibling-group cubes), each
+        // behind a selector. The plan constraint clauses are the prime
+        // CEGAR candidates: most models violate only a handful of them.
+        std::vector<Lit> all_selectors;
+        for (const RegionId victim : victims_) {
+            std::vector<detail::RepairPlan> plans;
+            plans.push_back(detail::private_plan(ra_, victim));
+            if (auto gp = detail::group_plan(ra_, victim)) plans.push_back(std::move(*gp));
+            for (const auto& plan : plans) {
+                if (!detail::plan_feasible(ra_, plan)) continue;
+                const Var m = solver_.new_var();   // this plan is chosen
+                const Var pol = solver_.new_var(); // x high across the plan's regions
+                all_selectors.push_back(pos(m));
+                for (const RegionId rid : plan.regions) {
+                    const auto& region = ra_.region(rid);
+                    region.states.for_each_set([&](std::size_t s) {
+                        lazy_clause({neg(m), neg(pol), pos(L_[s][kRise]), pos(L_[s][kOne])});
+                        lazy_clause({neg(m), pos(pol), pos(L_[s][kFall]), pos(L_[s][kZero])});
+                        const auto arc = graph_.arc_on(StateId(s), region.signal);
+                        if (arc != UINT32_MAX) {
+                            const std::size_t t = graph_.arc(arc).to.index();
+                            lazy_clause(
+                                {neg(m), neg(pol), neg(L_[s][kRise]), pos(L_[t][kOne])});
+                            lazy_clause(
+                                {neg(m), pos(pol), neg(L_[s][kFall]), pos(L_[t][kZero])});
+                        }
+                    });
+                }
+                for (const StateId o : plan.offending) {
+                    lazy_clause({neg(m), neg(pol), pos(L_[o.index()][kZero]),
+                                 pos(L_[o.index()][kFall])});
+                    lazy_clause({neg(m), pos(pol), pos(L_[o.index()][kOne]),
+                                 pos(L_[o.index()][kRise])});
+                }
+            }
+        }
+        if (all_selectors.empty()) {
+            feasible_ = false;
+            return;
+        }
+        // Skeleton: some plan must be chosen, x must really switch —
+        // without these even the skeleton's models would be vacuous and
+        // CEGAR would crawl through them one refutation at a time.
+        solver_.add_clause(std::span<const Lit>(all_selectors.data(), all_selectors.size()));
+        {
+            std::vector<Lit> rises, falls;
+            for (std::size_t s = 0; s < n_; ++s) {
+                rises.push_back(pos(L_[s][kRise]));
+                falls.push_back(pos(L_[s][kFall]));
+            }
+            solver_.add_clause(std::span<const Lit>(rises.data(), rises.size()));
+            solver_.add_clause(std::span<const Lit>(falls.data(), falls.size()));
+        }
+
+        // Switching indicators feeding the cardinality counter: w_s holds
+        // exactly when state s is a Rise or Fall state. Skeleton — the
+        // layer assumptions are meaningless without them.
+        w_.resize(n_);
+        for (std::size_t s = 0; s < n_; ++s) {
+            w_[s] = solver_.new_var();
+            solver_.add_clause({neg(L_[s][kRise]), pos(w_[s])});
+            solver_.add_clause({neg(L_[s][kFall]), pos(w_[s])});
+            solver_.add_clause({neg(w_[s]), pos(L_[s][kRise]), pos(L_[s][kFall])});
+        }
+    }
+
+    /// Sequential-counter columns 0..k (lazily: a run that stops at layer
+    /// 3 never pays for column 20). Column j, variable col[i], encodes
+    /// "at least j+1 of w_0..w_i are true" — implication in that
+    /// direction only, which is all AtMost needs: assuming
+    /// ¬count_ge_[k] makes any k+1 true w's propagate a conflict.
+    void ensure_counter(std::size_t k) {
+        while (cols_.size() <= k) {
+            const std::size_t j = cols_.size();
+            std::vector<Var> col(n_);
+            for (auto& v : col) v = solver_.new_var();
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (i > 0) solver_.add_clause({neg(col[i - 1]), pos(col[i])});
+                if (j == 0)
+                    solver_.add_clause({neg(w_[i]), pos(col[i])});
+                else if (i > 0)
+                    solver_.add_clause({neg(cols_[j - 1][i - 1]), neg(w_[i]), pos(col[i])});
+            }
+            count_ge_.push_back(col[n_ - 1]);
+            cols_.push_back(std::move(col));
+        }
+    }
+
+    /// One solver call plus effort bookkeeping.
+    [[nodiscard]] sat::Result probe(std::span<const Lit> assumptions) {
+        const sat::Result r = solver_.solve(assumptions);
+        ++stats_.sat_calls;
+        const sat::SolveStats& st = solver_.last_stats();
+        stats_.conflicts += st.conflicts;
+        stats_.decisions += st.decisions;
+        stats_.propagations += st.propagations;
+        stats_.restarts += st.restarts;
+        return r;
+    }
+
+    /// Satisfiability of the *full* constraint set under one assumption —
+    /// under Cegar a bare Sat only certifies the skeleton, so refine and
+    /// re-probe until the model survives (or the layer proves empty).
+    /// Both encodings therefore answer feasibility questions identically,
+    /// which is what keeps the binary-searched start layer shared.
+    [[nodiscard]] sat::Result feasible_probe(Lit assumption) {
+        const std::array<Lit, 1> assumps{assumption};
+        for (;;) {
+            const sat::Result r = probe(std::span<const Lit>(assumps.data(), 1));
+            if (r != sat::Result::Sat) return r;
+            if (enc_ == SpecEncoding::Eager) return r;
+            snapshot();
+            if (!refine()) return r;
+        }
+    }
+
+    /// Full-model snapshot. solve() == Sat guarantees a total assignment
+    /// (branching runs until no variable is unassigned), and the solver
+    /// keeps no separate model store — an Unsat probe destroys the
+    /// assignment, so everything the engine needs is copied out here.
+    void snapshot() {
+        model_.resize(solver_.num_vars());
+        for (Var v = 0; v < model_.size(); ++v) model_[v] = solver_.model_value(v);
+        for (std::size_t s = 0; s < n_; ++s)
+            for (int k = 0; k < 4; ++k)
+                if (model_[L_[s][k]]) cur_[s] = k;
+    }
+
+    /// Computes the lexicographically minimal model under base_
+    /// (state-major; Zero < One < Rise < Fall): for each state in order,
+    /// probe every strictly smaller label under the committed prefix —
+    /// the first Sat probe commits the smaller label, all-Unsat commits
+    /// the current one (the snapshot itself is the witness, no extra
+    /// solve needed). Consecutive probes share their assumption prefix,
+    /// so each one costs a short trail extension, not a fresh search.
+    [[nodiscard]] sat::Result lex_min() {
+        if (!warm_) {
+            const sat::Result r = probe(base_);
+            if (r != sat::Result::Sat) return r;
+            snapshot();
+            assumps_.assign(base_.begin(), base_.end());
+            return commit_tail(0, 0);
+        }
+        // Warm restart. Since prev_ was committed as the lex-min under
+        // this very base_, the clause database has only grown (a blocking
+        // clause, or CEGAR refinements), so the next lex-min model agrees
+        // with prev_ on a prefix and exceeds it at the first divergence —
+        // and every label the old commit loop refuted stays refuted.
+        // Binary-search the longest still-feasible committed prefix
+        // instead of re-proving all of it one state at a time.
+        long best = -1;
+        long lo = 0, hi = static_cast<long>(n_) - 1;
+        while (lo <= hi) {
+            const long mid = lo + (hi - lo + 1) / 2;
+            assumps_.assign(base_.begin(), base_.end());
+            for (long s = 0; s < mid; ++s) assumps_.push_back(pos(L_[s][prev_[s]]));
+            const sat::Result r = probe(assumps_);
+            if (r == sat::Result::Unknown) return r;
+            if (r == sat::Result::Sat) {
+                snapshot();
+                best = mid;
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if (best < 0) return sat::Result::Unsat; // even base_ alone has no model
+        // States before the divergence keep their committed labels; the
+        // divergence state needs only labels above prev_'s probed (all
+        // smaller ones were already refuted when prev_ was committed, and
+        // prev_'s own label is what the binary search just refuted).
+        assumps_.assign(base_.begin(), base_.end());
+        for (long s = 0; s < best; ++s) assumps_.push_back(pos(L_[s][prev_[s]]));
+        return commit_tail(static_cast<std::size_t>(best), prev_[best] + 1);
+    }
+
+    /// The lex-min commit loop from state s0 on, given assumps_ already
+    /// holding base_ plus the committed labels of states before s0 and a
+    /// snapshot model consistent with them. `floor0` is the smallest
+    /// label worth probing at s0 itself (0 on the cold path).
+    [[nodiscard]] sat::Result commit_tail(std::size_t s0, int floor0) {
+        for (std::size_t s = s0; s < n_; ++s) {
+            for (int k = s == s0 ? floor0 : 0; k < cur_[s]; ++k) {
+                assumps_.push_back(pos(L_[s][k]));
+                const sat::Result pr = probe(assumps_);
+                assumps_.pop_back();
+                if (pr == sat::Result::Sat) {
+                    snapshot();
+                    break;
+                }
+                if (pr == sat::Result::Unknown) return pr;
+            }
+            assumps_.push_back(pos(L_[s][cur_[s]]));
+        }
+        return sat::Result::Sat;
+    }
+
+    /// CEGAR refutation: evaluates every not-yet-added lazy clause
+    /// against the snapshot and adds the violated ones. True when the
+    /// model was refuted (caller re-draws).
+    bool refine() {
+        std::size_t added = 0;
+        for (std::size_t c = 0; c < lazy_.size(); ++c) {
+            if (lazy_added_[c]) continue;
+            bool satisfied = false;
+            for (const Lit l : lazy_[c])
+                satisfied = satisfied || (model_[l.var()] != l.negative());
+            if (satisfied) continue;
+            lazy_added_[c] = true;
+            solver_.add_clause(std::span<const Lit>(lazy_[c].data(), lazy_[c].size()));
+            ++added;
+        }
+        stats_.refinements += added;
+        return added > 0;
+    }
+
+    /// The next canonical model of the *full* constraint set: lex-min of
+    /// the current clause database, refined to a fixpoint under Cegar. A
+    /// lex-min model of the clause subset that also satisfies the full
+    /// set is the full set's lex-min model, so the fixpoint lands on
+    /// exactly the eager stream.
+    [[nodiscard]] sat::Result next_model() {
+        for (;;) {
+            const sat::Result r = lex_min();
+            if (r != sat::Result::Sat) return r;
+            if (enc_ == SpecEncoding::Cegar && refine()) {
+                prev_ = cur_; // refuted lex-min: the next one lies above it
+                warm_ = true;
+                continue;
+            }
+            return sat::Result::Sat;
+        }
+    }
+
+    /// Blocks the committed label projection (label literals only, so
+    /// every encoding blocks the identical clause — the stream stays
+    /// shared). Auxiliary variables are left free: a different plan
+    /// choice over the same labeling is the same insertion.
+    void block_model() {
+        std::vector<Lit> block;
+        block.reserve(n_);
+        for (std::size_t s = 0; s < n_; ++s) block.push_back(neg(L_[s][cur_[s]]));
+        solver_.add_clause(std::span<const Lit>(block.data(), block.size()));
+        prev_ = cur_; // the stream's next model lies strictly above this one
+        warm_ = true;
+    }
+
+    /// Behavioural acceptance — the same oracle as the legacy engine
+    /// (insertion_oracle.hpp), with serial MC so portfolio racers don't
+    /// contend for the pool.
+    Acceptance validate() {
+        std::vector<XLabel> labels(n_, XLabel::Zero);
+        for (std::size_t s = 0; s < n_; ++s) {
+            if (cur_[s] == kOne) labels[s] = XLabel::One;
+            else if (cur_[s] == kRise) labels[s] = XLabel::Rise;
+            else if (cur_[s] == kFall) labels[s] = XLabel::Fall;
+        }
+        sg::StateGraph expanded;
+        try {
+            expanded = expand_with_signal(graph_, labels, name_);
+        } catch (const Error&) {
+            return Acceptance::Rejected; // malformed expansion; model already blocked
+        }
+        if (detail::structural_reject(expanded, graph_)) return Acceptance::Rejected;
+        const detail::ViolationCount after =
+            detail::count_violations(expanded, old_names_, /*serial_mc=*/true);
+        if (after.old_signals >= before_.old_signals) return Acceptance::Rejected;
+        if (after.total() != 0 && !after.repairable) return Acceptance::Rejected;
+
+        Scored scored{InsertionOutcome{std::move(expanded), std::move(labels), name_,
+                                       stats_.attempts},
+                      after.total()};
+        if (scored.total == 0) {
+            accepted_.clear(); // a complete repair dominates everything else
+            accepted_.push_back(std::move(scored));
+            ++stats_.accepted;
+            stats_.complete = true;
+            return Acceptance::Complete;
+        }
+        if (first_accept_layer_ == 0) first_accept_layer_ = layer_;
+        if (after.total() < before_.total()) {
+            accepted_.push_back(std::move(scored));
+            ++stats_.accepted;
+            return Acceptance::Partial;
+        }
+        // Old-side progress only (the new signal brought its own
+        // violation along). Such insertions are still the driver's way
+        // through the hard two-signal specs, and which of them chains to
+        // a completion is not locally decidable — so keep a branching
+        // fatter than one, in stream order, for the driver to explore.
+        if (fallbacks_.size() < std::max<std::size_t>(max_candidates_, 1))
+            fallbacks_.push_back(std::move(scored.outcome));
+        return Acceptance::Rejected;
+    }
+
+    /// Enumerate-and-validate until the current tier runs dry (true) or
+    /// the whole search must stop (false; status_ says why).
+    bool drain() {
+        for (;;) {
+            if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+                status_ = SpecStatus::Cancelled;
+                return false;
+            }
+            if (!meter_.charge(util::Resource::Attempts)) {
+                // The local attempt cap is a deterministic truncation of
+                // the shared stream (winnable in a race); a shared-budget
+                // trip is not — it depends on the caller's headroom.
+                status_ = (budget_ != nullptr && budget_->exhausted())
+                              ? SpecStatus::Exhausted
+                              : SpecStatus::Done;
+                return false;
+            }
+            // Barren stop: a node whose stream has produced nothing
+            // useful (no accepted model, no fallback) by this many
+            // attempts is a dead end; stop before the local cap burns
+            // hundreds more validations. A pure function of the shared
+            // canonical stream, so every racer truncates identically.
+            if (first_accept_layer_ == 0 && stats_.attempts >= opts_.barren_attempts) {
+                status_ = SpecStatus::Done;
+                return false;
+            }
+            ++stats_.attempts;
+            const sat::Result r = next_model();
+            if (r == sat::Result::Unsat) return true;
+            if (r == sat::Result::Unknown) {
+                status_ = solver_.cancelled() ? SpecStatus::Cancelled : SpecStatus::Exhausted;
+                return false;
+            }
+            block_model();
+            if (validate() == Acceptance::Complete) {
+                status_ = SpecStatus::Done;
+                return false;
+            }
+        }
+    }
+
+    SpecResult finish() {
+        std::stable_sort(accepted_.begin(), accepted_.end(),
+                         [](const Scored& a, const Scored& b) {
+                             if (a.total != b.total) return a.total < b.total;
+                             return a.outcome.graph.num_states() < b.outcome.graph.num_states();
+                         });
+        SpecResult res;
+        for (auto& sc : accepted_) {
+            bool dup = false;
+            for (const auto& kept : res.outcomes)
+                dup = dup || kept.labels == sc.outcome.labels;
+            if (!dup) res.outcomes.push_back(std::move(sc.outcome));
+            if (res.outcomes.size() >= max_candidates_) break;
+        }
+        if (res.outcomes.empty()) {
+            for (auto& fb : fallbacks_) {
+                bool dup = false;
+                for (const auto& kept : res.outcomes) dup = dup || kept.labels == fb.labels;
+                if (!dup) res.outcomes.push_back(std::move(fb));
+                if (res.outcomes.size() >= max_candidates_) break;
+            }
+        }
+        res.stats = stats_;
+        res.status = status_;
+        return res;
+    }
+
+    const sg::RegionAnalysis& ra_;
+    const sg::StateGraph& graph_;
+    std::span<const RegionId> victims_;
+    const std::string& name_;
+    std::size_t max_candidates_;
+    const InsertionOptions& opts_;
+    SpecEncoding enc_;
+    util::Budget* budget_;
+    const std::atomic<bool>* cancel_;
+    std::size_t n_;
+    util::Meter meter_;
+
+    sat::Solver solver_;
+    std::vector<std::array<Var, 4>> L_;
+    Var cross_ = 0;
+    std::vector<Var> w_;                 // per-state switching indicators
+    std::vector<std::vector<Var>> cols_; // counter columns, built lazily
+    std::vector<Var> count_ge_;          // count_ge_[j] <- "≥ j+1 switching"
+    std::vector<std::vector<Lit>> lazy_; // constraint clauses held back by Cegar
+    std::vector<bool> lazy_added_;
+    bool feasible_ = true;
+
+    std::vector<std::string> old_names_;
+    detail::ViolationCount before_;
+
+    std::vector<bool> model_; // by var: snapshot of the last Sat assignment
+    std::vector<int> cur_;    // by state: committed label of the snapshot
+    std::vector<Lit> base_;   // current tier/layer assumptions
+    std::vector<Lit> assumps_;
+
+    std::vector<int> prev_; // last committed lex-min under the current base_
+    bool warm_ = false;     // prev_ is valid and refuted: prefix reuse allowed
+
+    std::size_t layer_ = 0;
+    std::size_t first_accept_layer_ = 0; // 0 = nothing useful found yet
+    std::vector<Scored> accepted_;
+    std::vector<InsertionOutcome> fallbacks_; // old-side-progress models, stream order
+    SpecStats stats_;
+    SpecStatus status_ = SpecStatus::Done;
+};
+
+/// Stream-level counters are byte-identical across engine configurations
+/// (Stable); solver-level effort depends on the configuration — and in a
+/// race, on which racer won — so portfolio exports it as Diag under
+/// distinct names, keeping every Stable counter single-tagged.
+void export_stream_stats(const SpecStats& st) {
+    obs::count("synth.spec.attempts", st.attempts);
+    obs::count("synth.spec.accepted", st.accepted);
+    obs::count("synth.spec.layers", st.layers);
+    if (st.complete) obs::count("synth.spec.complete");
+}
+
+void export_solver_stats(const SpecStats& st, bool stable) {
+    const char* prefix = stable ? "synth.spec." : "synth.spec.winner_";
+    const obs::Tag tag = stable ? obs::Tag::Stable : obs::Tag::Diag;
+    const auto emit = [&](const char* name, std::uint64_t v) {
+        obs::count(std::string(prefix) + name, v, tag);
+    };
+    emit("sat_calls", st.sat_calls);
+    emit("refinements", st.refinements);
+    emit("conflicts", st.conflicts);
+    emit("decisions", st.decisions);
+    emit("propagations", st.propagations);
+    emit("restarts", st.restarts);
+}
+
+} // namespace
+
+SpecResult run_spec_engine(const sg::RegionAnalysis& ra, std::span<const RegionId> victims,
+                           const std::string& signal_name, std::size_t max_candidates,
+                           const InsertionOptions& opts, SpecEncoding encoding,
+                           std::uint64_t seed, util::Budget* budget,
+                           const std::atomic<bool>* cancel) {
+    Engine engine(ra, victims, signal_name, max_candidates, opts, encoding, seed, budget,
+                  cancel);
+    return engine.run();
+}
+
+std::vector<InsertionOutcome> spec_insert_candidates(const sg::RegionAnalysis& ra,
+                                                     std::span<const RegionId> victims,
+                                                     const std::string& signal_name,
+                                                     std::size_t max_candidates,
+                                                     const InsertionOptions& opts) {
+    obs::Span span("synth.spec");
+    span.attr("signal", signal_name);
+    span.attr("victims", static_cast<std::uint64_t>(victims.size()));
+    span.attr("engine", to_string(opts.engine));
+
+    if (opts.engine != InsertEngine::Portfolio) {
+        const SpecEncoding enc =
+            opts.engine == InsertEngine::Cegar ? SpecEncoding::Cegar : SpecEncoding::Eager;
+        SpecResult r = run_spec_engine(ra, victims, signal_name, max_candidates, opts, enc,
+                                       opts.seed, opts.budget);
+        export_stream_stats(r.stats);
+        export_solver_stats(r.stats, /*stable=*/true);
+        return std::move(r.outcomes);
+    }
+
+    // Portfolio: a fixed racer list (encoding × seed), independent of the
+    // worker count. Every racer computes the same canonical stream, so
+    // the physically first deterministic completion (status Done) may win
+    // outright; its CAS cancels the rest. Racers run Silenced — a loser
+    // stops at a wall-clock-dependent point, and its counters must never
+    // reach the deterministic snapshot.
+    const std::size_t racers = std::max<std::size_t>(1, opts.portfolio_racers);
+    std::atomic<bool> cancel{false};
+    std::atomic<int> winner{-1};
+    std::vector<util::Budget> shards;
+    if (opts.budget != nullptr) {
+        shards.reserve(racers);
+        for (std::size_t i = 0; i < racers; ++i) shards.push_back(opts.budget->shard(racers));
+    }
+    std::vector<SpecResult> results(racers);
+    util::parallel_for(racers, [&](std::size_t i) {
+        obs::Silence silence;
+        const SpecEncoding enc = (i % 2 == 0) ? SpecEncoding::Eager : SpecEncoding::Cegar;
+        const std::uint64_t seed = opts.seed + 0x9e3779b97f4a7c15ull * (i / 2);
+        util::Budget* shard = shards.empty() ? nullptr : &shards[i];
+        results[i] = run_spec_engine(ra, victims, signal_name, max_candidates, opts, enc, seed,
+                                     shard, &cancel);
+        if (results[i].status == SpecStatus::Done) {
+            int expected = -1;
+            if (winner.compare_exchange_strong(expected, static_cast<int>(i)))
+                cancel.store(true, std::memory_order_relaxed);
+        }
+    });
+
+    obs::count("synth.spec.races");
+    const int w = winner.load(std::memory_order_relaxed);
+    if (w >= 0) {
+        // A win commits only the canonical stream's attempt count to the
+        // parent budget (identical for every possible winner). The
+        // losers' shards are dropped without absorb — absorb is the only
+        // commit point, so their unspent headroom simply returns to the
+        // parent and no Conflicts are double-charged across racers.
+        util::Meter meter("synth.spec", opts.budget);
+        if (results[w].stats.attempts > 0)
+            (void)meter.charge(util::Resource::Attempts, results[w].stats.attempts);
+        export_stream_stats(results[w].stats);
+        export_solver_stats(results[w].stats, /*stable=*/false);
+        obs::gauge_max("synth.spec.racer_wins", static_cast<std::uint64_t>(w) + 1,
+                       obs::Tag::Diag);
+        return std::move(results[w].outcomes);
+    }
+    // No winner. The cancellation flag is only ever raised by a Done
+    // racer, so nobody was cancelled: every racer exhausted its own
+    // deterministic shard. Absorbing all shards in task order makes the
+    // parent's trip deterministic too, and racer 0's partial result is a
+    // deterministic function of its (fixed) configuration and shard.
+    if (opts.budget != nullptr)
+        for (const auto& shard : shards) opts.budget->absorb(shard);
+    export_stream_stats(results[0].stats);
+    export_solver_stats(results[0].stats, /*stable=*/false);
+    return std::move(results[0].outcomes);
+}
+
+} // namespace si::synth

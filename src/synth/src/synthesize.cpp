@@ -1,5 +1,6 @@
 #include "si/synth/synthesize.hpp"
 
+#include <map>
 #include <optional>
 
 #include "si/obs/obs.hpp"
@@ -31,48 +32,88 @@ std::string SynthesisResult::summary() const {
 
 namespace {
 
-// Depth-limited branch-and-bound over insertion choices: each round may
-// offer several admissible state-signal insertions, and a locally best
-// one can chain into more rounds than a rival — so the driver explores a
-// few candidates per round and keeps the completion with the fewest
-// inserted signals.
+// Iterative-deepening branch-and-bound over insertion choices: each
+// round may offer several admissible state-signal insertions, and which
+// of them chains to a completion is not locally decidable — so the
+// driver explores a few candidates per round, deepening the whole tree
+// one insertion at a time. Deepening is what keeps dead-end candidates
+// cheap: a branch that cannot complete within the current depth cap is
+// abandoned after a shallow probe instead of dragging the search through
+// its full subtree, and the first solution found is automatically one
+// with the fewest inserted signals.
+//
+// Re-deepening would revisit every interior node, so per-node results
+// (the MC verdict, the violated regions, the candidate insertions) are
+// memoized across iterations, keyed by the candidate-index path from the
+// root — the search tree is deterministic, so the path identifies the
+// graph. Each node therefore pays for its region analysis and its SAT
+// enumeration exactly once no matter how many deepening passes cross it.
 struct Search {
+    // Everything computed at one search-tree node. `violated` is only
+    // meaningful when !satisfied; `candidates` only once `expanded`.
+    struct Node {
+        bool satisfied = false;
+        bool expanded = false;
+        std::vector<RegionId> violated;
+        std::vector<InsertionOutcome> candidates;
+    };
+
     const SynthOptions& opts;
-    util::Meter& meter;                   // stage "synth.bnb"; Steps = rounds
+    util::Meter& meter;                   // stage "synth.bnb"; Steps = distinct nodes
     std::size_t best_known;               // fewest insertions of any solution found
     std::optional<sg::StateGraph> best_graph;
     std::vector<std::string> best_names;
+    std::size_t depth_cap = 0;            // insertions allowed this iteration
+    std::map<std::vector<std::size_t>, Node> memo;
     static constexpr std::size_t kBranch = 3;
 
-    void run(const sg::StateGraph& current, std::vector<std::string>& names) {
+    void run(const sg::StateGraph& current, std::vector<std::string>& names,
+             std::vector<std::size_t>& path) {
         if (names.size() >= best_known) return; // cannot improve
-        if (!meter.charge(util::Resource::Steps)) return;
-        obs::count("synth.rounds");
 
-        const sg::RegionAnalysis ra(current);
-        const mc::McReport report = mc::check_requirement(ra, opts.cube_search);
-        if (report.satisfied()) {
+        auto [it, fresh] = memo.try_emplace(path);
+        Node& node = it->second;
+        if (fresh) {
+            if (!meter.charge(util::Resource::Steps)) {
+                memo.erase(it); // not evaluated; a later visit must retry
+                return;
+            }
+            obs::count("synth.rounds");
+            const sg::RegionAnalysis ra(current);
+            const mc::McReport report = mc::check_requirement(ra, opts.cube_search);
+            node.satisfied = report.satisfied();
+            if (!node.satisfied)
+                for (const auto& r : report.regions)
+                    if (!r.ok()) node.violated.push_back(r.region);
+        }
+        if (node.satisfied) {
             best_known = names.size();
             best_graph = current;
             best_names = names;
             return;
         }
-        if (names.size() >= opts.max_inserted_signals) return;
+        if (names.size() >= depth_cap) return;
         if (names.size() + 1 >= best_known) return; // even one more cannot win
 
-        std::vector<RegionId> violated;
-        for (const auto& r : report.regions)
-            if (!r.ok()) violated.push_back(r.region);
-
-        // One SAT formula covers every violated region (plans are
-        // individually optional inside), so a single candidate query per
-        // round suffices.
-        const std::string name = opts.inserted_prefix + std::to_string(names.size());
-        const auto candidates =
-            insert_signal_candidates(ra, violated, name, kBranch, opts.insertion);
-        for (const auto& candidate : candidates) {
-            names.push_back(candidate.signal_name);
-            run(candidate.graph, names);
+        if (!node.expanded) {
+            // One SAT formula covers every violated region (plans are
+            // individually optional inside), so a single candidate query
+            // per node suffices — and the memo makes it per node, not
+            // per (node, deepening pass).
+            const std::string name = opts.inserted_prefix + std::to_string(names.size());
+            const sg::RegionAnalysis ra(current);
+            node.candidates =
+                insert_signal_candidates(ra, node.violated, name, kBranch, opts.insertion);
+            node.expanded = true;
+        }
+        for (std::size_t i = 0; i < node.candidates.size(); ++i) {
+            // The memo owns the candidate; copy the child graph out so
+            // recursion (which may grow the map) cannot invalidate it.
+            const sg::StateGraph child = node.candidates[i].graph;
+            names.push_back(node.candidates[i].signal_name);
+            path.push_back(i);
+            run(child, names, path);
+            path.pop_back();
             names.pop_back();
             if (best_known <= names.size() + 1) return; // optimal from here
             if (meter.exhausted()) return;
@@ -110,8 +151,13 @@ util::Outcome<SynthesisResult> synthesize_outcome(const sg::StateGraph& spec,
     meter.local().cap(util::Resource::Steps, opts.max_search_nodes);
 
     Search search{opts, meter, opts.max_inserted_signals + 1, std::nullopt, {}};
-    std::vector<std::string> names;
-    search.run(start, names);
+    for (std::size_t depth = 0; depth <= opts.max_inserted_signals; ++depth) {
+        search.depth_cap = depth;
+        std::vector<std::string> names;
+        std::vector<std::size_t> path;
+        search.run(start, names, path);
+        if (search.best_graph || meter.exhausted()) break;
+    }
     span.attr("inserted",
               static_cast<std::uint64_t>(search.best_graph ? search.best_names.size() : 0));
     if (obs::enabled() && search.best_graph)

@@ -114,6 +114,16 @@ public:
     /// combined caps never exceed the remaining headroom by more than
     /// rounding. Handed to one task of a parallel fan-out; see
     /// parallel.hpp for the discipline.
+    ///
+    /// Racing fan-outs (N racers redundantly computing one deterministic
+    /// answer, e.g. the synth spec portfolio) use the same slices with a
+    /// different commit rule: when a racer wins, EVERY shard — winner's
+    /// included — is dropped without absorb() and only the deterministic
+    /// stream-level cost (identical for any possible winner) is
+    /// re-charged to the parent; absorb all shards, in task order, only
+    /// when nobody wins. absorb() is the sole commit point, so dropped
+    /// shards simply return their unspent headroom and a cancelled
+    /// loser's wall-clock-dependent trip never reaches the parent.
     [[nodiscard]] Budget shard(std::uint64_t ways = 1) const;
     /// Folds a shard's consumption back in (counters summed; the shard's
     /// exhaustion — or the overshoot the sum itself causes — trips this

@@ -1,0 +1,280 @@
+// Incremental-interface tests for the CDCL solver: solving under
+// assumptions and retracting them, clause/activity retention across
+// calls versus a one-shot solver, per-call stats, and the invariants the
+// spec insertion engine leans on (assumption-prefix trail reuse,
+// cooperative cancellation, seed perturbation soundness).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "si/sat/solver.hpp"
+
+namespace si::sat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Assumption solve / retract
+
+TEST(SatIncremental, AssumptionsSelectModelsWithoutCommitting) {
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+
+    ASSERT_EQ(s.solve(std::vector<Lit>{neg(a)}), Result::Sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+
+    // Retracting the assumption restores the full model space: the
+    // opposite assumption is satisfiable on the same clause database.
+    ASSERT_EQ(s.solve(std::vector<Lit>{pos(a), neg(b)}), Result::Sat);
+    EXPECT_TRUE(s.model_value(a));
+    EXPECT_FALSE(s.model_value(b));
+
+    // And with no assumptions at all the instance is still Sat.
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(SatIncremental, ContradictoryAssumptionsAreUnsatNotPermanent) {
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    ASSERT_TRUE(s.add_implies(pos(a), pos(b)));
+
+    EXPECT_EQ(s.solve(std::vector<Lit>{pos(a), neg(b)}), Result::Unsat);
+    // An assumption-level Unsat must not poison the database.
+    EXPECT_EQ(s.solve(std::vector<Lit>{pos(a)}), Result::Sat);
+    EXPECT_TRUE(s.model_value(b));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(SatIncremental, SelfContradictoryAssumptionVectorIsUnsat) {
+    Solver s;
+    const Var a = s.new_var();
+    (void)s.new_var();
+    EXPECT_EQ(s.solve(std::vector<Lit>{pos(a), neg(a)}), Result::Unsat);
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(SatIncremental, SharedAssumptionPrefixReusesTrail) {
+    // The spec engine's lex-min commit loop issues solve() calls whose
+    // assumption vectors grow by one literal each time. The solver keeps
+    // the shared prefix's trail levels; at minimum the answers must stay
+    // right across a long run of such calls.
+    Solver s;
+    constexpr int kN = 16;
+    std::vector<Var> v;
+    for (int i = 0; i < kN; ++i) v.push_back(s.new_var());
+    // Chain i -> i+1 so assumptions propagate something.
+    for (int i = 0; i + 1 < kN; ++i) ASSERT_TRUE(s.add_implies(pos(v[i]), pos(v[i + 1])));
+
+    std::vector<Lit> assumps;
+    for (int i = 0; i < kN; ++i) {
+        assumps.push_back(pos(v[i]));
+        ASSERT_EQ(s.solve(assumps), Result::Sat) << "prefix length " << i + 1;
+        // v[0..i] are assumed true and the chain forces the rest.
+        for (int j = 0; j < kN; ++j) EXPECT_TRUE(s.model_value(v[j]));
+    }
+    // Now flip the first assumption — the whole kept prefix must unwind.
+    ASSERT_EQ(s.solve(std::vector<Lit>{neg(v[0])}), Result::Sat);
+    EXPECT_FALSE(s.model_value(v[0]));
+}
+
+TEST(SatIncremental, AddClauseInvalidatesKeptAssumptionLevels) {
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+    ASSERT_EQ(s.solve(std::vector<Lit>{pos(a)}), Result::Sat);
+    // A new clause falsifying the kept assumption level must be honored
+    // by the next call, not masked by trail reuse.
+    ASSERT_TRUE(s.add_clause({neg(a)}));
+    EXPECT_EQ(s.solve(std::vector<Lit>{pos(a)}), Result::Unsat);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+}
+
+// ---------------------------------------------------------------------------
+// Clause retention vs one-shot solving
+
+// Blocking-loop enumeration on one incremental solver must agree with a
+// fresh solver per query, clause for clause. This is exactly the spec
+// engine's usage pattern (block a model, re-solve).
+TEST(SatIncremental, BlockingLoopMatchesOneShotEnumeration) {
+    std::mt19937_64 rng(7);
+    for (int round = 0; round < 25; ++round) {
+        constexpr int kVars = 9;
+        const int n_clauses = 3 + static_cast<int>(rng() % 30);
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < n_clauses; ++c) {
+            std::vector<Lit> cl;
+            for (int k = 0; k < 3; ++k)
+                cl.push_back(Lit(static_cast<Var>(rng() % kVars), (rng() & 1) != 0));
+            clauses.push_back(std::move(cl));
+        }
+
+        const auto count_incremental = [&clauses]() {
+            Solver s;
+            for (int i = 0; i < kVars; ++i) (void)s.new_var();
+            for (const auto& cl : clauses)
+                if (!s.add_clause(std::span<const Lit>(cl.data(), cl.size()))) return 0;
+            int models = 0;
+            while (s.solve() == Result::Sat) {
+                ++models;
+                std::vector<Lit> block;
+                for (Var v = 0; v < kVars; ++v)
+                    block.push_back(Lit(v, s.model_value(v)));
+                if (!s.add_clause(std::span<const Lit>(block.data(), block.size()))) break;
+            }
+            return models;
+        };
+
+        // Brute force over all 2^9 assignments.
+        int expected = 0;
+        for (unsigned m = 0; m < (1u << kVars); ++m) {
+            bool ok = true;
+            for (const auto& cl : clauses) {
+                bool sat = false;
+                for (const Lit l : cl)
+                    sat = sat || (((m >> l.var()) & 1u) != 0) != l.negative();
+                ok = ok && sat;
+            }
+            expected += ok ? 1 : 0;
+        }
+        EXPECT_EQ(count_incremental(), expected) << "round " << round;
+    }
+}
+
+TEST(SatIncremental, LearntClausesPersistAcrossCalls) {
+    // PHP(4,3) twice on one solver: the second run starts from the first
+    // run's learnt clauses and must not be more expensive.
+    Solver s;
+    Var p[4][3];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    const Var gate = s.new_var(); // lets us re-ask the same question
+    for (int i = 0; i < 4; ++i)
+        s.add_clause({neg(gate), pos(p[i][0]), pos(p[i][1]), pos(p[i][2])});
+    for (int h = 0; h < 3; ++h)
+        for (int i = 0; i < 4; ++i)
+            for (int j = i + 1; j < 4; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+
+    ASSERT_EQ(s.solve(std::vector<Lit>{pos(gate)}), Result::Unsat);
+    const std::uint64_t first = s.last_stats().conflicts;
+    ASSERT_EQ(s.solve(std::vector<Lit>{pos(gate)}), Result::Unsat);
+    const std::uint64_t second = s.last_stats().conflicts;
+    EXPECT_GT(first, 0u);
+    EXPECT_LE(second, first);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+TEST(SatIncremental, LifetimeCountersAreMonotoneAndLastStatsAreDeltas) {
+    Solver s;
+    Var p[3][2];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    for (int i = 0; i < 3; ++i) s.add_clause({pos(p[i][0]), pos(p[i][1])});
+    for (int h = 0; h < 2; ++h)
+        for (int i = 0; i < 3; ++i)
+            for (int j = i + 1; j < 3; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+
+    std::uint64_t conflicts = 0, decisions = 0, propagations = 0;
+    for (int call = 0; call < 3; ++call) {
+        const std::uint64_t c0 = s.conflicts(), d0 = s.decisions(), g0 = s.propagations();
+        (void)s.solve();
+        EXPECT_GE(s.conflicts(), c0);
+        EXPECT_GE(s.decisions(), d0);
+        EXPECT_GE(s.propagations(), g0);
+        EXPECT_EQ(s.last_stats().conflicts, s.conflicts() - c0);
+        EXPECT_EQ(s.last_stats().decisions, s.decisions() - d0);
+        EXPECT_EQ(s.last_stats().propagations, s.propagations() - g0);
+        conflicts = s.conflicts();
+        decisions = s.decisions();
+        propagations = s.propagations();
+    }
+    (void)conflicts;
+    (void)decisions;
+    (void)propagations;
+}
+
+TEST(SatIncremental, ConflictBudgetReturnsUnknownAndRecovers) {
+    Solver s;
+    Var p[5][4];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    for (int i = 0; i < 5; ++i)
+        s.add_clause({pos(p[i][0]), pos(p[i][1]), pos(p[i][2]), pos(p[i][3])});
+    for (int h = 0; h < 4; ++h)
+        for (int i = 0; i < 5; ++i)
+            for (int j = i + 1; j < 5; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+
+    s.set_conflict_budget(1);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_TRUE(s.budget_exhausted());
+    EXPECT_FALSE(s.cancelled());
+
+    s.set_conflict_budget(0);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_FALSE(s.budget_exhausted());
+}
+
+TEST(SatIncremental, PreRaisedCancelFlagStopsSolve) {
+    Solver s;
+    Var p[4][3];
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    for (int i = 0; i < 4; ++i) s.add_clause({pos(p[i][0]), pos(p[i][1]), pos(p[i][2])});
+    for (int h = 0; h < 3; ++h)
+        for (int i = 0; i < 4; ++i)
+            for (int j = i + 1; j < 4; ++j) s.add_clause({neg(p[i][h]), neg(p[j][h])});
+
+    std::atomic<bool> cancel{true};
+    s.set_cancel(&cancel);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_TRUE(s.cancelled());
+    EXPECT_FALSE(s.budget_exhausted());
+
+    cancel.store(false);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_FALSE(s.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Seed perturbation
+
+TEST(SatIncremental, SeedNeverChangesTheVerdict) {
+    std::mt19937_64 rng(11);
+    for (int round = 0; round < 15; ++round) {
+        constexpr int kVars = 8;
+        const int n_clauses = 3 + static_cast<int>(rng() % 28);
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < n_clauses; ++c) {
+            std::vector<Lit> cl;
+            for (int k = 0; k < 3; ++k)
+                cl.push_back(Lit(static_cast<Var>(rng() % kVars), (rng() & 1) != 0));
+            clauses.push_back(std::move(cl));
+        }
+        Result verdicts[3];
+        int idx = 0;
+        for (const std::uint64_t seed : {0ull, 1ull, 0xdeadbeefull}) {
+            Solver s;
+            for (int i = 0; i < kVars; ++i) (void)s.new_var();
+            bool consistent = true;
+            for (const auto& cl : clauses)
+                consistent =
+                    s.add_clause(std::span<const Lit>(cl.data(), cl.size())) && consistent;
+            s.set_seed(seed);
+            verdicts[idx++] = consistent ? s.solve() : Result::Unsat;
+        }
+        EXPECT_EQ(verdicts[0], verdicts[1]) << "round " << round;
+        EXPECT_EQ(verdicts[0], verdicts[2]) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace si::sat

@@ -1,0 +1,253 @@
+// Differential tests for the spec insertion engines: Eager, Cegar and
+// Portfolio must choose byte-identical insertions — on the Table 1
+// benchmarks, on generated nets, at any thread-pool width, and across
+// repeated runs. Canonical (lex-min, layer-ordered) model enumeration is
+// the mechanism; these tests are the contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "si/bench_stgs/table1.hpp"
+#include "si/gen/gen.hpp"
+#include "si/mc/requirement.hpp"
+#include "si/sg/analysis.hpp"
+#include "si/sg/from_stg.hpp"
+#include "si/sg/minimize_sg.hpp"
+#include "si/synth/insertion.hpp"
+#include "si/synth/spec.hpp"
+#include "si/synth/synthesize.hpp"
+#include "si/util/budget.hpp"
+#include "si/util/parallel.hpp"
+
+namespace si::synth {
+namespace {
+
+std::vector<si::RegionId> violated_regions(const sg::RegionAnalysis& ra) {
+    const mc::McReport report = mc::check_requirement(ra, {});
+    std::vector<si::RegionId> out;
+    for (const auto& r : report.regions)
+        if (!r.ok()) out.push_back(r.region);
+    return out;
+}
+
+/// The comparable fingerprint of one insertion round: every candidate's
+/// labeling (the byte-identity the engines promise) plus its name and
+/// expansion size.
+struct RoundResult {
+    std::vector<std::vector<XLabel>> labels;
+    std::vector<std::size_t> sizes;
+
+    friend bool operator==(const RoundResult&, const RoundResult&) = default;
+};
+
+RoundResult round_result(const sg::RegionAnalysis& ra, std::span<const si::RegionId> victims,
+                         InsertEngine engine, std::size_t max_attempts = 1024) {
+    InsertionOptions opts;
+    opts.engine = engine;
+    opts.max_attempts = max_attempts;
+    RoundResult rr;
+    for (const auto& c : insert_signal_candidates(ra, victims, "csc0", 3, opts)) {
+        rr.labels.push_back(c.labels);
+        rr.sizes.push_back(c.graph.num_states());
+    }
+    return rr;
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+TEST(SynthSpec, EnginesChooseIdenticalCandidatesOnTable1) {
+    for (const auto& e : bench::table1_suite()) {
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        if (victims.empty()) continue; // nothing to insert for
+        const RoundResult eager = round_result(ra, victims, InsertEngine::Eager);
+        const RoundResult cegar = round_result(ra, victims, InsertEngine::Cegar);
+        const RoundResult portfolio = round_result(ra, victims, InsertEngine::Portfolio);
+        EXPECT_EQ(eager, cegar) << e.name;
+        EXPECT_EQ(eager, portfolio) << e.name;
+        EXPECT_FALSE(eager.labels.empty()) << e.name;
+    }
+}
+
+TEST(SynthSpec, EnginesSynthesizeIdenticalNetlistsOnTable1) {
+    for (const auto& e : bench::table1_suite()) {
+        std::string baseline;
+        std::vector<std::string> baseline_names;
+        for (const InsertEngine eng :
+             {InsertEngine::Eager, InsertEngine::Cegar, InsertEngine::Portfolio}) {
+            SynthOptions opts;
+            opts.insertion.engine = eng;
+            const SynthesisResult res = synthesize(sg::build_state_graph(bench::load(e)), opts);
+            if (eng == InsertEngine::Eager) {
+                baseline = res.summary();
+                baseline_names = res.inserted;
+            } else {
+                EXPECT_EQ(res.summary(), baseline) << e.name << " / " << to_string(eng);
+                EXPECT_EQ(res.inserted, baseline_names) << e.name << " / " << to_string(eng);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated nets
+
+TEST(SynthSpec, EnginesAgreeOnGeneratedNets) {
+    constexpr std::uint64_t kCampaign = 0x51c0ffee;
+    constexpr int kNets = 50;
+    int exercised = 0;
+    for (int i = 0; i < kNets; ++i) {
+        const stg::Stg net = gen::generate(gen::derive_seed(kCampaign, i));
+        const sg::StateGraph graph =
+            sg::minimize_bisimulation(sg::build_state_graph(net));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        if (victims.empty()) continue; // CSC already holds
+        ++exercised;
+        // A modest attempt cap keeps the 50-net sweep quick; it truncates
+        // the shared canonical stream at the same point for every engine,
+        // so identity must still hold exactly.
+        const RoundResult eager = round_result(ra, victims, InsertEngine::Eager, 24);
+        const RoundResult cegar = round_result(ra, victims, InsertEngine::Cegar, 24);
+        const RoundResult portfolio = round_result(ra, victims, InsertEngine::Portfolio, 24);
+        EXPECT_EQ(eager, cegar) << net.name << " (net " << i << ")";
+        EXPECT_EQ(eager, portfolio) << net.name << " (net " << i << ")";
+    }
+    // The generator's seq/choice blocks violate CSC on purpose; a sweep
+    // this size must exercise the insertion path many times.
+    EXPECT_GE(exercised, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool width
+
+TEST(SynthSpec, PortfolioIsInvariantUnderThreadCount) {
+    struct Case {
+        const char* name;
+        RoundResult result;
+    };
+    std::vector<Case> baseline;
+    const auto harder = [](const std::string& n) {
+        return n == "duplicator" || n == "berkel3" || n == "ganesh_8";
+    };
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        util::set_num_threads(workers);
+        std::size_t idx = 0;
+        for (const auto& e : bench::table1_suite()) {
+            if (!harder(e.name)) continue;
+            const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+            const sg::RegionAnalysis ra(graph);
+            const auto victims = violated_regions(ra);
+            ASSERT_FALSE(victims.empty()) << e.name;
+            RoundResult rr = round_result(ra, victims, InsertEngine::Portfolio);
+            if (workers == 1) {
+                baseline.push_back({e.name.c_str(), std::move(rr)});
+            } else {
+                ASSERT_LT(idx, baseline.size());
+                EXPECT_EQ(rr, baseline[idx].result)
+                    << e.name << " with " << workers << " workers";
+            }
+            ++idx;
+        }
+    }
+    util::set_num_threads(0); // restore the default for other tests
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and stream-level stats
+
+TEST(SynthSpec, StreamStatsAreEncodingInvariant) {
+    for (const auto& e : bench::table1_suite()) {
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        if (victims.empty()) continue;
+        InsertionOptions opts;
+        const SpecResult eager =
+            run_spec_engine(ra, victims, "csc0", 3, opts, SpecEncoding::Eager, 0, nullptr);
+        const SpecResult cegar =
+            run_spec_engine(ra, victims, "csc0", 3, opts, SpecEncoding::Cegar, 0, nullptr);
+        // Stream-level fields are functions of the shared canonical model
+        // stream; solver-level effort (sat_calls, conflicts, refinements)
+        // legitimately differs between encodings.
+        EXPECT_EQ(eager.stats.attempts, cegar.stats.attempts) << e.name;
+        EXPECT_EQ(eager.stats.accepted, cegar.stats.accepted) << e.name;
+        EXPECT_EQ(eager.stats.layers, cegar.stats.layers) << e.name;
+        EXPECT_EQ(eager.stats.complete, cegar.stats.complete) << e.name;
+        EXPECT_EQ(eager.outcomes.size(), cegar.outcomes.size()) << e.name;
+        // CEGAR starts from a skeleton: refinement is its defining move.
+        if (eager.stats.attempts > 0) EXPECT_GT(cegar.stats.refinements, 0u) << e.name;
+    }
+}
+
+TEST(SynthSpec, PortfolioWinChargesStreamAttemptsAndNoConflicts) {
+    // The budget audit for racing: a won race re-charges exactly the
+    // canonical stream's attempt count (the same for every possible
+    // winner) and drops all racer shards, so none of the racers' solver
+    // Conflicts ever reach the caller's budget.
+    for (const auto& e : bench::table1_suite()) {
+        if (e.name != "duplicator") continue;
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        ASSERT_FALSE(victims.empty());
+        InsertionOptions ref_opts;
+        const SpecResult ref = run_spec_engine(ra, victims, "csc0", 3, ref_opts,
+                                               SpecEncoding::Eager, 0, nullptr);
+        ASSERT_GT(ref.stats.attempts, 0u);
+
+        util::Budget budget;
+        budget.cap(util::Resource::Conflicts, 10'000'000)
+            .cap(util::Resource::Attempts, 1'000'000);
+        InsertionOptions opts;
+        opts.engine = InsertEngine::Portfolio;
+        opts.budget = &budget;
+        const auto candidates = insert_signal_candidates(ra, victims, "csc0", 3, opts);
+        EXPECT_FALSE(candidates.empty());
+        EXPECT_EQ(budget.consumed(util::Resource::Attempts), ref.stats.attempts);
+        EXPECT_EQ(budget.consumed(util::Resource::Conflicts), 0u);
+        EXPECT_FALSE(budget.exhausted());
+    }
+}
+
+TEST(SynthSpec, RepeatedRunsAreIdentical) {
+    for (const auto& e : bench::table1_suite()) {
+        if (e.name != "duplicator") continue;
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        ASSERT_FALSE(victims.empty());
+        const RoundResult first = round_result(ra, victims, InsertEngine::Portfolio);
+        for (int repeat = 0; repeat < 3; ++repeat)
+            EXPECT_EQ(round_result(ra, victims, InsertEngine::Portfolio), first)
+                << "repeat " << repeat;
+    }
+}
+
+TEST(SynthSpec, SeedOnlyMovesSolverEffortNeverTheResult) {
+    for (const auto& e : bench::table1_suite()) {
+        if (e.name != "berkel3") continue;
+        const sg::StateGraph graph = sg::build_state_graph(bench::load(e));
+        const sg::RegionAnalysis ra(graph);
+        const auto victims = violated_regions(ra);
+        ASSERT_FALSE(victims.empty());
+        InsertionOptions opts;
+        const SpecResult base =
+            run_spec_engine(ra, victims, "csc0", 3, opts, SpecEncoding::Eager, 0, nullptr);
+        for (const std::uint64_t seed : {1ull, 42ull, 0x9e3779b97f4a7c15ull}) {
+            const SpecResult other = run_spec_engine(ra, victims, "csc0", 3, opts,
+                                                     SpecEncoding::Eager, seed, nullptr);
+            ASSERT_EQ(other.outcomes.size(), base.outcomes.size()) << "seed " << seed;
+            for (std::size_t i = 0; i < base.outcomes.size(); ++i)
+                EXPECT_EQ(other.outcomes[i].labels, base.outcomes[i].labels)
+                    << "seed " << seed;
+            EXPECT_EQ(other.stats.attempts, base.stats.attempts) << "seed " << seed;
+        }
+    }
+}
+
+} // namespace
+} // namespace si::synth

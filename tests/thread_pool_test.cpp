@@ -149,6 +149,72 @@ TEST(BudgetShard, AbsorbSumsConsumptionAndTrips) {
     EXPECT_EQ(b.consumed(Resource::Steps), 12u);
 }
 
+// ---------------------------------------------------------------------------
+// Racing discipline (the portfolio protocol in si::synth): racers run on
+// shard(K) slices; a deterministic winner commits only its stream-level
+// cost to the parent and every shard is dropped without absorb; with no
+// winner all shards are absorbed in task order.
+
+TEST(BudgetRace, WinDropsAllShardsAndChargesOnlyTheStream) {
+    Budget b;
+    b.cap(Resource::Conflicts, 1000).cap(Resource::Attempts, 100);
+    constexpr std::size_t kRacers = 4;
+    std::vector<Budget> shards;
+    for (std::size_t i = 0; i < kRacers; ++i) shards.push_back(b.shard(kRacers));
+    // Every racer burns solver effort on its own slice (250 each)...
+    for (auto& s : shards) ASSERT_TRUE(s.charge(Resource::Conflicts, 200));
+    // ...and the winner re-charges only the canonical stream's attempt
+    // count, which is identical for every possible winner.
+    ASSERT_TRUE(b.charge(Resource::Attempts, 17));
+    // Dropping the shards returns their headroom: no racer's Conflicts
+    // reach the parent, so nothing is double-charged across the race.
+    EXPECT_EQ(b.consumed(Resource::Conflicts), 0u);
+    EXPECT_EQ(b.consumed(Resource::Attempts), 17u);
+    EXPECT_FALSE(b.exhausted());
+    // A later sequential stage still sees the full Conflicts headroom.
+    EXPECT_TRUE(b.charge(Resource::Conflicts, 999));
+}
+
+TEST(BudgetRace, LoserExhaustionNeverReachesTheParentWithoutAbsorb) {
+    Budget b;
+    b.cap(Resource::Conflicts, 40);
+    Budget loser = b.shard(2); // 20-conflict slice
+    while (loser.charge(Resource::Conflicts)) {
+    }
+    ASSERT_TRUE(loser.exhausted());
+    // absorb() is the only commit point: a cancelled loser's trip (a
+    // wall-clock-dependent event) must leave the parent untouched.
+    EXPECT_FALSE(b.exhausted());
+    EXPECT_EQ(b.consumed(Resource::Conflicts), 0u);
+}
+
+TEST(BudgetRace, NoWinAbsorbsEveryShardInTaskOrder) {
+    // When no racer completes, all shards are absorbed in task order so
+    // the recorded exhaustion is a deterministic function of the racer
+    // list, never of scheduling.
+    std::string first_sig;
+    for (int round = 0; round < 3; ++round) {
+        Budget b;
+        b.cap(Resource::Conflicts, 100);
+        constexpr std::size_t kRacers = 4;
+        std::vector<Budget> shards;
+        for (std::size_t i = 0; i < kRacers; ++i) shards.push_back(b.shard(kRacers));
+        // Each racer exhausts its own slice (ceil(100 / 4) = 25).
+        for (auto& s : shards)
+            while (s.charge(Resource::Conflicts)) {
+            }
+        for (const auto& s : shards) b.absorb(s);
+        ASSERT_TRUE(b.exhausted());
+        EXPECT_EQ(b.failure()->resource, Resource::Conflicts);
+        const std::string sig = b.failure()->describe() + " consumed=" +
+                                std::to_string(b.consumed(Resource::Conflicts));
+        if (first_sig.empty())
+            first_sig = sig;
+        else
+            EXPECT_EQ(sig, first_sig) << "round " << round;
+    }
+}
+
 TEST(ThreadPool, BudgetExhaustionMidFanOutIsDeterministic) {
     KnobGuard guard;
     std::string first_sig;
