@@ -1,0 +1,525 @@
+// obs_top — a terminal tail for si::obs::live heartbeat files: the
+// proto-dashboard for the planned si::serve batch server.
+//
+//   obs_top <heartbeats.jsonl>                follow the file, render each tick
+//   obs_top <heartbeats.jsonl> --once         parse what is there, render, exit
+//   obs_top <fixture.jsonl> --selftest        parser/renderer self-check (CI)
+//
+// Renders, per heartbeat: per-stage progress and rates, top-k counters
+// by delta, p50/p95 latencies derived from the exported log2 histograms
+// (si::obs::trace::percentiles — the same nearest-rank math the trace
+// analytics use), and the active request set. Follow mode exits when a
+// heartbeat tagged "final" arrives (live::shutdown wrote it) or after
+// --max-ticks polls.
+//
+// Expectation flags turn the reader into a CI assertion:
+//   --expect-progress <stage>   some heartbeat carries non-zero done for
+//                               <stage> (active or completed)
+//   --expect-stalled            some heartbeat is tagged stalled
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "si/obs/trace.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for heartbeat lines. Heartbeats are machine
+// generated (flat, integer-valued), so this handles exactly the JSON
+// subset live.cpp emits: objects, arrays, strings, unsigned integers,
+// booleans and null.
+
+struct Jv {
+    enum class Type : unsigned char { Null, Bool, Num, Str, Arr, Obj };
+    Type type = Type::Null;
+    bool b = false;
+    std::uint64_t num = 0;
+    std::string str;
+    std::vector<Jv> arr;
+    std::vector<std::pair<std::string, Jv>> obj;
+
+    [[nodiscard]] const Jv* get(std::string_view key) const {
+        for (const auto& [k, v] : obj)
+            if (k == key) return &v;
+        return nullptr;
+    }
+    [[nodiscard]] std::uint64_t get_num(std::string_view key) const {
+        const Jv* v = get(key);
+        return v != nullptr && v->type == Type::Num ? v->num : 0;
+    }
+    [[nodiscard]] bool get_bool(std::string_view key) const {
+        const Jv* v = get(key);
+        return v != nullptr && v->type == Type::Bool && v->b;
+    }
+};
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : s_(text) {}
+
+    bool parse(Jv& out, std::string& err) {
+        if (!value(out, err)) return false;
+        skip_ws();
+        if (pos_ != s_.size()) {
+            err = "trailing bytes at offset " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r'))
+            ++pos_;
+    }
+    bool fail(std::string& err, const std::string& what) {
+        err = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+    bool literal(const char* lit) {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+    bool string(std::string& out, std::string& err) {
+        if (pos_ >= s_.size() || s_[pos_] != '"') return fail(err, "expected string");
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size()) return fail(err, "dangling escape");
+                const char e = s_[pos_++];
+                switch (e) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) return fail(err, "short \\u escape");
+                    c = static_cast<char>(std::strtoul(std::string(s_, pos_, 4).c_str(),
+                                                       nullptr, 16));
+                    pos_ += 4;
+                    break;
+                }
+                default: c = e;
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= s_.size()) return fail(err, "unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+    bool value(Jv& out, std::string& err) {
+        skip_ws();
+        if (pos_ >= s_.size()) return fail(err, "unexpected end");
+        const char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.type = Jv::Type::Obj;
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!string(key, err)) return false;
+                skip_ws();
+                if (pos_ >= s_.size() || s_[pos_] != ':') return fail(err, "expected ':'");
+                ++pos_;
+                Jv v;
+                if (!value(v, err)) return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skip_ws();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail(err, "expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.type = Jv::Type::Arr;
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                Jv v;
+                if (!value(v, err)) return false;
+                out.arr.push_back(std::move(v));
+                skip_ws();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail(err, "expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.type = Jv::Type::Str;
+            return string(out.str, err);
+        }
+        if (c == 't' && literal("true")) {
+            out.type = Jv::Type::Bool;
+            out.b = true;
+            return true;
+        }
+        if (c == 'f' && literal("false")) {
+            out.type = Jv::Type::Bool;
+            return true;
+        }
+        if (c == 'n' && literal("null")) return true;
+        if (c >= '0' && c <= '9') {
+            out.type = Jv::Type::Num;
+            while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9')
+                out.num = out.num * 10 + static_cast<std::uint64_t>(s_[pos_++] - '0');
+            return true;
+        }
+        return fail(err, std::string("unexpected character '") + c + "'");
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Heartbeat model
+
+struct Heartbeat {
+    std::uint64_t seq = 0;
+    std::uint64_t interval_ms = 1000;
+    bool final_hb = false;
+    bool stalled = false;
+    std::vector<std::string> stalled_stages;
+    std::string event_kind, event_detail;
+    struct Stage {
+        std::uint64_t done = 0, total = 0, gauges = 0, budget_spent = 0, budget_cap = 0;
+    };
+    std::map<std::string, Stage> progress;
+    struct Done {
+        std::uint64_t done = 0, instances = 0;
+    };
+    std::map<std::string, Done> completed;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> requests; ///< (id, seed)
+    std::uint64_t pool_fan_outs = 0, pool_tasks = 0;
+    std::map<std::string, std::uint64_t> stable, diag, rates;
+    struct Hist {
+        std::uint64_t count = 0, sum = 0;
+        std::array<std::uint64_t, 65> buckets{};
+    };
+    std::map<std::string, Hist> hists;
+};
+
+bool parse_heartbeat(const std::string& line, Heartbeat& hb, std::string& err) {
+    Jv root;
+    if (!Parser(line).parse(root, err)) return false;
+    if (root.type != Jv::Type::Obj || root.get("si_live") == nullptr) {
+        err = "not a heartbeat object (missing si_live)";
+        return false;
+    }
+    hb.seq = root.get_num("seq");
+    hb.interval_ms = root.get_num("interval_ms");
+    if (hb.interval_ms == 0) hb.interval_ms = 1;
+    hb.final_hb = root.get_bool("final");
+    hb.stalled = root.get_bool("stalled");
+    if (const Jv* v = root.get("stalled_stages"); v != nullptr)
+        for (const Jv& s : v->arr) hb.stalled_stages.push_back(s.str);
+    if (const Jv* v = root.get("event"); v != nullptr) {
+        if (const Jv* k = v->get("kind"); k != nullptr) hb.event_kind = k->str;
+        if (const Jv* d = v->get("detail"); d != nullptr) hb.event_detail = d->str;
+    }
+    if (const Jv* v = root.get("progress"); v != nullptr)
+        for (const auto& [stage, sv] : v->obj)
+            hb.progress[stage] = {sv.get_num("done"), sv.get_num("total"), sv.get_num("gauges"),
+                                  sv.get_num("budget_spent"), sv.get_num("budget_cap")};
+    if (const Jv* v = root.get("completed"); v != nullptr)
+        for (const auto& [stage, sv] : v->obj)
+            hb.completed[stage] = {sv.get_num("done"), sv.get_num("instances")};
+    if (const Jv* v = root.get("requests"); v != nullptr)
+        for (const Jv& r : v->arr) hb.requests.emplace_back(r.get_num("id"), r.get_num("seed"));
+    if (const Jv* v = root.get("pool"); v != nullptr) {
+        hb.pool_fan_outs = v->get_num("fan_outs");
+        hb.pool_tasks = v->get_num("tasks");
+    }
+    const auto read_map = [&root](const char* key, std::map<std::string, std::uint64_t>& out) {
+        if (const Jv* v = root.get(key); v != nullptr)
+            for (const auto& [name, nv] : v->obj) out[name] = nv.num;
+    };
+    read_map("stable", hb.stable);
+    read_map("diag", hb.diag);
+    read_map("rates", hb.rates);
+    if (const Jv* v = root.get("hists"); v != nullptr) {
+        for (const auto& [name, hv] : v->obj) {
+            Heartbeat::Hist h;
+            h.count = hv.get_num("count");
+            h.sum = hv.get_num("sum");
+            if (const Jv* b = hv.get("buckets"); b != nullptr)
+                for (const Jv& pair : b->arr)
+                    if (pair.arr.size() == 2 && pair.arr[0].num < h.buckets.size())
+                        h.buckets[pair.arr[0].num] = pair.arr[1].num;
+            hb.hists[name] = std::move(h);
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+std::string render(const Heartbeat& hb, std::size_t total_heartbeats, std::size_t top_k) {
+    std::string out = "obs_top — seq " + std::to_string(hb.seq) + " (" +
+                      std::to_string(total_heartbeats) + " heartbeats, interval " +
+                      std::to_string(hb.interval_ms) + " ms)";
+    if (hb.final_hb) out += " [final]";
+    if (hb.stalled) {
+        out += " [STALLED:";
+        for (const auto& s : hb.stalled_stages) out += ' ' + s;
+        out += ']';
+    }
+    out += '\n';
+    if (!hb.event_kind.empty())
+        out += "event: " + hb.event_kind + " — " + hb.event_detail + '\n';
+
+    if (!hb.progress.empty()) {
+        out += "stages:\n";
+        for (const auto& [stage, p] : hb.progress) {
+            out += "  " + stage + "  " + std::to_string(p.done);
+            if (p.total != 0) {
+                out += '/' + std::to_string(p.total) + " (" +
+                       std::to_string(p.total == 0 ? 0 : p.done * 100 / p.total) + "%)";
+            }
+            if (p.gauges > 1) out += "  [" + std::to_string(p.gauges) + " gauges]";
+            if (p.budget_cap != 0)
+                out += "  budget " + std::to_string(p.budget_spent) + '/' +
+                       std::to_string(p.budget_cap);
+            out += '\n';
+        }
+    }
+    if (!hb.completed.empty()) {
+        out += "completed:\n";
+        for (const auto& [stage, c] : hb.completed)
+            out += "  " + stage + "  done=" + std::to_string(c.done) + " over " +
+                   std::to_string(c.instances) + " runs\n";
+    }
+
+    // Top-k counters by this heartbeat's delta, Stable lane first.
+    std::vector<std::pair<std::uint64_t, const std::string*>> by_delta;
+    for (const auto& [name, delta] : hb.stable) by_delta.emplace_back(delta, &name);
+    std::sort(by_delta.begin(), by_delta.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first != b.first ? a.first > b.first : *a.second < *b.second;
+              });
+    if (!by_delta.empty()) {
+        out += "top counters by delta:\n";
+        for (std::size_t i = 0; i < by_delta.size() && i < top_k; ++i) {
+            const auto& [delta, name] = by_delta[i];
+            out += "  " + *name + "  +" + std::to_string(delta);
+            if (const auto it = hb.rates.find(*name); it != hb.rates.end())
+                out += " (" + std::to_string(it->second) + "/s)";
+            out += '\n';
+        }
+    }
+
+    if (!hb.hists.empty()) {
+        out += "latency (log2 hists):\n";
+        for (const auto& [name, h] : hb.hists) {
+            const si::obs::trace::Percentiles p = si::obs::trace::percentiles(h.buckets);
+            out += "  " + name + "  p50<=" + std::to_string(p.p50) +
+                   " p95<=" + std::to_string(p.p95) + " p99<=" + std::to_string(p.p99) +
+                   " (n=" + std::to_string(p.count) + ")\n";
+        }
+    }
+
+    out += "pool: " + std::to_string(hb.pool_fan_outs) + " fan-outs, " +
+           std::to_string(hb.pool_tasks) + " tasks\n";
+    out += "requests (" + std::to_string(hb.requests.size()) + " active):";
+    for (const auto& [id, seed] : hb.requests)
+        out += "  id=" + std::to_string(id) + " seed=" + std::to_string(seed);
+    out += '\n';
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+
+struct ReadState {
+    std::streamoff offset = 0;
+    std::string partial; ///< bytes after the last newline (incomplete line)
+};
+
+/// Appends every complete line added to `path` since the last call.
+std::vector<std::string> read_new_lines(const std::string& path, ReadState& rs) {
+    std::vector<std::string> lines;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return lines;
+    in.seekg(rs.offset);
+    std::string chunk((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    rs.offset += static_cast<std::streamoff>(chunk.size());
+    rs.partial += chunk;
+    std::size_t start = 0;
+    for (std::size_t nl = rs.partial.find('\n', start); nl != std::string::npos;
+         nl = rs.partial.find('\n', start)) {
+        if (nl > start) lines.push_back(rs.partial.substr(start, nl - start));
+        start = nl + 1;
+    }
+    rs.partial.erase(0, start);
+    return lines;
+}
+
+int selftest(const std::string& fixture) {
+    ReadState rs;
+    const std::vector<std::string> lines = read_new_lines(fixture, rs);
+    std::vector<Heartbeat> hbs;
+    for (const auto& line : lines) {
+        Heartbeat hb;
+        std::string err;
+        if (!parse_heartbeat(line, hb, err)) {
+            std::fprintf(stderr, "obs_top selftest: parse failed: %s\n  line: %s\n",
+                         err.c_str(), line.c_str());
+            return 1;
+        }
+        hbs.push_back(std::move(hb));
+    }
+    const auto expect = [](bool ok, const char* what) {
+        if (!ok) std::fprintf(stderr, "obs_top selftest: FAILED: %s\n", what);
+        return ok;
+    };
+    bool ok = expect(hbs.size() == 3, "fixture has 3 heartbeats");
+    if (!ok) return 1;
+    ok = expect(hbs[2].seq == 2, "last seq is 2") && ok;
+    ok = expect(hbs[2].stalled, "last heartbeat is stalled") && ok;
+    ok = expect(hbs[2].stalled_stages == std::vector<std::string>{"fuzz.campaign"},
+                "stalled stage is fuzz.campaign") &&
+         ok;
+    ok = expect(hbs[1].progress.at("fuzz.campaign").done == 13, "hb1 progress done=13") && ok;
+    ok = expect(hbs[1].progress.at("fuzz.campaign").total == 20, "hb1 progress total=20") && ok;
+    ok = expect(hbs[0].rates.at("fuzz.cases") == 50, "hb0 fuzz.cases rate=50") && ok;
+    ok = expect(hbs[0].requests.size() == 1 && hbs[0].requests[0].first == 4,
+                "hb0 active request id=4") &&
+         ok;
+    ok = expect(hbs[0].pool_tasks == 8, "hb0 pool tasks=8") && ok;
+    ok = expect(hbs[2].completed.at("sg.explore").done == 120, "hb2 completed sg done=120") &&
+         ok;
+    const auto& h = hbs[0].hists.at("mc.cube_literals");
+    const si::obs::trace::Percentiles p = si::obs::trace::percentiles(h.buckets);
+    ok = expect(p.count == 4 && p.p50 == 0 && p.p95 == 7, "hb0 hist p50=0 p95=7 (n=4)") && ok;
+    const std::string view = render(hbs[2], hbs.size(), 8);
+    ok = expect(view.find("STALLED") != std::string::npos, "render marks the stall") && ok;
+    ok = expect(render(hbs[0], 1, 1).find("sg.markings") != std::string::npos,
+                "top-1 delta is sg.markings") &&
+         ok;
+    if (!ok) return 1;
+    std::printf("obs_top selftest: OK (%zu heartbeats)\n", hbs.size());
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: obs_top <heartbeats.jsonl> [--once] [--selftest] [--top <k>]\n"
+                 "               [--poll-ms <n>] [--max-ticks <n>]\n"
+                 "               [--expect-progress <stage>] [--expect-stalled]\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    bool once = false, run_selftest = false, expect_stalled = false;
+    std::string expect_progress;
+    std::size_t top_k = 8, max_ticks = 0;
+    std::uint64_t poll_ms = 0; // 0 = use the heartbeat's own interval
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--once") once = true;
+        else if (arg == "--selftest") run_selftest = true;
+        else if (arg == "--expect-stalled") expect_stalled = true;
+        else if (arg == "--top") top_k = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--poll-ms") poll_ms = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--max-ticks") max_ticks = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--expect-progress") expect_progress = next();
+        else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+    if (run_selftest) return selftest(path);
+
+    ReadState rs;
+    std::size_t total = 0, ticks = 0, parse_errors = 0;
+    bool saw_progress = expect_progress.empty();
+    bool saw_stall = !expect_stalled;
+    bool saw_final = false;
+    std::uint64_t interval_ms = 200;
+    while (true) {
+        for (const auto& line : read_new_lines(path, rs)) {
+            Heartbeat hb;
+            std::string err;
+            if (!parse_heartbeat(line, hb, err)) {
+                ++parse_errors;
+                std::fprintf(stderr, "obs_top: skipping bad line: %s\n", err.c_str());
+                continue;
+            }
+            ++total;
+            interval_ms = hb.interval_ms;
+            saw_final = saw_final || hb.final_hb;
+            saw_stall = saw_stall || hb.stalled;
+            if (!saw_progress) {
+                const auto it = hb.progress.find(expect_progress);
+                if (it != hb.progress.end() && it->second.done > 0) saw_progress = true;
+                const auto ct = hb.completed.find(expect_progress);
+                if (ct != hb.completed.end() && ct->second.done > 0) saw_progress = true;
+            }
+            std::fputs(render(hb, total, top_k).c_str(), stdout);
+            std::fputc('\n', stdout);
+        }
+        std::fflush(stdout);
+        ++ticks;
+        if (once || saw_final || (max_ticks != 0 && ticks >= max_ticks)) break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(poll_ms != 0 ? poll_ms : interval_ms));
+    }
+    if (total == 0) {
+        std::fprintf(stderr, "obs_top: no heartbeats in '%s'\n", path.c_str());
+        return 1;
+    }
+    if (!saw_progress) {
+        std::fprintf(stderr, "obs_top: expected progress for stage '%s', saw none\n",
+                     expect_progress.c_str());
+        return 1;
+    }
+    if (!saw_stall) {
+        std::fprintf(stderr, "obs_top: expected a stalled heartbeat, saw none\n");
+        return 1;
+    }
+    return parse_errors == 0 ? 0 : 1;
+}

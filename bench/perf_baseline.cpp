@@ -52,6 +52,7 @@
 #include "si/bench_stgs/table1.hpp"
 #include "si/gen/fuzz.hpp"
 #include "si/gen/gen.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/obs/report.hpp"
 #include "si/obs/trace.hpp"
@@ -417,6 +418,43 @@ int main(int argc, char** argv) {
                      sym_res.describe().c_str());
     }
 
+    // live_overhead: the workload suite A/B — once with telemetry fully
+    // off (the gauges compile down to a null-slot branch) and once with
+    // metrics on and live heartbeats streaming at a tight 50 ms interval
+    // — so the recorded baseline states what SI_OBS_LIVE costs. Single
+    // repetition, one thread: this is a coarse ratio, not a microbench.
+    double live_off_ms = 0, live_on_ms = 0;
+    {
+        si::util::set_num_threads(1);
+        si::obs::set_mode(si::obs::Mode::Off);
+        si::obs::reset();
+        // One untimed warmup pass first: the symbolic run above leaves
+        // cold allocator/cache state whose one-time refill cost dwarfs
+        // anything live telemetry does and would land entirely on the
+        // "off" leg.
+        for (const auto& w : workloads) (void)w.run();
+        auto t0 = Clock::now();
+        for (const auto& w : workloads) (void)w.run();
+        live_off_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+        si::obs::set_mode(si::obs::Mode::Metrics);
+        si::obs::reset();
+        si::obs::live::Options live_opts;
+        live_opts.path = out_path + ".live.jsonl";
+        live_opts.interval_ms = 50;
+        live_opts.force = true;
+        if (si::obs::live::configure(live_opts).empty()) si::obs::live::start();
+        t0 = Clock::now();
+        for (const auto& w : workloads) (void)w.run();
+        live_on_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        si::obs::live::shutdown();
+        si::obs::set_mode(si::obs::Mode::Off);
+        si::obs::reset();
+        std::fprintf(stderr, "live-overhead  off %10.3f ms  on %10.3f ms  ratio %.3f\n",
+                     live_off_ms, live_on_ms,
+                     live_off_ms > 0 ? live_on_ms / live_off_ms : 0.0);
+    }
+
     // Untimed metrics+trace pass: the same workloads once more with
     // counters AND spans on (wall lane enabled), so the recorded
     // baseline states both what the timings paid for and where the time
@@ -564,6 +602,8 @@ int main(int argc, char** argv) {
          << ", \"regions\": " << sym_res.regions << ", \"complete\": "
          << (sym_res.complete() ? "true" : "false")
          << ", \"satisfied\": " << (sym_res.satisfied ? "true" : "false") << "},\n";
+    json << "  \"live_overhead\": {\"off_ms\": " << live_off_ms << ", \"on_ms\": " << live_on_ms
+         << ", \"ratio\": " << (live_off_ms > 0 ? live_on_ms / live_off_ms : 0.0) << "},\n";
     json << "  \"modes\": [\n";
     for (std::size_t m = 0; m < modes.size(); ++m) {
         std::vector<double> speedups;

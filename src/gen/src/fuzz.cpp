@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "si/mc/symbolic.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/sg/from_stg.hpp"
@@ -346,6 +347,7 @@ std::string CampaignResult::describe() const {
 CampaignResult run_campaign(const CampaignOptions& opts) {
     obs::Span span("fuzz.campaign");
     span.attr("count", static_cast<std::uint64_t>(opts.count));
+    obs::Progress progress("fuzz.campaign", opts.count);
     CampaignResult result;
 
     // A case fails when the oracles disagree or the pipeline errored —
@@ -444,6 +446,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
                 }
             }
         }
+        progress.advance();
     }
     return result;
 }

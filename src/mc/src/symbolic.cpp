@@ -8,6 +8,7 @@
 
 #include "si/bdd/bdd.hpp"
 #include "si/bdd/symbolic.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/from_stg.hpp"
 #include "si/sg/regions.hpp"
@@ -61,6 +62,11 @@ struct SymSpace {
     std::vector<Ref> excited_up, excited_down, excited_any; ///< per signal, ∧ reached
     std::vector<Ref> stable0, stable1;                      ///< per signal, ∧ reached
     double state_count = 0;
+    /// Heartbeat gauge owned by symbolic_check; every fixpoint loop
+    /// advances it once per iteration (the same events the
+    /// mc.symbolic.iterations.* counters record), so a 10^6-state
+    /// check shows liveness between regions.
+    obs::Progress* progress = nullptr;
 
     explicit SymSpace(const stg::Stg& n)
         : net(n), P(n.num_places()), S(n.signals().size()), N(P + S), mgr(2 * (P + S)) {}
@@ -202,6 +208,7 @@ void SymSpace::build() {
     Ref frontier = reached;
     while (frontier != Manager::kFalse) {
         obs::count("mc.symbolic.iterations.reach");
+        if (progress != nullptr) progress->advance();
         const Ref fresh = mgr.apply_and(fwd(frontier, mono_rel), mgr.apply_not(reached));
         reached = mgr.apply_or(reached, fresh);
         frontier = fresh;
@@ -264,6 +271,7 @@ BitVec SymSpace::infer_initial_code() {
         Ref frontier = frozen;
         while (frontier != Manager::kFalse) {
             obs::count("mc.symbolic.iterations.init");
+            if (progress != nullptr) progress->advance();
             const Ref fresh = mgr.apply_and(fwd(frontier, others), mgr.apply_not(frozen));
             frozen = mgr.apply_or(frozen, fresh);
             frontier = fresh;
@@ -301,6 +309,7 @@ Ref SymSpace::flood(Ref seed, Ref members, const char* cls) {
     const std::string iter_ctr = std::string("mc.symbolic.iterations.") + cls;
     while (frontier != Manager::kFalse) {
         obs::count(iter_ctr);
+        if (progress != nullptr) progress->advance();
         const Ref fresh = mgr.apply_and(fwd(frontier, rel), mgr.apply_not(comp));
         comp = mgr.apply_or(comp, fresh);
         frontier = fresh;
@@ -413,6 +422,9 @@ StgMcResult symbolic_check(const stg::Stg& net, const StgMcOptions& opts,
     out.used = Engine::Symbolic;
 
     SymSpace sp(net);
+    // Units are fixpoint iterations (total unknown up front).
+    obs::Progress progress("mc.symbolic");
+    sp.progress = &progress;
     // The explicit checker charges one Steps unit per non-input region
     // under "mc.check"; the symbolic engine mirrors that accounting
     // exactly so Budget::shard fairness holds across engines. BDD work is

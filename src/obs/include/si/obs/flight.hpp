@@ -34,8 +34,20 @@
 
 namespace si::obs::flight {
 
-/// Ring capacity: the post-mortem keeps this many most-recent events.
-inline constexpr std::size_t kCapacity = 512;
+/// Default ring capacity: the post-mortem keeps this many most-recent
+/// events unless overridden by set_capacity or SI_OBS_FLIGHT_RING=<n>.
+inline constexpr std::size_t kDefaultCapacity = 512;
+
+/// The active ring capacity. Resolved lazily from SI_OBS_FLIGHT_RING on
+/// first use (a garbage value warns once and falls back to the default,
+/// matching the SI_OBS convention).
+[[nodiscard]] std::size_t capacity();
+
+/// Overrides the ring capacity (0 restores the default). An oversized
+/// ring is trimmed oldest-first. Also pre-sizes the signal handler's
+/// no-allocation sort buffer, so this must not be called from a signal
+/// context.
+void set_capacity(std::size_t n);
 
 /// Arms the recorder: events are recorded and dumps are written into
 /// `dir` (created if missing). An empty string disarms. Also installs

@@ -1,0 +1,155 @@
+// si::obs::live — streaming telemetry for long-lived processes.
+//
+// Everything else in si::obs exports once, at the end; this module makes
+// a running analysis watchable *while* it runs. Three pieces:
+//
+//   * Delta snapshotter — periodic JSONL heartbeats appended to a sink
+//     file: per-counter deltas since the previous heartbeat (Stable and,
+//     optionally, Diag lanes), integer rates derived from the *nominal*
+//     interval, log2 histogram snapshots, the active progress gauges,
+//     and the live RequestInfo set. Armed by configure() or by
+//     SI_OBS_LIVE=<path>[:<interval_ms>][:force][:nodiag] and driven
+//     either by a background thread (start(); production) or by a manual
+//     tick() (tests — the stream is then byte-identical across worker
+//     counts as long as Diag deltas are excluded).
+//   * obs::Progress — a lightweight monotone done/total gauge (plus an
+//     optional budget fraction) the long loops thread through their
+//     bodies; heartbeats carry per-stage completion and each gauge
+//     flushes a deterministic `progress.<stage>.done` Stable counter on
+//     destruction.
+//   * Stall watchdog — trips when an armed gauge stops advancing for
+//     `stall_intervals` consecutive heartbeats: the heartbeat is tagged
+//     `"stalled": true` and, when the flight recorder is armed, a
+//     flight-stalled.json post-mortem is dumped. "Is it stuck or just
+//     slow?" gets an in-process answer.
+//
+// Determinism contract: heartbeats are Diag-lane output. They never feed
+// the Stable surface obs_diff guards — enabling SI_OBS_LIVE changes no
+// Stable export byte. All values in a heartbeat are integers; rates are
+// delta * 1000 / interval_ms with the configured (never the measured)
+// interval, so a manually ticked stream is reproducible.
+#pragma once
+
+#include "si/obs/obs.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace si::obs::live {
+
+/// Snapshotter configuration. `path` is the JSONL sink (one heartbeat
+/// object per line, appended); opening it honours the library-wide
+/// overwrite_guard contract unless `force`.
+struct Options {
+    std::string path;
+    std::uint32_t interval_ms = 1000; ///< nominal heartbeat period
+    bool force = false;               ///< overwrite an existing sink file
+    bool diag = true;  ///< include Diag counter deltas (scheduling-dependent)
+    std::uint32_t stall_intervals = 8; ///< watchdog patience, in heartbeats
+};
+
+/// Arms the snapshotter: opens the sink, snapshots the current counters
+/// as the delta baseline, and resets the heartbeat sequence. Does NOT
+/// start the background thread (call start(), or drive tick() manually).
+/// Re-configuring while armed shuts the previous sink down first.
+/// Returns an empty string on success, else the error message.
+[[nodiscard]] std::string configure(const Options& opts);
+
+/// Spawns the background heartbeat thread (idempotent; no-op while
+/// disarmed). The thread emits one heartbeat per interval until
+/// shutdown(), which is also registered via atexit on first start.
+void start();
+
+/// Emits a final heartbeat tagged `"final": true`, stops the background
+/// thread, closes the sink and disarms. Safe to call repeatedly.
+void shutdown();
+
+namespace detail {
+/// 0 = disarmed, 1 = armed. Unlike SI_OBS/SI_OBS_FLIGHT there is no
+/// lazy-env sentinel here: the environment is consulted only by
+/// ensure_started(), which Progress construction triggers.
+extern std::atomic<unsigned char> g_armed;
+
+struct ProgressSlot; // registry entry behind obs::Progress
+
+ProgressSlot* progress_begin(const char* stage, std::uint64_t total, bool watchdog);
+void progress_end(ProgressSlot* slot);
+
+// RequestScope registration (obs.cpp) and pool attribution
+// (util/parallel.cpp) — cheap no-ops while disarmed.
+void request_begin(std::uint64_t id, std::uint64_t seed);
+void request_end(std::uint64_t id);
+void pool_note(std::uint64_t fan_outs, std::uint64_t tasks);
+
+/// Emits an out-of-band heartbeat carrying {"event": {kind, detail}} —
+/// the budget-trip hook. No-op while disarmed.
+void event(std::string_view kind, std::string_view what);
+
+/// Parses a SI_OBS_LIVE-style spec ("<path>[:<interval_ms>][:force]
+/// [:nodiag][:stall=<n>]") into `out`. False (with a warning message in
+/// `err`) on a malformed option token.
+[[nodiscard]] bool parse_env_spec(const char* spec, Options& out, std::string& err);
+
+/// Forgets that the environment was consulted and disarms — so a forked
+/// test child can re-read SI_OBS_LIVE it just set. Test-only.
+void reset_env_for_test();
+} // namespace detail
+
+/// True when heartbeats are being collected (one relaxed load).
+[[nodiscard]] inline bool armed() {
+    return detail::g_armed.load(std::memory_order_relaxed) == 1;
+}
+
+/// Consults SI_OBS_LIVE exactly once per process and, when set, arms the
+/// snapshotter and starts the background thread. When the variable arms
+/// live telemetry but obs is Off, the mode is upgraded to Metrics —
+/// heartbeats full of empty deltas would defeat the point. Called from
+/// Progress construction, so any instrumented long loop boots the
+/// runtime; harmless to call eagerly.
+void ensure_started();
+
+/// Manual heartbeat driver for tests and single-threaded embedders:
+/// emits one heartbeat now (the watchdog advances by one interval).
+/// Returns the heartbeat's sequence number, or UINT64_MAX when disarmed.
+std::uint64_t tick();
+
+} // namespace si::obs::live
+
+namespace si::obs {
+
+/// A monotone progress gauge for a long-running stage. Construction is
+/// a no-op (null slot, one branch per advance) unless metrics are
+/// enabled or live telemetry is armed; destruction deregisters the gauge,
+/// folds its final count into the heartbeat "completed" aggregate and —
+/// when metrics are enabled — flushes a deterministic Stable counter
+/// `progress.<stage>.done`. Gauges are thread-safe (advance is a relaxed
+/// fetch_add), may share a stage name (heartbeats aggregate by stage),
+/// and `watchdog = false` opts a gauge out of stall detection (for loops
+/// that legitimately idle, e.g. a server accept loop).
+class Progress {
+public:
+    explicit Progress(const char* stage, std::uint64_t total = 0, bool watchdog = true);
+    ~Progress();
+    Progress(const Progress&) = delete;
+    Progress& operator=(const Progress&) = delete;
+
+    void advance(std::uint64_t delta = 1);
+    /// Raises `done` to `value` (monotone; lower values are ignored).
+    void set_done(std::uint64_t value);
+    /// Updates the expected total (0 = unknown; may grow as work is found).
+    void set_total(std::uint64_t value);
+    /// Publishes the governing budget's consumption for the heartbeat's
+    /// budget-fraction. `cap == UINT64_MAX` (uncapped) is treated as 0.
+    void set_budget(std::uint64_t spent, std::uint64_t cap);
+
+    [[nodiscard]] std::uint64_t done() const;
+    [[nodiscard]] std::uint64_t total() const;
+
+private:
+    live::detail::ProgressSlot* slot_ = nullptr;
+    const char* stage_;
+};
+
+} // namespace si::obs

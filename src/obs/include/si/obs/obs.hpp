@@ -27,10 +27,14 @@
 // rest of the library) so every layer, including Budget/Meter, can use
 // it.
 //
-// Quiescence contract: exports, snapshots and reset() must be called
-// while no instrumented parallel work is in flight (after fan-outs have
-// joined). The library's fan-outs all block until completion, so any
-// single-threaded caller satisfies this by construction.
+// Quiescence contract: span exports (trace_chrome_json, trace_tree) and
+// reset() must be called while no instrumented parallel work is in
+// flight (after fan-outs have joined). The library's fan-outs all block
+// until completion, so any single-threaded caller satisfies this by
+// construction. Metric snapshots are exempt: the per-thread shards are
+// individually locked, so metrics_text/brief/json — and the live
+// heartbeat snapshotter (live.hpp) — may run concurrently with counting
+// threads.
 #pragma once
 
 #include <atomic>
@@ -225,6 +229,7 @@ public:
 private:
     RequestInfo prev_;
     detail::Rec* rec_ = nullptr;
+    bool live_ = false; ///< registered with the live request set (live.hpp)
 };
 
 // ---------------------------------------------------------------------------
@@ -316,6 +321,17 @@ inline void hot(Hot h) {
 
 /// Human-readable indented span tree.
 [[nodiscard]] std::string trace_tree();
+
+/// The one overwrite-refusal contract every file-writing exporter in the
+/// library shares (obs exports, si::report writers, the live heartbeat
+/// sink): "" when `path` may be written, else the unified refusal
+/// message naming the --force escape hatch.
+[[nodiscard]] std::string overwrite_guard(const std::string& path, bool force);
+
+/// Writes `content` to `path` (truncating) under the overwrite_guard
+/// contract. Returns an empty string on success, else the error message.
+[[nodiscard]] std::string write_text_file(const std::string& path, std::string_view content,
+                                          bool force);
 
 /// Writes the active export (trace JSON when tracing, metrics text
 /// otherwise) to `path`. Refuses to overwrite an existing file unless

@@ -48,11 +48,45 @@ struct State {
     /// Pre-composed crash-dump path, readable from the signal handler.
     char crash_path[512] = {0};
     bool handlers_installed = false;
+    /// Active ring capacity; 0 = SI_OBS_FLIGHT_RING not yet consulted.
+    std::size_t capacity = 0;
+    /// Sort scratch for the signal-safe crash writer, preallocated
+    /// whenever the capacity is (re)resolved — the handler itself must
+    /// not allocate.
+    const Entry** crash_sorted = nullptr;
+    std::size_t crash_cap = 0;
 };
 
 State& state() {
     static State* s = new State;
     return *s;
+}
+
+/// Resolves the ring capacity, consulting SI_OBS_FLIGHT_RING exactly
+/// once (so a garbage value warns exactly once). Caller holds s.mutex.
+std::size_t capacity_locked(State& s) {
+    if (s.capacity == 0) {
+        std::size_t cap = kDefaultCapacity;
+        if (const char* env = std::getenv("SI_OBS_FLIGHT_RING"); env != nullptr && env[0] != '\0') {
+            char* end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != nullptr && *end == '\0' && v >= 1 && v <= (1ULL << 20)) {
+                cap = static_cast<std::size_t>(v);
+            } else {
+                std::fprintf(stderr,
+                             "si::obs::flight: ignoring unrecognized SI_OBS_FLIGHT_RING "
+                             "value '%s' (expected 1..%llu); using %zu\n",
+                             env, 1ULL << 20, kDefaultCapacity);
+            }
+        }
+        s.capacity = cap;
+    }
+    if (s.crash_cap != s.capacity) {
+        delete[] s.crash_sorted;
+        s.crash_sorted = new const Entry*[s.capacity];
+        s.crash_cap = s.capacity;
+    }
+    return s.capacity;
 }
 
 const char* kind_name(char k) {
@@ -152,14 +186,19 @@ void write_crash_json(int fd, int sig) {
     // Best effort: if the crashing thread already holds the ring mutex,
     // dump without it rather than deadlocking in the handler.
     const bool locked = s.mutex.try_lock();
-    static const Entry* sorted[kCapacity];
+    // The sort scratch was preallocated when the capacity was resolved
+    // (before anything could have been recorded); null means an empty
+    // ring, so there is nothing to lose by skipping the events.
+    const Entry** sorted = s.crash_sorted;
     std::size_t n = 0;
-    for (const Entry& e : s.ring) {
-        if (n == kCapacity) break;
-        sorted[n++] = &e;
+    if (sorted != nullptr) {
+        for (const Entry& e : s.ring) {
+            if (n == s.crash_cap) break;
+            sorted[n++] = &e;
+        }
+        std::sort(sorted, sorted + n,
+                  [](const Entry* a, const Entry* b) { return entry_less(*a, *b); });
     }
-    std::sort(sorted, sorted + n,
-              [](const Entry* a, const Entry* b) { return entry_less(*a, *b); });
 
     put_str(fd, "{\n  \"flight\": 1,\n  \"reason\": \"crash\",\n  \"signal\": ");
     put_u64(fd, static_cast<std::uint64_t>(sig));
@@ -238,8 +277,9 @@ bool armed_slow() {
 void record(char kind, std::string path, std::string msg) {
     State& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
+    const std::size_t cap = capacity_locked(s);
     const std::uint64_t seq = s.seq[path]++;
-    if (s.ring.size() >= kCapacity) s.ring.pop_front();
+    while (s.ring.size() >= cap) s.ring.pop_front();
     s.ring.push_back(Entry{std::move(path), seq, kind, std::move(msg)});
 }
 
@@ -266,6 +306,20 @@ std::string dir() {
     State& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
     return s.dir;
+}
+
+std::size_t capacity() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return capacity_locked(s);
+}
+
+void set_capacity(std::size_t n) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.capacity = n == 0 ? kDefaultCapacity : std::min(n, std::size_t{1} << 20);
+    (void)capacity_locked(s); // re-size the crash sort scratch
+    while (s.ring.size() > s.capacity) s.ring.pop_front();
 }
 
 void note(std::string_view message) {

@@ -1,0 +1,572 @@
+#include "si/obs/live.hpp"
+
+#include "obs_internal.hpp"
+#include "si/obs/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace si::obs::live {
+
+namespace detail {
+std::atomic<unsigned char> g_armed{0};
+
+/// One registered obs::Progress gauge. `done/total/budget_*` are written
+/// by the owning (and, for shared gauges, worker) threads with relaxed
+/// atomics; the watchdog bookkeeping below them is touched only under
+/// the live-state mutex by whichever thread emits heartbeats.
+struct ProgressSlot {
+    std::string stage;
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> budget_spent{0};
+    std::atomic<std::uint64_t> budget_cap{0};
+    bool watchdog = true;
+    bool observed = false;        ///< seen by at least one heartbeat
+    std::uint64_t last_done = 0;  ///< done at the previous heartbeat
+    std::uint32_t stalled_ticks = 0;
+    bool tripped = false;
+};
+} // namespace detail
+
+namespace {
+
+using detail::ProgressSlot;
+
+struct CompletedAgg {
+    std::uint64_t done = 0;
+    std::uint64_t instances = 0;
+};
+
+struct RequestEntry {
+    std::uint64_t seed = 0;
+    std::uint64_t refs = 0; ///< nesting depth of scopes sharing the id
+};
+
+// Leaked singleton, like the obs registry: gauges on pool workers and
+// the atexit shutdown hook must outlive static destruction.
+struct State {
+    std::mutex mutex; ///< everything below except the atomics
+    std::condition_variable cv;
+    std::thread thread;
+    bool stop = false;
+    bool atexit_registered = false;
+    std::FILE* sink = nullptr;
+    Options opts;
+    std::uint64_t seq = 0;
+    /// Counter values at the previous heartbeat (the delta baseline).
+    std::map<std::string, std::uint64_t> prev;
+    std::vector<ProgressSlot*> active;
+    std::map<std::string, CompletedAgg> completed;
+    std::map<std::uint64_t, RequestEntry> requests;
+    /// 0 = SI_OBS_LIVE not yet consulted, 1 = consulted.
+    std::atomic<unsigned char> env_state{0};
+    std::atomic<std::uint64_t> pool_fan_outs{0};
+    std::atomic<std::uint64_t> pool_tasks{0};
+};
+
+State& state() {
+    static State* s = new State;
+    return *s;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    obs::detail::json_escape(out, s);
+    out += '"';
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value, bool& first) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    out += std::to_string(value);
+}
+
+/// Composes and writes one heartbeat line. Caller holds `s.mutex` and
+/// has checked the snapshotter is armed with an open sink.
+/// `advance_watchdog` is true only for interval heartbeats (manual or
+/// timed ticks) — event and final heartbeats must not age the gauges.
+std::uint64_t emit_locked(State& s, const char* event_kind, std::string_view event_detail,
+                          bool final_hb, bool advance_watchdog) {
+    using detail::ProgressSlot;
+    const auto merged = obs::detail::merged_metrics();
+    using Slot = obs::detail::Slot;
+
+    // Watchdog: a gauge that fails to advance between stall_intervals
+    // consecutive heartbeats is tripped until it moves again.
+    bool fresh_trip = false;
+    if (advance_watchdog) {
+        for (ProgressSlot* p : s.active) {
+            if (!p->watchdog) continue;
+            const std::uint64_t d = p->done.load(std::memory_order_relaxed);
+            if (!p->observed) {
+                p->observed = true; // grace heartbeat: just baseline it
+            } else if (d == p->last_done) {
+                if (++p->stalled_ticks >= s.opts.stall_intervals && !p->tripped) {
+                    p->tripped = true;
+                    fresh_trip = true;
+                }
+            } else {
+                p->stalled_ticks = 0;
+                p->tripped = false;
+            }
+            p->last_done = d;
+        }
+    }
+    std::set<std::string> stalled_stages;
+    for (const ProgressSlot* p : s.active)
+        if (p->tripped) stalled_stages.insert(p->stage);
+
+    std::string line = "{\"si_live\":1,\"seq\":" + std::to_string(s.seq) +
+                       ",\"interval_ms\":" + std::to_string(s.opts.interval_ms);
+    if (final_hb) line += ",\"final\":true";
+    if (event_kind != nullptr) {
+        line += ",\"event\":{\"kind\":";
+        append_json_string(line, event_kind);
+        line += ",\"detail\":";
+        append_json_string(line, event_detail);
+        line += '}';
+    }
+    line += stalled_stages.empty() ? ",\"stalled\":false" : ",\"stalled\":true";
+    line += ",\"stalled_stages\":[";
+    {
+        bool first = true;
+        for (const auto& stage : stalled_stages) {
+            if (!first) line += ',';
+            first = false;
+            append_json_string(line, stage);
+        }
+    }
+    line += ']';
+
+    // Active progress gauges, aggregated per stage (a portfolio race
+    // registers one gauge per racer under one stage name).
+    struct ProgAgg {
+        std::uint64_t done = 0, total = 0, spent = 0, cap = 0, gauges = 0;
+    };
+    std::map<std::string, ProgAgg> prog;
+    for (const ProgressSlot* p : s.active) {
+        ProgAgg& a = prog[p->stage];
+        a.done += p->done.load(std::memory_order_relaxed);
+        a.total += p->total.load(std::memory_order_relaxed);
+        a.spent += p->budget_spent.load(std::memory_order_relaxed);
+        a.cap += p->budget_cap.load(std::memory_order_relaxed);
+        ++a.gauges;
+    }
+    line += ",\"progress\":{";
+    {
+        bool first_stage = true;
+        for (const auto& [stage, a] : prog) {
+            if (!first_stage) line += ',';
+            first_stage = false;
+            append_json_string(line, stage);
+            line += ":{";
+            bool first = true;
+            append_kv(line, "done", a.done, first);
+            append_kv(line, "total", a.total, first);
+            append_kv(line, "gauges", a.gauges, first);
+            append_kv(line, "budget_spent", a.spent, first);
+            append_kv(line, "budget_cap", a.cap, first);
+            line += '}';
+        }
+    }
+    line += "},\"completed\":{";
+    {
+        bool first_stage = true;
+        for (const auto& [stage, c] : s.completed) {
+            if (!first_stage) line += ',';
+            first_stage = false;
+            append_json_string(line, stage);
+            line += ":{";
+            bool first = true;
+            append_kv(line, "done", c.done, first);
+            append_kv(line, "instances", c.instances, first);
+            line += '}';
+        }
+    }
+    line += "},\"requests\":[";
+    {
+        bool first = true;
+        for (const auto& [id, req] : s.requests) {
+            if (!first) line += ',';
+            first = false;
+            line += "{\"id\":" + std::to_string(id) + ",\"seed\":" + std::to_string(req.seed) +
+                    '}';
+        }
+    }
+    line += "],\"pool\":{\"fan_outs\":" +
+            std::to_string(s.pool_fan_outs.load(std::memory_order_relaxed)) +
+            ",\"tasks\":" + std::to_string(s.pool_tasks.load(std::memory_order_relaxed)) + '}';
+
+    // Counter deltas since the previous heartbeat, split by lane. A
+    // counter that shrank (obs::reset ran between heartbeats) restarts
+    // its baseline instead of producing a bogus huge delta.
+    std::string stable_json, diag_json, rates_json, gauges_json, hists_json;
+    bool first_stable = true, first_diag = true, first_rate = true, first_gauge = true,
+         first_hist = true;
+    for (const auto& [name, slot] : merged) {
+        const bool diag_lane = slot.tag == Tag::Diag;
+        if (diag_lane && !s.opts.diag) continue;
+        switch (slot.kind) {
+        case Slot::Kind::Counter: {
+            const std::uint64_t prev = s.prev.count(name) != 0 ? s.prev[name] : 0;
+            const std::uint64_t delta = slot.value >= prev ? slot.value - prev : slot.value;
+            s.prev[name] = slot.value;
+            if (delta == 0) break;
+            std::string& lane = diag_lane ? diag_json : stable_json;
+            bool& first = diag_lane ? first_diag : first_stable;
+            if (!first) lane += ',';
+            first = false;
+            append_json_string(lane, name);
+            lane += ':' + std::to_string(delta);
+            if (!diag_lane) {
+                if (!first_rate) rates_json += ',';
+                first_rate = false;
+                append_json_string(rates_json, name);
+                // Nominal-interval integer rate: deterministic under the
+                // manual-tick driver (never the measured wall time).
+                rates_json += ':' + std::to_string(delta * 1000 / s.opts.interval_ms);
+            }
+            break;
+        }
+        case Slot::Kind::Gauge:
+            if (!first_gauge) gauges_json += ',';
+            first_gauge = false;
+            append_json_string(gauges_json, name);
+            gauges_json += ':' + std::to_string(slot.value);
+            break;
+        case Slot::Kind::Hist: {
+            if (!first_hist) hists_json += ',';
+            first_hist = false;
+            append_json_string(hists_json, name);
+            hists_json += ":{\"count\":" + std::to_string(slot.hist_count) +
+                          ",\"sum\":" + std::to_string(slot.hist_sum) + ",\"buckets\":[";
+            bool first_bucket = true;
+            for (std::size_t b = 0; b < slot.buckets.size(); ++b) {
+                if (slot.buckets[b] == 0) continue;
+                if (!first_bucket) hists_json += ',';
+                first_bucket = false;
+                hists_json +=
+                    '[' + std::to_string(b) + ',' + std::to_string(slot.buckets[b]) + ']';
+            }
+            hists_json += "]}";
+            break;
+        }
+        }
+    }
+    line += ",\"stable\":{" + stable_json + '}';
+    if (s.opts.diag) line += ",\"diag\":{" + diag_json + '}';
+    line += ",\"rates\":{" + rates_json + '}';
+    line += ",\"gauges\":{" + gauges_json + '}';
+    line += ",\"hists\":{" + hists_json + "}}";
+
+    std::fwrite(line.data(), 1, line.size(), s.sink);
+    std::fputc('\n', s.sink);
+    std::fflush(s.sink);
+
+    if (fresh_trip) {
+        count("obs.live.stalls", 1, Tag::Diag);
+        if (flight::armed()) {
+            std::string what = "live watchdog: stalled stages:";
+            for (const auto& stage : stalled_stages) what += ' ' + stage;
+            flight::note(what);
+            (void)flight::dump("stalled");
+        }
+    }
+    count("obs.live.heartbeats", 1, Tag::Diag);
+    return s.seq++;
+}
+
+void ticker() {
+    State& s = state();
+    std::unique_lock<std::mutex> lock(s.mutex);
+    while (!s.stop) {
+        if (s.cv.wait_for(lock, std::chrono::milliseconds(s.opts.interval_ms),
+                          [&s] { return s.stop; }))
+            break;
+        if (detail::g_armed.load(std::memory_order_relaxed) == 1 && s.sink != nullptr)
+            (void)emit_locked(s, nullptr, {}, false, true);
+    }
+}
+
+/// Stops the background thread if running. Must be called without
+/// holding `s.mutex` (joins the thread).
+void stop_thread(State& s) {
+    std::thread t;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.stop = true;
+        t.swap(s.thread);
+    }
+    s.cv.notify_all();
+    if (t.joinable()) t.join();
+}
+
+} // namespace
+
+std::string configure(const Options& opts) {
+    if (opts.path.empty()) return "live: empty heartbeat sink path";
+    State& s = state();
+    stop_thread(s);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    detail::g_armed.store(0);
+    if (s.sink != nullptr) {
+        std::fclose(s.sink);
+        s.sink = nullptr;
+    }
+    if (std::string err = overwrite_guard(opts.path, opts.force); !err.empty()) return err;
+    std::FILE* f = std::fopen(opts.path.c_str(), "wb");
+    if (f == nullptr) return "cannot write '" + opts.path + "'";
+    s.sink = f;
+    s.opts = opts;
+    if (s.opts.interval_ms == 0) s.opts.interval_ms = 1;
+    if (s.opts.stall_intervals == 0) s.opts.stall_intervals = 1;
+    s.seq = 0;
+    s.stop = false;
+    // Delta baseline = the counters as of arming, so the first heartbeat
+    // reports what happened after configure(), not process history. The
+    // completed/pool aggregates restart too; only the *live* request and
+    // gauge sets carry over (those scopes are still open).
+    s.completed.clear();
+    s.pool_fan_outs.store(0, std::memory_order_relaxed);
+    s.pool_tasks.store(0, std::memory_order_relaxed);
+    s.prev.clear();
+    for (const auto& [name, slot] : obs::detail::merged_metrics())
+        if (slot.kind == obs::detail::Slot::Kind::Counter) s.prev[name] = slot.value;
+    for (ProgressSlot* p : s.active) {
+        p->observed = false;
+        p->stalled_ticks = 0;
+        p->tripped = false;
+    }
+    detail::g_armed.store(1);
+    return {};
+}
+
+void start() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (detail::g_armed.load(std::memory_order_relaxed) != 1 || s.thread.joinable()) return;
+    if (!s.atexit_registered) {
+        s.atexit_registered = true;
+        std::atexit(&shutdown);
+    }
+    s.stop = false;
+    s.thread = std::thread(&ticker);
+}
+
+void shutdown() {
+    State& s = state();
+    stop_thread(s);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (detail::g_armed.load(std::memory_order_relaxed) == 1 && s.sink != nullptr)
+        (void)emit_locked(s, nullptr, {}, true, false);
+    if (s.sink != nullptr) {
+        std::fclose(s.sink);
+        s.sink = nullptr;
+    }
+    detail::g_armed.store(0);
+}
+
+void ensure_started() {
+    State& s = state();
+    unsigned char expected = 0;
+    if (!s.env_state.compare_exchange_strong(expected, 1)) return;
+    const char* env = std::getenv("SI_OBS_LIVE");
+    if (env == nullptr || env[0] == '\0') return;
+    Options opts;
+    std::string err;
+    if (!detail::parse_env_spec(env, opts, err)) {
+        // Only the consulting thread reaches this, so a malformed
+        // SI_OBS_LIVE is reported exactly once (the SI_OBS convention).
+        std::fprintf(stderr, "si::obs::live: %s; live telemetry stays off\n", err.c_str());
+        return;
+    }
+    // Heartbeats of empty deltas are useless; the env var is an explicit
+    // operator request, so it may upgrade Off to Metrics.
+    if (mode() == Mode::Off) set_mode(Mode::Metrics);
+    if (std::string cfg = configure(opts); !cfg.empty()) {
+        std::fprintf(stderr, "si::obs::live: %s; live telemetry stays off\n", cfg.c_str());
+        return;
+    }
+    start();
+}
+
+std::uint64_t tick() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (detail::g_armed.load(std::memory_order_relaxed) != 1 || s.sink == nullptr)
+        return UINT64_MAX;
+    return emit_locked(s, nullptr, {}, false, true);
+}
+
+namespace detail {
+
+ProgressSlot* progress_begin(const char* stage, std::uint64_t total, bool watchdog) {
+    auto* p = new ProgressSlot;
+    p->stage = stage;
+    p->total.store(total, std::memory_order_relaxed);
+    p->watchdog = watchdog;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.active.push_back(p);
+    return p;
+}
+
+void progress_end(ProgressSlot* slot) {
+    State& s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.active.erase(std::find(s.active.begin(), s.active.end(), slot));
+        CompletedAgg& c = s.completed[slot->stage];
+        c.done += slot->done.load(std::memory_order_relaxed);
+        ++c.instances;
+    }
+    delete slot;
+}
+
+void request_begin(std::uint64_t id, std::uint64_t seed) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    RequestEntry& e = s.requests[id];
+    e.seed = seed;
+    ++e.refs;
+}
+
+void request_end(std::uint64_t id) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.requests.find(id);
+    if (it == s.requests.end()) return;
+    if (--it->second.refs == 0) s.requests.erase(it);
+}
+
+void pool_note(std::uint64_t fan_outs, std::uint64_t tasks) {
+    State& s = state();
+    s.pool_fan_outs.fetch_add(fan_outs, std::memory_order_relaxed);
+    s.pool_tasks.fetch_add(tasks, std::memory_order_relaxed);
+}
+
+void event(std::string_view kind, std::string_view what) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (g_armed.load(std::memory_order_relaxed) != 1 || s.sink == nullptr) return;
+    (void)emit_locked(s, std::string(kind).c_str(), what, false, false);
+}
+
+bool parse_env_spec(const char* spec, Options& out, std::string& err) {
+    const std::string str(spec);
+    std::size_t pos = str.find(':');
+    out.path = str.substr(0, pos);
+    if (out.path.empty()) {
+        err = "SI_OBS_LIVE has an empty sink path";
+        return false;
+    }
+    const auto all_digits = [](const std::string& t) {
+        return !t.empty() && std::all_of(t.begin(), t.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        });
+    };
+    while (pos != std::string::npos) {
+        const std::size_t next = str.find(':', pos + 1);
+        const std::string tok =
+            str.substr(pos + 1, next == std::string::npos ? std::string::npos : next - pos - 1);
+        pos = next;
+        if (tok == "force") {
+            out.force = true;
+        } else if (tok == "nodiag") {
+            out.diag = false;
+        } else if (tok.rfind("stall=", 0) == 0) {
+            const std::string n = tok.substr(6);
+            if (!all_digits(n)) {
+                err = "ignoring malformed SI_OBS_LIVE option '" + tok + "'";
+                return false;
+            }
+            out.stall_intervals = static_cast<std::uint32_t>(
+                std::min<unsigned long long>(std::stoull(n), 1000000ULL));
+        } else if (all_digits(tok)) {
+            const unsigned long long ms = std::stoull(tok);
+            if (ms == 0 || ms > 3600000ULL) {
+                err = "ignoring out-of-range SI_OBS_LIVE interval '" + tok + "'";
+                return false;
+            }
+            out.interval_ms = static_cast<std::uint32_t>(ms);
+        } else {
+            err = "ignoring unrecognized SI_OBS_LIVE option '" + tok +
+                  "' (expected <interval_ms>|force|nodiag|stall=<n>)";
+            return false;
+        }
+    }
+    return true;
+}
+
+void reset_env_for_test() {
+    shutdown();
+    state().env_state.store(0);
+}
+
+} // namespace detail
+
+} // namespace si::obs::live
+
+namespace si::obs {
+
+Progress::Progress(const char* stage, std::uint64_t total, bool watchdog) : stage_(stage) {
+    live::ensure_started();
+    if (enabled() || live::armed())
+        slot_ = live::detail::progress_begin(stage, total, watchdog);
+}
+
+Progress::~Progress() {
+    if (slot_ == nullptr) return;
+    const std::uint64_t final_done = slot_->done.load(std::memory_order_relaxed);
+    live::detail::progress_end(slot_);
+    // The deterministic footprint of the gauge: how much work the stage
+    // reported, independent of heartbeat timing.
+    if (enabled()) count(std::string("progress.") + stage_ + ".done", final_done);
+}
+
+void Progress::advance(std::uint64_t delta) {
+    if (slot_ != nullptr) slot_->done.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Progress::set_done(std::uint64_t value) {
+    if (slot_ == nullptr) return;
+    std::uint64_t cur = slot_->done.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot_->done.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+void Progress::set_total(std::uint64_t value) {
+    if (slot_ != nullptr) slot_->total.store(value, std::memory_order_relaxed);
+}
+
+void Progress::set_budget(std::uint64_t spent, std::uint64_t cap) {
+    if (slot_ == nullptr) return;
+    slot_->budget_spent.store(spent, std::memory_order_relaxed);
+    slot_->budget_cap.store(cap == UINT64_MAX ? 0 : cap, std::memory_order_relaxed);
+}
+
+std::uint64_t Progress::done() const {
+    return slot_ == nullptr ? 0 : slot_->done.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Progress::total() const {
+    return slot_ == nullptr ? 0 : slot_->total.load(std::memory_order_relaxed);
+}
+
+} // namespace si::obs

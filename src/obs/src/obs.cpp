@@ -2,6 +2,7 @@
 
 #include "obs_internal.hpp"
 #include "si/obs/flight.hpp"
+#include "si/obs/live.hpp"
 
 #include <algorithm>
 #include <array>
@@ -103,8 +104,9 @@ bool wall_lane_on() {
 /// the deterministic clock.
 bool record_wall() { return wall_clock() || wall_lane_on(); }
 
-Slot& slot(std::string_view name, Slot::Kind kind, Tag tag) {
-    MetricShard& shard = metric_shard();
+/// Looks up (or creates) a slot in the calling thread's shard. The
+/// caller must hold `shard.mutex` — see MetricShard in obs_internal.hpp.
+Slot& slot_locked(MetricShard& shard, std::string_view name, Slot::Kind kind, Tag tag) {
     auto [it, inserted] = shard.slots.try_emplace(std::string(name));
     if (inserted) {
         it->second.kind = kind;
@@ -297,10 +299,15 @@ RequestScope::RequestScope(std::uint64_t id, std::uint64_t seed)
         detail::span_attr(rec_, "req", std::to_string(id));
         detail::span_attr(rec_, "seed", std::to_string(seed));
     }
+    if (live::armed()) {
+        live_ = true;
+        live::detail::request_begin(id, seed);
+    }
 }
 
 RequestScope::~RequestScope() {
     if (rec_ != nullptr) detail::span_end(rec_);
+    if (live_) live::detail::request_end(detail::tls().request.id);
     (void)detail::swap_request(prev_);
 }
 
@@ -347,18 +354,24 @@ TaskSpan::~TaskSpan() {
 
 void count(std::string_view name, std::uint64_t delta, Tag tag) {
     if (!enabled()) return;
-    detail::slot(name, detail::Slot::Kind::Counter, tag).value += delta;
+    detail::MetricShard& shard = detail::metric_shard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    detail::slot_locked(shard, name, detail::Slot::Kind::Counter, tag).value += delta;
 }
 
 void gauge_max(std::string_view name, std::uint64_t value, Tag tag) {
     if (!enabled()) return;
-    auto& s = detail::slot(name, detail::Slot::Kind::Gauge, tag);
+    detail::MetricShard& shard = detail::metric_shard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& s = detail::slot_locked(shard, name, detail::Slot::Kind::Gauge, tag);
     s.value = std::max(s.value, value);
 }
 
 void observe(std::string_view name, std::uint64_t value, Tag tag) {
     if (!enabled()) return;
-    auto& s = detail::slot(name, detail::Slot::Kind::Hist, tag);
+    detail::MetricShard& shard = detail::metric_shard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& s = detail::slot_locked(shard, name, detail::Slot::Kind::Hist, tag);
     ++s.hist_count;
     s.hist_sum += value;
     ++s.buckets[std::bit_width(value)];
@@ -382,7 +395,8 @@ std::map<std::string, Slot> merged_metrics() {
     std::map<std::string, Slot> out;
     {
         std::lock_guard<std::mutex> lock(r.mutex);
-        for (const auto* shard : r.shards) {
+        for (auto* shard : r.shards) {
+            std::lock_guard<std::mutex> shard_lock(shard->mutex);
             for (const auto& [name, s] : shard->slots) {
                 auto [it, inserted] = out.try_emplace(name, s);
                 if (inserted) continue;
@@ -569,15 +583,23 @@ std::string trace_tree() {
     return out;
 }
 
-std::string export_to_file(const std::string& path, bool force) {
+std::string overwrite_guard(const std::string& path, bool force) {
     std::error_code ec;
     if (!force && std::filesystem::exists(path, ec))
         return "refusing to overwrite '" + path + "' (pass --force to allow)";
+    return {};
+}
+
+std::string write_text_file(const std::string& path, std::string_view content, bool force) {
+    if (std::string err = overwrite_guard(path, force); !err.empty()) return err;
     std::ofstream out(path, std::ios::trunc);
     if (!out) return "cannot write '" + path + "'";
-    if (tracing()) out << trace_chrome_json();
-    else out << metrics_text(true);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
     return out.good() ? std::string{} : "write to '" + path + "' failed";
+}
+
+std::string export_to_file(const std::string& path, bool force) {
+    return write_text_file(path, tracing() ? trace_chrome_json() : metrics_text(true), force);
 }
 
 void reset() {
@@ -585,7 +607,10 @@ void reset() {
         auto& r = detail::registry();
         std::lock_guard<std::mutex> lock(r.mutex);
         for (auto* buf : r.bufs) buf->recs.clear();
-        for (auto* shard : r.shards) shard->slots.clear();
+        for (auto* shard : r.shards) {
+            std::lock_guard<std::mutex> shard_lock(shard->mutex);
+            shard->slots.clear();
+        }
         for (auto& h : detail::g_hot) h.store(0, std::memory_order_relaxed);
         r.root_seq.store(0, std::memory_order_relaxed);
     }

@@ -60,6 +60,11 @@ struct Slot {
 };
 
 struct MetricShard {
+    /// Guards `slots`. Uncontended in the owning thread's hot path, but
+    /// required so the live heartbeat thread can merge mid-flight
+    /// snapshots without racing the owner's rehashes (the quiescence
+    /// contract covers span arenas only; metric shards are lock-safe).
+    std::mutex mutex;
     std::unordered_map<std::string, Slot> slots;
 };
 
@@ -95,7 +100,9 @@ struct Tree {
 [[nodiscard]] Tree build_tree(Registry& r);
 
 /// Merged, name-ordered snapshot of every metric shard plus the hot
-/// counters. Takes the registry lock itself.
+/// counters. Takes the registry lock and each shard's lock itself, so —
+/// unlike the span exports — it is safe to call while instrumented work
+/// is in flight (the live snapshotter depends on this).
 [[nodiscard]] std::map<std::string, Slot> merged_metrics();
 
 } // namespace si::obs::detail

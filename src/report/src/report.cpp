@@ -692,13 +692,9 @@ DiffResult diff_snapshots(const Snapshot& base, const Snapshot& cur, const DiffO
 // Report files
 
 std::string write(const std::string& path, std::string_view content, bool force) {
-    std::error_code ec;
-    if (!force && std::filesystem::exists(path, ec))
-        return "refusing to overwrite '" + path + "' (pass --force to allow)";
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) return "cannot write '" + path + "'";
-    out << content;
-    return out.good() ? std::string{} : "write to '" + path + "' failed";
+    // One overwrite-refusal contract library-wide: obs exports, report
+    // files and the live heartbeat sink all share obs::write_text_file.
+    return obs::write_text_file(path, content, force);
 }
 
 } // namespace si::obs::report

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/state_store.hpp"
@@ -80,8 +81,15 @@ std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
     // Node ids are assigned in discovery order and expanded in id order,
     // so `edges` comes out grouped by ascending `from` — the CSR offsets
     // below need no sort.
+    // Heartbeat gauge: done = markings expanded, total = markings
+    // discovered so far; the two converge exactly when the BFS is done.
+    obs::Progress progress("sg.explore");
     std::vector<std::uint8_t> cur_marking(P);
     for (std::uint32_t cur = 0; cur < g.num_nodes(); ++cur) {
+        progress.set_done(cur);
+        progress.set_total(g.num_nodes());
+        progress.set_budget(meter.local().consumed(util::Resource::States),
+                            meter.local().limit(util::Resource::States));
         // Local copy: the arena row may move when intern grows it.
         std::memcpy(cur_marking.data(), g.marking(cur), P);
         const std::uint8_t* m = cur_marking.data();
@@ -104,6 +112,9 @@ std::optional<MarkingGraph> explore(const stg::Stg& net, util::Meter& meter) {
             g.edges.push_back(MarkingGraph::Edge{cur, to, TransitionId{ti}});
         }
     }
+
+    progress.set_done(g.num_nodes());
+    progress.set_total(g.num_nodes());
 
     g.out_begin.assign(g.num_nodes() + 1, 0);
     for (const auto& e : g.edges) ++g.out_begin[e.from + 1];

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "insertion_oracle.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sat/solver.hpp"
 #include "si/synth/labeling.hpp"
@@ -505,6 +506,9 @@ private:
                 return false;
             }
             ++stats_.attempts;
+            progress_.advance();
+            progress_.set_budget(meter_.local().consumed(util::Resource::Attempts),
+                                 meter_.local().limit(util::Resource::Attempts));
             const sat::Result r = next_model();
             if (r == sat::Result::Unsat) return true;
             if (r == sat::Result::Unknown) {
@@ -585,6 +589,11 @@ private:
     std::vector<InsertionOutcome> fallbacks_; // old-side-progress models, stream order
     SpecStats stats_;
     SpecStatus status_ = SpecStatus::Done;
+    /// Heartbeat gauge: done = attempts examined. Portfolio racers each
+    /// register one; live aggregates them under the shared stage name.
+    /// The deterministic Stable footprint stays with export_stream_stats
+    /// (racers run under Silence, so the gauge's own counter is mute).
+    obs::Progress progress_{"synth.spec"};
 };
 
 /// Stream-level counters are byte-identical across engine configurations

@@ -1,6 +1,7 @@
 #include "si/util/budget.hpp"
 
 #include "si/obs/flight.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 
 namespace si::util {
@@ -82,6 +83,10 @@ void Budget::trip(Resource r, std::uint64_t consumed, std::uint64_t limit) {
         obs::flight::detail::record('T', obs::detail::keyed_span_path(), failure_->describe());
         (void)obs::flight::dump("budget-trip");
     }
+    // A watcher tailing the heartbeat stream learns about top-level
+    // trips immediately instead of at the next interval.
+    if (!shard_ && obs::live::armed())
+        obs::live::detail::event("budget-trip", failure_->describe());
 }
 
 bool Budget::charge(Resource r, std::uint64_t amount) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 
 namespace si::util {
@@ -225,6 +226,9 @@ void pool_run(std::size_t n, const std::function<void(std::size_t)>& task) {
     if (n == 0) return;
     obs::count("pool.fan_outs");
     obs::count("pool.tasks", n);
+    // Heartbeats report cumulative fan-out/task counts even under
+    // Silence (racers), where the counters above are suppressed.
+    if (obs::live::armed()) obs::live::detail::pool_note(1, n);
     // The caller's request identity rides into every task: workers are
     // long-lived threads with no identity of their own, so each task
     // installs the captured identity for its duration (a no-op swap when

@@ -6,6 +6,7 @@
 #include <random>
 #include <unordered_map>
 
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/util/error.hpp"
 #include "si/util/parallel.hpp"
@@ -292,6 +293,7 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
 
     const char* token_prefix = cls == FaultClass::Seu ? "seu:" : "glitch:";
     std::vector<Injection> out(sites.size());
+    obs::Progress progress("fault.inject", sites.size());
     util::parallel_for_budget(opts.budget, sites.size(), [&](std::size_t i, util::Budget* shard) {
         const Site& site = sites[i];
         const NominalNode& node = nodes[site.node];
@@ -332,6 +334,7 @@ std::vector<Injection> inject_flips(const net::Netlist& nl, const sg::StateGraph
             inj.span_path = obs::current_span_path();
         }
         span.attr("killed", inj.killed ? "true" : "false");
+        progress.advance();
     });
     return out;
 }
@@ -499,6 +502,7 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
             bool ds_killed = false;
         };
         std::vector<FaultOutcome> outcomes(faults.size());
+        obs::Progress progress("fault.campaign", faults.size());
         util::parallel_for_budget(
             opts.verify.budget, faults.size(), [&](std::size_t fi, util::Budget* shard) {
                 const auto& f = faults[fi];
@@ -544,6 +548,7 @@ CampaignReport run_campaign(const net::Netlist& nl, const sg::StateGraph& spec,
                 } catch (const Error&) {
                     o.killed = true; // structurally broken counts as caught
                 }
+                progress.advance();
             });
         for (std::size_t fi = 0; fi < faults.size(); ++fi) {
             const auto& f = faults[fi];

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "si/obs/flight.hpp"
+#include "si/obs/live.hpp"
 #include "si/obs/obs.hpp"
 #include "si/sg/analysis.hpp"
 #include "si/util/error.hpp"
@@ -465,6 +466,7 @@ SuiteResult verify_suite(const net::Netlist& nl, const sg::StateGraph& spec,
     SuiteResult out;
     const std::size_t n = opts.check_cycle ? 4 : 3;
     out.properties.resize(n);
+    obs::Progress progress("verify.suite", n);
     // The four properties are independent reads of (nl, spec); only the
     // speed-independence exploration touches the caller's budget, so the
     // fan-out needs no budget sharding. Slots are pre-assigned, keeping
@@ -515,6 +517,7 @@ SuiteResult verify_suite(const net::Netlist& nl, const sg::StateGraph& spec,
         }
         default: break;
         }
+        progress.advance();
     });
     return out;
 }
